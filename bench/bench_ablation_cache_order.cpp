@@ -1,0 +1,103 @@
+// Ablation: which mechanism makes ATPG-SAT easy — the cache, the ordering,
+// or both?
+//
+// The paper's tractability argument needs two ingredients: the sub-formula
+// cache (Algorithm 1) and a low-cut-width static variable order. This
+// ablation crosses {cache on, cache off} x {MLA order, topological order,
+// reverse order, random order} on CIRCUIT-SAT instances and reports
+// backtracking-tree sizes: only cache+low-width achieves the polynomial
+// behaviour the paper predicts.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/mla.hpp"
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation: cache x variable order",
+                "supports §4 — both ingredients of Theorem 4.1");
+
+  const auto s = [&](double v) {
+    return std::max<std::size_t>(4, static_cast<std::size_t>(v * args.scale));
+  };
+
+  std::vector<std::pair<std::string, net::Network>> circuits;
+  circuits.emplace_back("tree", gen::and_or_tree(s(64), 2));
+  circuits.emplace_back("adder",
+                        net::decompose(gen::ripple_carry_adder(s(8))));
+  circuits.emplace_back("parity", net::decompose(gen::parity_tree(s(16))));
+  {
+    gen::HuttonParams p;
+    p.num_gates = s(70);
+    p.num_inputs = 10;
+    p.num_outputs = 4;
+    p.seed = args.seed;
+    circuits.emplace_back("random", net::decompose(gen::hutton_random(p)));
+  }
+
+  for (const auto& [name, n] : circuits) {
+    const core::MlaResult m = core::mla(n);
+    const sat::Cnf f = sat::encode_circuit_sat(n);
+
+    std::vector<std::pair<std::string, core::Ordering>> orders;
+    orders.emplace_back(
+        "MLA (W=" + std::to_string(m.width) + ")", m.order);
+    orders.emplace_back(
+        "topological (W=" +
+            std::to_string(core::cut_width(
+                n, core::identity_ordering(n.node_count()))) +
+            ")",
+        core::identity_ordering(n.node_count()));
+    {
+      core::Ordering rev = core::identity_ordering(n.node_count());
+      std::reverse(rev.begin(), rev.end());
+      orders.emplace_back(
+          "reverse (W=" + std::to_string(core::cut_width(n, rev)) + ")",
+          rev);
+    }
+    {
+      Rng rng(args.seed);
+      core::Ordering rnd = core::identity_ordering(n.node_count());
+      for (std::size_t i = rnd.size(); i > 1; --i)
+        std::swap(rnd[i - 1], rnd[rng.below(i)]);
+      orders.emplace_back(
+          "random (W=" + std::to_string(core::cut_width(n, rnd)) + ")",
+          rnd);
+    }
+
+    std::cout << name << " (n=" << n.node_count() << "):\n";
+    Table t({"order", "cache nodes", "no-cache nodes", "cache hits"});
+    for (const auto& [order_name, h] : orders) {
+      const std::vector<sat::Var> order(h.begin(), h.end());
+      sat::CacheSatConfig with, without;
+      with.early_sat = without.early_sat = false;
+      with.max_nodes = 20'000'000;
+      without.use_cache = false;
+      without.max_nodes = 20'000'000;
+      const auto a = sat::cache_sat(f, order, with);
+      const auto b = sat::cache_sat(f, order, without);
+      auto nodes_cell = [](const sat::CacheSatResult& r) {
+        return r.status == sat::SolveStatus::kUnknown
+                   ? std::string(">2e7 (aborted)")
+                   : cell(r.stats.nodes);
+      };
+      t.add_row({order_name, nodes_cell(a), nodes_cell(b),
+                 cell(a.stats.cache_hits)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "reading: low-width orders shrink trees dramatically; the "
+               "cache compounds the effect (Theorem 4.1 needs both).\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation: the three conflict-reduction mechanisms of §4.1.
+//
+// "Most popular backtracking based algorithms ... provide some feature to
+// reduce conflicts": TEGUS preprocesses *global implications*, GRASP
+// *learns conflict-induced clauses*, and the paper models both with the
+// *sub-formula cache* of Algorithm 1. This harness runs all three on the
+// same CIRCUIT-SAT instances (SAT and forced-UNSAT variants):
+//   backtracking alone | + static implications | + cache | CDCL (learning)
+// and reports search effort, showing they attack the same redundancy.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/mla.hpp"
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+#include "sat/implications.hpp"
+#include "sat/solver.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation: conflict-reduction mechanisms (§4.1)",
+                "TEGUS implications vs GRASP learning vs Algorithm 1 cache");
+
+  const auto s = [&](double v) {
+    return std::max<std::size_t>(4, static_cast<std::size_t>(v * args.scale));
+  };
+
+  std::vector<std::pair<std::string, net::Network>> circuits;
+  circuits.emplace_back("adder", net::decompose(gen::ripple_carry_adder(s(8))));
+  circuits.emplace_back("parity", net::decompose(gen::parity_tree(s(14))));
+  circuits.emplace_back("tree", gen::and_or_tree(s(48), 2));
+  {
+    gen::HuttonParams p;
+    p.num_gates = s(60);
+    p.num_inputs = 10;
+    p.num_outputs = 4;
+    p.seed = args.seed;
+    circuits.emplace_back("random", net::decompose(gen::hutton_random(p)));
+  }
+
+  Table t({"instance", "plain nodes", "+implications", "+cache", "both",
+           "CDCL conflicts"});
+  for (const auto& [name, n] : circuits) {
+    const core::MlaResult m = core::mla(n);
+    const std::vector<sat::Var> order(m.order.begin(), m.order.end());
+    for (const bool unsat_variant : {false, true}) {
+      sat::Cnf f = sat::encode_circuit_sat(n);
+      if (unsat_variant)
+        for (net::NodeId po : n.outputs()) f.add_clause({sat::neg(po)});
+      sat::ImplicationStats istats;
+      const sat::Cnf aug = sat::add_static_implications(f, &istats);
+
+      auto run = [&](const sat::Cnf& formula, bool cache) {
+        sat::CacheSatConfig cfg;
+        cfg.use_cache = cache;
+        cfg.early_sat = false;
+        cfg.max_nodes = 30'000'000;
+        const auto r = sat::cache_sat(formula, order, cfg);
+        return r.status == sat::SolveStatus::kUnknown
+                   ? std::string(">3e7")
+                   : cell(r.stats.nodes);
+      };
+      const auto cdcl = sat::solve_cnf(f);
+
+      t.add_row({name + (unsat_variant ? " (unsat)" : " (sat)"),
+                 run(f, false), run(aug, false), run(f, true),
+                 run(aug, true), cell(cdcl.stats.conflicts)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nreading: implications and the cache both prune repeated "
+               "unsatisfiable subspaces; combined they compound. CDCL's "
+               "conflict clauses achieve the same end dynamically — the "
+               "paper's cache is a faithful *model* of all of these.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: how much does the MLA machinery matter to the cut-width
+// estimate?
+//
+// The paper's Figure 8 numbers are *estimates* produced by recursive
+// min-cut bisection (hMETIS) + exact leaf MLA. This ablation compares,
+// across circuits, the width estimates obtained from: multilevel FM
+// bisection (the default), flat FM (no coarsening), plain topological
+// order, and the best of random orders — quantifying how much of the
+// "circuits have small cut-width" observation depends on arrangement
+// quality.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/mla.hpp"
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/suites.hpp"
+#include "netlist/decompose.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Ablation: arrangement quality vs width estimate",
+                "supports §5.2.1's choice of recursive-bisection MLA");
+
+  gen::SuiteOptions opts;
+  opts.scale = args.scale * 0.7;
+  opts.seed = args.seed;
+  std::vector<net::Network> circuits = gen::iscas85_like_suite(opts);
+
+  Table t({"circuit", "nodes", "W multilevel", "W no-refine", "W flat-FM",
+           "W topo", "W best-random", "sec"});
+  for (const net::Network& n : circuits) {
+    Timer timer;
+    // Default: multilevel bisection + adjacent-swap refinement.
+    const core::MlaResult ml = core::mla(n);
+
+    // Without the refinement post-pass.
+    core::MlaConfig no_refine_cfg;
+    no_refine_cfg.refine_passes = 0;
+    const core::MlaResult no_refine = core::mla(n, no_refine_cfg);
+
+    // Flat FM: disable coarsening by setting the threshold huge.
+    core::MlaConfig flat_cfg;
+    flat_cfg.partition.coarsest_size = 1u << 30;
+    const core::MlaResult flat = core::mla(n, flat_cfg);
+
+    const std::uint32_t topo =
+        core::cut_width(n, core::identity_ordering(n.node_count()));
+
+    Rng rng(args.seed);
+    std::uint32_t best_random = static_cast<std::uint32_t>(-1);
+    for (int trial = 0; trial < 5; ++trial) {
+      core::Ordering rnd = core::identity_ordering(n.node_count());
+      for (std::size_t i = rnd.size(); i > 1; --i)
+        std::swap(rnd[i - 1], rnd[rng.below(i)]);
+      best_random = std::min(best_random, core::cut_width(n, rnd));
+    }
+
+    t.add_row({n.name(), cell(n.node_count()), cell(ml.width),
+               cell(no_refine.width), cell(flat.width), cell(topo),
+               cell(best_random), cell(timer.seconds(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nreading: random orders give near-linear widths — the "
+               "small-cut-width phenomenon is a property of circuits *under "
+               "good arrangements*, which the multilevel MLA finds and "
+               "naive orders do not.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// §3.3: average-time analysis of ATPG-SAT instances (Purdom–Brown model).
+//
+// Maps live ATPG-SAT instances into the (v, t, p) random-clause model and
+// evaluates the closed-form expected backtracking-tree size and its
+// scaling degree — the paper's observation that the formulas land in a
+// class that is polynomial *on average*, together with its caveat that
+// this cannot give hard conclusions about the ATPG subset.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fault/atpg_circuit.hpp"
+#include "gen/suites.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/average_case.hpp"
+#include "sat/encode.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Average-case (Purdom–Brown) parameters of ATPG-SAT",
+                "paper §3.3");
+
+  gen::SuiteOptions opts;
+  opts.scale = args.scale;
+  opts.seed = args.seed;
+
+  Table t({"circuit", "instances", "med vars", "med clauses", "med len",
+           "med log2 E", "med log2 E|nonempty"});
+  std::vector<double> all_cond;
+  for (const net::Network& n : gen::iscas85_like_suite(opts)) {
+    const auto faults = fault::collapsed_fault_list(n);
+    std::vector<double> vars, clauses, lens, log2e, log2c;
+    for (std::size_t i = 0; i < faults.size(); i += 5 * args.stride) {
+      fault::AtpgCircuit atpg = [&]() -> fault::AtpgCircuit {
+        return fault::build_atpg_circuit(n, faults[i]);
+      }();
+      const sat::Cnf f = sat::encode_circuit_sat(atpg.miter);
+      const sat::InstanceParams params = sat::measure_params(f);
+      vars.push_back(static_cast<double>(params.v));
+      clauses.push_back(static_cast<double>(params.t));
+      lens.push_back(params.mean_length);
+      log2e.push_back(sat::log2_expected_nodes(params));
+      log2c.push_back(sat::log2_expected_nodes_nonempty(params));
+    }
+    all_cond.insert(all_cond.end(), log2c.begin(), log2c.end());
+    t.add_row({n.name(), cell(vars.size()), cell(summarize(vars).median, 0),
+               cell(summarize(clauses).median, 0),
+               cell(summarize(lens).median, 2),
+               cell(summarize(log2e).median, 1),
+               cell(summarize(log2c).median, 1)});
+  }
+  t.print(std::cout);
+
+  const Summary d = summarize(all_cond);
+  std::cout << "\nconditioned model across all instances: median log2 E = "
+            << cell(d.median, 1) << ", p90 " << cell(d.p90, 1) << ", max "
+            << cell(d.max, 1) << "\n";
+  std::cout << "\nreading (the paper's §3.3 caveat, made concrete): the\n"
+               "unconditioned Purdom–Brown expectation at ATPG parameters is\n"
+               "dominated by trivially-UNSAT random formulas (log2 E < 0),\n"
+               "while the non-empty-conditioned expectation stays small at\n"
+               "these sizes but scales with v, not log v. Either way the\n"
+               "random (v,t,p) class mispredicts structured ATPG-SAT — the\n"
+               "average-case route can only *suggest* easiness; the paper's\n"
+               "cut-width characterization is what actually explains it.\n";
+  return 0;
+}

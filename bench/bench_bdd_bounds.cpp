@@ -1,0 +1,136 @@
+// §6: BDDs vs CIRCUIT-SAT backtracking — width bounds compared.
+//
+// Both a BDD and a backtracking tree carve up the Boolean space; the paper
+// contrasts McMillan's BDD bound n*2^(w_f*2^(w_r)) (exponential in the
+// forward width, DOUBLE exponential in the reverse width, on a *directed*
+// arrangement) with its own single-exponential 2^(2*k_fo*W) bound on an
+// *undirected* arrangement. This harness measures, per circuit:
+// actual BDD sizes (good and bad input orders), directed widths and the
+// McMillan bound under a topological arrangement (w_r = 0), the undirected
+// cut-width and the Theorem 4.1 bound, and the measured Algorithm 1 tree.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bdd/bdd.hpp"
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/mla.hpp"
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("BDD size bounds vs backtracking bounds (§6)",
+                "paper §6 — Berman/McMillan vs cut-width");
+
+  const auto s = [&](double v) {
+    return std::max<std::size_t>(3, static_cast<std::size_t>(v * args.scale));
+  };
+
+  Table t({"circuit", "n", "#PI", "BDD (PI order)", "BDD (MLA order)",
+           "w_f/w_r topo", "log2 McM", "W", "log2 Thm4.1",
+           "log2 Alg1 tree"});
+
+  auto measure = [&](const net::Network& n, const std::string& name) {
+    const std::size_t pis = n.inputs().size();
+
+    // BDD under natural PI order.
+    std::string bdd_natural = "-";
+    try {
+      bdd::Manager m(static_cast<std::uint32_t>(pis), 2'000'000);
+      const auto outs = bdd::build_output_bdds(m, n);
+      std::size_t total = 0;
+      for (auto r : outs) total = std::max(total, m.size(r));
+      bdd_natural = cell(total);
+    } catch (const bdd::Manager::NodeLimitExceeded&) {
+      bdd_natural = ">2e6";
+    }
+
+    // BDD under an MLA-derived PI order (PIs in MLA arrangement order).
+    const core::MlaResult mla = core::mla(n);
+    std::string bdd_mla = "-";
+    {
+      std::vector<std::uint32_t> level_of_pi(pis);
+      std::vector<std::uint32_t> pi_rank(n.node_count(),
+                                         static_cast<std::uint32_t>(-1));
+      std::uint32_t next = 0;
+      for (net::NodeId v : mla.order)
+        if (n.type(v) == net::GateType::kInput) pi_rank[v] = next++;
+      for (std::size_t i = 0; i < pis; ++i)
+        level_of_pi[i] = pi_rank[n.inputs()[i]];
+      try {
+        bdd::Manager m(static_cast<std::uint32_t>(pis), 2'000'000);
+        const auto outs = bdd::build_output_bdds(m, n, level_of_pi);
+        std::size_t total = 0;
+        for (auto r : outs) total = std::max(total, m.size(r));
+        bdd_mla = cell(total);
+      } catch (const bdd::Manager::NodeLimitExceeded&) {
+        bdd_mla = ">2e6";
+      }
+    }
+
+    // Directed widths under the topological (id) arrangement: w_r = 0.
+    const auto topo = core::identity_ordering(n.node_count());
+    const bdd::DirectedWidths dw = bdd::directed_widths(n, topo);
+    const double mcm = bdd::mcmillan_log2_bound(n.inputs().size(), dw);
+
+    // Cut-width bound and measured Algorithm 1 tree under MLA order.
+    const std::uint32_t w = mla.width;
+    const double thm41 =
+        core::theorem41_log2_bound(n.node_count(), n.max_fanout(), w);
+    const sat::Cnf f = sat::encode_circuit_sat(n);
+    sat::CacheSatConfig cfg;
+    cfg.early_sat = false;
+    cfg.max_nodes = 4'000'000;
+    const std::vector<sat::Var> order(mla.order.begin(), mla.order.end());
+    const auto run = sat::cache_sat(f, order, cfg);
+    const std::string tree =
+        run.status == sat::SolveStatus::kUnknown
+            ? std::string(">22")
+            : cell(std::log2(static_cast<double>(
+                       std::max<std::uint64_t>(run.stats.nodes, 1))),
+                   1);
+
+    t.add_row({name, cell(n.node_count()), cell(pis), bdd_natural, bdd_mla,
+               cell(dw.forward) + "/" + cell(dw.reverse), cell(mcm, 0),
+               cell(w), cell(thm41, 0), tree});
+  };
+
+  measure(gen::c17(), "c17");
+  measure(gen::fig4a_network(), "fig4a");
+  measure(net::decompose(gen::ripple_carry_adder(s(12))), "adder");
+  measure(net::decompose(gen::parity_tree(s(24))), "parity");
+  measure(gen::and_or_tree(s(48), 2), "tree");
+  measure(net::decompose(gen::comparator(s(10))), "comparator");
+  {
+    gen::HuttonParams p;
+    p.num_gates = s(120);
+    p.num_inputs = std::max<std::size_t>(6, s(14));
+    p.num_outputs = 4;
+    p.seed = args.seed;
+    measure(net::decompose(gen::hutton_random(p)), "random");
+  }
+  // The classic BDD blowup: multipliers have exponential BDDs regardless
+  // of order — and correspondingly large cut-width (the paper excluded
+  // C6288 from its MLA runs).
+  measure(net::decompose(gen::array_multiplier(
+              std::clamp<std::size_t>(s(8), 4, 10))),
+          "multiplier");
+  t.print(std::cout);
+
+  std::cout <<
+      "\nreading: both bounds are driven by a width, but differently —\n"
+      "McMillan's is double-exponential in the reverse width (and needs a\n"
+      "good *directed* arrangement; topological gives w_r = 0), while\n"
+      "Theorem 4.1 is single-exponential in the undirected cut-width.\n"
+      "BDD sizes track function structure (multipliers blow up even when\n"
+      "cut-width is moderate); backtracking trees track the topology.\n";
+  return 0;
+}

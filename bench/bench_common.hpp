@@ -1,0 +1,71 @@
+// Shared plumbing for the experiment harnesses (one binary per paper
+// figure — see DESIGN.md §3). Each binary runs standalone with defaults
+// sized to finish in tens of seconds; pass --scale=<f> to grow or shrink
+// the workload (1.0 approximates paper-scale circuits) and --stride=<n>
+// to subsample fault sites.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace cwatpg::bench {
+
+struct BenchArgs {
+  double scale = 0.35;   ///< suite size multiplier
+  std::size_t stride = 1;  ///< take every stride-th fault site
+  std::uint64_t seed = 99;
+  std::string csv;  ///< when set, raw datapoints are also written here
+};
+
+inline BenchArgs parse_args(int argc, char** argv,
+                            BenchArgs defaults = {}) {
+  BenchArgs args = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      args.scale = std::atof(arg.c_str() + 8);
+    } else if (arg.rfind("--stride=", 0) == 0) {
+      args.stride = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.c_str() + 9)));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      args.csv = arg.substr(6);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--scale=F] [--stride=N] [--seed=S] [--csv=FILE]\n";
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "reproduces: " << paper_ref << "\n\n";
+}
+
+/// Writes (x, y) scatter points as CSV for external plotting. Silently
+/// does nothing when `path` is empty; reports failures to stderr without
+/// aborting the bench.
+inline void write_csv(const std::string& path, const std::string& x_name,
+                      const std::string& y_name,
+                      const std::vector<double>& xs,
+                      const std::vector<double>& ys) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write csv: " << path << "\n";
+    return;
+  }
+  out << x_name << "," << y_name << "\n";
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i)
+    out << xs[i] << "," << ys[i] << "\n";
+  std::cout << "(raw datapoints written to " << path << ")\n";
+}
+
+}  // namespace cwatpg::bench

@@ -1,0 +1,25 @@
+// Figure 8(a): cut-width results for the MCNC91 logic benchmarks.
+//
+// Paper setup: 48 MCNC91 "logic" circuits (t481 excluded as degenerate),
+// mapped to <=3-input AND/OR gates with inverters by SIS tech_decomp; one
+// datapoint per fault measuring the approximate cut-width of C_psi^sub
+// against its size; a logarithmic curve gives the best least-squares fit.
+// Here the suite is the 48-member MCNC-like synthetic suite (see
+// DESIGN.md §1 for the substitution argument).
+#include "fig8_common.hpp"
+#include "gen/suites.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  bench::BenchArgs defaults;
+  defaults.stride = 3;
+  const bench::BenchArgs args = bench::parse_args(argc, argv, defaults);
+  bench::banner("Figure 8(a): cut-width vs C_psi^sub size, MCNC91-like",
+                "paper Fig. 8(a) — 48 logic circuits, log fit wins");
+  gen::SuiteOptions opts;
+  opts.scale = args.scale;
+  opts.seed = args.seed;
+  bench::run_fig8(gen::mcnc_like_suite(opts), "MCNC91-like suite",
+                  args.stride, args.csv);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 8(b): cut-width results for the ISCAS85 benchmarks.
+//
+// Paper setup: 9 ISCAS85 circuits (C3540 and C6288 excluded for MLA
+// limitations), same per-fault measurement as Figure 8(a). Here the suite
+// is the 9-member ISCAS85-like synthetic suite (see DESIGN.md §1).
+#include "fig8_common.hpp"
+#include "gen/suites.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  bench::BenchArgs defaults;
+  defaults.stride = 4;
+  const bench::BenchArgs args = bench::parse_args(argc, argv, defaults);
+  bench::banner("Figure 8(b): cut-width vs C_psi^sub size, ISCAS85-like",
+                "paper Fig. 8(b) — 9 circuits, log fit wins");
+  gen::SuiteOptions opts;
+  opts.scale = args.scale;
+  opts.seed = args.seed;
+  bench::run_fig8(gen::iscas85_like_suite(opts), "ISCAS85-like suite",
+                  args.stride, args.csv);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Extension bench: per-fault encoding (TEGUS, as the paper analyzes) vs
+// incremental shared-miter SAT-ATPG (the modern successor).
+//
+// The paper's Figure 1 engine re-encodes per fault; modern engines encode
+// once with fault selects and solve each fault under assumptions, reusing
+// learned clauses. This bench quantifies the trade on the synthetic
+// suites: encode time amortization and learned-clause reuse vs the larger
+// shared instance. Agreement is asserted fault-by-fault.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fault/incremental.hpp"
+#include "fault/tegus.hpp"
+#include "gen/suites.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Per-fault vs incremental SAT-ATPG",
+                "extension: the successor of the paper's TEGUS setting");
+
+  gen::SuiteOptions opts;
+  opts.scale = args.scale;
+  opts.seed = args.seed;
+
+  Table t({"circuit", "stem faults", "per-fault ms", "incremental ms",
+           "speedup", "mismatches"});
+  double total_per_fault = 0, total_incremental = 0;
+  for (const net::Network& n : gen::iscas85_like_suite(opts)) {
+    const auto all = fault::collapsed_fault_list(n);
+    std::vector<fault::StuckAtFault> stems;
+    for (const auto& f : all)
+      if (f.is_stem()) stems.push_back(f);
+
+    Timer timer;
+    std::vector<bool> ref_testable(stems.size());
+    for (std::size_t i = 0; i < stems.size(); ++i) {
+      fault::Pattern test;
+      const auto outcome = fault::generate_test(n, stems[i], {}, test);
+      ref_testable[i] = outcome.status == fault::FaultStatus::kDetected;
+    }
+    const double per_fault_ms = timer.millis();
+
+    timer.reset();
+    const auto outcomes = fault::run_atpg_incremental(n, stems);
+    const double incremental_ms = timer.millis();
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < stems.size(); ++i) {
+      const bool inc_testable =
+          outcomes[i].status == sat::SolveStatus::kSat;
+      // Unreachable faults: per-fault reports kUnreachable (counted as
+      // untestable here), incremental reports UNSAT — both "not testable".
+      if (inc_testable != ref_testable[i]) ++mismatches;
+    }
+
+    t.add_row({n.name(), cell(stems.size()), cell(per_fault_ms, 0),
+               cell(incremental_ms, 0),
+               cell(per_fault_ms / std::max(incremental_ms, 0.01), 1) + "x",
+               cell(mismatches)});
+    total_per_fault += per_fault_ms;
+    total_incremental += incremental_ms;
+  }
+  t.print(std::cout);
+  std::cout << "\ntotals: per-fault " << cell(total_per_fault, 0)
+            << " ms vs incremental " << cell(total_incremental, 0)
+            << " ms\n";
+  std::cout << "\nreading: one shared encoding amortizes construction and "
+               "lets conflict clauses (largely copy-equivalence facts) "
+               "transfer across faults; the per-fault flow wins when cones "
+               "are tiny relative to the whole circuit. Mismatches must be "
+               "0.\n";
+  return 0;
+}

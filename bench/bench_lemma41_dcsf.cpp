@@ -1,0 +1,105 @@
+// Lemma 4.1: distinct consistent sub-formulas per cut, measured.
+//
+// The engine room of the paper: assigning the first i variables of the
+// order can generate at most 2^(2*k_fo*cut_i) distinct consistent
+// sub-formulas, however many (2^i) assignments there are. This harness
+// prints the full per-level table — naive 2^i, measured DCSF count, and
+// the Lemma 4.1 bound — for the worked example and for circuit families
+// under good and bad orderings, making visible *why* a small cut-width
+// keeps the backtracking tree (and hence ATPG) small.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/mla.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  bench::parse_args(argc, argv);
+  bench::banner("Lemma 4.1: DCSF counts vs cut profile",
+                "paper Lemma 4.1 + the Cut Z illustration of §4.2");
+
+  // --- the worked example ----------------------------------------------------
+  {
+    const sat::Cnf f = gen::formula41();
+    const auto h = gen::fig4a_ordering_a();
+    const std::vector<sat::Var> order(h.begin(), h.end());
+    sat::CacheSatConfig cfg;
+    cfg.track_dcsf = true;
+    cfg.use_cache = false;
+    cfg.early_sat = false;
+    const auto r = sat::cache_sat(f, order, cfg);
+    const auto profile =
+        core::cut_profile(gen::fig4a_hypergraph(), h);
+    const char* names = "abcdefghi";
+    std::cout << "Formula 4.1 under ordering A (k_fo = 1):\n";
+    Table t({"after", "naive 2^i", "DCSF", "bound 2^(2*cut)"});
+    for (std::size_t i = 0; i < r.stats.dcsf_per_level.size(); ++i) {
+      const std::uint32_t cut =
+          i < profile.size() ? profile[i] : 0;
+      t.add_row({std::string(1, names[h[i]]),
+                 cell(static_cast<std::size_t>(1) << (i + 1)),
+                 cell(r.stats.dcsf_per_level[i]),
+                 cell(static_cast<std::size_t>(1) << (2 * cut))});
+    }
+    t.print(std::cout);
+    std::cout << "paper (§4.2): after {b,c,f,a,h} only the h-i net is cut, "
+                 "so at most 2^2 sub-formulas exist — row 'h' above.\n\n";
+  }
+
+  // --- circuit families: max DCSF/bound slack per ordering --------------------
+  Table t({"circuit", "ordering", "W", "max log2 DCSF", "max log2 bound",
+           "tree nodes"});
+  auto measure = [&](const net::Network& n, const core::Ordering& h,
+                     const std::string& label) {
+    const sat::Cnf f = sat::encode_circuit_sat(n);
+    const std::vector<sat::Var> order(h.begin(), h.end());
+    sat::CacheSatConfig cfg;
+    cfg.track_dcsf = true;
+    cfg.use_cache = false;
+    cfg.early_sat = false;
+    cfg.max_nodes = 20'000'000;
+    const auto r = sat::cache_sat(f, order, cfg);
+    if (r.status == sat::SolveStatus::kUnknown) {
+      t.add_row({n.name(), label, cell(core::cut_width(n, h)), ">budget",
+                 "-", ">2e7"});
+      return;
+    }
+    const auto profile = core::cut_profile(net::to_hypergraph(n), h);
+    double max_dcsf = 0, max_bound = 0;
+    for (std::size_t i = 0; i < r.stats.dcsf_per_level.size(); ++i) {
+      max_dcsf = std::max(
+          max_dcsf,
+          std::log2(static_cast<double>(r.stats.dcsf_per_level[i])));
+      const std::uint32_t cut = i < profile.size() ? profile[i] : 0;
+      max_bound =
+          std::max(max_bound, core::lemma41_log2_bound(n.max_fanout(), cut));
+    }
+    t.add_row({n.name(), label, cell(core::cut_width(n, h)),
+               cell(max_dcsf, 1), cell(max_bound, 1), cell(r.stats.nodes)});
+  };
+
+  for (const net::Network& n :
+       {gen::c17(), gen::and_or_tree(20, 2),
+        net::decompose(gen::ripple_carry_adder(3)),
+        net::decompose(gen::parity_tree(7))}) {
+    measure(n, core::mla(n).order, "MLA");
+    core::Ordering rev = core::identity_ordering(n.node_count());
+    std::reverse(rev.begin(), rev.end());
+    measure(n, rev, "reverse");
+  }
+  t.print(std::cout);
+  std::cout << "\nreading: measured DCSF counts respect the bound "
+               "everywhere; low-width orderings compress exponentially "
+               "many assignments into handfuls of sub-formulas, which is "
+               "exactly what the cache exploits.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Lemma 5.2 and Theorem 5.1: trees and k-bounded circuits are
+// log-bounded-width.
+//
+// Lemma 5.2: a k-ary tree admits an ordering with W <= (k-1) log2(n); we
+// build the ordering constructively and measure. Theorem 5.1: k-bounded
+// circuits are log-bounded-width; we order generator-witnessed k-bounded
+// circuits (ripple adders, cellular arrays, random block forests) by the
+// block-tree rule and show width growing ~log while size grows
+// geometrically.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/kbounded.hpp"
+#include "gen/kbounded_gen.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::banner("Lemma 5.2 / Theorem 5.1: trees and k-bounded circuits",
+                "paper §5.1");
+
+  std::cout << "Lemma 5.2 — k-ary trees, constructed ordering:\n";
+  Table trees({"arity", "leaves", "n", "W(T,h)", "(k-1)log2(n)", "holds"});
+  for (std::size_t arity : {2u, 3u, 4u, 5u}) {
+    for (std::size_t leaves :
+         {64u, 256u, 1024u,
+          static_cast<unsigned>(4096 * std::max(args.scale, 0.1))}) {
+      const net::Network t = gen::and_or_tree(leaves, arity);
+      const auto order = core::tree_ordering(t);
+      const std::uint32_t w = core::cut_width(t, order);
+      const double rhs = core::lemma52_rhs(arity, t.node_count());
+      trees.add_row({cell(arity), cell(leaves), cell(t.node_count()),
+                     cell(w), cell(rhs, 1), w <= rhs + 1 ? "yes" : "NO"});
+    }
+  }
+  trees.print(std::cout);
+
+  std::cout << "\nRandom trees (mixed arity <= 3):\n";
+  Table rtrees({"gates", "n", "W(T,h)", "2*log2(n)", "holds"});
+  for (std::size_t gates : {50u, 200u, 800u, 3200u}) {
+    const net::Network t = gen::random_tree(
+        static_cast<std::size_t>(gates * std::max(args.scale, 0.1) * 3), 3,
+        args.seed);
+    const auto order = core::tree_ordering(t);
+    const std::uint32_t w = core::cut_width(t, order);
+    const double rhs = core::lemma52_rhs(3, t.node_count());
+    rtrees.add_row({cell(gates), cell(t.node_count()), cell(w),
+                    cell(rhs, 1), w <= rhs + 1 ? "yes" : "NO"});
+  }
+  rtrees.print(std::cout);
+
+  std::cout << "\nTheorem 5.1 — k-bounded circuits under the block-tree "
+               "ordering:\n";
+  Table kb({"family", "n", "k", "W", "W/log2(n)"});
+  auto measure = [&](const gen::KBoundedInstance& inst,
+                     const std::string& name) {
+    const core::BlockPartition part{inst.block_of, inst.num_blocks};
+    const auto order = core::kbounded_ordering(inst.circuit, part, inst.k);
+    const std::uint32_t w = core::cut_width(inst.circuit, order);
+    const double logn =
+        std::log2(static_cast<double>(inst.circuit.node_count()));
+    kb.add_row({name, cell(inst.circuit.node_count()), cell(inst.k),
+                cell(w), cell(w / logn, 2)});
+  };
+  for (std::size_t bits : {8u, 32u, 128u, 512u})
+    measure(gen::kbounded_adder(static_cast<std::size_t>(
+                bits * std::max(args.scale, 0.1) * 3)),
+            "adder" + std::to_string(bits));
+  for (std::size_t cells : {16u, 64u, 256u})
+    measure(gen::kbounded_cellular(static_cast<std::size_t>(
+                cells * std::max(args.scale, 0.1) * 3)),
+            "cell" + std::to_string(cells));
+  for (std::size_t blocks : {32u, 128u, 512u})
+    measure(gen::kbounded_random(
+                static_cast<std::size_t>(blocks * std::max(args.scale, 0.1) * 3),
+                5, 3, args.seed),
+            "randkb" + std::to_string(blocks));
+  kb.print(std::cout);
+
+  std::cout << "\npaper: W/log2(n) flat across geometric size growth — "
+               "k-bounded subsumed by log-bounded-width (Thm 5.1), which "
+               "also covers non-local reconvergence the k-bounded class "
+               "excludes.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Predicting ATPG difficulty from topology — the paper's thesis as a tool.
+//
+//   $ ./testability_report [path/to/netlist.bench]
+//
+// Given a circuit (default: a 24-bit carry-select adder), this example
+// computes the quantities the paper ties to ATPG complexity and then
+// verifies the prediction empirically:
+//   1. whole-circuit and per-output-cone cut-width estimates (MLA);
+//   2. the Theorem 4.1 / Eq. 4.5 complexity bound and the
+//      log-bounded-width classification (is W small relative to log n?);
+//   3. an actual ATPG run, confirming the instances are as easy (or as
+//      hard) as the width predicted.
+#include <cmath>
+#include <iostream>
+
+#include "core/bounds.hpp"
+#include "core/mla.hpp"
+#include "fault/tegus.hpp"
+#include "gen/structured.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/verilog_io.hpp"
+#include "netlist/decompose.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace cwatpg_examples {
+
+/// Reads .bench or structural .v by file extension.
+cwatpg::net::Network read_netlist(const std::string& path) {
+  if (path.size() >= 2 && path.compare(path.size() - 2, 2, ".v") == 0)
+    return cwatpg::net::read_verilog_file(path);
+  return cwatpg::net::read_bench_file(path);
+}
+
+}  // namespace cwatpg_examples
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+
+  const net::Network design = argc > 1 ? cwatpg_examples::read_netlist(argv[1])
+                                       : gen::carry_select_adder(24, 6);
+  const net::Network circuit = net::decompose(design);
+  const std::size_t n = circuit.node_count();
+  std::cout << "circuit: " << circuit.name() << " — " << n << " nodes, "
+            << circuit.inputs().size() << " PIs, "
+            << circuit.outputs().size() << " POs, k_fo = "
+            << circuit.max_fanout() << "\n\n";
+
+  // ---- topology analysis ----------------------------------------------------
+  const core::MlaResult whole = core::mla(circuit);
+  const core::MultiOutputWidth cones = core::mla_multi_output(circuit);
+  const double logn = std::log2(static_cast<double>(n));
+
+  Table topo({"quantity", "value"});
+  topo.add_row({"whole-circuit cut-width (MLA)", cell(whole.width)});
+  topo.add_row({"W(C,H) over output cones (Eq 4.4)", cell(cones.width)});
+  topo.add_row({"largest cone n_max", cell(cones.max_cone_size)});
+  topo.add_row({"log2(n)", cell(logn, 1)});
+  topo.add_row({"W / log2(n)", cell(cones.width / logn, 2)});
+  topo.add_row({"Eq 4.5 log2 runtime bound",
+                cell(core::eq45_log2_bound(circuit.outputs().size(),
+                                           cones.max_cone_size,
+                                           circuit.max_fanout(), cones.width),
+                     1)});
+  topo.print(std::cout);
+
+  const bool looks_log_bounded = cones.width <= 4.0 * logn;
+  std::cout << "\nclassification: "
+            << (looks_log_bounded
+                    ? "log-bounded-width regime — ATPG predicted EASY "
+                      "(polynomial, Lemma 5.1)"
+                    : "cut-width large relative to log n — ATPG may be hard")
+            << "\n\n";
+
+  // ---- empirical confirmation ------------------------------------------------
+  fault::AtpgOptions options;
+  options.random_blocks = 0;
+  options.drop_by_simulation = false;  // one SAT instance per fault
+  const fault::AtpgResult result = fault::run_atpg(circuit, options);
+
+  std::vector<double> conflicts;
+  for (const auto& o : result.outcomes)
+    if (o.sat_vars > 0)
+      conflicts.push_back(static_cast<double>(o.solver_stats.conflicts));
+  const Summary s = summarize(conflicts);
+
+  Table emp({"empirical ATPG", "value"});
+  emp.add_row({"faults targeted", cell(conflicts.size())});
+  emp.add_row({"fault efficiency %",
+               cell(result.fault_efficiency() * 100, 2)});
+  emp.add_row({"median solver conflicts", cell(s.median, 0)});
+  emp.add_row({"p99 solver conflicts", cell(s.p99, 0)});
+  emp.add_row({"max solver conflicts", cell(s.max, 0)});
+  emp.print(std::cout);
+
+  std::cout << "\nreading: small cut-width => small search trees; the "
+               "conflict counts above are the practical face of Theorem "
+               "4.1's 2^(2 k_fo W) bound.\n";
+  return 0;
+}

@@ -1,0 +1,277 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cwatpg::bdd {
+namespace {
+
+constexpr std::uint64_t key3(std::uint32_t a, std::uint32_t b,
+                             std::uint32_t c) {
+  std::uint64_t h = a;
+  h = h * 0x9e3779b97f4a7c15ULL + b;
+  h = h * 0x9e3779b97f4a7c15ULL + c;
+  return h;
+}
+
+}  // namespace
+
+Manager::Manager(std::uint32_t num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  // Terminals live at level num_vars_ (below every variable).
+  nodes_.push_back({num_vars_, kFalse, kFalse});  // 0
+  nodes_.push_back({num_vars_, kTrue, kTrue});    // 1
+}
+
+Ref Manager::make_node(std::uint32_t level, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  const std::uint64_t key = key3(level, lo, hi);
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) {
+    const Node& n = nodes_[it->second];
+    if (n.level == level && n.lo == lo && n.hi == hi) return it->second;
+    // 64-bit key collision: extremely unlikely; fall through to linear
+    // probing with salted keys.
+    std::uint64_t salted = key;
+    for (;;) {
+      salted = salted * 0x2545f4914f6cdd1dULL + 1;
+      const auto it2 = unique_.find(salted);
+      if (it2 == unique_.end()) {
+        break;
+      }
+      const Node& n2 = nodes_[it2->second];
+      if (n2.level == level && n2.lo == lo && n2.hi == hi)
+        return it2->second;
+    }
+    if (nodes_.size() >= node_limit_) throw NodeLimitExceeded();
+    const Ref ref = static_cast<Ref>(nodes_.size());
+    nodes_.push_back({level, lo, hi});
+    unique_.emplace(salted, ref);
+    return ref;
+  }
+  if (nodes_.size() >= node_limit_) throw NodeLimitExceeded();
+  const Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({level, lo, hi});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+Ref Manager::var(std::uint32_t v) {
+  if (v >= num_vars_)
+    throw std::invalid_argument("bdd: variable out of range");
+  return make_node(v, kFalse, kTrue);
+}
+
+Ref Manager::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+
+  const std::uint64_t key = key3(f, g, h) ^ 0xa5a5a5a5a5a5a5a5ULL;
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const std::uint32_t top = std::min(
+      {level_of(f), level_of(g), level_of(h)});
+  auto cofactor = [&](Ref r, bool which) {
+    if (level_of(r) != top) return r;
+    return which ? nodes_[r].hi : nodes_[r].lo;
+  };
+  const Ref lo = ite(cofactor(f, false), cofactor(g, false),
+                     cofactor(h, false));
+  const Ref hi = ite(cofactor(f, true), cofactor(g, true),
+                     cofactor(h, true));
+  const Ref result = make_node(top, lo, hi);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+std::size_t Manager::size(Ref f) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<Ref> stack{f};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (seen[r]) continue;
+    seen[r] = true;
+    ++count;
+    if (nodes_[r].level < num_vars_) {
+      stack.push_back(nodes_[r].lo);
+      stack.push_back(nodes_[r].hi);
+    }
+  }
+  return count;
+}
+
+bool Manager::eval(Ref f, std::span<const bool> assignment) const {
+  if (assignment.size() < num_vars_)
+    throw std::invalid_argument("bdd::eval: assignment too short");
+  while (nodes_[f].level < num_vars_)
+    f = assignment[nodes_[f].level] ? nodes_[f].hi : nodes_[f].lo;
+  return f == kTrue;
+}
+
+double Manager::sat_count(Ref f) const {
+  std::unordered_map<Ref, double> memo;
+  // count(r) = #assignments of variables BELOW r's level satisfying r.
+  // Defined recursively with level-gap scaling.
+  std::vector<Ref> order;  // topological via DFS
+  {
+    std::vector<Ref> stack{f};
+    std::vector<bool> seen(nodes_.size(), false);
+    while (!stack.empty()) {
+      const Ref r = stack.back();
+      stack.pop_back();
+      if (seen[r]) continue;
+      seen[r] = true;
+      order.push_back(r);
+      if (nodes_[r].level < num_vars_) {
+        stack.push_back(nodes_[r].lo);
+        stack.push_back(nodes_[r].hi);
+      }
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](Ref a, Ref b) {
+    return nodes_[a].level > nodes_[b].level;
+  });
+  for (Ref r : order) {
+    if (nodes_[r].level == num_vars_) {
+      memo[r] = r == kTrue ? 1.0 : 0.0;
+      continue;
+    }
+    const Node& n = nodes_[r];
+    auto below = [&](Ref child) {
+      const double gap = static_cast<double>(
+          (nodes_[child].level) - (n.level + 1));
+      return memo.at(child) * std::exp2(gap);
+    };
+    memo[r] = below(n.lo) + below(n.hi);
+  }
+  return memo.at(f) * std::exp2(static_cast<double>(nodes_[f].level));
+}
+
+std::vector<Ref> build_output_bdds(Manager& manager, const net::Network& netw,
+                                   std::span<const std::uint32_t> input_order) {
+  const std::size_t pis = netw.inputs().size();
+  if (manager.num_vars() < pis)
+    throw std::invalid_argument("build_output_bdds: manager too small");
+  std::vector<std::uint32_t> order(pis);
+  if (input_order.empty()) {
+    for (std::size_t i = 0; i < pis; ++i)
+      order[i] = static_cast<std::uint32_t>(i);
+  } else {
+    if (input_order.size() != pis)
+      throw std::invalid_argument("build_output_bdds: order size mismatch");
+    order.assign(input_order.begin(), input_order.end());
+  }
+
+  std::vector<Ref> node_bdd(netw.node_count(), kFalse);
+  for (std::size_t i = 0; i < pis; ++i)
+    node_bdd[netw.inputs()[i]] = manager.var(order[i]);
+
+  for (net::NodeId id = 0; id < netw.node_count(); ++id) {
+    const auto& node = netw.node(id);
+    switch (node.type) {
+      case net::GateType::kInput:
+        break;
+      case net::GateType::kConst0:
+        node_bdd[id] = kFalse;
+        break;
+      case net::GateType::kConst1:
+        node_bdd[id] = kTrue;
+        break;
+      case net::GateType::kOutput:
+      case net::GateType::kBuf:
+        node_bdd[id] = node_bdd[node.fanins[0]];
+        break;
+      case net::GateType::kNot:
+        node_bdd[id] = manager.negate(node_bdd[node.fanins[0]]);
+        break;
+      case net::GateType::kAnd:
+      case net::GateType::kNand:
+      case net::GateType::kOr:
+      case net::GateType::kNor:
+      case net::GateType::kXor:
+      case net::GateType::kXnor: {
+        Ref acc = node_bdd[node.fanins[0]];
+        for (std::size_t k = 1; k < node.fanins.size(); ++k) {
+          const Ref operand = node_bdd[node.fanins[k]];
+          switch (node.type) {
+            case net::GateType::kAnd:
+            case net::GateType::kNand:
+              acc = manager.apply_and(acc, operand);
+              break;
+            case net::GateType::kOr:
+            case net::GateType::kNor:
+              acc = manager.apply_or(acc, operand);
+              break;
+            default:
+              acc = manager.apply_xor(acc, operand);
+              break;
+          }
+        }
+        if (node.type == net::GateType::kNand ||
+            node.type == net::GateType::kNor ||
+            node.type == net::GateType::kXnor)
+          acc = manager.negate(acc);
+        node_bdd[id] = acc;
+        break;
+      }
+    }
+  }
+
+  std::vector<Ref> outputs;
+  outputs.reserve(netw.outputs().size());
+  for (net::NodeId po : netw.outputs()) outputs.push_back(node_bdd[po]);
+  return outputs;
+}
+
+DirectedWidths directed_widths(const net::Network& netw,
+                               std::span<const net::NodeId> order) {
+  if (order.size() != netw.node_count())
+    throw std::invalid_argument("directed_widths: order size mismatch");
+  std::vector<std::uint32_t> pos(netw.node_count());
+  std::vector<bool> seen(netw.node_count(), false);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= netw.node_count() || seen[order[i]])
+      throw std::invalid_argument("directed_widths: not a permutation");
+    seen[order[i]] = true;
+    pos[order[i]] = i;
+  }
+  const std::size_t n = netw.node_count();
+  if (n < 2) return {};
+  // Signal edge driver -> each sink; forward if pos(driver) < pos(sink).
+  std::vector<std::int32_t> fwd(n + 1, 0), rev(n + 1, 0);
+  for (net::NodeId d = 0; d < n; ++d) {
+    for (net::NodeId s : netw.fanouts(d)) {
+      const auto a = std::min(pos[d], pos[s]);
+      const auto b = std::max(pos[d], pos[s]);
+      if (a == b) continue;
+      auto& lane = pos[d] < pos[s] ? fwd : rev;
+      ++lane[a];
+      --lane[b];
+    }
+  }
+  DirectedWidths w;
+  std::int32_t running_f = 0, running_r = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    running_f += fwd[i];
+    running_r += rev[i];
+    w.forward = std::max(w.forward, static_cast<std::uint32_t>(running_f));
+    w.reverse = std::max(w.reverse, static_cast<std::uint32_t>(running_r));
+  }
+  return w;
+}
+
+double mcmillan_log2_bound(std::size_t n, const DirectedWidths& widths) {
+  const double inner =
+      std::min(1e9, std::exp2(static_cast<double>(widths.reverse)));
+  return std::log2(static_cast<double>(std::max<std::size_t>(n, 1))) +
+         static_cast<double>(widths.forward) * inner;
+}
+
+}  // namespace cwatpg::bdd

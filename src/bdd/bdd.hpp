@@ -1,0 +1,102 @@
+// Reduced ordered binary decision diagrams (§6).
+//
+// The paper contrasts its cut-width bound on backtracking trees with the
+// Berman/McMillan circuit-width bounds on BDD sizes: both a BDD and a
+// backtracking tree represent the Boolean space of the function, but the
+// bounds behave differently (single- vs double-exponential in the
+// respective widths). This package is a compact ROBDD implementation —
+// hash-consed unique table, ITE with memoization, circuit composition —
+// sufficient to build output BDDs of mid-size circuits under arbitrary
+// input orders and measure their size against the bounds
+// (bench_bdd_bounds).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::bdd {
+
+/// Node reference with complement edges NOT used (plain ROBDD): 0 and 1
+/// are the terminal nodes.
+using Ref = std::uint32_t;
+inline constexpr Ref kFalse = 0;
+inline constexpr Ref kTrue = 1;
+
+class Manager {
+ public:
+  /// `num_vars` decision variables with fixed order: variable 0 is tested
+  /// first (topmost).
+  explicit Manager(std::uint32_t num_vars, std::size_t node_limit = 5'000'000);
+
+  std::uint32_t num_vars() const { return num_vars_; }
+
+  /// The projection function for variable v.
+  Ref var(std::uint32_t v);
+
+  Ref ite(Ref f, Ref g, Ref h);
+  Ref apply_and(Ref f, Ref g) { return ite(f, g, kFalse); }
+  Ref apply_or(Ref f, Ref g) { return ite(f, kTrue, g); }
+  Ref apply_xor(Ref f, Ref g) { return ite(f, negate(g), g); }
+  Ref negate(Ref f) { return ite(f, kFalse, kTrue); }
+
+  /// Number of distinct nodes reachable from `f`, terminals included.
+  std::size_t size(Ref f) const;
+  /// Total nodes ever created (live table size).
+  std::size_t table_size() const { return nodes_.size(); }
+
+  /// Evaluates under a complete variable assignment.
+  bool eval(Ref f, std::span<const bool> assignment) const;
+
+  /// Number of satisfying assignments over all num_vars variables.
+  double sat_count(Ref f) const;
+
+  /// Thrown by ite when node_limit is exceeded.
+  struct NodeLimitExceeded : std::runtime_error {
+    NodeLimitExceeded() : std::runtime_error("bdd: node limit exceeded") {}
+  };
+
+ private:
+  struct Node {
+    std::uint32_t level;  // variable index; terminals use num_vars_
+    Ref lo, hi;
+  };
+
+  Ref make_node(std::uint32_t level, Ref lo, Ref hi);
+  std::uint32_t level_of(Ref f) const { return nodes_[f].level; }
+
+  std::uint32_t num_vars_;
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, Ref> unique_;
+  std::unordered_map<std::uint64_t, Ref> ite_cache_;
+};
+
+/// Builds the BDDs of every primary output of `net` in one pass.
+/// `input_order[i]` gives the BDD level of net.inputs()[i] (must be a
+/// permutation of 0..#PI-1); an empty span means identity order.
+/// Throws Manager::NodeLimitExceeded when the circuit is too wide for the
+/// limit — exactly the blowup §6's bounds are about.
+std::vector<Ref> build_output_bdds(Manager& manager, const net::Network& net,
+                                   std::span<const std::uint32_t> input_order = {});
+
+/// Directed widths of a circuit under a linear arrangement of its nodes
+/// (Berman / McMillan, §6): for every gap, count signal edges
+/// driver->sink running forward (driver before the gap, sink after) and
+/// reverse. Returns (max forward width w_f, max reverse width w_r).
+struct DirectedWidths {
+  std::uint32_t forward = 0;
+  std::uint32_t reverse = 0;
+};
+DirectedWidths directed_widths(const net::Network& net,
+                               std::span<const net::NodeId> order);
+
+/// log2 of McMillan's BDD size bound n * 2^(w_f * 2^(w_r)) — double
+/// exponential in the reverse width (clamped to 1e9 to stay finite).
+double mcmillan_log2_bound(std::size_t n, const DirectedWidths& widths);
+
+}  // namespace cwatpg::bdd

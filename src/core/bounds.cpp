@@ -1,0 +1,87 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cwatpg::core {
+
+double lemma41_log2_bound(std::size_t k_fo, std::uint32_t cut_size) {
+  return 2.0 * static_cast<double>(k_fo) * static_cast<double>(cut_size);
+}
+
+double theorem41_log2_bound(std::size_t n, std::size_t k_fo,
+                            std::uint32_t width) {
+  return std::log2(static_cast<double>(std::max<std::size_t>(n, 1))) +
+         lemma41_log2_bound(k_fo, width);
+}
+
+double eq45_log2_bound(std::size_t p, std::size_t n_max, std::size_t k_fo,
+                       std::uint32_t width) {
+  return std::log2(static_cast<double>(std::max<std::size_t>(p, 1))) +
+         theorem41_log2_bound(n_max, k_fo, width);
+}
+
+double lemma52_rhs(std::size_t k, std::size_t n) {
+  if (k < 2 || n < 2) return 1.0;
+  return static_cast<double>(k - 1) * std::log2(static_cast<double>(n));
+}
+
+bool is_tree_circuit(const net::Network& netw) {
+  for (net::NodeId id = 0; id < netw.node_count(); ++id)
+    if (netw.fanouts(id).size() > 1) return false;
+  return true;
+}
+
+namespace {
+
+struct SubtreeOrder {
+  std::uint32_t width = 0;
+  std::vector<net::NodeId> order;  // subtree nodes, root last
+};
+
+/// Post-order arrangement: children sorted by decreasing width, each
+/// placed contiguously, root last. While the i-th child block (0-based) is
+/// being traversed, the open nets are its internal cut (<= width_i) plus
+/// the i edges from already-placed earlier children to this root — whence
+/// width(v) = max_i(width_i + i), and <= (k-1)log2(n) for k-ary trees.
+SubtreeOrder arrange_subtree(const net::Network& netw, net::NodeId v) {
+  std::vector<SubtreeOrder> children;
+  for (net::NodeId fi : netw.fanins(v))
+    children.push_back(arrange_subtree(netw, fi));
+  std::sort(children.begin(), children.end(),
+            [](const SubtreeOrder& a, const SubtreeOrder& b) {
+              return a.width > b.width;
+            });
+  SubtreeOrder out;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    out.width = std::max(out.width,
+                         children[i].width + static_cast<std::uint32_t>(i));
+    out.order.insert(out.order.end(), children[i].order.begin(),
+                     children[i].order.end());
+  }
+  // The gap just before the root keeps all child->root nets open.
+  out.width = std::max(out.width, static_cast<std::uint32_t>(children.size()));
+  out.order.push_back(v);
+  return out;
+}
+
+}  // namespace
+
+Ordering tree_ordering(const net::Network& netw) {
+  if (!is_tree_circuit(netw))
+    throw std::invalid_argument("tree_ordering: circuit is not a tree");
+  Ordering order;
+  order.reserve(netw.node_count());
+  // Roots: nodes with no fanout (kOutput markers, or dangling gates).
+  for (net::NodeId id = 0; id < netw.node_count(); ++id) {
+    if (!netw.fanouts(id).empty()) continue;
+    const SubtreeOrder sub = arrange_subtree(netw, id);
+    order.insert(order.end(), sub.order.begin(), sub.order.end());
+  }
+  if (order.size() != netw.node_count())
+    throw std::logic_error("tree_ordering: nodes unaccounted for");
+  return order;
+}
+
+}  // namespace cwatpg::core

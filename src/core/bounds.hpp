@@ -1,0 +1,52 @@
+// Theoretical bound calculators (Lemma 4.1, Theorem 4.1, Eq. 4.5,
+// Lemmas 4.2/4.3/5.2) and the tree-ordering construction behind Lemma 5.2.
+//
+// All bounds are returned in log2 space: the quantities (2^(2*k_fo*W)) are
+// astronomically large for modest widths, and every consumer (benches and
+// property tests) compares measured tree sizes against the bound in log
+// space anyway.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cutwidth.hpp"
+
+namespace cwatpg::core {
+
+/// Lemma 4.1: log2 of the bound on the number of distinct consistent
+/// sub-formulas generated across a cut of size `cut_size`:
+/// F <= 2^(2*k_fo*cut). Returns 2*k_fo*cut.
+double lemma41_log2_bound(std::size_t k_fo, std::uint32_t cut_size);
+
+/// Theorem 4.1: log2 of the running-time bound of Algorithm 1 on
+/// CIRCUIT-SAT(f(C)) under ordering h: O(n * 2^(2*k_fo*W)).
+double theorem41_log2_bound(std::size_t n, std::size_t k_fo,
+                            std::uint32_t width);
+
+/// Equation 4.5 (multi-output): O(p * n_max * 2^(2*k_fo*W(C,H))).
+double eq45_log2_bound(std::size_t p, std::size_t n_max, std::size_t k_fo,
+                       std::uint32_t width);
+
+/// Lemma 4.2 / 4.3 right-hand side: 2*W + 2.
+constexpr std::uint32_t lemma42_rhs(std::uint32_t width) {
+  return 2 * width + 2;
+}
+
+/// Lemma 5.2 right-hand side for a k-ary tree with n vertices:
+/// (k-1) * log2(n).
+double lemma52_rhs(std::size_t k, std::size_t n);
+
+/// True iff the circuit's signal hypergraph is a forest when each
+/// multi-terminal net is viewed as a clique-free star (i.e. every node has
+/// at most one fanout and nets are two-point) — the shape Lemma 5.2 is
+/// stated for.
+bool is_tree_circuit(const net::Network& net);
+
+/// The Lemma 5.2 ordering for a tree circuit: children subtrees of every
+/// node are arranged in decreasing order of their (recursively computed)
+/// arrangement width, each subtree contiguously, the root last. Achieves
+/// W(T,h) <= (k-1)*log2(n) for k-ary trees. Throws std::invalid_argument
+/// if `net` is not a tree circuit.
+Ordering tree_ordering(const net::Network& net);
+
+}  // namespace cwatpg::core

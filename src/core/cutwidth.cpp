@@ -1,0 +1,67 @@
+#include "core/cutwidth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cwatpg::core {
+
+std::vector<std::uint32_t> positions_of(const Ordering& order,
+                                        std::size_t num_vertices) {
+  if (order.size() != num_vertices)
+    throw std::invalid_argument("positions_of: ordering size mismatch");
+  std::vector<std::uint32_t> pos(num_vertices, static_cast<std::uint32_t>(-1));
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    const net::NodeId v = order[i];
+    if (v >= num_vertices || pos[v] != static_cast<std::uint32_t>(-1))
+      throw std::invalid_argument("positions_of: not a permutation");
+    pos[v] = i;
+  }
+  return pos;
+}
+
+std::vector<std::uint32_t> cut_profile(const net::Hypergraph& hg,
+                                       const Ordering& order) {
+  const auto pos = positions_of(order, hg.num_vertices);
+  if (hg.num_vertices < 2) return {};
+  // Edge e spans gaps [min pos, max pos): difference array + prefix sum.
+  std::vector<std::int32_t> delta(hg.num_vertices + 1, 0);
+  for (const auto& e : hg.edges) {
+    std::uint32_t lo = static_cast<std::uint32_t>(-1);
+    std::uint32_t hi = 0;
+    for (net::NodeId v : e) {
+      lo = std::min(lo, pos[v]);
+      hi = std::max(hi, pos[v]);
+    }
+    if (lo < hi) {
+      ++delta[lo];
+      --delta[hi];
+    }
+  }
+  std::vector<std::uint32_t> profile(hg.num_vertices - 1, 0);
+  std::int32_t running = 0;
+  for (std::size_t i = 0; i + 1 < hg.num_vertices; ++i) {
+    running += delta[i];
+    profile[i] = static_cast<std::uint32_t>(running);
+  }
+  return profile;
+}
+
+std::uint32_t cut_width(const net::Hypergraph& hg, const Ordering& order) {
+  const auto profile = cut_profile(hg, order);
+  std::uint32_t w = 0;
+  for (std::uint32_t c : profile) w = std::max(w, c);
+  return w;
+}
+
+std::uint32_t cut_width(const net::Network& netw, const Ordering& order) {
+  return cut_width(net::to_hypergraph(netw), order);
+}
+
+Ordering identity_ordering(std::size_t num_vertices) {
+  Ordering order(num_vertices);
+  for (std::size_t i = 0; i < num_vertices; ++i)
+    order[i] = static_cast<net::NodeId>(i);
+  return order;
+}
+
+}  // namespace cwatpg::core

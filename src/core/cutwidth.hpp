@@ -1,0 +1,53 @@
+// Circuit cut-width (Definition 4.1) and its multi-output extension (§4.3).
+//
+// Given a hypergraph G(V,E) and an ordering h of its vertices, the
+// cut-width W(G,h) is the maximum over gaps i of the number of hyperedges
+// with one endpoint at position <= i and another at position > i. For
+// circuits, G is the signal hypergraph of net::to_hypergraph, so W measures
+// how many nets a sweep through the ordering must "hold open" — the
+// quantity Theorem 4.1 ties to the backtracking-tree size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/hypergraph.hpp"
+#include "netlist/network.hpp"
+
+namespace cwatpg::core {
+
+/// An ordering is a sequence of vertices; position of v = index of v in the
+/// sequence. Must be a permutation of 0..n-1 for the functions below.
+using Ordering = std::vector<net::NodeId>;
+
+/// Inverse of an ordering: position[v] = index of v. Throws
+/// std::invalid_argument if `order` is not a permutation of 0..n-1.
+std::vector<std::uint32_t> positions_of(const Ordering& order,
+                                        std::size_t num_vertices);
+
+/// Cut profile: profile[i] = number of hyperedges crossing the gap between
+/// positions i and i+1 (i in 0..n-2). Empty for n < 2.
+std::vector<std::uint32_t> cut_profile(const net::Hypergraph& hg,
+                                       const Ordering& order);
+
+/// W(G, h): max of the cut profile (0 for trivial graphs).
+std::uint32_t cut_width(const net::Hypergraph& hg, const Ordering& order);
+
+/// Cut-width of a circuit under an ordering of its nodes (builds the signal
+/// hypergraph internally).
+std::uint32_t cut_width(const net::Network& net, const Ordering& order);
+
+/// Identity ordering 0..n-1. For our networks this is a topological order.
+Ordering identity_ordering(std::size_t num_vertices);
+
+/// Multi-output cut-width W(C,H) (Equation 4.4): the max over output cones
+/// C_i of W(C_i, h_i). `orderings[i]` orders the nodes of the i-th cone
+/// (cone node ids, i.e. the SubCircuit id space of net::output_cone).
+/// Exposed pieces: callers usually use core::mla_multi_output instead.
+struct ConeWidth {
+  std::size_t cone_size = 0;      ///< |V_{C_i}|
+  std::uint32_t width = 0;        ///< W(C_i, h_i)
+};
+
+}  // namespace cwatpg::core

@@ -1,0 +1,133 @@
+#include "core/exact_bb.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cwatpg::core {
+
+std::uint32_t cutwidth_lower_bound(const net::Hypergraph& hg) {
+  std::vector<std::uint32_t> degree(hg.num_vertices, 0);
+  for (const auto& e : hg.edges)
+    if (e.size() >= 2)
+      for (net::NodeId v : e) ++degree[v];
+  std::uint32_t max_degree = 0;
+  for (std::uint32_t d : degree) max_degree = std::max(max_degree, d);
+  return (max_degree + 1) / 2;
+}
+
+namespace {
+
+class BbSearch {
+ public:
+  BbSearch(const net::Hypergraph& hg, const ExactBbConfig& config)
+      : hg_(hg), config_(config) {
+    const std::size_t n = hg.num_vertices;
+    incident_.resize(n);
+    edge_size_.reserve(hg.edges.size());
+    for (std::uint32_t e = 0; e < hg.edges.size(); ++e) {
+      if (hg.edges[e].size() < 2) {
+        edge_size_.push_back(0);  // never crosses
+        continue;
+      }
+      edge_size_.push_back(static_cast<std::uint32_t>(hg.edges[e].size()));
+      for (net::NodeId v : hg.edges[e]) incident_[v].push_back(e);
+    }
+    inside_.assign(hg.edges.size(), 0);
+    lower_bound_ = cutwidth_lower_bound(hg);
+  }
+
+  std::optional<ExactBbResult> run() {
+    const std::size_t n = hg_.num_vertices;
+    best_width_ = config_.initial_upper_bound > 0
+                      ? config_.initial_upper_bound
+                      : static_cast<std::uint32_t>(hg_.edges.size() + 1);
+    // A trivial incumbent: identity order.
+    {
+      const Ordering identity = identity_ordering(n);
+      const std::uint32_t w = cut_width(hg_, identity);
+      if (w < best_width_ || best_order_.empty()) {
+        best_width_ = std::min(best_width_, w);
+        best_order_ = identity;
+      }
+    }
+    prefix_.clear();
+    aborted_ = false;
+    dfs(0, 0, 0);
+    if (aborted_) return std::nullopt;
+    ExactBbResult result;
+    result.order = best_order_;
+    result.width = best_width_;
+    result.nodes = nodes_;
+    return result;
+  }
+
+ private:
+  void dfs(std::uint64_t placed, std::uint32_t crossing,
+           std::uint32_t running_max) {
+    if (aborted_) return;
+    if (++nodes_ > config_.max_nodes) {
+      aborted_ = true;
+      return;
+    }
+    const std::size_t n = hg_.num_vertices;
+    if (prefix_.size() == n) {
+      if (running_max < best_width_) {
+        best_width_ = running_max;
+        best_order_ = prefix_;
+      }
+      return;
+    }
+    // Dominance memo: a previous visit of this set with <= running_max
+    // subsumes this branch.
+    const auto it = memo_.find(placed);
+    if (it != memo_.end() && it->second <= running_max) return;
+    memo_[placed] = running_max;
+
+    for (net::NodeId v = 0; v < n; ++v) {
+      if (placed & (1ULL << v)) continue;
+      // Incremental crossing update for placing v next.
+      std::uint32_t delta_plus = 0, delta_minus = 0;
+      for (std::uint32_t e : incident_[v]) {
+        if (inside_[e] == 0) ++delta_plus;  // edge starts crossing
+        if (inside_[e] + 1 == edge_size_[e]) ++delta_minus;  // fully inside
+      }
+      const std::uint32_t new_crossing = crossing + delta_plus - delta_minus;
+      const std::uint32_t new_max = std::max(running_max, new_crossing);
+      if (new_max >= best_width_) continue;  // prune
+      for (std::uint32_t e : incident_[v]) ++inside_[e];
+      prefix_.push_back(v);
+      dfs(placed | (1ULL << v), new_crossing, new_max);
+      prefix_.pop_back();
+      for (std::uint32_t e : incident_[v]) --inside_[e];
+      if (aborted_) return;
+      if (best_width_ <= lower_bound_) return;  // provably optimal
+    }
+  }
+
+  const net::Hypergraph& hg_;
+  const ExactBbConfig& config_;
+  std::vector<std::vector<std::uint32_t>> incident_;
+  std::vector<std::uint32_t> edge_size_;
+  std::vector<std::uint32_t> inside_;
+  std::unordered_map<std::uint64_t, std::uint32_t> memo_;
+  Ordering prefix_;
+  Ordering best_order_;
+  std::uint32_t best_width_ = 0;
+  std::uint32_t lower_bound_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<ExactBbResult> exact_cutwidth_bb(const net::Hypergraph& hg,
+                                               const ExactBbConfig& config) {
+  if (hg.num_vertices > config.max_vertices || hg.num_vertices > 63)
+    throw std::invalid_argument("exact_cutwidth_bb: too many vertices");
+  if (hg.num_vertices == 0) return ExactBbResult{};
+  BbSearch search(hg, config);
+  return search.run();
+}
+
+}  // namespace cwatpg::core

@@ -1,0 +1,48 @@
+// Exact minimum cut-width by branch and bound.
+//
+// The subset DP in mla.hpp is exact but memory-bound at ~22 vertices.
+// This prefix-ordering branch and bound reaches moderately larger graphs
+// (~30+ vertices, topology-dependent) and provides ground truth for
+// auditing the MLA approximation in tests and ablations. Pruning:
+//   * running max-cut >= incumbent  -> cut the branch;
+//   * degree lower bound: ceil(max vertex degree / 2) caps what any
+//     ordering can achieve — used both to stop early when the incumbent
+//     is provably optimal and to prune;
+//   * memoization on (placed-vertex set): the best achievable completion
+//     depends only on the set, so a revisit with a worse running max is
+//     pruned (dominance).
+#pragma once
+
+#include <optional>
+
+#include "core/cutwidth.hpp"
+
+namespace cwatpg::core {
+
+struct ExactBbConfig {
+  /// Hard cap on branch-and-bound nodes; returns nullopt when exceeded.
+  std::uint64_t max_nodes = 20'000'000;
+  /// Vertex-count guard (the memo table is keyed by 64-bit subsets).
+  std::size_t max_vertices = 40;
+  /// Optional starting incumbent (e.g. an MLA result) to prune from the
+  /// first node; 0 means "none".
+  std::uint32_t initial_upper_bound = 0;
+};
+
+struct ExactBbResult {
+  Ordering order;
+  std::uint32_t width = 0;
+  std::uint64_t nodes = 0;  ///< branch-and-bound nodes explored
+};
+
+/// Exact minimum cut-width of `hg`; nullopt when the node budget is
+/// exhausted first. Throws std::invalid_argument above max_vertices.
+std::optional<ExactBbResult> exact_cutwidth_bb(const net::Hypergraph& hg,
+                                               const ExactBbConfig& config = {});
+
+/// Cheap lower bound valid for every ordering: ceil(maxdeg / 2), where
+/// maxdeg counts distinct hyperedges incident to a vertex (every edge at a
+/// vertex crosses one of the two gaps beside it).
+std::uint32_t cutwidth_lower_bound(const net::Hypergraph& hg);
+
+}  // namespace cwatpg::core

@@ -1,0 +1,216 @@
+#include "core/kbounded.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace cwatpg::core {
+namespace {
+
+/// Distinct directed block-DAG edges (a -> b), a != b.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> block_edges(
+    const net::Network& netw, const BlockPartition& part) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (net::NodeId v = 0; v < netw.node_count(); ++v)
+    for (net::NodeId f : netw.fanins(v))
+      if (part.block_of[f] != part.block_of[v])
+        edges.emplace_back(part.block_of[f], part.block_of[v]);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+void check_partition_shape(const net::Network& netw,
+                           const BlockPartition& part) {
+  if (part.block_of.size() != netw.node_count())
+    throw std::invalid_argument("BlockPartition: size mismatch");
+  for (std::uint32_t b : part.block_of)
+    if (b >= part.num_blocks)
+      throw std::invalid_argument("BlockPartition: block id out of range");
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> block_input_counts(const net::Network& netw,
+                                              const BlockPartition& part) {
+  check_partition_shape(netw, part);
+  // Distinct (consumer block, driver net) pairs with the driver outside.
+  std::vector<std::pair<std::uint32_t, net::NodeId>> pairs;
+  for (net::NodeId v = 0; v < netw.node_count(); ++v)
+    for (net::NodeId f : netw.fanins(v))
+      if (part.block_of[f] != part.block_of[v])
+        pairs.emplace_back(part.block_of[v], f);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  std::vector<std::uint32_t> counts(part.num_blocks, 0);
+  for (const auto& [b, f] : pairs) ++counts[b];
+  return counts;
+}
+
+bool block_dag_is_reconvergence_free(const net::Network& netw,
+                                     const BlockPartition& part) {
+  check_partition_shape(netw, part);
+  const auto edges = block_edges(netw, part);
+  std::vector<std::vector<std::uint32_t>> succ(part.num_blocks);
+  std::vector<std::uint32_t> indegree(part.num_blocks, 0);
+  for (const auto& [a, b] : edges) {
+    succ[a].push_back(b);
+    ++indegree[b];
+  }
+  // Topological order (Kahn); a cycle disqualifies the partition outright.
+  std::vector<std::uint32_t> topo;
+  std::queue<std::uint32_t> ready;
+  for (std::uint32_t b = 0; b < part.num_blocks; ++b)
+    if (indegree[b] == 0) ready.push(b);
+  {
+    std::vector<std::uint32_t> remaining = indegree;
+    while (!ready.empty()) {
+      const std::uint32_t b = ready.front();
+      ready.pop();
+      topo.push_back(b);
+      for (std::uint32_t s : succ[b])
+        if (--remaining[s] == 0) ready.push(s);
+    }
+  }
+  if (topo.size() != part.num_blocks) return false;  // cyclic block graph
+
+  // From every source, count paths capped at 2.
+  std::vector<std::uint32_t> paths(part.num_blocks, 0);
+  for (std::uint32_t source = 0; source < part.num_blocks; ++source) {
+    std::fill(paths.begin(), paths.end(), 0u);
+    paths[source] = 1;
+    for (std::uint32_t b : topo) {
+      if (paths[b] == 0) continue;
+      for (std::uint32_t s : succ[b]) {
+        paths[s] = std::min<std::uint32_t>(2, paths[s] + paths[b]);
+        if (s != source && paths[s] > 1) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool is_kbounded(const net::Network& netw, const BlockPartition& part,
+                 std::uint32_t k) {
+  const auto inputs = block_input_counts(netw, part);
+  for (std::uint32_t c : inputs)
+    if (c > k) return false;
+  return block_dag_is_reconvergence_free(netw, part);
+}
+
+std::optional<BlockPartition> find_kbounded_partition(
+    const net::Network& netw, std::uint32_t k, std::size_t max_block_size) {
+  // Maximal fanout-free cones: a node with exactly one fanout joins its
+  // consumer's block. Assign block representatives top-down (decreasing
+  // id), so every node's consumer is already placed.
+  BlockPartition part;
+  part.block_of.assign(netw.node_count(), 0);
+  std::vector<net::NodeId> rep(netw.node_count());
+  for (net::NodeId v = netw.node_count(); v-- > 0;) {
+    const auto fos = netw.fanouts(v);
+    rep[v] = fos.size() == 1 ? rep[fos[0]] : v;
+  }
+  // Renumber representatives densely.
+  std::vector<std::uint32_t> id_of(netw.node_count(),
+                                   static_cast<std::uint32_t>(-1));
+  for (net::NodeId v = 0; v < netw.node_count(); ++v) {
+    const net::NodeId r = rep[v];
+    if (id_of[r] == static_cast<std::uint32_t>(-1))
+      id_of[r] = part.num_blocks++;
+    part.block_of[v] = id_of[r];
+  }
+  std::vector<std::size_t> block_size(part.num_blocks, 0);
+  for (std::uint32_t b : part.block_of) ++block_size[b];
+  for (std::size_t size : block_size)
+    if (size > max_block_size) return std::nullopt;
+  if (!is_kbounded(netw, part, k)) return std::nullopt;
+  return part;
+}
+
+namespace {
+
+struct BlockArrangement {
+  std::uint32_t width_estimate = 0;
+  std::vector<std::uint32_t> blocks;  // subtree blocks, root last
+};
+
+BlockArrangement arrange_block_tree(
+    const std::vector<std::vector<std::uint32_t>>& adjacency,
+    std::uint32_t root, std::uint32_t parent,
+    std::vector<bool>& visited) {
+  visited[root] = true;
+  std::vector<BlockArrangement> children;
+  for (std::uint32_t nb : adjacency[root]) {
+    if (nb == parent) continue;
+    if (visited[nb])
+      throw std::invalid_argument(
+          "kbounded_ordering: block graph is not a forest");
+    children.push_back(arrange_block_tree(adjacency, nb, root, visited));
+  }
+  std::sort(children.begin(), children.end(),
+            [](const BlockArrangement& a, const BlockArrangement& b) {
+              return a.width_estimate > b.width_estimate;
+            });
+  BlockArrangement out;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    out.width_estimate =
+        std::max(out.width_estimate,
+                 children[i].width_estimate + static_cast<std::uint32_t>(i));
+    out.blocks.insert(out.blocks.end(), children[i].blocks.begin(),
+                      children[i].blocks.end());
+  }
+  out.width_estimate = std::max(
+      out.width_estimate, static_cast<std::uint32_t>(children.size()));
+  out.blocks.push_back(root);
+  return out;
+}
+
+}  // namespace
+
+Ordering kbounded_ordering(const net::Network& netw,
+                           const BlockPartition& part, std::uint32_t k) {
+  if (!is_kbounded(netw, part, k))
+    throw std::invalid_argument("kbounded_ordering: partition not k-bounded");
+
+  // Undirected block adjacency (must be a forest).
+  const auto edges = block_edges(netw, part);
+  std::vector<std::vector<std::uint32_t>> adjacency(part.num_blocks);
+  for (const auto& [a, b] : edges) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  for (auto& adj : adjacency) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+
+  // Prefer rooting at sink blocks (no block-DAG successors).
+  std::vector<bool> has_succ(part.num_blocks, false);
+  for (const auto& [a, b] : edges) has_succ[a] = true;
+
+  std::vector<bool> visited(part.num_blocks, false);
+  std::vector<std::uint32_t> block_sequence;
+  auto arrange_component = [&](std::uint32_t root) {
+    const BlockArrangement arr =
+        arrange_block_tree(adjacency, root, static_cast<std::uint32_t>(-1),
+                           visited);
+    block_sequence.insert(block_sequence.end(), arr.blocks.begin(),
+                          arr.blocks.end());
+  };
+  for (std::uint32_t b = 0; b < part.num_blocks; ++b)
+    if (!visited[b] && !has_succ[b]) arrange_component(b);
+  for (std::uint32_t b = 0; b < part.num_blocks; ++b)
+    if (!visited[b]) arrange_component(b);
+
+  // Emit nodes: per block, in topological (id) order.
+  std::vector<std::vector<net::NodeId>> members(part.num_blocks);
+  for (net::NodeId v = 0; v < netw.node_count(); ++v)
+    members[part.block_of[v]].push_back(v);
+  Ordering order;
+  order.reserve(netw.node_count());
+  for (std::uint32_t b : block_sequence)
+    order.insert(order.end(), members[b].begin(), members[b].end());
+  return order;
+}
+
+}  // namespace cwatpg::core

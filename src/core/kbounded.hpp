@@ -1,0 +1,63 @@
+// k-bounded circuits (Fujiwara [10], §3.2) and their connection to
+// log-bounded-width circuits (Theorem 5.1).
+//
+// A circuit is k-bounded if its nodes partition into disjoint blocks such
+// that every block has at most k inputs (nets entering from outside the
+// block) and the block-level DAG has no reconvergent paths (at most one
+// directed path between any two blocks). All reconvergence is then local —
+// confined inside blocks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/cutwidth.hpp"
+
+namespace cwatpg::core {
+
+/// A partition of the circuit's nodes into blocks 0..num_blocks-1.
+struct BlockPartition {
+  std::vector<std::uint32_t> block_of;  // one entry per NodeId
+  std::uint32_t num_blocks = 0;
+};
+
+/// Number of distinct input nets of each block (signals driven outside the
+/// block and consumed inside it).
+std::vector<std::uint32_t> block_input_counts(const net::Network& net,
+                                              const BlockPartition& part);
+
+/// True iff the block-level DAG has at most one directed path between any
+/// pair of blocks (no reconvergent paths). Path counts are capped at 2.
+bool block_dag_is_reconvergence_free(const net::Network& net,
+                                     const BlockPartition& part);
+
+/// Full k-boundedness check of a candidate partition.
+bool is_kbounded(const net::Network& net, const BlockPartition& part,
+                 std::uint32_t k);
+
+/// Heuristic recognizer: partitions the circuit into maximal fanout-free
+/// cones (every single-fanout node merges into its consumer's block) and
+/// returns the partition iff it witnesses k-boundedness with no block
+/// larger than `max_block_size`. The size cap keeps the answer meaningful:
+/// without it the one-block partition of any fanout-free circuit would
+/// "witness" k-boundedness vacuously (zero block inputs). Returns nullopt
+/// when the cone partition violates a condition — the circuit may still be
+/// k-bounded under another partition; recognition in general is hard, and
+/// the classic families ship with constructive witnesses in
+/// gen/kbounded_gen.hpp instead.
+std::optional<BlockPartition> find_kbounded_partition(
+    const net::Network& net, std::uint32_t k,
+    std::size_t max_block_size = 32);
+
+/// Theorem 5.1 ordering construction for a k-bounded circuit whose block
+/// DAG is a forest: blocks are arranged by the Lemma 5.2 tree rule
+/// (subtrees in decreasing width order, root block last), nodes within a
+/// block contiguously in topological order. The resulting cut-width is
+/// O((k + max block size) * log #blocks) — logarithmic in circuit size for
+/// constant-size blocks, witnessing log-bounded width. Throws
+/// std::invalid_argument if the partition is invalid or the block DAG is
+/// not a forest.
+Ordering kbounded_ordering(const net::Network& net,
+                           const BlockPartition& part, std::uint32_t k);
+
+}  // namespace cwatpg::core

@@ -1,0 +1,184 @@
+#include "core/mla.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/cone.hpp"
+
+namespace cwatpg::core {
+namespace {
+
+/// Edge lists are threaded through the recursion already restricted to the
+/// current vertex set (original ids), so each level only touches its own
+/// edges — O(|E| log n) total instead of rescanning the full graph.
+using EdgeList = std::vector<std::vector<net::NodeId>>;
+
+/// Exact subset-DP MLA on a small hypergraph; returns the order only.
+Ordering exact_order(const net::Hypergraph& hg) {
+  const std::size_t n = hg.num_vertices;
+  if (n == 0) return {};
+  if (n > 22) throw std::invalid_argument("exact_mla: too many vertices");
+  const std::size_t full = std::size_t{1} << n;
+
+  // cut(S): number of edges with a vertex inside S and a vertex outside.
+  // Evaluated per subset from per-edge membership masks.
+  std::vector<std::uint32_t> edge_mask(hg.edges.size(), 0);
+  for (std::size_t e = 0; e < hg.edges.size(); ++e)
+    for (net::NodeId v : hg.edges[e])
+      edge_mask[e] |= 1u << v;
+
+  auto cut_of = [&](std::size_t s) {
+    std::uint32_t c = 0;
+    for (std::uint32_t m : edge_mask) {
+      const std::uint32_t inside = m & static_cast<std::uint32_t>(s);
+      if (inside != 0 && inside != m) ++c;
+    }
+    return c;
+  };
+
+  constexpr std::uint32_t kInf = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> dp(full, kInf);
+  std::vector<std::uint8_t> last(full, 0xff);
+  dp[0] = 0;
+  for (std::size_t s = 1; s < full; ++s) {
+    const std::uint32_t cut_s = cut_of(s);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!(s & (std::size_t{1} << v))) continue;
+      const std::uint32_t prev = dp[s ^ (std::size_t{1} << v)];
+      if (prev == kInf) continue;
+      const std::uint32_t cost = std::max(prev, cut_s);
+      if (cost < dp[s]) {
+        dp[s] = cost;
+        last[s] = static_cast<std::uint8_t>(v);
+      }
+    }
+  }
+
+  Ordering order(n);
+  std::size_t s = full - 1;
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint8_t v = last[s];
+    order[i] = static_cast<net::NodeId>(v);
+    s ^= std::size_t{1} << v;
+  }
+  return order;
+}
+
+/// Recursive bisection. `verts` are original ids; `edges` are already
+/// restricted to `verts` (each with >= 2 members). Appends the computed
+/// arrangement of `verts` to `out`. `local_of` is scratch (all -1 between
+/// calls).
+void arrange(std::vector<net::NodeId> verts, EdgeList edges,
+             const MlaConfig& config, std::vector<std::uint32_t>& local_of,
+             Ordering& out) {
+  if (verts.empty()) return;
+  for (std::uint32_t i = 0; i < verts.size(); ++i)
+    local_of[verts[i]] = i;
+  net::Hypergraph sub;
+  sub.num_vertices = verts.size();
+  sub.edges.reserve(edges.size());
+  for (const auto& e : edges) {
+    std::vector<net::NodeId> local;
+    local.reserve(e.size());
+    for (net::NodeId v : e) local.push_back(local_of[v]);
+    sub.edges.push_back(std::move(local));
+  }
+
+  if (verts.size() <= std::max<std::size_t>(config.exact_threshold, 2)) {
+    for (net::NodeId v : verts) local_of[v] = static_cast<std::uint32_t>(-1);
+    const Ordering local = exact_order(sub);
+    for (net::NodeId lv : local) out.push_back(verts[lv]);
+    return;
+  }
+
+  const part::Bisection cut = part::multilevel_bisect(sub, config.partition);
+  std::vector<net::NodeId> left, right;
+  left.reserve(verts.size() / 2 + 1);
+  right.reserve(verts.size() / 2 + 1);
+  for (std::uint32_t i = 0; i < verts.size(); ++i)
+    (cut.side[i] ? right : left).push_back(verts[i]);
+  if (left.empty() || right.empty()) {
+    // Partitioner degenerated (tiny/irregular graph): fall back to halving.
+    left.assign(verts.begin(),
+                verts.begin() + static_cast<std::ptrdiff_t>(verts.size() / 2));
+    right.assign(verts.begin() + static_cast<std::ptrdiff_t>(verts.size() / 2),
+                 verts.end());
+    for (std::uint32_t i = 0; i < verts.size(); ++i)
+      local_of[verts[i]] = i < verts.size() / 2 ? 0u : 1u;
+  } else {
+    for (std::uint32_t i = 0; i < verts.size(); ++i)
+      local_of[verts[i]] = cut.side[i];
+  }
+
+  // Split edges by side; parts of size < 2 vanish.
+  EdgeList left_edges, right_edges;
+  std::vector<net::NodeId> part0, part1;
+  for (auto& e : edges) {
+    part0.clear();
+    part1.clear();
+    for (net::NodeId v : e) (local_of[v] ? part1 : part0).push_back(v);
+    if (part0.size() >= 2) left_edges.push_back(part0);
+    if (part1.size() >= 2) right_edges.push_back(part1);
+  }
+  edges.clear();
+  edges.shrink_to_fit();
+  for (net::NodeId v : verts) local_of[v] = static_cast<std::uint32_t>(-1);
+
+  arrange(std::move(left), std::move(left_edges), config, local_of, out);
+  arrange(std::move(right), std::move(right_edges), config, local_of, out);
+}
+
+}  // namespace
+
+MlaResult mla(const net::Hypergraph& hg, const MlaConfig& config) {
+  if (config.exact_threshold > 16)
+    throw std::invalid_argument("mla: exact_threshold too large");
+  MlaResult result;
+  std::vector<net::NodeId> verts(hg.num_vertices);
+  for (std::size_t i = 0; i < verts.size(); ++i)
+    verts[i] = static_cast<net::NodeId>(i);
+  EdgeList edges;
+  edges.reserve(hg.edges.size());
+  for (const auto& e : hg.edges)
+    if (e.size() >= 2) edges.push_back(e);
+  std::vector<std::uint32_t> local_of(hg.num_vertices,
+                                      static_cast<std::uint32_t>(-1));
+  result.order.reserve(hg.num_vertices);
+  arrange(std::move(verts), std::move(edges), config, local_of, result.order);
+  if (config.refine_passes > 0 && hg.num_vertices >= 2) {
+    RefineConfig refine_cfg;
+    refine_cfg.max_passes = config.refine_passes;
+    result.order =
+        refine_ordering(hg, std::move(result.order), refine_cfg).order;
+  }
+  result.width = cut_width(hg, result.order);
+  return result;
+}
+
+MlaResult mla(const net::Network& netw, const MlaConfig& config) {
+  return mla(net::to_hypergraph(netw), config);
+}
+
+MlaResult exact_mla(const net::Hypergraph& hg) {
+  MlaResult result;
+  result.order = exact_order(hg);
+  result.width = cut_width(hg, result.order);
+  return result;
+}
+
+MultiOutputWidth mla_multi_output(const net::Network& netw,
+                                  const MlaConfig& config) {
+  MultiOutputWidth result;
+  for (net::NodeId po : netw.outputs()) {
+    const net::SubCircuit cone = net::output_cone(netw, po);
+    const MlaResult cone_mla = mla(cone.circuit, config);
+    result.width = std::max(result.width, cone_mla.width);
+    result.max_cone_size =
+        std::max(result.max_cone_size, cone.circuit.node_count());
+    result.cones.push_back(
+        ConeWidth{cone.circuit.node_count(), cone_mla.width});
+  }
+  return result;
+}
+
+}  // namespace cwatpg::core

@@ -1,0 +1,58 @@
+// Min-cut linear arrangement (MLA) approximation (§5.2.1).
+//
+// The minimum cut-width of a circuit is the max-cut value under an optimal
+// MLA — an NP-complete problem — so, exactly like the paper, we approximate:
+// "a placement based on recursive mincut bipartitioning, until the
+// partitions are sufficiently small, and then ... an exact MLA for each of
+// these partitions." Bipartitioning is our multilevel FM (src/partition,
+// the hMETIS stand-in); leaves of at most `exact_threshold` vertices are
+// ordered optimally by a subset DP:
+//     dp[S] = min over v in S of max(dp[S \ v], cut(S)),
+// where cut(S) counts induced edges spanning S and its complement.
+#pragma once
+
+#include "core/cutwidth.hpp"
+#include "core/refine.hpp"
+#include "partition/multilevel.hpp"
+
+namespace cwatpg::core {
+
+struct MlaConfig {
+  /// Leaf size at which recursion switches to the exact subset DP
+  /// (2..16; the DP is O(2^k * k * |E|)).
+  std::size_t exact_threshold = 10;
+  part::MultilevelConfig partition;
+  /// Adjacent-swap post-refinement sweeps (0 disables). Monotone: can only
+  /// tighten the width estimate.
+  std::size_t refine_passes = 4;
+};
+
+struct MlaResult {
+  Ordering order;        ///< permutation of the graph's vertices
+  std::uint32_t width = 0;  ///< W(G, order)
+};
+
+/// Approximates a minimum cut-width ordering of `hg`.
+MlaResult mla(const net::Hypergraph& hg, const MlaConfig& config = {});
+
+/// Convenience: MLA over a circuit's signal hypergraph. This is the
+/// "approximate cut-width of the circuit" measurement used for every
+/// Figure 8 data point.
+MlaResult mla(const net::Network& net, const MlaConfig& config = {});
+
+/// Exact minimum cut-width by subset DP — exponential, for graphs of at
+/// most ~20 vertices. Used by tests to gauge the approximation and by the
+/// leaf solver. Throws std::invalid_argument above `max_vertices` = 22.
+MlaResult exact_mla(const net::Hypergraph& hg);
+
+/// Multi-output circuit cut-width W(C,H) per Equation 4.4: MLA is run on
+/// each primary-output cone independently and the maximum width returned.
+struct MultiOutputWidth {
+  std::uint32_t width = 0;              ///< W(C,H) = max over cones
+  std::size_t max_cone_size = 0;        ///< n_max of Equation 4.5
+  std::vector<ConeWidth> cones;         ///< per-cone (size, width)
+};
+MultiOutputWidth mla_multi_output(const net::Network& net,
+                                  const MlaConfig& config = {});
+
+}  // namespace cwatpg::core

@@ -1,0 +1,67 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+
+namespace cwatpg::core {
+
+RefineResult refine_ordering(const net::Hypergraph& hg, Ordering order,
+                             const RefineConfig& config) {
+  RefineResult result;
+  result.width_before = cut_width(hg, order);
+
+  const std::size_t n = hg.num_vertices;
+  auto pos = positions_of(order, n);
+
+  // Incidence lists.
+  std::vector<std::vector<std::uint32_t>> incident(n);
+  for (std::uint32_t e = 0; e < hg.edges.size(); ++e)
+    for (net::NodeId v : hg.edges[e]) incident[v].push_back(e);
+
+  // Does edge e cross gap g under the current positions?
+  auto crosses = [&](std::uint32_t e, std::size_t gap) {
+    std::uint32_t lo = static_cast<std::uint32_t>(-1), hi = 0;
+    for (net::NodeId v : hg.edges[e]) {
+      lo = std::min(lo, pos[v]);
+      hi = std::max(hi, pos[v]);
+    }
+    return lo <= gap && gap < hi;
+  };
+
+  for (std::size_t pass = 0; pass < config.max_passes && n >= 2; ++pass) {
+    bool improved = false;
+    for (std::size_t gap = 0; gap + 1 < n; ++gap) {
+      const net::NodeId u = order[gap];
+      const net::NodeId w = order[gap + 1];
+      // Candidate edges: those incident to u or w (all others see the same
+      // bipartition of vertices around this gap either way).
+      std::vector<std::uint32_t> edges;
+      edges.insert(edges.end(), incident[u].begin(), incident[u].end());
+      edges.insert(edges.end(), incident[w].begin(), incident[w].end());
+      std::sort(edges.begin(), edges.end());
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+      std::int32_t before = 0;
+      for (std::uint32_t e : edges)
+        if (crosses(e, gap)) ++before;
+      // Trial swap.
+      std::swap(pos[u], pos[w]);
+      std::int32_t after = 0;
+      for (std::uint32_t e : edges)
+        if (crosses(e, gap)) ++after;
+      if (after < before) {
+        std::swap(order[gap], order[gap + 1]);
+        ++result.swaps_accepted;
+        improved = true;
+      } else {
+        std::swap(pos[u], pos[w]);  // revert
+      }
+    }
+    if (!improved) break;
+  }
+
+  result.width_after = cut_width(hg, order);
+  result.order = std::move(order);
+  return result;
+}
+
+}  // namespace cwatpg::core

@@ -1,0 +1,62 @@
+// Construction of the ATPG-SAT circuit C_psi^ATPG (§2, Figure 3) and the
+// Lemma 4.2 / 4.3 ordering transfer h -> h_psi.
+//
+// C_psi^ATPG is built from:
+//   * C_psi^sub — the good subcircuit: TFI(TFO(fault site));
+//   * C_psi^fo  — a faulty copy of the fanout cone of the site, with the
+//     faulted net replaced by the stuck value, side inputs tapping the good
+//     subcircuit;
+//   * one XOR per observed primary output, pairing the good and faulty
+//     versions; the XOR outputs are the primary outputs of C_psi^ATPG.
+// CIRCUIT-SAT on the result (encode_circuit_sat: "at least one output is 1")
+// is satisfied exactly by the test vectors for the fault.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/cone.hpp"
+#include "netlist/network.hpp"
+
+namespace cwatpg::fault {
+
+struct AtpgCircuit {
+  net::Network miter;  ///< C_psi^ATPG
+  /// Original NodeId -> good-copy id in `miter` (kNullNode if absent).
+  std::vector<net::NodeId> good_of;
+  /// Original NodeId -> faulty-copy id in `miter` (kNullNode if absent;
+  /// only fanout-cone nodes have faulty copies). For a stem fault the
+  /// faulty copy of the site is the constant node.
+  std::vector<net::NodeId> faulty_of;
+  /// Original NodeId -> XOR comparison node (kNullNode except for observed
+  /// kOutput markers of the original network).
+  std::vector<net::NodeId> xor_of;
+  /// Original PIs feeding the miter (subset of net.inputs(), in order).
+  std::vector<net::NodeId> support;
+  /// Good-circuit id of the faulted net's driver inside the miter —
+  /// asserting it to ~stuck_value is the excitation condition.
+  net::NodeId good_fault_net = net::kNullNode;
+  /// The constant node carrying the stuck value (equals faulty_of[site]
+  /// for stem faults).
+  net::NodeId fault_const_node = net::kNullNode;
+
+  const StuckAtFault fault;
+  explicit AtpgCircuit(StuckAtFault f) : fault(f) {}
+};
+
+/// Builds C_psi^ATPG. Throws std::invalid_argument when the fault site
+/// reaches no primary output (trivially untestable, as in net::fault_cone).
+AtpgCircuit build_atpg_circuit(const net::Network& net,
+                               const StuckAtFault& fault);
+
+/// Lemma 4.2/4.3 ordering transfer: given an ordering `h` of the nodes of
+/// the original network C, produce the interleaved ordering h_psi of the
+/// miter's nodes — each faulty copy immediately after its good counterpart,
+/// XORs and output markers in the slots of the original kOutput nodes. The
+/// lemma guarantees W(C_psi^ATPG, h_psi) <= 2*W(C, h) + 2 (property-tested
+/// across circuit families in the test suite).
+std::vector<net::NodeId> transfer_ordering(
+    const net::Network& net, const AtpgCircuit& atpg,
+    const std::vector<net::NodeId>& h);
+
+}  // namespace cwatpg::fault

@@ -1,0 +1,57 @@
+#include "fault/compact.hpp"
+
+#include <algorithm>
+
+namespace cwatpg::fault {
+
+CompactionResult compact_tests(const net::Network& netw,
+                               std::span<const StuckAtFault> faults,
+                               std::span<const Pattern> tests) {
+  CompactionResult result;
+  const std::vector<bool> baseline = fault_simulate(netw, faults, tests);
+  result.detected_before = static_cast<std::size_t>(
+      std::count(baseline.begin(), baseline.end(), true));
+
+  // Reverse order: late patterns tend to be the deliberately-targeted
+  // (hard) ones; keeping them first lets them absorb the easy faults that
+  // the early random patterns were kept for.
+  std::vector<bool> covered(faults.size(), false);
+  std::vector<StuckAtFault> remaining;
+  std::vector<std::size_t> remaining_index;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (baseline[i]) {
+      remaining.push_back(faults[i]);
+      remaining_index.push_back(i);
+    }
+  }
+
+  for (std::size_t k = tests.size(); k-- > 0 && !remaining.empty();) {
+    const Pattern& candidate = tests[k];
+    const Pattern one[] = {candidate};
+    const std::vector<bool> hit = fault_simulate(netw, remaining, one);
+    bool useful = false;
+    std::vector<StuckAtFault> next;
+    std::vector<std::size_t> next_index;
+    for (std::size_t j = 0; j < remaining.size(); ++j) {
+      if (hit[j]) {
+        useful = true;
+      } else {
+        next.push_back(remaining[j]);
+        next_index.push_back(remaining_index[j]);
+      }
+    }
+    if (useful) {
+      result.tests.push_back(candidate);
+      remaining = std::move(next);
+      remaining_index = std::move(next_index);
+    }
+  }
+
+  const std::vector<bool> after =
+      fault_simulate(netw, faults, result.tests);
+  result.detected_after = static_cast<std::size_t>(
+      std::count(after.begin(), after.end(), true));
+  return result;
+}
+
+}  // namespace cwatpg::fault

@@ -1,0 +1,28 @@
+// Static test-set compaction.
+//
+// ATPG flows emit more patterns than necessary (random phase + one test
+// per targeted fault). Classic static compaction — reverse-order fault
+// simulation with fault dropping — keeps a pattern only if it detects some
+// fault not covered by the patterns kept so far. Coverage is preserved
+// exactly; pattern counts typically shrink severalfold, which matters
+// because tester time is proportional to pattern count.
+#pragma once
+
+#include "fault/fsim.hpp"
+
+namespace cwatpg::fault {
+
+struct CompactionResult {
+  std::vector<Pattern> tests;      ///< the kept patterns (reverse order)
+  std::size_t detected_before = 0;  ///< faults detected by the input set
+  std::size_t detected_after = 0;   ///< faults detected by the kept set
+};
+
+/// Reverse-order compaction of `tests` against `faults`. The returned set
+/// detects exactly the same subset of `faults` (detected_after ==
+/// detected_before by construction; both reported for auditability).
+CompactionResult compact_tests(const net::Network& net,
+                               std::span<const StuckAtFault> faults,
+                               std::span<const Pattern> tests);
+
+}  // namespace cwatpg::fault

@@ -1,0 +1,70 @@
+#include "fault/dictionary.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <stdexcept>
+
+namespace cwatpg::fault {
+
+FaultDictionary::FaultDictionary(const net::Network& netw,
+                                 std::vector<StuckAtFault> faults,
+                                 std::vector<Pattern> tests)
+    : faults_(std::move(faults)), tests_(std::move(tests)) {
+  matrix_ = detection_matrix(netw, faults_, tests_);
+}
+
+bool FaultDictionary::detects(std::size_t f, std::size_t t) const {
+  if (f >= faults_.size() || t >= tests_.size())
+    throw std::out_of_range("FaultDictionary::detects");
+  return (matrix_[f][t / 64] >> (t % 64)) & 1;
+}
+
+std::vector<bool> FaultDictionary::signature_of(std::size_t f) const {
+  std::vector<bool> signature(tests_.size());
+  for (std::size_t t = 0; t < tests_.size(); ++t)
+    signature[t] = detects(f, t);
+  return signature;
+}
+
+std::vector<std::vector<std::size_t>>
+FaultDictionary::indistinguishable_classes() const {
+  std::map<std::vector<std::uint64_t>, std::vector<std::size_t>> by_signature;
+  for (std::size_t f = 0; f < faults_.size(); ++f)
+    by_signature[matrix_[f]].push_back(f);
+  std::vector<std::vector<std::size_t>> classes;
+  classes.reserve(by_signature.size());
+  for (auto& [signature, members] : by_signature)
+    classes.push_back(std::move(members));
+  return classes;
+}
+
+std::vector<FaultDictionary::Candidate> FaultDictionary::diagnose(
+    const std::vector<bool>& observed_failures,
+    std::size_t max_candidates) const {
+  if (observed_failures.size() != tests_.size())
+    throw std::invalid_argument("diagnose: signature width mismatch");
+  const std::size_t words = (tests_.size() + 63) / 64;
+  std::vector<std::uint64_t> observed(words, 0);
+  for (std::size_t t = 0; t < tests_.size(); ++t)
+    if (observed_failures[t]) observed[t / 64] |= 1ULL << (t % 64);
+
+  std::vector<Candidate> ranked;
+  ranked.reserve(faults_.size());
+  for (std::size_t f = 0; f < faults_.size(); ++f) {
+    std::size_t distance = 0;
+    for (std::size_t w = 0; w < words; ++w)
+      distance += static_cast<std::size_t>(
+          std::popcount(matrix_[f][w] ^ observed[w]));
+    ranked.push_back({f, distance});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.fault_index < b.fault_index;
+            });
+  if (ranked.size() > max_candidates) ranked.resize(max_candidates);
+  return ranked;
+}
+
+}  // namespace cwatpg::fault

@@ -1,0 +1,62 @@
+// Fault dictionaries and pass/fail diagnosis.
+//
+// A fault dictionary precomputes, for every (fault, test) pair, whether
+// the test detects the fault. With it, a tester's observed pass/fail
+// signature can be matched back to candidate defects — the classical
+// downstream consumer of the ATPG flow (and a second, demanding client of
+// the fault simulator). Candidates are ranked by Hamming distance between
+// the observed signature and each fault's dictionary column, so the exact
+// defect scores 0 and near-misses (e.g. the other value on the same net)
+// rank next.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fsim.hpp"
+
+namespace cwatpg::fault {
+
+class FaultDictionary {
+ public:
+  /// Builds the dictionary by full-matrix fault simulation.
+  FaultDictionary(const net::Network& net,
+                  std::vector<StuckAtFault> faults,
+                  std::vector<Pattern> tests);
+
+  std::size_t num_faults() const { return faults_.size(); }
+  std::size_t num_tests() const { return tests_.size(); }
+  const std::vector<StuckAtFault>& faults() const { return faults_; }
+  const std::vector<Pattern>& tests() const { return tests_; }
+
+  /// Does tests()[t] detect faults()[f]?
+  bool detects(std::size_t f, std::size_t t) const;
+
+  /// The pass/fail signature a device containing faults()[f] would show.
+  std::vector<bool> signature_of(std::size_t f) const;
+
+  /// Faults a test set cannot tell apart (identical signatures) form
+  /// equivalence classes; returns one class per signature, each a list of
+  /// fault indices (singletons included).
+  std::vector<std::vector<std::size_t>> indistinguishable_classes() const;
+
+  /// Diagnosis candidate: fault index + Hamming distance to the observed
+  /// signature.
+  struct Candidate {
+    std::size_t fault_index;
+    std::size_t distance;
+  };
+
+  /// Ranks all faults by signature distance to `observed_failures`
+  /// (observed_failures[t] == true iff the device failed tests()[t]).
+  /// Ties are broken by fault index for determinism.
+  std::vector<Candidate> diagnose(const std::vector<bool>& observed_failures,
+                                  std::size_t max_candidates = 10) const;
+
+ private:
+  std::vector<StuckAtFault> faults_;
+  std::vector<Pattern> tests_;
+  std::vector<std::vector<std::uint64_t>> matrix_;  // [fault][test word]
+};
+
+}  // namespace cwatpg::fault

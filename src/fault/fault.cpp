@@ -1,0 +1,149 @@
+#include "fault/fault.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace cwatpg::fault {
+namespace {
+
+std::uint64_t key_of(const StuckAtFault& f) {
+  return (static_cast<std::uint64_t>(f.node) << 33) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(f.pin + 1))
+          << 1) |
+         (f.stuck_value ? 1u : 0u);
+}
+
+/// Union-find with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Keep the smaller index as the root so representatives are the
+    // earliest fault in list order (deterministic output).
+    if (a < b)
+      parent_[b] = a;
+    else
+      parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::string to_string(const net::Network& netw, const StuckAtFault& fault) {
+  std::string s = netw.name_of(fault.node);
+  if (!fault.is_stem()) s += ".in" + std::to_string(fault.pin);
+  s += fault.stuck_value ? " s-a-1" : " s-a-0";
+  return s;
+}
+
+net::NodeId fault_cone_root(const StuckAtFault& fault) { return fault.node; }
+
+std::vector<StuckAtFault> all_faults(const net::Network& netw) {
+  std::vector<StuckAtFault> faults;
+  for (net::NodeId id = 0; id < netw.node_count(); ++id) {
+    const net::GateType t = netw.type(id);
+    if (t != net::GateType::kOutput && !netw.fanouts(id).empty()) {
+      faults.push_back({id, StuckAtFault::kStem, false});
+      faults.push_back({id, StuckAtFault::kStem, true});
+    }
+    if (t == net::GateType::kOutput || net::is_logic(t)) {
+      const auto fis = netw.fanins(id);
+      for (std::int32_t p = 0; p < static_cast<std::int32_t>(fis.size());
+           ++p) {
+        // Single-fanout branches are identical to their stems; skip.
+        if (netw.fanouts(fis[static_cast<std::size_t>(p)]).size() <= 1)
+          continue;
+        faults.push_back({id, p, false});
+        faults.push_back({id, p, true});
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<StuckAtFault> collapse(const net::Network& netw,
+                                   const std::vector<StuckAtFault>& faults) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(faults.size() * 2);
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    index.emplace(key_of(faults[i]), i);
+  UnionFind uf(faults.size());
+
+  auto lookup = [&](const StuckAtFault& f) -> std::size_t {
+    const auto it = index.find(key_of(f));
+    return it == index.end() ? static_cast<std::size_t>(-1) : it->second;
+  };
+  auto unite = [&](const StuckAtFault& a, const StuckAtFault& b) {
+    const std::size_t ia = lookup(a);
+    const std::size_t ib = lookup(b);
+    if (ia != static_cast<std::size_t>(-1) &&
+        ib != static_cast<std::size_t>(-1))
+      uf.unite(ia, ib);
+  };
+  // The fault object actually present on input pin p of gate g with value v:
+  // the branch when the driver has fanout > 1, else the driver's stem.
+  auto input_fault = [&](net::NodeId g, std::int32_t p,
+                         bool v) -> StuckAtFault {
+    const net::NodeId driver = netw.fanins(g)[static_cast<std::size_t>(p)];
+    if (netw.fanouts(driver).size() > 1) return {g, p, v};
+    return {driver, StuckAtFault::kStem, v};
+  };
+
+  for (net::NodeId g = 0; g < netw.node_count(); ++g) {
+    const net::GateType t = netw.type(g);
+    if (!net::is_logic(t)) continue;
+    const auto arity = static_cast<std::int32_t>(netw.fanins(g).size());
+    for (std::int32_t p = 0; p < arity; ++p) {
+      switch (t) {
+        case net::GateType::kAnd:
+          unite(input_fault(g, p, false), {g, StuckAtFault::kStem, false});
+          break;
+        case net::GateType::kNand:
+          unite(input_fault(g, p, false), {g, StuckAtFault::kStem, true});
+          break;
+        case net::GateType::kOr:
+          unite(input_fault(g, p, true), {g, StuckAtFault::kStem, true});
+          break;
+        case net::GateType::kNor:
+          unite(input_fault(g, p, true), {g, StuckAtFault::kStem, false});
+          break;
+        case net::GateType::kBuf:
+          unite(input_fault(g, p, false), {g, StuckAtFault::kStem, false});
+          unite(input_fault(g, p, true), {g, StuckAtFault::kStem, true});
+          break;
+        case net::GateType::kNot:
+          unite(input_fault(g, p, false), {g, StuckAtFault::kStem, true});
+          unite(input_fault(g, p, true), {g, StuckAtFault::kStem, false});
+          break;
+        default:
+          break;  // XOR/XNOR: no structural equivalences
+      }
+    }
+  }
+
+  std::vector<StuckAtFault> collapsed;
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (uf.find(i) == i) collapsed.push_back(faults[i]);
+  return collapsed;
+}
+
+std::vector<StuckAtFault> collapsed_fault_list(const net::Network& netw) {
+  return collapse(netw, all_faults(netw));
+}
+
+}  // namespace cwatpg::fault

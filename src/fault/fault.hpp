@@ -1,0 +1,59 @@
+// Single stuck-at fault model (§2), fault-list generation, and classical
+// structural equivalence collapsing.
+//
+// A fault psi(X, B) forces net X permanently to B. Nets here are identified
+// with their driving node; a *stem* fault sits on the driver's output, a
+// *branch* fault on one fanout branch (a specific input pin of a consuming
+// gate). Branch faults matter exactly when the stem has fanout > 1 — on a
+// fanout-free net stem and branch are structurally equivalent and collapse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::fault {
+
+struct StuckAtFault {
+  static constexpr std::int32_t kStem = -1;
+
+  net::NodeId node = net::kNullNode;
+  /// kStem: fault on the output net of `node`. Otherwise the index of the
+  /// faulted input pin of `node` (a branch fault).
+  std::int32_t pin = kStem;
+  bool stuck_value = false;
+
+  bool is_stem() const { return pin == kStem; }
+  friend bool operator==(const StuckAtFault&, const StuckAtFault&) = default;
+};
+
+/// "G12 s-a-1" / "G7.in2 s-a-0" rendering.
+std::string to_string(const net::Network& net, const StuckAtFault& fault);
+
+/// The complete (uncollapsed) fault list: stem s-a-0/1 on the output of
+/// every PI, constant and logic gate that has at least one fanout, and
+/// branch s-a-0/1 on every input pin of every logic gate and PO marker
+/// whose driving stem has fanout > 1 (single-fanout branches are identical
+/// to their stems and listed only once, as stems).
+std::vector<StuckAtFault> all_faults(const net::Network& net);
+
+/// Structural equivalence collapsing over `faults` (classic rules):
+///   * fanout-free branch == its stem (already applied by all_faults);
+///   * AND: any input s-a-0 == output s-a-0 (NAND: == output s-a-1);
+///   * OR:  any input s-a-1 == output s-a-1 (NOR: == output s-a-0);
+///   * NOT/BUF/PO marker: input s-a-v == output s-a-(v^inv).
+/// Returns one representative per equivalence class (the earliest in the
+/// input order).
+std::vector<StuckAtFault> collapse(const net::Network& net,
+                                   const std::vector<StuckAtFault>& faults);
+
+/// Convenience: collapse(all_faults(net)).
+std::vector<StuckAtFault> collapsed_fault_list(const net::Network& net);
+
+/// The node whose transitive fanout the fault influences: the faulted gate
+/// for a branch fault, the driver itself for a stem fault.
+net::NodeId fault_cone_root(const StuckAtFault& fault);
+
+}  // namespace cwatpg::fault

@@ -1,0 +1,176 @@
+#include "fault/fsim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/cone.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+/// Re-simulates the transitive fanout of a fault against a good frame.
+/// Returns true when any observed kOutput differs on any of the first
+/// `valid` pattern lanes.
+std::uint64_t resimulate_faulty_lanes(
+    const net::Network& netw, const StuckAtFault& fault,
+    const net::SimFrame& good, std::span<const net::NodeId> tfo_nodes,
+    std::uint64_t lane_mask, std::vector<std::uint64_t>& scratch) {
+  // scratch holds faulty values for TFO nodes; others read from `good`.
+  // TFO nodes are visited in topological order, so every in-TFO fanin is
+  // written before it is read — no clearing needed.
+  scratch.resize(netw.node_count());
+  std::vector<bool> in_tfo(netw.node_count(), false);
+  for (net::NodeId v : tfo_nodes) in_tfo[v] = true;
+  auto value_of = [&](net::NodeId v) {
+    return in_tfo[v] ? scratch[v] : good[v];
+  };
+
+  const std::uint64_t stuck = fault.stuck_value ? ~0ULL : 0ULL;
+  std::uint64_t diff_lanes = 0;
+  std::vector<std::uint64_t> ins;
+  for (net::NodeId v : tfo_nodes) {
+    const auto& node = netw.node(v);
+    std::uint64_t out;
+    if (v == fault.node && fault.is_stem()) {
+      out = stuck;
+    } else {
+      switch (node.type) {
+        case net::GateType::kInput:
+          out = good[v];  // a PI inside the TFO is the (stem-faulted) site
+          break;           // itself; handled above — side PIs are not in TFO
+        case net::GateType::kConst0:
+          out = 0;
+          break;
+        case net::GateType::kConst1:
+          out = ~0ULL;
+          break;
+        case net::GateType::kOutput: {
+          std::uint64_t in = value_of(node.fanins[0]);
+          if (!fault.is_stem() && v == fault.node && fault.pin == 0)
+            in = stuck;
+          out = in;
+          break;
+        }
+        default: {
+          ins.clear();
+          for (std::size_t p = 0; p < node.fanins.size(); ++p) {
+            std::uint64_t in = value_of(node.fanins[p]);
+            if (!fault.is_stem() && v == fault.node &&
+                static_cast<std::int32_t>(p) == fault.pin)
+              in = stuck;
+            ins.push_back(in);
+          }
+          out = net::eval_gate_word(node.type, ins);
+          break;
+        }
+      }
+    }
+    scratch[v] = out;
+    if (node.type == net::GateType::kOutput)
+      diff_lanes |= (out ^ good[v]) & lane_mask;
+  }
+  return diff_lanes;
+}
+
+/// TFO of a fault in topological (id) order.
+std::vector<net::NodeId> tfo_list(const net::Network& netw,
+                                  const StuckAtFault& fault) {
+  const std::vector<bool> mask =
+      net::transitive_fanout(netw, fault_cone_root(fault));
+  std::vector<net::NodeId> nodes;
+  for (net::NodeId v = 0; v < netw.node_count(); ++v)
+    if (mask[v]) nodes.push_back(v);
+  return nodes;
+}
+
+}  // namespace
+
+std::vector<bool> fault_simulate(const net::Network& netw,
+                                 std::span<const StuckAtFault> faults,
+                                 std::span<const Pattern> patterns) {
+  std::vector<bool> detected(faults.size(), false);
+  if (patterns.empty()) return detected;
+  const std::size_t num_pis = netw.inputs().size();
+  for (const Pattern& p : patterns)
+    if (p.size() != num_pis)
+      throw std::invalid_argument("fault_simulate: pattern width mismatch");
+
+  // Cache TFO lists per fault site (s-a-0/s-a-1 share them).
+  std::vector<std::vector<net::NodeId>> tfo_cache(faults.size());
+  std::vector<std::uint64_t> scratch;
+
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t lanes = std::min<std::size_t>(64, patterns.size() - base);
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
+    std::vector<std::uint64_t> pi_words(num_pis, 0);
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+      for (std::size_t i = 0; i < num_pis; ++i)
+        if (patterns[base + lane][i]) pi_words[i] |= 1ULL << lane;
+    const net::SimFrame good = net::simulate64(netw, pi_words);
+
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (detected[fi]) continue;
+      if (tfo_cache[fi].empty())
+        tfo_cache[fi] = tfo_list(netw, faults[fi]);
+      if (resimulate_faulty_lanes(netw, faults[fi], good, tfo_cache[fi],
+                                  lane_mask, scratch) != 0)
+        detected[fi] = true;
+    }
+  }
+  return detected;
+}
+
+bool detects(const net::Network& netw, const StuckAtFault& fault,
+             const Pattern& pattern) {
+  const StuckAtFault faults[] = {fault};
+  const Pattern patterns[] = {pattern};
+  return fault_simulate(netw, faults, patterns)[0];
+}
+
+std::vector<std::vector<std::uint64_t>> detection_matrix(
+    const net::Network& netw, std::span<const StuckAtFault> faults,
+    std::span<const Pattern> patterns) {
+  const std::size_t words = (patterns.size() + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> matrix(
+      faults.size(), std::vector<std::uint64_t>(words, 0));
+  if (patterns.empty()) return matrix;
+  const std::size_t num_pis = netw.inputs().size();
+  for (const Pattern& p : patterns)
+    if (p.size() != num_pis)
+      throw std::invalid_argument("detection_matrix: pattern width mismatch");
+
+  std::vector<std::vector<net::NodeId>> tfo_cache(faults.size());
+  std::vector<std::uint64_t> scratch;
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t word = base / 64;
+    const std::size_t lanes =
+        std::min<std::size_t>(64, patterns.size() - base);
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
+    std::vector<std::uint64_t> pi_words(num_pis, 0);
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+      for (std::size_t i = 0; i < num_pis; ++i)
+        if (patterns[base + lane][i]) pi_words[i] |= 1ULL << lane;
+    const net::SimFrame good = net::simulate64(netw, pi_words);
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (tfo_cache[fi].empty())
+        tfo_cache[fi] = tfo_list(netw, faults[fi]);
+      matrix[fi][word] = resimulate_faulty_lanes(
+          netw, faults[fi], good, tfo_cache[fi], lane_mask, scratch);
+    }
+  }
+  return matrix;
+}
+
+double coverage(const net::Network& netw,
+                std::span<const StuckAtFault> faults,
+                std::span<const Pattern> patterns) {
+  if (faults.empty()) return 1.0;
+  const auto detected = fault_simulate(netw, faults, patterns);
+  const auto n = static_cast<double>(
+      std::count(detected.begin(), detected.end(), true));
+  return n / static_cast<double>(faults.size());
+}
+
+}  // namespace cwatpg::fault

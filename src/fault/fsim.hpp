@@ -1,0 +1,45 @@
+// Parallel-pattern single-fault-propagation fault simulator.
+//
+// Substrate for (a) verifying every test the SAT engine produces and
+// (b) fault dropping in the TEGUS-style ATPG loop: a found test is
+// simulated against all still-undetected faults so their SAT instances are
+// never built. Patterns run 64 at a time; per fault only the transitive
+// fanout of the fault site is re-simulated against the good frame.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "netlist/simulate.hpp"
+
+namespace cwatpg::fault {
+
+/// A test pattern: one value per primary input of the network.
+using Pattern = std::vector<bool>;
+
+/// Simulates `patterns` against every fault in `faults`;
+/// returns detected[i] == true iff some pattern detects faults[i]
+/// (some primary output differs from the good circuit).
+std::vector<bool> fault_simulate(const net::Network& net,
+                                 std::span<const StuckAtFault> faults,
+                                 std::span<const Pattern> patterns);
+
+/// True iff `pattern` detects `fault`.
+bool detects(const net::Network& net, const StuckAtFault& fault,
+             const Pattern& pattern);
+
+/// Fault coverage of a pattern set over a fault list, in [0,1].
+double coverage(const net::Network& net,
+                std::span<const StuckAtFault> faults,
+                std::span<const Pattern> patterns);
+
+/// Full detection matrix: bit (w*64 + b) of matrix[i] is set iff
+/// patterns[w*64 + b] detects faults[i]. matrix[i] has
+/// ceil(patterns.size() / 64) words. The raw material for fault
+/// dictionaries and diagnosis (fault/dictionary.hpp).
+std::vector<std::vector<std::uint64_t>> detection_matrix(
+    const net::Network& net, std::span<const StuckAtFault> faults,
+    std::span<const Pattern> patterns);
+
+}  // namespace cwatpg::fault

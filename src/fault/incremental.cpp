@@ -1,0 +1,176 @@
+#include "fault/incremental.hpp"
+
+#include <stdexcept>
+
+#include "sat/encode.hpp"
+
+namespace cwatpg::fault {
+
+SharedMiter::SharedMiter(const net::Network& netw,
+                         sat::SolverConfig solver_config)
+    : net_(netw) {
+  using net::GateType;
+  using sat::Lit;
+  using sat::Var;
+
+  // Good copy: variable v == NodeId v (encode_constraints' convention).
+  sat::Cnf cnf = sat::encode_constraints(netw);
+  const std::size_t n = netw.node_count();
+  good_.resize(n);
+  for (net::NodeId v = 0; v < n; ++v) good_[v] = static_cast<Var>(v);
+
+  // Enumerate fault sites (stems: any non-kOutput node with fanout) and
+  // give each (site, value) a binary fault id.
+  fault_code_.assign(n, kNoCode);
+  std::uint32_t next_code = 0;
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (netw.type(v) == GateType::kOutput || netw.fanouts(v).empty())
+      continue;
+    fault_code_[v] = next_code;
+    next_code += 2;
+  }
+  std::uint32_t bits = 1;
+  while ((1u << bits) < std::max(next_code, 2u)) ++bits;
+  fid_bits_.clear();
+  for (std::uint32_t b = 0; b < bits; ++b) fid_bits_.push_back(cnf.new_var());
+
+  // The literal asserting that fid bit b matches bit b of `code`.
+  auto bit_lit = [&](std::uint32_t code, std::uint32_t b) {
+    return Lit(fid_bits_[b], ((code >> b) & 1) == 0);
+  };
+
+  // Faulty copy variables.
+  std::vector<Var> faulty(n);
+  for (net::NodeId v = 0; v < n; ++v) faulty[v] = cnf.new_var();
+
+  // Selects defined from the fault id: s ↔ (fid == code).
+  std::vector<Var> select0(n, sat::kNullVar), select1(n, sat::kNullVar);
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (fault_code_[v] == kNoCode) continue;
+    for (int value = 0; value < 2; ++value) {
+      const Var s = cnf.new_var();
+      (value ? select1[v] : select0[v]) = s;
+      const std::uint32_t code = fault_code_[v] + static_cast<std::uint32_t>(value);
+      sat::Clause back{sat::pos(s)};
+      for (std::uint32_t b = 0; b < bits; ++b) {
+        cnf.add_clause({sat::neg(s), bit_lit(code, b)});
+        back.push_back(~bit_lit(code, b));
+      }
+      cnf.add_clause(std::move(back));
+      // Select semantics on the faulty copy.
+      cnf.add_clause({sat::neg(s),
+                      value ? sat::pos(faulty[v]) : sat::neg(faulty[v])});
+    }
+  }
+
+  // Faulty functional clauses, guarded by (s0 ∨ s1) where selects exist.
+  auto add_guarded = [&](net::NodeId v, const sat::Cnf& gate_clauses) {
+    for (const sat::Clause& c : gate_clauses.clauses()) {
+      sat::Clause guarded = c;
+      if (select0[v] != sat::kNullVar) {
+        guarded.push_back(sat::pos(select0[v]));
+        guarded.push_back(sat::pos(select1[v]));
+      }
+      cnf.add_clause(std::move(guarded));
+    }
+  };
+  for (net::NodeId v = 0; v < n; ++v) {
+    const auto& node = netw.node(v);
+    sat::Cnf local(cnf.num_vars());
+    switch (node.type) {
+      case GateType::kInput:
+        sat::add_gate_clauses(local, GateType::kBuf, faulty[v],
+                              {{good_[v]}});
+        break;
+      case GateType::kConst0:
+        local.add_clause({sat::neg(faulty[v])});
+        break;
+      case GateType::kConst1:
+        local.add_clause({sat::pos(faulty[v])});
+        break;
+      case GateType::kOutput:
+        sat::add_gate_clauses(local, GateType::kBuf, faulty[v],
+                              {{faulty[node.fanins[0]]}});
+        break;
+      default: {
+        std::vector<Var> ins;
+        ins.reserve(node.fanins.size());
+        for (net::NodeId fi : node.fanins) ins.push_back(faulty[fi]);
+        sat::add_gate_clauses(local, node.type, faulty[v], ins);
+        break;
+      }
+    }
+    add_guarded(v, local);
+  }
+
+  // D-chain constraints: diff_v ↔ (good_v ⊕ faulty_v), and a difference
+  // can only exist where the fault is selected or some fanin differs.
+  // Without these, UNSAT queries force the solver to re-derive the
+  // equivalence of the two copies by case splitting (hopeless on XOR-heavy
+  // logic); with them, "all selects off upstream" propagates faulty=good
+  // node by node, and learned clauses stay short.
+  std::vector<Var> diff(n);
+  for (net::NodeId v = 0; v < n; ++v) {
+    diff[v] = cnf.new_var();
+    const Var ins[] = {good_[v], faulty[v]};
+    sat::add_gate_clauses(cnf, GateType::kXor, diff[v], ins);
+    sat::Clause barrier{sat::neg(diff[v])};
+    if (select0[v] != sat::kNullVar) {
+      barrier.push_back(sat::pos(select0[v]));
+      barrier.push_back(sat::pos(select1[v]));
+    }
+    for (net::NodeId fi : netw.fanins(v))
+      barrier.push_back(sat::pos(diff[fi]));
+    cnf.add_clause(std::move(barrier));
+  }
+
+  // Objective: some primary output differs.
+  sat::Clause objective;
+  for (net::NodeId po : netw.outputs())
+    objective.push_back(sat::pos(diff[po]));
+  cnf.add_clause(std::move(objective));
+
+  num_vars_ = cnf.num_vars();
+  solver_ = std::make_unique<sat::Solver>(cnf, solver_config);
+}
+
+sat::SolveStatus SharedMiter::solve_fault(net::NodeId site, bool stuck_value,
+                                          Pattern& test_out) {
+  if (site >= net_.node_count() || fault_code_[site] == kNoCode)
+    throw std::invalid_argument("solve_fault: node has no fault selects");
+  const std::uint32_t code =
+      fault_code_[site] + (stuck_value ? 1u : 0u);
+  std::vector<sat::Lit> assumptions;
+  assumptions.reserve(fid_bits_.size() + 1);
+  for (std::uint32_t b = 0; b < fid_bits_.size(); ++b)
+    assumptions.push_back(sat::Lit(fid_bits_[b], ((code >> b) & 1) == 0));
+  // Excitation: the good value of the site must be ~stuck.
+  assumptions.push_back(sat::Lit(good_[site], stuck_value));
+
+  const sat::SolveStatus status = solver_->solve(assumptions);
+  if (status == sat::SolveStatus::kSat) {
+    const auto& model = solver_->model();
+    test_out.assign(net_.inputs().size(), false);
+    for (std::size_t i = 0; i < net_.inputs().size(); ++i)
+      test_out[i] = model[good_[net_.inputs()[i]]];
+  }
+  return status;
+}
+
+std::vector<IncrementalOutcome> run_atpg_incremental(
+    const net::Network& netw, std::span<const StuckAtFault> faults,
+    sat::SolverConfig solver_config) {
+  SharedMiter miter(netw, solver_config);
+  std::vector<IncrementalOutcome> outcomes(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!faults[i].is_stem()) {
+      outcomes[i].skipped = true;
+      continue;
+    }
+    outcomes[i].status = miter.solve_fault(
+        faults[i].node, faults[i].stuck_value, outcomes[i].test);
+  }
+  return outcomes;
+}
+
+}  // namespace cwatpg::fault

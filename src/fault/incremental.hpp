@@ -1,0 +1,80 @@
+// Incremental SAT-ATPG over a shared fault-injection miter.
+//
+// The per-fault flow (tegus.hpp) builds and solves a fresh CNF per fault —
+// exactly the 1996 TEGUS recipe the paper analyzes. Modern SAT-ATPG
+// engines instead encode ONE miter with *fault-select* variables and solve
+// each fault as an incremental query under assumptions, so conflict
+// clauses learned on one fault (mostly: "the two copies agree wherever no
+// fault is selected") transfer to every later fault.
+//
+// Construction: a good copy of the circuit plus a faulty copy where every
+// fault site v carries two selects s_v0 / s_v1:
+//     s_v0 -> fv = 0,   s_v1 -> fv = 1,
+//     ~s_v0 & ~s_v1 -> fv = gate(faulty fanins),
+// pairwise XORs on the outputs, and the usual "some XOR is 1" objective.
+// The selects are not assumed individually — that would put thousands of
+// assumption decision levels under every conflict and produce gigantic
+// learned clauses. Instead every (site, value) pair gets a binary *fault
+// id*, each select is defined as the conjunction of its id bits
+// (s ↔ AND of fid literals), and a query assumes just the ~log2(2n) id
+// bits: unit propagation then switches exactly one select on and all
+// others off, and learned clauses stay small and reusable.
+//
+// Covers stem faults (the collapsed representatives of fanout-free
+// branches); branch faults on true fanout stems fall back to the
+// per-fault engine in the comparison bench.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fsim.hpp"
+#include "sat/solver.hpp"
+
+namespace cwatpg::fault {
+
+class SharedMiter {
+ public:
+  /// Builds the select-instrumented miter for all stem fault sites of
+  /// `net` (every non-kOutput node with fanout). `net` must outlive this.
+  explicit SharedMiter(const net::Network& net,
+                       sat::SolverConfig solver_config = {});
+
+  /// Number of CNF variables in the shared encoding.
+  std::size_t num_vars() const { return num_vars_; }
+
+  /// Solves stem fault (site, stuck_value) incrementally.
+  /// kSat => testable, `test_out` receives a full-width input pattern;
+  /// kUnsat => untestable; kUnknown => conflict budget exhausted.
+  sat::SolveStatus solve_fault(net::NodeId site, bool stuck_value,
+                               Pattern& test_out);
+
+  /// Cumulative solver statistics across all queries.
+  const sat::SolverStats& stats() const { return solver_->stats(); }
+
+ private:
+  const net::Network& net_;
+  std::unique_ptr<sat::Solver> solver_;
+  std::size_t num_vars_ = 0;
+  std::vector<sat::Var> good_;  // per node
+  /// Fault id of (site, value): fault_code_[site] + value; kNoCode when
+  /// the node is not a fault site.
+  std::vector<std::uint32_t> fault_code_;
+  static constexpr std::uint32_t kNoCode = static_cast<std::uint32_t>(-1);
+  std::vector<sat::Var> fid_bits_;
+};
+
+/// Convenience: runs every stem fault of the collapsed list through one
+/// SharedMiter; returns per-fault status aligned with `faults` (non-stem
+/// entries get kUnknown and `skipped` true).
+struct IncrementalOutcome {
+  sat::SolveStatus status = sat::SolveStatus::kUnknown;
+  bool skipped = false;
+  Pattern test;
+};
+std::vector<IncrementalOutcome> run_atpg_incremental(
+    const net::Network& net, std::span<const StuckAtFault> faults,
+    sat::SolverConfig solver_config = {});
+
+}  // namespace cwatpg::fault

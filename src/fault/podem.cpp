@@ -1,0 +1,361 @@
+#include "fault/podem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fault/testability.hpp"
+#include "netlist/cone.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+/// Three-valued plane value.
+enum class V3 : std::uint8_t { k0, k1, kX };
+
+V3 good_plane(V5 v) {
+  switch (v) {
+    case V5::kZero: case V5::kDbar: return V3::k0;
+    case V5::kOne: case V5::kD: return V3::k1;
+    default: return V3::kX;
+  }
+}
+V3 faulty_plane(V5 v) {
+  switch (v) {
+    case V5::kZero: case V5::kD: return V3::k0;
+    case V5::kOne: case V5::kDbar: return V3::k1;
+    default: return V3::kX;
+  }
+}
+V5 combine(V3 good, V3 faulty) {
+  if (good == V3::kX || faulty == V3::kX) return V5::kX;
+  if (good == V3::k0)
+    return faulty == V3::k0 ? V5::kZero : V5::kDbar;
+  return faulty == V3::k1 ? V5::kOne : V5::kD;
+}
+
+V3 and3(std::span<const V3> ins) {
+  bool any_x = false;
+  for (V3 v : ins) {
+    if (v == V3::k0) return V3::k0;
+    if (v == V3::kX) any_x = true;
+  }
+  return any_x ? V3::kX : V3::k1;
+}
+V3 or3(std::span<const V3> ins) {
+  bool any_x = false;
+  for (V3 v : ins) {
+    if (v == V3::k1) return V3::k1;
+    if (v == V3::kX) any_x = true;
+  }
+  return any_x ? V3::kX : V3::k0;
+}
+V3 xor3(std::span<const V3> ins) {
+  bool parity = false;
+  for (V3 v : ins) {
+    if (v == V3::kX) return V3::kX;
+    parity ^= v == V3::k1;
+  }
+  return parity ? V3::k1 : V3::k0;
+}
+V3 not3(V3 v) {
+  if (v == V3::kX) return V3::kX;
+  return v == V3::k0 ? V3::k1 : V3::k0;
+}
+
+V3 eval3(net::GateType type, std::span<const V3> ins) {
+  using net::GateType;
+  switch (type) {
+    case GateType::kBuf: return ins[0];
+    case GateType::kNot: return not3(ins[0]);
+    case GateType::kAnd: return and3(ins);
+    case GateType::kNand: return not3(and3(ins));
+    case GateType::kOr: return or3(ins);
+    case GateType::kNor: return not3(or3(ins));
+    case GateType::kXor: return xor3(ins);
+    case GateType::kXnor: return not3(xor3(ins));
+    default:
+      throw std::logic_error("eval3: not a gate");
+  }
+}
+
+/// Does the gate type complement its core function?
+bool inverts(net::GateType type) {
+  using net::GateType;
+  return type == GateType::kNot || type == GateType::kNand ||
+         type == GateType::kNor || type == GateType::kXnor;
+}
+
+/// Controlling input value (the value that determines the output alone),
+/// if the gate has one.
+std::optional<bool> controlling_value(net::GateType type) {
+  using net::GateType;
+  switch (type) {
+    case GateType::kAnd: case GateType::kNand: return false;
+    case GateType::kOr: case GateType::kNor: return true;
+    default: return std::nullopt;
+  }
+}
+
+class PodemEngine {
+ public:
+  PodemEngine(const net::Network& netw, const StuckAtFault& fault,
+              const PodemOptions& options)
+      : netw_(netw), fault_(fault), options_(options) {
+    if (options_.scoap_guidance) scoap_ = compute_scoap(netw);
+  }
+
+  PodemResult run() {
+    PodemResult result;
+    // Quick observability screen.
+    const auto tfo = net::transitive_fanout(netw_, fault_.node);
+    bool observable = false;
+    for (net::NodeId po : netw_.outputs()) observable |= tfo[po];
+    if (!observable) {
+      result.status = PodemStatus::kUntestable;
+      return result;
+    }
+
+    pi_value_.assign(netw_.inputs().size(), V3::kX);
+    value_.assign(netw_.node_count(), V5::kX);
+
+    struct Decision {
+      std::size_t pi;
+      bool value;
+      bool flipped;
+    };
+    std::vector<Decision> decisions;
+
+    for (;;) {
+      simulate(result);
+      const Outcome outcome = analyze();
+      if (outcome.kind == Outcome::kSuccess) {
+        result.status = PodemStatus::kDetected;
+        result.test.resize(netw_.inputs().size());
+        for (std::size_t i = 0; i < pi_value_.size(); ++i)
+          result.test[i] = pi_value_[i] == V3::k1;
+        return result;
+      }
+      bool conflict = outcome.kind == Outcome::kConflict;
+      if (!conflict) {
+        // Backtrace the objective to a primary input.
+        const auto choice = backtrace(outcome.net, outcome.value);
+        if (!choice) {
+          conflict = true;
+        } else {
+          ++result.decisions;
+          decisions.push_back({choice->first, choice->second, false});
+          pi_value_[choice->first] = choice->second ? V3::k1 : V3::k0;
+          continue;
+        }
+      }
+      // Chronological backtracking over PI decisions.
+      if (++result.backtracks > options_.max_backtracks) {
+        result.status = PodemStatus::kAborted;
+        return result;
+      }
+      while (!decisions.empty() && decisions.back().flipped) {
+        pi_value_[decisions.back().pi] = V3::kX;
+        decisions.pop_back();
+      }
+      if (decisions.empty()) {
+        result.status = PodemStatus::kUntestable;
+        return result;
+      }
+      Decision& top = decisions.back();
+      top.value = !top.value;
+      top.flipped = true;
+      pi_value_[top.pi] = top.value ? V3::k1 : V3::k0;
+    }
+  }
+
+ private:
+  struct Outcome {
+    enum Kind { kSuccess, kConflict, kObjective } kind = kConflict;
+    net::NodeId net = net::kNullNode;  // objective net
+    bool value = false;                // objective value
+  };
+
+  /// Full forward 5-valued simulation with fault injection.
+  void simulate(PodemResult& result) {
+    ++result.implications;
+    std::vector<V3> good_ins, faulty_ins;
+    for (net::NodeId id = 0; id < netw_.node_count(); ++id) {
+      const auto& node = netw_.node(id);
+      V5 out;
+      switch (node.type) {
+        case net::GateType::kInput: {
+          std::size_t index = pi_index(id);
+          const V3 v = pi_value_[index];
+          out = combine(v, v);
+          break;
+        }
+        case net::GateType::kConst0:
+          out = V5::kZero;
+          break;
+        case net::GateType::kConst1:
+          out = V5::kOne;
+          break;
+        case net::GateType::kOutput:
+          out = pin_value(id, 0);
+          break;
+        default: {
+          good_ins.clear();
+          faulty_ins.clear();
+          for (std::size_t p = 0; p < node.fanins.size(); ++p) {
+            const V5 v = pin_value(id, p);
+            good_ins.push_back(good_plane(v));
+            faulty_ins.push_back(faulty_plane(v));
+          }
+          out = combine(eval3(node.type, good_ins),
+                        eval3(node.type, faulty_ins));
+          break;
+        }
+      }
+      if (fault_.is_stem() && id == fault_.node) {
+        // The faulty plane of the stem is pinned to the stuck value.
+        out = combine(good_plane(out),
+                      fault_.stuck_value ? V3::k1 : V3::k0);
+      }
+      value_[id] = out;
+    }
+  }
+
+  /// The 5-valued value seen at input pin p of node id (with branch-fault
+  /// injection).
+  V5 pin_value(net::NodeId id, std::size_t pin) const {
+    const net::NodeId driver = netw_.fanins(id)[pin];
+    V5 v = value_[driver];
+    if (!fault_.is_stem() && id == fault_.node &&
+        static_cast<std::int32_t>(pin) == fault_.pin)
+      v = combine(good_plane(v), fault_.stuck_value ? V3::k1 : V3::k0);
+    return v;
+  }
+
+  std::size_t pi_index(net::NodeId id) const {
+    const auto inputs = netw_.inputs();
+    return static_cast<std::size_t>(
+        std::find(inputs.begin(), inputs.end(), id) - inputs.begin());
+  }
+
+  Outcome analyze() const {
+    // Excitation: the good value at the fault site must be ~stuck.
+    const net::NodeId site_driver =
+        fault_.is_stem()
+            ? fault_.node
+            : netw_.fanins(fault_.node)[static_cast<std::size_t>(fault_.pin)];
+    const V3 site_good = good_plane(value_[site_driver]);
+    const V3 want = fault_.stuck_value ? V3::k0 : V3::k1;
+    if (site_good == V3::kX)
+      return {Outcome::kObjective, site_driver, want == V3::k1};
+    if (site_good != want) return {Outcome::kConflict};
+
+    // Propagation: a D/D' at any primary output is success.
+    for (net::NodeId po : netw_.outputs()) {
+      const V5 v = value_[po];
+      if (v == V5::kD || v == V5::kDbar) return {Outcome::kSuccess};
+    }
+
+    // Otherwise advance the D-frontier: a gate with a D/D' input and X
+    // output; objective = set an X input to the non-controlling value.
+    for (net::NodeId id = 0; id < netw_.node_count(); ++id) {
+      if (value_[id] != V5::kX || !net::is_logic(netw_.type(id))) continue;
+      const auto& node = netw_.node(id);
+      bool has_d = false;
+      for (std::size_t p = 0; p < node.fanins.size(); ++p) {
+        const V5 v = pin_value(id, p);
+        if (v == V5::kD || v == V5::kDbar) has_d = true;
+      }
+      if (!has_d) continue;
+      for (std::size_t p = 0; p < node.fanins.size(); ++p) {
+        if (pin_value(id, p) != V5::kX) continue;
+        const auto control = controlling_value(netw_.type(id));
+        const bool objective_value = control ? !*control : true;
+        return {Outcome::kObjective, node.fanins[p], objective_value};
+      }
+    }
+    return {Outcome::kConflict};  // D-frontier exhausted
+  }
+
+  /// Walks the objective back to an unassigned primary input.
+  std::optional<std::pair<std::size_t, bool>> backtrace(net::NodeId target,
+                                                        bool value) const {
+    net::NodeId current = target;
+    bool want = value;
+    for (;;) {
+      const auto& node = netw_.node(current);
+      switch (node.type) {
+        case net::GateType::kInput: {
+          const std::size_t index = pi_index(current);
+          if (pi_value_[index] != V3::kX) return std::nullopt;
+          return std::make_pair(index, want);
+        }
+        case net::GateType::kConst0:
+        case net::GateType::kConst1:
+          return std::nullopt;  // cannot justify through a constant
+        case net::GateType::kOutput:
+        case net::GateType::kBuf:
+          current = node.fanins[0];
+          break;
+        default: {
+          if (inverts(node.type)) want = !want;
+          // Pick an X-valued input: the first one, or — with SCOAP
+          // guidance — the one cheapest to set to the wanted value.
+          net::NodeId next = net::kNullNode;
+          std::uint32_t best_cost = Scoap::kUnreachable;
+          for (std::size_t p = 0; p < node.fanins.size(); ++p) {
+            if (pin_value(current, p) != V5::kX) continue;
+            const net::NodeId candidate = node.fanins[p];
+            if (!options_.scoap_guidance) {
+              next = candidate;
+              break;
+            }
+            const std::uint32_t cost =
+                want ? scoap_.cc1[candidate] : scoap_.cc0[candidate];
+            if (next == net::kNullNode || cost < best_cost) {
+              next = candidate;
+              best_cost = cost;
+            }
+          }
+          if (next == net::kNullNode) return std::nullopt;
+          current = next;
+          break;
+        }
+      }
+    }
+  }
+
+  const net::Network& netw_;
+  const StuckAtFault fault_;
+  const PodemOptions options_;
+  Scoap scoap_;
+  std::vector<V3> pi_value_;
+  std::vector<V5> value_;
+};
+
+}  // namespace
+
+V5 eval5(net::GateType type, std::span<const V5> inputs) {
+  std::vector<V3> good, faulty;
+  good.reserve(inputs.size());
+  faulty.reserve(inputs.size());
+  for (V5 v : inputs) {
+    good.push_back(good_plane(v));
+    faulty.push_back(faulty_plane(v));
+  }
+  return combine(eval3(type, good), eval3(type, faulty));
+}
+
+PodemResult podem(const net::Network& netw, const StuckAtFault& fault,
+                  const PodemOptions& options) {
+  if (fault.node >= netw.node_count())
+    throw std::invalid_argument("podem: no such node");
+  if (!fault.is_stem()) {
+    const auto fis = netw.fanins(fault.node);
+    if (fault.pin < 0 || static_cast<std::size_t>(fault.pin) >= fis.size())
+      throw std::invalid_argument("podem: no such pin");
+  }
+  PodemEngine engine(netw, fault, options);
+  return engine.run();
+}
+
+}  // namespace cwatpg::fault

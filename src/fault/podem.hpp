@@ -1,0 +1,66 @@
+// PODEM (path-oriented decision making) structural ATPG — the classical
+// baseline the SAT formulation competes with.
+//
+// The paper analyzes the SAT route (Larrabee/TEGUS); pre-SAT ATPG engines
+// searched the circuit directly with the 5-valued D-calculus
+// {0, 1, X, D, D'} (Goel 1981). This implementation provides the
+// head-to-head baseline for the comparison bench: objective selection
+// (excite the fault, then advance the D-frontier), backtrace to a primary
+// input, forward 5-valued implication, and chronological backtracking over
+// PI assignments.
+//
+// Interestingly, PODEM's decision tree is *also* governed by circuit
+// topology — the same regularity that keeps cut-width low keeps its
+// backtrack counts low, which the comparison bench makes visible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/fault.hpp"
+#include "fault/fsim.hpp"
+
+namespace cwatpg::fault {
+
+/// Five-valued logic: fault-free/faulty value pairs.
+enum class V5 : std::uint8_t {
+  kZero,  ///< 0/0
+  kOne,   ///< 1/1
+  kX,     ///< unassigned
+  kD,     ///< 1/0 (good 1, faulty 0)
+  kDbar,  ///< 0/1
+};
+
+/// 5-valued gate evaluation over an input list (AND/OR/NOT/BUF/XOR and
+/// their complements). Exposed for tests.
+V5 eval5(net::GateType type, std::span<const V5> inputs);
+
+struct PodemOptions {
+  std::uint64_t max_backtracks = 100'000;
+  /// Guide backtrace by SCOAP controllability (pick the cheapest input to
+  /// justify) instead of the first unassigned one — the classical
+  /// testability-measure coupling; usually fewer backtracks.
+  bool scoap_guidance = false;
+};
+
+enum class PodemStatus : std::uint8_t {
+  kDetected,
+  kUntestable,  ///< search space exhausted: fault is redundant
+  kAborted,     ///< backtrack limit hit
+};
+
+struct PodemResult {
+  PodemStatus status = PodemStatus::kAborted;
+  Pattern test;  ///< PI assignment when kDetected (X's filled with 0)
+  std::uint64_t backtracks = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t implications = 0;  ///< forward 5-valued simulations
+};
+
+/// Generates a test for `fault` on `net` with PODEM. Handles stem and
+/// branch faults on any observable site; a site with no path to an output
+/// returns kUntestable immediately.
+PodemResult podem(const net::Network& net, const StuckAtFault& fault,
+                  const PodemOptions& options = {});
+
+}  // namespace cwatpg::fault

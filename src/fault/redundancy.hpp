@@ -1,0 +1,39 @@
+// Redundancy removal — ATPG as a logic optimizer.
+//
+// The paper's introduction cites redundancy addition/removal ([6] Cheng &
+// Entrena, [9] Devadas et al.) among ATPG's applications: a stuck-at fault
+// proven *untestable* means the circuit function cannot observe that net
+// being stuck, so the net can be hard-wired to the stuck value and the
+// logic constant-folded — a strictly size-reducing, function-preserving
+// rewrite. Iterating to a fixpoint yields a 100%-testable (irredundant)
+// circuit.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/tegus.hpp"
+
+namespace cwatpg::fault {
+
+struct RedundancyOptions {
+  sat::SolverConfig solver;
+  /// Safety valve on fixpoint iterations.
+  std::size_t max_rounds = 32;
+};
+
+struct RedundancyResult {
+  net::Network circuit;          ///< the irredundant rewrite
+  std::size_t rounds = 0;        ///< fixpoint iterations executed
+  std::size_t removed_faults = 0;  ///< untestable stem faults wired through
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+};
+
+/// Removes all provably redundant logic from `net`. The result computes
+/// the same function on every primary output (the PI/PO interface is
+/// preserved; verify with verify::check_equivalence). Aborted faults
+/// (solver budget) are conservatively treated as testable.
+RedundancyResult remove_redundancy(const net::Network& net,
+                                   const RedundancyOptions& options = {});
+
+}  // namespace cwatpg::fault

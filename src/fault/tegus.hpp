@@ -1,0 +1,86 @@
+// SAT-based ATPG engine in the style of TEGUS (Stephan et al. [24]).
+//
+// Flow per circuit: collapse the fault list; optionally knock out the bulk
+// of the faults with random patterns; for each remaining fault, build
+// C_psi^ATPG (Figure 3), encode it as CIRCUIT-SAT (Figure 2), strengthen
+// with the excitation unit clause (the good value of the faulted net must
+// be the complement of the stuck value), and hand it to the CDCL solver.
+// Every generated test is verified by fault simulation and used to drop
+// still-undetected faults.
+//
+// The engine records, per SAT instance, the variable count and the solve
+// time — exactly the two axes of the paper's Figure 1 scatter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/atpg_circuit.hpp"
+#include "fault/fsim.hpp"
+#include "sat/solver.hpp"
+
+namespace cwatpg::fault {
+
+enum class FaultStatus : std::uint8_t {
+  kDetected,       ///< SAT instance satisfiable; test extracted & verified
+  kUntestable,     ///< SAT instance unsatisfiable (redundant fault)
+  kDroppedBySim,   ///< detected by an earlier test via fault simulation
+  kDroppedRandom,  ///< detected in the random-pattern pre-phase
+  kAborted,        ///< solver hit its conflict limit
+  kUnreachable,    ///< fault site reaches no primary output
+};
+
+struct FaultOutcome {
+  StuckAtFault fault;
+  FaultStatus status = FaultStatus::kAborted;
+  /// Index into AtpgResult::tests when status == kDetected, else -1.
+  std::int64_t test_index = -1;
+  /// SAT instance shape and effort (only when an instance was solved).
+  std::size_t sat_vars = 0;
+  std::size_t sat_clauses = 0;
+  double solve_seconds = 0.0;
+  sat::SolverStats solver_stats;
+};
+
+struct AtpgOptions {
+  sat::SolverConfig solver;
+  /// Collapse the fault list before test generation.
+  bool collapse_faults = true;
+  /// 64-pattern random blocks applied before SAT (0 disables).
+  std::size_t random_blocks = 4;
+  /// Drop undetected faults by simulating each new test.
+  bool drop_by_simulation = true;
+  /// Verify each extracted test by fault simulation (throws
+  /// std::logic_error on mismatch — an engine bug, not a data error).
+  bool verify_tests = true;
+  std::uint64_t seed = 0x7e57ab1e;
+};
+
+struct AtpgResult {
+  std::vector<FaultOutcome> outcomes;  ///< one per (collapsed) fault
+  std::vector<Pattern> tests;          ///< every pattern that detected something
+  std::size_t num_detected = 0;        ///< kDetected + both dropped kinds
+  std::size_t num_untestable = 0;
+  std::size_t num_aborted = 0;
+  std::size_t num_unreachable = 0;
+
+  /// Fault efficiency: (detected + proven untestable + unreachable) / all.
+  double fault_efficiency() const;
+  /// Fault coverage: detected / all.
+  double fault_coverage() const;
+};
+
+/// Runs the full ATPG flow on `net`.
+AtpgResult run_atpg(const net::Network& net, const AtpgOptions& options = {});
+
+/// Generates a test for a single fault (no dropping, no random phase).
+/// Returns the outcome plus, when detected, the pattern through `test_out`.
+FaultOutcome generate_test(const net::Network& net, const StuckAtFault& fault,
+                           const sat::SolverConfig& solver, Pattern& test_out);
+
+/// Extracts a full-circuit input pattern from a satisfied miter model:
+/// support PIs take their model value, all other PIs `fill_value`.
+Pattern extract_test(const net::Network& net, const AtpgCircuit& atpg,
+                     const std::vector<bool>& model, bool fill_value = false);
+
+}  // namespace cwatpg::fault

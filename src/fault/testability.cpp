@@ -1,0 +1,163 @@
+#include "fault/testability.hpp"
+
+#include <algorithm>
+
+namespace cwatpg::fault {
+namespace {
+
+constexpr std::uint32_t kInf = Scoap::kUnreachable;
+
+std::uint32_t add_sat(std::uint32_t a, std::uint32_t b) {
+  if (a == kInf || b == kInf) return kInf;
+  return a + b;
+}
+
+}  // namespace
+
+Scoap compute_scoap(const net::Network& netw) {
+  using net::GateType;
+  const std::size_t n = netw.node_count();
+  Scoap s;
+  s.cc0.assign(n, kInf);
+  s.cc1.assign(n, kInf);
+  s.observability.assign(n, kInf);
+
+  // Controllability: forward topological sweep.
+  for (net::NodeId v = 0; v < n; ++v) {
+    const auto& node = netw.node(v);
+    const auto& fis = node.fanins;
+    switch (node.type) {
+      case GateType::kInput:
+        s.cc0[v] = s.cc1[v] = 1;
+        break;
+      case GateType::kConst0:
+        s.cc0[v] = 0;
+        break;
+      case GateType::kConst1:
+        s.cc1[v] = 0;
+        break;
+      case GateType::kOutput:
+      case GateType::kBuf:
+        s.cc0[v] = add_sat(s.cc0[fis[0]], 1);
+        s.cc1[v] = add_sat(s.cc1[fis[0]], 1);
+        break;
+      case GateType::kNot:
+        s.cc0[v] = add_sat(s.cc1[fis[0]], 1);
+        s.cc1[v] = add_sat(s.cc0[fis[0]], 1);
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool and_like =
+            node.type == GateType::kAnd || node.type == GateType::kNand;
+        // "All inputs at non-controlling" vs "one input at controlling".
+        std::uint32_t all = 0, one = kInf;
+        for (net::NodeId fi : fis) {
+          all = add_sat(all, and_like ? s.cc1[fi] : s.cc0[fi]);
+          one = std::min(one, and_like ? s.cc0[fi] : s.cc1[fi]);
+        }
+        const std::uint32_t out_ctl = add_sat(one, 1);   // controlled value
+        const std::uint32_t out_all = add_sat(all, 1);   // all-non-controlling
+        const bool inverted = node.type == GateType::kNand ||
+                              node.type == GateType::kNor;
+        std::uint32_t c_low = and_like ? out_ctl : out_all;
+        std::uint32_t c_high = and_like ? out_all : out_ctl;
+        if (inverted) std::swap(c_low, c_high);
+        s.cc0[v] = c_low;
+        s.cc1[v] = c_high;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        // Fold pairwise: parity-0 cost / parity-1 cost.
+        std::uint32_t p0 = s.cc0[fis[0]];
+        std::uint32_t p1 = s.cc1[fis[0]];
+        for (std::size_t i = 1; i < fis.size(); ++i) {
+          const std::uint32_t q0 = s.cc0[fis[i]];
+          const std::uint32_t q1 = s.cc1[fis[i]];
+          const std::uint32_t n0 =
+              std::min(add_sat(p0, q0), add_sat(p1, q1));
+          const std::uint32_t n1 =
+              std::min(add_sat(p0, q1), add_sat(p1, q0));
+          p0 = n0;
+          p1 = n1;
+        }
+        if (node.type == GateType::kXnor) std::swap(p0, p1);
+        s.cc0[v] = add_sat(p0, 1);
+        s.cc1[v] = add_sat(p1, 1);
+        break;
+      }
+    }
+  }
+
+  // Observability: backward sweep (ids reverse-topological).
+  for (net::NodeId po : netw.outputs()) s.observability[po] = 0;
+  for (net::NodeId v = n; v-- > 0;) {
+    const auto& node = netw.node(v);
+    if (node.type == GateType::kInput || node.type == GateType::kConst0 ||
+        node.type == GateType::kConst1) {
+      // Sources only receive observability from consumers (below).
+    }
+    const std::uint32_t co_out = s.observability[v];
+    if (co_out == kInf && node.type != GateType::kOutput) {
+      // Not (yet) observable; consumers may still lower it — but since we
+      // sweep in reverse topological order all consumers were processed.
+    }
+    const auto& fis = node.fanins;
+    for (std::size_t p = 0; p < fis.size(); ++p) {
+      std::uint32_t through = kInf;
+      switch (node.type) {
+        case GateType::kOutput:
+        case GateType::kBuf:
+        case GateType::kNot:
+          through = add_sat(co_out, node.type == GateType::kOutput ? 0 : 1);
+          break;
+        case GateType::kAnd:
+        case GateType::kNand:
+        case GateType::kOr:
+        case GateType::kNor: {
+          const bool and_like =
+              node.type == GateType::kAnd || node.type == GateType::kNand;
+          std::uint32_t side = 0;
+          for (std::size_t q = 0; q < fis.size(); ++q) {
+            if (q == p) continue;
+            side = add_sat(side, and_like ? s.cc1[fis[q]] : s.cc0[fis[q]]);
+          }
+          through = add_sat(add_sat(co_out, side), 1);
+          break;
+        }
+        case GateType::kXor:
+        case GateType::kXnor: {
+          std::uint32_t side = 0;
+          for (std::size_t q = 0; q < fis.size(); ++q) {
+            if (q == p) continue;
+            side = add_sat(side, std::min(s.cc0[fis[q]], s.cc1[fis[q]]));
+          }
+          through = add_sat(add_sat(co_out, side), 1);
+          break;
+        }
+        default:
+          break;
+      }
+      s.observability[fis[p]] =
+          std::min(s.observability[fis[p]], through);
+    }
+  }
+  return s;
+}
+
+std::uint32_t Scoap::detect_cost(const net::Network& netw,
+                                 const StuckAtFault& fault) const {
+  const net::NodeId driver =
+      fault.is_stem()
+          ? fault.node
+          : netw.fanins(fault.node)[static_cast<std::size_t>(fault.pin)];
+  const std::uint32_t excite =
+      fault.stuck_value ? cc0[driver] : cc1[driver];
+  // Branch observability: through the specific consumer; approximate with
+  // the net's (minimum) observability — standard SCOAP granularity.
+  return add_sat(excite, observability[driver]);
+}
+
+}  // namespace cwatpg::fault

@@ -1,0 +1,37 @@
+// SCOAP testability measures (Goldstein 1979) — combinational
+// controllability and observability.
+//
+// §3.2 builds on Fujiwara's complexity analysis of exactly these
+// controllability/observability problems. SCOAP is the classical linear-
+// time heuristic estimate: CC0/CC1(v) approximate how many pin
+// assignments it takes to set net v to 0/1, CO(v) how many to propagate v
+// to an output. A fault (v, s-a-b) then has detect cost CC(~b) + CO — the
+// pre-cut-width-era difficulty predictor, which bench_testability
+// correlates against real SAT/PODEM effort and against cut-width.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace cwatpg::fault {
+
+struct Scoap {
+  /// Per NodeId; kUnreachable for nets no output observes.
+  std::vector<std::uint32_t> cc0, cc1, observability;
+  static constexpr std::uint32_t kUnreachable =
+      static_cast<std::uint32_t>(-1);
+
+  /// SCOAP detect cost of a stuck-at fault: CC(~stuck) at the faulted net
+  /// plus its observability (for a branch, the consumer pin's
+  /// observability path). kUnreachable when unobservable.
+  std::uint32_t detect_cost(const net::Network& net,
+                            const StuckAtFault& fault) const;
+};
+
+/// Computes all three measures in two topological sweeps. Constants get
+/// CC=0 for their value and kUnreachable for the other.
+Scoap compute_scoap(const net::Network& net);
+
+}  // namespace cwatpg::fault

@@ -1,0 +1,42 @@
+// Hutton-style parameterized random circuit generation (circ/gen, [14]).
+//
+// Used for §5.2.3: "artificially generated circuits, parameterized to
+// topologically resemble circuits from the MCNC91 and ISCAS85 suites",
+// letting the cut-width-vs-size trend be examined at sizes far beyond the
+// benchmark suites. The generator reproduces the knobs that matter for
+// cut-width: a levelized shape profile (gates per level), a bounded-fanin /
+// geometric-fanout wiring model, and an edge-length *locality* parameter —
+// local wiring yields tree-like, low-reconvergence circuits; long wiring
+// injects the deep reconvergence that drives cut-width up.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::gen {
+
+struct HuttonParams {
+  std::size_t num_gates = 200;
+  std::size_t num_inputs = 16;
+  std::size_t num_outputs = 8;
+  std::size_t max_fanin = 3;
+  /// In [0,1]: probability that a fanin consumes a spatially nearby open
+  /// signal (tree growth / local reconvergence) rather than re-using a
+  /// primary input or a long wire. Higher = more tree-like = smaller
+  /// cut-width.
+  double locality = 0.9;
+  /// When false, long (global) wires are capped at an O(log n) budget —
+  /// the regime the paper observes in real suites. When true the cap is
+  /// lifted and every non-local fanin may be a global wire, reproducing
+  /// the unboundedly reconvergent circuits where cut-width (and ATPG)
+  /// blows up.
+  bool unbounded_reconvergence = false;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a connected, levelized random circuit. Every gate lies on a
+/// path to some primary output (dangling gates are tapped as outputs).
+net::Network hutton_random(const HuttonParams& params);
+
+}  // namespace cwatpg::gen

@@ -1,0 +1,39 @@
+// Generators for k-bounded circuits *with their witnessing partitions*.
+//
+// Recognizing k-boundedness is hard in general (the paper, like Fujiwara,
+// never implements a recognizer), but the classic families come with their
+// block structure by construction: each generator here returns the circuit
+// together with the block partition that witnesses k-boundedness, ready for
+// core::is_kbounded / core::kbounded_ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::gen {
+
+struct KBoundedInstance {
+  net::Network circuit;
+  std::vector<std::uint32_t> block_of;  ///< block id per NodeId
+  std::uint32_t num_blocks = 0;
+  std::uint32_t k = 0;  ///< the witnessed bound
+};
+
+/// Ripple-carry adder with one block per full-adder stage (PIs as
+/// singleton blocks): each stage block has inputs {a_i, b_i, carry} => k=3,
+/// block DAG an in-tree.
+KBoundedInstance kbounded_adder(std::size_t bits);
+
+/// 1-D cellular array, one block per cell (k=2: data input + state).
+KBoundedInstance kbounded_cellular(std::size_t cells);
+
+/// Random k-bounded circuit: `blocks` blocks of `block_gates` gates each,
+/// wired as a random in-forest (each block's output feeds at most one later
+/// block), each block drawing at most k inputs. The block DAG is a forest,
+/// so reconvergence is purely block-local.
+KBoundedInstance kbounded_random(std::size_t blocks, std::size_t block_gates,
+                                 std::uint32_t k, std::uint64_t seed);
+
+}  // namespace cwatpg::gen

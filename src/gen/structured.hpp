@@ -1,0 +1,65 @@
+// Structured circuit generators: the classic families the literature (and
+// the paper's §3.2/§5.1) points at — ripple-carry adders, decoders, one-
+// and two-dimensional cellular arrays (all k-bounded per Fujiwara), plus
+// arithmetic and selection structures with deep reconvergence (array
+// multipliers, carry-select adders) that are *not* k-bounded and exercise
+// the interesting end of the cut-width spectrum.
+//
+// All generators produce well-formed multi-level networks in terms of
+// AND/OR/NOT/XOR primitives; run net::decompose for the <=3-input AND/OR
+// form used throughout the experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::gen {
+
+/// n-bit ripple-carry adder: inputs a[0..n), b[0..n), cin; outputs
+/// s[0..n), cout. k-bounded with full-adder blocks.
+net::Network ripple_carry_adder(std::size_t bits);
+
+/// n-bit carry-select adder with the given block width (>= 1): computes
+/// each block for both carry values and selects. Deep(er) reconvergence.
+net::Network carry_select_adder(std::size_t bits, std::size_t block);
+
+/// a-to-2^a line decoder with enable. Fanout-heavy, shallow; k-bounded.
+net::Network decoder(std::size_t address_bits);
+
+/// 2^s-to-1 multiplexer tree (s select bits).
+net::Network mux_tree(std::size_t select_bits);
+
+/// Balanced parity (XOR) tree over `width` inputs with the given arity.
+net::Network parity_tree(std::size_t width, std::size_t arity = 2);
+
+/// n-bit magnitude comparator: outputs lt, eq, gt.
+net::Network comparator(std::size_t bits);
+
+/// n x n array multiplier (carry-save array, ripple final row):
+/// 2n-bit product. Dense two-dimensional reconvergence — the c6288-style
+/// stress case the paper *excluded* from its MLA runs.
+net::Network array_multiplier(std::size_t bits);
+
+/// 1-D cellular array: `cells` identical 2-input/1-state cells chained by
+/// a single next-state signal (Fujiwara's canonical k-bounded family).
+net::Network cellular_array_1d(std::size_t cells);
+
+/// 2-D cellular array of `rows` x `cols` cells, each combining the cell
+/// above and to the left.
+net::Network cellular_array_2d(std::size_t rows, std::size_t cols);
+
+/// Balanced alternating AND/OR tree over `leaves` inputs with given arity.
+net::Network and_or_tree(std::size_t leaves, std::size_t arity = 2);
+
+/// Simple n-bit ALU: two operand buses, 2 opcode bits selecting
+/// ADD / AND / OR / XOR per bit through mux trees (c880/c2670/c5315-style
+/// mixture of arithmetic carry chains and selection logic).
+net::Network simple_alu(std::size_t bits);
+
+/// Hamming-style single-error-correcting encoder+checker over `data_bits`
+/// data inputs: computes ceil(log2(d))+1 overlapping parity trees and a
+/// per-bit syndrome decode (c499/c1355/c1908-style overlapping XOR cones).
+net::Network hamming_ecc(std::size_t data_bits);
+
+}  // namespace cwatpg::gen

@@ -1,0 +1,153 @@
+#include "gen/suites.hpp"
+
+#include <algorithm>
+
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+
+namespace cwatpg::gen {
+namespace {
+
+std::size_t scaled(double scale, std::size_t value,
+                   std::size_t minimum = 2) {
+  return std::max(minimum,
+                  static_cast<std::size_t>(scale * static_cast<double>(value)));
+}
+
+net::Network prep(net::Network circuit, const std::string& name) {
+  net::Network out = net::decompose(circuit);
+  out.set_name(name);
+  return out;
+}
+
+}  // namespace
+
+std::vector<net::Network> iscas85_like_suite(const SuiteOptions& opts) {
+  const double s = opts.scale;
+  std::vector<net::Network> suite;
+
+  // c432-like: interrupt-controller-style random control logic.
+  HuttonParams h432;
+  h432.num_gates = scaled(s, 170, 8);
+  h432.num_inputs = std::max<std::size_t>(4, scaled(s, 36, 4));
+  h432.num_outputs = 7;
+  h432.locality = 0.96;
+  h432.seed = opts.seed + 1;
+  suite.push_back(prep(hutton_random(h432), "s432"));
+
+  // c499-like: 32-bit SEC circuit (overlapping XOR cones).
+  suite.push_back(prep(hamming_ecc(scaled(s, 32, 8)), "s499"));
+
+  // c880-like: 8-bit ALU.
+  suite.push_back(prep(simple_alu(scaled(s, 8, 2)), "s880"));
+
+  // c1355-like: the same SEC function, wider.
+  suite.push_back(prep(hamming_ecc(scaled(s, 40, 8)), "s1355"));
+
+  // c1908-like: 16-bit SEC/DED.
+  suite.push_back(prep(hamming_ecc(scaled(s, 48, 8)), "s1908"));
+
+  // c2670-like: 12-bit ALU plus control glue.
+  suite.push_back(prep(simple_alu(scaled(s, 12, 2)), "s2670a"));
+  HuttonParams h2670;
+  h2670.num_gates = scaled(s, 700, 16);
+  h2670.num_inputs = std::max<std::size_t>(6, scaled(s, 80, 6));
+  h2670.num_outputs = scaled(s, 40, 2);
+  h2670.locality = 0.96;
+  h2670.seed = opts.seed + 2;
+  suite.push_back(prep(hutton_random(h2670), "s2670b"));
+
+  // c5315-like: 9-bit ALU scaled up with selection trees.
+  suite.push_back(prep(carry_select_adder(scaled(s, 48, 4),
+                                          std::max<std::size_t>(2, scaled(s, 6, 2))),
+                       "s5315"));
+
+  // c7552-like: 32-bit adder/comparator mix.
+  suite.push_back(prep(comparator(scaled(s, 64, 4)), "s7552"));
+
+  return suite;
+}
+
+std::vector<net::Network> mcnc_like_suite(const SuiteOptions& opts) {
+  const double s = opts.scale;
+  std::vector<net::Network> suite;
+  auto add = [&](net::Network circuit, const std::string& name) {
+    suite.push_back(prep(std::move(circuit), name));
+  };
+
+  // Arithmetic.
+  add(ripple_carry_adder(scaled(s, 8)), "add8");
+  add(ripple_carry_adder(scaled(s, 16)), "add16");
+  add(ripple_carry_adder(scaled(s, 32)), "add32");
+  add(ripple_carry_adder(scaled(s, 64)), "add64");
+  add(carry_select_adder(scaled(s, 16), 4), "csel16");
+  add(carry_select_adder(scaled(s, 32), 8), "csel32");
+  add(array_multiplier(std::clamp<std::size_t>(scaled(s, 4), 2, 16)), "mul4");
+  add(simple_alu(scaled(s, 4)), "alu4");
+  add(simple_alu(scaled(s, 8)), "alu8");
+
+  // Selection / decode.
+  add(decoder(std::clamp<std::size_t>(scaled(s, 3), 2, 8)), "dec3");
+  add(decoder(std::clamp<std::size_t>(scaled(s, 4), 2, 8)), "dec4");
+  add(mux_tree(std::clamp<std::size_t>(scaled(s, 3), 2, 8)), "mux8");
+  add(mux_tree(std::clamp<std::size_t>(scaled(s, 4), 2, 8)), "mux16");
+
+  // Parity / compare.
+  add(parity_tree(scaled(s, 8)), "par8");
+  add(parity_tree(scaled(s, 16)), "par16");
+  add(parity_tree(scaled(s, 32)), "par32");
+  add(parity_tree(scaled(s, 64)), "par64");
+  add(parity_tree(scaled(s, 128)), "par128");
+  add(comparator(scaled(s, 8)), "cmp8");
+  add(comparator(scaled(s, 16)), "cmp16");
+  add(comparator(scaled(s, 32)), "cmp32");
+  add(comparator(scaled(s, 64)), "cmp64");
+  add(hamming_ecc(scaled(s, 16, 8)), "ecc16");
+  add(hamming_ecc(scaled(s, 24, 8)), "ecc24");
+
+  // Cellular arrays (Fujiwara's k-bounded families).
+  add(cellular_array_1d(scaled(s, 16)), "cell16");
+  add(cellular_array_1d(scaled(s, 32)), "cell32");
+  add(cellular_array_1d(scaled(s, 96)), "cell96");
+  add(cellular_array_2d(scaled(s, 4), scaled(s, 4)), "grid4x4");
+  add(cellular_array_2d(scaled(s, 8), scaled(s, 8)), "grid8x8");
+
+  // Trees.
+  add(and_or_tree(scaled(s, 16)), "tree16");
+  add(and_or_tree(scaled(s, 64)), "tree64");
+  add(and_or_tree(scaled(s, 256)), "tree256");
+  add(and_or_tree(scaled(s, 768)), "tree768");
+  add(random_tree(scaled(s, 60), 3, opts.seed + 11), "rtree60");
+  add(random_tree(scaled(s, 200), 3, opts.seed + 12), "rtree200");
+  add(random_tree(scaled(s, 600), 3, opts.seed + 13), "rtree600");
+
+  // Random logic (Hutton) across sizes and wiring localities.
+  struct Shape {
+    std::size_t gates, ins, outs;
+    double locality;
+  };
+  const Shape shapes[] = {
+      {40, 8, 4, 0.98},   {80, 12, 6, 0.97},  {120, 16, 8, 0.97},
+      {200, 24, 10, 0.96},{300, 32, 12, 0.97},{450, 44, 16, 0.96},
+      {600, 56, 20, 0.97},{800, 72, 24, 0.96},{1000, 90, 30, 0.97},
+      {1400, 120, 40, 0.96},{250, 24, 10, 0.88},
+  };
+  int index = 0;
+  for (const Shape& shape : shapes) {
+    HuttonParams p;
+    p.num_gates = scaled(s, shape.gates, 8);
+    p.num_inputs = std::max<std::size_t>(4, scaled(s, shape.ins, 4));
+    p.num_outputs = std::max<std::size_t>(2, scaled(s, shape.outs, 2));
+    p.locality = shape.locality;
+    p.seed = opts.seed + 100 + static_cast<std::uint64_t>(index);
+    add(hutton_random(p), "rand" + std::to_string(index++));
+  }
+
+  // The one genuine suite member we can embed.
+  suite.push_back(prep(c17(), "c17"));
+  return suite;
+}
+
+}  // namespace cwatpg::gen

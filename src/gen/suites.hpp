@@ -1,0 +1,38 @@
+// Synthetic benchmark suites standing in for ISCAS85 and MCNC91.
+//
+// The genuine netlists are not redistributable inside this repository, so
+// (per DESIGN.md §1) each suite is replaced by circuits built from the same
+// structural idioms at the same sizes. The experiments only consume circuit
+// topology — cone sizes, cut profiles, fanin/fanout statistics — which is
+// what these generators match. Real `.bench` files, when available, can be
+// loaded with net::read_bench_file and swapped in unchanged.
+//
+// Every suite member is already tech-decomposed to <= 3-input AND/OR+NOT,
+// mirroring the paper's SIS tech_decomp preprocessing step (§5.2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::gen {
+
+struct SuiteOptions {
+  /// Scales every member's size (1.0 = paper-comparable sizes). Benches
+  /// use < 1 for quick runs; tests use ~0.1.
+  double scale = 1.0;
+  std::uint64_t seed = 99;
+};
+
+/// Nine circuits shaped after the ISCAS85 members the paper kept
+/// (c432, c499, c880, c1355, c1908, c2670, c3540*, c5315, c7552 minus the
+/// two exclusions — we keep 9 by adding two mid-size ALU/control mixes).
+std::vector<net::Network> iscas85_like_suite(const SuiteOptions& opts = {});
+
+/// Forty-eight "logic" circuits spanning the MCNC91 size range: adders,
+/// decoders, muxes, comparators, parity, cellular arrays, ALUs and
+/// random-logic (Hutton) members.
+std::vector<net::Network> mcnc_like_suite(const SuiteOptions& opts = {});
+
+}  // namespace cwatpg::gen

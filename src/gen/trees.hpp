@@ -1,0 +1,55 @@
+// Random tree circuits (for Lemma 5.2) and the paper's worked example.
+//
+// fig4a_* reproduce the circuit of Figure 4(a) exactly at the level the
+// paper works with it: variables a..i (indices 0..8), Formula 4.1, the
+// signal hypergraph of Figure 6, and the orderings A (cut-width 3) and B.
+// Because the paper folds input inverters into the gate clauses, the CNF
+// and hypergraph are provided directly rather than via encode_circuit_sat;
+// fig4a_network() additionally gives a functionally equivalent Network
+// (with explicit inverters) for flows that need one.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/hypergraph.hpp"
+#include "netlist/network.hpp"
+#include "sat/cnf.hpp"
+
+namespace cwatpg::gen {
+
+/// Random tree circuit: `num_gates` AND/OR/NOT gates, each gate's output
+/// consumed by exactly one later gate (fanout 1), gate arity in
+/// [2, max_arity] (NOT sprinkled with probability ~0.15), one output.
+/// Satisfies core::is_tree_circuit.
+net::Network random_tree(std::size_t num_gates, std::size_t max_arity,
+                         std::uint64_t seed);
+
+// -- Figure 4(a) worked example ---------------------------------------------
+
+/// Variable indices for the example: a=0, b=1, ..., i=8.
+enum Fig4Var : sat::Var {
+  kA = 0, kB, kC, kD, kE, kF, kG, kH, kI,
+};
+
+/// Formula 4.1: the CIRCUIT-SAT CNF of the Figure 4(a) circuit
+/// (f = NAND(b, ~c), g = NAND(d, e), h = AND(a, f), i = AND(h, g),
+/// output clause (i)).
+sat::Cnf formula41();
+
+/// The signal hypergraph of the example (Figure 6): 9 vertices, one
+/// two-point edge per internal net.
+net::Hypergraph fig4a_hypergraph();
+
+/// Ordering A of Figure 5/6: b, c, f, a, h, d, e, g, i — cut-width 3.
+std::vector<net::NodeId> fig4a_ordering_a();
+/// Ordering B of Figure 6 (alphabetical) — cut-width 5.
+std::vector<net::NodeId> fig4a_ordering_b();
+
+/// Gate-level Network equivalent of Figure 4(a) (explicit inverters).
+net::Network fig4a_network();
+
+/// The genuine ISCAS85 c17 benchmark (6 NAND gates) — the one real suite
+/// member small enough to embed verbatim.
+net::Network c17();
+
+}  // namespace cwatpg::gen

@@ -1,0 +1,239 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace cwatpg::net {
+namespace {
+
+struct GateDef {
+  std::size_t line = 0;
+  GateType type = GateType::kBuf;
+  std::vector<std::string> args;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+GateType gate_type_from(const std::string& keyword, std::size_t line) {
+  const std::string k = upper(keyword);
+  if (k == "AND") return GateType::kAnd;
+  if (k == "NAND") return GateType::kNand;
+  if (k == "OR") return GateType::kOr;
+  if (k == "NOR") return GateType::kNor;
+  if (k == "XOR") return GateType::kXor;
+  if (k == "XNOR") return GateType::kXnor;
+  if (k == "NOT" || k == "INV") return GateType::kNot;
+  if (k == "BUF" || k == "BUFF") return GateType::kBuf;
+  if (k == "DFF" || k == "DFFSR" || k == "LATCH")
+    throw ParseError(line, "sequential element '" + keyword +
+                               "' not supported (combinational suites only)");
+  throw ParseError(line, "unknown gate type '" + keyword + "'");
+}
+
+std::vector<std::string> split_args(const std::string& body,
+                                    std::size_t line) {
+  std::vector<std::string> args;
+  std::string cur;
+  for (char c : body) {
+    if (c == ',') {
+      const std::string a = trim(cur);
+      if (a.empty()) throw ParseError(line, "empty argument");
+      args.push_back(a);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  const std::string last = trim(cur);
+  if (!last.empty())
+    args.push_back(last);
+  else if (!args.empty())
+    throw ParseError(line, "trailing comma in argument list");
+  return args;
+}
+
+}  // namespace
+
+Network read_bench(std::istream& in, std::string name) {
+  std::vector<std::pair<std::string, std::size_t>> input_decls;
+  std::vector<std::pair<std::string, std::size_t>> output_decls;
+  std::unordered_map<std::string, GateDef> defs;
+
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) / OUTPUT(x)
+      const std::size_t lp = line.find('(');
+      const std::size_t rp = line.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+        throw ParseError(lineno, "malformed declaration '" + line + "'");
+      const std::string kw = upper(trim(line.substr(0, lp)));
+      const std::string sig = trim(line.substr(lp + 1, rp - lp - 1));
+      if (sig.empty()) throw ParseError(lineno, "empty signal name");
+      if (kw == "INPUT") {
+        input_decls.emplace_back(sig, lineno);
+      } else if (kw == "OUTPUT") {
+        output_decls.emplace_back(sig, lineno);
+      } else {
+        throw ParseError(lineno, "unknown declaration '" + kw + "'");
+      }
+      continue;
+    }
+
+    const std::string lhs = trim(line.substr(0, eq));
+    const std::string rhs = trim(line.substr(eq + 1));
+    if (lhs.empty()) throw ParseError(lineno, "empty signal on lhs");
+    const std::size_t lp = rhs.find('(');
+    const std::size_t rp = rhs.rfind(')');
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+      throw ParseError(lineno, "malformed gate expression '" + rhs + "'");
+
+    GateDef def;
+    def.line = lineno;
+    def.type = gate_type_from(trim(rhs.substr(0, lp)), lineno);
+    def.args = split_args(rhs.substr(lp + 1, rp - lp - 1), lineno);
+    if (def.args.empty()) throw ParseError(lineno, "gate with no inputs");
+    const bool unary =
+        def.type == GateType::kNot || def.type == GateType::kBuf;
+    if (unary && def.args.size() != 1)
+      throw ParseError(lineno, "NOT/BUFF take exactly one input");
+    if (!defs.emplace(lhs, std::move(def)).second)
+      throw ParseError(lineno, "signal '" + lhs + "' multiply driven");
+  }
+
+  for (const auto& [sig, ln] : input_decls)
+    if (defs.count(sig))
+      throw ParseError(ln, "INPUT '" + sig + "' also driven by a gate");
+
+  // Topological construction with cycle detection (iterative DFS).
+  Network netw;
+  netw.set_name(std::move(name));
+  std::unordered_map<std::string, NodeId> built;
+  for (const auto& [sig, ln] : input_decls) {
+    if (built.count(sig))
+      throw ParseError(ln, "INPUT '" + sig + "' declared twice");
+    built.emplace(sig, netw.add_input(sig));
+  }
+
+  enum class Mark : std::uint8_t { kUnseen, kActive, kDone };
+  std::unordered_map<std::string, Mark> mark;
+
+  // Explicit stack: (signal, next-arg-index).
+  auto build_signal = [&](const std::string& root) {
+    if (built.count(root)) return;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [sig, next] = stack.back();
+      const auto it = defs.find(sig);
+      if (it == defs.end())
+        throw ParseError(0, "signal '" + sig + "' is used but never driven");
+      const GateDef& def = it->second;
+      if (next == 0) {
+        Mark& m = mark[sig];
+        if (m == Mark::kActive)
+          throw ParseError(def.line, "combinational cycle through '" + sig + "'");
+        m = Mark::kActive;
+      }
+      bool descended = false;
+      while (next < def.args.size()) {
+        const std::string& arg = def.args[next];
+        ++next;
+        if (!built.count(arg)) {
+          if (mark[arg] == Mark::kActive)
+            throw ParseError(def.line,
+                             "combinational cycle through '" + arg + "'");
+          stack.emplace_back(arg, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      std::vector<NodeId> fis;
+      fis.reserve(def.args.size());
+      for (const std::string& arg : def.args) fis.push_back(built.at(arg));
+      built.emplace(sig, netw.add_gate(def.type, std::move(fis), sig));
+      mark[sig] = Mark::kDone;
+      stack.pop_back();
+    }
+  };
+
+  for (const auto& [sig, def] : defs) {
+    (void)def;
+    build_signal(sig);
+  }
+  for (const auto& [sig, ln] : output_decls) {
+    const auto it = built.find(sig);
+    if (it == built.end())
+      throw ParseError(ln, "OUTPUT '" + sig + "' is never driven");
+    netw.add_output(it->second, sig + "_po");
+  }
+  netw.validate();
+  return netw;
+}
+
+Network read_bench_string(const std::string& text, std::string name) {
+  std::istringstream ss(text);
+  return read_bench(ss, std::move(name));
+}
+
+Network read_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open .bench file: " + path);
+  std::string base = path;
+  const std::size_t slash = base.find_last_of('/');
+  if (slash != std::string::npos) base.erase(0, slash + 1);
+  const std::size_t dot = base.find_last_of('.');
+  if (dot != std::string::npos) base.erase(dot);
+  return read_bench(f, base);
+}
+
+void write_bench(std::ostream& out, const Network& netw) {
+  out << "# " << (netw.name().empty() ? "cwatpg netlist" : netw.name())
+      << "\n";
+  for (NodeId pi : netw.inputs())
+    out << "INPUT(" << netw.name_of(pi) << ")\n";
+  for (NodeId po : netw.outputs())
+    out << "OUTPUT(" << netw.name_of(netw.fanins(po)[0]) << ")\n";
+  out << "\n";
+  for (NodeId id = 0; id < netw.node_count(); ++id) {
+    const GateType t = netw.type(id);
+    if (!is_logic(t)) {
+      if (t == GateType::kConst0 || t == GateType::kConst1)
+        throw std::invalid_argument(
+            "write_bench: constants are not representable in .bench");
+      continue;
+    }
+    out << netw.name_of(id) << " = " << to_string(t) << "(";
+    const auto fis = netw.fanins(id);
+    for (std::size_t i = 0; i < fis.size(); ++i)
+      out << (i ? ", " : "") << netw.name_of(fis[i]);
+    out << ")\n";
+  }
+}
+
+}  // namespace cwatpg::net

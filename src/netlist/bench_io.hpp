@@ -1,0 +1,56 @@
+// ISCAS85 ".bench" netlist format reader and writer.
+//
+// The format the benchmark suites ship in:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G17)
+//   G10 = NAND(G1, G3)
+//   G17 = NOT(G10)
+//
+// Only combinational primitives are accepted (the suites the paper uses are
+// combinational); a DFF line raises ParseError. Reading a netlist we wrote
+// round-trips to a structurally identical network.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::net {
+
+/// Error with 1-based line number context from the .bench source.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error(".bench line " + std::to_string(line) + ": " +
+                           what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a .bench netlist from a stream. `name` becomes Network::name().
+/// Signals may be used before their defining line (the format permits it);
+/// the resulting Network is re-topologized. Throws ParseError on malformed
+/// input, unknown gate types, sequential elements, combinational cycles, or
+/// multiply-driven signals.
+Network read_bench(std::istream& in, std::string name = {});
+
+/// Convenience overload parsing from a string literal.
+Network read_bench_string(const std::string& text, std::string name = {});
+
+/// Parses from a file path; throws std::runtime_error if unreadable.
+Network read_bench_file(const std::string& path);
+
+/// Writes `net` in .bench syntax. Constants are emitted as 1-input
+/// AND(x, x)-free idiom: CONST0 as "name = AND(i, NOT i)" is *not* used;
+/// instead constants are rejected (the format has no constant primitive) —
+/// decompose-then-write pipelines never produce constants.
+void write_bench(std::ostream& out, const Network& net);
+
+}  // namespace cwatpg::net

@@ -1,0 +1,118 @@
+#include "netlist/cone.hpp"
+
+#include <stdexcept>
+
+namespace cwatpg::net {
+
+std::vector<bool> transitive_fanout(const Network& net, NodeId start) {
+  std::vector<bool> mask(net.node_count(), false);
+  std::vector<NodeId> stack{start};
+  mask[start] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId fo : net.fanouts(v)) {
+      if (!mask[fo]) {
+        mask[fo] = true;
+        stack.push_back(fo);
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<bool> transitive_fanin(const Network& net,
+                                   std::span<const NodeId> roots) {
+  std::vector<bool> mask(net.node_count(), false);
+  std::vector<NodeId> stack;
+  for (NodeId r : roots) {
+    if (!mask[r]) {
+      mask[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId fi : net.fanins(v)) {
+      if (!mask[fi]) {
+        mask[fi] = true;
+        stack.push_back(fi);
+      }
+    }
+  }
+  return mask;
+}
+
+SubCircuit extract(const Network& net, const std::vector<bool>& mask) {
+  if (mask.size() != net.node_count())
+    throw std::invalid_argument("extract: mask size mismatch");
+  SubCircuit sub;
+  sub.circuit.set_name(net.name());
+  sub.to_sub.assign(net.node_count(), kNullNode);
+
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    if (!mask[id]) continue;
+    const auto& n = net.node(id);
+    std::vector<NodeId> fis;
+    fis.reserve(n.fanins.size());
+    for (NodeId fi : n.fanins) {
+      if (!mask[fi] || sub.to_sub[fi] == kNullNode)
+        throw std::invalid_argument(
+            "extract: mask not closed under fanin at node " +
+            net.name_of(id));
+      fis.push_back(sub.to_sub[fi]);
+    }
+    NodeId nid = kNullNode;
+    switch (n.type) {
+      case GateType::kInput:
+        nid = sub.circuit.add_input(net.name_of(id));
+        break;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        nid = sub.circuit.add_const(n.type == GateType::kConst1,
+                                    net.name_of(id));
+        break;
+      case GateType::kOutput:
+        nid = sub.circuit.add_output(fis[0], net.name_of(id));
+        break;
+      default:
+        nid = sub.circuit.add_gate(n.type, std::move(fis), net.name_of(id));
+        break;
+    }
+    sub.to_sub[id] = nid;
+    sub.to_src.push_back(id);
+  }
+  return sub;
+}
+
+SubCircuit output_cone(const Network& net, NodeId po) {
+  if (po >= net.node_count() || net.type(po) != GateType::kOutput)
+    throw std::invalid_argument("output_cone: id is not a primary output");
+  const NodeId roots[] = {po};
+  return extract(net, transitive_fanin(net, roots));
+}
+
+SubCircuit fault_cone(const Network& net, NodeId site) {
+  if (site >= net.node_count())
+    throw std::invalid_argument("fault_cone: no such node");
+  const std::vector<bool> tfo = transitive_fanout(net, site);
+
+  std::vector<NodeId> observed;
+  for (NodeId po : net.outputs())
+    if (tfo[po]) observed.push_back(po);
+  if (observed.empty())
+    throw std::invalid_argument("fault_cone: fault site reaches no output");
+
+  // Closure: transitive fanin of everything in the fanout cone. Seeding
+  // with the whole TFO (not just its POs) matches the paper: side inputs of
+  // every fanout-cone gate must be justified.
+  std::vector<NodeId> seeds;
+  for (NodeId id = 0; id < net.node_count(); ++id)
+    if (tfo[id]) seeds.push_back(id);
+  // kOutput markers outside the TFO are never pulled in: markers have no
+  // fanouts into logic, so they appear in the closure only as seeds.
+  return extract(net, transitive_fanin(net, seeds));
+}
+
+}  // namespace cwatpg::net

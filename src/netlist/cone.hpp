@@ -1,0 +1,55 @@
+// Cone extraction: transitive fanin/fanout and subcircuit construction.
+//
+// Two constructions from the paper live here:
+//  * output cones C_1..C_p — the multi-output decomposition of §4.3, where
+//    CIRCUIT-SAT(C) is solved one single-output cone at a time;
+//  * C_psi^sub — "the subcircuit of C containing all gates, inputs and
+//    outputs in the transitive fanin of the transitive fanout of the
+//    fault-point X" (§2). Its size is the x-axis of Figure 8, and its
+//    cut-width the y-axis.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::net {
+
+/// A subcircuit plus the id correspondence with its source network.
+struct SubCircuit {
+  Network circuit;
+  /// source NodeId -> subcircuit NodeId (kNullNode when not included).
+  std::vector<NodeId> to_sub;
+  /// subcircuit NodeId -> source NodeId.
+  std::vector<NodeId> to_src;
+};
+
+/// Node mask of the transitive fanout of `start`, inclusive of `start`
+/// itself and of any kOutput markers reached.
+std::vector<bool> transitive_fanout(const Network& net, NodeId start);
+
+/// Node mask of the transitive fanin (closure over fanins) of every node in
+/// `roots`, inclusive of the roots.
+std::vector<bool> transitive_fanin(const Network& net,
+                                   std::span<const NodeId> roots);
+
+/// Extracts the subcircuit induced by `mask`. The mask must be closed under
+/// fanin for non-masked-out nodes (throws std::invalid_argument otherwise).
+/// Included kInput nodes become the subcircuit's PIs, included kOutput
+/// markers its POs. Node ids keep their relative (topological) order.
+SubCircuit extract(const Network& net, const std::vector<bool>& mask);
+
+/// The single-output cone feeding primary output `po` (a kOutput node id):
+/// transitive fanin of `po`, as its own network. Used to treat a p-output
+/// circuit as p single-output CIRCUIT-SAT problems (§4.3).
+SubCircuit output_cone(const Network& net, NodeId po);
+
+/// C_psi^sub for a fault located at node `site` (stem faults; for a branch
+/// fault on a gate input pass the *gate* as `site` — the cone is identical
+/// because the gate is the first fanout of the branch). Contains
+/// TFI(TFO(site)); POs are the original POs reachable from `site`. Throws
+/// std::invalid_argument if `site` reaches no primary output (such a fault
+/// is undetectable and excluded from the paper's per-fault scatter).
+SubCircuit fault_cone(const Network& net, NodeId site);
+
+}  // namespace cwatpg::net

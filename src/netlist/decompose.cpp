@@ -1,0 +1,122 @@
+#include "netlist/decompose.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace cwatpg::net {
+namespace {
+
+/// Builds a balanced tree of `type` gates over `leaves` with fanin <= k.
+NodeId build_tree(Network& out, GateType type, std::vector<NodeId> leaves,
+                  std::size_t k) {
+  if (leaves.size() == 1) return leaves[0];
+  while (leaves.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((leaves.size() + k - 1) / k);
+    for (std::size_t i = 0; i < leaves.size(); i += k) {
+      const std::size_t end = std::min(i + k, leaves.size());
+      if (end - i == 1) {
+        next.push_back(leaves[i]);
+      } else {
+        next.push_back(out.add_gate(
+            type, std::vector<NodeId>(leaves.begin() + static_cast<std::ptrdiff_t>(i),
+                                      leaves.begin() + static_cast<std::ptrdiff_t>(end))));
+      }
+    }
+    leaves = std::move(next);
+  }
+  return leaves[0];
+}
+
+/// 2-input XOR as AND/OR/NOT: (a & ~b) | (~a & b).
+NodeId build_xor2(Network& out, NodeId a, NodeId b) {
+  const NodeId na = out.add_gate(GateType::kNot, {a});
+  const NodeId nb = out.add_gate(GateType::kNot, {b});
+  const NodeId t0 = out.add_gate(GateType::kAnd, {a, nb});
+  const NodeId t1 = out.add_gate(GateType::kAnd, {na, b});
+  return out.add_gate(GateType::kOr, {t0, t1});
+}
+
+}  // namespace
+
+Network decompose(const Network& src, DecomposeOptions opts) {
+  if (opts.max_fanin < 2)
+    throw std::invalid_argument("decompose: max_fanin must be >= 2");
+  const std::size_t k = opts.max_fanin;
+
+  Network out;
+  out.set_name(src.name());
+  std::vector<NodeId> map(src.node_count(), kNullNode);
+
+  for (NodeId id = 0; id < src.node_count(); ++id) {
+    const auto& n = src.node(id);
+    switch (n.type) {
+      case GateType::kInput:
+        map[id] = out.add_input(src.name_of(id));
+        break;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        map[id] = out.add_const(n.type == GateType::kConst1, src.name_of(id));
+        break;
+      case GateType::kOutput:
+        map[id] = out.add_output(map[n.fanins[0]], src.name_of(id));
+        break;
+      case GateType::kBuf:
+        map[id] = map[n.fanins[0]];  // forwarded, buffer removed
+        break;
+      case GateType::kNot:
+        map[id] = out.add_gate(GateType::kNot, {map[n.fanins[0]]});
+        break;
+      case GateType::kAnd:
+      case GateType::kOr:
+      case GateType::kNand:
+      case GateType::kNor: {
+        std::vector<NodeId> leaves;
+        leaves.reserve(n.fanins.size());
+        for (NodeId fi : n.fanins) leaves.push_back(map[fi]);
+        const bool is_and = n.type == GateType::kAnd || n.type == GateType::kNand;
+        const bool inverted =
+            n.type == GateType::kNand || n.type == GateType::kNor;
+        NodeId root = build_tree(out, is_and ? GateType::kAnd : GateType::kOr,
+                                 std::move(leaves), k);
+        if (inverted) root = out.add_gate(GateType::kNot, {root});
+        map[id] = root;
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        NodeId acc = map[n.fanins[0]];
+        for (std::size_t i = 1; i < n.fanins.size(); ++i)
+          acc = build_xor2(out, acc, map[n.fanins[i]]);
+        if (n.type == GateType::kXnor)
+          acc = out.add_gate(GateType::kNot, {acc});
+        map[id] = acc;
+        break;
+      }
+    }
+  }
+  out.validate();
+  return out;
+}
+
+bool is_decomposed(const Network& net, std::size_t max_fanin) {
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    switch (net.type(id)) {
+      case GateType::kInput:
+      case GateType::kOutput:
+      case GateType::kConst0:
+      case GateType::kConst1:
+      case GateType::kNot:
+        break;
+      case GateType::kAnd:
+      case GateType::kOr:
+        if (net.fanins(id).size() > max_fanin) return false;
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cwatpg::net

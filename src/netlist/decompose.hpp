@@ -1,0 +1,34 @@
+// Technology decomposition, mirroring SIS `tech_decomp` as used in §5.2.2.
+//
+// The paper maps all benchmark circuits to AND/OR gates of at most three
+// inputs, allowing inversions, before building SAT formulas ("it is
+// difficult in practice to derive SAT formulas for arbitrary gates";
+// TEGUS enforces the same restriction). `decompose()` reproduces that
+// mapping:
+//   * NAND/NOR     -> AND/OR tree + inverter
+//   * XOR/XNOR     -> 2-input XOR chain, each expanded to AND/OR/NOT
+//   * wide AND/OR  -> balanced trees of <= max_fanin-input gates
+//   * BUF          -> removed (fanin forwarded)
+// The result contains only kInput/kOutput/kConst*/kNot/kAnd/kOr nodes with
+// fanin <= max_fanin, and is functionally equivalent to the source network
+// (verified by the test suite via exhaustive/random simulation).
+#pragma once
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::net {
+
+struct DecomposeOptions {
+  /// Maximum fanin of AND/OR gates in the result (>= 2). The paper uses 3.
+  std::size_t max_fanin = 3;
+};
+
+/// Returns the decomposed network. Throws std::invalid_argument if
+/// `opts.max_fanin < 2`.
+Network decompose(const Network& src, DecomposeOptions opts = {});
+
+/// True iff `net` is already in decomposed form: only AND/OR/NOT logic with
+/// fanin <= max_fanin (the form required by the SAT encoder's analysis).
+bool is_decomposed(const Network& net, std::size_t max_fanin = 3);
+
+}  // namespace cwatpg::net

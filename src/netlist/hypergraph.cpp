@@ -1,0 +1,45 @@
+#include "netlist/hypergraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cwatpg::net {
+
+std::size_t Hypergraph::num_pins() const {
+  std::size_t pins = 0;
+  for (const auto& e : edges) pins += e.size();
+  return pins;
+}
+
+void Hypergraph::validate() const {
+  for (const auto& e : edges) {
+    if (e.empty()) throw std::logic_error("Hypergraph: empty edge");
+    std::vector<NodeId> sorted(e);
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+      throw std::logic_error("Hypergraph: duplicate vertex in edge");
+    if (sorted.back() >= num_vertices)
+      throw std::logic_error("Hypergraph: vertex out of range");
+  }
+}
+
+Hypergraph to_hypergraph(const Network& net) {
+  Hypergraph hg;
+  hg.num_vertices = net.node_count();
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    const auto fos = net.fanouts(id);
+    if (fos.empty()) continue;
+    std::vector<NodeId> edge;
+    edge.reserve(fos.size() + 1);
+    edge.push_back(id);
+    for (NodeId fo : fos) edge.push_back(fo);
+    // A node may appear several times in the fanout list (a gate using the
+    // same signal on two pins); hyperedges are sets.
+    std::sort(edge.begin() + 1, edge.end());
+    edge.erase(std::unique(edge.begin(), edge.end()), edge.end());
+    hg.edges.push_back(std::move(edge));
+  }
+  return hg;
+}
+
+}  // namespace cwatpg::net

@@ -1,0 +1,36 @@
+// Circuit -> undirected hypergraph conversion (§4.2).
+//
+// "The network C can be seen as an undirected hypergraph with the signals
+// as the hyperedges, and the gates, inputs and outputs as the nodes."
+// Node v of the hypergraph is exactly NodeId v of the network; the
+// hyperedge for a signal driven by node d spans {d} ∪ fanouts(d).
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::net {
+
+/// Plain hypergraph: vertices 0..n-1, each edge a set of distinct vertices.
+/// Shared with src/partition (which consumes exactly this shape).
+struct Hypergraph {
+  std::size_t num_vertices = 0;
+  std::vector<std::vector<NodeId>> edges;
+
+  std::size_t num_edges() const { return edges.size(); }
+
+  /// Total number of vertex-edge incidences (pins).
+  std::size_t num_pins() const;
+
+  /// Throws std::logic_error if an edge references a missing vertex or
+  /// contains duplicates.
+  void validate() const;
+};
+
+/// Builds the signal hypergraph of `net`. Every driven signal with at least
+/// one sink becomes a hyperedge {driver} ∪ fanouts(driver); nodes with no
+/// fanout (e.g. kOutput markers) contribute no edge. Vertex v == NodeId v.
+Hypergraph to_hypergraph(const Network& net);
+
+}  // namespace cwatpg::net

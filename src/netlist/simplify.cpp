@@ -1,0 +1,149 @@
+#include "netlist/simplify.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "netlist/cone.hpp"
+
+namespace cwatpg::net {
+namespace {
+
+/// Builder wrapper that lazily materializes shared constant nodes.
+class ConstPool {
+ public:
+  explicit ConstPool(Network& out) : out_(out) {}
+
+  NodeId get(bool value) {
+    NodeId& slot = value ? one_ : zero_;
+    if (slot == kNullNode) slot = out_.add_const(value);
+    return slot;
+  }
+
+  std::optional<bool> value_of(NodeId id) const {
+    if (id == zero_) return false;
+    if (id == one_) return true;
+    switch (out_.type(id)) {
+      case GateType::kConst0: return false;
+      case GateType::kConst1: return true;
+      default: return std::nullopt;
+    }
+  }
+
+ private:
+  Network& out_;
+  NodeId zero_ = kNullNode;
+  NodeId one_ = kNullNode;
+};
+
+NodeId make_not(Network& out, ConstPool& consts, NodeId id) {
+  if (const auto c = consts.value_of(id)) return consts.get(!*c);
+  return out.add_gate(GateType::kNot, {id});
+}
+
+}  // namespace
+
+Network fold_constants(const Network& src) {
+  Network out;
+  out.set_name(src.name());
+  ConstPool consts(out);
+  std::vector<NodeId> map(src.node_count(), kNullNode);
+
+  for (NodeId id = 0; id < src.node_count(); ++id) {
+    const auto& node = src.node(id);
+    switch (node.type) {
+      case GateType::kInput:
+        map[id] = out.add_input(src.name_of(id));
+        continue;
+      case GateType::kConst0:
+      case GateType::kConst1:
+        map[id] = consts.get(node.type == GateType::kConst1);
+        continue;
+      case GateType::kOutput:
+        map[id] = out.add_output(map[node.fanins[0]], src.name_of(id));
+        continue;
+      default:
+        break;
+    }
+
+    // Gate: split mapped fanins into constants and live signals.
+    std::vector<NodeId> live;
+    bool parity = false;       // accumulated constant parity for XOR/XNOR
+    bool has_zero = false, has_one = false;
+    for (NodeId fi : node.fanins) {
+      const NodeId m = map[fi];
+      if (const auto c = consts.value_of(m)) {
+        (*c ? has_one : has_zero) = true;
+        parity ^= *c;
+      } else {
+        live.push_back(m);
+      }
+    }
+
+    const bool is_and =
+        node.type == GateType::kAnd || node.type == GateType::kNand;
+    const bool is_or =
+        node.type == GateType::kOr || node.type == GateType::kNor;
+    const bool inverted = node.type == GateType::kNand ||
+                          node.type == GateType::kNor ||
+                          node.type == GateType::kXnor ||
+                          node.type == GateType::kNot;
+
+    NodeId result = kNullNode;
+    switch (node.type) {
+      case GateType::kBuf:
+      case GateType::kNot:
+        result = live.empty() ? consts.get(parity) : live[0];
+        break;
+      case GateType::kAnd:
+      case GateType::kNand:
+      case GateType::kOr:
+      case GateType::kNor: {
+        const bool killing = is_and ? has_zero : has_one;
+        if (killing) {
+          result = consts.get(is_or);
+        } else if (live.empty()) {
+          // All inputs were the identity constant.
+          result = consts.get(is_and);
+        } else if (live.size() == 1) {
+          result = live[0];
+        } else {
+          result = out.add_gate(is_and ? GateType::kAnd : GateType::kOr,
+                                live, src.name_of(id));
+        }
+        break;
+      }
+      case GateType::kXor:
+      case GateType::kXnor: {
+        if (live.empty()) {
+          result = consts.get(parity);
+        } else if (live.size() == 1) {
+          result = parity ? make_not(out, consts, live[0]) : live[0];
+        } else {
+          result = out.add_gate(GateType::kXor, live, src.name_of(id));
+          if (parity) result = make_not(out, consts, result);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (inverted) result = make_not(out, consts, result);
+    map[id] = result;
+  }
+  return out;
+}
+
+Network sweep_dangling(const Network& src) {
+  std::vector<NodeId> roots(src.outputs().begin(), src.outputs().end());
+  if (roots.empty()) return src;
+  std::vector<bool> mask = transitive_fanin(src, roots);
+  // Keep every PI so the interface is stable.
+  for (NodeId pi : src.inputs()) mask[pi] = true;
+  return extract(src, mask).circuit;
+}
+
+Network simplify(const Network& src) {
+  return sweep_dangling(fold_constants(src));
+}
+
+}  // namespace cwatpg::net

@@ -1,0 +1,31 @@
+// Structural simplification passes: constant folding and dead-logic sweep.
+//
+// Generators compose circuits from cells and naturally leave constant-fed
+// gates behind (a multiplier row seeded with carry 0, a speculative adder
+// chain with carry 1). Such gates are real redundancy — their faults are
+// provably untestable — which distorts testability experiments. These
+// passes produce the irredundant-by-construction form:
+//   * fold_constants: propagates kConst0/kConst1 through gates
+//     (AND with 0 -> 0, XOR with 1 -> complement, single-survivor gates
+//     forward their input, ...);
+//   * sweep_dangling: removes logic not in the transitive fanin of any
+//     primary output.
+// Both preserve the circuit function on all primary outputs and the PI/PO
+// interface (including order and names).
+#pragma once
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::net {
+
+/// Returns the constant-folded network. A primary output whose cone folds
+/// to a constant keeps a single const node as its driver.
+Network fold_constants(const Network& src);
+
+/// Removes every node not reachable backwards from a primary output.
+Network sweep_dangling(const Network& src);
+
+/// fold_constants then sweep_dangling.
+Network simplify(const Network& src);
+
+}  // namespace cwatpg::net

@@ -1,0 +1,80 @@
+#include "netlist/simulate.hpp"
+
+#include <stdexcept>
+
+namespace cwatpg::net {
+namespace {
+
+SimFrame simulate_impl(const Network& net,
+                       std::span<const std::uint64_t> pi_words,
+                       NodeId fault_site, bool stuck_value, bool faulty) {
+  if (pi_words.size() != net.inputs().size())
+    throw std::invalid_argument("simulate64: wrong number of PI words");
+  SimFrame frame(net.node_count(), 0);
+  for (std::size_t i = 0; i < pi_words.size(); ++i)
+    frame[net.inputs()[i]] = pi_words[i];
+
+  std::vector<std::uint64_t> buf;
+  for (NodeId id = 0; id < net.node_count(); ++id) {
+    const auto& n = net.node(id);
+    switch (n.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        frame[id] = 0;
+        break;
+      case GateType::kConst1:
+        frame[id] = ~0ULL;
+        break;
+      case GateType::kOutput:
+        frame[id] = frame[n.fanins[0]];
+        break;
+      default: {
+        buf.clear();
+        for (NodeId fi : n.fanins) buf.push_back(frame[fi]);
+        frame[id] = eval_gate_word(n.type, buf);
+        break;
+      }
+    }
+    if (faulty && id == fault_site)
+      frame[id] = stuck_value ? ~0ULL : 0ULL;
+  }
+  return frame;
+}
+
+}  // namespace
+
+SimFrame simulate64(const Network& net,
+                    std::span<const std::uint64_t> pi_words) {
+  return simulate_impl(net, pi_words, kNullNode, false, false);
+}
+
+SimFrame simulate64_fault(const Network& net,
+                          std::span<const std::uint64_t> pi_words,
+                          NodeId site, bool stuck_value) {
+  if (site >= net.node_count())
+    throw std::invalid_argument("simulate64_fault: no such node");
+  return simulate_impl(net, pi_words, site, stuck_value, true);
+}
+
+std::vector<std::uint64_t> to_words(std::span<const bool> pattern) {
+  std::vector<std::uint64_t> words(pattern.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    words[i] = pattern[i] ? 1ULL : 0ULL;
+  return words;
+}
+
+std::vector<std::uint64_t> to_words(const std::vector<bool>& pattern) {
+  std::vector<std::uint64_t> words(pattern.size());
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    words[i] = pattern[i] ? 1ULL : 0ULL;
+  return words;
+}
+
+std::vector<std::uint64_t> random_pi_words(const Network& net, Rng& rng) {
+  std::vector<std::uint64_t> words(net.inputs().size());
+  for (auto& w : words) w = rng();
+  return words;
+}
+
+}  // namespace cwatpg::net

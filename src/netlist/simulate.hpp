@@ -1,0 +1,41 @@
+// 64-way bit-parallel logic simulation.
+//
+// Substrate for the fault simulator (src/fault/fsim) and for the functional-
+// equivalence checks in the test suite: each machine word carries 64
+// independent input patterns through the network in one forward pass.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/network.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::net {
+
+/// One 64-pattern simulation frame: `words[i]` holds the value of node i
+/// for each of the 64 patterns (bit b = pattern b).
+using SimFrame = std::vector<std::uint64_t>;
+
+/// Simulates 64 patterns at once. `pi_words[i]` supplies the 64 values of
+/// inputs()[i]. Returns the full frame (one word per node, kOutput nodes
+/// copying their fanin).
+SimFrame simulate64(const Network& net, std::span<const std::uint64_t> pi_words);
+
+/// Same, but with an injected stuck-at fault: the *output* of node `site`
+/// is forced to `stuck_value` in every pattern before its fanouts consume
+/// it. PIs and constants may be faulted too.
+SimFrame simulate64_fault(const Network& net,
+                          std::span<const std::uint64_t> pi_words,
+                          NodeId site, bool stuck_value);
+
+/// Expands one single-pattern assignment into words (bit 0 of each word).
+std::vector<std::uint64_t> to_words(std::span<const bool> pattern);
+/// Overload for bit-packed vector<bool> patterns.
+std::vector<std::uint64_t> to_words(const std::vector<bool>& pattern);
+
+/// Draws 64 random patterns (one word per PI) from `rng`.
+std::vector<std::uint64_t> random_pi_words(const Network& net, Rng& rng);
+
+}  // namespace cwatpg::net

@@ -1,0 +1,108 @@
+#include "netlist/topo_stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace cwatpg::net {
+namespace {
+
+/// True iff two distinct fanout branches of `stem` reach a common node.
+/// Marks reachability per branch with a small bitset (branch count of a
+/// stem is k_fo-bounded, <= 32 branches tracked).
+bool stem_reconverges(const Network& netw, NodeId stem) {
+  const auto branches = netw.fanouts(stem);
+  const std::size_t k = std::min<std::size_t>(branches.size(), 32);
+  if (k < 2) return false;
+  std::vector<std::uint32_t> mark(netw.node_count(), 0);
+  // Seed each branch with its own bit; propagate in topological id order.
+  for (std::size_t b = 0; b < k; ++b) {
+    // The same sink may appear on several pins; merging bits is fine (the
+    // *net* reconverges structurally at that sink only if two distinct
+    // sinks meet downstream — a duplicated pin is local reconvergence at
+    // the sink gate itself and counts too).
+    if (mark[branches[b]] != 0) return true;
+    mark[branches[b]] |= 1u << b;
+  }
+  NodeId first = *std::min_element(branches.begin(), branches.begin() +
+                                                         static_cast<std::ptrdiff_t>(k));
+  for (NodeId v = first; v < netw.node_count(); ++v) {
+    std::uint32_t bits = mark[v];
+    if (bits == 0) continue;
+    for (NodeId fo : netw.fanouts(v)) {
+      mark[fo] |= bits;
+      if ((mark[fo] & (mark[fo] - 1)) != 0) return true;  // >= 2 bits met
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TopoStats topo_stats(const Network& netw) {
+  TopoStats s;
+  s.nodes = netw.node_count();
+  s.gates = netw.gate_count();
+  s.inputs = netw.inputs().size();
+  s.outputs = netw.outputs().size();
+  s.depth = netw.depth();
+
+  std::size_t fanin_sum = 0;
+  std::size_t driven = 0, fanout_sum = 0, fanout1 = 0;
+  for (NodeId id = 0; id < netw.node_count(); ++id) {
+    if (is_logic(netw.type(id)))
+      fanin_sum += netw.fanins(id).size();
+    const std::size_t fo = netw.fanouts(id).size();
+    if (fo > 0) {
+      ++driven;
+      fanout_sum += fo;
+      if (fo == 1) ++fanout1;
+      s.max_fanout = std::max(s.max_fanout, fo);
+    }
+  }
+  s.mean_fanin = s.gates ? static_cast<double>(fanin_sum) /
+                               static_cast<double>(s.gates)
+                         : 0.0;
+  s.mean_fanout =
+      driven ? static_cast<double>(fanout_sum) / static_cast<double>(driven)
+             : 0.0;
+  s.fanout1_fraction =
+      driven ? static_cast<double>(fanout1) / static_cast<double>(driven)
+             : 0.0;
+
+  // Reconvergence over fanout stems.
+  std::size_t reconvergent = 0;
+  for (NodeId id = 0; id < netw.node_count(); ++id) {
+    if (netw.fanouts(id).size() < 2) continue;
+    ++s.fanout_stems;
+    if (stem_reconverges(netw, id)) ++reconvergent;
+  }
+  s.reconvergent_stem_fraction =
+      s.fanout_stems ? static_cast<double>(reconvergent) /
+                           static_cast<double>(s.fanout_stems)
+                     : 0.0;
+
+  // Level spans.
+  const auto levels = netw.levels();
+  std::size_t edges = 0;
+  double span_sum = 0;
+  for (NodeId id = 0; id < netw.node_count(); ++id) {
+    for (NodeId fo : netw.fanouts(id)) {
+      ++edges;
+      span_sum += static_cast<double>(levels[fo] > levels[id]
+                                          ? levels[fo] - levels[id]
+                                          : levels[id] - levels[fo]);
+    }
+  }
+  s.mean_level_span = edges ? span_sum / static_cast<double>(edges) : 0.0;
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const TopoStats& s) {
+  os << "nodes=" << s.nodes << " depth=" << s.depth
+     << " fanin=" << s.mean_fanin << " fanout=" << s.mean_fanout
+     << " fo1=" << s.fanout1_fraction
+     << " reconv=" << s.reconvergent_stem_fraction;
+  return os;
+}
+
+}  // namespace cwatpg::net

@@ -1,0 +1,51 @@
+// Topological circuit statistics (the characterization vocabulary of
+// Hutton et al. [14]).
+//
+// DESIGN.md's substitution argument — that synthetic suites can stand in
+// for ISCAS85/MCNC91 because the experiments only consume topology — is a
+// claim about these statistics: size, depth, fanin/fanout distributions,
+// wiring-length profile, and the amount of reconvergence. This module
+// computes them; bench_topology_stats prints them side by side for every
+// suite member so the resemblance is auditable rather than asserted.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::net {
+
+struct TopoStats {
+  std::size_t nodes = 0;
+  std::size_t gates = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t depth = 0;
+
+  double mean_fanin = 0;   ///< over logic gates
+  double mean_fanout = 0;  ///< over driven signals
+  std::size_t max_fanout = 0;
+  /// Fraction of driven signals with fanout exactly 1 (tree-ness).
+  double fanout1_fraction = 0;
+
+  /// Fraction of fanout stems (fanout >= 2) that reconverge: some node is
+  /// reachable from the stem via two fanout branches. This is the paper's
+  /// "minimality of reconvergence" made measurable.
+  double reconvergent_stem_fraction = 0;
+  std::size_t fanout_stems = 0;
+
+  /// Mean logic-level span of signal edges (|level(sink) - level(driver)|),
+  /// the "wire length" proxy of [14].
+  double mean_level_span = 0;
+};
+
+/// Computes all statistics in O(stems * cone) worst case (reconvergence
+/// needs one forward reachability sweep per stem).
+TopoStats topo_stats(const Network& net);
+
+/// One-line rendering for tables/logs.
+std::ostream& operator<<(std::ostream& os, const TopoStats& stats);
+
+}  // namespace cwatpg::net

@@ -1,0 +1,54 @@
+// Structural (gate-level) Verilog reader and writer.
+//
+// The ISCAS85 suite circulates both as .bench and as flat gate-level
+// Verilog; supporting the latter widens the set of real designs the
+// library can consume. The subset handled is the flat-netlist idiom:
+//
+//   module c17 (N1, N2, ..., N22, N23);
+//     input N1, N2, N3, N6, N7;
+//     output N22, N23;
+//     wire N10, N11, N16, N19;
+//     nand NAND2_1 (N10, N1, N3);
+//     ...
+//   endmodule
+//
+// Primitive gates and/or/nand/nor/xor/xnor/not/buf with the standard
+// output-first port convention; `assign lhs = rhs;` aliases are accepted
+// as buffers. One module per file; no parameters, no vectors, no
+// hierarchy, no always blocks (sequential or behavioral constructs raise
+// VerilogError).
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace cwatpg::net {
+
+class VerilogError : public std::runtime_error {
+ public:
+  VerilogError(std::size_t line, const std::string& what)
+      : std::runtime_error("verilog line " + std::to_string(line) + ": " +
+                           what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses one flat gate-level module. Signals may be used before their
+/// driving gate appears (the network is re-topologized). Throws
+/// VerilogError on unsupported constructs, cycles, or multiple drivers.
+Network read_verilog(std::istream& in);
+Network read_verilog_string(const std::string& text);
+Network read_verilog_file(const std::string& path);
+
+/// Writes `net` as a flat structural module (one primitive per gate;
+/// >2-input XOR/XNOR are emitted n-ary, which standard Verilog allows).
+/// Constants are emitted via `assign` to 1'b0/1'b1.
+void write_verilog(std::ostream& out, const Network& net);
+
+}  // namespace cwatpg::net

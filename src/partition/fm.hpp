@@ -1,0 +1,62 @@
+// Fiduccia–Mattheyses hypergraph bipartitioning.
+//
+// The paper estimates cut-width with "a placement based on recursive mincut
+// bipartitioning" using hMETIS; this module is our from-scratch stand-in.
+// It implements classic FM with gain buckets on *weighted* hypergraphs
+// (weights arise from multilevel coarsening, see multilevel.hpp): repeated
+// passes of locked single-vertex moves with rollback to the best prefix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/hypergraph.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::part {
+
+/// Hypergraph with vertex and edge weights. `edges[e]` lists distinct
+/// vertices; cut cost of a bisection is the weight-sum of edges spanning
+/// both sides.
+struct WeightedHg {
+  std::vector<std::vector<std::uint32_t>> edges;
+  std::vector<std::uint32_t> edge_weight;    // parallel to edges
+  std::vector<std::uint32_t> vertex_weight;  // one per vertex
+
+  std::size_t num_vertices() const { return vertex_weight.size(); }
+
+  /// Wraps an unweighted circuit hypergraph (all weights 1).
+  static WeightedHg from(const net::Hypergraph& hg);
+};
+
+struct FmConfig {
+  /// Allowed deviation of one side's weight from half the total, as a
+  /// fraction of total weight (0.1 => sides in [0.4, 0.6] of total).
+  double balance = 0.1;
+  /// Independent random starts; best result wins.
+  int num_starts = 4;
+  /// FM passes per start (stops earlier when a pass yields no gain).
+  int max_passes = 16;
+  std::uint64_t seed = 1;
+};
+
+struct Bisection {
+  std::vector<std::uint8_t> side;  // 0 or 1 per vertex
+  std::uint64_t cut = 0;           // weighted cut of `side`
+};
+
+/// Weighted cut of a given side assignment.
+std::uint64_t cut_cost(const WeightedHg& hg, std::span<const std::uint8_t> side);
+
+/// Runs FM refinement passes from `start` until no pass improves the cut.
+/// The returned bisection is balance-feasible whenever `start` is (a
+/// wildly infeasible start is first repaired greedily).
+Bisection fm_refine(const WeightedHg& hg, Bisection start,
+                    const FmConfig& config, Rng& rng);
+
+/// Full flat FM: random balanced starts + refinement, best of
+/// `config.num_starts`.
+Bisection fm_bisect(const WeightedHg& hg, const FmConfig& config);
+
+}  // namespace cwatpg::part

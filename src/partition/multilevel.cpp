@@ -1,0 +1,121 @@
+#include "partition/multilevel.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace cwatpg::part {
+
+WeightedHg coarsen(const WeightedHg& hg, Rng& rng,
+                   std::vector<std::uint32_t>& match_out) {
+  const std::size_t n = hg.num_vertices();
+  std::vector<std::vector<std::uint32_t>> incident(n);
+  for (std::size_t e = 0; e < hg.edges.size(); ++e)
+    for (std::uint32_t v : hg.edges[e])
+      incident[v].push_back(static_cast<std::uint32_t>(e));
+
+  // Randomized matching: for each unmatched vertex, pair it with an
+  // unmatched neighbour reached through its smallest incident edge
+  // (heavy-edge heuristic: small edges are the ones a cut should not split).
+  std::vector<std::uint32_t> mate(n, static_cast<std::uint32_t>(-1));
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = n; i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+
+  for (std::uint32_t v : order) {
+    if (mate[v] != static_cast<std::uint32_t>(-1)) continue;
+    std::uint32_t best = static_cast<std::uint32_t>(-1);
+    double best_score = -1.0;
+    for (std::uint32_t e : incident[v]) {
+      const double score = static_cast<double>(hg.edge_weight[e]) /
+                           static_cast<double>(hg.edges[e].size());
+      for (std::uint32_t u : hg.edges[e]) {
+        if (u == v || mate[u] != static_cast<std::uint32_t>(-1)) continue;
+        if (score > best_score) {
+          best_score = score;
+          best = u;
+        }
+        break;  // one candidate per edge keeps this linear
+      }
+    }
+    if (best != static_cast<std::uint32_t>(-1)) {
+      mate[v] = best;
+      mate[best] = v;
+    } else {
+      mate[v] = v;  // stays single
+    }
+  }
+
+  // Assign coarse ids.
+  match_out.assign(n, static_cast<std::uint32_t>(-1));
+  std::uint32_t next = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (match_out[v] != static_cast<std::uint32_t>(-1)) continue;
+    match_out[v] = next;
+    if (mate[v] != v) match_out[mate[v]] = next;
+    ++next;
+  }
+
+  WeightedHg coarse;
+  coarse.vertex_weight.assign(next, 0);
+  for (std::uint32_t v = 0; v < n; ++v)
+    coarse.vertex_weight[match_out[v]] += hg.vertex_weight[v];
+
+  // Rebuild edges; merge duplicates, drop singletons.
+  std::map<std::vector<std::uint32_t>, std::uint32_t> merged;
+  std::vector<std::uint32_t> tmp;
+  for (std::size_t e = 0; e < hg.edges.size(); ++e) {
+    tmp.clear();
+    for (std::uint32_t v : hg.edges[e]) tmp.push_back(match_out[v]);
+    std::sort(tmp.begin(), tmp.end());
+    tmp.erase(std::unique(tmp.begin(), tmp.end()), tmp.end());
+    if (tmp.size() < 2) continue;
+    merged[tmp] += hg.edge_weight[e];
+  }
+  for (auto& [verts, weight] : merged) {
+    coarse.edges.push_back(verts);
+    coarse.edge_weight.push_back(weight);
+  }
+  return coarse;
+}
+
+Bisection multilevel_bisect(const WeightedHg& hg,
+                            const MultilevelConfig& config) {
+  Rng rng(config.fm.seed ^ 0xc0a2537fULL);
+
+  // Build the coarsening hierarchy.
+  std::vector<WeightedHg> levels{hg};
+  std::vector<std::vector<std::uint32_t>> matches;
+  while (levels.back().num_vertices() > config.coarsest_size) {
+    std::vector<std::uint32_t> match;
+    WeightedHg coarse = coarsen(levels.back(), rng, match);
+    if (static_cast<double>(coarse.num_vertices()) >
+        config.min_shrink * static_cast<double>(levels.back().num_vertices()))
+      break;  // matching stalled (e.g. star topologies)
+    matches.push_back(std::move(match));
+    levels.push_back(std::move(coarse));
+  }
+
+  // Initial solution at the coarsest level.
+  Bisection part = fm_bisect(levels.back(), config.fm);
+
+  // Project up and refine.
+  for (std::size_t lvl = matches.size(); lvl-- > 0;) {
+    Bisection fine;
+    fine.side.resize(levels[lvl].num_vertices());
+    for (std::uint32_t v = 0; v < fine.side.size(); ++v)
+      fine.side[v] = part.side[matches[lvl][v]];
+    FmConfig refine_cfg = config.fm;
+    refine_cfg.num_starts = 1;
+    part = fm_refine(levels[lvl], std::move(fine), refine_cfg, rng);
+  }
+  return part;
+}
+
+Bisection multilevel_bisect(const net::Hypergraph& hg,
+                            const MultilevelConfig& config) {
+  return multilevel_bisect(WeightedHg::from(hg), config);
+}
+
+}  // namespace cwatpg::part

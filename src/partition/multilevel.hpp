@@ -1,0 +1,37 @@
+// Multilevel hypergraph bisection (heavy-edge coarsening + FM refinement).
+//
+// This is the hMETIS-shaped driver the paper relies on ([16]): match
+// vertices along hyperedges to build a hierarchy of shrinking weighted
+// hypergraphs, bisect the coarsest level with multi-start FM, then project
+// the bisection back up, refining with FM at every level. For small graphs
+// it degrades gracefully to flat FM.
+#pragma once
+
+#include "partition/fm.hpp"
+
+namespace cwatpg::part {
+
+struct MultilevelConfig {
+  FmConfig fm;
+  /// Stop coarsening when this few vertices remain.
+  std::size_t coarsest_size = 64;
+  /// Stop coarsening when a level shrinks by less than this factor.
+  double min_shrink = 0.9;
+};
+
+/// Bisects `hg`; the result is balance-feasible w.r.t. config.fm.balance.
+Bisection multilevel_bisect(const WeightedHg& hg,
+                            const MultilevelConfig& config = {});
+
+/// Convenience overload for circuit hypergraphs (unit weights).
+Bisection multilevel_bisect(const net::Hypergraph& hg,
+                            const MultilevelConfig& config = {});
+
+/// One coarsening step (exposed for tests): matches vertices along
+/// hyperedges (preferring small, heavy edges), merges matched pairs, and
+/// rebuilds edges with weights (parallel reduced edges combine; singleton
+/// edges vanish). `match_out[v]` receives the coarse vertex of v.
+WeightedHg coarsen(const WeightedHg& hg, Rng& rng,
+                   std::vector<std::uint32_t>& match_out);
+
+}  // namespace cwatpg::part

@@ -1,0 +1,101 @@
+#include "sat/average_case.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace cwatpg::sat {
+
+InstanceParams measure_params(const Cnf& f) {
+  InstanceParams params;
+  params.v = f.num_vars();
+  params.t = f.num_clauses();
+  params.mean_length =
+      params.t == 0 ? 0.0
+                    : static_cast<double>(f.num_literals()) /
+                          static_cast<double>(params.t);
+  params.p = params.v == 0
+                 ? 0.0
+                 : params.mean_length / (2.0 * static_cast<double>(params.v));
+  return params;
+}
+
+namespace {
+
+/// Shared log-sum-exp evaluation of sum_i 2^i * (1 - q_i)^t given a
+/// callable producing q_i (probability one clause is emptied at level i).
+template <typename QFn>
+double log2_tree_expectation(std::size_t v, std::size_t t, QFn q_at) {
+  double max_term = -1e300;
+  std::vector<double> terms;
+  terms.reserve(v + 1);
+  for (std::size_t i = 0; i <= v; ++i) {
+    const double q = q_at(i);
+    const double ln_survive =
+        q >= 1.0 ? -1e300 : (q < 1e-14 ? -q : std::log1p(-q));
+    const double log2_term =
+        static_cast<double>(i) +
+        static_cast<double>(t) * ln_survive / std::numbers::ln2;
+    terms.push_back(log2_term);
+    max_term = std::max(max_term, log2_term);
+  }
+  if (max_term <= -1e299) return 0.0;
+  double sum = 0.0;
+  for (double term : terms) sum += std::exp2(term - max_term);
+  return max_term + std::log2(sum);
+}
+
+}  // namespace
+
+double log2_expected_nodes(std::size_t v, std::size_t t, double p) {
+  if (v == 0) return 0.0;
+  p = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  const double log1mp = std::log1p(-p);
+  return log2_tree_expectation(v, t, [&](std::size_t i) {
+    // q_i = (1-p)^(2v-i): the clause contains only falsified literals
+    // (possibly none at all — the model permits empty clauses).
+    return std::exp(static_cast<double>(2 * v - i) * log1mp);
+  });
+}
+
+double log2_expected_nodes_nonempty(std::size_t v, std::size_t t, double p) {
+  if (v == 0) return 0.0;
+  p = std::clamp(p, 1e-12, 1.0 - 1e-12);
+  const double log1mp = std::log1p(-p);
+  const double p_nonempty =
+      -std::expm1(static_cast<double>(2 * v) * log1mp);  // 1-(1-p)^(2v)
+  return log2_tree_expectation(v, t, [&](std::size_t i) {
+    // q_i = P(emptied | non-empty) =
+    //   (1-p)^(2v-i) * (1 - (1-p)^i) / (1 - (1-p)^(2v)).
+    const double subset =
+        std::exp(static_cast<double>(2 * v - i) * log1mp);
+    const double some_literal =
+        -std::expm1(static_cast<double>(i) * log1mp);
+    return p_nonempty <= 0 ? 0.0 : subset * some_literal / p_nonempty;
+  });
+}
+
+double log2_expected_nodes_nonempty(const InstanceParams& params) {
+  return log2_expected_nodes_nonempty(params.v, params.t, params.p);
+}
+
+double log2_expected_nodes(const InstanceParams& params) {
+  return log2_expected_nodes(params.v, params.t, params.p);
+}
+
+double average_case_degree(const InstanceParams& params, double factor) {
+  if (params.v == 0 || factor <= 1.0) return 0.0;
+  const double base = log2_expected_nodes(params);
+  const auto scaled_v =
+      static_cast<std::size_t>(static_cast<double>(params.v) * factor);
+  const auto scaled_t =
+      static_cast<std::size_t>(static_cast<double>(params.t) * factor);
+  // Mean clause length fixed => p scales as 1/v.
+  const double scaled_p =
+      params.mean_length / (2.0 * static_cast<double>(scaled_v));
+  const double scaled = log2_expected_nodes(scaled_v, scaled_t, scaled_p);
+  return (scaled - base) / std::log2(factor);
+}
+
+}  // namespace cwatpg::sat

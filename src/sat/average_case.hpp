@@ -1,0 +1,59 @@
+// Purdom–Brown average-time analysis of backtracking (§3.3).
+//
+// Purdom and Brown model random CNF by (v, t, p): t clauses over v
+// variables, each of the 2v literals joining a clause independently with
+// probability p. For *simple backtracking* the expected number of
+// consistent nodes at level i has a closed form — a partial assignment of
+// i variables falsifies a random clause entirely with probability
+// (1-p)^(2v-i) (every literal must be absent or falsified, and exactly the
+// i assigned variables' falsified literals are "allowed"):
+//
+//     E[nodes] = sum_{i=0..v} 2^i * (1 - (1-p)^(2v-i))^t .
+//
+// Mapping a concrete ATPG-SAT instance into the model via its measured
+// (v, t, mean clause length => p = len/(2v)) and evaluating how E[nodes]
+// scales as the instance family grows reproduces the paper's §3.3
+// argument: the parameters of ATPG-SAT formulas land in a regime that is
+// polynomial on average — while the paper cautions (and the bench prints)
+// that this covers the *class*, not the ATPG subset, so it only suggests
+// easiness.
+#pragma once
+
+#include <cstddef>
+
+#include "sat/cnf.hpp"
+
+namespace cwatpg::sat {
+
+/// The random-clause model parameters of a concrete formula.
+struct InstanceParams {
+  std::size_t v = 0;       ///< variables
+  std::size_t t = 0;       ///< clauses
+  double mean_length = 0;  ///< average literals per clause
+  double p = 0;            ///< implied literal probability len/(2v)
+};
+
+InstanceParams measure_params(const Cnf& f);
+
+/// log2 of the Purdom–Brown expected backtracking-tree size for (v, t, p).
+/// Computed stably in log space.
+double log2_expected_nodes(std::size_t v, std::size_t t, double p);
+double log2_expected_nodes(const InstanceParams& params);
+
+/// Same expectation with every clause conditioned on being non-empty
+/// (real encodings never emit empty clauses, so this variant mirrors
+/// structured instances more closely; the unconditioned model is dominated
+/// by trivially-UNSAT formulas at ATPG-like parameters).
+double log2_expected_nodes_nonempty(std::size_t v, std::size_t t, double p);
+double log2_expected_nodes_nonempty(const InstanceParams& params);
+
+/// Empirical polynomial degree of the family through (v, t, p): scales the
+/// instance by `factor` in v and t (holding mean clause length fixed, so
+/// p shrinks as 1/v — the shape circuit-derived families follow) and
+/// returns d such that E[nodes] ~ v^d, i.e.
+///     d = (log2E(scaled) - log2E(base)) / log2(factor).
+/// Small d (and not growing with factor) is the §3.3 "polynomial average
+/// time" indication.
+double average_case_degree(const InstanceParams& params, double factor = 4.0);
+
+}  // namespace cwatpg::sat

@@ -1,0 +1,314 @@
+#include "sat/cache_sat.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cwatpg::sat {
+namespace {
+
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr std::uint64_t lit_key(Lit l) {
+  return mix64((static_cast<std::uint64_t>(l.code()) + 1) *
+               0x9e3779b97f4a7c15ULL);
+}
+
+/// Algorithm 1 engine. One-shot: construct, run(), discard.
+class CacheSatEngine {
+ public:
+  CacheSatEngine(const Cnf& f, std::span<const Var> order,
+                 const CacheSatConfig& config)
+      : f_(f), order_(order.begin(), order.end()), config_(config) {
+    const Var n = f.num_vars();
+    if (order_.size() != n)
+      throw std::invalid_argument("cache_sat: order must cover all variables");
+    std::vector<bool> seen(n, false);
+    for (Var v : order_) {
+      if (v >= n || seen[v])
+        throw std::invalid_argument("cache_sat: order is not a permutation");
+      seen[v] = true;
+    }
+
+    assign_.assign(n, kUndef);
+    occurrences_.resize(n);
+    const auto m = f.num_clauses();
+    n_true_.assign(m, 0);
+    n_unassigned_.assign(m, 0);
+    residual_sum_.assign(m, 0);
+    for (std::size_t ci = 0; ci < m; ++ci) {
+      for (Lit l : f.clause(ci)) {
+        occurrences_[l.var()].push_back({static_cast<std::uint32_t>(ci), l});
+        ++n_unassigned_[ci];
+        residual_sum_[ci] += lit_key(l);
+      }
+    }
+    active_count_ = m;
+    formula_hash_ = 0;
+    for (std::size_t ci = 0; ci < m; ++ci) formula_hash_ += fingerprint(ci);
+  }
+
+  void finalize_dcsf() {
+    if (!config_.track_dcsf) return;
+    stats_.dcsf_per_level.clear();
+    for (const auto& level : dcsf_sets_)
+      stats_.dcsf_per_level.push_back(level.size());
+  }
+
+  CacheSatResult run() {
+    CacheSatResult result;
+    if (f_.num_clauses() == 0) {
+      result.status = SolveStatus::kSat;
+      result.model.assign(f_.num_vars(), false);
+      result.stats = stats_;
+      return result;
+    }
+    if (order_.empty()) {
+      // Clauses but no variables cannot happen (clauses are nonempty).
+      result.status = SolveStatus::kUnsat;
+      result.stats = stats_;
+      return result;
+    }
+    // procedure Sat: try v_first = 0, then v_first = 1.
+    for (int b = 0; b <= 1; ++b) {
+      const Outcome out = search(b != 0);
+      if (out == Outcome::kSat) {
+        result.status = SolveStatus::kSat;
+        result.model.resize(f_.num_vars());
+        for (Var v = 0; v < f_.num_vars(); ++v)
+          result.model[v] = assign_[v] == kTrue;
+        finalize_dcsf();
+        result.stats = stats_;
+        return result;
+      }
+      if (out == Outcome::kAborted) {
+        result.status = SolveStatus::kUnknown;
+        finalize_dcsf();
+        result.stats = stats_;
+        return result;
+      }
+    }
+    result.status = SolveStatus::kUnsat;
+    finalize_dcsf();
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  static constexpr std::uint8_t kFalse = 0, kTrue = 1, kUndef = 2;
+
+  enum class Outcome : std::uint8_t { kSat, kUnsat, kAborted };
+  enum class Phase : std::uint8_t { kEnter, kChild0Done, kChild1Done };
+
+  struct Occurrence {
+    std::uint32_t clause;
+    Lit lit;
+  };
+
+  struct Frame {
+    std::uint32_t depth;  // index into order_
+    std::uint8_t value;   // assignment tried at this node
+    Phase phase;
+  };
+
+  std::uint64_t fingerprint(std::size_t ci) const {
+    // Identical residual clauses (same remaining literal set) must agree,
+    // independent of clause index.
+    return mix64(residual_sum_[ci] * 0x2545f4914f6cdd1dULL +
+                 n_unassigned_[ci] + 0x9e3779b97f4a7c15ULL);
+  }
+
+  void assign(Var v, bool value) {
+    assign_[v] = value ? kTrue : kFalse;
+    for (const Occurrence& occ : occurrences_[v]) {
+      const std::size_t ci = occ.clause;
+      const bool was_active = n_true_[ci] == 0;
+      if (was_active) formula_hash_ -= fingerprint(ci);
+      if (occ.lit.negated() != value) {
+        // Literal became true.
+        if (was_active) --active_count_;
+        ++n_true_[ci];
+      } else {
+        --n_unassigned_[ci];
+        residual_sum_[ci] -= lit_key(occ.lit);
+        if (was_active && n_unassigned_[ci] == 0) ++null_count_;
+      }
+      if (n_true_[ci] == 0) formula_hash_ += fingerprint(ci);
+    }
+  }
+
+  void unassign(Var v) {
+    const bool value = assign_[v] == kTrue;
+    assign_[v] = kUndef;
+    for (const Occurrence& occ : occurrences_[v]) {
+      const std::size_t ci = occ.clause;
+      const bool was_active = n_true_[ci] == 0;
+      if (was_active) formula_hash_ -= fingerprint(ci);
+      if (occ.lit.negated() != value) {
+        --n_true_[ci];
+        if (n_true_[ci] == 0) ++active_count_;
+      } else {
+        if (was_active && n_unassigned_[ci] == 0) --null_count_;
+        ++n_unassigned_[ci];
+        residual_sum_[ci] += lit_key(occ.lit);
+      }
+      if (n_true_[ci] == 0) formula_hash_ += fingerprint(ci);
+    }
+  }
+
+  /// Canonical residual: sorted set of reduced clauses, each a sorted list
+  /// of literal codes, flattened with length prefixes. Only computed in
+  /// verify_exact mode.
+  std::vector<std::uint32_t> canonical_residual() const {
+    std::vector<std::vector<std::uint32_t>> reduced;
+    for (std::size_t ci = 0; ci < f_.num_clauses(); ++ci) {
+      if (n_true_[ci] != 0) continue;
+      std::vector<std::uint32_t> lits;
+      for (Lit l : f_.clause(ci))
+        if (assign_[l.var()] == kUndef) lits.push_back(l.code());
+      std::sort(lits.begin(), lits.end());
+      reduced.push_back(std::move(lits));
+    }
+    std::sort(reduced.begin(), reduced.end());
+    reduced.erase(std::unique(reduced.begin(), reduced.end()), reduced.end());
+    std::vector<std::uint32_t> flat;
+    for (const auto& c : reduced) {
+      flat.push_back(static_cast<std::uint32_t>(c.size()));
+      flat.insert(flat.end(), c.begin(), c.end());
+    }
+    return flat;
+  }
+
+  bool cache_lookup() {
+    if (!config_.use_cache) return false;
+    if (!config_.verify_exact) return table_.count(formula_hash_) != 0;
+    const auto it = exact_table_.find(formula_hash_);
+    if (it == exact_table_.end()) return false;
+    const auto canon = canonical_residual();
+    for (const auto& stored : it->second)
+      if (stored == canon) return true;
+    ++stats_.hash_collisions;
+    return false;
+  }
+
+  void cache_insert() {
+    if (!config_.use_cache) return;
+    ++stats_.cache_insertions;
+    if (!config_.verify_exact) {
+      table_.insert(formula_hash_);
+    } else {
+      exact_table_[formula_hash_].push_back(canonical_residual());
+    }
+  }
+
+  enum class Enter : std::uint8_t { kSat, kPrune, kExpand, kAborted };
+
+  Enter enter(std::uint32_t depth, bool value) {
+    ++stats_.nodes;
+    stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, depth + 1);
+    if (stats_.nodes > config_.max_nodes) return Enter::kAborted;
+    assign(order_[depth], value);
+    if (config_.track_dcsf && null_count_ == 0) {
+      if (dcsf_sets_.size() <= depth) dcsf_sets_.resize(depth + 1);
+      dcsf_sets_[depth].insert(formula_hash_);
+    }
+    if (null_count_ > 0) {
+      ++stats_.null_prunes;
+      return Enter::kPrune;
+    }
+    if (cache_lookup()) {
+      ++stats_.cache_hits;
+      return Enter::kPrune;
+    }
+    if (config_.early_sat && active_count_ == 0) return Enter::kSat;
+    if (depth + 1 == order_.size())
+      // Fully assigned with no NULL clause: every clause is satisfied.
+      return Enter::kSat;
+    return Enter::kExpand;
+  }
+
+  Outcome search(bool root_value) {
+    std::vector<Frame> stack;
+    stack.push_back({0, root_value ? std::uint8_t{1} : std::uint8_t{0},
+                     Phase::kEnter});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      switch (frame.phase) {
+        case Phase::kEnter: {
+          const Enter action = enter(frame.depth, frame.value != 0);
+          if (action == Enter::kSat) return Outcome::kSat;
+          if (action == Enter::kAborted) {
+            // Leave assignments; caller aborts the whole run.
+            return Outcome::kAborted;
+          }
+          if (action == Enter::kPrune) {
+            unassign(order_[frame.depth]);
+            stack.pop_back();
+            break;
+          }
+          frame.phase = Phase::kChild0Done;
+          stack.push_back({frame.depth + 1, 0, Phase::kEnter});
+          break;
+        }
+        case Phase::kChild0Done: {
+          // Child with value 0 returned UNSAT (SAT exits the loop).
+          frame.phase = Phase::kChild1Done;
+          stack.push_back({frame.depth + 1, 1, Phase::kEnter});
+          break;
+        }
+        case Phase::kChild1Done: {
+          // Both subtrees UNSAT: cache this sub-formula, backtrack.
+          cache_insert();
+          unassign(order_[frame.depth]);
+          stack.pop_back();
+          break;
+        }
+      }
+    }
+    return Outcome::kUnsat;
+  }
+
+  const Cnf& f_;
+  std::vector<Var> order_;
+  CacheSatConfig config_;
+
+  std::vector<std::uint8_t> assign_;
+  std::vector<std::vector<Occurrence>> occurrences_;
+  std::vector<std::uint32_t> n_true_;
+  std::vector<std::uint32_t> n_unassigned_;
+  std::vector<std::uint64_t> residual_sum_;
+  std::uint64_t formula_hash_ = 0;
+  std::size_t active_count_ = 0;
+  std::size_t null_count_ = 0;
+
+  std::unordered_set<std::uint64_t> table_;
+  std::vector<std::unordered_set<std::uint64_t>> dcsf_sets_;
+  std::unordered_map<std::uint64_t, std::vector<std::vector<std::uint32_t>>>
+      exact_table_;
+
+  CacheSatStats stats_;
+};
+
+}  // namespace
+
+CacheSatResult cache_sat(const Cnf& f, std::span<const Var> order,
+                         CacheSatConfig config) {
+  CacheSatEngine engine(f, order, config);
+  return engine.run();
+}
+
+std::vector<Var> identity_order(const Cnf& f) {
+  std::vector<Var> order(f.num_vars());
+  for (Var v = 0; v < f.num_vars(); ++v) order[v] = v;
+  return order;
+}
+
+}  // namespace cwatpg::sat

@@ -1,0 +1,81 @@
+// Algorithm 1 of the paper: caching-based simple backtracking for SAT.
+//
+// Simple backtracking over a *fixed static variable order* h, except that
+// whenever the search backtracks out of an unsatisfiable sub-formula, the
+// sub-formula (the residual clause set) is cached; before expanding any
+// node the residual is looked up and, if present, the branch is pruned
+// without further work (§4.1, Figure 5).
+//
+// Sub-formula identity follows the paper exactly: a sub-formula is the set
+// of not-yet-satisfied clauses, each reduced to its unassigned literals
+// (footnote 2: no functional equivalence, set equality only). Residuals are
+// fingerprinted with an incrementally maintained 64-bit commutative hash;
+// `verify_exact` additionally stores canonical forms and compares them on
+// every hit, so hash collisions can be detected (none are expected — the
+// test suite runs both modes).
+//
+// Soundness of the cache at any depth: satisfiability of a clause set does
+// not depend on which prefix assignment produced it, so "this residual was
+// UNSAT once" is a valid proof of UNSAT wherever the same residual recurs.
+//
+// The solver doubles as the measurement instrument for Theorem 4.1: the
+// number of Cache_Sat invocations is the size of the backtracking tree,
+// which the theorem bounds by O(n * 2^(2*k_fo*W(C,h))).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/cnf.hpp"
+#include "sat/solver.hpp"
+
+namespace cwatpg::sat {
+
+struct CacheSatConfig {
+  /// Disable to obtain plain "simple backtracking" (the ablation baseline).
+  bool use_cache = true;
+  /// Count the distinct consistent sub-formulas (DCSFs) per assignment
+  /// level — the quantity Lemma 4.1 bounds by 2^(2*k_fo*cut). Adds one
+  /// hash-set insert per tree node.
+  bool track_dcsf = false;
+  /// Store canonical residuals and compare exactly on every hash hit.
+  bool verify_exact = false;
+  /// Abort with kUnknown after this many backtracking-tree nodes.
+  std::uint64_t max_nodes = std::uint64_t(-1);
+  /// Stop a branch as SAT as soon as every clause is satisfied (rather than
+  /// assigning the remaining variables). Matches practical backtracking;
+  /// turn off to model the textbook full-assignment tree.
+  bool early_sat = true;
+};
+
+struct CacheSatStats {
+  std::uint64_t nodes = 0;        ///< Cache_Sat calls == backtracking-tree size
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t null_prunes = 0;  ///< branches cut by an empty (NULL) clause
+  std::uint64_t max_depth = 0;
+  std::uint64_t hash_collisions = 0;  ///< only counted with verify_exact
+  /// With track_dcsf: dcsf_per_level[i] = number of distinct consistent
+  /// sub-formulas observed after assigning order[0..i] (per Lemma 4.1,
+  /// bounded by 2^(2*k_fo*cut_i)).
+  std::vector<std::uint64_t> dcsf_per_level;
+};
+
+struct CacheSatResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  std::vector<bool> model;  ///< complete assignment when kSat
+  CacheSatStats stats;
+};
+
+/// Runs Algorithm 1 on `f` with static variable order `order`.
+/// `order` must be a permutation of 0..f.num_vars()-1 (every variable
+/// appears exactly once); throws std::invalid_argument otherwise.
+CacheSatResult cache_sat(const Cnf& f, std::span<const Var> order,
+                         CacheSatConfig config = {});
+
+/// Identity order 0..n-1 (for encodings where variable == NodeId this is
+/// the circuit's construction/topological order).
+std::vector<Var> identity_order(const Cnf& f);
+
+}  // namespace cwatpg::sat

@@ -1,0 +1,57 @@
+// Polynomial-time SAT class recognizers (§3.1).
+//
+// The paper examines whether ATPG-SAT instances land in one of the known
+// tractable CNF classes — Horn, reverse Horn, 2-SAT, hidden (renamable)
+// Horn, and the q-Horn superclass of Boros–Crama–Hammer — and exhibits
+// circuits whose ATPG-SAT formulas are not even q-Horn, ruling this
+// approach out as an explanation. These recognizers let the bench
+// (bench_sat_classes) regenerate that argument on live instances.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sat/cnf.hpp"
+
+namespace cwatpg::sat {
+
+/// Every clause has at most one positive literal.
+bool is_horn(const Cnf& f);
+
+/// Every clause has at most one negative literal.
+bool is_reverse_horn(const Cnf& f);
+
+/// Hidden (renamable) Horn: a set of variables can be complemented so the
+/// formula becomes Horn. Returns the renaming (flip[v] == true) or nullopt.
+/// Linear-time via the classic 2-SAT reduction (Lewis 1978).
+std::optional<std::vector<bool>> hidden_horn_renaming(const Cnf& f);
+
+/// q-Horn (Boros–Crama–Hammer): there is a in [0,1]^n with, for every
+/// clause, sum_{x in C} a_x + sum_{~x in C} (1-a_x) <= 1. Subsumes Horn
+/// (a=0), reverse Horn (a=1), 2-SAT (a=1/2) and hidden Horn.
+struct QHorn {
+  bool is_qhorn = false;
+  /// Witness valuation when is_qhorn (the LP's feasible point).
+  std::vector<double> alpha;
+};
+/// Decides membership by LP feasibility (dense simplex). Intended for
+/// instances up to a few hundred variables; throws std::invalid_argument
+/// beyond `max_vars` to protect against accidental O(n^2 m) blowups.
+QHorn q_horn(const Cnf& f, std::size_t max_vars = 400);
+
+/// Summary used by the bench: which classes a formula belongs to.
+struct ClassReport {
+  bool horn = false;
+  bool reverse_horn = false;
+  bool two_sat = false;
+  bool hidden_horn = false;
+  bool qhorn = false;
+  bool qhorn_checked = false;  ///< false when the formula exceeded max_vars
+};
+ClassReport classify(const Cnf& f, std::size_t qhorn_max_vars = 400);
+
+/// Human-readable one-liner ("horn,hidden-horn,q-horn" or "none").
+std::string to_string(const ClassReport& report);
+
+}  // namespace cwatpg::sat

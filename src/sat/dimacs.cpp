@@ -1,0 +1,75 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <sstream>
+
+namespace cwatpg::sat {
+
+Cnf read_dimacs(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+  bool have_header = false;
+  long declared_vars = 0, declared_clauses = 0;
+  Cnf cnf;
+  Clause current;
+  std::size_t clauses_read = 0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == 'c' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    if (line[0] == 'p') {
+      if (have_header) throw DimacsError(lineno, "duplicate header");
+      std::string p, fmt;
+      ss >> p >> fmt >> declared_vars >> declared_clauses;
+      if (!ss || fmt != "cnf" || declared_vars < 0 || declared_clauses < 0)
+        throw DimacsError(lineno, "malformed header");
+      have_header = true;
+      cnf = Cnf(static_cast<Var>(declared_vars));
+      continue;
+    }
+    if (!have_header)
+      throw DimacsError(lineno, "clause before 'p cnf' header");
+    long literal;
+    while (ss >> literal) {
+      if (literal == 0) {
+        if (current.empty())
+          throw DimacsError(lineno, "empty clause");
+        cnf.add_clause(current);  // may drop tautologies
+        current.clear();
+        ++clauses_read;
+        continue;
+      }
+      const long magnitude = literal < 0 ? -literal : literal;
+      if (magnitude > declared_vars)
+        throw DimacsError(lineno, "literal out of range");
+      current.push_back(
+          Lit(static_cast<Var>(magnitude - 1), literal < 0));
+    }
+    if (!ss.eof() && ss.fail()) {
+      // Non-numeric garbage on a clause line.
+      std::string word;
+      ss.clear();
+      ss >> word;
+      if (!word.empty())
+        throw DimacsError(lineno, "unexpected token '" + word + "'");
+    }
+  }
+  if (!have_header) throw DimacsError(lineno, "missing 'p cnf' header");
+  if (!current.empty())
+    throw DimacsError(lineno, "unterminated clause (missing 0)");
+  if (clauses_read != static_cast<std::size_t>(declared_clauses))
+    throw DimacsError(lineno, "clause count mismatch: header says " +
+                                  std::to_string(declared_clauses) +
+                                  ", file has " +
+                                  std::to_string(clauses_read));
+  return cnf;
+}
+
+Cnf read_dimacs_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_dimacs(ss);
+}
+
+}  // namespace cwatpg::sat

@@ -1,0 +1,39 @@
+// DIMACS CNF reader (the writer is Cnf::to_dimacs).
+//
+// Interop with external SAT tooling: ATPG-SAT instances exported by this
+// library can be fed to any solver, and external benchmark formulas can be
+// run through Algorithm 1 / the CDCL solver / the class recognizers.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "sat/cnf.hpp"
+
+namespace cwatpg::sat {
+
+/// Error with 1-based line context.
+class DimacsError : public std::runtime_error {
+ public:
+  DimacsError(std::size_t line, const std::string& what)
+      : std::runtime_error("dimacs line " + std::to_string(line) + ": " +
+                           what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses DIMACS CNF: optional 'c' comment lines, one 'p cnf V C' header,
+/// then clauses as 0-terminated literal lists (free-form whitespace,
+/// clauses may span lines). Tautological clauses are dropped (matching
+/// Cnf::add_clause); an empty clause or a literal out of range raises
+/// DimacsError, as does a clause count mismatch.
+Cnf read_dimacs(std::istream& in);
+
+/// Convenience overload for string literals.
+Cnf read_dimacs_string(const std::string& text);
+
+}  // namespace cwatpg::sat

@@ -1,0 +1,49 @@
+// Static global implications (the TEGUS preprocessing of §4.1).
+//
+// "Most popular backtracking based algorithms ... provide some feature to
+// reduce conflicts during backtracking. This may be in the form of a
+// pre-processed set of global implications [TEGUS] or ... conflict-induced
+// clauses [GRASP]." Algorithm 1's cache models the effect; this module
+// implements the TEGUS half literally, so the bench can compare all three
+// mechanisms on the same instances:
+//   * for every literal l, unit-propagate {l}: each implied literal m that
+//     is not a direct consequence of an existing binary clause yields the
+//     learned binary clause (~l ∨ m);
+//   * a propagation conflict proves the *failed literal* l, adding the
+//     unit clause (~l).
+#pragma once
+
+#include <cstdint>
+
+#include "sat/cnf.hpp"
+
+namespace cwatpg::sat {
+
+struct ImplicationStats {
+  std::size_t literals_tested = 0;
+  std::size_t failed_literals = 0;   ///< units learned
+  std::size_t binaries_added = 0;    ///< (~l ∨ m) clauses learned
+  bool proved_unsat = false;         ///< both l and ~l failed for some v
+};
+
+struct ImplicationConfig {
+  /// Stop after learning this many clauses (guards quadratic blowup).
+  std::size_t max_learned = 100'000;
+  /// Skip implications already expressible by one existing binary clause.
+  bool skip_direct = true;
+};
+
+/// Returns `f` augmented with the learned units/binaries; `stats_out`
+/// (optional) receives the accounting. The result is equisatisfiable with
+/// (in fact logically equivalent to) `f`.
+Cnf add_static_implications(const Cnf& f,
+                            ImplicationStats* stats_out = nullptr,
+                            const ImplicationConfig& config = {});
+
+/// Plain unit propagation on a clause list from the given assumptions.
+/// Returns false on conflict; `implied_out` receives the implied literals
+/// (assumptions excluded) in propagation order.
+bool unit_propagate(const Cnf& f, std::span<const Lit> assumptions,
+                    std::vector<Lit>& implied_out);
+
+}  // namespace cwatpg::sat

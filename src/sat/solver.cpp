@@ -1,0 +1,367 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cwatpg::sat {
+
+// ---------------------------------------------------------------------------
+// Indexed max-heap over variable activities (decision ordering).
+
+void Solver::heap_swap(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  heap_pos_[heap_[a]] = a;
+  heap_pos_[heap_[b]] = b;
+}
+
+void Solver::heap_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[heap_[i]]) break;
+    heap_swap(parent, i);
+    i = parent;
+  }
+}
+
+void Solver::heap_down(std::size_t i) {
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t best = i;
+    if (l < heap_.size() && activity_[heap_[l]] > activity_[heap_[best]])
+      best = l;
+    if (r < heap_.size() && activity_[heap_[r]] > activity_[heap_[best]])
+      best = r;
+    if (best == i) break;
+    heap_swap(i, best);
+    i = best;
+  }
+}
+
+void Solver::heap_insert(Var v) {
+  if (heap_pos_[v] != kNotInHeap) return;
+  heap_pos_[v] = heap_.size();
+  heap_.push_back(v);
+  heap_up(heap_.size() - 1);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_swap(0, heap_.size() - 1);
+  heap_.pop_back();
+  heap_pos_[top] = kNotInHeap;
+  if (!heap_.empty()) heap_down(0);
+  return top;
+}
+
+// ---------------------------------------------------------------------------
+
+Solver::Solver(const Cnf& cnf, SolverConfig config) : config_(config) {
+  const Var n = cnf.num_vars();
+  watches_.resize(static_cast<std::size_t>(n) * 2);
+  assign_.assign(n, kUndef);
+  level_.assign(n, 0);
+  reason_.assign(n, kNoReason);
+  activity_.assign(n, 0.0);
+  polarity_.assign(n, false);
+  seen_.assign(n, 0);
+  model_.assign(n, false);
+  heap_pos_.assign(n, kNotInHeap);
+  heap_.reserve(n);
+  for (Var v = 0; v < n; ++v) heap_insert(v);
+
+  for (const Clause& c : cnf.clauses()) {
+    // Strip root-falsified literals; drop root-satisfied clauses. (Units
+    // may already be on the trail from earlier clauses.)
+    Clause reduced;
+    bool satisfied = false;
+    for (Lit l : c) {
+      const std::uint8_t v = value(l);
+      if (v == kTrue) {
+        satisfied = true;
+        break;
+      }
+      if (v == kUndef) reduced.push_back(l);
+    }
+    if (satisfied) continue;
+    if (reduced.empty()) {
+      root_conflict_ = true;
+      return;
+    }
+    if (reduced.size() == 1) {
+      if (!enqueue(reduced[0], kNoReason) || propagate() != kNoReason) {
+        root_conflict_ = true;
+        return;
+      }
+      continue;
+    }
+    add_internal_clause(std::move(reduced));
+  }
+}
+
+std::uint32_t Solver::add_internal_clause(Clause c) {
+  const auto index = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back(std::move(c));
+  attach(index);
+  return index;
+}
+
+void Solver::attach(std::uint32_t clause_index) {
+  const Clause& c = clauses_[clause_index];
+  watches_[(~c[0]).code()].push_back({clause_index, c[1]});
+  watches_[(~c[1]).code()].push_back({clause_index, c[0]});
+}
+
+bool Solver::enqueue(Lit l, std::uint32_t reason) {
+  const std::uint8_t v = value(l);
+  if (v != kUndef) return v == kTrue;
+  assign_[l.var()] = l.negated() ? kFalse : kTrue;
+  level_[l.var()] = static_cast<std::uint32_t>(trail_limits_.size());
+  reason_[l.var()] = reason;
+  trail_.push_back(l);
+  return true;
+}
+
+std::uint32_t Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& watch_list = watches_[p.code()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watch_list.size(); ++i) {
+      const Watcher w = watch_list[i];
+      if (value(w.blocker) == kTrue) {
+        watch_list[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause];
+      const Lit not_p = ~p;
+      // Invariant: while a clause is some variable's reason, its implied
+      // literal sits in slot 0 and is true, so this swap (which requires
+      // c[0] false) never disturbs a locked reason clause.
+      if (c[0] == not_p) std::swap(c[0], c[1]);
+      if (value(c[0]) == kTrue) {
+        watch_list[keep++] = {w.clause, c[0]};
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).code()].push_back({w.clause, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      watch_list[keep++] = {w.clause, c[0]};
+      if (value(c[0]) == kFalse) {
+        for (std::size_t j = i + 1; j < watch_list.size(); ++j)
+          watch_list[keep++] = watch_list[j];
+        watch_list.resize(keep);
+        propagate_head_ = trail_.size();
+        return w.clause;
+      }
+      enqueue(c[0], w.clause);
+    }
+    watch_list.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::bump(Var v) {
+  activity_[v] += activity_increment_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    activity_increment_ *= 1e-100;
+    // Rebuild heap order under the rescaled activities (order unchanged by
+    // uniform scaling, so positions remain valid).
+  }
+  if (heap_pos_[v] != kNotInHeap) heap_up(heap_pos_[v]);
+}
+
+void Solver::analyze(std::uint32_t conflict, Clause& learnt,
+                     std::uint32_t& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(Lit());  // slot 0 reserved for the asserting literal
+  const auto current_level = static_cast<std::uint32_t>(trail_limits_.size());
+  std::uint32_t counter = 0;
+  std::size_t trail_index = trail_.size();
+  Lit p;
+  bool have_p = false;
+  std::uint32_t clause_index = conflict;
+
+  for (;;) {
+    const Clause& c = clauses_[clause_index];
+    // For reason clauses the implied literal is c[0] (see propagate);
+    // skip it when expanding a reason.
+    for (std::size_t k = (have_p ? 1 : 0); k < c.size(); ++k) {
+      const Lit q = c[k];
+      if (seen_[q.var()] || level(q.var()) == 0) continue;
+      seen_[q.var()] = 1;
+      bump(q.var());
+      if (level(q.var()) >= current_level) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    do {
+      --trail_index;
+      p = trail_[trail_index];
+    } while (!seen_[p.var()]);
+    have_p = true;
+    seen_[p.var()] = 0;
+    --counter;
+    if (counter == 0) break;
+    clause_index = reason_[p.var()];
+  }
+  learnt[0] = ~p;
+
+  // Local clause minimization: a non-asserting literal is redundant when
+  // every other literal of its reason clause is level-0 or already marked.
+  std::vector<Lit> marked(learnt.begin() + 1, learnt.end());
+  auto redundant = [&](Lit q) {
+    const std::uint32_t r = reason_[q.var()];
+    if (r == kNoReason) return false;
+    for (Lit x : clauses_[r]) {
+      if (x.var() == q.var()) continue;
+      if (level(x.var()) == 0 || seen_[x.var()]) continue;
+      return false;
+    }
+    return true;
+  };
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i)
+    if (!redundant(learnt[i])) learnt[keep++] = learnt[i];
+  learnt.resize(keep);
+  for (Lit q : marked) seen_[q.var()] = 0;
+
+  backtrack_level = 0;
+  std::size_t max_index = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (level(learnt[i].var()) > backtrack_level) {
+      backtrack_level = level(learnt[i].var());
+      max_index = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[max_index]);
+}
+
+void Solver::backtrack_to(std::uint32_t target_level) {
+  if (trail_limits_.size() <= target_level) return;
+  const std::uint32_t boundary = trail_limits_[target_level];
+  for (std::size_t i = trail_.size(); i-- > boundary;) {
+    const Var v = trail_[i].var();
+    polarity_[v] = assign_[v] == kTrue;
+    assign_[v] = kUndef;
+    reason_[v] = kNoReason;
+    heap_insert(v);
+  }
+  trail_.resize(boundary);
+  trail_limits_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  std::uint64_t k = 1;
+  while ((1ULL << k) - 1 < i + 1) ++k;
+  while ((1ULL << k) - 1 != i + 1) {
+    --k;
+    i -= (1ULL << k) - 1;
+  }
+  return 1ULL << (k - 1);
+}
+
+SolveStatus Solver::solve(std::span<const Lit> assumptions) {
+  if (root_conflict_) return SolveStatus::kUnsat;
+  for (Lit a : assumptions)
+    if (a.var() >= assign_.size())
+      throw std::invalid_argument("solve: assumption variable out of range");
+  backtrack_to(0);
+  if (propagate() != kNoReason) {
+    root_conflict_ = true;
+    return SolveStatus::kUnsat;
+  }
+
+  std::uint64_t conflicts_until_restart =
+      config_.restart_unit * luby(stats_.restarts);
+  Clause learnt;
+
+  for (;;) {
+    const std::uint32_t conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      if (trail_limits_.empty()) {
+        root_conflict_ = true;
+        return SolveStatus::kUnsat;
+      }
+      if (stats_.conflicts >= config_.max_conflicts)
+        return SolveStatus::kUnknown;
+
+      std::uint32_t backtrack_level = 0;
+      analyze(conflict, learnt, backtrack_level);
+      backtrack_to(backtrack_level);
+      if (learnt.size() == 1) {
+        enqueue(learnt[0], kNoReason);
+      } else {
+        const std::uint32_t ci = add_internal_clause(learnt);
+        ++stats_.learnt_clauses;
+        stats_.learnt_literals += learnt.size();
+        enqueue(learnt[0], ci);
+      }
+      activity_increment_ /= config_.activity_decay;
+      if (conflicts_until_restart > 0) --conflicts_until_restart;
+      continue;
+    }
+
+    if (conflicts_until_restart == 0 &&
+        trail_limits_.size() > assumptions.size()) {
+      ++stats_.restarts;
+      conflicts_until_restart = config_.restart_unit * luby(stats_.restarts);
+      // Keep the assumption levels; restart the free search only.
+      backtrack_to(static_cast<std::uint32_t>(assumptions.size()));
+      continue;
+    }
+
+    // Place pending assumptions as decisions.
+    if (trail_limits_.size() < assumptions.size()) {
+      const Lit a = assumptions[trail_limits_.size()];
+      const std::uint8_t v = value(a);
+      if (v == kFalse) return SolveStatus::kUnsat;  // under assumptions
+      trail_limits_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      if (v == kUndef) enqueue(a, kNoReason);
+      continue;
+    }
+
+    // Pick the unassigned variable of highest activity.
+    Var decision_var = kNullVar;
+    while (!heap_.empty()) {
+      const Var v = heap_pop();
+      if (assign_[v] == kUndef) {
+        decision_var = v;
+        break;
+      }
+    }
+    if (decision_var == kNullVar) {
+      for (Var v = 0; v < assign_.size(); ++v)
+        model_[v] = assign_[v] == kTrue;
+      return SolveStatus::kSat;
+    }
+    ++stats_.decisions;
+    trail_limits_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(Lit(decision_var, !polarity_[decision_var]), kNoReason);
+  }
+}
+
+SolveResult solve_cnf(const Cnf& cnf, SolverConfig config) {
+  Solver solver(cnf, config);
+  SolveResult result;
+  result.status = solver.solve();
+  result.model = solver.model();
+  result.stats = solver.stats();
+  return result;
+}
+
+}  // namespace cwatpg::sat

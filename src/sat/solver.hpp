@@ -1,0 +1,131 @@
+// Conflict-driven clause-learning SAT solver.
+//
+// This is the production solver behind the TEGUS-style ATPG engine
+// (src/fault/tegus) and the Figure 1 experiment. The paper models SAT
+// solvers abstractly by Algorithm 1 (see cache_sat.hpp); this class is the
+// *practical* counterpart — the CAD-literature solvers it cites ([23]
+// GRASP, [24] TEGUS) "provide some feature to reduce conflicts during
+// backtracking", which here is 1UIP clause learning.
+//
+// Feature set: two-watched-literal propagation, first-UIP conflict
+// analysis, VSIDS-style decision activities, phase saving, Luby restarts.
+// No clause deletion (ATPG-SAT instances are small and easy; learnt sets
+// stay tiny).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/cnf.hpp"
+
+namespace cwatpg::sat {
+
+enum class SolveStatus : std::uint8_t { kSat, kUnsat, kUnknown };
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t learnt_clauses = 0;
+  std::uint64_t learnt_literals = 0;
+  std::uint64_t restarts = 0;
+};
+
+struct SolverConfig {
+  /// Abort with kUnknown after this many conflicts.
+  std::uint64_t max_conflicts = std::uint64_t(-1);
+  /// VSIDS decay applied per conflict.
+  double activity_decay = 0.95;
+  /// Conflicts per Luby restart unit.
+  std::uint64_t restart_unit = 64;
+};
+
+class Solver {
+ public:
+  explicit Solver(const Cnf& cnf, SolverConfig config = {});
+
+  /// Solves the instance. Repeat calls re-run the search from the root
+  /// (learnt clauses are kept, so a second call is cheap).
+  SolveStatus solve() { return solve({}); }
+
+  /// Solves under assumptions (MiniSat-style): each assumption is placed
+  /// as a decision before the free search begins. kUnsat then means
+  /// "unsatisfiable under these assumptions" — unless the instance is
+  /// globally UNSAT, a later call with different assumptions may be kSat.
+  /// Learnt clauses are consequences of the clause database alone, so
+  /// they persist soundly across calls; this is what makes repeated
+  /// queries against one encoding cheap (incremental SAT).
+  SolveStatus solve(std::span<const Lit> assumptions);
+
+  /// Model after a kSat result: value per variable. Variables that were
+  /// never constrained get `false`.
+  const std::vector<bool>& model() const { return model_; }
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  // Truth values use 0 = false, 1 = true, 2 = unassigned.
+  static constexpr std::uint8_t kFalse = 0, kTrue = 1, kUndef = 2;
+  static constexpr std::uint32_t kNoReason = static_cast<std::uint32_t>(-1);
+
+  struct Watcher {
+    std::uint32_t clause = 0;
+    Lit blocker;
+  };
+
+  std::uint8_t value(Lit l) const {
+    const std::uint8_t v = assign_[l.var()];
+    return v == kUndef ? kUndef : static_cast<std::uint8_t>(v ^ (l.negated() ? 1 : 0));
+  }
+  std::uint32_t level(Var v) const { return level_[v]; }
+
+  bool enqueue(Lit l, std::uint32_t reason);
+  std::uint32_t propagate();  // returns conflicting clause index or kNoReason
+  void analyze(std::uint32_t conflict, Clause& learnt,
+               std::uint32_t& backtrack_level);
+  void backtrack_to(std::uint32_t target_level);
+  void bump(Var v);
+  void attach(std::uint32_t clause_index);
+  std::uint32_t add_internal_clause(Clause c);
+  static std::uint64_t luby(std::uint64_t i);
+
+  // Indexed max-heap over activity_ for decision picking.
+  void heap_swap(std::size_t a, std::size_t b);
+  void heap_up(std::size_t i);
+  void heap_down(std::size_t i);
+  void heap_insert(Var v);
+  Var heap_pop();
+  static constexpr std::size_t kNotInHeap = static_cast<std::size_t>(-1);
+
+  SolverConfig config_;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code()
+  std::vector<std::uint8_t> assign_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_limits_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double activity_increment_ = 1.0;
+  std::vector<bool> polarity_;  // saved phases
+  std::vector<std::uint8_t> seen_;
+  std::vector<Var> heap_;
+  std::vector<std::size_t> heap_pos_;
+
+  std::vector<bool> model_;
+  SolverStats stats_;
+  bool root_conflict_ = false;
+};
+
+/// One-shot convenience wrapper.
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  std::vector<bool> model;
+  SolverStats stats;
+};
+SolveResult solve_cnf(const Cnf& cnf, SolverConfig config = {});
+
+}  // namespace cwatpg::sat

@@ -1,0 +1,46 @@
+// Linear-time 2-SAT via implication-graph strongly-connected components
+// (Aspvall–Plass–Tarjan).
+//
+// Substrate for the §3.1 class recognizers: hidden-Horn detection reduces
+// to a 2-SAT instance over renaming variables. Also independently useful —
+// 2-SAT is one of the polynomial classes the paper examines.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sat/cnf.hpp"
+
+namespace cwatpg::sat {
+
+/// Dedicated 2-SAT solver. Clauses of size 1 and 2 only.
+class TwoSat {
+ public:
+  explicit TwoSat(Var num_vars);
+
+  Var num_vars() const { return num_vars_; }
+
+  /// Adds (a ∨ b).
+  void add_or(Lit a, Lit b);
+  /// Adds a unit clause (a).
+  void add_unit(Lit a) { add_or(a, a); }
+  /// Adds an implication a -> b (same as (~a ∨ b)).
+  void add_implies(Lit a, Lit b) { add_or(~a, b); }
+
+  /// Solves; returns a model or nullopt when unsatisfiable.
+  /// O(vars + clauses) via Tarjan SCC.
+  std::optional<std::vector<bool>> solve() const;
+
+ private:
+  Var num_vars_;
+  std::vector<std::vector<std::uint32_t>> implications_;  // by Lit::code()
+};
+
+/// True iff every clause has at most 2 literals.
+bool is_2sat(const Cnf& f);
+
+/// Solves a CNF all of whose clauses have <= 2 literals; throws
+/// std::invalid_argument otherwise.
+std::optional<std::vector<bool>> solve_2sat(const Cnf& f);
+
+}  // namespace cwatpg::sat

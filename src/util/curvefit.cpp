@@ -1,0 +1,157 @@
+#include "util/curvefit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cwatpg {
+namespace {
+
+/// Ordinary least squares for y = a*u + b given transformed abscissae u.
+struct LinePair {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+LinePair ols(std::span<const double> us, std::span<const double> vs) {
+  const auto n = static_cast<double>(us.size());
+  double su = 0.0, sv = 0.0, suu = 0.0, suv = 0.0;
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    su += us[i];
+    sv += vs[i];
+    suu += us[i] * us[i];
+    suv += us[i] * vs[i];
+  }
+  const double denom = n * suu - su * su;
+  LinePair line;
+  if (std::abs(denom) < 1e-12) {
+    // Degenerate (all x equal): best constant fit.
+    line.a = 0.0;
+    line.b = sv / n;
+  } else {
+    line.a = (n * suv - su * sv) / denom;
+    line.b = (sv - line.a * su) / n;
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string to_string(FitModel model) {
+  switch (model) {
+    case FitModel::kLinear: return "linear";
+    case FitModel::kLogarithmic: return "logarithmic";
+    case FitModel::kPower: return "power";
+  }
+  return "unknown";
+}
+
+double Fit::eval(double x) const {
+  switch (model) {
+    case FitModel::kLinear: return a * x + b;
+    case FitModel::kLogarithmic: return x > 0 ? a * std::log(x) + b : b;
+    case FitModel::kPower: return x > 0 ? a * std::pow(x, b) : 0.0;
+  }
+  return 0.0;
+}
+
+std::string Fit::describe() const {
+  char buf[128];
+  switch (model) {
+    case FitModel::kLinear:
+      std::snprintf(buf, sizeof buf, "y = %.4g*x + %.4g", a, b);
+      break;
+    case FitModel::kLogarithmic:
+      std::snprintf(buf, sizeof buf, "y = %.4g*log(x) + %.4g", a, b);
+      break;
+    case FitModel::kPower:
+      std::snprintf(buf, sizeof buf, "y = %.4g*x^%.4g", a, b);
+      break;
+  }
+  return std::string(buf);
+}
+
+Fit fit_curve(std::span<const double> xs, std::span<const double> ys,
+              FitModel model) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("fit_curve: xs and ys must match in size");
+
+  std::vector<double> us, vs, fx, fy;
+  us.reserve(xs.size());
+  vs.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    const double y = ys[i];
+    switch (model) {
+      case FitModel::kLinear:
+        us.push_back(x);
+        vs.push_back(y);
+        fx.push_back(x);
+        fy.push_back(y);
+        break;
+      case FitModel::kLogarithmic:
+        if (x > 0) {
+          us.push_back(std::log(x));
+          vs.push_back(y);
+          fx.push_back(x);
+          fy.push_back(y);
+        }
+        break;
+      case FitModel::kPower:
+        if (x > 0 && y > 0) {
+          us.push_back(std::log(x));
+          vs.push_back(std::log(y));
+          fx.push_back(x);
+          fy.push_back(y);
+        }
+        break;
+    }
+  }
+  if (us.size() < 2)
+    throw std::invalid_argument("fit_curve: need at least 2 usable points");
+
+  const LinePair line = ols(us, vs);
+
+  Fit fit;
+  fit.model = model;
+  fit.n = us.size();
+  if (model == FitModel::kPower) {
+    // log(y) = log(a) + b*log(x): slope is the exponent.
+    fit.a = std::exp(line.b);
+    fit.b = line.a;
+  } else {
+    fit.a = line.a;
+    fit.b = line.b;
+  }
+
+  // Score in the original y space so the three families are comparable.
+  double mean_y = 0.0;
+  for (double y : fy) mean_y += y;
+  mean_y /= static_cast<double>(fy.size());
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < fx.size(); ++i) {
+    const double resid = fy[i] - fit.eval(fx[i]);
+    fit.rss += resid * resid;
+    ss_tot += (fy[i] - mean_y) * (fy[i] - mean_y);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - fit.rss / ss_tot : 1.0;
+  return fit;
+}
+
+std::vector<Fit> fit_all(std::span<const double> xs,
+                         std::span<const double> ys) {
+  std::vector<Fit> fits;
+  for (FitModel m :
+       {FitModel::kLinear, FitModel::kLogarithmic, FitModel::kPower}) {
+    try {
+      fits.push_back(fit_curve(xs, ys, m));
+    } catch (const std::invalid_argument&) {
+      // Family unusable on this data (e.g. nonpositive values); skip it.
+    }
+  }
+  std::sort(fits.begin(), fits.end(),
+            [](const Fit& a, const Fit& b) { return a.rss < b.rss; });
+  return fits;
+}
+
+}  // namespace cwatpg

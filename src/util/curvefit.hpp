@@ -1,0 +1,50 @@
+// Least-squares curve fitting for the paper's Figure 8 analysis.
+//
+// Section 5.2.2 fits three model families to (circuit size, cut-width)
+// scatter data — linear y = a·x + b, logarithmic y = a·log(x) + b, and
+// power y = a·x^b — and reports that the logarithmic family gives the best
+// least-squares fit. We reproduce exactly that comparison: all three fits
+// plus residual sum of squares and R² evaluated *in the original y space*
+// (the power fit is solved in log-log space but scored untransformed, so the
+// three families are comparable).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cwatpg {
+
+enum class FitModel { kLinear, kLogarithmic, kPower };
+
+/// Converts a FitModel to its display name ("linear", "logarithmic", "power").
+std::string to_string(FitModel model);
+
+/// One fitted curve: parameters, residual sum of squares and R² in y space.
+struct Fit {
+  FitModel model = FitModel::kLinear;
+  double a = 0.0;
+  double b = 0.0;
+  double rss = 0.0;      ///< residual sum of squares, original y space
+  double r_squared = 0.0;
+  std::size_t n = 0;
+
+  /// Evaluates the fitted curve at x.
+  double eval(double x) const;
+
+  /// "y = 1.23*log(x) + -4.56" style description.
+  std::string describe() const;
+};
+
+/// Fits one model family. For kLogarithmic and kPower, points with x <= 0
+/// (and y <= 0 for kPower) are skipped. Throws std::invalid_argument when
+/// fewer than two usable points remain or xs/ys sizes differ.
+Fit fit_curve(std::span<const double> xs, std::span<const double> ys,
+              FitModel model);
+
+/// Fits all three families and returns them sorted best-first by RSS,
+/// reproducing the model-selection step of §5.2.2.
+std::vector<Fit> fit_all(std::span<const double> xs,
+                         std::span<const double> ys);
+
+}  // namespace cwatpg

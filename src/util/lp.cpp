@@ -1,0 +1,124 @@
+#include "util/lp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cwatpg {
+
+std::optional<std::vector<double>> lp_feasible(
+    const std::vector<std::vector<double>>& a, const std::vector<double>& b,
+    const std::vector<double>& ub, double eps) {
+  const std::size_t n = ub.size();
+  if (a.size() != b.size())
+    throw std::invalid_argument("lp_feasible: A/b size mismatch");
+  for (const auto& row : a)
+    if (row.size() != n)
+      throw std::invalid_argument("lp_feasible: row width mismatch");
+
+  // Rows: the m constraint rows plus n upper-bound rows x_j <= ub_j.
+  const std::size_t m = a.size() + n;
+  // Columns: n structural + m slack/surplus + (<= m) artificial + RHS.
+  // Count artificials first (rows with negative rhs).
+  std::vector<double> rhs(m);
+  std::vector<std::vector<double>> rows(m, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    rows[i] = a[i];
+    rhs[i] = b[i];
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    rows[a.size() + j][j] = 1.0;
+    rhs[a.size() + j] = ub[j];
+  }
+
+  std::size_t num_artificial = 0;
+  for (std::size_t i = 0; i < m; ++i)
+    if (rhs[i] < 0) ++num_artificial;
+
+  const std::size_t slack_base = n;
+  const std::size_t artificial_base = n + m;
+  const std::size_t total_cols = n + m + num_artificial;
+
+  // Dense tableau with an extra objective row (phase-1: minimize sum of
+  // artificials) and RHS column.
+  std::vector<std::vector<double>> t(
+      m + 1, std::vector<double>(total_cols + 1, 0.0));
+  std::vector<std::size_t> basis(m);
+
+  std::size_t next_artificial = artificial_base;
+  for (std::size_t i = 0; i < m; ++i) {
+    double sign = 1.0;
+    if (rhs[i] < 0) sign = -1.0;  // flip row so RHS >= 0
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = sign * rows[i][j];
+    t[i][slack_base + i] = sign;  // slack (or surplus when flipped)
+    t[i][total_cols] = sign * rhs[i];
+    if (sign < 0) {
+      t[i][next_artificial] = 1.0;
+      basis[i] = next_artificial++;
+    } else {
+      basis[i] = slack_base + i;
+    }
+  }
+
+  // Objective row: minimize sum of artificials => maximize -sum. Express
+  // the objective in terms of non-basic variables by subtracting the
+  // artificial rows.
+  auto& obj = t[m];
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] >= artificial_base) {
+      for (std::size_t j = 0; j <= total_cols; ++j) obj[j] -= t[i][j];
+    }
+  }
+
+  // Simplex with Bland's rule.
+  for (;;) {
+    // Entering column: smallest index with negative reduced cost.
+    std::size_t enter = total_cols;
+    for (std::size_t j = 0; j < total_cols; ++j) {
+      if (obj[j] < -eps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == total_cols) break;  // optimal
+
+    // Leaving row: min ratio, ties by smallest basis index (Bland).
+    std::size_t leave = m;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][enter] > eps) {
+        const double ratio = t[i][total_cols] / t[i][enter];
+        if (leave == m || ratio < best_ratio - eps ||
+            (ratio < best_ratio + eps && basis[i] < basis[leave])) {
+          leave = i;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave == m) break;  // unbounded direction; phase-1 obj is bounded
+
+    // Pivot.
+    const double pivot = t[leave][enter];
+    for (std::size_t j = 0; j <= total_cols; ++j) t[leave][j] /= pivot;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == leave) continue;
+      const double factor = t[i][enter];
+      if (std::abs(factor) < eps) continue;
+      for (std::size_t j = 0; j <= total_cols; ++j)
+        t[i][j] -= factor * t[leave][j];
+    }
+    basis[leave] = enter;
+  }
+
+  // Feasible iff all artificials are (numerically) zero.
+  double infeasibility = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    if (basis[i] >= artificial_base) infeasibility += t[i][total_cols];
+  if (infeasibility > 1e-6) return std::nullopt;
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    if (basis[i] < n) x[basis[i]] = t[i][total_cols];
+  return x;
+}
+
+}  // namespace cwatpg

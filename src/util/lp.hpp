@@ -1,0 +1,23 @@
+// Small dense linear-program feasibility checker (phase-1 simplex).
+//
+// Used by the q-Horn recognizer (§3.1): a CNF formula is q-Horn iff the
+// Boros–Crama–Hammer LP
+//     for every clause C:  sum_{x in C} a_x + sum_{~x in C} (1 - a_x) <= 1,
+//     0 <= a <= 1
+// is feasible. Instances are small (one constraint per clause), so a dense
+// tableau phase-1 simplex with Bland's rule is entirely adequate.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace cwatpg {
+
+/// Feasibility of { x : A x <= b, 0 <= x <= ub } for dense A.
+/// Returns a feasible point or nullopt. Bland's rule guarantees
+/// termination; `eps` absorbs rounding.
+std::optional<std::vector<double>> lp_feasible(
+    const std::vector<std::vector<double>>& a, const std::vector<double>& b,
+    const std::vector<double>& ub, double eps = 1e-9);
+
+}  // namespace cwatpg

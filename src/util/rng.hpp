@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every randomized component in the library (generators, partitioner
+// multi-starts, fault sampling) takes an explicit seed so that benches and
+// tests are reproducible run-to-run and machine-to-machine. We use
+// xoshiro256** seeded through splitmix64, which is fast, has a 256-bit
+// state, and passes BigCrush — std::mt19937_64 would also work but its
+// seeding from a single 64-bit value is notoriously weak.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cwatpg {
+
+/// splitmix64 step; used to expand a single seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
+/// used with <algorithm> shuffles and <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x6c7ea5f1d4b3c2a1ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the slight modulo bias (< 2^-32 for bound < 2^32) is irrelevant for
+  /// circuit generation.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    return (*this)() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Geometric-ish positive integer with mean roughly `mean` (>= 1);
+  /// used for fanout distributions in the Hutton-style generator.
+  std::uint32_t geometric_at_least_one(double mean) noexcept {
+    if (mean <= 1.0) return 1;
+    const double p = 1.0 / mean;
+    std::uint32_t value = 1;
+    while (value < 64 && !chance(p)) ++value;
+    return value;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace cwatpg

@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cwatpg {
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(sorted.size()));
+  s.median = percentile_sorted(sorted, 50.0);
+  s.p90 = percentile_sorted(sorted, 90.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
+  return s;
+}
+
+double fraction_below(std::span<const double> samples, double threshold) {
+  if (samples.empty()) return 0.0;
+  const auto n = static_cast<double>(
+      std::count_if(samples.begin(), samples.end(),
+                    [threshold](double v) { return v < threshold; }));
+  return n / static_cast<double>(samples.size());
+}
+
+std::vector<std::size_t> histogram(std::span<const double> samples,
+                                   std::size_t bins) {
+  if (bins == 0) throw std::invalid_argument("histogram: bins must be > 0");
+  std::vector<std::size_t> counts(bins, 0);
+  if (samples.empty()) return counts;
+  const auto [mn_it, mx_it] =
+      std::minmax_element(samples.begin(), samples.end());
+  const double mn = *mn_it;
+  const double mx = *mx_it;
+  if (mx <= mn) {
+    counts[0] = samples.size();
+    return counts;
+  }
+  for (double v : samples) {
+    auto idx = static_cast<std::size_t>((v - mn) / (mx - mn) *
+                                        static_cast<double>(bins));
+    if (idx >= bins) idx = bins - 1;
+    ++counts[idx];
+  }
+  return counts;
+}
+
+std::vector<Bucket> bucketize(std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::size_t buckets) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("bucketize: xs and ys must match in size");
+  std::vector<Bucket> out;
+  if (xs.empty() || buckets == 0) return out;
+
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+  const std::size_t n = xs.size();
+  const std::size_t used = std::min(buckets, n);
+  out.reserve(used);
+  std::size_t start = 0;
+  for (std::size_t b = 0; b < used; ++b) {
+    const std::size_t end = (b + 1) * n / used;
+    Bucket bk;
+    for (std::size_t i = start; i < end; ++i) {
+      bk.x_mean += xs[order[i]];
+      bk.y_mean += ys[order[i]];
+      bk.y_max = std::max(bk.y_max, ys[order[i]]);
+      ++bk.count;
+    }
+    if (bk.count > 0) {
+      bk.x_mean /= static_cast<double>(bk.count);
+      bk.y_mean /= static_cast<double>(bk.count);
+      out.push_back(bk);
+    }
+    start = end;
+  }
+  return out;
+}
+
+}  // namespace cwatpg

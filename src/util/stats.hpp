@@ -1,0 +1,54 @@
+// Summary statistics over samples, used by the experiment harnesses to
+// report the distributions the paper plots (e.g. Figure 1's "over 90% solved
+// in < 1/100 s" claim is a percentile statement).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cwatpg {
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary. Does not modify `samples`. Empty input yields a
+/// zeroed Summary with count == 0.
+Summary summarize(std::span<const double> samples);
+
+/// Percentile by linear interpolation between closest ranks;
+/// `q` in [0, 100]. `sorted` must be ascending.
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Fraction of samples strictly below `threshold`.
+double fraction_below(std::span<const double> samples, double threshold);
+
+/// Equal-width histogram over [min, max] with `bins` buckets; returns
+/// bucket counts. Degenerate ranges put everything in bucket 0.
+std::vector<std::size_t> histogram(std::span<const double> samples,
+                                   std::size_t bins);
+
+/// Groups (x, y) points into `buckets` equal-population buckets by x and
+/// returns per-bucket (mean x, mean y, count). Used to render scatter data
+/// as a compact table, mirroring the paper's figure axes.
+struct Bucket {
+  double x_mean = 0.0;
+  double y_mean = 0.0;
+  double y_max = 0.0;
+  std::size_t count = 0;
+};
+std::vector<Bucket> bucketize(std::span<const double> xs,
+                              std::span<const double> ys,
+                              std::size_t buckets);
+
+}  // namespace cwatpg

@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace cwatpg {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << std::string(width[c] - row[c].size(), ' ') << row[c];
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string cell(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string cell(std::size_t v) { return std::to_string(v); }
+std::string cell(std::uint32_t v) { return std::to_string(v); }
+std::string cell(int v) { return std::to_string(v); }
+
+}  // namespace cwatpg

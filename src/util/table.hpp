@@ -1,0 +1,37 @@
+// Minimal fixed-width ASCII table printer used by the bench harnesses so
+// every experiment emits the same tabular format the paper's figures encode.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cwatpg {
+
+/// Collects rows of strings and prints them with right-aligned, padded
+/// columns. Numeric formatting is the caller's job (use cell() helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a header underline to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` significant decimal digits.
+std::string cell(double v, int prec = 3);
+/// Formats an integral count.
+std::string cell(std::size_t v);
+std::string cell(std::uint32_t v);
+std::string cell(int v);
+
+}  // namespace cwatpg

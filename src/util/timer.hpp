@@ -1,0 +1,28 @@
+// Wall-clock timing helper for experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace cwatpg {
+
+/// Monotonic stopwatch. Started on construction; `seconds()`/`millis()`
+/// report elapsed time since construction or the last `reset()`.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cwatpg

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/atpg_circuit.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/average_case.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+
+namespace cwatpg::sat {
+namespace {
+
+TEST(AverageCase, MeasureParams) {
+  Cnf f(4);
+  f.add_clause({pos(0), pos(1)});
+  f.add_clause({neg(2), pos(3), pos(0)});
+  const InstanceParams p = measure_params(f);
+  EXPECT_EQ(p.v, 4u);
+  EXPECT_EQ(p.t, 2u);
+  EXPECT_DOUBLE_EQ(p.mean_length, 2.5);
+  EXPECT_DOUBLE_EQ(p.p, 2.5 / 8.0);
+}
+
+TEST(AverageCase, EmptyFormula) {
+  Cnf f(3);
+  const InstanceParams p = measure_params(f);
+  EXPECT_DOUBLE_EQ(p.mean_length, 0.0);
+  EXPECT_GE(log2_expected_nodes(p), 0.0);
+}
+
+TEST(AverageCase, NoClausesMeansFullTree) {
+  // t = 0: every node is consistent, tree = 2^(v+1)-1 ~ 2^(v+1).
+  const double e = log2_expected_nodes(10, 0, 0.1);
+  EXPECT_NEAR(e, 11.0, 0.1);
+}
+
+TEST(AverageCase, ManyClausesPruneTree) {
+  const double sparse = log2_expected_nodes(30, 10, 0.05);
+  const double dense = log2_expected_nodes(30, 2000, 0.05);
+  EXPECT_LT(dense, sparse);
+}
+
+TEST(AverageCase, LongClausesSurviveLonger) {
+  // Bigger p (longer clauses) => clauses are harder to falsify => less
+  // pruning => bigger trees for the same v, t.
+  const double shorter = log2_expected_nodes(30, 100, 0.02);
+  const double longer = log2_expected_nodes(30, 100, 0.2);
+  EXPECT_GT(longer, shorter);
+}
+
+TEST(AverageCase, BoundedByFullTree) {
+  for (std::size_t v : {5u, 20u, 60u}) {
+    const double e = log2_expected_nodes(v, 3 * v, 3.0 / (2.0 * v));
+    EXPECT_LE(e, static_cast<double>(v) + 1.01);
+    EXPECT_GE(e, 0.0);
+  }
+}
+
+TEST(AverageCase, MonotoneInV) {
+  // Fixed clause/variable ratio and clause length: E grows with v.
+  auto at = [](std::size_t v) {
+    return log2_expected_nodes(v, static_cast<std::size_t>(2.5 * v),
+                               2.7 / (2.0 * static_cast<double>(v)));
+  };
+  EXPECT_LT(at(20), at(80));
+  EXPECT_LT(at(80), at(320));
+}
+
+TEST(AverageCase, FixedLengthFamiliesAreNotPolyAverage) {
+  // The honest punchline behind the paper's §3.3 caveat: at ATPG-SAT's
+  // parameters (t ~ 2.4 v, mean length ~ 2.7) the *random class* is not
+  // polynomial on average — the scaling degree grows with the scale
+  // factor (super-polynomial expectation). Average-case membership alone
+  // therefore cannot explain ATPG's easiness; real instances beat the
+  // model because of their structure (cut-width), not their parameters.
+  InstanceParams p;
+  p.v = 500;
+  p.t = 1200;
+  p.mean_length = 2.7;
+  p.p = p.mean_length / (2.0 * static_cast<double>(p.v));
+  const double d4 = average_case_degree(p, 4.0);
+  const double d16 = average_case_degree(p, 16.0);
+  EXPECT_GT(d4, 0.0);
+  EXPECT_GT(d16, d4);  // degree keeps growing => not a fixed polynomial
+}
+
+TEST(AverageCase, ModelMispredictsRealInstancesBothWays) {
+  // The random (v,t,p) model is a poor mirror of structured ATPG-SAT in
+  // *both* directions: at ATPG's parameters a random formula contains an
+  // empty clause with constant probability per clause, so the model's
+  // expected tree is O(1) (root-level UNSAT dominates) — while a real
+  // instance is never trivially UNSAT (the encoder emits no empty
+  // clauses) and its tree is genuinely explored, yet still polynomial.
+  const net::Network n = net::decompose(gen::ripple_carry_adder(4));
+  const auto faults = fault::collapsed_fault_list(n);
+  const fault::AtpgCircuit atpg =
+      fault::build_atpg_circuit(n, faults[faults.size() / 2]);
+  const Cnf f = encode_circuit_sat(atpg.miter);
+  const double model = log2_expected_nodes(measure_params(f));
+  EXPECT_LT(model, 8.0);  // trivial-UNSAT-dominated expectation
+  const auto run = cache_sat(f, identity_order(f));
+  EXPECT_EQ(run.status, SolveStatus::kSat);  // the real one is not trivial
+  EXPECT_GT(run.stats.nodes, 2u);
+  EXPECT_LT(run.stats.nodes, 1u << 20);  // ...but still easy
+}
+
+TEST(AverageCase, RealInstanceParamsInEasyShape) {
+  // Measured parameters of real ATPG-SAT instances: short clauses
+  // (~2.5-3), clause/var ratio ~2-3 — the shape §3.3 relies on.
+  const net::Network n = net::decompose(gen::ripple_carry_adder(8));
+  const auto faults = fault::collapsed_fault_list(n);
+  for (std::size_t i = 0; i < faults.size(); i += 20) {
+    const fault::AtpgCircuit atpg = fault::build_atpg_circuit(n, faults[i]);
+    const Cnf f = encode_circuit_sat(atpg.miter);
+    const InstanceParams p = measure_params(f);
+    EXPECT_GT(p.mean_length, 2.0);
+    EXPECT_LT(p.mean_length, 3.5);
+    const double ratio =
+        static_cast<double>(p.t) / static_cast<double>(p.v);
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 4.0);
+  }
+}
+
+class DegreeGrowth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DegreeGrowth, ExpectationIsFiniteAndMonotone) {
+  const std::size_t v = GetParam();
+  InstanceParams p;
+  p.v = v;
+  p.t = static_cast<std::size_t>(2.4 * static_cast<double>(v));
+  p.mean_length = 2.7;
+  p.p = p.mean_length / (2.0 * static_cast<double>(v));
+  const double e = log2_expected_nodes(p);
+  EXPECT_GE(e, 0.0);
+  EXPECT_LE(e, static_cast<double>(v) + 1.01);  // never above the full tree
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DegreeGrowth,
+                         ::testing::Values(50, 200, 1000, 5000));
+
+}  // namespace
+}  // namespace cwatpg::sat

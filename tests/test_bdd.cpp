@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "bdd/bdd.hpp"
+#include "core/cutwidth.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::bdd {
+namespace {
+
+TEST(Bdd, Terminals) {
+  Manager m(2);
+  EXPECT_EQ(m.ite(kTrue, kTrue, kFalse), kTrue);
+  EXPECT_EQ(m.negate(kTrue), kFalse);
+  EXPECT_EQ(m.negate(kFalse), kTrue);
+}
+
+TEST(Bdd, VarAndEval) {
+  Manager m(3);
+  const Ref x1 = m.var(1);
+  const bool a0[] = {false, true, false};
+  const bool a1[] = {true, false, true};
+  EXPECT_TRUE(m.eval(x1, a0));
+  EXPECT_FALSE(m.eval(x1, a1));
+}
+
+TEST(Bdd, VarOutOfRangeThrows) {
+  Manager m(2);
+  EXPECT_THROW(m.var(5), std::invalid_argument);
+}
+
+TEST(Bdd, HashConsingSharesNodes) {
+  Manager m(2);
+  const Ref a = m.apply_and(m.var(0), m.var(1));
+  const Ref b = m.apply_and(m.var(0), m.var(1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Bdd, BooleanAlgebraTruthTables) {
+  Manager m(2);
+  const Ref x = m.var(0);
+  const Ref y = m.var(1);
+  const Ref ops[] = {m.apply_and(x, y), m.apply_or(x, y), m.apply_xor(x, y)};
+  for (int v = 0; v < 4; ++v) {
+    const bool a[] = {(v & 1) != 0, (v & 2) != 0};
+    EXPECT_EQ(m.eval(ops[0], a), a[0] && a[1]);
+    EXPECT_EQ(m.eval(ops[1], a), a[0] || a[1]);
+    EXPECT_EQ(m.eval(ops[2], a), a[0] != a[1]);
+  }
+}
+
+TEST(Bdd, IteIsIfThenElse) {
+  Manager m(3);
+  const Ref f = m.ite(m.var(0), m.var(1), m.var(2));
+  for (int v = 0; v < 8; ++v) {
+    const bool a[] = {(v & 1) != 0, (v & 2) != 0, (v & 4) != 0};
+    EXPECT_EQ(m.eval(f, a), a[0] ? a[1] : a[2]);
+  }
+}
+
+TEST(Bdd, SizeCountsDistinctNodes) {
+  Manager m(2);
+  EXPECT_EQ(m.size(kTrue), 1u);
+  EXPECT_EQ(m.size(m.var(0)), 3u);  // node + 2 terminals
+  const Ref xor2 = m.apply_xor(m.var(0), m.var(1));
+  EXPECT_EQ(m.size(xor2), 5u);  // 3 decision nodes + 2 terminals
+}
+
+TEST(Bdd, SatCount) {
+  Manager m(3);
+  EXPECT_DOUBLE_EQ(m.sat_count(kTrue), 8.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(kFalse), 0.0);
+  EXPECT_DOUBLE_EQ(m.sat_count(m.var(1)), 4.0);
+  const Ref f = m.apply_and(m.var(0), m.var(2));
+  EXPECT_DOUBLE_EQ(m.sat_count(f), 2.0);
+  const Ref g = m.apply_xor(m.var(0), m.var(1));
+  EXPECT_DOUBLE_EQ(m.sat_count(g), 4.0);
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  Manager m(24, 40);
+  Ref acc = kFalse;
+  EXPECT_THROW(
+      {
+        for (std::uint32_t v = 0; v + 1 < 24; v += 2)
+          acc = m.apply_or(acc, m.apply_and(m.var(v), m.var(v + 1)));
+      },
+      Manager::NodeLimitExceeded);
+}
+
+TEST(Bdd, CircuitBddMatchesSimulation) {
+  for (const net::Network& n :
+       {gen::c17(), gen::fig4a_network(),
+        net::decompose(gen::ripple_carry_adder(4)),
+        net::decompose(gen::comparator(3))}) {
+    Manager m(static_cast<std::uint32_t>(n.inputs().size()));
+    const auto outs = build_output_bdds(m, n);
+    ASSERT_EQ(outs.size(), n.outputs().size());
+    Rng rng(3);
+    const std::size_t trials =
+        n.inputs().size() <= 10 ? (1u << n.inputs().size()) : 128;
+    for (std::size_t t = 0; t < trials; ++t) {
+      std::vector<bool> pattern(n.inputs().size());
+      for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = n.inputs().size() <= 10 ? ((t >> i) & 1)
+                                             : rng.chance(0.5);
+      const auto values = n.eval(pattern);
+      std::vector<bool> unpacked(pattern.begin(), pattern.end());
+      std::unique_ptr<bool[]> buf(new bool[pattern.size()]);
+      for (std::size_t i = 0; i < pattern.size(); ++i) buf[i] = pattern[i];
+      for (std::size_t o = 0; o < outs.size(); ++o)
+        ASSERT_EQ(m.eval(outs[o],
+                         std::span<const bool>(buf.get(), pattern.size())),
+                  values[n.outputs()[o]])
+            << n.name() << " output " << o;
+    }
+  }
+}
+
+TEST(Bdd, CustomInputOrderStillCorrect) {
+  const net::Network n = net::decompose(gen::parity_tree(6));
+  const std::size_t pis = n.inputs().size();
+  std::vector<std::uint32_t> reversed(pis);
+  for (std::size_t i = 0; i < pis; ++i)
+    reversed[i] = static_cast<std::uint32_t>(pis - 1 - i);
+  Manager m(static_cast<std::uint32_t>(pis));
+  const auto outs = build_output_bdds(m, n, reversed);
+  for (int t = 0; t < (1 << 6); ++t) {
+    std::unique_ptr<bool[]> buf(new bool[pis]);
+    std::vector<bool> pattern(pis);
+    for (std::size_t i = 0; i < pis; ++i) pattern[i] = (t >> i) & 1;
+    // BDD level of input i is reversed[i].
+    for (std::size_t i = 0; i < pis; ++i) buf[reversed[i]] = pattern[i];
+    const auto values = n.eval(pattern);
+    ASSERT_EQ(m.eval(outs[0], std::span<const bool>(buf.get(), pis)),
+              values[n.outputs()[0]]);
+  }
+}
+
+TEST(Bdd, OrderSensitivity) {
+  // The classic 2-level function x0 x1 + x2 x3 + x4 x5: interleaved order
+  // is linear, separated order (all "left" vars first) is exponential.
+  const std::uint32_t pairs = 6;
+  Manager good(2 * pairs);
+  Manager bad(2 * pairs);
+  Ref g = kFalse, b = kFalse;
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    g = good.apply_or(g, good.apply_and(good.var(2 * i), good.var(2 * i + 1)));
+    b = bad.apply_or(b, bad.apply_and(bad.var(i), bad.var(i + pairs)));
+  }
+  EXPECT_LT(good.size(g) * 4, bad.size(b));
+}
+
+TEST(Bdd, ParityIsLinearInAnyOrder) {
+  const net::Network n = net::decompose(gen::parity_tree(12));
+  Manager m(12);
+  const auto outs = build_output_bdds(m, n);
+  EXPECT_LE(m.size(outs[0]), 2u * 12u + 2u);
+}
+
+// ------------------------------------------------------- directed widths
+
+TEST(DirectedWidths, TopologicalOrderHasNoReverse) {
+  const net::Network n = net::decompose(gen::comparator(4));
+  const auto order = core::identity_ordering(n.node_count());
+  const DirectedWidths w = directed_widths(n, order);
+  EXPECT_EQ(w.reverse, 0u);
+  EXPECT_GT(w.forward, 0u);
+}
+
+TEST(DirectedWidths, ReversedOrderSwapsRoles) {
+  const net::Network n = gen::c17();
+  auto order = core::identity_ordering(n.node_count());
+  const DirectedWidths fwd = directed_widths(n, order);
+  std::reverse(order.begin(), order.end());
+  const DirectedWidths rev = directed_widths(n, order);
+  EXPECT_EQ(fwd.forward, rev.reverse);
+  EXPECT_EQ(fwd.reverse, rev.forward);
+}
+
+TEST(DirectedWidths, SumBoundsUndirectedCut) {
+  // Every undirected crossing is either forward or reverse, but a signal
+  // hyperedge may be split into several driver->sink edges: per gap,
+  // undirected hyperedge cut <= fwd + rev edge cut.
+  const net::Network n = net::decompose(gen::ripple_carry_adder(4));
+  Rng rng(5);
+  core::Ordering order = core::identity_ordering(n.node_count());
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+  const DirectedWidths w = directed_widths(n, order);
+  const std::uint32_t undirected = core::cut_width(n, order);
+  EXPECT_LE(undirected, w.forward + w.reverse);
+}
+
+TEST(DirectedWidths, RejectsBadOrder) {
+  const net::Network n = gen::c17();
+  EXPECT_THROW(directed_widths(n, std::vector<net::NodeId>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(DirectedWidths, McMillanBoundShape) {
+  DirectedWidths w;
+  w.forward = 3;
+  w.reverse = 0;
+  EXPECT_DOUBLE_EQ(mcmillan_log2_bound(16, w), 4.0 + 3.0);
+  w.reverse = 2;
+  EXPECT_DOUBLE_EQ(mcmillan_log2_bound(16, w), 4.0 + 3.0 * 4.0);
+}
+
+TEST(DirectedWidths, McMillanBoundHoldsOnSmallCircuits) {
+  // Under a topological arrangement (w_r = 0) the BDD built with the
+  // corresponding PI order must respect n * 2^(w_f).
+  for (const net::Network& n :
+       {gen::c17(), net::decompose(gen::ripple_carry_adder(3))}) {
+    const auto order = core::identity_ordering(n.node_count());
+    const DirectedWidths w = directed_widths(n, order);
+    Manager m(static_cast<std::uint32_t>(n.inputs().size()));
+    const auto outs = build_output_bdds(m, n);
+    for (Ref r : outs) {
+      const double log2_size =
+          std::log2(static_cast<double>(m.size(r)));
+      EXPECT_LE(log2_size, mcmillan_log2_bound(n.inputs().size(), w) + 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cwatpg::bdd

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/decompose.hpp"
+
+namespace cwatpg::net {
+namespace {
+
+TEST(BenchIo, ParsesC17) {
+  const Network n = gen::c17();
+  EXPECT_EQ(n.inputs().size(), 5u);
+  EXPECT_EQ(n.outputs().size(), 2u);
+  EXPECT_EQ(n.gate_count(), 6u);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(BenchIo, C17Function) {
+  // c17: out22 = NAND(G10, G16), out23 = NAND(G16, G19) with
+  // G10=NAND(1,3), G11=NAND(3,6), G16=NAND(2,11), G19=NAND(11,7).
+  const Network n = gen::c17();
+  for (int v = 0; v < 32; ++v) {
+    const bool i1 = v & 1, i2 = v & 2, i3 = v & 4, i6 = v & 8, i7 = v & 16;
+    const bool g10 = !(i1 && i3);
+    const bool g11 = !(i3 && i6);
+    const bool g16 = !(i2 && g11);
+    const bool g19 = !(g11 && i7);
+    const bool pis[] = {i1, i2, i3, i6, i7};
+    const auto values = n.eval(pis);
+    EXPECT_EQ(values[n.outputs()[0]], !(g10 && g16));
+    EXPECT_EQ(values[n.outputs()[1]], !(g16 && g19));
+  }
+}
+
+TEST(BenchIo, UseBeforeDefinition) {
+  const Network n = read_bench_string(R"(
+INPUT(a)
+OUTPUT(z)
+z = NOT(mid)
+mid = AND(a, a)
+)");
+  EXPECT_EQ(n.gate_count(), 2u);
+}
+
+TEST(BenchIo, CommentsAndBlanksIgnored) {
+  const Network n = read_bench_string(R"(
+# full line comment
+
+INPUT(a)   # trailing comment
+OUTPUT(a)
+)");
+  EXPECT_EQ(n.inputs().size(), 1u);
+}
+
+TEST(BenchIo, GateTypeAliases) {
+  const Network n = read_bench_string(R"(
+INPUT(a)
+OUTPUT(x)
+OUTPUT(y)
+x = BUF(a)
+y = INV(a)
+)");
+  EXPECT_EQ(n.type(*n.find("x")), GateType::kBuf);
+  EXPECT_EQ(n.type(*n.find("y")), GateType::kNot);
+}
+
+TEST(BenchIo, CaseInsensitiveKeywords) {
+  const Network n = read_bench_string(R"(
+input(a)
+output(z)
+z = nand(a, a)
+)");
+  EXPECT_EQ(n.gate_count(), 1u);
+}
+
+TEST(BenchIo, RejectsSequential) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nq = DFF(a)\n"), ParseError);
+}
+
+TEST(BenchIo, RejectsUnknownGate) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nz = FROB(a)\n"), ParseError);
+}
+
+TEST(BenchIo, RejectsMultipleDrivers) {
+  EXPECT_THROW(read_bench_string(R"(
+INPUT(a)
+z = NOT(a)
+z = BUF(a)
+)"),
+               ParseError);
+}
+
+TEST(BenchIo, RejectsCombinationalCycle) {
+  EXPECT_THROW(read_bench_string(R"(
+INPUT(a)
+OUTPUT(x)
+x = AND(a, y)
+y = NOT(x)
+)"),
+               ParseError);
+}
+
+TEST(BenchIo, RejectsUndrivenSignal) {
+  EXPECT_THROW(read_bench_string(R"(
+INPUT(a)
+OUTPUT(z)
+z = AND(a, ghost)
+)"),
+               ParseError);
+}
+
+TEST(BenchIo, RejectsUndrivenOutput) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(z)\n"), ParseError);
+}
+
+TEST(BenchIo, RejectsInputDrivenByGate) {
+  EXPECT_THROW(read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+b = NOT(a)
+)"),
+               ParseError);
+}
+
+TEST(BenchIo, RejectsWrongNotArity) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nINPUT(b)\nz = NOT(a, b)\n"),
+               ParseError);
+}
+
+TEST(BenchIo, RejectsMalformedLines) {
+  EXPECT_THROW(read_bench_string("INPUT a\n"), ParseError);
+  EXPECT_THROW(read_bench_string("z = AND(a,)\nINPUT(a)\n"), ParseError);
+  EXPECT_THROW(read_bench_string("WIDGET(a)\n"), ParseError);
+}
+
+TEST(BenchIo, ParseErrorCarriesLineNumber) {
+  try {
+    read_bench_string("INPUT(a)\nz = FROB(a)\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Network original = gen::c17();
+  std::ostringstream out;
+  write_bench(out, original);
+  const Network reread = read_bench_string(out.str(), "c17");
+  EXPECT_EQ(reread.node_count(), original.node_count());
+  EXPECT_EQ(reread.gate_count(), original.gate_count());
+  EXPECT_EQ(reread.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reread.outputs().size(), original.outputs().size());
+  // Functional identity over all 32 input patterns.
+  for (int v = 0; v < 32; ++v) {
+    std::vector<bool> pis;
+    for (int b = 0; b < 5; ++b) pis.push_back((v >> b) & 1);
+    const auto x = original.eval(pis);
+    const auto y = reread.eval(pis);
+    for (std::size_t o = 0; o < original.outputs().size(); ++o)
+      EXPECT_EQ(x[original.outputs()[o]], y[reread.outputs()[o]]);
+  }
+}
+
+TEST(BenchIo, RoundTripGeneratedAdder) {
+  const Network original = decompose(gen::ripple_carry_adder(6));
+  std::ostringstream out;
+  write_bench(out, original);
+  const Network reread = read_bench_string(out.str());
+  EXPECT_EQ(reread.gate_count(), original.gate_count());
+  EXPECT_EQ(reread.outputs().size(), original.outputs().size());
+}
+
+TEST(BenchIo, WriterRejectsConstants) {
+  Network n;
+  const NodeId c = n.add_const(true);
+  n.add_output(c, "o");
+  std::ostringstream out;
+  EXPECT_THROW(write_bench(out, n), std::invalid_argument);
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(read_bench_file("/nonexistent/path.bench"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cwatpg::net

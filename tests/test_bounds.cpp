@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/cutwidth.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+
+namespace cwatpg::core {
+namespace {
+
+TEST(Bounds, Lemma41Scaling) {
+  EXPECT_DOUBLE_EQ(lemma41_log2_bound(2, 3), 12.0);
+  EXPECT_DOUBLE_EQ(lemma41_log2_bound(1, 0), 0.0);
+}
+
+TEST(Bounds, Theorem41AddsLogN) {
+  EXPECT_DOUBLE_EQ(theorem41_log2_bound(1024, 2, 3),
+                   10.0 + lemma41_log2_bound(2, 3));
+  EXPECT_DOUBLE_EQ(theorem41_log2_bound(0, 2, 3),
+                   lemma41_log2_bound(2, 3));  // n clamped to 1
+}
+
+TEST(Bounds, Eq45AddsLogP) {
+  EXPECT_DOUBLE_EQ(eq45_log2_bound(8, 1024, 2, 3),
+                   3.0 + theorem41_log2_bound(1024, 2, 3));
+}
+
+TEST(Bounds, Lemma42Rhs) {
+  EXPECT_EQ(lemma42_rhs(3), 8u);
+  EXPECT_EQ(lemma42_rhs(0), 2u);
+}
+
+TEST(Bounds, Lemma52Rhs) {
+  EXPECT_DOUBLE_EQ(lemma52_rhs(2, 1024), 10.0);
+  EXPECT_DOUBLE_EQ(lemma52_rhs(3, 256), 16.0);
+  EXPECT_DOUBLE_EQ(lemma52_rhs(1, 100), 1.0);  // degenerate
+}
+
+TEST(Bounds, IsTreeCircuitDetects) {
+  EXPECT_TRUE(is_tree_circuit(gen::and_or_tree(16)));
+  EXPECT_TRUE(is_tree_circuit(gen::random_tree(40, 3, 1)));
+  EXPECT_FALSE(is_tree_circuit(gen::c17()));  // fanout > 1 on G11
+}
+
+TEST(Bounds, TreeOrderingRejectsNonTree) {
+  EXPECT_THROW(tree_ordering(gen::c17()), std::invalid_argument);
+}
+
+TEST(Bounds, TreeOrderingIsPermutation) {
+  const net::Network t = gen::random_tree(60, 3, 7);
+  const Ordering order = tree_ordering(t);
+  EXPECT_NO_THROW(positions_of(order, t.node_count()));
+}
+
+TEST(Bounds, BinaryTreeMeetsLemma52) {
+  for (std::size_t leaves : {8u, 32u, 128u, 512u}) {
+    const net::Network t = gen::and_or_tree(leaves, 2);
+    const Ordering order = tree_ordering(t);
+    const std::uint32_t w = cut_width(t, order);
+    const double bound = lemma52_rhs(2, t.node_count());
+    EXPECT_LE(w, bound + 1.0) << leaves << " leaves";
+  }
+}
+
+TEST(Bounds, KaryTreesMeetLemma52) {
+  for (std::size_t k : {2u, 3u, 4u, 5u}) {
+    const net::Network t = gen::and_or_tree(256, k);
+    const Ordering order = tree_ordering(t);
+    const std::uint32_t w = cut_width(t, order);
+    EXPECT_LE(w, lemma52_rhs(k, t.node_count()) + 1.0) << "arity " << k;
+  }
+}
+
+TEST(Bounds, RandomTreesMeetLemma52) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const net::Network t = gen::random_tree(200, 3, seed);
+    const Ordering order = tree_ordering(t);
+    const std::uint32_t w = cut_width(t, order);
+    // Random trees have mixed arity <= 3: (k-1)log2(n) with k=3.
+    EXPECT_LE(w, lemma52_rhs(3, t.node_count()) + 1.0) << "seed " << seed;
+  }
+}
+
+TEST(Bounds, TreeOrderingBeatsTopological) {
+  const net::Network t = gen::and_or_tree(256, 2);
+  const std::uint32_t smart = cut_width(t, tree_ordering(t));
+  const std::uint32_t topo =
+      cut_width(t, identity_ordering(t.node_count()));
+  EXPECT_LE(smart, topo);
+}
+
+TEST(Bounds, ChainTreeWidthOne) {
+  net::Network n;
+  net::NodeId cur = n.add_input("a");
+  for (int i = 0; i < 20; ++i)
+    cur = n.add_gate(net::GateType::kNot, {cur});
+  n.add_output(cur, "o");
+  ASSERT_TRUE(is_tree_circuit(n));
+  EXPECT_EQ(cut_width(n, tree_ordering(n)), 1u);
+}
+
+TEST(Bounds, Theorem41HoldsOnTreeCircuitSat) {
+  // Measured backtracking-tree size must respect n * 2^(2*kfo*W).
+  const net::Network t = gen::and_or_tree(32, 2);
+  const Ordering order = tree_ordering(t);
+  const std::uint32_t w = cut_width(t, order);
+  const sat::Cnf f = sat::encode_circuit_sat(t);
+  const std::vector<sat::Var> var_order(order.begin(), order.end());
+  sat::CacheSatConfig cfg;
+  cfg.early_sat = false;  // the theorem models the full tree
+  const auto r = sat::cache_sat(f, var_order, cfg);
+  const double log2_nodes = std::log2(static_cast<double>(r.stats.nodes));
+  EXPECT_LE(log2_nodes,
+            theorem41_log2_bound(t.node_count(), t.max_fanout(), w));
+}
+
+TEST(Bounds, Theorem41HoldsOnFig4a) {
+  const auto hg = gen::fig4a_hypergraph();
+  const auto order = gen::fig4a_ordering_a();
+  const std::uint32_t w = cut_width(hg, order);  // 3
+  const sat::Cnf f = gen::formula41();
+  const std::vector<sat::Var> var_order(order.begin(), order.end());
+  sat::CacheSatConfig cfg;
+  cfg.early_sat = false;
+  const auto r = sat::cache_sat(f, var_order, cfg);
+  // k_fo = 1 in the hand hypergraph (each signal feeds one gate).
+  EXPECT_LE(std::log2(static_cast<double>(r.stats.nodes)),
+            theorem41_log2_bound(9, 1, w));
+}
+
+class TreeBoundSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(TreeBoundSweep, Lemma52AcrossSizesAndArities) {
+  const auto [leaves, arity] = GetParam();
+  const net::Network t = gen::and_or_tree(leaves, arity);
+  const std::uint32_t w = cut_width(t, tree_ordering(t));
+  EXPECT_LE(w, lemma52_rhs(arity, t.node_count()) + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TreeBoundSweep,
+    ::testing::Combine(::testing::Values(16, 64, 256, 1024),
+                       ::testing::Values(2, 3, 4)));
+
+}  // namespace
+}  // namespace cwatpg::core

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "core/cutwidth.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::sat {
+namespace {
+
+bool brute_force_sat(const Cnf& f) {
+  const Var n = f.num_vars();
+  EXPECT_LE(n, 22u);
+  std::vector<bool> assignment(n);
+  for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+    for (Var v = 0; v < n; ++v) assignment[v] = (m >> v) & 1;
+    if (f.eval(assignment)) return true;
+  }
+  return false;
+}
+
+Cnf random_cnf(Var vars, std::size_t clauses, std::uint64_t seed) {
+  cwatpg::Rng rng(seed);
+  Cnf f(vars);
+  for (std::size_t c = 0; c < clauses; ++c) {
+    Clause cl;
+    const auto len = static_cast<std::size_t>(rng.range(1, 3));
+    for (std::size_t i = 0; i < len; ++i)
+      cl.push_back(Lit(static_cast<Var>(rng.below(vars)), rng.chance(0.5)));
+    std::sort(cl.begin(), cl.end());
+    cl.erase(std::unique(cl.begin(), cl.end()), cl.end());
+    f.add_clause(cl);
+  }
+  return f;
+}
+
+TEST(CacheSat, TrivialCases) {
+  Cnf sat1(1);
+  sat1.add_clause({pos(0)});
+  EXPECT_EQ(cache_sat(sat1, identity_order(sat1)).status, SolveStatus::kSat);
+
+  Cnf unsat(1);
+  unsat.add_clause({pos(0)});
+  unsat.add_clause({neg(0)});
+  EXPECT_EQ(cache_sat(unsat, identity_order(unsat)).status,
+            SolveStatus::kUnsat);
+
+  Cnf empty(2);
+  EXPECT_EQ(cache_sat(empty, identity_order(empty)).status,
+            SolveStatus::kSat);
+}
+
+TEST(CacheSat, ModelSatisfiesFormula) {
+  const Cnf f = random_cnf(10, 25, 3);
+  const auto r = cache_sat(f, identity_order(f));
+  if (r.status == SolveStatus::kSat) {
+    EXPECT_TRUE(f.eval(r.model));
+  }
+}
+
+TEST(CacheSat, OrderMustBePermutation) {
+  Cnf f(3);
+  f.add_clause({pos(0)});
+  const Var short_order[] = {0, 1};
+  EXPECT_THROW(cache_sat(f, short_order), std::invalid_argument);
+  const Var dup[] = {0, 1, 1};
+  EXPECT_THROW(cache_sat(f, dup), std::invalid_argument);
+  const Var oob[] = {0, 1, 7};
+  EXPECT_THROW(cache_sat(f, oob), std::invalid_argument);
+}
+
+TEST(CacheSat, AgreesWithBruteForce) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Cnf f = random_cnf(8, 24, seed);
+    const bool expected = brute_force_sat(f);
+    const auto r = cache_sat(f, identity_order(f));
+    EXPECT_EQ(r.status == SolveStatus::kSat, expected) << "seed " << seed;
+  }
+}
+
+TEST(CacheSat, AgreesWithBruteForceExactMode) {
+  CacheSatConfig cfg;
+  cfg.verify_exact = true;
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    const Cnf f = random_cnf(8, 24, seed);
+    const auto r = cache_sat(f, identity_order(f), cfg);
+    EXPECT_EQ(r.status == SolveStatus::kSat, brute_force_sat(f));
+    EXPECT_EQ(r.stats.hash_collisions, 0u) << "seed " << seed;
+  }
+}
+
+TEST(CacheSat, HashedAndExactModesAgreeOnTreeCount) {
+  // If 64-bit residual hashing never collides, both modes visit the
+  // identical tree.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Cnf f = random_cnf(10, 30, seed + 55);
+    CacheSatConfig hashed;
+    CacheSatConfig exact;
+    exact.verify_exact = true;
+    const auto a = cache_sat(f, identity_order(f), hashed);
+    const auto b = cache_sat(f, identity_order(f), exact);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.stats.nodes, b.stats.nodes);
+    EXPECT_EQ(a.stats.cache_hits, b.stats.cache_hits);
+  }
+}
+
+TEST(CacheSat, CachingNeverIncreasesTree) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Cnf f = random_cnf(10, 32, seed + 200);
+    CacheSatConfig with;
+    CacheSatConfig without;
+    without.use_cache = false;
+    const auto a = cache_sat(f, identity_order(f), with);
+    const auto b = cache_sat(f, identity_order(f), without);
+    EXPECT_EQ(a.status, b.status) << "seed " << seed;
+    EXPECT_LE(a.stats.nodes, b.stats.nodes);
+  }
+}
+
+TEST(CacheSat, CacheActuallyHitsOnStructuredFormula) {
+  // The paper's worked example: caching prunes the Figure 5 tree.
+  const Cnf f = gen::formula41();
+  const auto order = gen::fig4a_ordering_a();
+  std::vector<Var> vars(order.begin(), order.end());
+  CacheSatConfig cfg;
+  cfg.early_sat = false;  // match the paper's full backtracking tree
+  const auto r = cache_sat(f, vars, cfg);
+  EXPECT_EQ(r.status, SolveStatus::kSat);
+}
+
+TEST(CacheSat, Formula41IsSatAndFaultExampleBehaves) {
+  const Cnf f = gen::formula41();
+  const auto order_a = gen::fig4a_ordering_a();
+  const std::vector<Var> va(order_a.begin(), order_a.end());
+  const auto r = cache_sat(f, va);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_TRUE(f.eval(r.model));
+}
+
+TEST(CacheSat, PaperPruneExample) {
+  // §4.1's concrete prune: after b=0,c=0,f=0 the residual under a=0,h=0
+  // equals the residual under a=1,h=0, so the second branch is a cache
+  // hit. Verify a hit occurs somewhere below that prefix.
+  Cnf f = gen::formula41();
+  const auto order = gen::fig4a_ordering_a();
+  std::vector<Var> vars(order.begin(), order.end());
+  CacheSatConfig cfg;
+  cfg.early_sat = false;
+  const auto r = cache_sat(f, vars, cfg);
+  EXPECT_GT(r.stats.cache_hits, 0u);
+}
+
+TEST(CacheSat, NodeLimitAborts) {
+  const Cnf f = random_cnf(14, 40, 9);
+  CacheSatConfig cfg;
+  cfg.max_nodes = 3;
+  const auto r = cache_sat(f, identity_order(f), cfg);
+  EXPECT_EQ(r.status, SolveStatus::kUnknown);
+}
+
+TEST(CacheSat, EarlySatShrinksTreeOnSatisfiable) {
+  Cnf f(12);
+  f.add_clause({pos(0)});  // satisfied immediately; rest are free vars
+  CacheSatConfig eager;
+  CacheSatConfig full;
+  full.early_sat = false;
+  const auto a = cache_sat(f, identity_order(f), eager);
+  const auto b = cache_sat(f, identity_order(f), full);
+  EXPECT_EQ(a.status, SolveStatus::kSat);
+  EXPECT_EQ(b.status, SolveStatus::kSat);
+  EXPECT_LT(a.stats.nodes, b.stats.nodes);
+}
+
+TEST(CacheSat, StatsAccounting) {
+  const Cnf f = random_cnf(9, 30, 21);
+  const auto r = cache_sat(f, identity_order(f));
+  EXPECT_GT(r.stats.nodes, 0u);
+  EXPECT_LE(r.stats.max_depth, 9u);
+  if (r.status == SolveStatus::kUnsat) {
+    EXPECT_GT(r.stats.null_prunes + r.stats.cache_hits, 0u);
+  }
+}
+
+TEST(CacheSat, VariableOrderChangesTreeNotAnswer) {
+  const Cnf f = random_cnf(10, 30, 31);
+  const auto forward = cache_sat(f, identity_order(f));
+  std::vector<Var> reversed = identity_order(f);
+  std::reverse(reversed.begin(), reversed.end());
+  const auto backward = cache_sat(f, reversed);
+  EXPECT_EQ(forward.status, backward.status);
+}
+
+TEST(CacheSat, CircuitSatAgreesWithCdcl) {
+  // Cross-check Algorithm 1 against the CDCL solver on real ATPG-ish
+  // encodings (testable and untestable cones).
+  net::Network taut;
+  const auto a = taut.add_input("a");
+  const auto na = taut.add_gate(net::GateType::kNot, {a});
+  taut.add_output(taut.add_gate(net::GateType::kAnd, {a, na}), "o");
+  const Cnf f = encode_circuit_sat(taut);
+  EXPECT_EQ(cache_sat(f, identity_order(f)).status, SolveStatus::kUnsat);
+
+  const Cnf g = encode_circuit_sat(gen::c17());
+  EXPECT_EQ(cache_sat(g, identity_order(g)).status, SolveStatus::kSat);
+}
+
+class CacheSatOrderSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheSatOrderSweep, RandomOrdersAgreeWithBruteForce) {
+  const Cnf f = random_cnf(9, 26, GetParam() + 400);
+  const bool expected = brute_force_sat(f);
+  cwatpg::Rng rng(GetParam());
+  std::vector<Var> order = identity_order(f);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[rng.below(i)]);
+  const auto r = cache_sat(f, order);
+  EXPECT_EQ(r.status == SolveStatus::kSat, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheSatOrderSweep,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace cwatpg::sat

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "netlist/simplify.hpp"
+#include "verify/cec.hpp"
+
+namespace cwatpg::verify {
+namespace {
+
+TEST(Cec, IdenticalCircuitsEquivalent) {
+  const net::Network n = gen::c17();
+  const CecResult r = check_equivalence(n, n);
+  EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Cec, DecomposeIsEquivalent) {
+  for (const net::Network& n :
+       {gen::simple_alu(4), gen::comparator(5), gen::hamming_ecc(8),
+        gen::array_multiplier(4)}) {
+    const CecResult r = check_equivalence(n, net::decompose(n));
+    EXPECT_TRUE(r.equivalent) << n.name();
+  }
+}
+
+TEST(Cec, SimplifyIsEquivalent) {
+  const net::Network n = gen::carry_select_adder(12, 4);
+  EXPECT_TRUE(check_equivalence(n, net::simplify(n)).equivalent);
+}
+
+TEST(Cec, CarrySelectEqualsRipple) {
+  // Two genuinely different implementations of the same function.
+  const net::Network csa = gen::carry_select_adder(10, 3);
+  const net::Network rca = gen::ripple_carry_adder(10);
+  const CecResult r = check_equivalence(csa, rca);
+  EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Cec, DetectsSingleGateChange) {
+  // Same adder with one AND swapped to OR: inequivalent, and the
+  // counterexample must be verified (check_equivalence rechecks).
+  net::Network good;
+  {
+    const auto a = good.add_input("a");
+    const auto b = good.add_input("b");
+    const auto c = good.add_input("c");
+    good.add_output(good.add_gate(net::GateType::kAnd, {a, b, c}), "o");
+  }
+  net::Network bad;
+  {
+    const auto a = bad.add_input("a");
+    const auto b = bad.add_input("b");
+    const auto c = bad.add_input("c");
+    const auto t = bad.add_gate(net::GateType::kOr, {a, b});
+    bad.add_output(bad.add_gate(net::GateType::kAnd, {t, c}), "o");
+  }
+  const CecResult r = check_equivalence(good, bad);
+  ASSERT_FALSE(r.equivalent);
+  const auto vg = good.eval(r.counterexample);
+  const auto vb = bad.eval(r.counterexample);
+  EXPECT_NE(vg[good.outputs()[0]], vb[bad.outputs()[0]]);
+}
+
+TEST(Cec, DetectsOutputSwap) {
+  net::Network a = gen::c17();
+  // Build c17 with outputs swapped.
+  net::Network b;
+  {
+    const net::Network& src = a;
+    std::vector<net::NodeId> map(src.node_count());
+    std::vector<net::NodeId> po_drivers;
+    for (net::NodeId id = 0; id < src.node_count(); ++id) {
+      const auto& node = src.node(id);
+      if (node.type == net::GateType::kInput) {
+        map[id] = b.add_input(src.name_of(id));
+      } else if (node.type == net::GateType::kOutput) {
+        po_drivers.push_back(map[node.fanins[0]]);
+      } else {
+        std::vector<net::NodeId> fis;
+        for (net::NodeId fi : node.fanins) fis.push_back(map[fi]);
+        map[id] = b.add_gate(node.type, std::move(fis));
+      }
+    }
+    b.add_output(po_drivers[1], "o0");
+    b.add_output(po_drivers[0], "o1");
+  }
+  EXPECT_FALSE(check_equivalence(a, b).equivalent);
+}
+
+TEST(Cec, InterfaceMismatchThrows) {
+  EXPECT_THROW(
+      check_equivalence(gen::c17(), gen::ripple_carry_adder(2)),
+      std::invalid_argument);
+}
+
+TEST(Cec, MiterShape) {
+  const net::Network n = gen::c17();
+  const net::Network miter = build_cec_miter(n, n);
+  EXPECT_EQ(miter.inputs().size(), n.inputs().size());
+  EXPECT_EQ(miter.outputs().size(), n.outputs().size());
+  EXPECT_NO_THROW(miter.validate());
+}
+
+class CecMutationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CecMutationSweep, RandomGateMutationsDetectedOrBenign) {
+  gen::HuttonParams p;
+  p.num_gates = 40;
+  p.num_inputs = 8;
+  p.num_outputs = 4;
+  p.seed = GetParam();
+  const net::Network original = net::decompose(gen::hutton_random(p));
+
+  // Mutate one gate type (AND <-> OR) and check CEC agrees with
+  // exhaustive simulation.
+  net::Network mutated;
+  net::NodeId victim = net::kNullNode;
+  for (net::NodeId id = 0; id < original.node_count(); ++id) {
+    const auto t = original.type(id);
+    if (t == net::GateType::kAnd || t == net::GateType::kOr) {
+      victim = id;  // keep last such gate
+    }
+  }
+  ASSERT_NE(victim, net::kNullNode);
+  {
+    std::vector<net::NodeId> map(original.node_count());
+    for (net::NodeId id = 0; id < original.node_count(); ++id) {
+      const auto& node = original.node(id);
+      std::vector<net::NodeId> fis;
+      for (net::NodeId fi : node.fanins) fis.push_back(map[fi]);
+      switch (node.type) {
+        case net::GateType::kInput:
+          map[id] = mutated.add_input(original.name_of(id));
+          break;
+        case net::GateType::kOutput:
+          map[id] = mutated.add_output(fis[0]);
+          break;
+        default: {
+          auto t = node.type;
+          if (id == victim)
+            t = t == net::GateType::kAnd ? net::GateType::kOr
+                                         : net::GateType::kAnd;
+          map[id] = mutated.add_gate(t, std::move(fis));
+          break;
+        }
+      }
+    }
+  }
+
+  const CecResult r = check_equivalence(original, mutated);
+  // Reference by exhaustive simulation (8 inputs).
+  bool reference_equal = true;
+  for (int v = 0; v < 256 && reference_equal; ++v) {
+    std::vector<bool> pattern(8);
+    for (int i = 0; i < 8; ++i) pattern[i] = (v >> i) & 1;
+    const auto x = original.eval(pattern);
+    const auto y = mutated.eval(pattern);
+    for (std::size_t o = 0; o < original.outputs().size(); ++o)
+      if (x[original.outputs()[o]] != y[mutated.outputs()[o]])
+        reference_equal = false;
+  }
+  EXPECT_EQ(r.equivalent, reference_equal) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CecMutationSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cwatpg::verify

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "fault/compact.hpp"
+#include "fault/tegus.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+TEST(Compact, PreservesCoverage) {
+  const net::Network n = net::decompose(gen::simple_alu(3));
+  const auto faults = collapsed_fault_list(n);
+  const AtpgResult atpg = run_atpg(n);
+  const CompactionResult c = compact_tests(n, faults, atpg.tests);
+  EXPECT_EQ(c.detected_after, c.detected_before);
+  // Independent recheck.
+  const double before = coverage(n, faults, atpg.tests);
+  const double after = coverage(n, faults, c.tests);
+  EXPECT_DOUBLE_EQ(before, after);
+}
+
+TEST(Compact, ShrinksRandomHeavySets) {
+  const net::Network n = gen::c17();
+  const auto faults = collapsed_fault_list(n);
+  AtpgOptions opts;
+  opts.random_blocks = 8;  // 512 random patterns, mostly redundant
+  const AtpgResult atpg = run_atpg(n, opts);
+  const CompactionResult c = compact_tests(n, faults, atpg.tests);
+  EXPECT_LT(c.tests.size(), atpg.tests.size() / 4);
+  EXPECT_GE(c.tests.size(), 1u);
+}
+
+TEST(Compact, EmptyInputs) {
+  const net::Network n = gen::c17();
+  const auto faults = collapsed_fault_list(n);
+  const CompactionResult c = compact_tests(n, faults, {});
+  EXPECT_TRUE(c.tests.empty());
+  EXPECT_EQ(c.detected_before, 0u);
+
+  const CompactionResult none = compact_tests(n, {}, {});
+  EXPECT_EQ(none.detected_after, 0u);
+}
+
+TEST(Compact, SingleUsefulPatternKept) {
+  const net::Network n = gen::c17();
+  const auto faults = collapsed_fault_list(n);
+  Rng rng(1);
+  Pattern p(n.inputs().size());
+  for (auto&& b : p) b = rng.chance(0.5);
+  // Duplicate the same pattern 10 times: exactly one survives.
+  std::vector<Pattern> tests(10, p);
+  const CompactionResult c = compact_tests(n, faults, tests);
+  EXPECT_EQ(c.tests.size(), 1u);
+}
+
+TEST(Compact, UselessPatternsDropped) {
+  // A pattern detecting nothing (no fault list) contributes nothing.
+  const net::Network n = gen::c17();
+  std::vector<Pattern> tests = {Pattern(5, false), Pattern(5, true)};
+  const CompactionResult c = compact_tests(n, {}, tests);
+  EXPECT_TRUE(c.tests.empty());
+}
+
+TEST(Compact, KeptSetIsSubsetOfInput) {
+  const net::Network n = net::decompose(gen::comparator(3));
+  const auto faults = collapsed_fault_list(n);
+  const AtpgResult atpg = run_atpg(n);
+  const CompactionResult c = compact_tests(n, faults, atpg.tests);
+  for (const Pattern& kept : c.tests) {
+    EXPECT_NE(std::find(atpg.tests.begin(), atpg.tests.end(), kept),
+              atpg.tests.end());
+  }
+}
+
+class CompactFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompactFamilies, CoveragePreservedAcrossGenerators) {
+  net::Network n;
+  switch (GetParam()) {
+    case 0: n = net::decompose(gen::ripple_carry_adder(5)); break;
+    case 1: n = net::decompose(gen::parity_tree(10)); break;
+    case 2: n = net::decompose(gen::decoder(3)); break;
+    default: n = net::decompose(gen::cellular_array_1d(6)); break;
+  }
+  const auto faults = collapsed_fault_list(n);
+  const AtpgResult atpg = run_atpg(n);
+  const CompactionResult c = compact_tests(n, faults, atpg.tests);
+  EXPECT_EQ(c.detected_after, c.detected_before);
+  EXPECT_LE(c.tests.size(), atpg.tests.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, CompactFamilies, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace cwatpg::fault

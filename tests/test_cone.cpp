@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/cone.hpp"
+#include "netlist/decompose.hpp"
+
+namespace cwatpg::net {
+namespace {
+
+TEST(Cone, TransitiveFanoutIncludesSelfAndPos) {
+  const Network n = gen::c17();
+  const NodeId g11 = *n.find("11");
+  const auto tfo = transitive_fanout(n, g11);
+  EXPECT_TRUE(tfo[g11]);
+  EXPECT_TRUE(tfo[*n.find("16")]);
+  EXPECT_TRUE(tfo[*n.find("19")]);
+  EXPECT_TRUE(tfo[*n.find("22")]);
+  EXPECT_TRUE(tfo[*n.find("23")]);
+  EXPECT_FALSE(tfo[*n.find("10")]);
+  EXPECT_FALSE(tfo[*n.find("1")]);
+}
+
+TEST(Cone, TransitiveFaninIncludesRoots) {
+  const Network n = gen::c17();
+  const NodeId g16 = *n.find("16");
+  const NodeId roots[] = {g16};
+  const auto tfi = transitive_fanin(n, roots);
+  EXPECT_TRUE(tfi[g16]);
+  EXPECT_TRUE(tfi[*n.find("11")]);
+  EXPECT_TRUE(tfi[*n.find("2")]);
+  EXPECT_TRUE(tfi[*n.find("3")]);
+  EXPECT_TRUE(tfi[*n.find("6")]);
+  EXPECT_FALSE(tfi[*n.find("10")]);
+  EXPECT_FALSE(tfi[*n.find("7")]);
+}
+
+TEST(Cone, ExtractPreservesTopology) {
+  const Network n = gen::c17();
+  const NodeId roots[] = {n.outputs()[0]};
+  const SubCircuit sub = extract(n, transitive_fanin(n, roots));
+  EXPECT_NO_THROW(sub.circuit.validate());
+  EXPECT_EQ(sub.circuit.outputs().size(), 1u);
+  // Mapping is mutually consistent.
+  for (NodeId s = 0; s < sub.circuit.node_count(); ++s)
+    EXPECT_EQ(sub.to_sub[sub.to_src[s]], s);
+}
+
+TEST(Cone, ExtractRejectsOpenMask) {
+  const Network n = gen::c17();
+  std::vector<bool> mask(n.node_count(), false);
+  mask[*n.find("22")] = true;  // gate without its fanins
+  EXPECT_THROW(extract(n, mask), std::invalid_argument);
+}
+
+TEST(Cone, ExtractRejectsWrongMaskSize) {
+  const Network n = gen::c17();
+  EXPECT_THROW(extract(n, std::vector<bool>(3, true)),
+               std::invalid_argument);
+}
+
+TEST(Cone, OutputConeIsSingleOutput) {
+  const Network n = decompose(gen::ripple_carry_adder(4));
+  for (NodeId po : n.outputs()) {
+    const SubCircuit cone = output_cone(n, po);
+    EXPECT_EQ(cone.circuit.outputs().size(), 1u);
+    EXPECT_NO_THROW(cone.circuit.validate());
+  }
+}
+
+TEST(Cone, OutputConeSizesGrowAlongCarryChain) {
+  const Network n = decompose(gen::ripple_carry_adder(8));
+  // s0's cone is tiny; cout's cone is nearly the whole adder.
+  const SubCircuit first = output_cone(n, n.outputs().front());
+  const SubCircuit last = output_cone(n, n.outputs().back());
+  EXPECT_LT(first.circuit.node_count(), last.circuit.node_count());
+  EXPECT_GT(last.circuit.node_count(), n.node_count() / 2);
+}
+
+TEST(Cone, OutputConeRejectsNonOutput) {
+  const Network n = gen::c17();
+  EXPECT_THROW(output_cone(n, *n.find("10")), std::invalid_argument);
+}
+
+TEST(Cone, FaultConeContainsSiteAndObservers) {
+  const Network n = gen::c17();
+  const NodeId g11 = *n.find("11");
+  const SubCircuit cone = fault_cone(n, g11);
+  // Both outputs observe faults on G11, so the cone is the whole circuit.
+  EXPECT_EQ(cone.circuit.node_count(), n.node_count());
+  EXPECT_EQ(cone.circuit.outputs().size(), 2u);
+}
+
+TEST(Cone, FaultConeRestrictsToObservingOutputs) {
+  const Network n = gen::c17();
+  const NodeId g10 = *n.find("10");
+  const SubCircuit cone = fault_cone(n, g10);
+  // G10 only reaches output 22.
+  EXPECT_EQ(cone.circuit.outputs().size(), 1u);
+  EXPECT_LT(cone.circuit.node_count(), n.node_count());
+}
+
+TEST(Cone, FaultConeOnPiCoversItsInfluence) {
+  const Network n = gen::c17();
+  const NodeId pi3 = *n.find("3");  // feeds both NAND(1,3) and NAND(3,6)
+  const SubCircuit cone = fault_cone(n, pi3);
+  EXPECT_EQ(cone.circuit.outputs().size(), 2u);
+  EXPECT_EQ(cone.circuit.node_count(), n.node_count());
+}
+
+TEST(Cone, FaultConeUnobservableThrows) {
+  Network n;
+  const NodeId a = n.add_input("a");
+  n.add_gate(GateType::kNot, {a});  // dangling gate
+  const NodeId keep = n.add_gate(GateType::kBuf, {a});
+  n.add_output(keep, "o");
+  EXPECT_THROW(fault_cone(n, 1), std::invalid_argument);
+}
+
+TEST(Cone, FaultConeMaskClosedUnderFanin) {
+  const Network n = decompose(gen::comparator(4));
+  for (NodeId id = 0; id < n.node_count(); id += 3) {
+    if (n.type(id) == GateType::kOutput) continue;
+    if (n.fanouts(id).empty()) continue;
+    const SubCircuit cone = fault_cone(n, id);
+    EXPECT_NO_THROW(cone.circuit.validate());
+    EXPECT_GE(cone.circuit.outputs().size(), 1u);
+  }
+}
+
+TEST(Cone, TreeFaultConeIsPathToRootPlusSupport) {
+  const Network n = gen::random_tree(30, 3, 5);
+  // In a tree, TFO of any node is the single path to the output.
+  for (NodeId id = 0; id < n.node_count(); ++id) {
+    if (n.fanouts(id).empty()) continue;
+    const auto tfo = transitive_fanout(n, id);
+    std::size_t count = 0;
+    for (NodeId v = 0; v < n.node_count(); ++v)
+      if (tfo[v]) ++count;
+    EXPECT_LE(count, n.node_count());
+    // Path property: each TFO node except the PO marker has exactly one
+    // fanout inside the TFO.
+    for (NodeId v = 0; v < n.node_count(); ++v) {
+      if (!tfo[v] || n.type(v) == GateType::kOutput) continue;
+      std::size_t inside = 0;
+      for (NodeId fo : n.fanouts(v))
+        if (tfo[fo]) ++inside;
+      EXPECT_EQ(inside, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cwatpg::net

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "fault/dictionary.hpp"
+#include "fault/tegus.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+/// All 32 input patterns of c17.
+std::vector<Pattern> exhaustive_c17_patterns() {
+  std::vector<Pattern> patterns;
+  for (int v = 0; v < 32; ++v) {
+    Pattern p(5);
+    for (int b = 0; b < 5; ++b) p[b] = (v >> b) & 1;
+    patterns.push_back(p);
+  }
+  return patterns;
+}
+
+TEST(DetectionMatrix, MatchesSingleDetects) {
+  const net::Network n = gen::c17();
+  const auto faults = all_faults(n);
+  const auto patterns = exhaustive_c17_patterns();
+  const auto matrix = detection_matrix(n, faults, patterns);
+  ASSERT_EQ(matrix.size(), faults.size());
+  for (std::size_t f = 0; f < faults.size(); f += 3) {
+    for (std::size_t t = 0; t < patterns.size(); t += 5) {
+      const bool bit = (matrix[f][t / 64] >> (t % 64)) & 1;
+      EXPECT_EQ(bit, detects(n, faults[f], patterns[t]))
+          << to_string(n, faults[f]) << " test " << t;
+    }
+  }
+}
+
+TEST(DetectionMatrix, EmptyPatterns) {
+  const net::Network n = gen::c17();
+  const auto faults = all_faults(n);
+  const auto matrix = detection_matrix(n, faults, {});
+  for (const auto& row : matrix) EXPECT_TRUE(row.empty());
+}
+
+TEST(Dictionary, BasicShape) {
+  const net::Network n = gen::c17();
+  FaultDictionary dict(n, collapsed_fault_list(n),
+                       exhaustive_c17_patterns());
+  EXPECT_EQ(dict.num_faults(), 22u);
+  EXPECT_EQ(dict.num_tests(), 32u);
+  EXPECT_THROW(dict.detects(100, 0), std::out_of_range);
+}
+
+TEST(Dictionary, SignatureConsistent) {
+  const net::Network n = gen::c17();
+  FaultDictionary dict(n, collapsed_fault_list(n),
+                       exhaustive_c17_patterns());
+  for (std::size_t f = 0; f < dict.num_faults(); f += 4) {
+    const auto signature = dict.signature_of(f);
+    for (std::size_t t = 0; t < dict.num_tests(); ++t)
+      EXPECT_EQ(signature[t], dict.detects(f, t));
+  }
+}
+
+TEST(Dictionary, ExactDiagnosisRanksFirst) {
+  // Simulate a device with a known fault; its signature must diagnose to
+  // that fault at distance 0 (or to an indistinguishable equivalent).
+  const net::Network n = gen::c17();
+  const auto faults = collapsed_fault_list(n);
+  FaultDictionary dict(n, faults, exhaustive_c17_patterns());
+  for (std::size_t planted = 0; planted < faults.size(); planted += 3) {
+    const auto observed = dict.signature_of(planted);
+    const auto candidates = dict.diagnose(observed, 3);
+    ASSERT_FALSE(candidates.empty());
+    EXPECT_EQ(candidates[0].distance, 0u);
+    // The planted fault is among the distance-0 candidates.
+    bool found = false;
+    for (const auto& c : candidates)
+      if (c.distance == 0 && c.fault_index == planted) found = true;
+    // It may be truncated out only if >3 faults share the signature.
+    if (!found) {
+      const auto classes = dict.indistinguishable_classes();
+      bool in_big_class = false;
+      for (const auto& cls : classes)
+        if (std::find(cls.begin(), cls.end(), planted) != cls.end())
+          in_big_class = cls.size() > 3;
+      EXPECT_TRUE(in_big_class);
+    }
+  }
+}
+
+TEST(Dictionary, NoisyDiagnosisStillClose) {
+  // Flip one signature bit (tester noise): the planted fault should stay
+  // within the top candidates at distance 1.
+  const net::Network n = gen::c17();
+  const auto faults = collapsed_fault_list(n);
+  FaultDictionary dict(n, faults, exhaustive_c17_patterns());
+  auto observed = dict.signature_of(5);
+  observed[7] = !observed[7];
+  const auto candidates = dict.diagnose(observed, 5);
+  bool found = false;
+  for (const auto& c : candidates)
+    if (c.fault_index == 5) {
+      found = true;
+      EXPECT_LE(c.distance, 1u);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Dictionary, ExhaustiveTestsDistinguishMostC17Faults) {
+  const net::Network n = gen::c17();
+  const auto faults = collapsed_fault_list(n);
+  FaultDictionary dict(n, faults, exhaustive_c17_patterns());
+  const auto classes = dict.indistinguishable_classes();
+  // Exhaustive patterns give maximal diagnostic resolution: classes equal
+  // functional-equivalence classes of the collapsed list.
+  EXPECT_GE(classes.size(), faults.size() / 2);
+  std::size_t members = 0;
+  for (const auto& cls : classes) members += cls.size();
+  EXPECT_EQ(members, faults.size());
+}
+
+TEST(Dictionary, CompactedSetLosesResolutionNotCoverage) {
+  // Fewer tests => coarser diagnosis (fewer classes), same coverage.
+  const net::Network n = net::decompose(gen::comparator(3));
+  const auto faults = collapsed_fault_list(n);
+  const AtpgResult atpg = run_atpg(n);
+  FaultDictionary full(n, faults, atpg.tests);
+
+  // A minimal detecting set: first test only.
+  std::vector<Pattern> one(atpg.tests.begin(), atpg.tests.begin() + 1);
+  FaultDictionary coarse(n, faults, one);
+  EXPECT_LE(coarse.indistinguishable_classes().size(),
+            full.indistinguishable_classes().size());
+}
+
+TEST(Dictionary, DiagnoseValidatesWidth) {
+  const net::Network n = gen::c17();
+  FaultDictionary dict(n, collapsed_fault_list(n),
+                       exhaustive_c17_patterns());
+  EXPECT_THROW(dict.diagnose(std::vector<bool>(3, false)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cwatpg::fault

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "fault/atpg_circuit.hpp"
+#include "gen/trees.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/encode.hpp"
+#include "sat/solver.hpp"
+
+namespace cwatpg::sat {
+namespace {
+
+TEST(Dimacs, ParsesBasicFormula) {
+  const Cnf f = read_dimacs_string(R"(c a comment
+p cnf 3 2
+1 -2 0
+2 3 0
+)");
+  EXPECT_EQ(f.num_vars(), 3u);
+  EXPECT_EQ(f.num_clauses(), 2u);
+  EXPECT_EQ(f.clause(0)[0], pos(0));
+  EXPECT_EQ(f.clause(0)[1], neg(1));
+}
+
+TEST(Dimacs, ClausesMaySpanLines) {
+  const Cnf f = read_dimacs_string("p cnf 4 1\n1 2\n3 4 0\n");
+  EXPECT_EQ(f.num_clauses(), 1u);
+  EXPECT_EQ(f.clause(0).size(), 4u);
+}
+
+TEST(Dimacs, MultipleClausesPerLine) {
+  const Cnf f = read_dimacs_string("p cnf 2 2\n1 0 -2 0\n");
+  EXPECT_EQ(f.num_clauses(), 2u);
+}
+
+TEST(Dimacs, CommentsAndPercentIgnored) {
+  const Cnf f = read_dimacs_string(R"(c header comment
+p cnf 1 1
+c mid comment
+1 0
+%
+)");
+  EXPECT_EQ(f.num_clauses(), 1u);
+}
+
+TEST(Dimacs, TautologyDroppedCountsAgainstHeader) {
+  // A tautological clause is read (counted) but not stored.
+  const Cnf f = read_dimacs_string("p cnf 1 1\n1 -1 0\n");
+  EXPECT_EQ(f.num_clauses(), 0u);
+}
+
+TEST(Dimacs, Errors) {
+  EXPECT_THROW(read_dimacs_string("1 0\n"), DimacsError);  // no header
+  EXPECT_THROW(read_dimacs_string("p cnf 1 1\np cnf 1 1\n1 0\n"),
+               DimacsError);  // duplicate header
+  EXPECT_THROW(read_dimacs_string("p dnf 1 1\n1 0\n"), DimacsError);
+  EXPECT_THROW(read_dimacs_string("p cnf 1 1\n2 0\n"),
+               DimacsError);  // literal out of range
+  EXPECT_THROW(read_dimacs_string("p cnf 1 1\n0\n"), DimacsError);  // empty
+  EXPECT_THROW(read_dimacs_string("p cnf 1 1\n1\n"),
+               DimacsError);  // unterminated
+  EXPECT_THROW(read_dimacs_string("p cnf 1 2\n1 0\n"),
+               DimacsError);  // count mismatch
+  EXPECT_THROW(read_dimacs_string("p cnf 1 1\n1 x 0\n"),
+               DimacsError);  // garbage token
+}
+
+TEST(Dimacs, ErrorCarriesLine) {
+  try {
+    read_dimacs_string("p cnf 1 1\n3 0\n");
+    FAIL();
+  } catch (const DimacsError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Dimacs, RoundTripWithWriter) {
+  // Export a real ATPG-SAT instance, re-read it, solve both: identical
+  // satisfiability and variable counts.
+  const net::Network n = gen::c17();
+  const fault::AtpgCircuit atpg = fault::build_atpg_circuit(
+      n, {*n.find("11"), fault::StuckAtFault::kStem, true});
+  const Cnf original = encode_circuit_sat(atpg.miter);
+  const Cnf reread = read_dimacs_string(original.to_dimacs());
+  EXPECT_EQ(reread.num_vars(), original.num_vars());
+  EXPECT_EQ(reread.num_clauses(), original.num_clauses());
+  EXPECT_EQ(solve_cnf(reread).status, solve_cnf(original).status);
+}
+
+TEST(Dimacs, RoundTripLiteralExact) {
+  Cnf f(3);
+  f.add_clause({pos(0), neg(2)});
+  f.add_clause({neg(1)});
+  const Cnf g = read_dimacs_string(f.to_dimacs());
+  ASSERT_EQ(g.num_clauses(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    ASSERT_EQ(g.clause(c).size(), f.clause(c).size());
+    for (std::size_t i = 0; i < g.clause(c).size(); ++i)
+      EXPECT_EQ(g.clause(c)[i], f.clause(c)[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cwatpg::sat

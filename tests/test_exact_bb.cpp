@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "core/mla.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::core {
+namespace {
+
+net::Hypergraph random_hg(std::size_t n, std::size_t edges,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  net::Hypergraph hg;
+  hg.num_vertices = n;
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<net::NodeId>(rng.below(n));
+    const auto v = static_cast<net::NodeId>(rng.below(n));
+    if (u != v) hg.edges.push_back({std::min(u, v), std::max(u, v)});
+  }
+  return hg;
+}
+
+TEST(ExactBb, TrivialGraphs) {
+  net::Hypergraph empty;
+  const auto r = exact_cutwidth_bb(empty);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->width, 0u);
+
+  net::Hypergraph path;
+  path.num_vertices = 5;
+  for (net::NodeId v = 0; v + 1 < 5; ++v) path.edges.push_back({v, v + 1});
+  const auto p = exact_cutwidth_bb(path);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->width, 1u);
+}
+
+TEST(ExactBb, MatchesSubsetDp) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const net::Hypergraph hg = random_hg(10, 16, seed + 40);
+    const auto bb = exact_cutwidth_bb(hg);
+    ASSERT_TRUE(bb.has_value()) << seed;
+    EXPECT_EQ(bb->width, exact_mla(hg).width) << "seed " << seed;
+    EXPECT_EQ(cut_width(hg, bb->order), bb->width);
+  }
+}
+
+TEST(ExactBb, HandlesHyperedges) {
+  net::Hypergraph hg;
+  hg.num_vertices = 6;
+  hg.edges = {{0, 1, 2}, {2, 3, 4}, {4, 5, 0}};
+  const auto bb = exact_cutwidth_bb(hg);
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_EQ(bb->width, exact_mla(hg).width);
+}
+
+TEST(ExactBb, NodeBudgetReturnsNullopt) {
+  const net::Hypergraph hg = random_hg(16, 40, 7);
+  ExactBbConfig cfg;
+  cfg.max_nodes = 5;
+  EXPECT_FALSE(exact_cutwidth_bb(hg, cfg).has_value());
+}
+
+TEST(ExactBb, TooLargeThrows) {
+  net::Hypergraph hg;
+  hg.num_vertices = 64;
+  EXPECT_THROW(exact_cutwidth_bb(hg), std::invalid_argument);
+}
+
+TEST(ExactBb, InitialUpperBoundPrunes) {
+  const net::Hypergraph hg = random_hg(14, 22, 9);
+  const MlaResult approx = mla(hg);
+  ExactBbConfig seeded;
+  seeded.initial_upper_bound = approx.width + 1;
+  const auto with = exact_cutwidth_bb(hg, seeded);
+  const auto without = exact_cutwidth_bb(hg);
+  ASSERT_TRUE(with && without);
+  EXPECT_EQ(with->width, without->width);
+  EXPECT_LE(with->nodes, without->nodes);
+}
+
+TEST(ExactBb, LowerBoundIsValid) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const net::Hypergraph hg = random_hg(9, 14, seed + 70);
+    EXPECT_LE(cutwidth_lower_bound(hg), exact_mla(hg).width) << seed;
+  }
+}
+
+TEST(ExactBb, LowerBoundStar) {
+  net::Hypergraph hg;
+  hg.num_vertices = 7;
+  for (net::NodeId v = 1; v < 7; ++v) hg.edges.push_back({0, v});
+  EXPECT_EQ(cutwidth_lower_bound(hg), 3u);  // ceil(6/2), and it is tight
+  EXPECT_EQ(exact_cutwidth_bb(hg)->width, 3u);
+}
+
+TEST(ExactBb, MlaAuditOnMidSizeCircuits) {
+  // The B&B's whole purpose: measure the MLA approximation factor where
+  // the DP can't reach. On a 24-30 node circuit the gap must be <= 2x+1.
+  const net::Network n = net::decompose(gen::ripple_carry_adder(2));
+  const net::Hypergraph hg = net::to_hypergraph(n);
+  ASSERT_LE(hg.num_vertices, 40u);
+  const auto bb = exact_cutwidth_bb(hg);
+  ASSERT_TRUE(bb.has_value());
+  const MlaResult approx = mla(hg);
+  EXPECT_GE(approx.width, bb->width);
+  EXPECT_LE(approx.width, 2 * bb->width + 1);
+}
+
+class ExactBbSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactBbSweep, AgreesWithDpOnDenseGraphs) {
+  const net::Hypergraph hg = random_hg(11, 26, GetParam() + 300);
+  const auto bb = exact_cutwidth_bb(hg);
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_EQ(bb->width, exact_mla(hg).width);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactBbSweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace cwatpg::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/fault.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+std::size_t count_stems(const std::vector<StuckAtFault>& faults) {
+  return static_cast<std::size_t>(
+      std::count_if(faults.begin(), faults.end(),
+                    [](const StuckAtFault& f) { return f.is_stem(); }));
+}
+
+TEST(Fault, ToString) {
+  const net::Network n = gen::c17();
+  const StuckAtFault stem{*n.find("11"), StuckAtFault::kStem, true};
+  EXPECT_EQ(to_string(n, stem), "11 s-a-1");
+  const StuckAtFault branch{*n.find("16"), 1, false};
+  EXPECT_EQ(to_string(n, branch), "16.in1 s-a-0");
+}
+
+TEST(Fault, AllFaultsC17Count) {
+  // c17: 11 driven signals (5 PI + 6 gates), all with fanout; stems: 22.
+  // Fanout stems: PI 1 (fo 1? no: PI "1" feeds only NAND 10) — branch
+  // faults exist only where driver fanout > 1: signals 3, 11, 16 (fo 2)
+  // and PI 1,2,6,7 have fo 1. Each fo-2 signal has 2 branch pins => 3*2
+  // pins * 2 values = 12 branch faults. Total 22 + 12 = 34.
+  const net::Network n = gen::c17();
+  const auto faults = all_faults(n);
+  EXPECT_EQ(count_stems(faults), 22u);
+  EXPECT_EQ(faults.size(), 34u);
+}
+
+TEST(Fault, SingleFanoutBranchesNotListed) {
+  const net::Network n = gen::c17();
+  for (const auto& f : all_faults(n)) {
+    if (f.is_stem()) continue;
+    const net::NodeId driver =
+        n.fanins(f.node)[static_cast<std::size_t>(f.pin)];
+    EXPECT_GT(n.fanouts(driver).size(), 1u);
+  }
+}
+
+TEST(Fault, DanglingNodesGetNoStemFaults) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  n.add_gate(net::GateType::kNot, {a});  // dangling
+  const auto g = n.add_gate(net::GateType::kBuf, {a});
+  n.add_output(g, "o");
+  for (const auto& f : all_faults(n))
+    if (f.is_stem()) {
+      EXPECT_FALSE(n.fanouts(f.node).empty());
+    }
+}
+
+TEST(Fault, CollapseShrinksList) {
+  const net::Network n = gen::c17();
+  const auto faults = all_faults(n);
+  const auto collapsed = collapse(n, faults);
+  EXPECT_LT(collapsed.size(), faults.size());
+  EXPECT_GT(collapsed.size(), 0u);
+}
+
+TEST(Fault, C17CollapsedCount) {
+  // Classic result: c17 has 22 collapsed faults under NAND equivalence
+  // rules applied to the 34-fault list.
+  const net::Network n = gen::c17();
+  const auto collapsed = collapsed_fault_list(n);
+  EXPECT_EQ(collapsed.size(), 22u);
+}
+
+TEST(Fault, CollapseKeepsRepresentativesFromList) {
+  const net::Network n = net::decompose(gen::comparator(3));
+  const auto faults = all_faults(n);
+  const auto collapsed = collapse(n, faults);
+  for (const auto& c : collapsed)
+    EXPECT_NE(std::find(faults.begin(), faults.end(), c), faults.end());
+}
+
+TEST(Fault, CollapseIdempotent) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(3));
+  const auto once = collapsed_fault_list(n);
+  const auto twice = collapse(n, once);
+  EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST(Fault, NotGateEquivalence) {
+  // a -> NOT -> PO: stem(a, v) == stem(not, ~v): 4 faults collapse to 2.
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto g = n.add_gate(net::GateType::kNot, {a});
+  n.add_output(g, "o");
+  EXPECT_EQ(collapsed_fault_list(n).size(), 2u);
+}
+
+TEST(Fault, AndGateEquivalence) {
+  // AND(a,b) -> PO. Faults: a0,a1,b0,b1,g0,g1 (no branches; single
+  // fanouts). a0 == b0 == g0: 6 -> 4.
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(net::GateType::kAnd, {a, b});
+  n.add_output(g, "o");
+  EXPECT_EQ(collapsed_fault_list(n).size(), 4u);
+}
+
+TEST(Fault, OrNorNandEquivalences) {
+  for (auto type : {net::GateType::kOr, net::GateType::kNor,
+                    net::GateType::kNand}) {
+    net::Network n;
+    const auto a = n.add_input("a");
+    const auto b = n.add_input("b");
+    n.add_output(n.add_gate(type, {a, b}), "o");
+    EXPECT_EQ(collapsed_fault_list(n).size(), 4u) << to_string(type);
+  }
+}
+
+TEST(Fault, XorHasNoEquivalences) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  n.add_output(n.add_gate(net::GateType::kXor, {a, b}), "o");
+  EXPECT_EQ(collapsed_fault_list(n).size(), 6u);
+}
+
+TEST(Fault, BranchStemEquivalenceThroughFanout) {
+  // a fans out to two NOTs; branch faults into the NOTs collapse with the
+  // NOT output stems, but not with each other.
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(net::GateType::kNot, {a});
+  const auto g2 = n.add_gate(net::GateType::kNot, {a});
+  n.add_output(g1, "o1");
+  n.add_output(g2, "o2");
+  const auto all = all_faults(n);
+  // stems: a(2), g1(2), g2(2); branches into g1,g2: 4. Total 10.
+  EXPECT_EQ(all.size(), 10u);
+  const auto collapsed = collapse(n, all);
+  // branch(g1,v) == stem(g1,~v), branch(g2,v) == stem(g2,~v): 10 -> 6.
+  EXPECT_EQ(collapsed.size(), 6u);
+}
+
+TEST(Fault, ConeRootIsFaultNode) {
+  const StuckAtFault stem{7, StuckAtFault::kStem, true};
+  const StuckAtFault branch{9, 2, false};
+  EXPECT_EQ(fault_cone_root(stem), 7u);
+  EXPECT_EQ(fault_cone_root(branch), 9u);
+}
+
+class CollapseRatio : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CollapseRatio, AdderCollapseIsSubstantial) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(GetParam()));
+  const auto all = all_faults(n);
+  const auto collapsed = collapsed_fault_list(n);
+  // Equivalence collapsing on AND/OR/NOT netlists typically removes ~40%.
+  EXPECT_LT(collapsed.size(), all.size() * 3 / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CollapseRatio,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace cwatpg::fault

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/suites.hpp"
+#include "gen/trees.hpp"
+#include "core/bounds.hpp"
+#include "netlist/decompose.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::gen {
+namespace {
+
+TEST(Gen, DecoderDecodes) {
+  const net::Network n = decoder(3);
+  for (int addr = 0; addr < 8; ++addr) {
+    std::vector<bool> pattern;
+    for (int b = 0; b < 3; ++b) pattern.push_back((addr >> b) & 1);
+    pattern.push_back(true);  // enable
+    const auto values = n.eval(pattern);
+    for (int line = 0; line < 8; ++line)
+      EXPECT_EQ(values[n.outputs()[line]], line == addr)
+          << addr << "/" << line;
+  }
+  // Enable low: all lines low.
+  std::vector<bool> off = {true, false, true, false};
+  const auto values = n.eval(off);
+  for (int line = 0; line < 8; ++line)
+    EXPECT_FALSE(values[n.outputs()[line]]);
+}
+
+TEST(Gen, MuxSelects) {
+  const net::Network n = mux_tree(2);  // 4-way
+  cwatpg::Rng rng(1);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<bool> pattern(6);
+    for (auto&& b : pattern) b = rng.chance(0.5);
+    const auto values = n.eval(pattern);
+    const int sel = (pattern[4] ? 1 : 0) | (pattern[5] ? 2 : 0);
+    EXPECT_EQ(values[n.outputs()[0]], pattern[static_cast<std::size_t>(sel)]);
+  }
+}
+
+TEST(Gen, ParityTreeComputesParity) {
+  for (std::size_t arity : {2u, 3u, 4u}) {
+    const net::Network n = parity_tree(9, arity);
+    cwatpg::Rng rng(arity);
+    for (int t = 0; t < 20; ++t) {
+      std::vector<bool> pattern(9);
+      bool parity = false;
+      for (auto&& b : pattern) {
+        b = rng.chance(0.5);
+        parity ^= static_cast<bool>(b);
+      }
+      EXPECT_EQ(n.eval(pattern)[n.outputs()[0]], parity);
+    }
+  }
+}
+
+TEST(Gen, ComparatorCompares) {
+  const net::Network n = comparator(4);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      std::vector<bool> pattern;
+      for (int i = 0; i < 4; ++i) pattern.push_back((a >> i) & 1);
+      for (int i = 0; i < 4; ++i) pattern.push_back((b >> i) & 1);
+      const auto values = n.eval(pattern);
+      EXPECT_EQ(values[n.outputs()[0]], a < b);
+      EXPECT_EQ(values[n.outputs()[1]], a == b);
+      EXPECT_EQ(values[n.outputs()[2]], a > b);
+    }
+  }
+}
+
+TEST(Gen, CarrySelectMatchesRipple) {
+  const net::Network csa = carry_select_adder(9, 3);
+  const net::Network rca = ripple_carry_adder(9);
+  cwatpg::Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<bool> pattern(19);
+    for (auto&& b : pattern) b = rng.chance(0.5);
+    const auto vc = csa.eval(pattern);
+    const auto vr = rca.eval(pattern);
+    for (std::size_t o = 0; o < 10; ++o)
+      ASSERT_EQ(vc[csa.outputs()[o]], vr[rca.outputs()[o]]) << t;
+  }
+}
+
+TEST(Gen, CellularArraysWellFormed) {
+  EXPECT_NO_THROW(cellular_array_1d(10).validate());
+  EXPECT_NO_THROW(cellular_array_2d(4, 5).validate());
+  const net::Network grid = cellular_array_2d(3, 3);
+  EXPECT_EQ(grid.inputs().size(), 6u);
+  EXPECT_EQ(grid.outputs().size(), 6u);
+}
+
+TEST(Gen, AluOpsCorrect) {
+  const std::size_t bits = 4;
+  const net::Network n = simple_alu(bits);
+  cwatpg::Rng rng(7);
+  for (int op = 0; op < 4; ++op) {
+    for (int t = 0; t < 30; ++t) {
+      const std::uint64_t a = rng.below(16);
+      const std::uint64_t b = rng.below(16);
+      std::vector<bool> pattern;
+      for (std::size_t i = 0; i < bits; ++i) pattern.push_back((a >> i) & 1);
+      for (std::size_t i = 0; i < bits; ++i) pattern.push_back((b >> i) & 1);
+      pattern.push_back(op & 1);
+      pattern.push_back(op & 2);
+      const auto values = n.eval(pattern);
+      std::uint64_t y = 0;
+      for (std::size_t i = 0; i < bits; ++i)
+        if (values[n.outputs()[i]]) y |= 1ULL << i;
+      std::uint64_t expected = 0;
+      switch (op) {
+        case 0: expected = (a + b) & 0xF; break;
+        case 1: expected = a & b; break;
+        case 2: expected = a | b; break;
+        case 3: expected = a ^ b; break;
+      }
+      ASSERT_EQ(y, expected) << "op " << op;
+    }
+  }
+}
+
+TEST(Gen, EccOutputsDependOnAllData) {
+  const net::Network n = hamming_ecc(8);
+  // Flipping any single data bit must flip at least one output.
+  std::vector<bool> base(8, false);
+  const auto ref = n.eval(base);
+  for (int bit = 0; bit < 8; ++bit) {
+    auto flipped = base;
+    flipped[static_cast<std::size_t>(bit)] = true;
+    const auto out = n.eval(flipped);
+    bool changed = false;
+    for (net::NodeId po : n.outputs())
+      changed = changed || (out[po] != ref[po]);
+    EXPECT_TRUE(changed) << "bit " << bit;
+  }
+}
+
+TEST(Gen, RandomTreeIsTree) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const net::Network t = random_tree(80, 3, seed);
+    EXPECT_TRUE(core::is_tree_circuit(t)) << seed;
+    EXPECT_NO_THROW(t.validate());
+    EXPECT_EQ(t.outputs().size(), 1u);
+  }
+}
+
+TEST(Gen, RandomTreeDeterministic) {
+  const net::Network a = random_tree(50, 3, 9);
+  const net::Network b = random_tree(50, 3, 9);
+  EXPECT_EQ(a.node_count(), b.node_count());
+}
+
+TEST(Gen, HuttonRespectsParameters) {
+  HuttonParams p;
+  p.num_gates = 300;
+  p.num_inputs = 20;
+  p.num_outputs = 10;
+  p.max_fanin = 3;
+  p.seed = 3;
+  const net::Network n = hutton_random(p);
+  EXPECT_NO_THROW(n.validate());
+  EXPECT_EQ(n.inputs().size(), 20u);
+  EXPECT_GE(n.outputs().size(), 10u);
+  EXPECT_LE(n.max_fanin(), 3u);
+  EXPECT_NEAR(static_cast<double>(n.gate_count()), 300.0, 90.0);
+}
+
+TEST(Gen, HuttonNoDeadLogic) {
+  HuttonParams p;
+  p.num_gates = 150;
+  p.seed = 11;
+  const net::Network n = hutton_random(p);
+  for (net::NodeId id = 0; id < n.node_count(); ++id)
+    if (net::is_logic(n.type(id))) {
+      EXPECT_FALSE(n.fanouts(id).empty()) << "dangling gate " << id;
+    }
+}
+
+TEST(Gen, HuttonLocalityAffectsStructure) {
+  HuttonParams local;
+  local.num_gates = 400;
+  local.locality = 0.98;
+  local.seed = 13;
+  HuttonParams global = local;
+  global.locality = 0.2;
+  const net::Network a = hutton_random(local);
+  const net::Network b = hutton_random(global);
+  // Global wiring stretches nets across levels: compare total net spans
+  // under the level-based ordering (a cheap proxy for cut-width).
+  auto span_sum = [](const net::Network& n) {
+    std::uint64_t sum = 0;
+    for (net::NodeId id = 0; id < n.node_count(); ++id)
+      for (net::NodeId fo : n.fanouts(id)) sum += fo - id;
+    return static_cast<double>(sum) / static_cast<double>(n.node_count());
+  };
+  EXPECT_LT(span_sum(a), span_sum(b));
+}
+
+TEST(Gen, HuttonRejectsDegenerate) {
+  HuttonParams p;
+  p.num_inputs = 0;
+  EXPECT_THROW(hutton_random(p), std::invalid_argument);
+}
+
+TEST(Gen, StructuredRejectDegenerate) {
+  EXPECT_THROW(ripple_carry_adder(0), std::invalid_argument);
+  EXPECT_THROW(decoder(0), std::invalid_argument);
+  EXPECT_THROW(parity_tree(1), std::invalid_argument);
+  EXPECT_THROW(array_multiplier(1), std::invalid_argument);
+  EXPECT_THROW(mux_tree(0), std::invalid_argument);
+}
+
+TEST(Gen, SuitesWellFormedAtSmallScale) {
+  SuiteOptions opts;
+  opts.scale = 0.12;
+  for (const auto& suite : {iscas85_like_suite(opts), mcnc_like_suite(opts)}) {
+    for (const net::Network& n : suite) {
+      EXPECT_NO_THROW(n.validate());
+      EXPECT_TRUE(net::is_decomposed(n)) << n.name();
+      EXPECT_FALSE(n.name().empty());
+      EXPECT_GE(n.outputs().size(), 1u);
+    }
+  }
+}
+
+TEST(Gen, SuiteSizesSpanARange) {
+  SuiteOptions opts;
+  opts.scale = 0.12;
+  const auto suite = mcnc_like_suite(opts);
+  EXPECT_EQ(suite.size(), 48u);
+  std::size_t smallest = static_cast<std::size_t>(-1), largest = 0;
+  for (const auto& n : suite) {
+    smallest = std::min(smallest, n.node_count());
+    largest = std::max(largest, n.node_count());
+  }
+  EXPECT_LT(smallest * 4, largest);  // a genuine size spread
+}
+
+TEST(Gen, Iscas85SuiteHasNineMembers) {
+  SuiteOptions opts;
+  opts.scale = 0.12;
+  EXPECT_EQ(iscas85_like_suite(opts).size(), 9u);
+}
+
+}  // namespace
+}  // namespace cwatpg::gen

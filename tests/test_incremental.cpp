@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "fault/incremental.hpp"
+#include "fault/tegus.hpp"
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/encode.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+// ----------------------------------------------------- solver assumptions
+
+TEST(Assumptions, ForceVariableValues) {
+  sat::Cnf f(2);
+  f.add_clause({sat::pos(0), sat::pos(1)});
+  sat::Solver solver(f);
+  const sat::Lit a0[] = {sat::neg(0)};
+  ASSERT_EQ(solver.solve(a0), sat::SolveStatus::kSat);
+  EXPECT_FALSE(solver.model()[0]);
+  EXPECT_TRUE(solver.model()[1]);
+  const sat::Lit a1[] = {sat::neg(0), sat::neg(1)};
+  EXPECT_EQ(solver.solve(a1), sat::SolveStatus::kUnsat);
+  // Not globally UNSAT: a later call without assumptions is SAT.
+  EXPECT_EQ(solver.solve(), sat::SolveStatus::kSat);
+}
+
+TEST(Assumptions, ConflictingAssumptionsUnsat) {
+  sat::Cnf f(1);
+  f.add_clause({sat::pos(0), sat::neg(0)});  // tautology dropped; empty cnf
+  sat::Solver solver(sat::Cnf(1));
+  const sat::Lit a[] = {sat::pos(0), sat::neg(0)};
+  EXPECT_EQ(solver.solve(a), sat::SolveStatus::kUnsat);
+}
+
+TEST(Assumptions, OutOfRangeThrows) {
+  sat::Solver solver(sat::Cnf(1));
+  const sat::Lit a[] = {sat::pos(9)};
+  EXPECT_THROW(solver.solve(a), std::invalid_argument);
+}
+
+TEST(Assumptions, ManySequentialQueriesConsistent) {
+  // Same instance queried under every single-literal assumption; results
+  // must match fresh solves of the constrained formula.
+  const net::Network n = gen::c17();
+  const sat::Cnf f = sat::encode_circuit_sat(n);
+  sat::Solver incremental(f);
+  for (sat::Var v = 0; v < f.num_vars(); ++v) {
+    for (const bool value : {false, true}) {
+      const sat::Lit a[] = {sat::Lit(v, !value)};
+      const auto inc = incremental.solve(a);
+      sat::Cnf constrained = f;
+      constrained.add_clause({sat::Lit(v, !value)});
+      const auto fresh = sat::solve_cnf(constrained);
+      ASSERT_EQ(inc, fresh.status) << "var " << v << " value " << value;
+    }
+  }
+}
+
+// --------------------------------------------------------- shared miter
+
+TEST(SharedMiter, AgreesWithPerFaultEngineOnC17) {
+  const net::Network n = gen::c17();
+  SharedMiter miter(n);
+  for (const StuckAtFault& f : collapsed_fault_list(n)) {
+    if (!f.is_stem()) continue;
+    Pattern inc_test, ref_test;
+    const auto inc = miter.solve_fault(f.node, f.stuck_value, inc_test);
+    const FaultOutcome ref = generate_test(n, f, {}, ref_test);
+    if (ref.status == FaultStatus::kDetected) {
+      ASSERT_EQ(inc, sat::SolveStatus::kSat) << to_string(n, f);
+      EXPECT_TRUE(detects(n, f, inc_test)) << to_string(n, f);
+    } else if (ref.status == FaultStatus::kUntestable) {
+      ASSERT_EQ(inc, sat::SolveStatus::kUnsat) << to_string(n, f);
+    }
+  }
+}
+
+TEST(SharedMiter, RedundantFaultUnsat) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto na = n.add_gate(net::GateType::kNot, {a});
+  const auto g = n.add_gate(net::GateType::kOr, {a, na});
+  const auto b = n.add_input("b");
+  n.add_output(n.add_gate(net::GateType::kAnd, {g, b}), "o");
+  SharedMiter miter(n);
+  Pattern test;
+  EXPECT_EQ(miter.solve_fault(g, true, test), sat::SolveStatus::kUnsat);
+  EXPECT_EQ(miter.solve_fault(g, false, test), sat::SolveStatus::kSat);
+}
+
+TEST(SharedMiter, InvalidSiteThrows) {
+  const net::Network n = gen::c17();
+  SharedMiter miter(n);
+  Pattern test;
+  EXPECT_THROW(miter.solve_fault(999, true, test), std::invalid_argument);
+  // kOutput markers have no selects.
+  EXPECT_THROW(miter.solve_fault(n.outputs()[0], true, test),
+               std::invalid_argument);
+}
+
+TEST(SharedMiter, StatsAccumulateAcrossQueries) {
+  const net::Network n = net::decompose(gen::comparator(3));
+  SharedMiter miter(n);
+  Pattern test;
+  const auto faults = collapsed_fault_list(n);
+  std::size_t queries = 0;
+  for (const auto& f : faults) {
+    if (!f.is_stem()) continue;
+    miter.solve_fault(f.node, f.stuck_value, test);
+    if (++queries == 6) break;
+  }
+  EXPECT_GT(miter.stats().propagations, 0u);
+}
+
+TEST(RunIncremental, MatchesPerFaultAcrossFamilies) {
+  for (const net::Network& n :
+       {net::decompose(gen::ripple_carry_adder(3)),
+        net::decompose(gen::simple_alu(2)), gen::fig4a_network()}) {
+    const auto faults = collapsed_fault_list(n);
+    const auto outcomes = run_atpg_incremental(n, faults);
+    ASSERT_EQ(outcomes.size(), faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (outcomes[i].skipped) {
+        EXPECT_FALSE(faults[i].is_stem());
+        continue;
+      }
+      Pattern ref_test;
+      const FaultOutcome ref = generate_test(n, faults[i], {}, ref_test);
+      if (ref.status == FaultStatus::kDetected) {
+        ASSERT_EQ(outcomes[i].status, sat::SolveStatus::kSat)
+            << n.name() << " " << to_string(n, faults[i]);
+        EXPECT_TRUE(detects(n, faults[i], outcomes[i].test));
+      } else if (ref.status == FaultStatus::kUntestable) {
+        ASSERT_EQ(outcomes[i].status, sat::SolveStatus::kUnsat);
+      }
+    }
+  }
+}
+
+class IncrementalRandomSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(IncrementalRandomSweep, AgreesOnRandomLogic) {
+  gen::HuttonParams p;
+  p.num_gates = 50;
+  p.num_inputs = 8;
+  p.num_outputs = 4;
+  p.seed = GetParam();
+  const net::Network n = net::decompose(gen::hutton_random(p));
+  const auto faults = collapsed_fault_list(n);
+  const auto outcomes = run_atpg_incremental(n, faults);
+  for (std::size_t i = 0; i < faults.size(); i += 2) {
+    if (outcomes[i].skipped) continue;
+    Pattern ref_test;
+    const FaultOutcome ref = generate_test(n, faults[i], {}, ref_test);
+    const bool ref_testable = ref.status == FaultStatus::kDetected;
+    const bool inc_testable =
+        outcomes[i].status == sat::SolveStatus::kSat;
+    // kUnreachable maps to UNSAT in the shared miter.
+    if (ref.status == FaultStatus::kUnreachable) {
+      EXPECT_EQ(outcomes[i].status, sat::SolveStatus::kUnsat);
+    } else {
+      EXPECT_EQ(inc_testable, ref_testable)
+          << to_string(n, faults[i]) << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace cwatpg::fault

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/kbounded.hpp"
+#include "gen/kbounded_gen.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+
+namespace cwatpg::core {
+namespace {
+
+BlockPartition part_of(const gen::KBoundedInstance& inst) {
+  return BlockPartition{inst.block_of, inst.num_blocks};
+}
+
+BlockPartition singleton_partition(const net::Network& n) {
+  BlockPartition part;
+  part.block_of.resize(n.node_count());
+  for (net::NodeId v = 0; v < n.node_count(); ++v) part.block_of[v] = v;
+  part.num_blocks = static_cast<std::uint32_t>(n.node_count());
+  return part;
+}
+
+TEST(KBounded, BlockInputCountsSimple) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(net::GateType::kNot, {a});
+  const auto g2 = n.add_gate(net::GateType::kNot, {g1});
+  n.add_output(g2, "o");
+  BlockPartition part;
+  part.block_of = {0, 1, 1, 1};
+  part.num_blocks = 2;
+  const auto counts = block_input_counts(n, part);
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(KBounded, DistinctNetsCountedOnce) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(net::GateType::kNot, {a});
+  const auto g2 = n.add_gate(net::GateType::kNot, {a});
+  const auto g3 = n.add_gate(net::GateType::kAnd, {g1, g2});
+  n.add_output(g3, "o");
+  BlockPartition part;
+  part.block_of = {0, 1, 1, 1, 1};
+  part.num_blocks = 2;
+  EXPECT_EQ(block_input_counts(n, part)[1], 1u);
+}
+
+TEST(KBounded, ShapeValidation) {
+  const net::Network n = gen::c17();
+  BlockPartition bad;
+  bad.block_of.assign(2, 0);
+  bad.num_blocks = 1;
+  EXPECT_THROW(block_input_counts(n, bad), std::invalid_argument);
+  bad.block_of.assign(n.node_count(), 5);
+  bad.num_blocks = 1;
+  EXPECT_THROW(block_input_counts(n, bad), std::invalid_argument);
+}
+
+TEST(KBounded, ReconvergenceDetectedAcrossBlocks) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(net::GateType::kNot, {a});
+  const auto g2 = n.add_gate(net::GateType::kBuf, {a});
+  const auto g3 = n.add_gate(net::GateType::kAnd, {g1, g2});
+  n.add_output(g3, "o");
+  EXPECT_FALSE(block_dag_is_reconvergence_free(n, singleton_partition(n)));
+  BlockPartition merged;
+  merged.block_of = {0, 1, 1, 1, 1};
+  merged.num_blocks = 2;
+  EXPECT_TRUE(block_dag_is_reconvergence_free(n, merged));
+}
+
+TEST(KBounded, ChainIsReconvergenceFree) {
+  net::Network n;
+  net::NodeId cur = n.add_input("a");
+  for (int i = 0; i < 10; ++i)
+    cur = n.add_gate(net::GateType::kNot, {cur});
+  n.add_output(cur, "o");
+  EXPECT_TRUE(block_dag_is_reconvergence_free(n, singleton_partition(n)));
+}
+
+// --- generator-provided witnesses ------------------------------------------
+
+TEST(KBounded, AdderWitnessIsValid) {
+  const auto inst = gen::kbounded_adder(8);
+  EXPECT_TRUE(is_kbounded(inst.circuit, part_of(inst), inst.k));
+  EXPECT_EQ(inst.k, 3u);
+  const auto counts = block_input_counts(inst.circuit, part_of(inst));
+  for (auto c : counts) EXPECT_LE(c, inst.k);
+}
+
+TEST(KBounded, AdderWitnessTightAtK3) {
+  const auto inst = gen::kbounded_adder(4);
+  EXPECT_FALSE(is_kbounded(inst.circuit, part_of(inst), 2));
+}
+
+TEST(KBounded, CellularWitnessIsValid) {
+  const auto inst = gen::kbounded_cellular(12);
+  EXPECT_TRUE(is_kbounded(inst.circuit, part_of(inst), inst.k));
+  EXPECT_EQ(inst.k, 2u);
+}
+
+TEST(KBounded, RandomWitnessesValidAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto inst = gen::kbounded_random(20, 5, 3, seed);
+    EXPECT_TRUE(is_kbounded(inst.circuit, part_of(inst), inst.k))
+        << "seed " << seed;
+    EXPECT_NO_THROW(inst.circuit.validate());
+  }
+}
+
+TEST(KBounded, AdderFullCircuitCoverage) {
+  const auto inst = gen::kbounded_adder(6);
+  EXPECT_EQ(inst.block_of.size(), inst.circuit.node_count());
+  for (auto b : inst.block_of) EXPECT_LT(b, inst.num_blocks);
+}
+
+// --- heuristic recognizer ----------------------------------------------------
+
+TEST(KBounded, HeuristicFindsChainBlocks) {
+  // An inverter chain's FFC partition is one block per PO cone — but the
+  // chain collapses entirely; with the size cap it is rejected, with a
+  // generous cap accepted.
+  net::Network n;
+  net::NodeId cur = n.add_input("a");
+  for (int i = 0; i < 10; ++i)
+    cur = n.add_gate(net::GateType::kNot, {cur});
+  n.add_output(cur, "o");
+  EXPECT_TRUE(find_kbounded_partition(n, 1, 32).has_value());
+  EXPECT_FALSE(find_kbounded_partition(n, 1, 4).has_value());
+}
+
+TEST(KBounded, HeuristicRejectsGlobalReconvergence) {
+  const net::Network n = gen::hamming_ecc(16);
+  EXPECT_FALSE(find_kbounded_partition(n, 2).has_value());
+}
+
+TEST(KBounded, HeuristicRejectsAdderConePartition) {
+  // The FFC partition of an RCA is NOT a k<=3 witness (the carry diamond
+  // splits across cones) — the constructive witness from kbounded_adder is
+  // required. This documents why the generators carry their partitions.
+  const net::Network n = gen::ripple_carry_adder(8);
+  EXPECT_FALSE(find_kbounded_partition(n, 3).has_value());
+}
+
+// --- Theorem 5.1 ordering -----------------------------------------------------
+
+TEST(KBounded, OrderingIsPermutation) {
+  const auto inst = gen::kbounded_adder(10);
+  const Ordering order = kbounded_ordering(inst.circuit, part_of(inst), 3);
+  EXPECT_NO_THROW(positions_of(order, inst.circuit.node_count()));
+}
+
+TEST(KBounded, OrderingRejectsInvalidPartition) {
+  const auto inst = gen::kbounded_adder(4);
+  EXPECT_THROW(kbounded_ordering(inst.circuit, part_of(inst), 0),
+               std::invalid_argument);
+}
+
+TEST(KBounded, Theorem51AdderWidthIsLogBounded) {
+  for (std::size_t bits : {8u, 16u, 32u, 64u}) {
+    const auto inst = gen::kbounded_adder(bits);
+    const Ordering order =
+        kbounded_ordering(inst.circuit, part_of(inst), inst.k);
+    const std::uint32_t w = cut_width(inst.circuit, order);
+    const double logn =
+        std::log2(static_cast<double>(inst.circuit.node_count()));
+    EXPECT_LE(w, 6.0 * logn) << bits << " bits";
+  }
+}
+
+TEST(KBounded, Theorem51WidthGrowsSubLinearly) {
+  const auto small = gen::kbounded_cellular(8);
+  const auto large = gen::kbounded_cellular(64);
+  const auto ws = cut_width(
+      small.circuit, kbounded_ordering(small.circuit, part_of(small), 2));
+  const auto wl = cut_width(
+      large.circuit, kbounded_ordering(large.circuit, part_of(large), 2));
+  EXPECT_LE(wl, 3 * ws + 6);
+}
+
+class KBoundedFamilySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KBoundedFamilySweep, CellularChainsScaleLogarithmically) {
+  const auto inst = gen::kbounded_cellular(GetParam());
+  const Ordering order =
+      kbounded_ordering(inst.circuit, part_of(inst), inst.k);
+  const double logn =
+      std::log2(static_cast<double>(inst.circuit.node_count()));
+  EXPECT_LE(cut_width(inst.circuit, order), 8.0 * logn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KBoundedFamilySweep,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+class KBoundedRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KBoundedRandomSweep, RandomInstancesOrderable) {
+  const auto inst = gen::kbounded_random(30, 4, 3, GetParam());
+  const Ordering order =
+      kbounded_ordering(inst.circuit, part_of(inst), inst.k);
+  const std::uint32_t w = cut_width(inst.circuit, order);
+  const double logn =
+      std::log2(static_cast<double>(inst.circuit.node_count()));
+  // Constant block size (<= ~8 nodes) => width O((k + blocksize) log n).
+  EXPECT_LE(w, 12.0 * logn) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KBoundedRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cwatpg::core

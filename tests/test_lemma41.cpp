@@ -1,0 +1,116 @@
+// Direct empirical verification of Lemma 4.1: the number of distinct
+// consistent sub-formulas (DCSFs) reachable by assigning a prefix of the
+// variable order is at most 2^(2*k_fo*cut), where `cut` is the number of
+// nets crossing the corresponding gap of the circuit ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "core/cutwidth.hpp"
+#include "core/mla.hpp"
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg {
+namespace {
+
+/// Runs Algorithm 1 with DCSF tracking under ordering `h` of circuit `n`
+/// and checks DCSF(level) <= 2^(2*k_fo*cut(level)) at every level.
+/// The full (non-early-exit, cache-free) tree is used so every reachable
+/// consistent sub-formula is counted.
+void expect_lemma41(const net::Network& n, const core::Ordering& h) {
+  const sat::Cnf f = sat::encode_circuit_sat(n);
+  const std::vector<sat::Var> order(h.begin(), h.end());
+  sat::CacheSatConfig cfg;
+  cfg.track_dcsf = true;
+  cfg.use_cache = false;   // visit the whole consistent tree
+  cfg.early_sat = false;
+  cfg.max_nodes = 30'000'000;
+  const auto r = sat::cache_sat(f, order, cfg);
+  ASSERT_NE(r.status, sat::SolveStatus::kUnknown);
+
+  const auto profile = core::cut_profile(net::to_hypergraph(n), h);
+  const std::size_t k_fo = n.max_fanout();
+  for (std::size_t level = 0; level < r.stats.dcsf_per_level.size();
+       ++level) {
+    // Level i in the solver = order[0..i] assigned = gap i of the profile.
+    // The final level has an empty suffix: cut 0, at most one residual
+    // (the empty formula).
+    const double cut =
+        level < profile.size() ? static_cast<double>(profile[level]) : 0.0;
+    const double bound = core::lemma41_log2_bound(k_fo, static_cast<std::uint32_t>(cut));
+    const double measured =
+        std::log2(static_cast<double>(r.stats.dcsf_per_level[level]));
+    EXPECT_LE(measured, bound + 1e-9)
+        << n.name() << " level " << level << ": " <<
+        r.stats.dcsf_per_level[level] << " DCSFs vs cut " << cut;
+  }
+}
+
+TEST(Lemma41, Fig4aUnderOrderingA) {
+  // The paper's own illustration: at Cut Z (after {b,c,f,a,h}) at most
+  // 2^2 distinct sub-formulas exist despite 2^5 assignments.
+  const sat::Cnf f = gen::formula41();
+  const auto h = gen::fig4a_ordering_a();
+  const std::vector<sat::Var> order(h.begin(), h.end());
+  sat::CacheSatConfig cfg;
+  cfg.track_dcsf = true;
+  cfg.use_cache = false;
+  cfg.early_sat = false;
+  const auto r = sat::cache_sat(f, order, cfg);
+  ASSERT_GE(r.stats.dcsf_per_level.size(), 5u);
+  // Cut Z: one crossing net, k_fo = 1 in the hand hypergraph => <= 4.
+  EXPECT_LE(r.stats.dcsf_per_level[4], 4u);
+  // And indeed far below the naive 2^5.
+  EXPECT_LT(r.stats.dcsf_per_level[4], 32u);
+}
+
+TEST(Lemma41, HoldsOnC17) {
+  const net::Network n = gen::c17();
+  expect_lemma41(n, core::mla(n).order);
+  expect_lemma41(n, core::identity_ordering(n.node_count()));
+}
+
+TEST(Lemma41, HoldsOnTreeCircuit) {
+  const net::Network n = gen::and_or_tree(16, 2);
+  expect_lemma41(n, core::tree_ordering(n));
+}
+
+TEST(Lemma41, HoldsOnAdder) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(3));
+  expect_lemma41(n, core::mla(n).order);
+}
+
+TEST(Lemma41, HoldsOnParity) {
+  const net::Network n = net::decompose(gen::parity_tree(8));
+  expect_lemma41(n, core::mla(n).order);
+}
+
+class Lemma41RandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma41RandomSweep, HoldsOnRandomCircuitsAndOrders) {
+  gen::HuttonParams p;
+  p.num_gates = 26;
+  p.num_inputs = 7;
+  p.num_outputs = 3;
+  p.seed = GetParam();
+  const net::Network n = net::decompose(gen::hutton_random(p));
+  expect_lemma41(n, core::mla(n).order);
+  Rng rng(GetParam());
+  core::Ordering random_h = core::identity_ordering(n.node_count());
+  for (std::size_t i = random_h.size(); i > 1; --i)
+    std::swap(random_h[i - 1], random_h[rng.below(i)]);
+  expect_lemma41(n, random_h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma41RandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace cwatpg

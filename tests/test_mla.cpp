@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/mla.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::core {
+namespace {
+
+/// Brute-force minimum cut-width over all n! orderings (n <= 8).
+std::uint32_t brute_force_min_width(const net::Hypergraph& hg) {
+  Ordering order = identity_ordering(hg.num_vertices);
+  std::uint32_t best = static_cast<std::uint32_t>(-1);
+  do {
+    best = std::min(best, cut_width(hg, order));
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+net::Hypergraph random_hg(std::size_t n, std::size_t edges,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  net::Hypergraph hg;
+  hg.num_vertices = n;
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<net::NodeId>(rng.below(n));
+    const auto v = static_cast<net::NodeId>(rng.below(n));
+    if (u != v) hg.edges.push_back({std::min(u, v), std::max(u, v)});
+  }
+  return hg;
+}
+
+TEST(ExactMla, PathGraphIsOne) {
+  net::Hypergraph hg;
+  hg.num_vertices = 6;
+  for (net::NodeId v = 0; v + 1 < 6; ++v) hg.edges.push_back({v, v + 1});
+  const MlaResult r = exact_mla(hg);
+  EXPECT_EQ(r.width, 1u);
+}
+
+TEST(ExactMla, CompleteGraphK4) {
+  net::Hypergraph hg;
+  hg.num_vertices = 4;
+  for (net::NodeId i = 0; i < 4; ++i)
+    for (net::NodeId j = i + 1; j < 4; ++j) hg.edges.push_back({i, j});
+  // Known: cutwidth of K4 is 4.
+  EXPECT_EQ(exact_mla(hg).width, 4u);
+}
+
+TEST(ExactMla, StarIsHalved) {
+  net::Hypergraph hg;
+  hg.num_vertices = 7;
+  for (net::NodeId v = 1; v < 7; ++v) hg.edges.push_back({0, v});
+  // Optimal places the hub centrally: width = ceil(6/2) = 3.
+  EXPECT_EQ(exact_mla(hg).width, 3u);
+}
+
+TEST(ExactMla, MatchesBruteForce) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const net::Hypergraph hg = random_hg(7, 10, seed);
+    EXPECT_EQ(exact_mla(hg).width, brute_force_min_width(hg))
+        << "seed " << seed;
+  }
+}
+
+TEST(ExactMla, OrderIsPermutation) {
+  const net::Hypergraph hg = random_hg(9, 14, 42);
+  const MlaResult r = exact_mla(hg);
+  EXPECT_NO_THROW(positions_of(r.order, hg.num_vertices));
+}
+
+TEST(ExactMla, TooLargeThrows) {
+  net::Hypergraph hg;
+  hg.num_vertices = 30;
+  EXPECT_THROW(exact_mla(hg), std::invalid_argument);
+}
+
+TEST(ExactMla, EmptyGraph) {
+  net::Hypergraph hg;
+  EXPECT_EQ(exact_mla(hg).width, 0u);
+}
+
+TEST(Mla, Fig4aRecoversMinimumWidth) {
+  // Ordering A achieves 3 — the approximation must find width <= 3 on this
+  // 9-vertex example (the leaf DP solves it exactly).
+  const MlaResult r = mla(gen::fig4a_hypergraph());
+  EXPECT_LE(r.width, 3u);
+}
+
+TEST(Mla, OrderIsPermutationOnCircuits) {
+  const net::Network n = net::decompose(gen::comparator(6));
+  const MlaResult r = mla(n);
+  EXPECT_NO_THROW(positions_of(r.order, n.node_count()));
+  EXPECT_EQ(r.width, cut_width(n, r.order));
+}
+
+TEST(Mla, NeverBelowExactOptimum) {
+  for (std::uint64_t seed = 20; seed < 28; ++seed) {
+    const net::Hypergraph hg = random_hg(7, 11, seed);
+    const std::uint32_t optimum = brute_force_min_width(hg);
+    EXPECT_GE(mla(hg).width, optimum);
+  }
+}
+
+TEST(Mla, CloseToExactOnSmallGraphs) {
+  // On graphs at/below the leaf threshold the recursion IS the exact DP.
+  for (std::uint64_t seed = 30; seed < 38; ++seed) {
+    const net::Hypergraph hg = random_hg(9, 14, seed);
+    EXPECT_EQ(mla(hg).width, exact_mla(hg).width) << "seed " << seed;
+  }
+}
+
+TEST(Mla, BeatsTopologicalOrderOnAdder) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(16));
+  const std::uint32_t topo = cut_width(n, identity_ordering(n.node_count()));
+  const MlaResult r = mla(n);
+  EXPECT_LT(r.width, topo);
+  // A ripple adder is a chain of constant-size blocks: MLA should find a
+  // small constant-ish width.
+  EXPECT_LE(r.width, 12u);
+}
+
+TEST(Mla, AdderWidthDoesNotScaleLinearly) {
+  const net::Network small = net::decompose(gen::ripple_carry_adder(8));
+  const net::Network large = net::decompose(gen::ripple_carry_adder(32));
+  const auto ws = mla(small).width;
+  const auto wl = mla(large).width;
+  // 4x the circuit must come nowhere near 4x the width.
+  EXPECT_LT(wl, 2 * ws + 4);
+}
+
+TEST(Mla, TreeCircuitNearLogWidth) {
+  const net::Network n = gen::and_or_tree(64, 2);
+  const MlaResult r = mla(n);
+  // Lemma 5.2: an optimal order achieves <= (k-1)log2(n) ~ 7; allow the
+  // approximation factor-2 slack.
+  EXPECT_LE(r.width, 14u);
+}
+
+TEST(Mla, RejectsSillyThreshold) {
+  MlaConfig cfg;
+  cfg.exact_threshold = 30;
+  EXPECT_THROW(mla(gen::fig4a_hypergraph(), cfg), std::invalid_argument);
+}
+
+TEST(Mla, DeterministicForFixedSeed) {
+  const net::Network n = net::decompose(gen::comparator(5));
+  const MlaResult a = mla(n);
+  const MlaResult b = mla(n);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.width, b.width);
+}
+
+TEST(MlaMultiOutput, Equation44TakesMax) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(6));
+  const MultiOutputWidth mo = mla_multi_output(n);
+  EXPECT_EQ(mo.cones.size(), n.outputs().size());
+  std::uint32_t max_w = 0;
+  std::size_t max_size = 0;
+  for (const auto& cone : mo.cones) {
+    max_w = std::max(max_w, cone.width);
+    max_size = std::max(max_size, cone.cone_size);
+  }
+  EXPECT_EQ(mo.width, max_w);
+  EXPECT_EQ(mo.max_cone_size, max_size);
+  EXPECT_LE(mo.max_cone_size, n.node_count());
+}
+
+TEST(MlaMultiOutput, SingleOutputMatchesConeWidth) {
+  const net::Network n = gen::and_or_tree(16, 2);
+  const MultiOutputWidth mo = mla_multi_output(n);
+  ASSERT_EQ(mo.cones.size(), 1u);
+  EXPECT_EQ(mo.width, mo.cones[0].width);
+}
+
+class MlaQualitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MlaQualitySweep, WithinFactorOfExactOnMediumGraphs) {
+  // 14-vertex graphs: exact DP still feasible; recursion must stay within
+  // 2x + 2 of optimal on these.
+  const net::Hypergraph hg = random_hg(14, 20, GetParam() + 70);
+  const std::uint32_t approx = mla(hg).width;
+  const std::uint32_t optimum = exact_mla(hg).width;
+  EXPECT_GE(approx, optimum);
+  EXPECT_LE(approx, 2 * optimum + 2) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MlaQualitySweep,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace cwatpg::core

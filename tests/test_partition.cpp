@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "netlist/decompose.hpp"
+#include "netlist/hypergraph.hpp"
+#include "partition/multilevel.hpp"
+
+namespace cwatpg::part {
+namespace {
+
+/// Two cliques of `k` vertices joined by one edge: ideal cut = 1.
+WeightedHg dumbbell(std::size_t k) {
+  WeightedHg hg;
+  hg.vertex_weight.assign(2 * k, 1);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i + 1; j < k; ++j) {
+      hg.edges.push_back({static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j)});
+      hg.edges.push_back({static_cast<std::uint32_t>(k + i),
+                          static_cast<std::uint32_t>(k + j)});
+    }
+  hg.edges.push_back({0, static_cast<std::uint32_t>(k)});
+  hg.edge_weight.assign(hg.edges.size(), 1);
+  return hg;
+}
+
+/// A cycle of n vertices: optimal balanced cut = 2.
+WeightedHg ring(std::size_t n) {
+  WeightedHg hg;
+  hg.vertex_weight.assign(n, 1);
+  for (std::size_t i = 0; i < n; ++i)
+    hg.edges.push_back({static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>((i + 1) % n)});
+  hg.edge_weight.assign(n, 1);
+  return hg;
+}
+
+bool balanced(const WeightedHg& hg, const Bisection& b, double tolerance) {
+  std::uint64_t w0 = 0, w1 = 0, total = 0;
+  for (std::size_t v = 0; v < hg.num_vertices(); ++v) {
+    total += hg.vertex_weight[v];
+    (b.side[v] ? w1 : w0) += hg.vertex_weight[v];
+  }
+  const auto hi = static_cast<std::uint64_t>(
+      (0.5 + tolerance) * static_cast<double>(total) + 1);
+  return w0 <= hi && w1 <= hi;
+}
+
+TEST(Fm, CutCostCountsSpanningEdges) {
+  const WeightedHg hg = ring(6);
+  std::vector<std::uint8_t> side = {0, 0, 0, 1, 1, 1};
+  EXPECT_EQ(cut_cost(hg, side), 2u);
+  std::vector<std::uint8_t> alternating = {0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(cut_cost(hg, alternating), 6u);
+}
+
+TEST(Fm, CutCostRespectsWeights) {
+  WeightedHg hg;
+  hg.vertex_weight = {1, 1};
+  hg.edges = {{0, 1}};
+  hg.edge_weight = {7};
+  std::vector<std::uint8_t> side = {0, 1};
+  EXPECT_EQ(cut_cost(hg, side), 7u);
+}
+
+TEST(Fm, FindsDumbbellCut) {
+  const WeightedHg hg = dumbbell(8);
+  FmConfig cfg;
+  cfg.seed = 3;
+  const Bisection b = fm_bisect(hg, cfg);
+  EXPECT_EQ(b.cut, 1u);
+  EXPECT_TRUE(balanced(hg, b, cfg.balance));
+}
+
+TEST(Fm, RingCutIsTwo) {
+  const WeightedHg hg = ring(32);
+  FmConfig cfg;
+  cfg.seed = 5;
+  const Bisection b = fm_bisect(hg, cfg);
+  EXPECT_EQ(b.cut, 2u);
+}
+
+TEST(Fm, RefineNeverWorsens) {
+  const WeightedHg hg = ring(24);
+  Rng rng(7);
+  for (int t = 0; t < 5; ++t) {
+    Bisection start;
+    start.side.resize(24);
+    for (auto& s : start.side) s = rng.chance(0.5) ? 1 : 0;
+    const std::uint64_t before = cut_cost(hg, start.side);
+    const Bisection after = fm_refine(hg, start, FmConfig{}, rng);
+    EXPECT_LE(after.cut, before);
+  }
+}
+
+TEST(Fm, RefineRejectsWrongSize) {
+  const WeightedHg hg = ring(8);
+  Bisection bad;
+  bad.side.assign(3, 0);
+  Rng rng(1);
+  EXPECT_THROW(fm_refine(hg, bad, FmConfig{}, rng), std::invalid_argument);
+}
+
+TEST(Fm, HandlesEmptyAndTinyGraphs) {
+  WeightedHg empty;
+  const Bisection b = fm_bisect(empty, FmConfig{});
+  EXPECT_EQ(b.cut, 0u);
+
+  WeightedHg one;
+  one.vertex_weight = {1};
+  EXPECT_EQ(fm_bisect(one, FmConfig{}).cut, 0u);
+}
+
+TEST(Fm, WrapsUnweightedHypergraph) {
+  net::Hypergraph hg;
+  hg.num_vertices = 3;
+  hg.edges = {{0, 1, 2}};
+  const WeightedHg w = WeightedHg::from(hg);
+  EXPECT_EQ(w.num_vertices(), 3u);
+  EXPECT_EQ(w.edge_weight[0], 1u);
+}
+
+TEST(Multilevel, CoarsenShrinksAndConserves) {
+  const WeightedHg hg = dumbbell(16);
+  Rng rng(9);
+  std::vector<std::uint32_t> match;
+  const WeightedHg coarse = coarsen(hg, rng, match);
+  EXPECT_LT(coarse.num_vertices(), hg.num_vertices());
+  // Vertex weight conserved.
+  std::uint64_t fine_w = 0, coarse_w = 0;
+  for (auto w : hg.vertex_weight) fine_w += w;
+  for (auto w : coarse.vertex_weight) coarse_w += w;
+  EXPECT_EQ(fine_w, coarse_w);
+  // Match maps into range.
+  for (auto m : match) EXPECT_LT(m, coarse.num_vertices());
+}
+
+TEST(Multilevel, DumbbellCutOne) {
+  const WeightedHg hg = dumbbell(32);
+  MultilevelConfig cfg;
+  cfg.fm.seed = 11;
+  const Bisection b = multilevel_bisect(hg, cfg);
+  EXPECT_EQ(b.cut, 1u);
+}
+
+TEST(Multilevel, GridCutNearOptimal) {
+  // 8x8 grid graph: optimal balanced bisection cuts 8 edges.
+  WeightedHg hg;
+  const std::size_t n = 8;
+  hg.vertex_weight.assign(n * n, 1);
+  auto id = [&](std::size_t r, std::size_t c) {
+    return static_cast<std::uint32_t>(r * n + c);
+  };
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c + 1 < n) hg.edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < n) hg.edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  hg.edge_weight.assign(hg.edges.size(), 1);
+  MultilevelConfig cfg;
+  cfg.fm.seed = 13;
+  cfg.fm.num_starts = 8;
+  const Bisection b = multilevel_bisect(hg, cfg);
+  EXPECT_LE(b.cut, 12u);  // within 1.5x of optimal
+  EXPECT_TRUE(balanced(hg, b, cfg.fm.balance));
+}
+
+TEST(Multilevel, CircuitHypergraphBisection) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(16));
+  const net::Hypergraph hg = net::to_hypergraph(n);
+  const Bisection b = multilevel_bisect(hg);
+  EXPECT_EQ(b.side.size(), hg.num_vertices);
+  // A 16-bit ripple adder is a chain: a good bisection cuts few nets.
+  EXPECT_LE(b.cut, 10u);
+  EXPECT_EQ(b.cut, cut_cost(WeightedHg::from(hg), b.side));
+}
+
+TEST(Multilevel, DeterministicForFixedSeed) {
+  const WeightedHg hg = dumbbell(16);
+  MultilevelConfig cfg;
+  cfg.fm.seed = 17;
+  const Bisection a = multilevel_bisect(hg, cfg);
+  const Bisection b = multilevel_bisect(hg, cfg);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_EQ(a.cut, b.cut);
+}
+
+class MultilevelSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultilevelSeedSweep, RandomCircuitsBalancedAndConsistent) {
+  gen::HuttonParams p;
+  p.num_gates = 150;
+  p.num_inputs = 12;
+  p.num_outputs = 6;
+  p.seed = GetParam();
+  const net::Network n = gen::hutton_random(p);
+  const net::Hypergraph hg = net::to_hypergraph(n);
+  MultilevelConfig cfg;
+  cfg.fm.seed = GetParam();
+  const Bisection b = multilevel_bisect(hg, cfg);
+  EXPECT_TRUE(balanced(WeightedHg::from(hg), b, cfg.fm.balance + 0.02));
+  EXPECT_EQ(b.cut, cut_cost(WeightedHg::from(hg), b.side));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultilevelSeedSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace cwatpg::part

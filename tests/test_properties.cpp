@@ -1,0 +1,225 @@
+// Cross-module property sweeps: invariants that must hold for every
+// circuit any generator can produce, and cross-checks between independent
+// implementations of the same semantics (scalar eval vs word simulation
+// vs CNF encoding vs BDD).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bdd/bdd.hpp"
+#include "core/cutwidth.hpp"
+#include "gen/hutton.hpp"
+#include "gen/kbounded_gen.hpp"
+#include "gen/structured.hpp"
+#include "gen/suites.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "netlist/simplify.hpp"
+#include "netlist/simulate.hpp"
+#include "netlist/topo_stats.hpp"
+#include "sat/encode.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg {
+namespace {
+
+std::vector<net::Network> zoo() {
+  std::vector<net::Network> circuits;
+  circuits.push_back(gen::c17());
+  circuits.push_back(gen::fig4a_network());
+  circuits.push_back(gen::ripple_carry_adder(5));
+  circuits.push_back(gen::carry_select_adder(9, 3));
+  circuits.push_back(gen::decoder(3));
+  circuits.push_back(gen::mux_tree(3));
+  circuits.push_back(gen::parity_tree(9, 3));
+  circuits.push_back(gen::comparator(4));
+  circuits.push_back(gen::array_multiplier(3));
+  circuits.push_back(gen::cellular_array_1d(5));
+  circuits.push_back(gen::cellular_array_2d(3, 4));
+  circuits.push_back(gen::and_or_tree(12, 3));
+  circuits.push_back(gen::simple_alu(3));
+  circuits.push_back(gen::hamming_ecc(8));
+  circuits.push_back(gen::random_tree(40, 3, 5));
+  circuits.push_back(gen::kbounded_adder(4).circuit);
+  circuits.push_back(gen::kbounded_cellular(4).circuit);
+  circuits.push_back(gen::kbounded_random(10, 4, 3, 5).circuit);
+  {
+    gen::HuttonParams p;
+    p.num_gates = 70;
+    p.num_inputs = 9;
+    p.num_outputs = 4;
+    p.seed = 11;
+    circuits.push_back(gen::hutton_random(p));
+  }
+  return circuits;
+}
+
+TEST(Properties, EveryGeneratorProducesValidNetworks) {
+  for (const net::Network& n : zoo()) {
+    EXPECT_NO_THROW(n.validate()) << n.name();
+    EXPECT_GE(n.outputs().size(), 1u) << n.name();
+    EXPECT_GE(n.inputs().size(), 1u) << n.name();
+  }
+}
+
+TEST(Properties, LevelsRespectFanins) {
+  for (const net::Network& n : zoo()) {
+    const auto levels = n.levels();
+    for (net::NodeId v = 0; v < n.node_count(); ++v)
+      for (net::NodeId fi : n.fanins(v))
+        EXPECT_LT(levels[fi], levels[v]) << n.name();
+  }
+}
+
+TEST(Properties, FanoutListsMirrorFanins) {
+  for (const net::Network& n : zoo()) {
+    for (net::NodeId v = 0; v < n.node_count(); ++v) {
+      for (net::NodeId fo : n.fanouts(v)) {
+        const auto fis = n.fanins(fo);
+        EXPECT_NE(std::find(fis.begin(), fis.end(), v), fis.end())
+            << n.name();
+      }
+    }
+  }
+}
+
+TEST(Properties, ScalarEvalAgreesWithWordSimulation) {
+  Rng rng(3);
+  for (const net::Network& n : zoo()) {
+    const auto words = net::random_pi_words(const_cast<net::Network&>(n), rng);
+    const net::SimFrame frame = net::simulate64(n, words);
+    for (int lane = 0; lane < 64; lane += 13) {
+      std::vector<bool> pattern(n.inputs().size());
+      for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = (words[i] >> lane) & 1;
+      const auto scalar = n.eval(pattern);
+      for (net::NodeId po : n.outputs())
+        ASSERT_EQ(scalar[po], ((frame[po] >> lane) & 1) != 0) << n.name();
+    }
+  }
+}
+
+TEST(Properties, DecomposePreservesFunctionEverywhere) {
+  Rng rng(7);
+  for (const net::Network& n : zoo()) {
+    const net::Network d = net::decompose(n);
+    ASSERT_TRUE(net::is_decomposed(d)) << n.name();
+    for (int t = 0; t < 24; ++t) {
+      std::vector<bool> pattern(n.inputs().size());
+      for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = rng.chance(0.5);
+      const auto a = n.eval(pattern);
+      const auto b = d.eval(pattern);
+      for (std::size_t o = 0; o < n.outputs().size(); ++o)
+        ASSERT_EQ(a[n.outputs()[o]], b[d.outputs()[o]]) << n.name();
+    }
+  }
+}
+
+TEST(Properties, SimplifyPreservesFunctionEverywhere) {
+  Rng rng(9);
+  for (const net::Network& n : zoo()) {
+    const net::Network s = net::simplify(n);
+    ASSERT_EQ(s.inputs().size(), n.inputs().size()) << n.name();
+    ASSERT_EQ(s.outputs().size(), n.outputs().size()) << n.name();
+    for (int t = 0; t < 24; ++t) {
+      std::vector<bool> pattern(n.inputs().size());
+      for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = rng.chance(0.5);
+      const auto a = n.eval(pattern);
+      const auto b = s.eval(pattern);
+      for (std::size_t o = 0; o < n.outputs().size(); ++o)
+        ASSERT_EQ(a[n.outputs()[o]], b[s.outputs()[o]]) << n.name();
+    }
+  }
+}
+
+TEST(Properties, EncodingConsistentWithSimulationEverywhere) {
+  Rng rng(13);
+  for (const net::Network& raw : zoo()) {
+    const net::Network n = net::decompose(raw);
+    const sat::Cnf cnf = sat::encode_constraints(n);
+    for (int t = 0; t < 8; ++t) {
+      std::vector<bool> pattern(n.inputs().size());
+      for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = rng.chance(0.5);
+      const auto values = n.eval(pattern);
+      const std::vector<bool> assignment(values.begin(), values.end());
+      ASSERT_TRUE(cnf.eval(assignment)) << raw.name();
+    }
+  }
+}
+
+TEST(Properties, BddAgreesWithSimulationOnSmallMembers) {
+  Rng rng(17);
+  for (const net::Network& n : zoo()) {
+    if (n.inputs().size() > 14) continue;
+    bdd::Manager m(static_cast<std::uint32_t>(n.inputs().size()), 500'000);
+    std::vector<bdd::Ref> outs;
+    try {
+      outs = bdd::build_output_bdds(m, n);
+    } catch (const bdd::Manager::NodeLimitExceeded&) {
+      continue;  // multiplier-style blowup: fine
+    }
+    for (int t = 0; t < 16; ++t) {
+      const std::size_t pis = n.inputs().size();
+      std::vector<bool> pattern(pis);
+      const auto buf = std::make_unique<bool[]>(pis);
+      for (std::size_t i = 0; i < pis; ++i)
+        buf[i] = pattern[i] = rng.chance(0.5);
+      const auto values = n.eval(pattern);
+      for (std::size_t o = 0; o < outs.size(); ++o)
+        ASSERT_EQ(m.eval(outs[o], std::span<const bool>(buf.get(), pis)),
+                  values[n.outputs()[o]])
+            << n.name();
+    }
+  }
+}
+
+TEST(Properties, HypergraphEdgesMatchDrivenSignals) {
+  for (const net::Network& n : zoo()) {
+    const net::Hypergraph hg = net::to_hypergraph(n);
+    EXPECT_NO_THROW(hg.validate()) << n.name();
+    std::size_t driven = 0;
+    for (net::NodeId v = 0; v < n.node_count(); ++v)
+      if (!n.fanouts(v).empty()) ++driven;
+    EXPECT_EQ(hg.num_edges(), driven) << n.name();
+  }
+}
+
+TEST(Properties, CutWidthInvariantUnderReversal) {
+  Rng rng(19);
+  for (const net::Network& n : zoo()) {
+    core::Ordering order = core::identity_ordering(n.node_count());
+    for (std::size_t i = order.size(); i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+    const auto w = core::cut_width(n, order);
+    std::reverse(order.begin(), order.end());
+    EXPECT_EQ(core::cut_width(n, order), w) << n.name();
+  }
+}
+
+TEST(Properties, TopoStatsAreFinite) {
+  for (const net::Network& n : zoo()) {
+    const net::TopoStats s = net::topo_stats(n);
+    EXPECT_EQ(s.nodes, n.node_count());
+    EXPECT_GE(s.mean_fanout, 0.9) << n.name();  // everything drives someone
+    EXPECT_LE(s.fanout1_fraction, 1.0);
+    EXPECT_LE(s.reconvergent_stem_fraction, 1.0);
+  }
+}
+
+TEST(Properties, SuitesAreDeterministic) {
+  gen::SuiteOptions opts;
+  opts.scale = 0.1;
+  const auto a = gen::iscas85_like_suite(opts);
+  const auto b = gen::iscas85_like_suite(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node_count(), b[i].node_count());
+    EXPECT_EQ(a[i].name(), b[i].name());
+  }
+}
+
+}  // namespace
+}  // namespace cwatpg

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "fault/tegus.hpp"
+#include "gen/structured.hpp"
+#include "netlist/decompose.hpp"
+#include "netlist/simplify.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::net {
+namespace {
+
+void expect_equivalent(const Network& a, const Network& b,
+                       std::uint64_t seed) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  Rng rng(seed);
+  const std::size_t trials =
+      a.inputs().size() <= 8 ? (std::size_t{1} << a.inputs().size()) : 200;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<bool> pattern(a.inputs().size());
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+      pattern[i] =
+          a.inputs().size() <= 8 ? ((t >> i) & 1) : rng.chance(0.5);
+    const auto va = a.eval(pattern);
+    const auto vb = b.eval(pattern);
+    for (std::size_t o = 0; o < a.outputs().size(); ++o)
+      ASSERT_EQ(va[a.outputs()[o]], vb[b.outputs()[o]]) << "output " << o;
+  }
+}
+
+TEST(Simplify, AndWithZeroFolds) {
+  Network n;
+  const auto a = n.add_input("a");
+  const auto z = n.add_const(false);
+  n.add_output(n.add_gate(GateType::kAnd, {a, z}), "o");
+  const Network f = fold_constants(n);
+  EXPECT_EQ(f.gate_count(), 0u);
+  expect_equivalent(n, f, 1);
+}
+
+TEST(Simplify, AndWithOneDropsInput) {
+  Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto one = n.add_const(true);
+  n.add_output(n.add_gate(GateType::kAnd, {a, one, b}), "o");
+  const Network f = fold_constants(n);
+  EXPECT_EQ(f.gate_count(), 1u);
+  EXPECT_EQ(f.fanins(*f.find("o") - 0).size(), 1u);  // PO marker
+  expect_equivalent(n, f, 2);
+}
+
+TEST(Simplify, SingleSurvivorForwards) {
+  Network n;
+  const auto a = n.add_input("a");
+  const auto one = n.add_const(true);
+  n.add_output(n.add_gate(GateType::kAnd, {a, one}), "o");
+  const Network f = fold_constants(n);
+  EXPECT_EQ(f.gate_count(), 0u);  // forwarded, no gate left
+  expect_equivalent(n, f, 3);
+}
+
+TEST(Simplify, AllGateTypesWithConstants) {
+  Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto zero = n.add_const(false);
+  const auto one = n.add_const(true);
+  n.add_output(n.add_gate(GateType::kNand, {a, zero}), "nand0");
+  n.add_output(n.add_gate(GateType::kNand, {a, one, b}), "nand1");
+  n.add_output(n.add_gate(GateType::kOr, {a, one}), "or1");
+  n.add_output(n.add_gate(GateType::kNor, {a, zero, b}), "nor0");
+  n.add_output(n.add_gate(GateType::kXor, {a, one}), "xor1");
+  n.add_output(n.add_gate(GateType::kXor, {a, zero, b, one}), "xor2");
+  n.add_output(n.add_gate(GateType::kXnor, {a, one, b}), "xnor1");
+  n.add_output(n.add_gate(GateType::kXnor, {zero, one}), "xnor_const");
+  n.add_output(n.add_gate(GateType::kNot, {zero}), "not0");
+  n.add_output(n.add_gate(GateType::kBuf, {one}), "buf1");
+  expect_equivalent(n, fold_constants(n), 4);
+}
+
+TEST(Simplify, ChainsOfConstantsCollapse) {
+  Network n;
+  const auto zero = n.add_const(false);
+  net::NodeId cur = zero;
+  for (int i = 0; i < 5; ++i) cur = n.add_gate(GateType::kNot, {cur});
+  n.add_output(cur, "o");
+  const Network f = fold_constants(n);
+  EXPECT_EQ(f.gate_count(), 0u);
+  EXPECT_EQ(f.type(f.fanins(f.outputs()[0])[0]), GateType::kConst1);
+}
+
+TEST(Simplify, SweepRemovesDeadLogic) {
+  Network n;
+  const auto a = n.add_input("a");
+  const auto live = n.add_gate(GateType::kNot, {a});
+  n.add_gate(GateType::kAnd, {a, live});  // dangling
+  n.add_output(live, "o");
+  const Network s = sweep_dangling(n);
+  EXPECT_EQ(s.gate_count(), 1u);
+  EXPECT_EQ(s.inputs().size(), 1u);  // PI kept
+  expect_equivalent(n, s, 5);
+}
+
+TEST(Simplify, SweepKeepsUnusedPis) {
+  Network n;
+  n.add_input("unused");
+  const auto b = n.add_input("b");
+  n.add_output(n.add_gate(GateType::kNot, {b}), "o");
+  const Network s = sweep_dangling(n);
+  EXPECT_EQ(s.inputs().size(), 2u);
+}
+
+TEST(Simplify, MultiplierEquivalentAndIrredundant) {
+  // array_multiplier already applies simplify(); verify no constants and
+  // no dangling gates remain.
+  const Network m = gen::array_multiplier(4);
+  for (NodeId id = 0; id < m.node_count(); ++id) {
+    EXPECT_NE(m.type(id), GateType::kConst0);
+    EXPECT_NE(m.type(id), GateType::kConst1);
+    if (is_logic(m.type(id))) {
+      EXPECT_FALSE(m.fanouts(id).empty());
+    }
+  }
+}
+
+TEST(Simplify, MultiplierFullyTestableAfterFolding) {
+  const Network m = decompose(gen::array_multiplier(3));
+  const fault::AtpgResult r = fault::run_atpg(m);
+  EXPECT_EQ(r.num_aborted, 0u);
+  EXPECT_GE(r.fault_coverage(), 0.99);
+}
+
+TEST(Simplify, PreservesInterfaceOrder) {
+  const Network src = gen::carry_select_adder(8, 3);
+  const Network rca = gen::ripple_carry_adder(8);
+  EXPECT_EQ(src.inputs().size(), rca.inputs().size());
+  EXPECT_EQ(src.outputs().size(), rca.outputs().size());
+  expect_equivalent(src, rca, 6);
+}
+
+TEST(Simplify, IdempotentOnCleanCircuit) {
+  const Network once = simplify(gen::array_multiplier(3));
+  const Network twice = simplify(once);
+  EXPECT_EQ(once.node_count(), twice.node_count());
+}
+
+TEST(Simplify, OutputFoldedToConstantSurvives) {
+  Network n;
+  const auto a = n.add_input("a");
+  const auto na = n.add_gate(GateType::kNot, {a});
+  n.add_output(n.add_gate(GateType::kAnd, {a, na, n.add_const(true)}), "o");
+  // AND(a, ~a, 1) is not folded to const by structure alone (needs logic
+  // reasoning), but AND(a, 0) is:
+  Network m;
+  const auto b = m.add_input("b");
+  m.add_output(m.add_gate(GateType::kAnd, {b, m.add_const(false)}), "o");
+  const Network f = simplify(m);
+  EXPECT_EQ(f.outputs().size(), 1u);
+  EXPECT_EQ(f.type(f.fanins(f.outputs()[0])[0]), GateType::kConst0);
+  expect_equivalent(n, fold_constants(n), 7);
+}
+
+}  // namespace
+}  // namespace cwatpg::net

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/hypergraph.hpp"
+#include "netlist/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::net {
+namespace {
+
+TEST(Simulate, MatchesSinglePatternEval) {
+  const Network n = gen::simple_alu(3);
+  Rng rng(1);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<bool> pattern(n.inputs().size());
+    for (auto&& b : pattern) b = rng.chance(0.5);
+    const auto scalar = n.eval(pattern);
+    const auto words = to_words(pattern);
+    const SimFrame frame = simulate64(n, words);
+    for (NodeId id = 0; id < n.node_count(); ++id)
+      ASSERT_EQ((frame[id] & 1) != 0, scalar[id]) << "node " << id;
+  }
+}
+
+TEST(Simulate, SixtyFourLanesIndependent) {
+  const Network n = gen::ripple_carry_adder(3);
+  Rng rng(2);
+  const auto words = random_pi_words(n, rng);
+  const SimFrame frame = simulate64(n, words);
+  // Each lane must equal a scalar simulation of that lane's pattern.
+  for (int lane = 0; lane < 64; lane += 7) {
+    std::vector<bool> pattern(n.inputs().size());
+    for (std::size_t i = 0; i < pattern.size(); ++i)
+      pattern[i] = (words[i] >> lane) & 1;
+    const auto scalar = n.eval(pattern);
+    for (NodeId po : n.outputs())
+      ASSERT_EQ((frame[po] >> lane) & 1, scalar[po] ? 1u : 0u);
+  }
+}
+
+TEST(Simulate, AdderAddsIntegers) {
+  const std::size_t bits = 6;
+  const Network n = gen::ripple_carry_adder(bits);
+  Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const std::uint64_t a = rng.below(1ULL << bits);
+    const std::uint64_t b = rng.below(1ULL << bits);
+    const std::uint64_t cin = rng.below(2);
+    std::vector<bool> pattern;
+    for (std::size_t i = 0; i < bits; ++i) pattern.push_back((a >> i) & 1);
+    for (std::size_t i = 0; i < bits; ++i) pattern.push_back((b >> i) & 1);
+    pattern.push_back(cin != 0);
+    const auto values = n.eval(pattern);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i <= bits; ++i)
+      if (values[n.outputs()[i]]) sum |= 1ULL << i;
+    EXPECT_EQ(sum, a + b + cin);
+  }
+}
+
+TEST(Simulate, MultiplierMultiplies) {
+  const std::size_t bits = 4;
+  const Network n = gen::array_multiplier(bits);
+  for (std::uint64_t a = 0; a < (1u << bits); ++a) {
+    for (std::uint64_t b = 0; b < (1u << bits); ++b) {
+      std::vector<bool> pattern;
+      for (std::size_t i = 0; i < bits; ++i) pattern.push_back((a >> i) & 1);
+      for (std::size_t i = 0; i < bits; ++i) pattern.push_back((b >> i) & 1);
+      const auto values = n.eval(pattern);
+      std::uint64_t prod = 0;
+      for (std::size_t i = 0; i < 2 * bits; ++i)
+        if (values[n.outputs()[i]]) prod |= 1ULL << i;
+      ASSERT_EQ(prod, a * b) << a << " * " << b;
+    }
+  }
+}
+
+TEST(Simulate, StuckFaultForcesNode) {
+  const Network n = gen::c17();
+  Rng rng(4);
+  const auto words = random_pi_words(n, rng);
+  const NodeId g11 = *n.find("11");
+  const SimFrame f0 = simulate64_fault(n, words, g11, false);
+  const SimFrame f1 = simulate64_fault(n, words, g11, true);
+  EXPECT_EQ(f0[g11], 0ULL);
+  EXPECT_EQ(f1[g11], ~0ULL);
+}
+
+TEST(Simulate, FaultDownstreamOnly) {
+  const Network n = gen::c17();
+  Rng rng(5);
+  const auto words = random_pi_words(n, rng);
+  const SimFrame good = simulate64(n, words);
+  const NodeId g11 = *n.find("11");
+  const SimFrame faulty = simulate64_fault(n, words, g11, true);
+  // Upstream and disjoint nodes unchanged.
+  EXPECT_EQ(faulty[*n.find("10")], good[*n.find("10")]);
+  EXPECT_EQ(faulty[*n.find("1")], good[*n.find("1")]);
+}
+
+TEST(Simulate, FaultOnPi) {
+  const Network n = gen::c17();
+  std::vector<std::uint64_t> words(5, 0);
+  const NodeId pi = n.inputs()[0];
+  const SimFrame f = simulate64_fault(n, words, pi, true);
+  EXPECT_EQ(f[pi], ~0ULL);
+}
+
+TEST(Simulate, WrongWidthThrows) {
+  const Network n = gen::c17();
+  std::vector<std::uint64_t> words(2, 0);
+  EXPECT_THROW(simulate64(n, words), std::invalid_argument);
+  EXPECT_THROW(simulate64_fault(n, words, 0, false), std::invalid_argument);
+}
+
+TEST(Simulate, BadFaultSiteThrows) {
+  const Network n = gen::c17();
+  std::vector<std::uint64_t> words(5, 0);
+  EXPECT_THROW(simulate64_fault(n, words, 999, false),
+               std::invalid_argument);
+}
+
+TEST(Simulate, ToWordsSetsBitZero) {
+  const bool pattern[] = {true, false, true};
+  const auto words = to_words(pattern);
+  EXPECT_EQ(words[0], 1ULL);
+  EXPECT_EQ(words[1], 0ULL);
+  EXPECT_EQ(words[2], 1ULL);
+}
+
+// ------------------------------------------------------------- hypergraph
+
+TEST(Hypergraph, C17Shape) {
+  const Network n = gen::c17();
+  const Hypergraph hg = to_hypergraph(n);
+  EXPECT_EQ(hg.num_vertices, n.node_count());
+  // Every driven signal with sinks: 5 PIs + 6 gates = 11 nets, but each
+  // PO-marker net counts through its gate driver; gates 22/23 drive
+  // markers. All 5 PIs drive gates; all 6 gates drive something => 11.
+  EXPECT_EQ(hg.num_edges(), 11u);
+  EXPECT_NO_THROW(hg.validate());
+}
+
+TEST(Hypergraph, EdgeContainsDriverAndSinks) {
+  const Network n = gen::c17();
+  const Hypergraph hg = to_hypergraph(n);
+  const NodeId g11 = *n.find("11");
+  bool found = false;
+  for (const auto& e : hg.edges) {
+    if (e.front() == g11) {
+      found = true;
+      EXPECT_EQ(e.size(), 3u);  // driver + two sinks (16, 19)
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Hypergraph, DuplicatePinsCollapse) {
+  Network n;
+  const NodeId a = n.add_input("a");
+  const NodeId g = n.add_gate(GateType::kAnd, {a, a});  // same signal twice
+  n.add_output(g, "o");
+  const Hypergraph hg = to_hypergraph(n);
+  EXPECT_NO_THROW(hg.validate());
+  EXPECT_EQ(hg.edges[0].size(), 2u);  // {a, g} despite two pins
+}
+
+TEST(Hypergraph, PinCount) {
+  Hypergraph hg;
+  hg.num_vertices = 4;
+  hg.edges = {{0, 1}, {1, 2, 3}};
+  EXPECT_EQ(hg.num_pins(), 5u);
+}
+
+TEST(Hypergraph, ValidateCatchesBadEdges) {
+  Hypergraph hg;
+  hg.num_vertices = 2;
+  hg.edges = {{0, 5}};
+  EXPECT_THROW(hg.validate(), std::logic_error);
+  hg.edges = {{0, 0}};
+  EXPECT_THROW(hg.validate(), std::logic_error);
+  hg.edges = {{}};
+  EXPECT_THROW(hg.validate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cwatpg::net

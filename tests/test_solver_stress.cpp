@@ -1,0 +1,162 @@
+// Heavier adversarial workloads for the CDCL solver and Algorithm 1:
+// structured UNSAT families (pigeonhole, graph coloring), larger random
+// formulas diff-tested across all three solvers (CDCL, Algorithm 1,
+// 2-SAT where applicable), and end-to-end ATPG-SAT sweeps.
+#include <gtest/gtest.h>
+
+#include "fault/atpg_circuit.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "sat/cache_sat.hpp"
+#include "sat/encode.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::sat {
+namespace {
+
+Cnf pigeonhole(int pigeons, int holes) {
+  Cnf f(static_cast<Var>(pigeons * holes));
+  auto var = [&](int p, int h) { return static_cast<Var>(p * holes + h); };
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) c.push_back(pos(var(p, h)));
+    f.add_clause(c);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        f.add_clause({neg(var(p1, h)), neg(var(p2, h))});
+  return f;
+}
+
+/// k-coloring of a cycle graph: SAT iff n even or k >= 3.
+Cnf cycle_coloring(int n, int k) {
+  Cnf f(static_cast<Var>(n * k));
+  auto var = [&](int v, int c) { return static_cast<Var>(v * k + c); };
+  for (int v = 0; v < n; ++v) {
+    Clause c;
+    for (int color = 0; color < k; ++color) c.push_back(pos(var(v, color)));
+    f.add_clause(c);
+    for (int c1 = 0; c1 < k; ++c1)
+      for (int c2 = c1 + 1; c2 < k; ++c2)
+        f.add_clause({neg(var(v, c1)), neg(var(v, c2))});
+  }
+  for (int v = 0; v < n; ++v)
+    for (int color = 0; color < k; ++color)
+      f.add_clause({neg(var(v, color)), neg(var((v + 1) % n, color))});
+  return f;
+}
+
+TEST(SolverStress, PigeonholeFamily) {
+  // PHP(n+1, n) requires exponential-size resolution proofs, so a CDCL
+  // without symmetry breaking blows up fast; stay in the feasible range.
+  for (int holes = 2; holes <= 4; ++holes) {
+    EXPECT_EQ(solve_cnf(pigeonhole(holes + 1, holes)).status,
+              SolveStatus::kUnsat)
+        << holes;
+    EXPECT_EQ(solve_cnf(pigeonhole(holes, holes)).status, SolveStatus::kSat);
+  }
+}
+
+TEST(SolverStress, CycleColoring) {
+  // Odd cycle, 2 colors: UNSAT. Even cycle, 2 colors: SAT. 3 colors: SAT.
+  EXPECT_EQ(solve_cnf(cycle_coloring(9, 2)).status, SolveStatus::kUnsat);
+  EXPECT_EQ(solve_cnf(cycle_coloring(10, 2)).status, SolveStatus::kSat);
+  EXPECT_EQ(solve_cnf(cycle_coloring(9, 3)).status, SolveStatus::kSat);
+  EXPECT_EQ(solve_cnf(cycle_coloring(25, 3)).status, SolveStatus::kSat);
+}
+
+TEST(SolverStress, CacheSatAgreesOnStructuredUnsat) {
+  const Cnf php = pigeonhole(4, 3);
+  const auto r = cache_sat(php, identity_order(php));
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+  // The cache must be earning hits on this symmetric instance.
+  EXPECT_GT(r.stats.cache_hits, 0u);
+}
+
+TEST(SolverStress, LargerRandomDiffTest) {
+  cwatpg::Rng rng(42);
+  int sat = 0, unsat = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Var vars = 14;
+    const std::size_t clauses = 30 + rng.below(35);
+    Cnf f(vars);
+    for (std::size_t c = 0; c < clauses; ++c) {
+      Clause cl;
+      for (int i = 0; i < 3; ++i)
+        cl.push_back(Lit(static_cast<Var>(rng.below(vars)),
+                         rng.chance(0.5)));
+      std::sort(cl.begin(), cl.end());
+      cl.erase(std::unique(cl.begin(), cl.end()), cl.end());
+      f.add_clause(cl);
+    }
+    const auto cdcl = solve_cnf(f);
+    const auto cached = cache_sat(f, identity_order(f));
+    ASSERT_EQ(cdcl.status, cached.status) << "trial " << trial;
+    (cdcl.status == SolveStatus::kSat ? sat : unsat)++;
+    if (cdcl.status == SolveStatus::kSat) {
+      EXPECT_TRUE(f.eval(cdcl.model));
+      EXPECT_TRUE(f.eval(cached.model));
+    }
+  }
+  EXPECT_GT(sat, 3);
+  EXPECT_GT(unsat, 3);
+}
+
+TEST(SolverStress, AssumptionSweepOverPigeonhole) {
+  // Assume pigeon 0 into each hole of a satisfiable instance: all SAT;
+  // assume two pigeons into the same hole: UNSAT.
+  const Cnf f = pigeonhole(4, 4);
+  Solver solver(f);
+  for (int h = 0; h < 4; ++h) {
+    const Lit a[] = {pos(static_cast<Var>(h))};
+    EXPECT_EQ(solver.solve(a), SolveStatus::kSat) << h;
+  }
+  const Lit clash[] = {pos(0), pos(static_cast<Var>(1 * 4 + 0))};
+  EXPECT_EQ(solver.solve(clash), SolveStatus::kUnsat);
+  EXPECT_EQ(solver.solve(), SolveStatus::kSat);
+}
+
+TEST(SolverStress, AtpgMitersAllFaultsAllEngines) {
+  // Every collapsed fault of a mid-size circuit, three ways: CDCL,
+  // Algorithm 1 (identity order), Algorithm 1 (exact-verify mode).
+  const net::Network n = net::decompose(gen::comparator(3));
+  for (const auto& fault : fault::collapsed_fault_list(n)) {
+    const fault::AtpgCircuit atpg = fault::build_atpg_circuit(n, fault);
+    Cnf f = encode_circuit_sat(atpg.miter);
+    f.add_clause({Lit(atpg.good_fault_net, fault.stuck_value)});
+    const auto cdcl = solve_cnf(f);
+    const auto cached = cache_sat(f, identity_order(f));
+    CacheSatConfig exact;
+    exact.verify_exact = true;
+    const auto verified = cache_sat(f, identity_order(f), exact);
+    ASSERT_EQ(cdcl.status, cached.status) << fault::to_string(n, fault);
+    ASSERT_EQ(cdcl.status, verified.status) << fault::to_string(n, fault);
+    EXPECT_EQ(verified.stats.hash_collisions, 0u);
+  }
+}
+
+TEST(SolverStress, RepeatedSolvesStable) {
+  const Cnf f = pigeonhole(5, 4);
+  Solver solver(f);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(solver.solve(), SolveStatus::kUnsat);
+}
+
+class PhpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhpSweep, CacheSatHandlesSymmetricUnsat) {
+  const int holes = GetParam();
+  const Cnf f = pigeonhole(holes + 1, holes);
+  CacheSatConfig cfg;
+  cfg.max_nodes = 5'000'000;
+  const auto r = cache_sat(f, identity_order(f), cfg);
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+}
+
+INSTANTIATE_TEST_SUITE_P(Holes, PhpSweep, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cwatpg::sat

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "fault/tegus.hpp"
+#include "gen/hutton.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+TEST(Tegus, GenerateTestForKnownFault) {
+  const net::Network n = gen::c17();
+  Pattern test;
+  const FaultOutcome outcome = generate_test(
+      n, {*n.find("10"), StuckAtFault::kStem, true}, {}, test);
+  ASSERT_EQ(outcome.status, FaultStatus::kDetected);
+  EXPECT_TRUE(detects(n, outcome.fault, test));
+  EXPECT_GT(outcome.sat_vars, 0u);
+  EXPECT_GT(outcome.sat_clauses, 0u);
+}
+
+TEST(Tegus, UntestableFaultProvenUnsat) {
+  // OR(a, ~a) is constantly 1 => s-a-1 on it is redundant.
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto na = n.add_gate(net::GateType::kNot, {a});
+  const auto g = n.add_gate(net::GateType::kOr, {a, na});
+  n.add_output(g, "o");
+  Pattern test;
+  const FaultOutcome outcome =
+      generate_test(n, {g, StuckAtFault::kStem, true}, {}, test);
+  EXPECT_EQ(outcome.status, FaultStatus::kUntestable);
+}
+
+TEST(Tegus, UnreachableFaultFlagged) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto dangle = n.add_gate(net::GateType::kNot, {a});
+  n.add_gate(net::GateType::kNot, {dangle});  // still dangling
+  n.add_output(n.add_gate(net::GateType::kBuf, {a}), "o");
+  Pattern test;
+  const FaultOutcome outcome =
+      generate_test(n, {dangle, StuckAtFault::kStem, true}, {}, test);
+  EXPECT_EQ(outcome.status, FaultStatus::kUnreachable);
+}
+
+TEST(Tegus, FullC17RunCompleteCoverage) {
+  const net::Network n = gen::c17();
+  const AtpgResult r = run_atpg(n);
+  EXPECT_DOUBLE_EQ(r.fault_coverage(), 1.0);  // c17 is fully testable
+  EXPECT_DOUBLE_EQ(r.fault_efficiency(), 1.0);
+  EXPECT_EQ(r.num_aborted, 0u);
+  EXPECT_FALSE(r.tests.empty());
+}
+
+TEST(Tegus, AllOutcomesAccounted) {
+  const net::Network n = net::decompose(gen::comparator(4));
+  const AtpgResult r = run_atpg(n);
+  std::size_t detected = 0, untestable = 0, aborted = 0, unreachable = 0;
+  for (const auto& o : r.outcomes) {
+    switch (o.status) {
+      case FaultStatus::kDetected:
+      case FaultStatus::kDroppedBySim:
+      case FaultStatus::kDroppedRandom:
+        ++detected;
+        break;
+      case FaultStatus::kUntestable:
+        ++untestable;
+        break;
+      case FaultStatus::kAborted:
+        ++aborted;
+        break;
+      case FaultStatus::kUnreachable:
+        ++unreachable;
+        break;
+    }
+  }
+  EXPECT_EQ(detected, r.num_detected);
+  EXPECT_EQ(untestable, r.num_untestable);
+  EXPECT_EQ(aborted, r.num_aborted);
+  EXPECT_EQ(unreachable, r.num_unreachable);
+}
+
+TEST(Tegus, EveryReportedTestDetectsItsFault) {
+  const net::Network n = net::decompose(gen::simple_alu(3));
+  const AtpgResult r = run_atpg(n);
+  for (const auto& o : r.outcomes) {
+    if (o.status != FaultStatus::kDetected &&
+        o.status != FaultStatus::kDroppedBySim)
+      continue;
+    ASSERT_GE(o.test_index, 0);
+    ASSERT_LT(static_cast<std::size_t>(o.test_index), r.tests.size());
+    EXPECT_TRUE(detects(n, o.fault, r.tests[static_cast<std::size_t>(
+                                        o.test_index)]))
+        << to_string(n, o.fault);
+  }
+}
+
+TEST(Tegus, NoRandomPhaseStillCovers) {
+  const net::Network n = gen::c17();
+  AtpgOptions opts;
+  opts.random_blocks = 0;
+  const AtpgResult r = run_atpg(n, opts);
+  EXPECT_DOUBLE_EQ(r.fault_coverage(), 1.0);
+  // Without the random phase every detection is SAT- or drop-based.
+  for (const auto& o : r.outcomes)
+    EXPECT_NE(o.status, FaultStatus::kDroppedRandom);
+}
+
+TEST(Tegus, NoDroppingSolvesEveryFault) {
+  const net::Network n = gen::c17();
+  AtpgOptions opts;
+  opts.random_blocks = 0;
+  opts.drop_by_simulation = false;
+  const AtpgResult r = run_atpg(n, opts);
+  for (const auto& o : r.outcomes) {
+    EXPECT_NE(o.status, FaultStatus::kDroppedBySim);
+    if (o.status == FaultStatus::kDetected) {
+      EXPECT_GT(o.sat_vars, 0u);
+    }
+  }
+  EXPECT_DOUBLE_EQ(r.fault_coverage(), 1.0);
+}
+
+TEST(Tegus, DroppingReducesSatCalls) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(6));
+  AtpgOptions drop;
+  drop.random_blocks = 0;
+  AtpgOptions no_drop = drop;
+  no_drop.drop_by_simulation = false;
+  const AtpgResult with = run_atpg(n, drop);
+  const AtpgResult without = run_atpg(n, no_drop);
+  auto sat_calls = [](const AtpgResult& r) {
+    std::size_t calls = 0;
+    for (const auto& o : r.outcomes)
+      if (o.sat_vars > 0) ++calls;
+    return calls;
+  };
+  EXPECT_LT(sat_calls(with), sat_calls(without));
+  EXPECT_DOUBLE_EQ(with.fault_coverage(), without.fault_coverage());
+}
+
+TEST(Tegus, UncollapsedListAlsoCovered) {
+  const net::Network n = gen::c17();
+  AtpgOptions opts;
+  opts.collapse_faults = false;
+  const AtpgResult r = run_atpg(n, opts);
+  EXPECT_EQ(r.outcomes.size(), all_faults(n).size());
+  EXPECT_DOUBLE_EQ(r.fault_coverage(), 1.0);
+}
+
+TEST(Tegus, AdderFullyTestable) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(8));
+  const AtpgResult r = run_atpg(n);
+  EXPECT_DOUBLE_EQ(r.fault_coverage(), 1.0);
+  EXPECT_EQ(r.num_untestable, 0u);
+}
+
+TEST(Tegus, RedundantCircuitYieldsUntestables) {
+  // A network with explicit redundancy: out = AND(a, OR(a, b)) — the OR's
+  // b-input is undetectable at some fault values.
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto o = n.add_gate(net::GateType::kOr, {a, b});
+  const auto g = n.add_gate(net::GateType::kAnd, {a, o});
+  n.add_output(g, "o");
+  AtpgOptions opts;
+  opts.random_blocks = 0;
+  const AtpgResult r = run_atpg(n, opts);
+  EXPECT_GT(r.num_untestable, 0u);
+  EXPECT_DOUBLE_EQ(r.fault_efficiency(), 1.0);  // all proven one way
+}
+
+TEST(Tegus, ExtractTestFillsNonSupport) {
+  const net::Network n = net::decompose(gen::ripple_carry_adder(8));
+  // Fault on the low-order full adder: high operand bits are outside the
+  // support and take the fill value.
+  const auto faults = collapsed_fault_list(n);
+  const StuckAtFault f = faults.front();
+  const AtpgCircuit atpg = build_atpg_circuit(n, f);
+  std::vector<bool> model(atpg.miter.node_count(), false);
+  const Pattern zero_fill = extract_test(n, atpg, model, false);
+  const Pattern one_fill = extract_test(n, atpg, model, true);
+  EXPECT_EQ(zero_fill.size(), n.inputs().size());
+  if (atpg.support.size() < n.inputs().size()) {
+    EXPECT_NE(zero_fill, one_fill);
+  }
+}
+
+TEST(Tegus, DeterministicForFixedSeed) {
+  const net::Network n = net::decompose(gen::comparator(3));
+  const AtpgResult a = run_atpg(n);
+  const AtpgResult b = run_atpg(n);
+  EXPECT_EQ(a.num_detected, b.num_detected);
+  EXPECT_EQ(a.tests.size(), b.tests.size());
+}
+
+TEST(Tegus, PerInstanceStatsForFigure1) {
+  // The Figure 1 axes must be recoverable from outcomes: vars + time.
+  const net::Network n = net::decompose(gen::simple_alu(4));
+  AtpgOptions opts;
+  opts.random_blocks = 0;
+  opts.drop_by_simulation = false;
+  const AtpgResult r = run_atpg(n, opts);
+  std::size_t with_instances = 0;
+  for (const auto& o : r.outcomes) {
+    if (o.sat_vars > 0) {
+      ++with_instances;
+      EXPECT_GE(o.solve_seconds, 0.0);
+    }
+  }
+  EXPECT_EQ(with_instances, r.outcomes.size() - r.num_unreachable);
+}
+
+class TegusFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(TegusFamilies, HighCoverageAcrossGenerators) {
+  net::Network n;
+  switch (GetParam()) {
+    case 0: n = net::decompose(gen::parity_tree(12)); break;
+    case 1: n = net::decompose(gen::decoder(3)); break;
+    case 2: n = net::decompose(gen::mux_tree(3)); break;
+    case 3: n = net::decompose(gen::cellular_array_1d(6)); break;
+    case 4: n = net::decompose(gen::array_multiplier(3)); break;
+    case 5: n = net::decompose(gen::hamming_ecc(8)); break;
+    default: n = gen::c17(); break;
+  }
+  const AtpgResult r = run_atpg(n);
+  EXPECT_EQ(r.num_aborted, 0u);
+  EXPECT_DOUBLE_EQ(r.fault_efficiency(), 1.0);
+  EXPECT_GE(r.fault_coverage(), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, TegusFamilies, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace cwatpg::fault

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "fault/testability.hpp"
+#include "fault/tegus.hpp"
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+TEST(Scoap, PrimaryInputsAreUnitControllable) {
+  const net::Network n = gen::c17();
+  const Scoap s = compute_scoap(n);
+  for (net::NodeId pi : n.inputs()) {
+    EXPECT_EQ(s.cc0[pi], 1u);
+    EXPECT_EQ(s.cc1[pi], 1u);
+  }
+}
+
+TEST(Scoap, AndGateControllability) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto g = n.add_gate(net::GateType::kAnd, {a, b});
+  n.add_output(g, "o");
+  const Scoap s = compute_scoap(n);
+  EXPECT_EQ(s.cc1[g], 3u);  // both inputs to 1: 1+1+1
+  EXPECT_EQ(s.cc0[g], 2u);  // one input to 0: 1+1
+}
+
+TEST(Scoap, OrNorNotDuals) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto o = n.add_gate(net::GateType::kOr, {a, b});
+  const auto nr = n.add_gate(net::GateType::kNor, {a, b});
+  const auto nt = n.add_gate(net::GateType::kNot, {a});
+  n.add_output(o, "x");
+  n.add_output(nr, "y");
+  n.add_output(nt, "z");
+  const Scoap s = compute_scoap(n);
+  EXPECT_EQ(s.cc0[o], 3u);
+  EXPECT_EQ(s.cc1[o], 2u);
+  EXPECT_EQ(s.cc0[nr], 2u);  // NOR to 0 = any input 1
+  EXPECT_EQ(s.cc1[nr], 3u);
+  EXPECT_EQ(s.cc0[nt], 2u);
+  EXPECT_EQ(s.cc1[nt], 2u);
+}
+
+TEST(Scoap, XorControllability) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  const auto x = n.add_gate(net::GateType::kXor, {a, b});
+  n.add_output(x, "o");
+  const Scoap s = compute_scoap(n);
+  EXPECT_EQ(s.cc1[x], 3u);  // (0,1) or (1,0)
+  EXPECT_EQ(s.cc0[x], 3u);  // (0,0) or (1,1)
+}
+
+TEST(Scoap, ObservabilityAlongChain) {
+  // a -> NOT -> NOT -> PO: observability decreases toward the output.
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(net::GateType::kNot, {a});
+  const auto g2 = n.add_gate(net::GateType::kNot, {g1});
+  n.add_output(g2, "o");
+  const Scoap s = compute_scoap(n);
+  EXPECT_EQ(s.observability[g2], 0u);
+  EXPECT_EQ(s.observability[g1], 1u);
+  EXPECT_EQ(s.observability[a], 2u);
+}
+
+TEST(Scoap, SideInputCostsCount) {
+  // Observing `a` through AND(a, b) costs setting b to 1.
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto b = n.add_input("b");
+  n.add_output(n.add_gate(net::GateType::kAnd, {a, b}), "o");
+  const Scoap s = compute_scoap(n);
+  EXPECT_EQ(s.observability[a], 2u);  // CO(gate)=0 + CC1(b)=1 + 1
+}
+
+TEST(Scoap, UnobservableNetsFlagged) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto dead = n.add_gate(net::GateType::kNot, {a});
+  n.add_gate(net::GateType::kNot, {dead});  // dangling
+  n.add_output(n.add_gate(net::GateType::kBuf, {a}), "o");
+  const Scoap s = compute_scoap(n);
+  EXPECT_EQ(s.observability[dead], Scoap::kUnreachable);
+}
+
+TEST(Scoap, ConstantsOneSided) {
+  net::Network n;
+  const auto c = n.add_const(true);
+  const auto a = n.add_input("a");
+  n.add_output(n.add_gate(net::GateType::kAnd, {a, c}), "o");
+  const Scoap s = compute_scoap(n);
+  EXPECT_EQ(s.cc1[c], 0u);
+  EXPECT_EQ(s.cc0[c], Scoap::kUnreachable);
+}
+
+TEST(Scoap, DetectCostMatchesComponents) {
+  const net::Network n = gen::c17();
+  const Scoap s = compute_scoap(n);
+  const net::NodeId g11 = *n.find("11");
+  const StuckAtFault f{g11, StuckAtFault::kStem, true};
+  EXPECT_EQ(s.detect_cost(n, f), s.cc0[g11] + s.observability[g11]);
+}
+
+TEST(Scoap, UnreachableFaultInfiniteCost) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto dead = n.add_gate(net::GateType::kNot, {a});
+  n.add_output(n.add_gate(net::GateType::kBuf, {a}), "o");
+  const Scoap s = compute_scoap(n);
+  EXPECT_EQ(s.detect_cost(n, {dead, StuckAtFault::kStem, false}),
+            Scoap::kUnreachable);
+}
+
+TEST(Scoap, HardFaultsScoreHigherOnAverage) {
+  // Sanity on a real circuit: faults the random-pattern phase detects
+  // (easy) must average a lower SCOAP cost than those needing SAT.
+  const net::Network n = net::decompose(gen::comparator(6));
+  const Scoap s = compute_scoap(n);
+  AtpgOptions opts;
+  opts.random_blocks = 1;  // 64 patterns: only genuinely easy faults drop
+  const AtpgResult r = run_atpg(n, opts);
+  double easy_sum = 0, hard_sum = 0;
+  std::size_t easy = 0, hard = 0;
+  for (const auto& o : r.outcomes) {
+    const std::uint32_t cost = s.detect_cost(n, o.fault);
+    if (cost == Scoap::kUnreachable) continue;
+    if (o.status == FaultStatus::kDroppedRandom) {
+      easy_sum += cost;
+      ++easy;
+    } else if (o.status == FaultStatus::kDetected) {
+      hard_sum += cost;
+      ++hard;
+    }
+  }
+  ASSERT_GT(easy, 0u);
+  ASSERT_GT(hard, 0u);
+  EXPECT_LT(easy_sum / static_cast<double>(easy),
+            hard_sum / static_cast<double>(hard));
+}
+
+}  // namespace
+}  // namespace cwatpg::fault

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "netlist/topo_stats.hpp"
+
+namespace cwatpg::net {
+namespace {
+
+TEST(TopoStats, CountsC17) {
+  const TopoStats s = topo_stats(gen::c17());
+  EXPECT_EQ(s.nodes, 13u);
+  EXPECT_EQ(s.gates, 6u);
+  EXPECT_EQ(s.inputs, 5u);
+  EXPECT_EQ(s.outputs, 2u);
+  EXPECT_EQ(s.depth, 4u);  // 3 logic levels + PO marker
+  EXPECT_DOUBLE_EQ(s.mean_fanin, 2.0);
+  EXPECT_EQ(s.max_fanout, 2u);
+}
+
+TEST(TopoStats, TreeHasNoReconvergence) {
+  const TopoStats s = topo_stats(gen::and_or_tree(32, 2));
+  EXPECT_EQ(s.fanout_stems, 0u);
+  EXPECT_DOUBLE_EQ(s.reconvergent_stem_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.fanout1_fraction, 1.0);
+}
+
+TEST(TopoStats, DiamondReconverges) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  const auto g1 = n.add_gate(GateType::kNot, {a});
+  const auto g2 = n.add_gate(GateType::kBuf, {a});
+  n.add_output(n.add_gate(GateType::kAnd, {g1, g2}), "o");
+  const TopoStats s = topo_stats(n);
+  EXPECT_EQ(s.fanout_stems, 1u);
+  EXPECT_DOUBLE_EQ(s.reconvergent_stem_fraction, 1.0);
+}
+
+TEST(TopoStats, DivergenceWithoutReconvergence) {
+  // a fans out to two separate outputs — a stem, but no reconvergence.
+  net::Network n;
+  const auto a = n.add_input("a");
+  n.add_output(n.add_gate(GateType::kNot, {a}), "o1");
+  n.add_output(n.add_gate(GateType::kBuf, {a}), "o2");
+  const TopoStats s = topo_stats(n);
+  EXPECT_EQ(s.fanout_stems, 1u);
+  EXPECT_DOUBLE_EQ(s.reconvergent_stem_fraction, 0.0);
+}
+
+TEST(TopoStats, DuplicatedPinCountsAsReconvergent) {
+  net::Network n;
+  const auto a = n.add_input("a");
+  n.add_output(n.add_gate(GateType::kAnd, {a, a}), "o");
+  const TopoStats s = topo_stats(n);
+  EXPECT_DOUBLE_EQ(s.reconvergent_stem_fraction, 1.0);
+}
+
+TEST(TopoStats, AdderReconvergesInsideCells) {
+  const TopoStats s = topo_stats(gen::ripple_carry_adder(8));
+  EXPECT_GT(s.fanout_stems, 0u);
+  EXPECT_GE(s.reconvergent_stem_fraction, 0.5);  // a,b reconverge per cell
+}
+
+TEST(TopoStats, DeepChainSpanIsOne) {
+  net::Network n;
+  net::NodeId cur = n.add_input("a");
+  for (int i = 0; i < 10; ++i) cur = n.add_gate(GateType::kNot, {cur});
+  n.add_output(cur, "o");
+  const TopoStats s = topo_stats(n);
+  EXPECT_DOUBLE_EQ(s.mean_level_span, 1.0);
+  EXPECT_EQ(s.depth, 11u);
+}
+
+TEST(TopoStats, EmptyNetwork) {
+  const TopoStats s = topo_stats(net::Network{});
+  EXPECT_EQ(s.nodes, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_fanout, 0.0);
+}
+
+TEST(TopoStats, StreamOperator) {
+  std::ostringstream os;
+  os << topo_stats(gen::c17());
+  EXPECT_NE(os.str().find("nodes=13"), std::string::npos);
+}
+
+TEST(TopoStats, DecomposedSuitesRespectFaninBound) {
+  const TopoStats s = topo_stats(net::decompose(gen::simple_alu(4)));
+  EXPECT_LE(s.mean_fanin, 3.0);
+}
+
+}  // namespace
+}  // namespace cwatpg::net

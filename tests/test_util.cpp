@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/curvefit.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace cwatpg {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, BelowZeroAndOne) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, RangeDegenerate) {
+  Rng rng(3);
+  EXPECT_EQ(rng.range(5, 5), 5);
+  EXPECT_EQ(rng.range(5, 4), 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.geometric_at_least_one(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricFloorsAtOne) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(rng.geometric_at_least_one(0.5), 1u);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, SummaryBasics) {
+  const double xs[] = {1, 2, 3, 4, 5};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummarySingle) {
+  const double xs[] = {7.5};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.p99, 7.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const double xs[] = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 100), 10.0);
+}
+
+TEST(Stats, FractionBelow) {
+  const double xs[] = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 10), 1.0);
+}
+
+TEST(Stats, HistogramCountsEverything) {
+  const double xs[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto h = histogram(xs, 5);
+  std::size_t total = 0;
+  for (auto c : h) total += c;
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[0], 2u);
+}
+
+TEST(Stats, HistogramDegenerateRange) {
+  const double xs[] = {3, 3, 3};
+  const auto h = histogram(xs, 4);
+  EXPECT_EQ(h[0], 3u);
+}
+
+TEST(Stats, HistogramZeroBinsThrows) {
+  const double xs[] = {1.0};
+  EXPECT_THROW(histogram(xs, 0), std::invalid_argument);
+}
+
+TEST(Stats, BucketizeGroupsByX) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i);
+  }
+  const auto buckets = bucketize(xs, ys, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  for (const auto& b : buckets) {
+    EXPECT_EQ(b.count, 25u);
+    EXPECT_NEAR(b.y_mean, 2.0 * b.x_mean, 1e-9);
+  }
+  EXPECT_LT(buckets[0].x_mean, buckets[3].x_mean);
+}
+
+TEST(Stats, BucketizeMismatchedThrows) {
+  const double xs[] = {1, 2};
+  const double ys[] = {1};
+  EXPECT_THROW(bucketize(xs, ys, 2), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- curvefit
+
+TEST(CurveFit, RecoversLinear) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + 1.0);
+  }
+  const Fit f = fit_curve(xs, ys, FitModel::kLinear);
+  EXPECT_NEAR(f.a, 3.0, 1e-9);
+  EXPECT_NEAR(f.b, 1.0, 1e-9);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(CurveFit, RecoversLogarithmic) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i * 10);
+    ys.push_back(2.5 * std::log(i * 10.0) - 4.0);
+  }
+  const Fit f = fit_curve(xs, ys, FitModel::kLogarithmic);
+  EXPECT_NEAR(f.a, 2.5, 1e-9);
+  EXPECT_NEAR(f.b, -4.0, 1e-9);
+}
+
+TEST(CurveFit, RecoversPower) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.5 * std::pow(i, 1.7));
+  }
+  const Fit f = fit_curve(xs, ys, FitModel::kPower);
+  EXPECT_NEAR(f.a, 0.5, 1e-6);
+  EXPECT_NEAR(f.b, 1.7, 1e-9);
+}
+
+TEST(CurveFit, LogDataPrefersLogModel) {
+  // The paper's model-selection claim in miniature: on y = a*log(x)+b data,
+  // the logarithmic family must win the RSS ranking.
+  std::vector<double> xs, ys;
+  Rng rng(17);
+  for (int i = 2; i <= 400; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * std::log(i) + 2.0 + (rng.uniform() - 0.5) * 0.4);
+  }
+  const auto fits = fit_all(xs, ys);
+  ASSERT_GE(fits.size(), 3u);
+  EXPECT_EQ(fits[0].model, FitModel::kLogarithmic);
+}
+
+TEST(CurveFit, LinearDataPrefersLinearModel) {
+  std::vector<double> xs, ys;
+  Rng rng(19);
+  for (int i = 1; i <= 400; ++i) {
+    xs.push_back(i);
+    ys.push_back(0.02 * i + 5.0 + (rng.uniform() - 0.5) * 0.1);
+  }
+  const auto fits = fit_all(xs, ys);
+  EXPECT_EQ(fits[0].model, FitModel::kLinear);
+}
+
+TEST(CurveFit, SkipsNonpositiveXForLog) {
+  const double xs[] = {-1, 0, 1, 2, 4, 8};
+  const double ys[] = {9, 9, 0, 1, 2, 3};
+  const Fit f = fit_curve(xs, ys, FitModel::kLogarithmic);
+  EXPECT_EQ(f.n, 4u);
+  EXPECT_NEAR(f.a, 1.0 / std::log(2.0), 1e-9);
+}
+
+TEST(CurveFit, TooFewPointsThrows) {
+  const double xs[] = {1.0};
+  const double ys[] = {1.0};
+  EXPECT_THROW(fit_curve(xs, ys, FitModel::kLinear), std::invalid_argument);
+}
+
+TEST(CurveFit, ConstantXDegeneratesToMean) {
+  const double xs[] = {2, 2, 2, 2};
+  const double ys[] = {1, 2, 3, 4};
+  const Fit f = fit_curve(xs, ys, FitModel::kLinear);
+  EXPECT_DOUBLE_EQ(f.a, 0.0);
+  EXPECT_DOUBLE_EQ(f.b, 2.5);
+}
+
+TEST(CurveFit, DescribeMentionsModel) {
+  const double xs[] = {1, 2, 3};
+  const double ys[] = {1, 2, 3};
+  EXPECT_NE(fit_curve(xs, ys, FitModel::kLinear).describe().find("x"),
+            std::string::npos);
+  EXPECT_EQ(to_string(FitModel::kPower), "power");
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "23"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(cell(1.5, 2), "1.50");
+  EXPECT_EQ(cell(std::size_t{42}), "42");
+  EXPECT_EQ(cell(-3), "-3");
+}
+
+}  // namespace
+}  // namespace cwatpg

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/structured.hpp"
+#include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
+#include "netlist/verilog_io.hpp"
+#include "util/rng.hpp"
+
+namespace cwatpg::net {
+namespace {
+
+const char* kC17Verilog = R"(
+// ISCAS85 c17 in structural verilog
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+
+  nand NAND2_1 (N10, N1, N3);
+  nand NAND2_2 (N11, N3, N6);
+  nand NAND2_3 (N16, N2, N11);
+  nand NAND2_4 (N19, N11, N7);
+  nand NAND2_5 (N22, N10, N16);
+  nand NAND2_6 (N23, N16, N19);
+endmodule
+)";
+
+TEST(VerilogIo, ParsesC17) {
+  const Network n = read_verilog_string(kC17Verilog);
+  EXPECT_EQ(n.name(), "c17");
+  EXPECT_EQ(n.inputs().size(), 5u);
+  EXPECT_EQ(n.outputs().size(), 2u);
+  EXPECT_EQ(n.gate_count(), 6u);
+  EXPECT_NO_THROW(n.validate());
+}
+
+TEST(VerilogIo, FunctionMatchesBenchC17) {
+  const Network v = read_verilog_string(kC17Verilog);
+  const Network b = gen::c17();
+  for (int t = 0; t < 32; ++t) {
+    std::vector<bool> pattern(5);
+    for (int i = 0; i < 5; ++i) pattern[i] = (t >> i) & 1;
+    const auto vv = v.eval(pattern);
+    const auto bb = b.eval(pattern);
+    for (std::size_t o = 0; o < 2; ++o)
+      ASSERT_EQ(vv[v.outputs()[o]], bb[b.outputs()[o]]) << t;
+  }
+}
+
+TEST(VerilogIo, AnonymousInstancesAndAssign) {
+  const Network n = read_verilog_string(R"(
+module m (a, b, y, z);
+  input a, b;
+  output y, z;
+  wire t;
+  and (t, a, b);          // no instance name
+  assign y = t;           // alias
+  assign z = 1'b1;        // constant
+endmodule
+)");
+  EXPECT_EQ(n.gate_count(), 3u);  // AND + two BUF aliases (y, z)
+  const std::vector<bool> p = {true, true};
+  const auto values = n.eval(p);
+  EXPECT_TRUE(values[n.outputs()[0]]);
+  EXPECT_TRUE(values[n.outputs()[1]]);
+}
+
+TEST(VerilogIo, UseBeforeDefinition) {
+  const Network n = read_verilog_string(R"(
+module m (a, y);
+  input a;
+  output y;
+  wire t;
+  not (y, t);
+  not (t, a);
+endmodule
+)");
+  EXPECT_EQ(n.gate_count(), 2u);
+}
+
+TEST(VerilogIo, BlockCommentsSpanLines) {
+  const Network n = read_verilog_string(R"(
+module m (a, y);
+  input a; /* a block
+  comment spanning lines */ output y;
+  buf (y, a);
+endmodule
+)");
+  EXPECT_EQ(n.gate_count(), 1u);
+}
+
+TEST(VerilogIo, Errors) {
+  EXPECT_THROW(read_verilog_string("input a;"), VerilogError);  // no module
+  EXPECT_THROW(read_verilog_string("module m (a); input a;"),
+               VerilogError);  // no endmodule
+  EXPECT_THROW(read_verilog_string(R"(
+module m (a, y);
+  input a; output y;
+  always @(a) y = a;
+endmodule)"),
+               VerilogError);  // behavioral
+  EXPECT_THROW(read_verilog_string(R"(
+module m (a, y);
+  input a; output y;
+  not (y, a);
+  buf (y, a);
+endmodule)"),
+               VerilogError);  // multiple drivers
+  EXPECT_THROW(read_verilog_string(R"(
+module m (a, y);
+  input a; output y;
+  not (y, ghost);
+endmodule)"),
+               VerilogError);  // undriven signal
+  EXPECT_THROW(read_verilog_string(R"(
+module m (y);
+  output y;
+  wire t;
+  not (y, t);
+  not (t, y);
+endmodule)"),
+               VerilogError);  // cycle
+}
+
+TEST(VerilogIo, ErrorCarriesLine) {
+  try {
+    read_verilog_string("module m (a);\n  input a;\n  frobnicate (a);\nendmodule\n");
+    FAIL();
+  } catch (const VerilogError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(VerilogIo, WriteReadRoundTrip) {
+  for (const Network& original :
+       {gen::c17(), net::decompose(gen::ripple_carry_adder(4)),
+        net::decompose(gen::comparator(3)), gen::fig4a_network()}) {
+    std::ostringstream out;
+    write_verilog(out, original);
+    const Network reread = read_verilog_string(out.str());
+    ASSERT_EQ(reread.inputs().size(), original.inputs().size());
+    ASSERT_EQ(reread.outputs().size(), original.outputs().size());
+    Rng rng(3);
+    const std::size_t trials =
+        original.inputs().size() <= 8
+            ? (std::size_t{1} << original.inputs().size())
+            : 64;
+    for (std::size_t t = 0; t < trials; ++t) {
+      std::vector<bool> pattern(original.inputs().size());
+      for (std::size_t i = 0; i < pattern.size(); ++i)
+        pattern[i] = original.inputs().size() <= 8 ? ((t >> i) & 1)
+                                                   : rng.chance(0.5);
+      const auto a = original.eval(pattern);
+      const auto b = reread.eval(pattern);
+      for (std::size_t o = 0; o < original.outputs().size(); ++o)
+        ASSERT_EQ(a[original.outputs()[o]], b[reread.outputs()[o]])
+            << original.name() << " trial " << t;
+    }
+  }
+}
+
+TEST(VerilogIo, WriterSanitizesNumericNames) {
+  // c17's signals are numeric ("1", "22"): the writer must produce valid
+  // identifiers that still parse back.
+  std::ostringstream out;
+  write_verilog(out, gen::c17());
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("wire 1"), std::string::npos);
+  EXPECT_NO_THROW(read_verilog_string(text));
+}
+
+TEST(VerilogIo, ConstantsRoundTrip) {
+  Network n;
+  const auto a = n.add_input("a");
+  const auto c1 = n.add_const(true);
+  n.add_output(n.add_gate(GateType::kAnd, {a, c1}), "y");
+  std::ostringstream out;
+  write_verilog(out, n);
+  const Network reread = read_verilog_string(out.str());
+  const std::vector<bool> hi = {true};
+  const std::vector<bool> lo = {false};
+  EXPECT_TRUE(reread.eval(hi)[reread.outputs()[0]]);
+  EXPECT_FALSE(reread.eval(lo)[reread.outputs()[0]]);
+}
+
+TEST(VerilogIo, MissingFileThrows) {
+  EXPECT_THROW(read_verilog_file("/nonexistent/x.v"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cwatpg::net
