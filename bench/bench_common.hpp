@@ -18,6 +18,9 @@ struct BenchArgs {
   double scale = 0.35;   ///< suite size multiplier
   std::size_t stride = 1;  ///< take every stride-th fault site
   std::uint64_t seed = 99;
+  /// ATPG worker threads: 0 = serial engine, N >= 1 = run_atpg_parallel
+  /// with an N-worker pool (classification is byte-identical either way).
+  std::size_t threads = 0;
   std::string csv;  ///< when set, raw datapoints are also written here
 };
 
@@ -33,11 +36,15 @@ inline BenchArgs parse_args(int argc, char** argv,
           std::max(1L, std::atol(arg.c_str() + 9)));
     } else if (arg.rfind("--seed=", 0) == 0) {
       args.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = static_cast<std::size_t>(
+          std::max(0L, std::atol(arg.c_str() + 10)));
     } else if (arg.rfind("--csv=", 0) == 0) {
       args.csv = arg.substr(6);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--scale=F] [--stride=N] [--seed=S] [--csv=FILE]\n";
+                << " [--scale=F] [--stride=N] [--seed=S] [--threads=N]"
+                   " [--csv=FILE]\n";
       std::exit(0);
     }
   }

@@ -46,6 +46,12 @@ struct AtpgCircuit {
 
 /// Builds C_psi^ATPG. Throws std::invalid_argument when the fault site
 /// reaches no primary output (trivially untestable, as in net::fault_cone).
+///
+/// Thread-safe: yes; reads `net` (immutable after construction) and builds
+/// a fresh AtpgCircuit per call. The parallel ATPG engine constructs
+/// miters for different faults of the same network concurrently. The
+/// returned AtpgCircuit itself is a plain value type: safe to move across
+/// threads, not internally synchronized for concurrent mutation.
 AtpgCircuit build_atpg_circuit(const net::Network& net,
                                const StuckAtFault& fault);
 

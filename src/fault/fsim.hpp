@@ -5,6 +5,13 @@
 // simulated against all still-undetected faults so their SAT instances are
 // never built. Patterns run 64 at a time; per fault only the transitive
 // fanout of the fault site is re-simulated against the good frame.
+//
+// Thread-safe: all functions here are pure — they read the (immutable
+// after construction) Network and allocate every scratch buffer locally —
+// so concurrent calls on any mix of arguments are safe. Per-fault
+// detection is independent of every other fault, which is why the
+// fault-parallel engine may shard a fault list across workers and
+// concatenate the results without changing them.
 #pragma once
 
 #include <span>

@@ -1,0 +1,193 @@
+#include "fault/parallel_atpg.hpp"
+
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+/// One speculative solve in flight. Written by exactly one worker task,
+/// read by the pipeline thread after `done` flips under the mutex.
+struct Slot {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  FaultOutcome outcome;
+  Pattern test;
+  std::exception_ptr error;
+};
+
+/// Speculative work-stealing strategy for the shared TEGUS pipeline.
+///
+/// The pipeline thread (the only caller of solve()) keeps a window of
+/// up to `window_` solves in flight ahead of the commit frontier. Faults
+/// are dispatched in work-list order, skipping any already dropped at
+/// dispatch time; because the dropped bitmap is monotone and written only
+/// by the pipeline thread, the skip can never diverge from the pipeline's
+/// own skip — a fault observed dropped stays dropped. Entries dispatched
+/// before their dropping test committed are simply never asked for; their
+/// slots are discarded (counted as waste) and the shared_ptr keeps the
+/// storage alive until the worker task finishes harmlessly.
+class SpeculativeProvider final : public detail::SolveProvider {
+ public:
+  SpeculativeProvider(ThreadPool& pool, const sat::SolverConfig& config,
+                      std::size_t window, ParallelStats& stats)
+      : pool_(pool),
+        config_(config),
+        window_(window == 0 ? 1 : window),
+        stats_(stats) {}
+
+  void begin(const net::Network& netw, std::span<const StuckAtFault> faults,
+             std::span<const std::size_t> work_list,
+             const std::vector<bool>& dropped) override {
+    netw_ = &netw;
+    faults_ = faults;
+    work_list_ = work_list;
+    dropped_ = &dropped;
+    cursor_ = 0;
+  }
+
+  FaultOutcome solve(std::size_t fault_index, Pattern& test_out) override {
+    // Discard slots whose faults were dropped after dispatch: the pipeline
+    // commits in work-list order, so anything in flight ahead of
+    // `fault_index` will never be requested.
+    while (!in_flight_.empty() && in_flight_.front().fault != fault_index) {
+      ++stats_.wasted;
+      in_flight_.pop_front();
+    }
+    top_up();
+    assert(!in_flight_.empty() && in_flight_.front().fault == fault_index &&
+           "pipeline requested a fault outside dispatch order");
+    const std::shared_ptr<Slot> slot = in_flight_.front().slot;
+    in_flight_.pop_front();
+    top_up();  // keep workers fed while we block on this slot
+
+    std::unique_lock<std::mutex> lock(slot->mutex);
+    slot->cv.wait(lock, [&] { return slot->done; });
+    ++stats_.committed;
+    if (slot->error) std::rethrow_exception(slot->error);
+    test_out = std::move(slot->test);
+    return slot->outcome;
+  }
+
+ private:
+  struct InFlight {
+    std::size_t fault;
+    std::shared_ptr<Slot> slot;
+  };
+
+  /// Dispatches work-list entries (skipping currently-dropped faults)
+  /// until the speculation window is full or the list is exhausted.
+  void top_up() {
+    while (in_flight_.size() < window_ && cursor_ < work_list_.size()) {
+      const std::size_t fi = work_list_[cursor_++];
+      if ((*dropped_)[fi]) continue;  // monotone: will never be requested
+      auto slot = std::make_shared<Slot>();
+      in_flight_.push_back({fi, slot});
+      ++stats_.dispatched;
+      const StuckAtFault fault = faults_[fi];
+      const net::Network* netw = netw_;
+      const sat::SolverConfig config = config_;
+      ParallelStats* stats = &stats_;
+      pool_.submit([slot, fault, netw, config, stats] {
+        FaultOutcome outcome;
+        Pattern test;
+        std::exception_ptr error;
+        try {
+          outcome = generate_test(*netw, fault, config, test);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        // Worker stats are indexed by pool worker id; each entry is only
+        // ever touched by its own worker, so no lock is needed.
+        const std::size_t w = ThreadPool::worker_index();
+        if (w != ThreadPool::kNotAWorker && w < stats->workers.size()) {
+          WorkerStats& ws = stats->workers[w];
+          ++ws.solved;
+          ws.solve_seconds += outcome.solve_seconds;
+          ws.solver.decisions += outcome.solver_stats.decisions;
+          ws.solver.propagations += outcome.solver_stats.propagations;
+          ws.solver.conflicts += outcome.solver_stats.conflicts;
+          ws.solver.learnt_clauses += outcome.solver_stats.learnt_clauses;
+          ws.solver.learnt_literals += outcome.solver_stats.learnt_literals;
+          ws.solver.restarts += outcome.solver_stats.restarts;
+        }
+        std::lock_guard<std::mutex> lock(slot->mutex);
+        slot->outcome = std::move(outcome);
+        slot->test = std::move(test);
+        slot->error = error;
+        slot->done = true;
+        slot->cv.notify_one();
+      });
+    }
+  }
+
+  ThreadPool& pool_;
+  sat::SolverConfig config_;
+  std::size_t window_;
+  ParallelStats& stats_;
+
+  const net::Network* netw_ = nullptr;
+  std::span<const StuckAtFault> faults_;
+  std::span<const std::size_t> work_list_;
+  const std::vector<bool>* dropped_ = nullptr;
+  std::size_t cursor_ = 0;
+  std::deque<InFlight> in_flight_;
+};
+
+}  // namespace
+
+AtpgResult run_atpg_parallel(const net::Network& netw,
+                             const ParallelAtpgOptions& options,
+                             ParallelStats* stats_out) {
+  // `stats` is declared before `pool` deliberately: if the pipeline throws,
+  // in-flight worker tasks still write into `stats`, so the pool (whose
+  // destructor drains and joins them) must be destroyed first.
+  ParallelStats stats;
+  ThreadPool pool(options.num_threads, split_seed(options.base.seed, 1));
+  stats.workers.resize(pool.size());
+
+  SpeculativeProvider provider(pool, options.base.solver,
+                               options.lookahead * pool.size(), stats);
+
+  // Fault simulation hook: shard multi-pattern simulations (the random
+  // phase) across the pool; leave single-pattern drop simulations on the
+  // pipeline thread, where they are cheaper than a round-trip dispatch.
+  // Per-fault detection is independent of sharding, so results equal
+  // fault_simulate's exactly.
+  const std::size_t grain = options.sim_grain == 0 ? 1 : options.sim_grain;
+  auto simulate = [&netw, &pool, grain](std::span<const StuckAtFault> faults,
+                                        std::span<const Pattern> patterns) {
+    if (pool.size() <= 1 || patterns.size() < 64 ||
+        faults.size() < 2 * grain) {
+      return fault_simulate(netw, faults, patterns);
+    }
+    std::vector<bool> detected(faults.size(), false);
+    const std::size_t chunks = (faults.size() + grain - 1) / grain;
+    std::vector<std::vector<bool>> shard(chunks);
+    pool.parallel_for(0, faults.size(), grain,
+                      [&](std::size_t lo, std::size_t hi) {
+                        shard[lo / grain] = fault_simulate(
+                            netw, faults.subspan(lo, hi - lo), patterns);
+                      });
+    for (std::size_t c = 0; c < chunks; ++c)
+      for (std::size_t k = 0; k < shard[c].size(); ++k)
+        if (shard[c][k]) detected[c * grain + k] = true;
+    return detected;
+  };
+
+  AtpgResult result =
+      detail::run_atpg_pipeline(netw, options.base, provider, simulate);
+  pool.wait_idle();  // drain discarded speculative solves before reporting
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+  return result;
+}
+
+}  // namespace cwatpg::fault

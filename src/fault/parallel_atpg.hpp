@@ -1,0 +1,85 @@
+// Fault-parallel TEGUS: the serial engine's embarrassingly-parallel axis.
+//
+// ATPG's unit of work is one fault -> one small SAT instance, and the
+// paper's whole point is that each instance is easy — so the wall-clock
+// win left on the table is running many of them at once. This engine
+// shards the collapsed fault list across a work-stealing thread pool
+// (util/threadpool.hpp): every worker solves speculatively ahead of the
+// commit frontier with a private miter + CNF + CDCL solver, while the
+// pipeline thread commits outcomes strictly in collapsed-fault order and
+// runs simulation-based dropping exactly as the serial engine does. A test
+// found by one worker therefore still drops faults queued on the others:
+// the commit updates the shared dropped bitmap, and the dispatcher skips
+// dropped faults before handing them to a worker.
+//
+// Determinism: the result is byte-identical to run_atpg(net, options.base)
+// — same statuses, same test patterns, same test_index attribution — for
+// ANY thread count, because (a) generate_test is a pure function of
+// (net, fault, solver config), (b) commits happen in serial order, and
+// (c) the random phase reuses the serial engine's RNG stream untouched.
+// The price is bounded speculative waste: at most `lookahead * threads`
+// in-flight solves can be discarded per committed dropping test.
+//
+// Per-worker RNG streams are split from AtpgOptions::seed via
+// cwatpg::split_seed and currently drive only steal-victim selection in
+// the pool — a correctness-neutral use, which is why determinism survives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fault/tegus.hpp"
+
+namespace cwatpg::fault {
+
+/// Options for run_atpg_parallel. `base` is the exact serial configuration
+/// being parallelized; the remaining knobs only shape scheduling, never
+/// results.
+struct ParallelAtpgOptions {
+  /// Serial-engine configuration (solver, phases, seed). The parallel run
+  /// is byte-identical to run_atpg(net, base).
+  AtpgOptions base;
+  /// Worker threads; 0 = ThreadPool::default_thread_count().
+  std::size_t num_threads = 0;
+  /// Speculation window = lookahead * num_threads in-flight solves beyond
+  /// the commit frontier. Larger hides commit latency; smaller bounds
+  /// wasted solves when fault dropping is hot.
+  std::size_t lookahead = 4;
+  /// Minimum faults per shard when fault simulation is run on the pool
+  /// (the multi-pattern random phase); single-pattern drop simulations
+  /// stay on the pipeline thread where they are cheaper than a dispatch.
+  std::size_t sim_grain = 512;
+};
+
+/// What one worker did during a parallel run. Indexed by pool worker id.
+struct WorkerStats {
+  std::size_t solved = 0;        ///< SAT instances this worker completed
+  double solve_seconds = 0.0;    ///< sum of per-instance solve times
+  sat::SolverStats solver;       ///< aggregated CDCL counters
+};
+
+/// Scheduling telemetry for a parallel run. The per-worker breakdown
+/// aggregates into exactly the per-fault SolverStats the Figure-1
+/// instrumentation consumes: sum(workers[i].solver) over committed solves
+/// equals the sum over AtpgResult::outcomes, plus the discarded ones.
+struct ParallelStats {
+  std::vector<WorkerStats> workers;  ///< one entry per pool worker
+  std::size_t dispatched = 0;  ///< speculative solves handed to the pool
+  std::size_t committed = 0;   ///< solves whose outcome entered the result
+  std::size_t wasted = 0;      ///< solves discarded (fault dropped first)
+};
+
+/// Runs the full ATPG flow on `net` across a work-stealing thread pool.
+///
+/// Guarantees byte-identical classification to run_atpg(net, options.base):
+/// every FaultOutcome status, test_index, sat_vars/sat_clauses and
+/// solver_stats, and every Pattern in AtpgResult::tests, match the serial
+/// engine bit for bit (solve_seconds, being wall-clock, differs). When
+/// `stats_out` is non-null it receives per-worker and speculation counters.
+///
+/// Thread-safe: yes for concurrent calls; each call owns its pool.
+AtpgResult run_atpg_parallel(const net::Network& net,
+                             const ParallelAtpgOptions& options = {},
+                             ParallelStats* stats_out = nullptr);
+
+}  // namespace cwatpg::fault

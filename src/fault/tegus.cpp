@@ -78,7 +78,12 @@ FaultOutcome generate_test(const net::Network& netw,
   return outcome;
 }
 
-AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
+namespace detail {
+
+AtpgResult run_atpg_pipeline(const net::Network& netw,
+                             const AtpgOptions& options,
+                             SolveProvider& provider,
+                             const SimulateFn& simulate) {
   AtpgResult result;
   const std::vector<StuckAtFault> faults =
       options.collapse_faults ? collapsed_fault_list(netw) : all_faults(netw);
@@ -101,8 +106,7 @@ AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
       for (std::size_t i = 0; i < p.size(); ++i) p[i] = rng.chance(0.5);
       random_patterns.push_back(std::move(p));
     }
-    const std::vector<bool> detected =
-        fault_simulate(netw, faults, random_patterns);
+    const std::vector<bool> detected = simulate(faults, random_patterns);
     // Keep only the patterns that contributed; simplest faithful policy:
     // keep all (the paper's experiment is about the SAT instances, not
     // pattern-set compaction).
@@ -120,14 +124,17 @@ AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
   }
 
   // Phase 2: SAT per remaining fault, with simulation-based dropping.
+  // Commits strictly in work-list order so that which fault is kDetected
+  // vs kDroppedBySim — and every test_index — is scheduling-independent.
   std::vector<bool> dropped(faults.size(), false);
+  provider.begin(netw, faults, undetected, dropped);
   for (std::size_t idx = 0; idx < undetected.size(); ++idx) {
     const std::size_t fi = undetected[idx];
     if (dropped[fi]) continue;
     FaultOutcome& outcome = result.outcomes[fi];
 
     Pattern test;
-    outcome = generate_test(netw, faults[fi], options.solver, test);
+    outcome = provider.solve(fi, test);
     if (outcome.status == FaultStatus::kUnreachable) {
       ++result.num_unreachable;
       continue;
@@ -153,7 +160,7 @@ AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
             }
           }
           const Pattern tests[] = {test};
-          const std::vector<bool> hit = fault_simulate(netw, rest, tests);
+          const std::vector<bool> hit = simulate(rest, tests);
           for (std::size_t j = 0; j < rest.size(); ++j) {
             if (hit[j]) {
               dropped[rest_index[j]] = true;
@@ -179,6 +186,44 @@ AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
     }
   }
   return result;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// The serial strategy: solve each fault on demand on the pipeline thread.
+class SerialProvider final : public detail::SolveProvider {
+ public:
+  explicit SerialProvider(const sat::SolverConfig& config) : config_(config) {}
+
+  void begin(const net::Network& netw, std::span<const StuckAtFault> faults,
+             std::span<const std::size_t> /*work_list*/,
+             const std::vector<bool>& /*dropped*/) override {
+    netw_ = &netw;
+    faults_ = faults;
+  }
+
+  FaultOutcome solve(std::size_t fault_index, Pattern& test_out) override {
+    return generate_test(*netw_, faults_[fault_index], config_, test_out);
+  }
+
+ private:
+  sat::SolverConfig config_;
+  const net::Network* netw_ = nullptr;
+  std::span<const StuckAtFault> faults_;
+};
+
+}  // namespace
+
+AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
+  SerialProvider provider(options.solver);
+  return detail::run_atpg_pipeline(
+      netw, options, provider,
+      [&netw](std::span<const StuckAtFault> faults,
+              std::span<const Pattern> patterns) {
+        return fault_simulate(netw, faults, patterns);
+      });
 }
 
 }  // namespace cwatpg::fault

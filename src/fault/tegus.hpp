@@ -12,7 +12,10 @@
 // time — exactly the two axes of the paper's Figure 1 scatter.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "fault/atpg_circuit.hpp"
@@ -33,13 +36,28 @@ enum class FaultStatus : std::uint8_t {
 struct FaultOutcome {
   StuckAtFault fault;
   FaultStatus status = FaultStatus::kAborted;
-  /// Index into AtpgResult::tests when status == kDetected, else -1.
+  /// Index into AtpgResult::tests when the fault has an attributed test
+  /// (status kDetected or kDroppedBySim), else -1. Prefer has_test() /
+  /// test() below: test_index is signed (to encode "none") while
+  /// AtpgResult::tests is indexed by size_t, and comparing the two
+  /// directly invites signed/unsigned bugs.
   std::int64_t test_index = -1;
   /// SAT instance shape and effort (only when an instance was solved).
   std::size_t sat_vars = 0;
   std::size_t sat_clauses = 0;
   double solve_seconds = 0.0;
   sat::SolverStats solver_stats;
+
+  /// True iff a concrete test pattern is attributed to this fault
+  /// (kDetected and kDroppedBySim; kDroppedRandom is covered by the random
+  /// block as a whole, not one attributed pattern).
+  bool has_test() const { return test_index >= 0; }
+  /// test_index as a size_t ready to index AtpgResult::tests.
+  /// Precondition: has_test().
+  std::size_t test() const {
+    assert(has_test());
+    return static_cast<std::size_t>(test_index);
+  }
 };
 
 struct AtpgOptions {
@@ -71,12 +89,75 @@ struct AtpgResult {
 };
 
 /// Runs the full ATPG flow on `net`.
+///
+/// Thread-safe: yes for concurrent calls on distinct (or even the same)
+/// `net` — the flow allocates all mutable state locally and Network is
+/// immutable after construction. For a multithreaded flow over ONE fault
+/// list see fault/parallel_atpg.hpp, which produces byte-identical results.
 AtpgResult run_atpg(const net::Network& net, const AtpgOptions& options = {});
 
 /// Generates a test for a single fault (no dropping, no random phase).
 /// Returns the outcome plus, when detected, the pattern through `test_out`.
+///
+/// Thread-safe: yes; this is the per-fault kernel the parallel engine runs
+/// concurrently on pool workers. Each call builds a private miter, CNF and
+/// CDCL solver; the outcome is a pure function of (net, fault, solver), so
+/// concurrent and serial invocations return bit-identical results.
 FaultOutcome generate_test(const net::Network& net, const StuckAtFault& fault,
                            const sat::SolverConfig& solver, Pattern& test_out);
+
+namespace detail {
+
+/// Phase-2 solve strategy plugged into the shared TEGUS pipeline skeleton.
+/// run_atpg uses a trivial on-demand strategy; run_atpg_parallel plugs in a
+/// speculative work-stealing one. The contract that keeps every strategy
+/// byte-identical to the serial engine:
+///
+///   * begin() is called once, after the random phase, with the collapsed
+///     fault list, the phase-2 work list (indices into `faults`, in commit
+///     order) and the pipeline's dropped bitmap.
+///   * solve() is then called exactly once per work-list entry that is not
+///     dropped at its turn, in work-list order, from the pipeline thread.
+///   * `dropped` is written only by the pipeline thread between solve()
+///     calls and is monotone (bits only turn on), so a strategy may read
+///     it from the pipeline thread without locking; a fault observed
+///     dropped will never be asked for.
+///   * solve() must return exactly what generate_test() returns for that
+///     fault — strategies may reorder or overlap *computation*, never
+///     change per-fault results.
+class SolveProvider {
+ public:
+  virtual ~SolveProvider() = default;
+  virtual void begin(const net::Network& net,
+                     std::span<const StuckAtFault> faults,
+                     std::span<const std::size_t> work_list,
+                     const std::vector<bool>& dropped) {
+    (void)net;
+    (void)faults;
+    (void)work_list;
+    (void)dropped;
+  }
+  virtual FaultOutcome solve(std::size_t fault_index, Pattern& test_out) = 0;
+};
+
+/// Fault-simulation hook: same signature/semantics as fault_simulate with
+/// the network bound. The parallel engine substitutes a sharded version;
+/// results must equal fault_simulate's (per-fault detection is independent,
+/// so sharding cannot change them).
+using SimulateFn = std::function<std::vector<bool>(
+    std::span<const StuckAtFault>, std::span<const Pattern>)>;
+
+/// The TEGUS skeleton shared by run_atpg and run_atpg_parallel: collapse,
+/// random phase (seeded from options.seed), then per-fault solves through
+/// `provider` with simulation-based dropping through `simulate`. The
+/// classification it produces is a pure function of (net, options) —
+/// provider scheduling can never leak into the result.
+AtpgResult run_atpg_pipeline(const net::Network& net,
+                             const AtpgOptions& options,
+                             SolveProvider& provider,
+                             const SimulateFn& simulate);
+
+}  // namespace detail
 
 /// Extracts a full-circuit input pattern from a satisfied miter model:
 /// support PIs take their model value, all other PIs `fill_value`.

@@ -13,6 +13,11 @@
 //  * Primary outputs are explicit kOutput nodes with exactly one fanin, so
 //    the hypergraph view (Section 4.2: "gates, inputs and outputs as the
 //    nodes") is a 1:1 mapping of nodes.
+//
+// Thread-safe: a Network is immutable once construction (add_* calls)
+// finishes, and every const accessor is a plain read with no lazy caches —
+// so any number of threads may analyze, simulate, or encode the same
+// Network concurrently. Construction itself is single-threaded.
 #pragma once
 
 #include <cstdint>

@@ -41,6 +41,16 @@ struct SolverConfig {
   std::uint64_t restart_unit = 64;
 };
 
+// Thread-safe: per-instance. A Solver owns all of its mutable state (no
+// globals, no statics, no shared caches), so distinct instances may run
+// concurrently on distinct threads — this is the contract the fault-
+// parallel ATPG engine relies on, one private Solver per in-flight fault.
+// A single instance is NOT internally synchronized: never call solve()/
+// model()/stats() on the same instance from two threads at once. The input
+// Cnf is only read during construction and need not outlive the Solver.
+// Determinism: solve() is a pure function of (cnf, config, call history) —
+// no timing, addresses, or randomness feed the search — so concurrent and
+// serial runs return bit-identical models and stats.
 class Solver {
  public:
   explicit Solver(const Cnf& cnf, SolverConfig config = {});
@@ -121,6 +131,7 @@ class Solver {
 };
 
 /// One-shot convenience wrapper.
+/// Thread-safe: yes; builds a private Solver per call.
 struct SolveResult {
   SolveStatus status = SolveStatus::kUnknown;
   std::vector<bool> model;

@@ -22,6 +22,18 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+/// Derives the `index`-th independent substream seed from a master seed.
+/// This is splitmix64's own sequence-splitting discipline: jumping the
+/// state by index golden-gamma increments lands on the index-th output of
+/// the stream rooted at `seed`, so substreams are as decorrelated as
+/// splitmix64 outputs are. The fault-parallel ATPG engine uses this to
+/// give every pool worker its own Rng split from AtpgOptions::seed.
+constexpr std::uint64_t split_seed(std::uint64_t seed,
+                                   std::uint64_t index) noexcept {
+  std::uint64_t state = seed + index * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
 /// used with <algorithm> shuffles and <random> distributions.
 class Rng {

@@ -1,0 +1,174 @@
+#include "util/threadpool.hpp"
+
+#include <cassert>
+#include <exception>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace cwatpg {
+
+namespace {
+thread_local std::size_t tls_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+struct ThreadPool::Worker {
+  std::mutex mutex;
+  std::deque<Task> deque;
+  Rng rng;  ///< steal-victim stream; touched only by the owning thread
+
+  explicit Worker(std::uint64_t seed) : rng(seed) {}
+};
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t ThreadPool::worker_index() { return tls_worker_index; }
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::uint64_t seed) {
+  if (num_threads == 0) num_threads = default_thread_count();
+  workers_.reserve(num_threads);
+  std::uint64_t sm = seed;
+  for (std::size_t i = 0; i < num_threads; ++i)
+    workers_.push_back(std::make_unique<Worker>(splitmix64(sm)));
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  const std::size_t self = tls_worker_index;
+  std::size_t target;
+  if (self != kNotAWorker && self < workers_.size()) {
+    target = self;
+  } else {
+    // Round-robin from outside the pool; next_target_ lives behind mutex_
+    // anyway because we must take it to bump queued_.
+    static thread_local std::size_t rr = 0;
+    target = rr++ % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> worker_lock(workers_[target]->mutex);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++queued_;
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_local(std::size_t index, Task& task) {
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> lock(w.mutex);
+  if (w.deque.empty()) return false;
+  task = std::move(w.deque.back());
+  w.deque.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t index, Task& task) {
+  const std::size_t n = workers_.size();
+  if (n <= 1) return false;
+  // Random starting victim, then sweep — randomization spreads contention,
+  // the sweep guarantees we find work if any deque is non-empty.
+  const std::size_t start = static_cast<std::size_t>(
+      workers_[index]->rng.below(static_cast<std::uint64_t>(n)));
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    const std::size_t victim = (start + offset) % n;
+    if (victim == index) continue;
+    Worker& w = *workers_[victim];
+    std::lock_guard<std::mutex> lock(w.mutex);
+    if (w.deque.empty()) continue;
+    task = std::move(w.deque.front());
+    w.deque.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = index;
+  for (;;) {
+    Task task;
+    if (try_pop_local(index, task) || try_steal(index, task)) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --queued_;
+      }
+      task();  // tasks must not throw (see header)
+      task = nullptr;
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_cv_.wait(lock, [&] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  assert(tls_worker_index == kNotAWorker &&
+         "wait_idle() called from inside the pool");
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  assert(tls_worker_index == kNotAWorker &&
+         "parallel_for() called from inside the pool");
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t count = end - begin;
+  if (size() <= 1 || count <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto latch = std::make_shared<Latch>();
+  const std::size_t chunks = (count + grain - 1) / grain;
+  latch->remaining = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    submit([latch, lo, hi, &body] {
+      std::exception_ptr err;
+      try {
+        body(lo, hi);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(latch->mutex);
+      if (err && !latch->error) latch->error = err;
+      if (--latch->remaining == 0) latch->cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(latch->mutex);
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+  if (latch->error) std::rethrow_exception(latch->error);
+}
+
+}  // namespace cwatpg

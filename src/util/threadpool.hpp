@@ -1,0 +1,102 @@
+// Work-stealing thread pool.
+//
+// Substrate for the fault-parallel ATPG engine (fault/parallel_atpg) and
+// any future data-parallel kernel (suite sweeps, multi-start partitioning).
+// Each worker owns a private deque: it pushes/pops its own work LIFO (hot
+// in cache) and steals FIFO from randomly chosen victims when it runs dry —
+// the classic Blumofe–Leiserson discipline. Victim order is drawn from a
+// per-worker RNG stream split off a master seed (util/rng.hpp), so stealing
+// is randomized yet reproducible; note that steal order only affects *who*
+// runs a task, never observable results, because tasks communicate through
+// their own synchronization.
+//
+// Thread-safe: submit() may be called concurrently from any thread,
+// including from inside a running task. wait_idle() and parallel_for()
+// must be called from OUTSIDE the pool (a worker blocking on the pool's
+// own completion would deadlock); this is asserted in debug builds.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cwatpg {
+
+class ThreadPool {
+ public:
+  /// A unit of work. Tasks must not throw: an exception escaping a task
+  /// terminates the process (it has no thread to propagate into). Wrap
+  /// fallible work and ship the std::exception_ptr through your own
+  /// channel — fault::run_atpg_parallel shows the pattern.
+  using Task = std::function<void()>;
+
+  /// Sentinel returned by worker_index() on non-pool threads.
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+
+  /// Spawns `num_threads` workers (0 = default_thread_count()). `seed`
+  /// roots the per-worker RNG streams used for steal-victim selection.
+  explicit ThreadPool(std::size_t num_threads = 0,
+                      std::uint64_t seed = 0x5eedca11);
+
+  /// Drains every queued task, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task`. When called from a worker thread the task goes to
+  /// that worker's own deque (LIFO locality); otherwise deques are fed
+  /// round-robin. Never blocks on task execution.
+  void submit(Task task);
+
+  /// Blocks until every task submitted so far (including tasks spawned by
+  /// tasks) has finished. Must be called from outside the pool.
+  void wait_idle();
+
+  /// Index of the calling pool worker in [0, size()), or kNotAWorker when
+  /// called from a thread this pool does not own.
+  static std::size_t worker_index();
+
+  /// Splits [begin, end) into chunks of at least `grain` iterations,
+  /// runs `body(lo, hi)` on the pool, and blocks until all chunks finish.
+  /// Runs inline when the range is small or the pool has one worker.
+  /// The first exception thrown by `body` is rethrown in the caller.
+  /// Must be called from outside the pool.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Hardware concurrency with a floor of 1 (std::thread::hardware_
+  /// concurrency() may legally return 0).
+  static std::size_t default_thread_count();
+
+ private:
+  struct Worker;
+
+  void worker_loop(std::size_t index);
+  bool try_pop_local(std::size_t index, Task& task);
+  bool try_steal(std::size_t index, Task& task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  // queued_ counts tasks sitting in deques; pending_ counts submitted
+  // tasks that have not yet finished running. Both are guarded by mutex_
+  // so sleeping workers and wait_idle() cannot miss a wakeup.
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  ///< signaled on submit and stop
+  std::condition_variable idle_cv_;  ///< signaled when pending_ hits 0
+  std::size_t queued_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cwatpg

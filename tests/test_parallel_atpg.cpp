@@ -1,0 +1,211 @@
+// Fault-parallel engine: thread-pool behaviour and the headline guarantee
+// that run_atpg_parallel is byte-identical to run_atpg at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "fault/parallel_atpg.hpp"
+#include "fault/tegus.hpp"
+#include "gen/suites.hpp"
+#include "gen/trees.hpp"
+#include "util/rng.hpp"
+#include "util/threadpool.hpp"
+
+namespace cwatpg::fault {
+namespace {
+
+// ---------------------------------------------------------------- pool --
+
+TEST(ThreadPool, RunsTenThousandNoOpTasks) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> counter{0};
+  for (std::size_t i = 0; i < 10000; ++i)
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 10000u);
+}
+
+TEST(ThreadPool, WaitIdleCoversTasksSpawnedByTasks) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> counter{0};
+  for (std::size_t i = 0; i < 64; ++i) {
+    pool.submit([&pool, &counter] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      pool.submit(
+          [&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 128u);
+}
+
+TEST(ThreadPool, WorkerIndexIsInRangeInsideAndSentinelOutside) {
+  EXPECT_EQ(ThreadPool::worker_index(), ThreadPool::kNotAWorker);
+  ThreadPool pool(2);
+  std::atomic<bool> in_range{true};
+  for (std::size_t i = 0; i < 100; ++i) {
+    pool.submit([&pool, &in_range] {
+      if (ThreadPool::worker_index() >= pool.size()) in_range = false;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_TRUE(in_range.load());
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 3,
+                        [](std::size_t lo, std::size_t) {
+                          if (lo >= 50) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  pool.wait_idle();  // pool must stay usable after a throwing body
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran = 1; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<std::size_t> counter{0};
+  {
+    ThreadPool pool(2);
+    for (std::size_t i = 0; i < 500; ++i)
+      pool.submit(
+          [&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    // no wait_idle: the destructor must drain, not drop
+  }
+  EXPECT_EQ(counter.load(), 500u);
+}
+
+TEST(SplitSeed, StreamsAreDistinctAndDeterministic) {
+  EXPECT_EQ(split_seed(42, 3), split_seed(42, 3));
+  EXPECT_NE(split_seed(42, 0), split_seed(42, 1));
+  EXPECT_NE(split_seed(42, 0), split_seed(43, 0));
+}
+
+// ------------------------------------------------- serial == parallel --
+
+void expect_byte_identical(const AtpgResult& serial,
+                           const AtpgResult& parallel) {
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    const FaultOutcome& s = serial.outcomes[i];
+    const FaultOutcome& p = parallel.outcomes[i];
+    EXPECT_EQ(s.fault, p.fault) << "fault " << i;
+    EXPECT_EQ(s.status, p.status) << "fault " << i;
+    EXPECT_EQ(s.test_index, p.test_index) << "fault " << i;
+    EXPECT_EQ(s.sat_vars, p.sat_vars) << "fault " << i;
+    EXPECT_EQ(s.sat_clauses, p.sat_clauses) << "fault " << i;
+    EXPECT_EQ(s.solver_stats.conflicts, p.solver_stats.conflicts)
+        << "fault " << i;
+    EXPECT_EQ(s.solver_stats.decisions, p.solver_stats.decisions)
+        << "fault " << i;
+  }
+  ASSERT_EQ(serial.tests.size(), parallel.tests.size());
+  for (std::size_t t = 0; t < serial.tests.size(); ++t)
+    EXPECT_EQ(serial.tests[t], parallel.tests[t]) << "test " << t;
+  EXPECT_EQ(serial.num_detected, parallel.num_detected);
+  EXPECT_EQ(serial.num_untestable, parallel.num_untestable);
+  EXPECT_EQ(serial.num_aborted, parallel.num_aborted);
+  EXPECT_EQ(serial.num_unreachable, parallel.num_unreachable);
+}
+
+void check_serial_vs_parallel(const net::Network& n) {
+  const AtpgResult serial = run_atpg(n);
+  const std::vector<StuckAtFault> faults = collapsed_fault_list(n);
+  for (std::size_t threads : {2u, 4u}) {
+    ParallelAtpgOptions opts;
+    opts.num_threads = threads;
+    ParallelStats stats;
+    const AtpgResult parallel = run_atpg_parallel(n, opts, &stats);
+    SCOPED_TRACE(n.name() + " @ " + std::to_string(threads) + " threads");
+    expect_byte_identical(serial, parallel);
+    // The ISSUE-level contract: identical classification counts and
+    // identical fault coverage of the emitted test set.
+    EXPECT_DOUBLE_EQ(coverage(n, faults, serial.tests),
+                     coverage(n, faults, parallel.tests));
+    // Telemetry bookkeeping: every dispatched solve is either committed
+    // into the result or discarded as speculative waste, and per-worker
+    // counts sum to the dispatch total.
+    EXPECT_EQ(stats.dispatched, stats.committed + stats.wasted);
+    ASSERT_EQ(stats.workers.size(), threads);
+    std::size_t solved = 0;
+    for (const WorkerStats& w : stats.workers) solved += w.solved;
+    EXPECT_EQ(solved, stats.dispatched);
+  }
+}
+
+TEST(ParallelAtpg, ByteIdenticalOnC17) { check_serial_vs_parallel(gen::c17()); }
+
+TEST(ParallelAtpg, ByteIdenticalOnIscasLikeMembers) {
+  gen::SuiteOptions suite_opts;
+  suite_opts.scale = 0.08;
+  const std::vector<net::Network> suite = gen::iscas85_like_suite(suite_opts);
+  ASSERT_GE(suite.size(), 2u);
+  check_serial_vs_parallel(suite.front());
+  check_serial_vs_parallel(suite[1]);
+}
+
+TEST(ParallelAtpg, DeterministicAcrossRepeatedRunsSameThreadCount) {
+  const net::Network n = gen::c17();
+  ParallelAtpgOptions opts;
+  opts.num_threads = 3;
+  const AtpgResult a = run_atpg_parallel(n, opts);
+  const AtpgResult b = run_atpg_parallel(n, opts);
+  expect_byte_identical(a, b);
+}
+
+TEST(ParallelAtpg, NoRandomPhaseNoDroppingIsEmbarrassinglyParallel) {
+  // The Figure-1 configuration: one SAT instance per fault, no coupling.
+  const net::Network n = gen::c17();
+  AtpgOptions base;
+  base.random_blocks = 0;
+  base.drop_by_simulation = false;
+  ParallelAtpgOptions opts;
+  opts.base = base;
+  opts.num_threads = 4;
+  ParallelStats stats;
+  const AtpgResult parallel = run_atpg_parallel(n, opts, &stats);
+  expect_byte_identical(run_atpg(n, base), parallel);
+  EXPECT_EQ(stats.wasted, 0u);  // nothing drops, so nothing is discarded
+}
+
+TEST(ParallelAtpg, SingleThreadPoolMatchesSerial) {
+  const net::Network n = gen::c17();
+  ParallelAtpgOptions opts;
+  opts.num_threads = 1;
+  expect_byte_identical(run_atpg(n), run_atpg_parallel(n, opts));
+}
+
+TEST(ParallelAtpg, HasTestAccessorAgreesWithStatus) {
+  const net::Network n = gen::c17();
+  const AtpgResult r = run_atpg_parallel(n);
+  for (const FaultOutcome& o : r.outcomes) {
+    if (o.status == FaultStatus::kDetected ||
+        o.status == FaultStatus::kDroppedBySim) {
+      ASSERT_TRUE(o.has_test());
+      EXPECT_LT(o.test(), r.tests.size());
+      EXPECT_TRUE(detects(n, o.fault, r.tests[o.test()]))
+          << to_string(n, o.fault);
+    } else {
+      EXPECT_FALSE(o.has_test());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cwatpg::fault

@@ -89,10 +89,9 @@ TEST(Tegus, EveryReportedTestDetectsItsFault) {
     if (o.status != FaultStatus::kDetected &&
         o.status != FaultStatus::kDroppedBySim)
       continue;
-    ASSERT_GE(o.test_index, 0);
-    ASSERT_LT(static_cast<std::size_t>(o.test_index), r.tests.size());
-    EXPECT_TRUE(detects(n, o.fault, r.tests[static_cast<std::size_t>(
-                                        o.test_index)]))
+    ASSERT_TRUE(o.has_test());
+    ASSERT_LT(o.test(), r.tests.size());
+    EXPECT_TRUE(detects(n, o.fault, r.tests[o.test()]))
         << to_string(n, o.fault);
   }
 }
