@@ -34,6 +34,7 @@ bool byte_identical(const fault::AtpgResult& a, const fault::AtpgResult& b) {
     const fault::FaultOutcome& x = a.outcomes[i];
     const fault::FaultOutcome& y = b.outcomes[i];
     if (!(x.fault == y.fault) || x.status != y.status ||
+        x.engine != y.engine || x.attempts != y.attempts ||
         x.test_index != y.test_index || x.sat_vars != y.sat_vars ||
         x.sat_clauses != y.sat_clauses)
       return false;
@@ -41,7 +42,10 @@ bool byte_identical(const fault::AtpgResult& a, const fault::AtpgResult& b) {
   return a.tests == b.tests && a.num_detected == b.num_detected &&
          a.num_untestable == b.num_untestable &&
          a.num_aborted == b.num_aborted &&
-         a.num_unreachable == b.num_unreachable;
+         a.num_unreachable == b.num_unreachable &&
+         a.num_undetermined == b.num_undetermined &&
+         a.num_escalated == b.num_escalated &&
+         a.interrupted == b.interrupted;
 }
 
 void run_config(const net::Network& circuit, const fault::AtpgOptions& base,

@@ -73,6 +73,10 @@ int main(int argc, char** argv) {
   report.add_row({"dropped by simulation", cell(by_drop)});
   report.add_row({"proven redundant", cell(result.num_untestable)});
   report.add_row({"aborted", cell(result.num_aborted)});
+  report.add_row({"rescued by escalation", cell(result.num_escalated)});
+  if (result.interrupted)
+    report.add_row({"unprocessed (run interrupted)",
+                    cell(result.num_undetermined)});
   report.add_row({"fault coverage %", cell(result.fault_coverage() * 100, 2)});
   report.add_row({"fault efficiency %",
                   cell(result.fault_efficiency() * 100, 2)});

@@ -154,7 +154,14 @@ AtpgResult run_atpg_parallel(const net::Network& netw,
   ThreadPool pool(options.num_threads, split_seed(options.base.seed, 1));
   stats.workers.resize(pool.size());
 
-  SpeculativeProvider provider(pool, options.base.solver,
+  // per_fault_solver_config threads the run budget into every worker's
+  // solver: when the deadline fires or the caller cancels, all in-flight
+  // speculative solves observe it at their next budget poll and return
+  // kUnknown; queued-but-unstarted ones fast-fail before building a miter.
+  // That is how cancellation propagates — the pool itself is never torn
+  // down mid-task, so the committed prefix stays deterministic.
+  SpeculativeProvider provider(pool,
+                               detail::per_fault_solver_config(options.base),
                                options.lookahead * pool.size(), stats);
 
   // Fault simulation hook: shard multi-pattern simulations (the random

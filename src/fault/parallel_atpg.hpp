@@ -77,6 +77,16 @@ struct ParallelStats {
 /// engine bit for bit (solve_seconds, being wall-clock, differs). When
 /// `stats_out` is non-null it receives per-worker and speculation counters.
 ///
+/// Budgets: options.base.budget is honored run-wide. Cancellation and the
+/// deadline propagate to every in-flight worker (each per-fault solver
+/// polls the shared budget), the commit loop stops at the cutoff, and the
+/// run returns a partial AtpgResult with `interrupted` set. Everything
+/// committed before the cutoff is byte-identical to the serial engine's
+/// prefix under the same commit order; faults past it stay kUndetermined.
+/// When no budget condition fires, the full byte-identity guarantee is
+/// untouched. The Budget must stay alive until this function returns (all
+/// workers are drained before it does).
+///
 /// Thread-safe: yes for concurrent calls; each call owns its pool.
 AtpgResult run_atpg_parallel(const net::Network& net,
                              const ParallelAtpgOptions& options = {},

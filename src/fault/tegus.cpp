@@ -3,7 +3,9 @@
 #include <optional>
 #include <stdexcept>
 
+#include "fault/podem.hpp"
 #include "sat/encode.hpp"
+#include "util/budget.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -40,6 +42,17 @@ FaultOutcome generate_test(const net::Network& netw,
   FaultOutcome outcome;
   outcome.fault = fault;
 
+  // Fast-fail when the budget already fired: an abandoned speculative
+  // worker drains in O(1) instead of building a miter no one will commit.
+  if (solver_config.budget != nullptr) {
+    const StopReason r = solver_config.budget->poll();
+    if (r != StopReason::kNone) {
+      outcome.status = FaultStatus::kAborted;
+      outcome.solver_stats.stop_reason = r;
+      return outcome;
+    }
+  }
+
   std::optional<AtpgCircuit> atpg_opt;
   try {
     atpg_opt.emplace(build_atpg_circuit(netw, fault));
@@ -62,6 +75,8 @@ FaultOutcome generate_test(const net::Network& netw,
   const sat::SolveResult result = sat::solve_cnf(cnf, solver_config);
   outcome.solve_seconds = timer.seconds();
   outcome.solver_stats = result.stats;
+  outcome.engine = SolveEngine::kSat;
+  outcome.attempts = 1;
 
   switch (result.status) {
     case sat::SolveStatus::kSat:
@@ -78,13 +93,136 @@ FaultOutcome generate_test(const net::Network& netw,
   return outcome;
 }
 
+namespace {
+
+/// Phase 3: the abort-escalation ladder. Re-attacks every still-kAborted
+/// fault, in fault order, with geometrically growing conflict caps, then
+/// hands the survivors to structural PODEM — a genuinely different search
+/// that succeeds on some instances CDCL abandons. Tests found here feed
+/// simulation-based dropping against the remaining aborted faults, so one
+/// recovered test can clear several aborts. Runs on the pipeline thread in
+/// both engines, so serial and parallel results stay byte-identical.
+void escalate_aborted(const net::Network& netw, const AtpgOptions& options,
+                      std::span<const StuckAtFault> faults,
+                      const detail::SimulateFn& simulate,
+                      AtpgResult& result) {
+  // Growing an unlimited conflict cap is meaningless: the first pass
+  // already searched without one, so a repeat would abort identically.
+  const bool sat_rounds =
+      options.escalation_rounds > 0 &&
+      options.solver.max_conflicts != Budget::kUnlimited;
+  if ((!sat_rounds && !options.podem_fallback) || result.num_aborted == 0)
+    return;
+  const Budget* budget = options.budget;
+
+  std::vector<std::size_t> aborted;
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i)
+    if (result.outcomes[i].status == FaultStatus::kAborted)
+      aborted.push_back(i);
+
+  for (std::size_t a = 0; a < aborted.size(); ++a) {
+    const std::size_t fi = aborted[a];
+    FaultOutcome& outcome = result.outcomes[fi];
+    if (outcome.status != FaultStatus::kAborted) continue;  // dropped below
+    if (budget != nullptr && budget->exhausted()) {
+      result.interrupted = true;
+      return;
+    }
+
+    Pattern test;
+    bool resolved = false;
+
+    if (sat_rounds) {
+      std::uint64_t cap = options.solver.max_conflicts;
+      for (std::size_t round = 0;
+           round < options.escalation_rounds && !resolved; ++round) {
+        cap = saturating_mul(cap, options.escalation_growth);
+        sat::SolverConfig config = detail::per_fault_solver_config(options);
+        config.max_conflicts = cap;
+        FaultOutcome retry = generate_test(netw, faults[fi], config, test);
+        retry.engine = SolveEngine::kSatRetry;
+        retry.attempts = outcome.attempts + 1;
+        outcome = retry;
+        resolved = retry.status != FaultStatus::kAborted;
+        if (budget != nullptr && budget->exhausted()) break;
+      }
+    }
+
+    if (!resolved && options.podem_fallback &&
+        !(budget != nullptr && budget->exhausted())) {
+      PodemOptions podem_options;
+      podem_options.max_backtracks = options.podem_max_backtracks;
+      const PodemResult structural = podem(netw, faults[fi], podem_options);
+      ++outcome.attempts;
+      if (structural.status != PodemStatus::kAborted) {
+        outcome.engine = SolveEngine::kPodem;
+        if (structural.status == PodemStatus::kDetected) {
+          outcome.status = FaultStatus::kDetected;
+          test = structural.test;
+        } else {
+          outcome.status = FaultStatus::kUntestable;
+        }
+        resolved = true;
+      }
+    }
+
+    if (!resolved) continue;
+
+    --result.num_aborted;
+    ++result.num_escalated;
+    if (outcome.status == FaultStatus::kUntestable) {
+      ++result.num_untestable;
+      continue;
+    }
+    if (options.verify_tests && !detects(netw, faults[fi], test))
+      throw std::logic_error("run_atpg: escalated test fails to detect " +
+                             to_string(netw, faults[fi]));
+    outcome.test_index = static_cast<std::int64_t>(result.tests.size());
+    result.tests.push_back(std::move(test));
+    ++result.num_detected;
+    if (!options.drop_by_simulation) continue;
+
+    // One recovered test may clear several aborts: simulate it against
+    // the still-aborted tail.
+    std::vector<StuckAtFault> rest;
+    std::vector<std::size_t> rest_index;
+    for (std::size_t b = a + 1; b < aborted.size(); ++b) {
+      if (result.outcomes[aborted[b]].status == FaultStatus::kAborted) {
+        rest.push_back(faults[aborted[b]]);
+        rest_index.push_back(aborted[b]);
+      }
+    }
+    if (rest.empty()) continue;
+    const Pattern recovered[] = {result.tests.back()};
+    const std::vector<bool> hit = simulate(rest, recovered);
+    for (std::size_t j = 0; j < rest.size(); ++j) {
+      if (!hit[j]) continue;
+      FaultOutcome& dropped = result.outcomes[rest_index[j]];
+      dropped.status = FaultStatus::kDroppedBySim;
+      dropped.test_index = static_cast<std::int64_t>(result.tests.size()) - 1;
+      --result.num_aborted;
+      ++result.num_detected;
+      ++result.num_escalated;
+    }
+  }
+}
+
+}  // namespace
+
 namespace detail {
+
+sat::SolverConfig per_fault_solver_config(const AtpgOptions& options) {
+  sat::SolverConfig config = options.solver;
+  if (config.budget == nullptr) config.budget = options.budget;
+  return config;
+}
 
 AtpgResult run_atpg_pipeline(const net::Network& netw,
                              const AtpgOptions& options,
                              SolveProvider& provider,
                              const SimulateFn& simulate) {
   AtpgResult result;
+  const Budget* budget = options.budget;
   const std::vector<StuckAtFault> faults =
       options.collapse_faults ? collapsed_fault_list(netw) : all_faults(netw);
 
@@ -96,8 +234,11 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
   }
 
   // Phase 1: random patterns knock out the easy bulk of the fault list.
+  // Skipped when the budget fired before the run even started, so a
+  // cancelled run returns without simulating a single pattern.
   std::vector<std::size_t> undetected;
-  if (options.random_blocks > 0 && !netw.inputs().empty()) {
+  if (options.random_blocks > 0 && !netw.inputs().empty() &&
+      !(budget != nullptr && budget->exhausted())) {
     Rng rng(options.seed);
     std::vector<Pattern> random_patterns;
     random_patterns.reserve(options.random_blocks * 64);
@@ -126,9 +267,17 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
   // Phase 2: SAT per remaining fault, with simulation-based dropping.
   // Commits strictly in work-list order so that which fault is kDetected
   // vs kDroppedBySim — and every test_index — is scheduling-independent.
+  // The budget is checked between commits: when it fires the loop stops,
+  // `interrupted` is set, and every unreached fault stays kUndetermined —
+  // the committed prefix is exactly what an uninterrupted run would have
+  // produced for those faults.
   std::vector<bool> dropped(faults.size(), false);
   provider.begin(netw, faults, undetected, dropped);
   for (std::size_t idx = 0; idx < undetected.size(); ++idx) {
+    if (budget != nullptr && budget->exhausted()) {
+      result.interrupted = true;
+      break;
+    }
     const std::size_t fi = undetected[idx];
     if (dropped[fi]) continue;
     FaultOutcome& outcome = result.outcomes[fi];
@@ -185,6 +334,14 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
         break;
     }
   }
+
+  // Phase 3: re-attack aborted faults (growing conflict caps, then the
+  // structural PODEM fallback) while budget remains.
+  if (!result.interrupted)
+    escalate_aborted(netw, options, faults, simulate, result);
+
+  for (const FaultOutcome& o : result.outcomes)
+    if (o.status == FaultStatus::kUndetermined) ++result.num_undetermined;
   return result;
 }
 
@@ -217,7 +374,7 @@ class SerialProvider final : public detail::SolveProvider {
 }  // namespace
 
 AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
-  SerialProvider provider(options.solver);
+  SerialProvider provider(detail::per_fault_solver_config(options));
   return detail::run_atpg_pipeline(
       netw, options, provider,
       [&netw](std::span<const StuckAtFault> faults,

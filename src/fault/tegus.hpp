@@ -29,13 +29,33 @@ enum class FaultStatus : std::uint8_t {
   kUntestable,     ///< SAT instance unsatisfiable (redundant fault)
   kDroppedBySim,   ///< detected by an earlier test via fault simulation
   kDroppedRandom,  ///< detected in the random-pattern pre-phase
-  kAborted,        ///< solver hit its conflict limit
+  kAborted,        ///< every engine gave up within its resource budget
   kUnreachable,    ///< fault site reaches no primary output
+  kUndetermined,   ///< never processed (run interrupted before its turn)
+};
+
+/// Which engine produced a fault's final classification. Distinguishes
+/// "the first SAT pass got it" from "the escalation ladder had to re-attack
+/// with a bigger conflict budget" from "structural PODEM rescued it".
+enum class SolveEngine : std::uint8_t {
+  kNone,      ///< no per-fault engine ran (random/sim drop, unprocessed)
+  kSat,       ///< first-pass CDCL solve
+  kSatRetry,  ///< escalation ladder: CDCL with a grown conflict cap
+  kPodem,     ///< structural PODEM fallback (last resort)
 };
 
 struct FaultOutcome {
   StuckAtFault fault;
-  FaultStatus status = FaultStatus::kAborted;
+  /// kUndetermined until an engine classifies the fault, so an entry an
+  /// interrupted run never reached is distinguishable from a genuine
+  /// solver abort (kAborted).
+  FaultStatus status = FaultStatus::kUndetermined;
+  /// Engine that produced `status` (kNone for drops and kUndetermined).
+  SolveEngine engine = SolveEngine::kNone;
+  /// Per-fault solve attempts: 1 for a first-pass classification, +1 per
+  /// escalation-ladder round, +1 for the PODEM fallback. 0 when no engine
+  /// ran on this fault.
+  std::uint32_t attempts = 0;
   /// Index into AtpgResult::tests when the fault has an attributed test
   /// (status kDetected or kDroppedBySim), else -1. Prefer has_test() /
   /// test() below: test_index is signed (to encode "none") while
@@ -72,6 +92,34 @@ struct AtpgOptions {
   /// std::logic_error on mismatch — an engine bug, not a data error).
   bool verify_tests = true;
   std::uint64_t seed = 0x7e57ab1e;
+
+  /// Optional run-level budget: wall-clock deadline and/or cooperative
+  /// cancellation for the WHOLE run, plus hard per-solve effort ceilings.
+  /// Not owned; must stay alive until the run returns. When it fires the
+  /// engine stops early and returns a partial but internally consistent
+  /// AtpgResult with `interrupted` set: every fault processed before the
+  /// cutoff keeps its classification, every unreached fault stays
+  /// kUndetermined, and the counters match the outcomes. The same pointer
+  /// is threaded into every per-fault CDCL solve (and honored by
+  /// run_atpg_parallel's in-flight workers), so even a single oversized
+  /// instance cannot hold the run past its deadline for long.
+  const Budget* budget = nullptr;
+
+  /// Escalation ladder for aborted faults: after the main pass, each
+  /// kAborted fault is re-attacked up to this many times, multiplying
+  /// solver.max_conflicts by escalation_growth per round (skipped when
+  /// solver.max_conflicts is unlimited — re-running the identical search
+  /// cannot help). 0 disables the SAT rounds.
+  std::size_t escalation_rounds = 3;
+  /// Geometric growth factor for the ladder's conflict cap.
+  std::uint64_t escalation_growth = 4;
+  /// After the SAT rounds, fall back to the structural PODEM engine
+  /// (fault/podem.hpp) as a last resort — a different search (5-valued
+  /// D-calculus over PI assignments) that succeeds on some instances CDCL
+  /// abandons, and vice versa.
+  bool podem_fallback = true;
+  /// Backtrack cap for the PODEM fallback.
+  std::uint64_t podem_max_backtracks = 20'000;
 };
 
 struct AtpgResult {
@@ -81,6 +129,15 @@ struct AtpgResult {
   std::size_t num_untestable = 0;
   std::size_t num_aborted = 0;
   std::size_t num_unreachable = 0;
+  std::size_t num_undetermined = 0;  ///< unprocessed (interrupted run)
+  /// Faults the main pass aborted that the escalation ladder (SAT retry or
+  /// PODEM fallback) later resolved to kDetected/kUntestable, plus aborted
+  /// faults dropped by a ladder-found test.
+  std::size_t num_escalated = 0;
+  /// True iff the run budget (deadline/cancellation) fired before every
+  /// fault was processed. The result is still internally consistent —
+  /// counters match outcomes, every test_index is valid — just partial.
+  bool interrupted = false;
 
   /// Fault efficiency: (detected + proven untestable + unreachable) / all.
   double fault_efficiency() const;
@@ -117,7 +174,10 @@ namespace detail {
 ///     fault list, the phase-2 work list (indices into `faults`, in commit
 ///     order) and the pipeline's dropped bitmap.
 ///   * solve() is then called exactly once per work-list entry that is not
-///     dropped at its turn, in work-list order, from the pipeline thread.
+///     dropped at its turn, in work-list order, from the pipeline thread —
+///     except that an AtpgOptions::budget firing stops the calls early
+///     (the pipeline then never asks for the remaining entries; a
+///     speculative strategy must tolerate abandoned in-flight work).
 ///   * `dropped` is written only by the pipeline thread between solve()
 ///     calls and is monotone (bits only turn on), so a strategy may read
 ///     it from the pipeline thread without locking; a fault observed
@@ -139,6 +199,13 @@ class SolveProvider {
   }
   virtual FaultOutcome solve(std::size_t fault_index, Pattern& test_out) = 0;
 };
+
+/// The per-fault solver configuration an engine hands to generate_test:
+/// options.solver with the run-level AtpgOptions::budget threaded in
+/// (unless the solver config already carries its own budget), so every
+/// in-flight CDCL solve — serial or on a pool worker — observes the run's
+/// deadline and cancellation token.
+sat::SolverConfig per_fault_solver_config(const AtpgOptions& options);
 
 /// Fault-simulation hook: same signature/semantics as fault_simulate with
 /// the network bound. The parallel engine substitutes a sharded version;

@@ -20,22 +20,28 @@ Cnf read_dimacs(std::istream& in) {
     if (line[0] == 'c' || line[0] == '%') continue;
     std::istringstream ss(line);
     if (line[0] == 'p') {
-      if (have_header) throw DimacsError(lineno, "duplicate header");
+      if (have_header)
+        throw DimacsError(lineno, "duplicate header '" + line + "'");
       std::string p, fmt;
       ss >> p >> fmt >> declared_vars >> declared_clauses;
       if (!ss || fmt != "cnf" || declared_vars < 0 || declared_clauses < 0)
-        throw DimacsError(lineno, "malformed header");
+        throw DimacsError(lineno, "malformed header '" + line +
+                                      "' (expected 'p cnf <vars> <clauses>')");
       have_header = true;
       cnf = Cnf(static_cast<Var>(declared_vars));
       continue;
     }
-    if (!have_header)
-      throw DimacsError(lineno, "clause before 'p cnf' header");
+    if (!have_header) {
+      std::string first;
+      ss >> first;
+      throw DimacsError(lineno, "token '" + first +
+                                    "' before the 'p cnf' header");
+    }
     long literal;
     while (ss >> literal) {
       if (literal == 0) {
         if (current.empty())
-          throw DimacsError(lineno, "empty clause");
+          throw DimacsError(lineno, "empty clause (a bare '0')");
         cnf.add_clause(current);  // may drop tautologies
         current.clear();
         ++clauses_read;
@@ -43,7 +49,10 @@ Cnf read_dimacs(std::istream& in) {
       }
       const long magnitude = literal < 0 ? -literal : literal;
       if (magnitude > declared_vars)
-        throw DimacsError(lineno, "literal out of range");
+        throw DimacsError(lineno,
+                          "literal " + std::to_string(literal) +
+                              " out of range (header declares " +
+                              std::to_string(declared_vars) + " vars)");
       current.push_back(
           Lit(static_cast<Var>(magnitude - 1), literal < 0));
     }
@@ -53,12 +62,18 @@ Cnf read_dimacs(std::istream& in) {
       ss.clear();
       ss >> word;
       if (!word.empty())
-        throw DimacsError(lineno, "unexpected token '" + word + "'");
+        throw DimacsError(lineno, "unexpected token '" + word +
+                                      "' (expected a literal or 0)");
     }
   }
   if (!have_header) throw DimacsError(lineno, "missing 'p cnf' header");
   if (!current.empty())
-    throw DimacsError(lineno, "unterminated clause (missing 0)");
+    throw DimacsError(lineno,
+                      "unterminated clause (missing 0 after literal " +
+                          std::to_string(current.back().negated()
+                                             ? -long(current.back().var()) - 1
+                                             : long(current.back().var()) + 1) +
+                          ")");
   if (clauses_read != static_cast<std::size_t>(declared_clauses))
     throw DimacsError(lineno, "clause count mismatch: header says " +
                                   std::to_string(declared_clauses) +

@@ -30,7 +30,9 @@ class DimacsError : public std::runtime_error {
 /// then clauses as 0-terminated literal lists (free-form whitespace,
 /// clauses may span lines). Tautological clauses are dropped (matching
 /// Cnf::add_clause); an empty clause or a literal out of range raises
-/// DimacsError, as does a clause count mismatch.
+/// DimacsError, as does a clause count mismatch. Every error message
+/// carries the 1-based line number and the offending token, so malformed
+/// external CNF files fail with an actionable diagnosis.
 Cnf read_dimacs(std::istream& in);
 
 /// Convenience overload for string literals.

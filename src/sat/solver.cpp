@@ -265,20 +265,50 @@ void Solver::backtrack_to(std::uint32_t target_level) {
 }
 
 std::uint64_t Solver::luby(std::uint64_t i) {
-  std::uint64_t k = 1;
-  while ((1ULL << k) - 1 < i + 1) ++k;
-  while ((1ULL << k) - 1 != i + 1) {
-    --k;
-    i -= (1ULL << k) - 1;
+  // Knuth-style descent: find the smallest complete binary subsequence
+  // (of length 2^(seq+1) - 1) containing index i, then recurse into the
+  // copy i falls in via modulo. The naive subtractive variant underflows
+  // whenever i lands exactly on a subsequence boundary during descent
+  // (first at i == 3), so the remainder MUST be taken modulo the child
+  // size, not by subtraction.
+  std::uint64_t size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
   }
-  return 1ULL << (k - 1);
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i %= size;
+  }
+  return 1ULL << seq;
 }
 
 SolveStatus Solver::solve(std::span<const Lit> assumptions) {
+  stats_.stop_reason = StopReason::kNone;
   if (root_conflict_) return SolveStatus::kUnsat;
   for (Lit a : assumptions)
     if (a.var() >= assign_.size())
       throw std::invalid_argument("solve: assumption variable out of range");
+
+  // Budget plumbing: the conflict cap is the tighter of the config's and
+  // the budget's; deadline/cancellation are polled every
+  // budget_poll_interval propagations (an atomic load + one clock read, so
+  // the poll is invisible to the search unless it fires).
+  const Budget* budget = config_.budget;
+  std::uint64_t conflict_cap = config_.max_conflicts;
+  if (budget != nullptr && budget->max_conflicts < conflict_cap)
+    conflict_cap = budget->max_conflicts;
+  std::uint64_t next_poll = Budget::kUnlimited;
+  if (budget != nullptr) {
+    const StopReason r = budget->poll();
+    if (r != StopReason::kNone) {
+      stats_.stop_reason = r;
+      return SolveStatus::kUnknown;
+    }
+    next_poll = stats_.propagations + config_.budget_poll_interval;
+  }
+
   backtrack_to(0);
   if (propagate() != kNoReason) {
     root_conflict_ = true;
@@ -289,7 +319,27 @@ SolveStatus Solver::solve(std::span<const Lit> assumptions) {
       config_.restart_unit * luby(stats_.restarts);
   Clause learnt;
 
+  // The poll trigger watches loop iterations as well as propagations:
+  // propagations can stall (e.g. a long restart phase re-deciding saved
+  // phases), and a deadline must still fire while the search treads water.
+  std::uint64_t iterations = 0;
+  std::uint64_t next_poll_iteration = config_.budget_poll_interval;
   for (;;) {
+    ++iterations;
+    if (budget != nullptr && (stats_.propagations >= next_poll ||
+                              iterations >= next_poll_iteration)) {
+      next_poll = stats_.propagations + config_.budget_poll_interval;
+      next_poll_iteration = iterations + config_.budget_poll_interval;
+      if (stats_.propagations >= budget->max_propagations) {
+        stats_.stop_reason = StopReason::kPropagationLimit;
+        return SolveStatus::kUnknown;
+      }
+      const StopReason r = budget->poll();
+      if (r != StopReason::kNone) {
+        stats_.stop_reason = r;
+        return SolveStatus::kUnknown;
+      }
+    }
     const std::uint32_t conflict = propagate();
     if (conflict != kNoReason) {
       ++stats_.conflicts;
@@ -297,8 +347,10 @@ SolveStatus Solver::solve(std::span<const Lit> assumptions) {
         root_conflict_ = true;
         return SolveStatus::kUnsat;
       }
-      if (stats_.conflicts >= config_.max_conflicts)
+      if (stats_.conflicts >= conflict_cap) {
+        stats_.stop_reason = StopReason::kConflictLimit;
         return SolveStatus::kUnknown;
+      }
 
       std::uint32_t backtrack_level = 0;
       analyze(conflict, learnt, backtrack_level);

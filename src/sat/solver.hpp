@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sat/cnf.hpp"
+#include "util/budget.hpp"
 
 namespace cwatpg::sat {
 
@@ -30,6 +31,11 @@ struct SolverStats {
   std::uint64_t learnt_clauses = 0;
   std::uint64_t learnt_literals = 0;
   std::uint64_t restarts = 0;
+  /// Why the last solve() returned kUnknown (kNone after kSat/kUnsat):
+  /// conflict cap vs. propagation cap vs. deadline vs. cancellation.
+  /// "Gave up" and "proven" are different results; this says which one
+  /// happened and why — the escalation ladder keys off it.
+  StopReason stop_reason = StopReason::kNone;
 };
 
 struct SolverConfig {
@@ -39,6 +45,18 @@ struct SolverConfig {
   double activity_decay = 0.95;
   /// Conflicts per Luby restart unit.
   std::uint64_t restart_unit = 64;
+  /// Optional external resource budget (deadline, hard effort caps,
+  /// cooperative cancellation). Not owned; must outlive every solve()
+  /// call. The solver honors min(max_conflicts, budget->max_conflicts)
+  /// and polls the asynchronous conditions (deadline, cancel) every
+  /// budget_poll_interval propagations, so solve() returns kUnknown
+  /// promptly — within one poll interval — when the budget fires.
+  /// Polling never influences the search itself: with a budget that never
+  /// fires, results are bit-identical to running without one.
+  const Budget* budget = nullptr;
+  /// Propagations between polls of budget deadline/cancellation. Smaller
+  /// values abort more promptly at slightly more clock-read overhead.
+  std::uint64_t budget_poll_interval = 1024;
 };
 
 // Thread-safe: per-instance. A Solver owns all of its mutable state (no
@@ -74,6 +92,12 @@ class Solver {
 
   const SolverStats& stats() const { return stats_; }
 
+  /// The Luby restart sequence, 0-indexed: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8…
+  /// Public because it is a pure function worth pinning in tests: the
+  /// original subtractive implementation underflowed on subsequence
+  /// boundaries (first at i == 3) and could spin forever.
+  static std::uint64_t luby(std::uint64_t i);
+
  private:
   // Truth values use 0 = false, 1 = true, 2 = unassigned.
   static constexpr std::uint8_t kFalse = 0, kTrue = 1, kUndef = 2;
@@ -98,7 +122,6 @@ class Solver {
   void bump(Var v);
   void attach(std::uint32_t clause_index);
   std::uint32_t add_internal_clause(Clause c);
-  static std::uint64_t luby(std::uint64_t i);
 
   // Indexed max-heap over activity_ for decision picking.
   void heap_swap(std::size_t a, std::size_t b);

@@ -1,0 +1,106 @@
+// Resource budgets and cooperative cancellation.
+//
+// A Budget bundles the three ways a long-running solve is allowed to stop
+// early: hard caps on solver effort (conflicts / propagations), a
+// wall-clock deadline, and an explicitly requested cancellation. It is the
+// graceful-degradation substrate for the ATPG engines: the paper's thesis
+// is that ATPG-SAT is *empirically* easy, but a production engine must
+// survive the instances that are not — by giving up cleanly, saying why,
+// and leaving a partial-but-consistent result instead of hanging.
+//
+// The design is cooperative, not preemptive: a budget never interrupts
+// anything by itself. Consumers (sat::Solver, fault::run_atpg*) poll it
+// from their inner loops — an atomic load plus, only when a deadline is
+// armed, one steady_clock read — and unwind themselves when it fires.
+//
+// Thread-safe: cancel()/cancelled()/poll() may race freely across threads;
+// cancellation is sticky. The caps and the deadline are plain configuration
+// — set them before sharing the budget, never while a consumer is polling.
+// A Budget is shared by `const Budget*` and is deliberately non-copyable:
+// the cancellation token must stay one object so every holder observes the
+// same cancel().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace cwatpg {
+
+/// Why a budgeted computation stopped early (SolverStats::stop_reason).
+/// kNone means "did not stop early": the solve ran to completion, or no
+/// budget condition fired before it did.
+enum class StopReason : std::uint8_t {
+  kNone = 0,
+  kConflictLimit,     ///< conflict cap (SolverConfig or Budget) exhausted
+  kPropagationLimit,  ///< Budget::max_propagations exhausted
+  kDeadline,          ///< wall-clock deadline passed
+  kCancelled,         ///< Budget::cancel() was called
+};
+
+/// "none" / "conflict-limit" / "propagation-limit" / "deadline" /
+/// "cancelled" — for logs and bench tables.
+const char* to_string(StopReason reason);
+
+class Budget {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr std::uint64_t kUnlimited =
+      std::numeric_limits<std::uint64_t>::max();
+
+  Budget() = default;
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  /// Hard cap on CDCL conflicts per solve. Unlike SolverConfig::
+  /// max_conflicts (which the escalation ladder grows per retry), a budget
+  /// cap is a ceiling no retry may exceed; the solver honors the smaller
+  /// of the two.
+  std::uint64_t max_conflicts = kUnlimited;
+  /// Hard cap on CDCL propagations per solve.
+  std::uint64_t max_propagations = kUnlimited;
+
+  /// Arms the deadline `seconds` of wall-clock from now.
+  void set_deadline_after(double seconds);
+  /// Arms the deadline at an absolute steady_clock instant.
+  void set_deadline(Clock::time_point when);
+  void clear_deadline() { has_deadline_ = false; }
+  bool has_deadline() const { return has_deadline_; }
+  /// Seconds until the deadline (negative once past); +infinity when no
+  /// deadline is armed.
+  double remaining_seconds() const;
+  bool past_deadline() const;
+
+  /// Requests cancellation. Thread-safe and sticky: every subsequent
+  /// poll()/cancelled() on any thread observes it.
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Polls the asynchronous stop conditions — cancellation first (it is
+  /// cheaper and the stronger signal), then the deadline. The effort caps
+  /// are NOT reported here: they compare against counters only the
+  /// consumer owns (see sat::Solver).
+  StopReason poll() const {
+    if (cancelled()) return StopReason::kCancelled;
+    if (has_deadline_ && Clock::now() >= deadline_)
+      return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+
+  /// True iff poll() would report a stop condition.
+  bool exhausted() const { return poll() != StopReason::kNone; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// a * b with saturation at 2^64-1 — for growing conflict caps
+/// geometrically without overflow (the escalation ladder's arithmetic).
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b);
+
+}  // namespace cwatpg

@@ -108,9 +108,15 @@ void ThreadPool::worker_loop(std::size_t index) {
         std::lock_guard<std::mutex> lock(mutex_);
         --queued_;
       }
-      task();  // tasks must not throw (see header)
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
       task = nullptr;
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       if (--pending_ == 0) idle_cv_.notify_all();
       continue;
     }
@@ -125,6 +131,12 @@ void ThreadPool::wait_idle() {
          "wait_idle() called from inside the pool");
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [&] { return pending_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for(

@@ -30,10 +30,15 @@ namespace cwatpg {
 
 class ThreadPool {
  public:
-  /// A unit of work. Tasks must not throw: an exception escaping a task
-  /// terminates the process (it has no thread to propagate into). Wrap
-  /// fallible work and ship the std::exception_ptr through your own
-  /// channel — fault::run_atpg_parallel shows the pattern.
+  /// A unit of work. A task may throw: the worker captures the exception
+  /// (an escaping exception has no thread to propagate into) and the first
+  /// one captured is rethrown by the next wait_idle() — the join/commit
+  /// point — matching what parallel_for() already does for its bodies.
+  /// Later exceptions from the same drain are dropped, and an exception
+  /// still pending when the pool is destroyed is discarded (a destructor
+  /// cannot throw). Tasks that must not lose any error should still ship a
+  /// std::exception_ptr through their own channel —
+  /// fault::run_atpg_parallel shows the pattern.
   using Task = std::function<void()>;
 
   /// Sentinel returned by worker_index() on non-pool threads.
@@ -59,7 +64,9 @@ class ThreadPool {
   void submit(Task task);
 
   /// Blocks until every task submitted so far (including tasks spawned by
-  /// tasks) has finished. Must be called from outside the pool.
+  /// tasks) has finished. Must be called from outside the pool. Rethrows
+  /// the first exception a submit()-path task threw since the previous
+  /// wait_idle(); the pool stays usable afterwards.
   void wait_idle();
 
   /// Index of the calling pool worker in [0, size()), or kNotAWorker when
@@ -97,6 +104,9 @@ class ThreadPool {
   std::size_t queued_ = 0;
   std::size_t pending_ = 0;
   bool stop_ = false;
+  /// First exception thrown by a submit()-path task since the last
+  /// wait_idle(); guarded by mutex_, rethrown (and cleared) by wait_idle().
+  std::exception_ptr first_error_;
 };
 
 }  // namespace cwatpg

@@ -73,6 +73,44 @@ TEST(Dimacs, ErrorCarriesLine) {
   }
 }
 
+// Every diagnostic names the offending token, not just the line — the test
+// greps the what() string for it.
+std::string error_message(const std::string& text) {
+  try {
+    read_dimacs_string(text);
+  } catch (const DimacsError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Dimacs, ErrorMessagesCarryOffendingToken) {
+  EXPECT_NE(error_message("p cnf 1 1\n-3 0\n")
+                .find("literal -3 out of range (header declares 1 vars)"),
+            std::string::npos);
+  EXPECT_NE(error_message("p cnf 1 1\n1 x 0\n").find("unexpected token 'x'"),
+            std::string::npos);
+  EXPECT_NE(error_message("1 0\np cnf 1 1\n")
+                .find("token '1' before the 'p cnf' header"),
+            std::string::npos);
+  EXPECT_NE(error_message("p dnf 1 1\n1 0\n").find("'p dnf 1 1'"),
+            std::string::npos);
+  EXPECT_NE(error_message("p dnf 1 1\n1 0\n")
+                .find("expected 'p cnf <vars> <clauses>'"),
+            std::string::npos);
+  EXPECT_NE(error_message("p cnf 1 1\np cnf 1 1\n1 0\n")
+                .find("duplicate header 'p cnf 1 1'"),
+            std::string::npos);
+  EXPECT_NE(error_message("p cnf 2 1\n-2\n")
+                .find("unterminated clause (missing 0 after literal -2)"),
+            std::string::npos);
+  EXPECT_NE(error_message("p cnf 1 2\n1 0\n")
+                .find("header says 2, file has 1"),
+            std::string::npos);
+  EXPECT_NE(error_message("p cnf 1 1\n0\n").find("bare '0'"),
+            std::string::npos);
+}
+
 TEST(Dimacs, RoundTripWithWriter) {
   // Export a real ATPG-SAT instance, re-read it, solve both: identical
   // satisfiability and variable counts.

@@ -8,8 +8,10 @@
 
 #include "fault/parallel_atpg.hpp"
 #include "fault/tegus.hpp"
+#include "gen/structured.hpp"
 #include "gen/suites.hpp"
 #include "gen/trees.hpp"
+#include "netlist/decompose.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
@@ -79,6 +81,33 @@ TEST(ThreadPool, ParallelForPropagatesException) {
   EXPECT_EQ(ran.load(), 1);
 }
 
+TEST(ThreadPool, SubmitTaskExceptionRethrownAtWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> ran{0};
+  for (std::size_t i = 0; i < 16; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 7) throw std::runtime_error("task boom");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16u);  // one throwing task never stalls the drain
+  // The error is consumed: the pool stays usable and a second wait_idle
+  // does not rethrow.
+  std::atomic<int> after{0};
+  pool.submit([&after] { after = 1; });
+  pool.wait_idle();
+  EXPECT_EQ(after.load(), 1);
+}
+
+TEST(ThreadPool, OnlyFirstSubmitExceptionIsKept) {
+  ThreadPool pool(2);
+  for (std::size_t i = 0; i < 8; ++i)
+    pool.submit([] { throw std::runtime_error("each task throws"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  pool.wait_idle();  // later captures were dropped, nothing left to throw
+}
+
 TEST(ThreadPool, DestructorDrainsQueuedTasks) {
   std::atomic<std::size_t> counter{0};
   {
@@ -107,12 +136,16 @@ void expect_byte_identical(const AtpgResult& serial,
     const FaultOutcome& p = parallel.outcomes[i];
     EXPECT_EQ(s.fault, p.fault) << "fault " << i;
     EXPECT_EQ(s.status, p.status) << "fault " << i;
+    EXPECT_EQ(s.engine, p.engine) << "fault " << i;
+    EXPECT_EQ(s.attempts, p.attempts) << "fault " << i;
     EXPECT_EQ(s.test_index, p.test_index) << "fault " << i;
     EXPECT_EQ(s.sat_vars, p.sat_vars) << "fault " << i;
     EXPECT_EQ(s.sat_clauses, p.sat_clauses) << "fault " << i;
     EXPECT_EQ(s.solver_stats.conflicts, p.solver_stats.conflicts)
         << "fault " << i;
     EXPECT_EQ(s.solver_stats.decisions, p.solver_stats.decisions)
+        << "fault " << i;
+    EXPECT_EQ(s.solver_stats.stop_reason, p.solver_stats.stop_reason)
         << "fault " << i;
   }
   ASSERT_EQ(serial.tests.size(), parallel.tests.size());
@@ -122,6 +155,9 @@ void expect_byte_identical(const AtpgResult& serial,
   EXPECT_EQ(serial.num_untestable, parallel.num_untestable);
   EXPECT_EQ(serial.num_aborted, parallel.num_aborted);
   EXPECT_EQ(serial.num_unreachable, parallel.num_unreachable);
+  EXPECT_EQ(serial.num_undetermined, parallel.num_undetermined);
+  EXPECT_EQ(serial.num_escalated, parallel.num_escalated);
+  EXPECT_EQ(serial.interrupted, parallel.interrupted);
 }
 
 void check_serial_vs_parallel(const net::Network& n) {
@@ -189,6 +225,26 @@ TEST(ParallelAtpg, SingleThreadPoolMatchesSerial) {
   ParallelAtpgOptions opts;
   opts.num_threads = 1;
   expect_byte_identical(run_atpg(n), run_atpg_parallel(n, opts));
+}
+
+TEST(ParallelAtpg, EscalationLadderStaysByteIdentical) {
+  // The ladder runs on the pipeline thread in both engines; a tiny conflict
+  // cap forces it to fire, and the retried/PODEM-rescued classifications —
+  // including engine and attempt attribution — must still match serial
+  // bit for bit at any thread count.
+  const net::Network n = net::decompose(gen::array_multiplier(4));
+  AtpgOptions base;
+  base.random_blocks = 0;
+  base.solver.max_conflicts = 1;
+  const AtpgResult serial = run_atpg(n, base);
+  EXPECT_GE(serial.num_escalated, 1u);
+  for (std::size_t threads : {2u, 4u}) {
+    ParallelAtpgOptions opts;
+    opts.base = base;
+    opts.num_threads = threads;
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_byte_identical(serial, run_atpg_parallel(n, opts));
+  }
 }
 
 TEST(ParallelAtpg, HasTestAccessorAgreesWithStatus) {

@@ -110,6 +110,24 @@ TEST(Solver, ConflictLimitReturnsUnknown) {
   EXPECT_EQ(solve_cnf(f).status, SolveStatus::kUnsat);
 }
 
+TEST(Solver, LubySequenceIsCorrectAndTotal) {
+  // Regression: the original subtractive descent underflowed whenever the
+  // index landed on a subsequence boundary (first at i == 3), turning the
+  // restart computation into an infinite loop mid-solve. Pin the sequence
+  // and, implicitly, termination.
+  const std::uint64_t expected[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1,
+                                    1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4,
+                                    1, 1, 2, 1, 1, 2, 4, 8, 16};
+  for (std::size_t i = 0; i < std::size(expected); ++i)
+    EXPECT_EQ(Solver::luby(i), expected[i]) << "at index " << i;
+  // Self-similarity: Luby(2^k - 2) == 2^(k-1) (last element of each
+  // complete subsequence), Luby(2^k - 1) == 1 (start of the next).
+  for (std::uint64_t k = 1; k < 30; ++k) {
+    EXPECT_EQ(Solver::luby((1ULL << k) - 2), 1ULL << (k - 1));
+    EXPECT_EQ(Solver::luby((1ULL << k) - 1), 1u);
+  }
+}
+
 TEST(Solver, AgreesWithBruteForceOnRandomFormulas) {
   int sat_count = 0, unsat_count = 0;
   for (std::uint64_t seed = 0; seed < 60; ++seed) {

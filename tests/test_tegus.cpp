@@ -57,7 +57,8 @@ TEST(Tegus, FullC17RunCompleteCoverage) {
 TEST(Tegus, AllOutcomesAccounted) {
   const net::Network n = net::decompose(gen::comparator(4));
   const AtpgResult r = run_atpg(n);
-  std::size_t detected = 0, untestable = 0, aborted = 0, unreachable = 0;
+  std::size_t detected = 0, untestable = 0, aborted = 0, unreachable = 0,
+              undetermined = 0;
   for (const auto& o : r.outcomes) {
     switch (o.status) {
       case FaultStatus::kDetected:
@@ -74,12 +75,18 @@ TEST(Tegus, AllOutcomesAccounted) {
       case FaultStatus::kUnreachable:
         ++unreachable;
         break;
+      case FaultStatus::kUndetermined:
+        ++undetermined;
+        break;
     }
   }
   EXPECT_EQ(detected, r.num_detected);
   EXPECT_EQ(untestable, r.num_untestable);
   EXPECT_EQ(aborted, r.num_aborted);
   EXPECT_EQ(unreachable, r.num_unreachable);
+  EXPECT_EQ(undetermined, r.num_undetermined);
+  EXPECT_EQ(undetermined, 0u);  // uninterrupted run processes everything
+  EXPECT_FALSE(r.interrupted);
 }
 
 TEST(Tegus, EveryReportedTestDetectsItsFault) {
