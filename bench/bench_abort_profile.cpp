@@ -25,10 +25,12 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "fault/parallel_atpg.hpp"
 #include "fault/tegus.hpp"
 #include "gen/structured.hpp"
 #include "netlist/decompose.hpp"
+#include "obs/report.hpp"
 #include "util/budget.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -37,13 +39,29 @@ namespace {
 
 using namespace cwatpg;
 
+/// Runs the configured engine and appends a labelled RunReport.
 fault::AtpgResult run(const net::Network& circuit,
-                      const fault::AtpgOptions& base, std::size_t threads) {
-  if (threads == 0) return fault::run_atpg(circuit, base);
-  fault::ParallelAtpgOptions popts;
-  popts.base = base;
-  popts.num_threads = threads;
-  return fault::run_atpg_parallel(circuit, popts);
+                      const fault::AtpgOptions& base, std::size_t threads,
+                      std::uint64_t seed, const std::string& label,
+                      std::vector<obs::RunReport>& reports) {
+  obs::ReportOptions ropts;
+  ropts.label = label;
+  ropts.seed = seed;
+  fault::AtpgResult result;
+  fault::ParallelStats pstats;
+  if (threads == 0) {
+    result = fault::run_atpg(circuit, base);
+  } else {
+    fault::ParallelAtpgOptions popts;
+    popts.base = base;
+    popts.num_threads = threads;
+    result = fault::run_atpg_parallel(circuit, popts, &pstats);
+    ropts.engine = "parallel";
+    ropts.threads = threads;
+    ropts.parallel = &pstats;
+  }
+  reports.push_back(obs::build_run_report(circuit, result, ropts));
+  return result;
 }
 
 }  // namespace
@@ -63,6 +81,7 @@ int main(int argc, char** argv) {
             << circuit.gate_count() << " gates)\n\n";
 
   // ---- 1. conflict-cap sweep: bare caps vs. the escalation ladder ----
+  std::vector<obs::RunReport> reports;
   Table caps({"max_conflicts", "aborted", "coverage%", "s", "aborted+ladder",
               "escalated", "coverage%+ladder", "s+ladder"});
   std::vector<double> xs, ys;
@@ -74,14 +93,18 @@ int main(int argc, char** argv) {
     bare.podem_fallback = false;
     bare.seed = args.seed;
     Timer bare_timer;
-    const fault::AtpgResult plain = run(circuit, bare, args.threads);
+    const fault::AtpgResult plain =
+        run(circuit, bare, args.threads, args.seed,
+            "cap=" + std::to_string(cap) + "/bare", reports);
     const double bare_s = bare_timer.seconds();
 
     fault::AtpgOptions ladder = bare;
     ladder.escalation_rounds = 3;
     ladder.podem_fallback = true;
     Timer ladder_timer;
-    const fault::AtpgResult rescued = run(circuit, ladder, args.threads);
+    const fault::AtpgResult rescued =
+        run(circuit, ladder, args.threads, args.seed,
+            "cap=" + std::to_string(cap) + "/ladder", reports);
     const double ladder_s = ladder_timer.seconds();
 
     caps.add_row({cell(cap), cell(plain.num_aborted),
@@ -94,7 +117,9 @@ int main(int argc, char** argv) {
   }
   caps.print(std::cout);
   std::cout << "\n";
-  bench::write_csv(args.csv, "max_conflicts", "ladder_coverage_pct", xs, ys);
+  if (!bench::write_csv(args.csv, "max_conflicts", "ladder_coverage_pct", xs,
+                        ys))
+    return 1;
 
   // ---- 2. deadline sweep: the anytime curve --------------------------
   const net::Network hard =
@@ -119,7 +144,9 @@ int main(int argc, char** argv) {
     // the anytime curve (processed vs deadline) is actually visible.
     opts.random_blocks = 0;
     Timer timer;
-    const fault::AtpgResult r = run(hard, opts, args.threads);
+    const fault::AtpgResult r =
+        run(hard, opts, args.threads, args.seed,
+            "deadline=" + std::to_string(deadline), reports);
     const double wall = timer.seconds();
     deadlines.add_row(
         {cell(deadline, 2), cell(r.outcomes.size() - r.num_undetermined),
@@ -130,5 +157,6 @@ int main(int argc, char** argv) {
   std::cout << "\nreading: the processed count grows with the deadline while"
                "\nevery partial result stays internally consistent; a row"
                "\nwith interrupted=no finished before its deadline.\n";
+  if (!bench::emit_report("bench_abort_profile", args, reports)) return 1;
   return 0;
 }

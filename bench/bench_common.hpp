@@ -5,12 +5,15 @@
 // to subsample fault sites.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
-#include <fstream>
-#include <vector>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 namespace cwatpg::bench {
 
@@ -21,9 +24,23 @@ struct BenchArgs {
   /// ATPG worker threads: 0 = serial engine, N >= 1 = run_atpg_parallel
   /// with an N-worker pool (classification is byte-identical either way).
   std::size_t threads = 0;
-  std::string csv;  ///< when set, raw datapoints are also written here
+  std::string csv;   ///< when set, raw datapoints are also written here
+  /// When set, the bench writes its canonical JSON report (schema
+  /// "cwatpg.bench_report/1" wrapping per-run RunReports) here — see
+  /// bench_report.hpp / emit_report().
+  std::string json;
 };
 
+inline void print_usage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " [--scale=F] [--stride=N] [--seed=S] [--threads=N]"
+         " [--csv=FILE] [--json=FILE]\n";
+}
+
+/// Parses the shared bench flags. Unknown arguments are an error: usage
+/// goes to stderr and the process exits with status 2, so a typo'd flag
+/// (--sacle=2) can never silently run the default workload and pollute a
+/// collected perf trajectory.
 inline BenchArgs parse_args(int argc, char** argv,
                             BenchArgs defaults = {}) {
   BenchArgs args = defaults;
@@ -41,11 +58,15 @@ inline BenchArgs parse_args(int argc, char** argv,
           std::max(0L, std::atol(arg.c_str() + 10)));
     } else if (arg.rfind("--csv=", 0) == 0) {
       args.csv = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json = arg.substr(7);
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: " << argv[0]
-                << " [--scale=F] [--stride=N] [--seed=S] [--threads=N]"
-                   " [--csv=FILE]\n";
+      print_usage(std::cout, argv[0]);
       std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      print_usage(std::cerr, argv[0]);
+      std::exit(2);
     }
   }
   return args;
@@ -56,23 +77,31 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "reproduces: " << paper_ref << "\n\n";
 }
 
-/// Writes (x, y) scatter points as CSV for external plotting. Silently
-/// does nothing when `path` is empty; reports failures to stderr without
-/// aborting the bench.
-inline void write_csv(const std::string& path, const std::string& x_name,
+/// Writes (x, y) scatter points as CSV for external plotting. Returns
+/// false (after reporting to stderr) when the file cannot be opened or a
+/// write fails, so benches can propagate a bad --csv= path as a nonzero
+/// exit instead of reporting success with no artifact. An empty `path`
+/// (flag not given) is trivially successful.
+inline bool write_csv(const std::string& path, const std::string& x_name,
                       const std::string& y_name,
                       const std::vector<double>& xs,
                       const std::vector<double>& ys) {
-  if (path.empty()) return;
+  if (path.empty()) return true;
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write csv: " << path << "\n";
-    return;
+    return false;
   }
   out << x_name << "," << y_name << "\n";
   for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i)
     out << xs[i] << "," << ys[i] << "\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "write failed for csv: " << path << "\n";
+    return false;
+  }
   std::cout << "(raw datapoints written to " << path << ")\n";
+  return true;
 }
 
 }  // namespace cwatpg::bench

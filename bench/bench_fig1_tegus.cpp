@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "fault/parallel_atpg.hpp"
 #include "fault/tegus.hpp"
 #include "gen/suites.hpp"
+#include "obs/report.hpp"
 #include "util/curvefit.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
   std::vector<double> vars, times_ms;
   std::size_t total_faults = 0;
   std::size_t sat_instances = 0, unsat_instances = 0;
+  std::vector<obs::RunReport> reports;  ///< one RunReport per circuit
 
   // --threads=N runs the fault-parallel engine; the per-instance scatter
   // (sat_vars, statuses) is byte-identical to the serial engine, only the
@@ -47,14 +50,22 @@ int main(int argc, char** argv) {
       opts.random_blocks = 0;
       opts.drop_by_simulation = false;
       fault::AtpgResult r;
+      fault::ParallelStats pstats;
+      obs::ReportOptions ropts;
+      ropts.label = name;
+      ropts.seed = args.seed;
       if (args.threads > 0) {
         fault::ParallelAtpgOptions popts;
         popts.base = opts;
         popts.num_threads = args.threads;
-        r = fault::run_atpg_parallel(n, popts);
+        r = fault::run_atpg_parallel(n, popts, &pstats);
+        ropts.engine = "parallel";
+        ropts.threads = args.threads;
+        ropts.parallel = &pstats;
       } else {
         r = fault::run_atpg(n, opts);
       }
+      reports.push_back(obs::build_run_report(n, r, ropts));
       total_faults += r.outcomes.size();
       for (const auto& o : r.outcomes) {
         if (o.sat_vars == 0) continue;
@@ -109,7 +120,16 @@ int main(int argc, char** argv) {
       }
     }
   }
-  bench::write_csv(args.csv, "sat_vars", "solve_ms", vars, times_ms);
+  if (!bench::write_csv(args.csv, "sat_vars", "solve_ms", vars, times_ms))
+    return 1;
+  obs::Json extra = obs::Json::object();
+  extra["instances"] = static_cast<std::uint64_t>(vars.size());
+  extra["sat_instances"] = static_cast<std::uint64_t>(sat_instances);
+  extra["unsat_instances"] = static_cast<std::uint64_t>(unsat_instances);
+  extra["fraction_below_10ms"] = fraction_below(times_ms, 10.0);
+  if (!bench::emit_report("bench_fig1_tegus", args, reports,
+                          std::move(extra)))
+    return 1;
   std::cout << "\nslow-tail (top decile, " << tail_x.size()
             << " instances) growth fits:\n";
   if (tail_x.size() >= 8) {

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   gen::SuiteOptions opts;
   opts.scale = args.scale;
   opts.seed = args.seed;
-  bench::run_fig8(gen::mcnc_like_suite(opts), "MCNC91-like suite",
-                  args.stride, args.csv);
+  if (!bench::run_fig8(gen::mcnc_like_suite(opts), "MCNC91-like suite",
+                       args.stride, args.csv))
+    return 1;
   return 0;
 }

@@ -16,7 +16,8 @@ int main(int argc, char** argv) {
   gen::SuiteOptions opts;
   opts.scale = args.scale;
   opts.seed = args.seed;
-  bench::run_fig8(gen::iscas85_like_suite(opts), "ISCAS85-like suite",
-                  args.stride, args.csv);
+  if (!bench::run_fig8(gen::iscas85_like_suite(opts), "ISCAS85-like suite",
+                       args.stride, args.csv))
+    return 1;
   return 0;
 }

@@ -14,12 +14,15 @@
 // physical core count and a visibly flatter curve beyond it; a machine
 // with fewer cores than workers cannot speed up past its core count.
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_report.hpp"
 #include "fault/parallel_atpg.hpp"
 #include "fault/tegus.hpp"
 #include "gen/suites.hpp"
+#include "obs/report.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
@@ -48,11 +51,19 @@ bool byte_identical(const fault::AtpgResult& a, const fault::AtpgResult& b) {
          a.interrupted == b.interrupted;
 }
 
-void run_config(const net::Network& circuit, const fault::AtpgOptions& base,
-                const char* label, const std::string& csv) {
+/// Returns false when a requested --csv= artifact could not be written.
+bool run_config(const net::Network& circuit, const fault::AtpgOptions& base,
+                const char* label, const std::string& csv,
+                std::uint64_t seed, std::vector<obs::RunReport>& reports) {
   Timer serial_timer;
   const fault::AtpgResult serial = fault::run_atpg(circuit, base);
   const double serial_s = serial_timer.seconds();
+  {
+    obs::ReportOptions ropts;
+    ropts.label = std::string(label) + "/serial";
+    ropts.seed = seed;
+    reports.push_back(obs::build_run_report(circuit, serial, ropts));
+  }
 
   std::cout << label << ": " << serial.outcomes.size()
             << " collapsed faults, coverage "
@@ -73,6 +84,16 @@ void run_config(const net::Network& circuit, const fault::AtpgOptions& base,
     const double secs = timer.seconds();
     const bool identical = byte_identical(serial, parallel);
     const double speedup = secs > 0 ? serial_s / secs : 0.0;
+    {
+      obs::ReportOptions ropts;
+      ropts.label =
+          std::string(label) + "/threads=" + std::to_string(threads);
+      ropts.engine = "parallel";
+      ropts.threads = threads;
+      ropts.seed = seed;
+      ropts.parallel = &stats;
+      reports.push_back(obs::build_run_report(circuit, parallel, ropts));
+    }
     table.add_row({cell(threads), cell(secs, 3), cell(speedup, 2),
                    cell(speedup / static_cast<double>(threads), 2),
                    cell(stats.dispatched), cell(stats.wasted),
@@ -85,7 +106,7 @@ void run_config(const net::Network& circuit, const fault::AtpgOptions& base,
   }
   table.print(std::cout);
   std::cout << "\n";
-  bench::write_csv(csv, "threads", "speedup", xs, ys);
+  return bench::write_csv(csv, "threads", "speedup", xs, ys);
 }
 
 }  // namespace
@@ -114,13 +135,15 @@ int main(int argc, char** argv) {
   // Test verification is off because it serializes one fault-simulation
   // per found test on the commit thread in BOTH engines — it is exercised
   // by the test suite, not a scaling axis.
+  std::vector<obs::RunReport> reports;
   fault::AtpgOptions fig1;
   fig1.random_blocks = 0;
   fig1.drop_by_simulation = false;
   fig1.verify_tests = false;
   fig1.seed = args.seed;
-  run_config(circuit, fig1, "figure-1 config (independent instances)",
-             args.csv);
+  if (!run_config(circuit, fig1, "figure-1 config (independent instances)",
+                  args.csv, args.seed, reports))
+    return 1;
 
   // Dropping configuration: no random phase, so the SAT phase carries the
   // whole fault list and simulation-based dropping (plus speculative
@@ -130,6 +153,10 @@ int main(int argc, char** argv) {
   fault::AtpgOptions dropping;
   dropping.random_blocks = 0;
   dropping.seed = args.seed;
-  run_config(circuit, dropping, "dropping config (SAT phase + drops)", {});
+  if (!run_config(circuit, dropping, "dropping config (SAT phase + drops)",
+                  {}, args.seed, reports))
+    return 1;
+  if (!bench::emit_report("bench_parallel_scaling", args, reports))
+    return 1;
   return 0;
 }

@@ -1,0 +1,82 @@
+// Shared --json=FILE emission for the bench harness.
+//
+// Every bench binary that performs ATPG runs funnels its results through
+// emit_report(): one obs::RunReport per (circuit, configuration) run, all
+// wrapped in a single "cwatpg.bench_report/1" JSON object together with
+// the parsed BenchArgs and an aggregate produced by obs::merge_runs().
+// The point is comparability — every bench emits the same shape, so a CI
+// job (or EXPERIMENTS.md's perf-trajectory recipe) can diff artifacts
+// across commits without per-bench parsers.
+//
+// Layout:
+//   {
+//     "schema":    "cwatpg.bench_report/1",
+//     "bench":     "bench_fig1_tegus",
+//     "scale":     0.35, "stride": 1, "seed": 99, "threads": 0,
+//     "aggregate": { <cwatpg.run_report/1> },   // merge_runs over "runs"
+//     "runs":      [ { <cwatpg.run_report/1> }, ... ],
+//     "extra":     { ... }                      // bench-specific numbers
+//   }
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "bench_common.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace cwatpg::bench {
+
+inline constexpr const char* kBenchReportSchema = "cwatpg.bench_report/1";
+
+/// Builds the bench_report JSON object (see header comment for layout).
+inline obs::Json build_bench_report(std::string_view bench_name,
+                                    const BenchArgs& args,
+                                    std::span<const obs::RunReport> runs,
+                                    obs::Json extra = obs::Json::object()) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kBenchReportSchema;
+  j["bench"] = bench_name;
+  j["scale"] = args.scale;
+  j["stride"] = static_cast<std::uint64_t>(args.stride);
+  j["seed"] = args.seed;
+  j["threads"] = static_cast<std::uint64_t>(args.threads);
+  j["aggregate"] = obs::merge_runs(runs).to_json();
+  obs::Json run_array = obs::Json::array();
+  for (const obs::RunReport& r : runs) run_array.push_back(r.to_json());
+  j["runs"] = std::move(run_array);
+  j["extra"] = std::move(extra);
+  return j;
+}
+
+/// Writes the canonical bench report to args.json. Returns false (after
+/// reporting to stderr) when the file cannot be opened or the write fails;
+/// trivially succeeds when --json= was not given. Benches turn a false
+/// return into a nonzero exit — a requested artifact that cannot be
+/// produced must not look like success to the caller collecting it.
+inline bool emit_report(std::string_view bench_name, const BenchArgs& args,
+                        std::span<const obs::RunReport> runs,
+                        obs::Json extra = obs::Json::object()) {
+  if (args.json.empty()) return true;
+  const obs::Json report =
+      build_bench_report(bench_name, args, runs, std::move(extra));
+  std::ofstream out(args.json);
+  if (!out) {
+    std::cerr << "cannot write json report: " << args.json << "\n";
+    return false;
+  }
+  out << report.dump(2) << "\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "write failed for json report: " << args.json << "\n";
+    return false;
+  }
+  std::cout << "(json report written to " << args.json << ")\n";
+  return true;
+}
+
+}  // namespace cwatpg::bench

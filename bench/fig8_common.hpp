@@ -23,7 +23,9 @@
 
 namespace cwatpg::bench {
 
-inline void run_fig8(const std::vector<net::Network>& suite,
+/// Returns false when a requested --csv= artifact could not be written
+/// (callers propagate this as a nonzero exit status).
+inline bool run_fig8(const std::vector<net::Network>& suite,
                      const std::string& suite_name, std::size_t stride,
                      const std::string& csv_path = {}) {
   core::MlaConfig mla_cfg;
@@ -92,7 +94,7 @@ inline void run_fig8(const std::vector<net::Network>& suite,
   std::cout << "paper: the logarithmic family gives the best fit — "
                "cut-width grows ~log(size), so these circuits are "
                "log-bounded-width and easily testable.\n";
-  write_csv(csv_path, "cone_size", "cut_width", sizes, widths);
+  return write_csv(csv_path, "cone_size", "cut_width", sizes, widths);
 }
 
 }  // namespace cwatpg::bench

@@ -87,13 +87,24 @@ std::vector<net::NodeId> tfo_list(const net::Network& netw,
 
 std::vector<bool> fault_simulate(const net::Network& netw,
                                  std::span<const StuckAtFault> faults,
-                                 std::span<const Pattern> patterns) {
+                                 std::span<const Pattern> patterns,
+                                 FsimStats* stats_out) {
+  // Effort counters accumulate locally and publish once at the end, so the
+  // instrumented hot loop carries no extra memory traffic.
+  FsimStats local;
   std::vector<bool> detected(faults.size(), false);
-  if (patterns.empty()) return detected;
+  if (patterns.empty()) {
+    if (stats_out != nullptr) ++stats_out->calls;
+    return detected;
+  }
   const std::size_t num_pis = netw.inputs().size();
   for (const Pattern& p : patterns)
     if (p.size() != num_pis)
       throw std::invalid_argument("fault_simulate: pattern width mismatch");
+
+  local.calls = 1;
+  local.faults = faults.size();
+  local.patterns = patterns.size();
 
   // Cache TFO lists per fault site (s-a-0/s-a-1 share them).
   std::vector<std::vector<net::NodeId>> tfo_cache(faults.size());
@@ -113,11 +124,16 @@ std::vector<bool> fault_simulate(const net::Network& netw,
       if (detected[fi]) continue;
       if (tfo_cache[fi].empty())
         tfo_cache[fi] = tfo_list(netw, faults[fi]);
+      ++local.resims;
+      local.node_evals += tfo_cache[fi].size();
       if (resimulate_faulty_lanes(netw, faults[fi], good, tfo_cache[fi],
-                                  lane_mask, scratch) != 0)
+                                  lane_mask, scratch) != 0) {
         detected[fi] = true;
+        ++local.detected;
+      }
     }
   }
+  if (stats_out != nullptr) *stats_out += local;
   return detected;
 }
 

@@ -14,6 +14,7 @@
 // concatenate the results without changing them.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -25,12 +26,43 @@ namespace cwatpg::fault {
 /// A test pattern: one value per primary input of the network.
 using Pattern = std::vector<bool>;
 
+/// What one fault_simulate() call did — the fault simulator's contribution
+/// to the observability layer. Counters are exact and deterministic (pure
+/// functions of the inputs), so instrumented and uninstrumented runs stay
+/// bit-identical.
+struct FsimStats {
+  std::uint64_t calls = 0;         ///< fault_simulate invocations
+  std::uint64_t faults = 0;        ///< fault-list entries examined
+  std::uint64_t patterns = 0;      ///< patterns simulated
+  std::uint64_t resims = 0;        ///< (fault, 64-pattern block) resims
+  std::uint64_t node_evals = 0;    ///< TFO gate evaluations re-simulated
+  std::uint64_t detected = 0;      ///< faults reported detected
+
+  FsimStats& operator+=(const FsimStats& other) {
+    calls += other.calls;
+    faults += other.faults;
+    patterns += other.patterns;
+    resims += other.resims;
+    node_evals += other.node_evals;
+    detected += other.detected;
+    return *this;
+  }
+};
+
 /// Simulates `patterns` against every fault in `faults`;
 /// returns detected[i] == true iff some pattern detects faults[i]
 /// (some primary output differs from the good circuit).
+/// When `stats_out` is non-null the call's effort counters are ADDED to it
+/// (accumulate across calls by reusing one FsimStats).
 std::vector<bool> fault_simulate(const net::Network& net,
                                  std::span<const StuckAtFault> faults,
-                                 std::span<const Pattern> patterns);
+                                 std::span<const Pattern> patterns,
+                                 FsimStats* stats_out);
+inline std::vector<bool> fault_simulate(const net::Network& net,
+                                        std::span<const StuckAtFault> faults,
+                                        std::span<const Pattern> patterns) {
+  return fault_simulate(net, faults, patterns, nullptr);
+}
 
 /// True iff `pattern` detects `fault`.
 bool detects(const net::Network& net, const StuckAtFault& fault,

@@ -1,0 +1,64 @@
+// Internal glue between the fault engines and the observability layer
+// (src/obs). Included by engine .cpp files only — the public headers keep
+// obs types forward-declared so callers that never enable observability
+// never see its headers.
+//
+// Hot-path discipline (see obs/metrics.hpp): registry lookups happen once,
+// in these helpers' constructors; per-event cost is a null test plus a few
+// relaxed atomic adds.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fsim.hpp"
+#include "obs/metrics.hpp"
+#include "sat/solver.hpp"
+
+namespace cwatpg::fault::detail {
+
+/// Hoisted fsim.* counter handles for the simulate hooks both engines
+/// thread through the pipeline. Null (and record() a no-op) when metrics
+/// are disabled.
+struct FsimMetrics {
+  obs::Counter* calls = nullptr;
+  obs::Counter* faults = nullptr;
+  obs::Counter* patterns = nullptr;
+  obs::Counter* resims = nullptr;
+  obs::Counter* node_evals = nullptr;
+  obs::Counter* detected = nullptr;
+
+  explicit FsimMetrics(obs::MetricsRegistry* metrics) {
+    if (metrics == nullptr) return;
+    calls = &metrics->counter("fsim.calls");
+    faults = &metrics->counter("fsim.faults");
+    patterns = &metrics->counter("fsim.patterns");
+    resims = &metrics->counter("fsim.resims");
+    node_evals = &metrics->counter("fsim.node_evals");
+    detected = &metrics->counter("fsim.detected");
+  }
+
+  bool enabled() const { return calls != nullptr; }
+
+  void record(const FsimStats& s) const {
+    if (!enabled()) return;
+    calls->add(s.calls);
+    faults->add(s.faults);
+    patterns->add(s.patterns);
+    resims->add(s.resims);
+    node_evals->add(s.node_evals);
+    detected->add(s.detected);
+  }
+};
+
+/// Rolls an (already summed) SolverStats into the sat.* counters.
+inline void record_solver_stats(obs::MetricsRegistry& metrics,
+                                const sat::SolverStats& s) {
+  metrics.counter("sat.decisions").add(s.decisions);
+  metrics.counter("sat.propagations").add(s.propagations);
+  metrics.counter("sat.conflicts").add(s.conflicts);
+  metrics.counter("sat.restarts").add(s.restarts);
+  metrics.counter("sat.learnt_clauses").add(s.learnt_clauses);
+  metrics.counter("sat.learnt_literals").add(s.learnt_literals);
+}
+
+}  // namespace cwatpg::fault::detail

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 
+#include "fault/obs_hooks.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 
@@ -92,6 +93,8 @@ class SpeculativeProvider final : public detail::SolveProvider {
       auto slot = std::make_shared<Slot>();
       in_flight_.push_back({fi, slot});
       ++stats_.dispatched;
+      if (in_flight_.size() > stats_.max_in_flight)
+        stats_.max_in_flight = in_flight_.size();
       const StuckAtFault fault = faults_[fi];
       const net::Network* netw = netw_;
       const sat::SolverConfig config = config_;
@@ -112,12 +115,7 @@ class SpeculativeProvider final : public detail::SolveProvider {
           WorkerStats& ws = stats->workers[w];
           ++ws.solved;
           ws.solve_seconds += outcome.solve_seconds;
-          ws.solver.decisions += outcome.solver_stats.decisions;
-          ws.solver.propagations += outcome.solver_stats.propagations;
-          ws.solver.conflicts += outcome.solver_stats.conflicts;
-          ws.solver.learnt_clauses += outcome.solver_stats.learnt_clauses;
-          ws.solver.learnt_literals += outcome.solver_stats.learnt_literals;
-          ws.solver.restarts += outcome.solver_stats.restarts;
+          ws.solver += outcome.solver_stats;
         }
         std::lock_guard<std::mutex> lock(slot->mutex);
         slot->outcome = std::move(outcome);
@@ -170,19 +168,30 @@ AtpgResult run_atpg_parallel(const net::Network& netw,
   // Per-fault detection is independent of sharding, so results equal
   // fault_simulate's exactly.
   const std::size_t grain = options.sim_grain == 0 ? 1 : options.sim_grain;
-  auto simulate = [&netw, &pool, grain](std::span<const StuckAtFault> faults,
-                                        std::span<const Pattern> patterns) {
+  const detail::FsimMetrics fsim_metrics(options.base.metrics);
+  auto simulate = [&netw, &pool, grain, &fsim_metrics](
+                      std::span<const StuckAtFault> faults,
+                      std::span<const Pattern> patterns) {
     if (pool.size() <= 1 || patterns.size() < 64 ||
         faults.size() < 2 * grain) {
-      return fault_simulate(netw, faults, patterns);
+      FsimStats fs;
+      std::vector<bool> detected = fault_simulate(
+          netw, faults, patterns, fsim_metrics.enabled() ? &fs : nullptr);
+      fsim_metrics.record(fs);
+      return detected;
     }
     std::vector<bool> detected(faults.size(), false);
     const std::size_t chunks = (faults.size() + grain - 1) / grain;
     std::vector<std::vector<bool>> shard(chunks);
     pool.parallel_for(0, faults.size(), grain,
                       [&](std::size_t lo, std::size_t hi) {
+                        // Counter handles are atomic, so each shard task may
+                        // record its own stats concurrently.
+                        FsimStats fs;
                         shard[lo / grain] = fault_simulate(
-                            netw, faults.subspan(lo, hi - lo), patterns);
+                            netw, faults.subspan(lo, hi - lo), patterns,
+                            fsim_metrics.enabled() ? &fs : nullptr);
+                        fsim_metrics.record(fs);
                       });
     for (std::size_t c = 0; c < chunks; ++c)
       for (std::size_t k = 0; k < shard[c].size(); ++k)
@@ -193,6 +202,27 @@ AtpgResult run_atpg_parallel(const net::Network& netw,
   AtpgResult result =
       detail::run_atpg_pipeline(netw, options.base, provider, simulate);
   pool.wait_idle();  // drain discarded speculative solves before reporting
+
+  // Steal counts come from the pool's own telemetry: exact now that every
+  // worker is idle.
+  const std::vector<ThreadPool::WorkerTelemetry> telemetry = pool.telemetry();
+  for (std::size_t w = 0; w < stats.workers.size() && w < telemetry.size();
+       ++w)
+    stats.workers[w].steals = telemetry[w].steals;
+
+  if (options.base.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options.base.metrics;
+    m.counter("parallel.dispatched").add(stats.dispatched);
+    m.counter("parallel.committed").add(stats.committed);
+    m.counter("parallel.wasted").add(stats.wasted);
+    m.gauge("parallel.max_in_flight")
+        .max_in(static_cast<double>(stats.max_in_flight));
+    m.gauge("parallel.workers").max_in(static_cast<double>(pool.size()));
+    std::uint64_t steals = 0;
+    for (const WorkerStats& ws : stats.workers) steals += ws.steals;
+    m.counter("parallel.steals").add(steals);
+  }
+
   if (stats_out != nullptr) *stats_out = std::move(stats);
   return result;
 }

@@ -54,6 +54,7 @@ struct ParallelAtpgOptions {
 /// What one worker did during a parallel run. Indexed by pool worker id.
 struct WorkerStats {
   std::size_t solved = 0;        ///< SAT instances this worker completed
+  std::uint64_t steals = 0;      ///< pool tasks this worker stole
   double solve_seconds = 0.0;    ///< sum of per-instance solve times
   sat::SolverStats solver;       ///< aggregated CDCL counters
 };
@@ -67,6 +68,7 @@ struct ParallelStats {
   std::size_t dispatched = 0;  ///< speculative solves handed to the pool
   std::size_t committed = 0;   ///< solves whose outcome entered the result
   std::size_t wasted = 0;      ///< solves discarded (fault dropped first)
+  std::size_t max_in_flight = 0;  ///< peak speculative solves in flight
 };
 
 /// Runs the full ATPG flow on `net` across a work-stealing thread pool.

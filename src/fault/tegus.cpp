@@ -3,13 +3,49 @@
 #include <optional>
 #include <stdexcept>
 
+#include "fault/obs_hooks.hpp"
 #include "fault/podem.hpp"
+#include "obs/trace.hpp"
 #include "sat/encode.hpp"
 #include "util/budget.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace cwatpg::fault {
+
+const char* to_string(FaultStatus status) {
+  switch (status) {
+    case FaultStatus::kDetected:
+      return "detected";
+    case FaultStatus::kUntestable:
+      return "untestable";
+    case FaultStatus::kDroppedBySim:
+      return "dropped-sim";
+    case FaultStatus::kDroppedRandom:
+      return "dropped-random";
+    case FaultStatus::kAborted:
+      return "aborted";
+    case FaultStatus::kUnreachable:
+      return "unreachable";
+    case FaultStatus::kUndetermined:
+      return "undetermined";
+  }
+  return "undetermined";
+}
+
+const char* to_string(SolveEngine engine) {
+  switch (engine) {
+    case SolveEngine::kNone:
+      return "none";
+    case SolveEngine::kSat:
+      return "sat";
+    case SolveEngine::kSatRetry:
+      return "sat-retry";
+    case SolveEngine::kPodem:
+      return "podem";
+  }
+  return "none";
+}
 
 double AtpgResult::fault_efficiency() const {
   if (outcomes.empty()) return 1.0;
@@ -115,6 +151,17 @@ void escalate_aborted(const net::Network& netw, const AtpgOptions& options,
     return;
   const Budget* budget = options.budget;
 
+  obs::EventSink* const trace = options.trace;
+  obs::Counter* c_retries = nullptr;
+  obs::Counter* c_podem = nullptr;
+  obs::Histogram* h_solve_ms = nullptr;
+  if (options.metrics != nullptr) {
+    c_retries = &options.metrics->counter("atpg.escalate.sat_retries");
+    c_podem = &options.metrics->counter("atpg.escalate.podem_calls");
+    h_solve_ms = &options.metrics->histogram("atpg.sat.solve_ms",
+                                             obs::solve_time_bounds_ms());
+  }
+
   std::vector<std::size_t> aborted;
   for (std::size_t i = 0; i < result.outcomes.size(); ++i)
     if (result.outcomes[i].status == FaultStatus::kAborted)
@@ -144,6 +191,10 @@ void escalate_aborted(const net::Network& netw, const AtpgOptions& options,
         retry.attempts = outcome.attempts + 1;
         outcome = retry;
         resolved = retry.status != FaultStatus::kAborted;
+        if (c_retries != nullptr) {
+          c_retries->add(1);
+          h_solve_ms->observe(retry.solve_seconds * 1e3);
+        }
         if (budget != nullptr && budget->exhausted()) break;
       }
     }
@@ -154,6 +205,7 @@ void escalate_aborted(const net::Network& netw, const AtpgOptions& options,
       podem_options.max_backtracks = options.podem_max_backtracks;
       const PodemResult structural = podem(netw, faults[fi], podem_options);
       ++outcome.attempts;
+      if (c_podem != nullptr) c_podem->add(1);
       if (structural.status != PodemStatus::kAborted) {
         outcome.engine = SolveEngine::kPodem;
         if (structural.status == PodemStatus::kDetected) {
@@ -166,6 +218,12 @@ void escalate_aborted(const net::Network& netw, const AtpgOptions& options,
       }
     }
 
+    if (trace != nullptr)
+      trace->event("atpg.escalate",
+                   {{"fault", static_cast<std::uint64_t>(fi)},
+                    {"status", to_string(outcome.status)},
+                    {"engine", to_string(outcome.engine)},
+                    {"attempts", outcome.attempts}});
     if (!resolved) continue;
 
     --result.num_aborted;
@@ -221,10 +279,16 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
                              const AtpgOptions& options,
                              SolveProvider& provider,
                              const SimulateFn& simulate) {
+  Timer run_timer;
+  obs::MetricsRegistry* const metrics = options.metrics;
+  obs::EventSink* const trace = options.trace;
+  obs::Span run_span(trace, "atpg.run");
+
   AtpgResult result;
   const Budget* budget = options.budget;
   const std::vector<StuckAtFault> faults =
       options.collapse_faults ? collapsed_fault_list(netw) : all_faults(netw);
+  if (metrics != nullptr) metrics->counter("atpg.faults").add(faults.size());
 
   result.outcomes.reserve(faults.size());
   for (const StuckAtFault& f : faults) {
@@ -239,6 +303,7 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
   std::vector<std::size_t> undetected;
   if (options.random_blocks > 0 && !netw.inputs().empty() &&
       !(budget != nullptr && budget->exhausted())) {
+    obs::Span random_span(trace, "atpg.phase.random");
     Rng rng(options.seed);
     std::vector<Pattern> random_patterns;
     random_patterns.reserve(options.random_blocks * 64);
@@ -259,6 +324,12 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
         undetected.push_back(i);
       }
     }
+    if (metrics != nullptr) {
+      metrics->counter("atpg.random.patterns").add(random_patterns.size());
+      metrics->counter("atpg.random.dropped").add(result.num_detected);
+    }
+    random_span.note({"dropped", static_cast<std::uint64_t>(
+                                     result.num_detected)});
     for (Pattern& p : random_patterns) result.tests.push_back(std::move(p));
   } else {
     for (std::size_t i = 0; i < faults.size(); ++i) undetected.push_back(i);
@@ -273,6 +344,18 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
   // produced for those faults.
   std::vector<bool> dropped(faults.size(), false);
   provider.begin(netw, faults, undetected, dropped);
+  // Hoisted instrument handles: one registry lookup here, a relaxed add per
+  // solve inside the loop (obs/metrics.hpp hot-path discipline).
+  obs::Counter* c_solves = nullptr;
+  obs::Counter* c_sim_dropped = nullptr;
+  obs::Histogram* h_solve_ms = nullptr;
+  if (metrics != nullptr) {
+    c_solves = &metrics->counter("atpg.sat.solves");
+    c_sim_dropped = &metrics->counter("atpg.sim.dropped");
+    h_solve_ms =
+        &metrics->histogram("atpg.sat.solve_ms", obs::solve_time_bounds_ms());
+  }
+  obs::Span sat_span(trace, "atpg.phase.sat");
   for (std::size_t idx = 0; idx < undetected.size(); ++idx) {
     if (budget != nullptr && budget->exhausted()) {
       result.interrupted = true;
@@ -284,6 +367,17 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
 
     Pattern test;
     outcome = provider.solve(fi, test);
+    if (c_solves != nullptr && outcome.engine != SolveEngine::kNone) {
+      c_solves->add(1);
+      h_solve_ms->observe(outcome.solve_seconds * 1e3);
+    }
+    if (trace != nullptr)
+      trace->event("atpg.solve",
+                   {{"fault", static_cast<std::uint64_t>(fi)},
+                    {"status", to_string(outcome.status)},
+                    {"vars", static_cast<std::uint64_t>(outcome.sat_vars)},
+                    {"conflicts", outcome.solver_stats.conflicts},
+                    {"ms", outcome.solve_seconds * 1e3}});
     if (outcome.status == FaultStatus::kUnreachable) {
       ++result.num_unreachable;
       continue;
@@ -312,6 +406,7 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
           const std::vector<bool> hit = simulate(rest, tests);
           for (std::size_t j = 0; j < rest.size(); ++j) {
             if (hit[j]) {
+              if (c_sim_dropped != nullptr) c_sim_dropped->add(1);
               dropped[rest_index[j]] = true;
               result.outcomes[rest_index[j]].fault = rest[j];
               result.outcomes[rest_index[j]].status =
@@ -335,13 +430,28 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
     }
   }
 
+  sat_span.finish();
+
   // Phase 3: re-attack aborted faults (growing conflict caps, then the
   // structural PODEM fallback) while budget remains.
-  if (!result.interrupted)
+  if (!result.interrupted) {
+    obs::Span escalate_span(trace, "atpg.phase.escalate");
     escalate_aborted(netw, options, faults, simulate, result);
+  }
 
   for (const FaultOutcome& o : result.outcomes)
     if (o.status == FaultStatus::kUndetermined) ++result.num_undetermined;
+
+  if (metrics != nullptr) {
+    // End-of-run rollup: one pass over the outcomes, not per-solve traffic.
+    sat::SolverStats total;
+    for (const FaultOutcome& o : result.outcomes) total += o.solver_stats;
+    record_solver_stats(*metrics, total);
+    metrics->counter("atpg.tests").add(result.tests.size());
+  }
+  result.wall_seconds = run_timer.seconds();
+  run_span.note({"faults", static_cast<std::uint64_t>(faults.size())});
+  run_span.note({"interrupted", result.interrupted});
   return result;
 }
 
@@ -375,11 +485,17 @@ class SerialProvider final : public detail::SolveProvider {
 
 AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
   SerialProvider provider(detail::per_fault_solver_config(options));
+  const detail::FsimMetrics fsim_metrics(options.metrics);
   return detail::run_atpg_pipeline(
       netw, options, provider,
-      [&netw](std::span<const StuckAtFault> faults,
-              std::span<const Pattern> patterns) {
-        return fault_simulate(netw, faults, patterns);
+      [&netw, &fsim_metrics](std::span<const StuckAtFault> faults,
+                             std::span<const Pattern> patterns) {
+        FsimStats stats;
+        std::vector<bool> detected = fault_simulate(
+            netw, faults, patterns,
+            fsim_metrics.enabled() ? &stats : nullptr);
+        fsim_metrics.record(stats);
+        return detected;
       });
 }
 

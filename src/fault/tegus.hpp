@@ -22,6 +22,11 @@
 #include "fault/fsim.hpp"
 #include "sat/solver.hpp"
 
+namespace cwatpg::obs {
+class MetricsRegistry;
+class EventSink;
+}  // namespace cwatpg::obs
+
 namespace cwatpg::fault {
 
 enum class FaultStatus : std::uint8_t {
@@ -43,6 +48,13 @@ enum class SolveEngine : std::uint8_t {
   kSatRetry,  ///< escalation ladder: CDCL with a grown conflict cap
   kPodem,     ///< structural PODEM fallback (last resort)
 };
+
+/// "detected" / "untestable" / "dropped-sim" / "dropped-random" /
+/// "aborted" / "unreachable" / "undetermined" — stable names used by
+/// RunReport JSON keys; renaming one is a report schema change.
+const char* to_string(FaultStatus status);
+/// "none" / "sat" / "sat-retry" / "podem" — same stability contract.
+const char* to_string(SolveEngine engine);
 
 struct FaultOutcome {
   StuckAtFault fault;
@@ -120,6 +132,17 @@ struct AtpgOptions {
   bool podem_fallback = true;
   /// Backtrack cap for the PODEM fallback.
   std::uint64_t podem_max_backtracks = 20'000;
+
+  /// Optional observability hooks (src/obs). Not owned; must outlive the
+  /// run. When `metrics` is set the engine records counters and histograms
+  /// (atpg.*, sat.*, fsim.* — see ARCHITECTURE.md "Observability") into
+  /// it; when `trace` is set it emits structured span/solve events. Both
+  /// default to nullptr, in which case every instrumentation site is a
+  /// single pointer test — the zero-overhead-when-disabled contract.
+  /// Neither hook ever influences classification: results are bit-
+  /// identical with hooks on, off, or any mix.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::EventSink* trace = nullptr;
 };
 
 struct AtpgResult {
@@ -138,6 +161,9 @@ struct AtpgResult {
   /// fault was processed. The result is still internally consistent —
   /// counters match outcomes, every test_index is valid — just partial.
   bool interrupted = false;
+  /// Whole-run wall-clock, stamped by the pipeline on return — what
+  /// obs::build_run_report() uses unless the caller timed the run itself.
+  double wall_seconds = 0.0;
 
   /// Fault efficiency: (detected + proven untestable + unreachable) / all.
   double fault_efficiency() const;

@@ -1,0 +1,487 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cwatpg::obs {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* const names[] = {"null",   "bool",  "int",   "uint",
+                                      "double", "string", "array", "object"};
+  throw std::logic_error(std::string("json: expected ") + want + ", have " +
+                         names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_double() const {
+  switch (type_) {
+    case Type::kDouble:
+      return double_;
+    case Type::kInt:
+      return static_cast<double>(int_);
+    case Type::kUint:
+      return static_cast<double>(uint_);
+    default:
+      type_error("number", type_);
+  }
+}
+
+std::int64_t Json::as_i64() const {
+  switch (type_) {
+    case Type::kInt:
+      return int_;
+    case Type::kUint:
+      if (uint_ > static_cast<std::uint64_t>(
+                      std::numeric_limits<std::int64_t>::max()))
+        throw std::logic_error("json: uint value overflows int64");
+      return static_cast<std::int64_t>(uint_);
+    case Type::kDouble:
+      if (double_ != std::floor(double_))
+        throw std::logic_error("json: non-integral double read as int64");
+      return static_cast<std::int64_t>(double_);
+    default:
+      type_error("number", type_);
+  }
+}
+
+std::uint64_t Json::as_u64() const {
+  switch (type_) {
+    case Type::kUint:
+      return uint_;
+    case Type::kInt:
+      if (int_ < 0)
+        throw std::logic_error("json: negative value read as uint64");
+      return static_cast<std::uint64_t>(int_);
+    case Type::kDouble:
+      if (double_ < 0 || double_ != std::floor(double_))
+        throw std::logic_error("json: non-integral double read as uint64");
+      return static_cast<std::uint64_t>(double_);
+    default:
+      type_error("number", type_);
+  }
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_);
+  values_.push_back(std::move(v));
+}
+
+const Json& Json::operator[](std::size_t i) const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  if (i >= values_.size()) throw std::out_of_range("json: array index");
+  return values_[i];
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (keys_[i] == key) return values_[i];
+  keys_.emplace_back(key);
+  values_.emplace_back();
+  return values_.back();
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (keys_[i] == key) return &values_[i];
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = find(key);
+  if (v == nullptr)
+    throw std::out_of_range("json: missing key \"" + std::string(key) + "\"");
+  return *v;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (is_number() && other.is_number()) {
+    // Numbers compare by value across flavors, so a parsed report (which
+    // may re-type an integral field) still equals the one it came from.
+    if (type_ == Type::kDouble || other.type_ == Type::kDouble)
+      return as_double() == other.as_double();
+    if (type_ == Type::kUint || other.type_ == Type::kUint) {
+      if ((type_ == Type::kInt && int_ < 0) ||
+          (other.type_ == Type::kInt && other.int_ < 0))
+        return false;
+      return as_u64() == other.as_u64();
+    }
+    return int_ == other.int_;
+  }
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return values_ == other.values_;
+    case Type::kObject:
+      return keys_ == other.keys_ && values_ == other.values_;
+    default:
+      return false;  // numbers handled above
+  }
+}
+
+void write_json_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\b':
+        out << "\\b";
+        break;
+      case '\f':
+        out << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void Json::dump_impl(std::ostream& out, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    out << '\n';
+    for (int i = 0; i < indent * d; ++i) out << ' ';
+  };
+  switch (type_) {
+    case Type::kNull:
+      out << "null";
+      break;
+    case Type::kBool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Type::kInt:
+      out << int_;
+      break;
+    case Type::kUint:
+      out << uint_;
+      break;
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) {
+        out << "null";  // JSON has no Inf/NaN; null is the least-bad spelling
+        break;
+      }
+      char buf[32];
+      const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, double_);
+      (void)ec;
+      out << std::string_view(buf, static_cast<std::size_t>(end - buf));
+      break;
+    }
+    case Type::kString:
+      write_json_string(out, string_);
+      break;
+    case Type::kArray:
+      out << '[';
+      for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i > 0) out << ',';
+        newline_pad(depth + 1);
+        values_[i].dump_impl(out, indent, depth + 1);
+      }
+      if (!values_.empty()) newline_pad(depth);
+      out << ']';
+      break;
+    case Type::kObject:
+      out << '{';
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (i > 0) out << ',';
+        newline_pad(depth + 1);
+        write_json_string(out, keys_[i]);
+        out << (indent < 0 ? ":" : ": ");
+        values_[i].dump_impl(out, indent, depth + 1);
+      }
+      if (!keys_.empty()) newline_pad(depth);
+      out << '}';
+      break;
+  }
+}
+
+void Json::dump(std::ostream& out, int indent) const {
+  dump_impl(out, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream out;
+  dump(out, indent);
+  return out.str();
+}
+
+// ---- parser --------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode the code point (surrogate pairs are not combined;
+          // trace payloads and reports are ASCII in practice).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") fail("bad number");
+
+    const bool integral =
+        token.find('.') == std::string_view::npos &&
+        token.find('e') == std::string_view::npos &&
+        token.find('E') == std::string_view::npos;
+    if (integral) {
+      if (token[0] == '-') {
+        std::int64_t value = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc() && p == token.data() + token.size())
+          return Json(value);
+      } else {
+        std::uint64_t value = 0;
+        const auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc() && p == token.data() + token.size())
+          return Json(value);
+      }
+      // fall through to double on overflow
+    }
+    double value = 0;
+    const auto [p, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || p != token.data() + token.size())
+      fail("bad number");
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace cwatpg::obs

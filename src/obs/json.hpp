@@ -1,0 +1,133 @@
+// Minimal JSON value, writer and parser.
+//
+// The observability layer's wire format: RunReports, bench reports and
+// JSONL trace events are all serialized through this one class, and the
+// round-trip tests parse them back through it, so emit and validate agree
+// by construction. Deliberately tiny — no external dependency, no SAX, no
+// allocator tricks — because the payloads are run *summaries*, not bulk
+// data (the biggest report this repo emits is a few hundred kilobytes).
+//
+// Fidelity: integers are stored and printed exactly (signed/unsigned
+// 64-bit, no silent double conversion — solver counters can exceed 2^53);
+// doubles round-trip through max_digits10. Object member order is
+// preserved (insertion order), which keeps emitted reports diffable.
+//
+// Thread-safe: no (a Json is a plain value — share like you would share a
+// std::vector).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cwatpg::obs {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,     ///< signed 64-bit integer
+    kUint,    ///< unsigned 64-bit integer
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;  // null
+  Json(std::nullptr_t) {}
+  Json(bool v) : type_(Type::kBool), bool_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v) : type_(Type::kUint), uint_(v) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : Json(static_cast<std::uint64_t>(v)) {}
+  Json(std::string v) : type_(Type::kString), string_(std::move(v)) {}
+  Json(std::string_view v) : type_(Type::kString), string_(v) {}
+  Json(const char* v) : type_(Type::kString), string_(v) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Scalar accessors. Each throws std::logic_error on a type mismatch;
+  /// the numeric ones convert freely between the three number flavors
+  /// (as_u64 additionally rejects negatives and non-integral doubles).
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_i64() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+
+  // ---- array interface -------------------------------------------------
+  /// Appends to an array (a null value silently becomes an array first).
+  void push_back(Json v);
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  /// Array element access (throws std::out_of_range).
+  const Json& operator[](std::size_t i) const;
+  /// Array/object values in order.
+  const std::vector<Json>& items() const { return values_; }
+
+  // ---- object interface ------------------------------------------------
+  /// Member access; inserts a null member when the key is absent (a null
+  /// value silently becomes an object first). Keys keep insertion order.
+  Json& operator[](std::string_view key);
+  /// Pointer to the member value, or nullptr when absent / not an object.
+  const Json* find(std::string_view key) const;
+  /// Member value (throws std::out_of_range when absent).
+  const Json& at(std::string_view key) const;
+  bool contains(std::string_view key) const { return find(key) != nullptr; }
+  /// Object keys, parallel to items().
+  const std::vector<std::string>& keys() const { return keys_; }
+
+  // ---- serialization ---------------------------------------------------
+  /// Serializes. indent < 0 → compact one-line form; indent >= 0 →
+  /// pretty-printed with that many spaces per level.
+  std::string dump(int indent = -1) const;
+  void dump(std::ostream& out, int indent = -1) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage). Throws
+  /// std::runtime_error with a byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_impl(std::ostream& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::string> keys_;  ///< object keys (empty for arrays)
+  std::vector<Json> values_;       ///< array elements or object values
+};
+
+/// Writes `text` with JSON string escaping (quotes included).
+void write_json_string(std::ostream& out, std::string_view text);
+
+}  // namespace cwatpg::obs

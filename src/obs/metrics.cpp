@@ -1,0 +1,155 @@
+#include "obs/metrics.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace cwatpg::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::logic_error("Histogram: bounds must be strictly increasing");
+  // bounds_.size() + 1 buckets; emplace one by one — atomics cannot be
+  // copy-constructed into a sized container.
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_.emplace_back(0);
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) {
+  if (bounds.empty() && counts.empty()) {
+    *this = other;
+    return *this;
+  }
+  if (bounds != other.bounds)
+    throw std::logic_error(
+        "HistogramSnapshot: cannot merge histograms with different bounds");
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  total += other.total;
+  sum += other.sum;
+  return *this;
+}
+
+MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) {
+    auto [it, inserted] = gauges.try_emplace(name, value);
+    if (!inserted && value > it->second) it->second = value;
+  }
+  for (const auto& [name, hist] : other.histograms) histograms[name] += hist;
+  return *this;
+}
+
+Json MetricsSnapshot::to_json() const {
+  Json j = Json::object();
+  Json& c = j["counters"] = Json::object();
+  for (const auto& [name, value] : counters) c[name] = value;
+  Json& g = j["gauges"] = Json::object();
+  for (const auto& [name, value] : gauges) g[name] = value;
+  Json& h = j["histograms"] = Json::object();
+  for (const auto& [name, hist] : histograms) {
+    Json& entry = h[name] = Json::object();
+    Json& bounds = entry["bounds"] = Json::array();
+    for (const double b : hist.bounds) bounds.push_back(b);
+    Json& counts = entry["counts"] = Json::array();
+    for (const std::uint64_t n : hist.counts) counts.push_back(n);
+    entry["total"] = hist.total;
+    entry["sum"] = hist.sum;
+  }
+  return j;
+}
+
+MetricsSnapshot MetricsSnapshot::from_json(const Json& j) {
+  MetricsSnapshot snap;
+  if (const Json* c = j.find("counters")) {
+    for (std::size_t i = 0; i < c->keys().size(); ++i)
+      snap.counters[c->keys()[i]] = c->items()[i].as_u64();
+  }
+  if (const Json* g = j.find("gauges")) {
+    for (std::size_t i = 0; i < g->keys().size(); ++i)
+      snap.gauges[g->keys()[i]] = g->items()[i].as_double();
+  }
+  if (const Json* h = j.find("histograms")) {
+    for (std::size_t i = 0; i < h->keys().size(); ++i) {
+      const Json& entry = h->items()[i];
+      HistogramSnapshot hist;
+      for (const Json& b : entry.at("bounds").items())
+        hist.bounds.push_back(b.as_double());
+      for (const Json& n : entry.at("counts").items())
+        hist.counts.push_back(n.as_u64());
+      hist.total = entry.at("total").as_u64();
+      hist.sum = entry.at("sum").as_double();
+      snap.histograms[h->keys()[i]] = std::move(hist);
+    }
+  }
+  return snap;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .try_emplace(std::string(name),
+                   std::vector<double>(upper_bounds.begin(),
+                                       upper_bounds.end()))
+      .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hist;
+    hist.bounds = h.bounds_;
+    hist.counts.reserve(h.buckets_.size());
+    for (const auto& bucket : h.buckets_) {
+      const std::uint64_t n = bucket.load(std::memory_order_relaxed);
+      hist.counts.push_back(n);
+      hist.total += n;
+    }
+    hist.sum = h.sum_.load(std::memory_order_relaxed);
+    snap.histograms[name] = std::move(hist);
+  }
+  return snap;
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counter(name).add(value);
+  for (const auto& [name, value] : other.gauges) gauge(name).max_in(value);
+  for (const auto& [name, hist] : other.histograms) {
+    Histogram& h = histogram(name, hist.bounds);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (h.bounds_ != hist.bounds)
+      throw std::logic_error(
+          "MetricsRegistry::merge: histogram bounds mismatch for " + name);
+    for (std::size_t i = 0; i < hist.counts.size(); ++i)
+      h.buckets_[i].fetch_add(hist.counts[i], std::memory_order_relaxed);
+    h.sum_.fetch_add(hist.sum, std::memory_order_relaxed);
+  }
+}
+
+std::span<const double> solve_time_bounds_ms() {
+  static constexpr std::array<double, 6> kBounds = {0.01, 0.1, 1.0,
+                                                    10.0, 100.0, 1000.0};
+  return kBounds;
+}
+
+}  // namespace cwatpg::obs

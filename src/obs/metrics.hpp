@@ -1,0 +1,161 @@
+// Metrics registry: named atomic counters, gauges and fixed-bucket
+// histograms.
+//
+// The quantitative backbone of the observability subsystem. Engines and
+// kernels take an optional `MetricsRegistry*` (nullptr by default); when
+// one is supplied they record what they did — solves, drops, conflicts,
+// phase times, queue depths — and the caller snapshots the registry into a
+// RunReport or bench JSON afterwards. When none is supplied the
+// instrumentation costs one pointer test per site, which is the
+// zero-overhead-when-disabled contract the benches rely on.
+//
+// Hot-path discipline: look the instrument up ONCE (counter()/gauge()/
+// histogram() take a registration mutex), keep the reference, and bump it
+// in the loop — a bump is a single relaxed atomic RMW. References returned
+// by the registry are stable for the registry's lifetime (instruments live
+// in node-stable deques and are never erased).
+//
+// Thread-safe: fully. Registration is mutex-guarded; updates are lock-free
+// atomics; snapshot() may race with updates and sees each instrument's
+// current value (counters monotone, so a snapshot is a consistent
+// lower bound). Worker-local registries can be combined with merge():
+// counters and histograms add, gauges keep the maximum — the convention
+// that makes "peak queue depth" and friends merge meaningfully.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cwatpg::obs {
+
+/// Monotone event count. add() is a relaxed fetch_add — safe from any
+/// thread, meaningful to read only via value()/snapshot.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (double). set() overwrites; max_in() raises. Merge
+/// semantics across registries take the maximum (see MetricsRegistry).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to at least `v` (CAS loop; races keep the max).
+  void max_in(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper edges of the first
+/// N buckets plus an implicit +inf bucket, so counts.size() ==
+/// bounds.size() + 1. observe() is two relaxed RMWs plus a linear scan of
+/// the (small, fixed) bound list.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x) {
+    std::size_t b = 0;
+    while (b < bounds_.size() && x > bounds_[b]) ++b;
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    // C++20 atomic<double>::fetch_add.
+    sum_.fetch_add(x, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<double> bounds_;
+  std::deque<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< upper edges (last bucket = +inf)
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 entries
+  std::uint64_t total = 0;             ///< sum of counts
+  double sum = 0.0;                    ///< sum of observed values
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Point-in-time copy of a registry: plain values, ordered by name. The
+/// unit handed to reports and serialized as JSON.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counters and histograms add; gauges keep the maximum. Histograms with
+  /// the same name must share bucket bounds (std::logic_error otherwise).
+  MetricsSnapshot& operator+=(const MetricsSnapshot& other);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{bounds,counts,
+  /// sum}}}. from_json() inverts it.
+  Json to_json() const;
+  static MetricsSnapshot from_json(const Json& j);
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. References stay valid for the
+  /// registry's lifetime. histogram() ignores `upper_bounds` when the name
+  /// already exists (first registration wins).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds);
+
+  /// Plain-value copy of every instrument; may race with concurrent
+  /// updates (counters are monotone, so the copy is internally coherent).
+  MetricsSnapshot snapshot() const;
+
+  /// Folds a snapshot into this registry: counters/histogram buckets add,
+  /// gauges take max — how per-worker registries combine after a join.
+  void merge(const MetricsSnapshot& other);
+
+ private:
+  mutable std::mutex mutex_;  ///< guards the name maps, not the instruments
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Shared bucket edges for solve-time histograms, in milliseconds:
+/// 0.01, 0.1, 1, 10, 100, 1000 (+inf implicit) — the decades of the
+/// paper's Figure-1 claim ("over 90% below 10 ms").
+std::span<const double> solve_time_bounds_ms();
+
+}  // namespace cwatpg::obs

@@ -1,0 +1,96 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace cwatpg::obs {
+
+namespace {
+
+std::unique_ptr<std::ostream> open_for_write(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(path);
+  if (!*out)
+    throw std::runtime_error("JsonlSink: cannot open " + path +
+                             " for writing");
+  return out;
+}
+
+void write_field_value(std::ostream& out, const Field& f) {
+  switch (f.kind) {
+    case Field::Kind::kUint:
+      out << f.u64;
+      break;
+    case Field::Kind::kInt:
+      out << f.i64;
+      break;
+    case Field::Kind::kDouble:
+      // Reuse Json's exact double formatting.
+      Json(f.f64).dump(out);
+      break;
+    case Field::Kind::kBool:
+      out << (f.boolean ? "true" : "false");
+      break;
+    case Field::Kind::kString:
+      write_json_string(out, f.str);
+      break;
+  }
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(std::ostream& out)
+    : out_(out), epoch_(std::chrono::steady_clock::now()) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(open_for_write(path)),
+      out_(*owned_),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+JsonlSink::~JsonlSink() { out_.flush(); }
+
+void JsonlSink::event(std::string_view name, std::span<const Field> fields) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto ts_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+          .count();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = thread_ids_.try_emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(thread_ids_.size()));
+  out_ << "{\"ts_ns\":" << ts_ns << ",\"tid\":" << it->second << ",\"name\":";
+  write_json_string(out_, name);
+  for (const Field& f : fields) {
+    out_ << ',';
+    write_json_string(out_, f.key);
+    out_ << ':';
+    write_field_value(out_, f);
+  }
+  out_ << "}\n";
+  ++events_;
+}
+
+std::uint64_t JsonlSink::events_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+#if !defined(CWATPG_OBS_NO_TRACE)
+
+void Span::finish() {
+  if (sink_ == nullptr) return;
+  const auto dur = std::chrono::steady_clock::now() - start_;
+  notes_.emplace_back(
+      "dur_ns",
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dur).count()));
+  sink_->event(name_, notes_);
+  sink_ = nullptr;
+}
+
+#endif
+
+}  // namespace cwatpg::obs

@@ -1,0 +1,159 @@
+// Structured trace events and scoped spans.
+//
+// The event layer answers "what happened, when, on which thread" — the
+// signal the metrics registry aggregates away. An EventSink receives
+// (name, key/value fields); concrete sinks stamp each event with a
+// monotonic timestamp and a small per-thread id. JsonlSink writes one JSON
+// object per line (JSONL), the format every log/trace toolchain ingests.
+//
+// Disabled-by-default contract: every instrumentation site takes an
+// `EventSink*` that defaults to nullptr, and Span/event emission begins
+// with a null test — one predictable branch, nothing allocated, no clock
+// read. Defining CWATPG_OBS_NO_TRACE compiles Span and CWATPG_OBS_EVENT
+// out entirely for builds that must not carry even the branch.
+//
+// Thread-safe: sinks must accept concurrent event() calls (JsonlSink
+// serializes under a mutex; NullSink is trivially safe). Span is used by
+// one thread at a time, like any stack object.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace cwatpg::obs {
+
+/// One key/value payload entry. Keys are expected to be string literals
+/// (the sink consumes fields before event() returns, so any lifetime that
+/// spans the call works).
+struct Field {
+  enum class Kind : std::uint8_t { kUint, kInt, kDouble, kBool, kString };
+
+  std::string_view key;
+  Kind kind = Kind::kUint;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  bool boolean = false;
+  std::string_view str;
+
+  Field(std::string_view k, std::uint64_t v)
+      : key(k), kind(Kind::kUint), u64(v) {}
+  Field(std::string_view k, std::uint32_t v)
+      : Field(k, static_cast<std::uint64_t>(v)) {}
+  Field(std::string_view k, std::int64_t v)
+      : key(k), kind(Kind::kInt), i64(v) {}
+  Field(std::string_view k, int v)
+      : Field(k, static_cast<std::int64_t>(v)) {}
+  Field(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), f64(v) {}
+  Field(std::string_view k, bool v)
+      : key(k), kind(Kind::kBool), boolean(v) {}
+  Field(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), str(v) {}
+  Field(std::string_view k, const char* v)
+      : Field(k, std::string_view(v)) {}
+};
+
+/// Receiver of structured events. Implementations stamp thread id and
+/// timestamp themselves so call sites stay one-liners.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void event(std::string_view name,
+                     std::span<const Field> fields) = 0;
+
+  /// Convenience: event("x", {{"k", 1}, ...}).
+  void event(std::string_view name, std::initializer_list<Field> fields) {
+    event(name, std::span<const Field>(fields.begin(), fields.size()));
+  }
+};
+
+/// Swallows everything. Exists for call sites that want a non-null sink
+/// object (e.g. measuring instrumentation overhead itself); passing a
+/// nullptr EventSink* is the cheaper and idiomatic "off" state.
+class NullSink final : public EventSink {
+ public:
+  using EventSink::event;
+  void event(std::string_view, std::span<const Field>) override {}
+};
+
+/// Writes one JSON object per event, one event per line:
+///   {"ts_ns":152332,"tid":0,"name":"atpg.solve","fault":17,"ms":0.42}
+/// ts_ns is monotonic (steady_clock) nanoseconds since sink construction;
+/// tid is a small dense id assigned per distinct thread in arrival order.
+/// All writes are serialized under one mutex — JSONL lines never interleave.
+class JsonlSink final : public EventSink {
+ public:
+  /// Streams to `out` (not owned; must outlive the sink).
+  explicit JsonlSink(std::ostream& out);
+  /// Opens `path` for writing (std::runtime_error when the open fails).
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+
+  using EventSink::event;
+  void event(std::string_view name, std::span<const Field> fields) override;
+
+  /// Events written so far.
+  std::uint64_t events_written() const;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;  ///< set for the path constructor
+  std::ostream& out_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::thread::id, std::uint32_t> thread_ids_;
+  std::uint64_t events_ = 0;
+};
+
+#if !defined(CWATPG_OBS_NO_TRACE)
+
+/// Scoped timer: emits `name` with a "dur_ns" field (plus any note()-ed
+/// fields) when it goes out of scope. With a null sink the constructor and
+/// destructor are a pointer test each — no clock read, no allocation.
+class Span {
+ public:
+  Span(EventSink* sink, std::string_view name) : sink_(sink), name_(name) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Attaches a field reported with the closing event. Values are captured
+  /// now; string values must outlive the span (use literals).
+  void note(Field field) {
+    if (sink_ != nullptr) notes_.push_back(field);
+  }
+
+  /// Emits the closing event early (idempotent; the destructor becomes a
+  /// no-op afterwards).
+  void finish();
+
+ private:
+  EventSink* sink_;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_{};
+  std::vector<Field> notes_;
+};
+
+#else  // CWATPG_OBS_NO_TRACE: spans compile to nothing
+
+class Span {
+ public:
+  Span(EventSink*, std::string_view) {}
+  void note(Field) {}
+  void finish() {}
+};
+
+#endif
+
+}  // namespace cwatpg::obs

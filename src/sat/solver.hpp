@@ -36,6 +36,25 @@ struct SolverStats {
   /// "Gave up" and "proven" are different results; this says which one
   /// happened and why — the escalation ladder keys off it.
   StopReason stop_reason = StopReason::kNone;
+
+  /// Aggregation across solves (per-worker rollups, RunReports): counters
+  /// add; stop_reason keeps the most recent firing — `other`'s reason wins
+  /// when it is not kNone, so a rollup remembers that *some* solve in the
+  /// batch was cut short (the per-reason breakdown belongs in a histogram,
+  /// not here).
+  SolverStats& operator+=(const SolverStats& other) {
+    decisions += other.decisions;
+    propagations += other.propagations;
+    conflicts += other.conflicts;
+    learnt_clauses += other.learnt_clauses;
+    learnt_literals += other.learnt_literals;
+    restarts += other.restarts;
+    if (other.stop_reason != StopReason::kNone)
+      stop_reason = other.stop_reason;
+    return *this;
+  }
+
+  bool operator==(const SolverStats&) const = default;
 };
 
 struct SolverConfig {

@@ -1,5 +1,6 @@
 #include "util/threadpool.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <exception>
 #include <utility>
@@ -16,6 +17,10 @@ struct ThreadPool::Worker {
   std::mutex mutex;
   std::deque<Task> deque;
   Rng rng;  ///< steal-victim stream; touched only by the owning thread
+  // Telemetry counters: written only by the owning thread (relaxed RMW),
+  // read by telemetry() from any thread.
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> steals{0};
 
   explicit Worker(std::uint64_t seed) : rng(seed) {}
 };
@@ -26,6 +31,15 @@ std::size_t ThreadPool::default_thread_count() {
 }
 
 std::size_t ThreadPool::worker_index() { return tls_worker_index; }
+
+std::vector<ThreadPool::WorkerTelemetry> ThreadPool::telemetry() const {
+  std::vector<WorkerTelemetry> out(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    out[i].executed = workers_[i]->executed.load(std::memory_order_relaxed);
+    out[i].steals = workers_[i]->steals.load(std::memory_order_relaxed);
+  }
+  return out;
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::uint64_t seed) {
   if (num_threads == 0) num_threads = default_thread_count();
@@ -103,11 +117,15 @@ void ThreadPool::worker_loop(std::size_t index) {
   tls_worker_index = index;
   for (;;) {
     Task task;
-    if (try_pop_local(index, task) || try_steal(index, task)) {
+    bool stolen = false;
+    if (try_pop_local(index, task) || (stolen = try_steal(index, task))) {
       {
         std::lock_guard<std::mutex> lock(mutex_);
         --queued_;
       }
+      Worker& self = *workers_[index];
+      self.executed.fetch_add(1, std::memory_order_relaxed);
+      if (stolen) self.steals.fetch_add(1, std::memory_order_relaxed);
       std::exception_ptr error;
       try {
         task();

@@ -44,6 +44,15 @@ class ThreadPool {
   /// Sentinel returned by worker_index() on non-pool threads.
   static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
 
+  /// What one worker has done so far — scheduling telemetry for the
+  /// observability layer (fault::ParallelStats, RunReports). `executed`
+  /// counts tasks this worker ran; `steals` counts how many of those it
+  /// took from another worker's deque.
+  struct WorkerTelemetry {
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+  };
+
   /// Spawns `num_threads` workers (0 = default_thread_count()). `seed`
   /// roots the per-worker RNG streams used for steal-victim selection.
   explicit ThreadPool(std::size_t num_threads = 0,
@@ -72,6 +81,10 @@ class ThreadPool {
   /// Index of the calling pool worker in [0, size()), or kNotAWorker when
   /// called from a thread this pool does not own.
   static std::size_t worker_index();
+
+  /// Per-worker executed/steal counts, indexed by worker id. Safe to call
+  /// any time (counters are atomics); exact once the pool is idle.
+  std::vector<WorkerTelemetry> telemetry() const;
 
   /// Splits [begin, end) into chunks of at least `grain` iterations,
   /// runs `body(lo, hi)` on the pool, and blocks until all chunks finish.
