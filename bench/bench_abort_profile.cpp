@@ -17,8 +17,9 @@
 //      curve of the engine (processed faults and coverage vs. deadline),
 //      with `interrupted` confirming the run was cut, not finished.
 //
-// --threads=N runs the deadline sweep on the parallel engine instead of
-// the serial one (same budget plumbing, same partial-result contract).
+// --threads=N (N > 1; 0 = auto) runs the deadline sweep on the parallel
+// engine instead of the serial one (same budget plumbing, same
+// partial-result contract).
 #include <algorithm>
 #include <cmath>
 #include <iostream>
@@ -49,7 +50,7 @@ fault::AtpgResult run(const net::Network& circuit,
   ropts.seed = seed;
   fault::AtpgResult result;
   fault::ParallelStats pstats;
-  if (threads == 0) {
+  if (threads <= 1) {
     result = fault::run_atpg(circuit, base);
   } else {
     fault::ParallelAtpgOptions popts;
@@ -126,7 +127,7 @@ int main(int argc, char** argv) {
       net::decompose(gen::array_multiplier(std::min(width + 3, 8)));
   std::cout << "deadline sweep circuit: " << hard.name() << " ("
             << hard.gate_count() << " gates), engine: "
-            << (args.threads == 0
+            << (args.threads <= 1
                     ? std::string("serial")
                     : std::to_string(args.threads) + " threads")
             << "\n\n";

@@ -15,15 +15,20 @@
 #include <string>
 #include <vector>
 
+#include "util/threadpool.hpp"
+
 namespace cwatpg::bench {
 
 struct BenchArgs {
   double scale = 0.35;   ///< suite size multiplier
   std::size_t stride = 1;  ///< take every stride-th fault site
   std::uint64_t seed = 99;
-  /// ATPG worker threads: 0 = serial engine, N >= 1 = run_atpg_parallel
-  /// with an N-worker pool (classification is byte-identical either way).
-  std::size_t threads = 0;
+  /// ATPG worker threads: 1 (the default) = serial engine, N > 1 =
+  /// run_atpg_parallel with an N-worker pool (classification is
+  /// byte-identical either way). `--threads=0` means "auto" and is
+  /// resolved to hardware concurrency by parse_args via the shared
+  /// ThreadPool::resolve_thread_count helper, so benches never see 0.
+  std::size_t threads = 1;
   std::string csv;   ///< when set, raw datapoints are also written here
   /// When set, the bench writes its canonical JSON report (schema
   /// "cwatpg.bench_report/1" wrapping per-run RunReports) here — see
@@ -34,7 +39,9 @@ struct BenchArgs {
 inline void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--scale=F] [--stride=N] [--seed=S] [--threads=N]"
-         " [--csv=FILE] [--json=FILE]\n";
+         " [--csv=FILE] [--json=FILE]\n"
+         "  --threads: 1 = serial engine (default), 0 = auto (hardware"
+         " concurrency), N > 1 = parallel engine\n";
 }
 
 /// Parses the shared bench flags. Unknown arguments are an error: usage
@@ -54,8 +61,8 @@ inline BenchArgs parse_args(int argc, char** argv,
     } else if (arg.rfind("--seed=", 0) == 0) {
       args.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
     } else if (arg.rfind("--threads=", 0) == 0) {
-      args.threads = static_cast<std::size_t>(
-          std::max(0L, std::atol(arg.c_str() + 10)));
+      args.threads = ThreadPool::resolve_thread_count(static_cast<std::size_t>(
+          std::max(0L, std::atol(arg.c_str() + 10))));
     } else if (arg.rfind("--csv=", 0) == 0) {
       args.csv = arg.substr(6);
     } else if (arg.rfind("--json=", 0) == 0) {

@@ -37,10 +37,10 @@ int main(int argc, char** argv) {
   std::size_t sat_instances = 0, unsat_instances = 0;
   std::vector<obs::RunReport> reports;  ///< one RunReport per circuit
 
-  // --threads=N runs the fault-parallel engine; the per-instance scatter
-  // (sat_vars, statuses) is byte-identical to the serial engine, only the
-  // wall clock changes. Per-worker CDCL counters aggregate back into the
-  // same per-outcome SolverStats either way.
+  // --threads=N (N > 1; 0 = auto) runs the fault-parallel engine; the
+  // per-instance scatter (sat_vars, statuses) is byte-identical to the
+  // serial engine, only the wall clock changes. Per-worker CDCL counters
+  // aggregate back into the same per-outcome SolverStats either way.
   auto run_suite = [&](const std::vector<net::Network>& suite,
                        const char* name) {
     for (const net::Network& n : suite) {
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       obs::ReportOptions ropts;
       ropts.label = name;
       ropts.seed = args.seed;
-      if (args.threads > 0) {
+      if (args.threads > 1) {
         fault::ParallelAtpgOptions popts;
         popts.base = opts;
         popts.num_threads = args.threads;

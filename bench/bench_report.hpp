@@ -12,7 +12,7 @@
 //   {
 //     "schema":    "cwatpg.bench_report/1",
 //     "bench":     "bench_fig1_tegus",
-//     "scale":     0.35, "stride": 1, "seed": 99, "threads": 0,
+//     "scale":     0.35, "stride": 1, "seed": 99, "threads": 1,
 //     "aggregate": { <cwatpg.run_report/1> },   // merge_runs over "runs"
 //     "runs":      [ { <cwatpg.run_report/1> }, ... ],
 //     "extra":     { ... }                      // bench-specific numbers

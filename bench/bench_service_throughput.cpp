@@ -1,0 +1,213 @@
+// Service throughput: the cwatpg.rpc/1 daemon under a mixed request load.
+//
+// Drives an in-process svc::Server over an in-memory duplex transport —
+// the same Server + Transport path cwatpg_serve binds to stdin/stdout, so
+// the numbers measure the real admission/dispatch/response pipeline, not a
+// test shortcut. The workload replays a deterministic trace of run_atpg
+// and fsim jobs (mixed priorities and seeds) against a handful of
+// registered circuits, with periodic cancels racing live jobs, and reports
+// sustained requests/second plus the server's own queue/registry counters.
+//
+//   --scale=F     trace length multiplier (default workload ~ a few
+//                 hundred requests)
+//   --threads=N   server job workers: 1 = default, 0 = auto, N > 1 = pool
+//   --seed=S      varies the per-job ATPG seeds (never the trace shape)
+//   --json=FILE   canonical bench report; `runs` holds the RunReport every
+//                 served run_atpg response carried, so served work is
+//                 diffable against direct-engine bench artifacts
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_report.hpp"
+#include "gen/structured.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/decompose.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "svc/proto.hpp"
+#include "svc/server.hpp"
+#include "svc/transport.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace cwatpg;
+
+obs::Json request_json(std::uint64_t id, const char* kind, obs::Json params) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = svc::kRpcSchema;
+  j["id"] = id;
+  j["kind"] = kind;
+  j["params"] = std::move(params);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs defaults;
+  defaults.scale = 0.35;
+  const bench::BenchArgs args = bench::parse_args(argc, argv, defaults);
+  bench::banner("service throughput — ATPG-as-a-service under mixed load",
+                "serving-layer companion to the paper's \"ATPG is easy in "
+                "practice\" claim: easy per-instance cost must survive "
+                "scheduling, admission and transport");
+
+  svc::ServerOptions sopts;
+  sopts.threads = args.threads;
+  sopts.queue_capacity = 64;
+  svc::Server server(sopts);
+  svc::DuplexPair pair = svc::make_duplex();
+  std::thread serve_loop([&] { server.serve(*pair.server); });
+  svc::Transport& client = *pair.client;
+
+  // ---- register the circuit mix ------------------------------------------
+  const std::vector<net::Network> circuits = {
+      net::decompose(gen::comparator(3)),
+      net::decompose(gen::comparator(4)),
+      net::decompose(gen::array_multiplier(4)),
+  };
+  std::uint64_t next_id = 1;
+  std::vector<std::string> keys;
+  for (const net::Network& n : circuits) {
+    std::ostringstream text;
+    net::write_bench(text, n);
+    obs::Json params = obs::Json::object();
+    params["name"] = n.name();
+    params["text"] = text.str();
+    client.write(request_json(next_id++, "load_circuit", std::move(params)));
+    obs::Json resp;
+    if (!client.read(resp) || !resp.at("ok").as_bool()) {
+      std::cerr << "load_circuit failed\n";
+      return 1;
+    }
+    keys.push_back(resp.at("result").at("circuit").at("key").as_string());
+    std::cout << "registered " << n.name() << " as " << keys.back() << "\n";
+  }
+
+  // ---- replay the trace ---------------------------------------------------
+  const std::size_t total_jobs = std::max<std::size_t>(
+      16, static_cast<std::size_t>(600 * args.scale));
+  std::cout << "\nreplaying " << total_jobs << " jobs on "
+            << server.threads() << " worker(s)...\n";
+
+  std::size_t sent_jobs = 0, sent_cancels = 0;
+  std::vector<std::uint64_t> outstanding;
+  Timer wall;
+  for (std::size_t i = 0; i < total_jobs; ++i) {
+    const std::string& key = keys[i % keys.size()];
+    obs::Json params = obs::Json::object();
+    params["circuit"] = key;
+    const std::uint64_t id = next_id++;
+    if (i % 4 == 3) {
+      obs::Json patterns = obs::Json::array();
+      const std::size_t width = circuits[i % keys.size()].inputs().size();
+      patterns.push_back(std::string(width, '0'));
+      patterns.push_back(std::string(width, '1'));
+      params["patterns"] = std::move(patterns);
+      client.write(request_json(id, "fsim", std::move(params)));
+    } else {
+      params["seed"] = args.seed + static_cast<std::uint64_t>(i);
+      params["priority"] = static_cast<std::int64_t>(i % 3) - 1;
+      client.write(request_json(id, "run_atpg", std::move(params)));
+    }
+    outstanding.push_back(id);
+    ++sent_jobs;
+    if (i % 16 == 15) {
+      // Race a cancel against a job submitted a moment ago.
+      obs::Json cparams = obs::Json::object();
+      cparams["job"] = outstanding[outstanding.size() / 2];
+      client.write(request_json(next_id++, "cancel", std::move(cparams)));
+      ++sent_cancels;
+    }
+  }
+
+  // ---- collect every response --------------------------------------------
+  std::size_t ok_atpg = 0, ok_fsim = 0, overloaded = 0, cancelled = 0,
+              other_errors = 0, cancel_acks = 0;
+  std::vector<obs::RunReport> reports;
+  const std::size_t expected = sent_jobs + sent_cancels;
+  for (std::size_t i = 0; i < expected; ++i) {
+    obs::Json resp;
+    if (!client.read(resp)) {
+      std::cerr << "transport closed with responses outstanding\n";
+      return 1;
+    }
+    if (!resp.at("ok").as_bool()) {
+      const std::string code = resp.at("error").at("code").as_string();
+      if (code == "overloaded")
+        ++overloaded;
+      else if (code == "cancelled")
+        ++cancelled;
+      else
+        ++other_errors;
+      continue;
+    }
+    const obs::Json& result = resp.at("result");
+    if (result.contains("run_report")) {
+      ++ok_atpg;
+      reports.push_back(obs::RunReport::from_json(result.at("run_report")));
+    } else if (result.contains("fsim")) {
+      ++ok_fsim;
+    } else {
+      ++cancel_acks;  // inline cancel responses carry only job/state
+    }
+  }
+  const double seconds = wall.seconds();
+
+  client.write(request_json(next_id++, "shutdown", obs::Json::object()));
+  obs::Json shutdown_resp;
+  const bool drained = client.read(shutdown_resp) &&
+                       shutdown_resp.at("ok").as_bool() &&
+                       shutdown_resp.at("result").at("drained").as_bool();
+  serve_loop.join();
+
+  // ---- report -------------------------------------------------------------
+  Table table({"metric", "value"});
+  table.add_row({"requests", cell(expected)});
+  table.add_row({"run_atpg ok", cell(ok_atpg)});
+  table.add_row({"fsim ok", cell(ok_fsim)});
+  table.add_row({"overloaded", cell(overloaded)});
+  table.add_row({"cancelled", cell(cancelled)});
+  table.add_row({"cancel acks", cell(cancel_acks)});
+  table.add_row({"other errors", cell(other_errors)});
+  table.add_row({"wall seconds", cell(seconds, 3)});
+  table.add_row({"jobs / second", cell(sent_jobs / std::max(seconds, 1e-9), 1)});
+  table.print(std::cout);
+
+  const svc::QueueStats qstats = server.queue_stats();
+  const svc::RegistryStats rstats = server.registry_stats();
+  std::cout << "\nqueue: admitted " << qstats.admitted << ", rejected "
+            << qstats.rejected << ", removed " << qstats.removed
+            << ", max depth " << qstats.max_depth << "\n"
+            << "registry: " << rstats.entries << " entries, " << rstats.hits
+            << " hits, " << rstats.evictions << " evictions\n"
+            << "shutdown drained: " << (drained ? "yes" : "NO") << "\n";
+
+  if (!drained || other_errors > 0) {
+    std::cerr << "service misbehaved under load\n";
+    return 1;
+  }
+
+  obs::Json extra = obs::Json::object();
+  extra["requests"] = static_cast<std::uint64_t>(expected);
+  extra["jobs"] = static_cast<std::uint64_t>(sent_jobs);
+  extra["run_atpg_ok"] = static_cast<std::uint64_t>(ok_atpg);
+  extra["fsim_ok"] = static_cast<std::uint64_t>(ok_fsim);
+  extra["overloaded"] = static_cast<std::uint64_t>(overloaded);
+  extra["cancelled"] = static_cast<std::uint64_t>(cancelled);
+  extra["wall_seconds"] = seconds;
+  extra["jobs_per_second"] = sent_jobs / std::max(seconds, 1e-9);
+  extra["queue"] = qstats.to_json();
+  extra["registry"] = rstats.to_json();
+  if (!bench::emit_report("bench_service_throughput", args, reports,
+                          std::move(extra)))
+    return 1;
+  return 0;
+}

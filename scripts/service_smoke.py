@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Smoke-drives cwatpg_serve over cwatpg.rpc/1 and validates responses.
+
+Starts the daemon, then walks the whole request surface: load_circuit,
+status, fsim, run_atpg (serial + parallel determinism check), cancel
+(unknown job and a live one), an intentionally malformed request, and a
+graceful shutdown. Exits nonzero on the first schema or semantics
+violation — the CI service-smoke job runs exactly this.
+
+usage: service_smoke.py /path/to/cwatpg_serve
+"""
+
+import json
+import subprocess
+import sys
+
+RPC_SCHEMA = "cwatpg.rpc/1"
+
+# A 4-input, 2-output carry/sum slice — small enough to solve instantly,
+# large enough to have a real fault list.
+BENCH_TEXT = """
+# smoke circuit
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+INPUT(en)
+OUTPUT(sum)
+OUTPUT(carry)
+x1 = XOR(a, b)
+sum = XOR(x1, cin)
+a1 = AND(a, b)
+a2 = AND(x1, cin)
+c1 = OR(a1, a2)
+carry = AND(c1, en)
+"""
+
+
+class Client:
+    def __init__(self, binary):
+        self.proc = subprocess.Popen(
+            [binary, "--threads=2", "--queue-capacity=8"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+        )
+        self.next_id = 1
+
+    def send(self, kind, params=None, req_id=None):
+        if req_id is None:
+            req_id = self.next_id
+            self.next_id += 1
+        frame = {"schema": RPC_SCHEMA, "id": req_id, "kind": kind,
+                 "params": params or {}}
+        payload = json.dumps(frame).encode()
+        self.proc.stdin.write(b"%d\n%s" % (len(payload), payload))
+        self.proc.stdin.flush()
+        return req_id
+
+    def recv(self):
+        header = b""
+        while not header.endswith(b"\n"):
+            byte = self.proc.stdout.read(1)
+            if not byte:
+                raise SystemExit("FAIL: server closed stream mid-conversation")
+            header += byte
+        payload = self.proc.stdout.read(int(header))
+        response = json.loads(payload)
+        check(response.get("schema") == RPC_SCHEMA,
+              f"response schema: {response}")
+        check("id" in response and "ok" in response,
+              f"response envelope: {response}")
+        if not response["ok"]:
+            err = response.get("error", {})
+            check("code" in err and "message" in err,
+                  f"error envelope: {response}")
+        return response
+
+    def call(self, kind, params=None):
+        """Send one request and read one response (in-order control plane)."""
+        req_id = self.send(kind, params)
+        response = self.recv()
+        check(response["id"] == req_id,
+              f"response id {response['id']} matches request id {req_id}")
+        return response
+
+
+def check(cond, what):
+    if not cond:
+        raise SystemExit(f"FAIL: {what}")
+    print(f"ok: {what}"[:100])
+
+
+def main():
+    if len(sys.argv) != 2:
+        raise SystemExit(__doc__)
+    c = Client(sys.argv[1])
+
+    # -- load_circuit ------------------------------------------------------
+    r = c.call("load_circuit", {"name": "smoke", "text": BENCH_TEXT})
+    check(r["ok"], "load_circuit succeeds")
+    circuit = r["result"]["circuit"]
+    for key in ("key", "gates", "inputs", "outputs", "faults",
+                "cnf_vars", "cnf_clauses"):
+        check(key in circuit, f"load_circuit result has {key}")
+    check(len(circuit["key"]) == 16, "content hash is 16 hex digits")
+    key = circuit["key"]
+
+    # Re-loading identical text must dedup onto the same entry.
+    r2 = c.call("load_circuit", {"name": "smoke-again", "text": BENCH_TEXT})
+    check(r2["result"]["circuit"]["key"] == key, "re-load dedups by content")
+    check(r2["result"]["registry"]["entries"] == 1, "registry holds 1 entry")
+
+    # -- status ------------------------------------------------------------
+    r = c.call("status")
+    for key2 in ("threads", "queue", "registry", "in_flight"):
+        check(key2 in r["result"], f"status has {key2}")
+
+    # -- fsim --------------------------------------------------------------
+    n_inputs = circuit["inputs"]
+    patterns = ["0" * n_inputs, "1" * n_inputs, "01" * (n_inputs // 2)]
+    r = c.call("fsim", {"circuit": key, "patterns": patterns})
+    check(r["ok"], "fsim succeeds")
+    check(r["result"]["patterns"] == len(patterns), "fsim counts patterns")
+    check(0.0 < r["result"]["coverage"] <= 1.0, "fsim coverage in (0,1]")
+
+    # -- run_atpg: serial vs parallel must agree byte-for-byte -------------
+    r1 = c.call("run_atpg", {"circuit": key, "seed": 7, "threads": 1})
+    check(r1["ok"], "run_atpg (serial) succeeds")
+    res1 = r1["result"]
+    check(res1["run_report"]["schema"] == "cwatpg.run_report/1",
+          "run_atpg attaches a run_report")
+    check(not res1["interrupted"], "run_atpg not interrupted")
+    check(res1["coverage"] > 0.9, f"coverage sane ({res1['coverage']})")
+    check(res1["tests"], "run_atpg returned test patterns")
+    check("queue" in res1 and "registry" in res1,
+          "response carries queue/registry metrics")
+
+    r2 = c.call("run_atpg", {"circuit": key, "seed": 7, "threads": 2})
+    check(r2["result"]["tests"] == res1["tests"],
+          "parallel tests byte-identical to serial")
+
+    # -- cancel: unknown job ----------------------------------------------
+    r = c.call("cancel", {"job": 999999})
+    check(r["result"]["state"] == "unknown", "cancel of unknown job")
+
+    # -- cancel: a just-submitted job -------------------------------------
+    # The job may be queued, running, or already done when the cancel
+    # lands; all are legal. Exactly one terminal response must arrive.
+    job_id = c.send("run_atpg", {"circuit": key, "seed": 8,
+                                 "random_blocks": 0})
+    cancel_id = c.send("cancel", {"job": job_id})
+    seen = {}
+    while job_id not in seen or cancel_id not in seen:
+        resp = c.recv()
+        check(resp["id"] not in seen,
+              f"first and only response for id {resp['id']}")
+        check(resp["id"] in (job_id, cancel_id),
+              f"response id {resp['id']} belongs to this exchange")
+        seen[resp["id"]] = resp
+    check(seen[cancel_id]["ok"], "cancel request answered")
+    check(seen[cancel_id]["result"]["state"] in
+          ("cancelled", "cancelling", "done"), "cancel state sane")
+    term = seen[job_id]
+    terminal_ok = term["ok"] or term["error"]["code"] == "cancelled"
+    check(terminal_ok, "cancelled job got exactly one terminal response")
+
+    # -- malformed request -------------------------------------------------
+    r = c.call("run_atpg", {"circuit": "no-such-circuit"})
+    check(not r["ok"] and r["error"]["code"] == "not_found",
+          "unknown circuit → not_found")
+    bad_id = c.send("definitely_not_a_kind")
+    r = c.recv()
+    check(r["id"] == bad_id and not r["ok"]
+          and r["error"]["code"] == "bad_request",
+          "unknown kind → bad_request")
+
+    # -- shutdown ----------------------------------------------------------
+    r = c.call("shutdown")
+    check(r["ok"] and r["result"]["drained"], "shutdown drains and responds")
+    check(c.proc.stdout.read(1) == b"", "stream closed after shutdown")
+    c.proc.stdin.close()
+    check(c.proc.wait(timeout=30) == 0, "cwatpg_serve exited 0")
+    print("\nservice smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -259,7 +259,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
 
   Json parse_document() {
     Json value = parse_value();
@@ -320,12 +321,22 @@ class Parser {
     }
   }
 
+  // Containers recurse through parse_value(); the depth guard bounds that
+  // recursion so stack use is O(max_depth) no matter what the input says.
+  void enter_container() {
+    if (++depth_ > max_depth_)
+      fail("nesting exceeds depth limit of " + std::to_string(max_depth_));
+  }
+  void leave_container() { --depth_; }
+
   Json parse_object() {
     expect('{');
+    enter_container();
     Json obj = Json::object();
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      leave_container();
       return obj;
     }
     for (;;) {
@@ -340,16 +351,19 @@ class Parser {
         continue;
       }
       expect('}');
+      leave_container();
       return obj;
     }
   }
 
   Json parse_array() {
     expect('[');
+    enter_container();
     Json arr = Json::array();
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      leave_container();
       return arr;
     }
     for (;;) {
@@ -360,6 +374,7 @@ class Parser {
         continue;
       }
       expect(']');
+      leave_container();
       return arr;
     }
   }
@@ -478,10 +493,14 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t max_depth_;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+Json Json::parse(std::string_view text, std::size_t max_depth) {
+  return Parser(text, max_depth).parse_document();
+}
 
 }  // namespace cwatpg::obs

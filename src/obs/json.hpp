@@ -108,9 +108,20 @@ class Json {
   std::string dump(int indent = -1) const;
   void dump(std::ostream& out, int indent = -1) const;
 
-  /// Parses a complete JSON document (rejects trailing garbage). Throws
-  /// std::runtime_error with a byte offset on malformed input.
-  static Json parse(std::string_view text);
+  /// Default container-nesting cap for parse(). Deep enough for every
+  /// report this repo emits (run reports nest ~6 levels) with two orders
+  /// of magnitude of headroom, shallow enough that a hostile "[[[[…"
+  /// document fails fast instead of exhausting the recursive parser's
+  /// stack. Callers on a network edge may pass something tighter
+  /// (svc::kMaxFrameDepth does).
+  static constexpr std::size_t kDefaultMaxDepth = 256;
+
+  /// Parses a complete JSON document. Untrusted-input hardening: trailing
+  /// garbage after the top-level value is rejected, and arrays/objects may
+  /// nest at most `max_depth` levels. Throws std::runtime_error with a
+  /// byte offset on malformed input (including a depth violation).
+  static Json parse(std::string_view text,
+                    std::size_t max_depth = kDefaultMaxDepth);
 
   bool operator==(const Json& other) const;
 

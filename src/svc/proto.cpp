@@ -1,0 +1,182 @@
+#include "svc/proto.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace cwatpg::svc {
+
+void write_frame(std::ostream& out, const obs::Json& frame) {
+  const std::string payload = frame.dump();
+  out << payload.size() << '\n' << payload;
+  out.flush();
+}
+
+bool read_frame(std::istream& in, obs::Json& frame, std::size_t max_bytes) {
+  // Header: decimal length terminated by '\n'. EOF before the first digit
+  // is a clean end of stream; EOF anywhere later is a truncated frame.
+  int c = in.get();
+  if (c == std::istream::traits_type::eof()) return false;
+  std::size_t length = 0;
+  std::size_t digits = 0;
+  while (c != '\n') {
+    if (c == std::istream::traits_type::eof())
+      throw ProtocolError("truncated frame header");
+    if (!std::isdigit(static_cast<unsigned char>(c)))
+      throw ProtocolError("non-digit in frame length header");
+    if (++digits > 12) throw ProtocolError("frame length header too long");
+    length = length * 10 + static_cast<std::size_t>(c - '0');
+    c = in.get();
+  }
+  if (digits == 0) throw ProtocolError("empty frame length header");
+  if (length > max_bytes)
+    throw ProtocolError("frame of " + std::to_string(length) +
+                        " bytes exceeds the " + std::to_string(max_bytes) +
+                        "-byte limit");
+  std::string payload(length, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(length));
+  if (static_cast<std::size_t>(in.gcount()) != length)
+    throw ProtocolError("truncated frame payload (expected " +
+                        std::to_string(length) + " bytes, got " +
+                        std::to_string(in.gcount()) + ")");
+  try {
+    frame = obs::Json::parse(payload, kMaxFrameDepth);
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("bad frame payload: ") + e.what());
+  }
+  return true;
+}
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kLoadCircuit:
+      return "load_circuit";
+    case RequestKind::kRunAtpg:
+      return "run_atpg";
+    case RequestKind::kFsim:
+      return "fsim";
+    case RequestKind::kStatus:
+      return "status";
+    case RequestKind::kCancel:
+      return "cancel";
+    case RequestKind::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+std::optional<RequestKind> parse_request_kind(std::string_view name) {
+  for (const RequestKind kind :
+       {RequestKind::kLoadCircuit, RequestKind::kRunAtpg, RequestKind::kFsim,
+        RequestKind::kStatus, RequestKind::kCancel, RequestKind::kShutdown})
+    if (name == to_string(kind)) return kind;
+  return std::nullopt;
+}
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+obs::Json Request::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kRpcSchema;
+  j["id"] = id;
+  j["kind"] = to_string(kind);
+  j["params"] = params;
+  return j;
+}
+
+Request Request::from_json(const obs::Json& j) {
+  if (!j.is_object()) throw ProtocolError("request is not an object");
+  const obs::Json* schema = j.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kRpcSchema)
+    throw ProtocolError("missing or unsupported request schema (want \"" +
+                        std::string(kRpcSchema) + "\")");
+  Request req;
+  const obs::Json* id = j.find("id");
+  if (id == nullptr || !id->is_number())
+    throw ProtocolError("missing or non-numeric request id");
+  try {
+    req.id = id->as_u64();
+  } catch (const std::exception&) {
+    throw ProtocolError("request id must be a non-negative integer");
+  }
+  const obs::Json* kind = j.find("kind");
+  if (kind == nullptr || !kind->is_string())
+    throw ProtocolError("missing request kind");
+  const auto parsed = parse_request_kind(kind->as_string());
+  if (!parsed)
+    throw ProtocolError("unknown request kind \"" + kind->as_string() + "\"");
+  req.kind = *parsed;
+  if (const obs::Json* params = j.find("params"); params != nullptr) {
+    if (!params->is_object())
+      throw ProtocolError("request params must be an object");
+    req.params = *params;
+  } else {
+    req.params = obs::Json::object();
+  }
+  return req;
+}
+
+obs::Json make_response(std::uint64_t id, obs::Json result) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kRpcSchema;
+  j["id"] = id;
+  j["ok"] = true;
+  j["result"] = std::move(result);
+  return j;
+}
+
+obs::Json make_error(std::uint64_t id, ErrorCode code,
+                     std::string_view message) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kRpcSchema;
+  j["id"] = id;
+  j["ok"] = false;
+  obs::Json error = obs::Json::object();
+  error["code"] = to_string(code);
+  error["message"] = message;
+  j["error"] = std::move(error);
+  return j;
+}
+
+std::string encode_bits(const std::vector<bool>& bits) {
+  std::string out(bits.size(), '0');
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) out[i] = '1';
+  return out;
+}
+
+std::vector<bool> decode_bits(std::string_view text,
+                              std::size_t expected_size) {
+  if (text.size() != expected_size)
+    throw ProtocolError("pattern has " + std::to_string(text.size()) +
+                        " bits, circuit has " + std::to_string(expected_size) +
+                        " inputs");
+  std::vector<bool> bits(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '1')
+      bits[i] = true;
+    else if (text[i] != '0')
+      throw ProtocolError("pattern characters must be '0' or '1'");
+  }
+  return bits;
+}
+
+}  // namespace cwatpg::svc

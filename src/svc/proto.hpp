@@ -1,0 +1,139 @@
+// The cwatpg.rpc/1 wire protocol: framed JSON request/response pairs.
+//
+// Every message is one obs::Json document carried in a length-prefixed
+// frame (`<decimal byte count>\n<payload>`), so the stream is resyncable
+// by eye, trivially driven from a shell or Python, and never requires the
+// reader to parse ahead of a message boundary. The JSON itself reuses
+// obs/json — the same parser the run-report round-trip tests exercise —
+// with the untrusted-input limits (frame size cap, nesting-depth cap)
+// enforced here, at the network edge.
+//
+// Requests:  {"schema":"cwatpg.rpc/1","id":N,"kind":K,"params":{...}}
+// Responses: {"schema":"cwatpg.rpc/1","id":N,"ok":true,"result":{...}}
+//        or  {"schema":"cwatpg.rpc/1","id":N,"ok":false,
+//             "error":{"code":C,"message":M}}
+//
+// `id` is chosen by the client and echoed verbatim; responses may arrive
+// out of submission order (jobs complete when they complete), so the id is
+// the only correlation key. Kinds `run_atpg` and `fsim` are *jobs*: the
+// request is admitted (or rejected with `overloaded`) and its single
+// terminal response is sent when the job finishes, fails, or is cancelled.
+// `load_circuit`, `status`, `cancel` and `shutdown` are control-plane
+// requests answered inline, in order.
+//
+// Thread-safe: free functions only; frame writes for one stream must be
+// externally serialized (svc::Transport does this).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cwatpg::svc {
+
+inline constexpr const char* kRpcSchema = "cwatpg.rpc/1";
+
+/// Hard ceiling on one frame's payload size. A length header above this is
+/// a protocol error, not an allocation — the cap is checked before any
+/// buffer is sized, so a hostile header cannot make the server reserve
+/// gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t(64) << 20;
+
+/// Nesting-depth cap handed to obs::Json::parse for frames (requests come
+/// from untrusted clients; a deeply nested document must fail parsing, not
+/// exhaust the parser's stack).
+inline constexpr std::size_t kMaxFrameDepth = 32;
+
+/// Malformed frame or malformed/ill-typed message. Carries a human-readable
+/// reason; the server maps it to a `bad_request` error response.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("cwatpg.rpc: " + what) {}
+};
+
+// ---- frame codec ----------------------------------------------------------
+
+/// Writes one frame: decimal payload length, '\n', compact JSON payload.
+void write_frame(std::ostream& out, const obs::Json& frame);
+
+/// Reads one frame. Returns false on clean EOF at a frame boundary; throws
+/// ProtocolError on a malformed header, a payload over `max_bytes`, a
+/// truncated payload, or payload bytes that are not a valid JSON document
+/// within the svc depth limit.
+bool read_frame(std::istream& in, obs::Json& frame,
+                std::size_t max_bytes = kMaxFrameBytes);
+
+// ---- requests -------------------------------------------------------------
+
+enum class RequestKind : std::uint8_t {
+  kLoadCircuit,  ///< parse + register a circuit; inline
+  kRunAtpg,      ///< full ATPG flow on a registered circuit; a job
+  kFsim,         ///< fault-simulate patterns against a circuit; a job
+  kStatus,       ///< server / queue / registry / per-job state; inline
+  kCancel,       ///< cancel a queued or in-flight job; inline
+  kShutdown,     ///< graceful drain, final response, serve() returns
+};
+
+/// "load_circuit" / "run_atpg" / "fsim" / "status" / "cancel" /
+/// "shutdown" — the wire spellings; renaming one is a protocol change.
+const char* to_string(RequestKind kind);
+std::optional<RequestKind> parse_request_kind(std::string_view name);
+
+/// A validated request envelope. `params` keeps the raw (already
+/// depth-limited) JSON object; per-kind parameter validation happens where
+/// the parameters are consumed, so one bad field yields a `bad_request`
+/// response for exactly that request.
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kStatus;
+  obs::Json params;  ///< object; empty object when the frame omitted it
+
+  obs::Json to_json() const;
+  /// Validates schema/id/kind. Throws ProtocolError on any violation.
+  static Request from_json(const obs::Json& j);
+};
+
+// ---- responses ------------------------------------------------------------
+
+/// Stable machine-readable failure codes.
+enum class ErrorCode : std::uint8_t {
+  kBadRequest,    ///< malformed frame, unknown kind, ill-typed params
+  kNotFound,      ///< unknown circuit key or job id
+  kOverloaded,    ///< job queue full; retry later
+  kCancelled,     ///< job cancelled before producing a result
+  kShuttingDown,  ///< server draining; job was not run
+  kInternal,      ///< engine threw; message carries the what()
+};
+
+/// "bad_request" / "not_found" / "overloaded" / "cancelled" /
+/// "shutting_down" / "internal" — wire spellings.
+const char* to_string(ErrorCode code);
+
+/// {"schema":...,"id":id,"ok":true,"result":result}
+obs::Json make_response(std::uint64_t id, obs::Json result);
+
+/// {"schema":...,"id":id,"ok":false,"error":{"code":...,"message":...}}
+obs::Json make_error(std::uint64_t id, ErrorCode code,
+                     std::string_view message);
+
+// ---- pattern codec --------------------------------------------------------
+//
+// Test patterns (one bit per primary input — fault::Pattern) travel as
+// "0101…" strings: unambiguous, diffable, and byte-identical encoding is
+// exactly what the served-vs-direct determinism contract compares.
+
+std::string encode_bits(const std::vector<bool>& bits);
+
+/// Inverse of encode_bits. Throws ProtocolError when `text` contains a
+/// character other than '0'/'1' or its length differs from `expected_size`.
+std::vector<bool> decode_bits(std::string_view text,
+                              std::size_t expected_size);
+
+}  // namespace cwatpg::svc

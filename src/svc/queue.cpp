@@ -1,0 +1,85 @@
+#include "svc/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cwatpg::svc {
+
+obs::Json QueueStats::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["depth"] = static_cast<std::uint64_t>(depth);
+  j["capacity"] = static_cast<std::uint64_t>(capacity);
+  j["admitted"] = admitted;
+  j["rejected"] = rejected;
+  j["removed"] = removed;
+  j["max_depth"] = max_depth;
+  return j;
+}
+
+JobQueue::JobQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool JobQueue::push(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || entries_.size() >= capacity_) {
+      ++counters_.rejected;
+      return false;
+    }
+    entries_.push_back(Entry{std::move(job), next_seq_++});
+    ++counters_.admitted;
+    counters_.max_depth = std::max<std::uint64_t>(counters_.max_depth,
+                                                  entries_.size());
+  }
+  cv_.notify_one();
+  return true;
+}
+
+bool JobQueue::pop(Job& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !entries_.empty(); });
+  if (entries_.empty()) return false;
+  auto best = entries_.begin();
+  for (auto it = std::next(best); it != entries_.end(); ++it)
+    if (it->job.priority > best->job.priority) best = it;
+  // seq order within a priority level holds by construction: the scan
+  // keeps the first (lowest-seq) entry of the best level.
+  out = std::move(best->job);
+  entries_.erase(best);
+  return true;
+}
+
+std::optional<Job> JobQueue::remove(std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->job.request_id != request_id) continue;
+    Job job = std::move(it->job);
+    entries_.erase(it);
+    ++counters_.removed;
+    return job;
+  }
+  return std::nullopt;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+QueueStats JobQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueueStats s = counters_;
+  s.depth = entries_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace cwatpg::svc

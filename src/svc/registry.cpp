@@ -1,0 +1,176 @@
+#include "svc/registry.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "netlist/bench_io.hpp"
+#include "sat/encode.hpp"
+
+namespace cwatpg::svc {
+
+namespace {
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+
+  std::string hex() const {
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i)
+      out[i] = digits[(hash_ >> (60 - 4 * i)) & 0xf];
+    return out;
+  }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+std::size_t estimate_bytes(const CircuitEntry& entry) {
+  // A deliberate estimate, not an accounting: what the budget needs is a
+  // monotone, stable proxy for footprint so eviction pressure scales with
+  // circuit size.
+  std::size_t bytes = 0;
+  for (net::NodeId id = 0; id < entry.net.node_count(); ++id) {
+    bytes += sizeof(net::Network::Node) + 2 * sizeof(std::vector<net::NodeId>);
+    bytes += (entry.net.fanins(id).size() + entry.net.fanouts(id).size()) *
+             sizeof(net::NodeId);
+  }
+  bytes += entry.faults.size() * sizeof(fault::StuckAtFault);
+  bytes += entry.base_cnf.num_clauses() * sizeof(sat::Clause) +
+           entry.base_cnf.num_literals() * sizeof(sat::Lit);
+  return bytes;
+}
+
+}  // namespace
+
+std::string content_hash(const net::Network& net) {
+  Fnv1a h;
+  h.mix(net.node_count());
+  for (net::NodeId id = 0; id < net.node_count(); ++id) {
+    h.mix(static_cast<std::uint64_t>(net.type(id)));
+    h.mix(net.fanins(id).size());
+    for (const net::NodeId fanin : net.fanins(id)) h.mix(fanin);
+  }
+  h.mix(net.inputs().size());
+  for (const net::NodeId id : net.inputs()) h.mix(id);
+  h.mix(net.outputs().size());
+  for (const net::NodeId id : net.outputs()) h.mix(id);
+  return h.hex();
+}
+
+obs::Json CircuitEntry::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["key"] = key;
+  j["name"] = net.name();
+  j["gates"] = static_cast<std::uint64_t>(net.gate_count());
+  j["inputs"] = static_cast<std::uint64_t>(net.inputs().size());
+  j["outputs"] = static_cast<std::uint64_t>(net.outputs().size());
+  j["faults"] = static_cast<std::uint64_t>(faults.size());
+  j["cnf_vars"] = static_cast<std::uint64_t>(base_cnf.num_vars());
+  j["cnf_clauses"] = static_cast<std::uint64_t>(base_cnf.num_clauses());
+  j["bytes"] = static_cast<std::uint64_t>(approx_bytes);
+  return j;
+}
+
+obs::Json RegistryStats::to_json() const {
+  obs::Json j = obs::Json::object();
+  j["entries"] = static_cast<std::uint64_t>(entries);
+  j["bytes"] = static_cast<std::uint64_t>(bytes);
+  j["byte_budget"] = static_cast<std::uint64_t>(byte_budget);
+  j["loads"] = loads;
+  j["hits"] = hits;
+  j["misses"] = misses;
+  j["evictions"] = evictions;
+  return j;
+}
+
+CircuitRegistry::CircuitRegistry(std::size_t byte_budget)
+    : byte_budget_(byte_budget) {}
+
+std::shared_ptr<const CircuitEntry> CircuitRegistry::load_bench(
+    std::string_view text, std::string name) {
+  std::istringstream in{std::string(text)};
+  return insert(net::read_bench(in, std::move(name)));
+}
+
+std::shared_ptr<const CircuitEntry> CircuitRegistry::insert(net::Network net) {
+  const std::string key = content_hash(net);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.loads;
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      ++counters_.hits;
+      touch_locked(key);
+      return it->second.entry;
+    }
+  }
+  // Precompute outside the lock: collapsing and encoding a big circuit
+  // must not stall concurrent lookups. Two racing loaders of the same new
+  // circuit both compute; the second insert dedups below.
+  auto entry = std::make_shared<CircuitEntry>();
+  entry->key = key;
+  entry->net = std::move(net);
+  entry->faults = fault::collapsed_fault_list(entry->net);
+  entry->base_cnf = sat::encode_constraints(entry->net);
+  entry->approx_bytes = estimate_bytes(*entry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++counters_.hits;
+    touch_locked(key);
+    return it->second.entry;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Slot{entry, lru_.begin()});
+  bytes_ += entry->approx_bytes;
+  evict_to_budget_locked();
+  return entry;
+}
+
+std::shared_ptr<const CircuitEntry> CircuitRegistry::find(
+    std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  touch_locked(it->first);
+  return it->second.entry;
+}
+
+RegistryStats CircuitRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistryStats s = counters_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  s.byte_budget = byte_budget_;
+  return s;
+}
+
+void CircuitRegistry::touch_locked(const std::string& key) {
+  const auto it = entries_.find(key);
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+}
+
+void CircuitRegistry::evict_to_budget_locked() {
+  while (bytes_ > byte_budget_ && entries_.size() > 1) {
+    const std::string victim = lru_.back();
+    const auto it = entries_.find(victim);
+    bytes_ -= it->second.entry->approx_bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+}  // namespace cwatpg::svc

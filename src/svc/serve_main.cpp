@@ -1,0 +1,79 @@
+// cwatpg_serve — the ATPG daemon over stdin/stdout.
+//
+//   $ ./cwatpg_serve [--threads=N] [--queue-capacity=N] [--registry-mb=N]
+//                    [--default-deadline=SECONDS]
+//
+// Speaks cwatpg.rpc/1 frames (`<len>\n<json>`) on stdin/stdout: the same
+// Server the in-memory tests drive, bound to a StreamTransport. Run it
+// under any process supervisor and multiplex clients in front of it, or
+// drive it directly from a script — scripts/service_smoke.py shows the
+// five-line Python client. Diagnostics go to stderr; stdout carries only
+// frames.
+//
+// --threads=0 (the default) means "auto": one job slot per hardware
+// thread, via the shared ThreadPool::resolve_thread_count helper.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "svc/server.hpp"
+#include "svc/transport.hpp"
+#include "util/threadpool.hpp"
+
+namespace {
+
+void print_usage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " [--threads=N] [--queue-capacity=N] [--registry-mb=N]"
+         " [--default-deadline=SECONDS]\n"
+         "  --threads=N           job workers; 0 = auto (hardware"
+         " concurrency). default 0\n"
+         "  --queue-capacity=N    admission limit; full queue answers"
+         " `overloaded`. default 64\n"
+         "  --registry-mb=N       circuit cache byte budget (LRU above"
+         " it). default 256\n"
+         "  --default-deadline=S  deadline for jobs that carry none;"
+         " 0 = unlimited. default 0\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+
+  svc::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = static_cast<std::size_t>(
+          std::max(0L, std::atol(arg.c_str() + 10)));
+    } else if (arg.rfind("--queue-capacity=", 0) == 0) {
+      options.queue_capacity = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.c_str() + 17)));
+    } else if (arg.rfind("--registry-mb=", 0) == 0) {
+      options.registry_bytes =
+          static_cast<std::size_t>(std::max(1L, std::atol(arg.c_str() + 14)))
+          << 20;
+    } else if (arg.rfind("--default-deadline=", 0) == 0) {
+      options.default_deadline_seconds = std::atof(arg.c_str() + 19);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      print_usage(std::cerr, argv[0]);
+      return 2;
+    }
+  }
+
+  svc::Server server(options);
+  std::cerr << "cwatpg_serve: " << server.threads()
+            << " job workers, queue capacity " << options.queue_capacity
+            << ", registry budget " << (options.registry_bytes >> 20)
+            << " MiB — serving cwatpg.rpc/1 on stdin/stdout\n";
+
+  svc::StreamTransport transport(std::cin, std::cout);
+  server.serve(transport);
+  std::cerr << "cwatpg_serve: drained, exiting\n";
+  return 0;
+}

@@ -1,0 +1,523 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fsim.hpp"
+#include "fault/parallel_atpg.hpp"
+#include "fault/tegus.hpp"
+#include "netlist/bench_io.hpp"
+#include "obs/report.hpp"
+#include "util/timer.hpp"
+
+namespace cwatpg::svc {
+
+namespace {
+
+// Typed parameter getters: a wrong type is the client's error, so every
+// violation is a ProtocolError the caller maps to `bad_request`.
+
+std::uint64_t get_u64(const obs::Json& params, const char* key,
+                      std::uint64_t fallback) {
+  const obs::Json* v = params.find(key);
+  if (v == nullptr) return fallback;
+  try {
+    return v->as_u64();
+  } catch (const std::exception&) {
+    throw ProtocolError(std::string("param \"") + key +
+                        "\" must be a non-negative integer");
+  }
+}
+
+double get_double(const obs::Json& params, const char* key, double fallback) {
+  const obs::Json* v = params.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number())
+    throw ProtocolError(std::string("param \"") + key + "\" must be a number");
+  return v->as_double();
+}
+
+std::int64_t get_i64(const obs::Json& params, const char* key,
+                     std::int64_t fallback) {
+  const obs::Json* v = params.find(key);
+  if (v == nullptr) return fallback;
+  try {
+    return v->as_i64();
+  } catch (const std::exception&) {
+    throw ProtocolError(std::string("param \"") + key +
+                        "\" must be an integer");
+  }
+}
+
+std::string require_string(const obs::Json& params, const char* key) {
+  const obs::Json* v = params.find(key);
+  if (v == nullptr || !v->is_string())
+    throw ProtocolError(std::string("param \"") + key +
+                        "\" (string) is required");
+  return v->as_string();
+}
+
+/// Best-effort id recovery from a frame that failed request validation, so
+/// the error response still correlates when the id itself was well-formed.
+std::uint64_t extract_id(const obs::Json& frame) {
+  if (!frame.is_object()) return 0;
+  const obs::Json* id = frame.find("id");
+  if (id == nullptr || !id->is_number()) return 0;
+  try {
+    return id->as_u64();
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      pool_(ThreadPool::resolve_thread_count(options.threads), options.seed),
+      registry_(options.registry_bytes),
+      queue_(options.queue_capacity) {}
+
+Server::~Server() {
+  if (dispatcher_.joinable()) {
+    queue_.close();
+    dispatcher_.join();
+  }
+}
+
+void Server::serve(Transport& transport) {
+  if (transport_ != nullptr || shutting_down_.load())
+    throw std::logic_error("svc::Server::serve is single-use");
+  transport_ = &transport;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+
+  bool got_shutdown = false;
+  std::uint64_t shutdown_id = 0;
+  obs::Json frame;
+  while (!got_shutdown) {
+    bool have_frame = false;
+    try {
+      have_frame = transport.read(frame);
+    } catch (const ProtocolError& e) {
+      // Framing is lost — nothing later on the stream can be trusted, so
+      // report once and treat the session as closed (implicit shutdown).
+      transport.write(make_error(0, ErrorCode::kBadRequest, e.what()));
+      break;
+    }
+    if (!have_frame) break;  // peer closed: implicit shutdown, no response
+    try {
+      const Request req = Request::from_json(frame);
+      metrics_.counter(std::string("svc.requests.") + to_string(req.kind))
+          .add(1);
+      switch (req.kind) {
+        case RequestKind::kLoadCircuit:
+          handle_load_circuit(req);
+          break;
+        case RequestKind::kRunAtpg:
+        case RequestKind::kFsim:
+          admit_job(req);
+          break;
+        case RequestKind::kStatus:
+          handle_status(req);
+          break;
+        case RequestKind::kCancel:
+          handle_cancel(req);
+          break;
+        case RequestKind::kShutdown:
+          got_shutdown = true;
+          shutdown_id = req.id;
+          break;
+      }
+    } catch (const ProtocolError& e) {
+      transport.write(
+          make_error(extract_id(frame), ErrorCode::kBadRequest, e.what()));
+    }
+  }
+
+  drain_and_join();
+  if (got_shutdown) {
+    obs::Json result = server_status_json();
+    result["drained"] = true;
+    transport.write(make_response(shutdown_id, std::move(result)));
+  }
+  // Session over: close our end so the peer's reads drain buffered frames
+  // and then see end-of-stream (a duplex client would otherwise block
+  // forever waiting for frames that can no longer come).
+  transport.close();
+  transport_ = nullptr;
+}
+
+void Server::drain_and_join() {
+  // Order matters: flag first so the dispatcher fails every job it pops
+  // from here on, close second so it wakes and eventually sees an empty
+  // queue, then wait until the last in-flight job has sent its terminal
+  // response before the shutdown response may be written.
+  shutting_down_.store(true);
+  queue_.close();
+  dispatcher_.join();
+  {
+    std::unique_lock<std::mutex> lock(jobs_mutex_);
+    jobs_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  }
+  pool_.wait_idle();
+}
+
+// ---- control plane --------------------------------------------------------
+
+void Server::handle_load_circuit(const Request& req) {
+  std::shared_ptr<const CircuitEntry> entry;
+  try {
+    const std::string format = [&] {
+      const obs::Json* f = req.params.find("format");
+      return f != nullptr && f->is_string() ? f->as_string()
+                                            : std::string("bench");
+    }();
+    if (format != "bench")
+      throw ProtocolError("unsupported circuit format \"" + format + "\"");
+    const std::string text = require_string(req.params, "text");
+    const obs::Json* name = req.params.find("name");
+    entry = registry_.load_bench(
+        text, name != nullptr && name->is_string() ? name->as_string()
+                                                   : std::string("circuit"));
+  } catch (const ProtocolError& e) {
+    transport_->write(make_error(req.id, ErrorCode::kBadRequest, e.what()));
+    return;
+  } catch (const std::exception& e) {
+    // read_bench rejects malformed netlists with ParseError — the
+    // client's input, not our bug.
+    transport_->write(make_error(req.id, ErrorCode::kBadRequest, e.what()));
+    return;
+  }
+  obs::Json result = obs::Json::object();
+  result["circuit"] = entry->to_json();
+  result["registry"] = registry_.stats().to_json();
+  transport_->write(make_response(req.id, std::move(result)));
+}
+
+void Server::handle_status(const Request& req) {
+  if (const obs::Json* job = req.params.find("job"); job != nullptr) {
+    const std::uint64_t id = get_u64(req.params, "job", 0);
+    const char* state = "unknown";
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      if (const auto it = jobs_.find(id); it != jobs_.end()) {
+        switch (it->second.state) {
+          case JobState::kQueued:
+            state = "queued";
+            break;
+          case JobState::kRunning:
+            state = "running";
+            break;
+          case JobState::kDone:
+            state = "done";
+            break;
+        }
+      }
+    }
+    obs::Json result = obs::Json::object();
+    result["job"] = id;
+    result["state"] = state;
+    transport_->write(make_response(req.id, std::move(result)));
+    return;
+  }
+  transport_->write(make_response(req.id, server_status_json()));
+}
+
+void Server::handle_cancel(const Request& req) {
+  const std::uint64_t id = get_u64(req.params, "job", 0);
+  if (req.params.find("job") == nullptr)
+    throw ProtocolError("param \"job\" (request id) is required");
+
+  const char* state = "unknown";
+  bool fire_budget = false;
+  bool removed_from_queue = false;
+  std::shared_ptr<Budget> budget;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    if (const auto it = jobs_.find(id); it != jobs_.end()) {
+      switch (it->second.state) {
+        case JobState::kQueued:
+          if (queue_.remove(id)) {
+            removed_from_queue = true;
+            state = "cancelled";
+          } else {
+            // Between the dispatcher's pop and its running-mark: the job
+            // WILL run — fire the budget so it stops on its first poll.
+            fire_budget = true;
+            state = "cancelling";
+          }
+          break;
+        case JobState::kRunning:
+          fire_budget = true;
+          state = "cancelling";
+          break;
+        case JobState::kDone:
+          state = "done";
+          break;
+      }
+      budget = it->second.budget;
+    }
+  }
+  if (fire_budget && budget) budget->cancel();
+  if (removed_from_queue) {
+    metrics_.counter("svc.jobs.cancelled_queued").add(1);
+    finish_job(id, make_error(id, ErrorCode::kCancelled,
+                              "cancelled while queued"));
+  }
+  obs::Json result = obs::Json::object();
+  result["job"] = id;
+  result["state"] = state;
+  transport_->write(make_response(req.id, std::move(result)));
+}
+
+obs::Json Server::server_status_json() {
+  obs::Json j = obs::Json::object();
+  j["threads"] = static_cast<std::uint64_t>(pool_.size());
+  j["shutting_down"] = shutting_down_.load();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    j["in_flight"] = static_cast<std::uint64_t>(in_flight_);
+    j["jobs_tracked"] = static_cast<std::uint64_t>(jobs_.size());
+  }
+  j["queue"] = queue_.stats().to_json();
+  j["registry"] = registry_.stats().to_json();
+  j["metrics"] = metrics_.snapshot().to_json();
+  return j;
+}
+
+// ---- admission ------------------------------------------------------------
+
+void Server::admit_job(const Request& req) {
+  if (shutting_down_.load()) {
+    transport_->write(make_error(req.id, ErrorCode::kShuttingDown,
+                                 "server is draining"));
+    return;
+  }
+  const std::string key = require_string(req.params, "circuit");
+  std::shared_ptr<const CircuitEntry> circuit = registry_.find(key);
+  if (circuit == nullptr) {
+    transport_->write(make_error(req.id, ErrorCode::kNotFound,
+                                 "unknown circuit \"" + key +
+                                     "\" (load_circuit it first)"));
+    return;
+  }
+
+  Job job;
+  job.request_id = req.id;
+  job.kind = req.kind;
+  job.priority = static_cast<int>(std::clamp<std::int64_t>(
+      get_i64(req.params, "priority", 0), -1000, 1000));
+  job.circuit = std::move(circuit);
+  job.params = req.params;
+  job.budget = std::make_shared<Budget>();
+  const double deadline = get_double(req.params, "deadline_seconds",
+                                     options_.default_deadline_seconds);
+  // Armed at admission: queue wait burns deadline, as a latency bound must.
+  if (deadline > 0.0) job.budget->set_deadline_after(deadline);
+
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    if (const auto it = jobs_.find(req.id);
+        it != jobs_.end() && it->second.state != JobState::kDone)
+      throw ProtocolError("request id " + std::to_string(req.id) +
+                          " already names a live job");
+    jobs_[req.id] = JobRecord{JobState::kQueued, job.budget};
+  }
+  if (!queue_.push(std::move(job))) {
+    {
+      std::lock_guard<std::mutex> lock(jobs_mutex_);
+      jobs_.erase(req.id);
+    }
+    metrics_.counter("svc.jobs.rejected").add(1);
+    transport_->write(make_error(
+        req.id, ErrorCode::kOverloaded,
+        "job queue is full (capacity " +
+            std::to_string(queue_.stats().capacity) + "); retry later"));
+    return;
+  }
+  metrics_.counter("svc.jobs.admitted").add(1);
+  // No admission ack: the job's single terminal response is the reply.
+}
+
+// ---- dispatch & execution -------------------------------------------------
+
+void Server::dispatcher_loop() {
+  Job job;
+  while (queue_.pop(job)) {
+    if (shutting_down_.load()) {
+      metrics_.counter("svc.jobs.drained").add(1);
+      finish_job(job.request_id,
+                 make_error(job.request_id, ErrorCode::kShuttingDown,
+                            "server shut down before the job started"));
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(jobs_mutex_);
+      jobs_cv_.wait(lock, [&] { return in_flight_ < pool_.size(); });
+      const auto it = jobs_.find(job.request_id);
+      if (it == jobs_.end() || it->second.state != JobState::kQueued)
+        continue;  // cancelled while queued; terminal already sent
+      it->second.state = JobState::kRunning;
+      ++in_flight_;
+    }
+    pool_.submit([this, job = std::move(job)] {
+      execute_job(job);
+      {
+        std::lock_guard<std::mutex> lock(jobs_mutex_);
+        --in_flight_;
+      }
+      jobs_cv_.notify_all();
+    });
+  }
+}
+
+void Server::execute_job(const Job& job) {
+  Timer timer;
+  obs::Json response;
+  try {
+    obs::Json result =
+        job.kind == RequestKind::kRunAtpg ? run_atpg_job(job) : fsim_job(job);
+    response = make_response(job.request_id, std::move(result));
+    metrics_.counter("svc.jobs.completed").add(1);
+  } catch (const ProtocolError& e) {
+    response = make_error(job.request_id, ErrorCode::kBadRequest, e.what());
+    metrics_.counter("svc.jobs.failed").add(1);
+  } catch (const std::exception& e) {
+    response = make_error(job.request_id, ErrorCode::kInternal, e.what());
+    metrics_.counter("svc.jobs.failed").add(1);
+  }
+  metrics_
+      .histogram("svc.job_seconds",
+                 std::vector<double>{0.001, 0.01, 0.1, 1.0, 10.0, 100.0})
+      .observe(timer.seconds());
+  finish_job(job.request_id, response);
+}
+
+obs::Json Server::run_atpg_job(const Job& job) {
+  const CircuitEntry& circuit = *job.circuit;
+  fault::AtpgOptions opts;
+  opts.budget = job.budget.get();
+  opts.seed = get_u64(job.params, "seed", opts.seed);
+  opts.random_blocks = static_cast<std::size_t>(
+      get_u64(job.params, "random_blocks", opts.random_blocks));
+  opts.solver.max_conflicts =
+      get_u64(job.params, "max_conflicts", opts.solver.max_conflicts);
+  opts.escalation_rounds = static_cast<std::size_t>(
+      get_u64(job.params, "escalation_rounds", opts.escalation_rounds));
+  const std::size_t threads =
+      static_cast<std::size_t>(get_u64(job.params, "threads", 1));
+
+  Timer timer;
+  fault::AtpgResult result;
+  fault::ParallelStats pstats;
+  const bool parallel = threads > 1;
+  if (parallel) {
+    fault::ParallelAtpgOptions popts;
+    popts.base = opts;
+    popts.num_threads = threads;
+    result = fault::run_atpg_parallel(circuit.net, popts, &pstats);
+  } else {
+    result = fault::run_atpg(circuit.net, opts);
+  }
+
+  obs::ReportOptions ropts;
+  ropts.label = "svc/" + circuit.key;
+  ropts.engine = parallel ? "parallel" : "serial";
+  ropts.threads = parallel ? threads : 1;
+  ropts.seed = opts.seed;
+  if (parallel) ropts.parallel = &pstats;
+  const obs::RunReport report =
+      obs::build_run_report(circuit.net, result, ropts);
+
+  obs::Json j = obs::Json::object();
+  j["job"] = job.request_id;
+  j["circuit"] = circuit.key;
+  j["engine"] = ropts.engine;
+  j["threads"] = static_cast<std::uint64_t>(ropts.threads);
+  j["interrupted"] = result.interrupted;
+  j["stop"] = to_string(job.budget->poll());
+  j["faults"] = static_cast<std::uint64_t>(result.outcomes.size());
+  j["num_detected"] = static_cast<std::uint64_t>(result.num_detected);
+  j["num_untestable"] = static_cast<std::uint64_t>(result.num_untestable);
+  j["num_aborted"] = static_cast<std::uint64_t>(result.num_aborted);
+  j["num_undetermined"] =
+      static_cast<std::uint64_t>(result.num_undetermined);
+  j["coverage"] = result.fault_coverage();
+  j["efficiency"] = result.fault_efficiency();
+  obs::Json tests = obs::Json::array();
+  for (const fault::Pattern& test : result.tests)
+    tests.push_back(encode_bits(test));
+  j["tests"] = std::move(tests);
+  j["run_report"] = report.to_json();
+  j["wall_seconds"] = timer.seconds();
+  j["queue"] = queue_.stats().to_json();
+  j["registry"] = registry_.stats().to_json();
+  return j;
+}
+
+obs::Json Server::fsim_job(const Job& job) {
+  const CircuitEntry& circuit = *job.circuit;
+  const obs::Json* patterns_json = job.params.find("patterns");
+  if (patterns_json == nullptr || !patterns_json->is_array())
+    throw ProtocolError("param \"patterns\" (array of bit strings) is "
+                        "required");
+  std::vector<fault::Pattern> patterns;
+  patterns.reserve(patterns_json->size());
+  for (const obs::Json& p : patterns_json->items()) {
+    if (!p.is_string())
+      throw ProtocolError("patterns must be \"0101…\" strings");
+    patterns.push_back(
+        decode_bits(p.as_string(), circuit.net.inputs().size()));
+  }
+
+  Timer timer;
+  fault::FsimStats stats;
+  const std::vector<bool> detected =
+      fault::fault_simulate(circuit.net, circuit.faults, patterns, &stats);
+  const std::uint64_t num_detected = static_cast<std::uint64_t>(
+      std::count(detected.begin(), detected.end(), true));
+
+  obs::Json j = obs::Json::object();
+  j["job"] = job.request_id;
+  j["circuit"] = circuit.key;
+  j["patterns"] = static_cast<std::uint64_t>(patterns.size());
+  j["faults"] = static_cast<std::uint64_t>(circuit.faults.size());
+  j["detected"] = num_detected;
+  j["coverage"] = circuit.faults.empty()
+                      ? 0.0
+                      : static_cast<double>(num_detected) /
+                            static_cast<double>(circuit.faults.size());
+  obs::Json fsim = obs::Json::object();
+  fsim["resims"] = stats.resims;
+  fsim["node_evals"] = stats.node_evals;
+  j["fsim"] = std::move(fsim);
+  j["wall_seconds"] = timer.seconds();
+  j["queue"] = queue_.stats().to_json();
+  j["registry"] = registry_.stats().to_json();
+  return j;
+}
+
+void Server::finish_job(std::uint64_t request_id, const obs::Json& response) {
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto it = jobs_.find(request_id);
+    if (it == jobs_.end() || it->second.state == JobState::kDone)
+      return;  // a terminal response was already sent — never send two
+    it->second.state = JobState::kDone;
+    it->second.budget.reset();
+    done_order_.push_back(request_id);
+    while (done_order_.size() > kMaxDoneRecords) {
+      const std::uint64_t victim = done_order_.front();
+      done_order_.pop_front();
+      if (const auto vit = jobs_.find(victim);
+          vit != jobs_.end() && vit->second.state == JobState::kDone)
+        jobs_.erase(vit);
+    }
+  }
+  transport_->write(response);
+}
+
+}  // namespace cwatpg::svc

@@ -1,0 +1,141 @@
+// The long-lived ATPG daemon: scheduler + request lifecycle.
+//
+// A Server composes the layers the previous PRs built into one serving
+// loop: circuits live in a CircuitRegistry (parse/collapse/encode once,
+// amortize across requests), jobs flow through a bounded JobQueue
+// (admission control, priorities, per-job Budgets), and execution happens
+// on a shared work-stealing ThreadPool with at most pool-size jobs in
+// flight. Cancellation and deadlines reuse util::Budget end to end: the
+// same token a request deadline arms is the one a `cancel` request fires,
+// and the engines' anytime semantics turn it into a partial-but-consistent
+// terminal response.
+//
+// Request lifecycle (see ARCHITECTURE.md for the diagram):
+//
+//   reader thread       dispatcher thread        pool worker
+//   ─────────────       ─────────────────        ───────────
+//   read frame
+//   ├─ control kinds ──────────────── respond inline
+//   └─ job kinds: admit ─▶ queue ─▶ pop (priority) ─▶ execute engine
+//        │ full → `overloaded`          │                  │
+//        │                              └ cap: ≤ pool size └ terminal
+//        └ cancel: fire Budget ────────────────────────────▶ response
+//
+// Guarantees:
+//   * every admitted job produces exactly ONE terminal response — a
+//     result, a `cancelled` error (cancelled while queued), a
+//     `shutting_down` error (drained at shutdown), or an `internal` error;
+//   * a served run_atpg classification is byte-identical to calling
+//     run_atpg directly with the same options (the server adds transport
+//     and scheduling, never semantics);
+//   * graceful shutdown stops admission, fails still-queued jobs with
+//     `shutting_down`, lets in-flight jobs finish, then answers the
+//     shutdown request last.
+//
+// Thread-safe: serve() is the single-owner entry point (one transport, one
+// reader). Internals synchronize themselves; responses may be written from
+// any worker (Transport::write is thread-safe).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "svc/proto.hpp"
+#include "svc/queue.hpp"
+#include "svc/registry.hpp"
+#include "svc/transport.hpp"
+#include "util/threadpool.hpp"
+
+namespace cwatpg::svc {
+
+struct ServerOptions {
+  /// Pool workers == max concurrently executing jobs. 0 = auto
+  /// (ThreadPool::resolve_thread_count → hardware concurrency).
+  std::size_t threads = 0;
+  /// Job queue capacity; admission beyond it answers `overloaded`.
+  std::size_t queue_capacity = 64;
+  /// Registry byte budget for retained circuits (LRU-evicted above it).
+  std::size_t registry_bytes = std::size_t(256) << 20;
+  /// Deadline applied to jobs whose request carries none (0 = unlimited).
+  double default_deadline_seconds = 0.0;
+  /// Seed for the pool's steal-victim RNG streams (never affects results).
+  std::uint64_t seed = 0x5eedca11;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves `transport` until a `shutdown` request completes its drain or
+  /// the peer closes the stream (implicit shutdown, no final response).
+  /// Closes the transport on return, so the peer observes end-of-stream
+  /// after the final frame. Blocking; call from the thread that owns the
+  /// session.
+  void serve(Transport& transport);
+
+  /// Resolved worker count (the in-flight job cap).
+  std::size_t threads() const { return pool_.size(); }
+
+  RegistryStats registry_stats() const { return registry_.stats(); }
+  QueueStats queue_stats() const { return queue_.stats(); }
+
+ private:
+  enum class JobState : std::uint8_t { kQueued, kRunning, kDone };
+
+  struct JobRecord {
+    JobState state = JobState::kQueued;
+    std::shared_ptr<Budget> budget;
+  };
+
+  // -- reader-side handlers (all write their own response) --
+  void handle_frame(const obs::Json& frame);
+  void handle_load_circuit(const Request& req);
+  void handle_status(const Request& req);
+  void handle_cancel(const Request& req);
+  void admit_job(const Request& req);
+
+  // -- dispatcher / execution --
+  void dispatcher_loop();
+  void execute_job(const Job& job);
+  obs::Json run_atpg_job(const Job& job);
+  obs::Json fsim_job(const Job& job);
+
+  /// Sends a job's single terminal response and flips its record to kDone.
+  /// The compare-and-set under jobs_mutex_ is the exactly-once guarantee.
+  void finish_job(std::uint64_t request_id, const obs::Json& response);
+
+  obs::Json server_status_json();
+  void drain_and_join();
+
+  ServerOptions options_;
+  ThreadPool pool_;
+  CircuitRegistry registry_;
+  JobQueue queue_;
+  obs::MetricsRegistry metrics_;
+
+  Transport* transport_ = nullptr;  ///< valid during serve()
+  std::thread dispatcher_;
+  std::atomic<bool> shutting_down_{false};
+
+  mutable std::mutex jobs_mutex_;
+  std::condition_variable jobs_cv_;  ///< in-flight slot free / all idle
+  std::size_t in_flight_ = 0;        ///< guarded by jobs_mutex_
+  std::unordered_map<std::uint64_t, JobRecord> jobs_;  ///< by request id
+  /// Terminal records retained for `status` queries, pruned FIFO so a
+  /// long-lived server's table stays bounded.
+  std::deque<std::uint64_t> done_order_;
+  static constexpr std::size_t kMaxDoneRecords = 1024;
+};
+
+}  // namespace cwatpg::svc

@@ -1,0 +1,118 @@
+#include "svc/transport.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <utility>
+
+#include "svc/proto.hpp"
+
+namespace cwatpg::svc {
+
+// ---- StreamTransport ------------------------------------------------------
+
+bool StreamTransport::read(obs::Json& frame) {
+  return read_frame(in_, frame);
+}
+
+void StreamTransport::write(const obs::Json& frame) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (closed_) return;
+  write_frame(out_, frame);
+}
+
+void StreamTransport::close() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  closed_ = true;
+  out_.flush();
+}
+
+// ---- in-memory duplex -----------------------------------------------------
+
+namespace {
+
+/// One direction of the pipe: a frame queue with close semantics.
+class FrameChannel {
+ public:
+  void push(const obs::Json& frame) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;  // writes after close are dropped, like a pipe
+      frames_.push_back(frame);
+    }
+    cv_.notify_one();
+  }
+
+  bool pop(obs::Json& frame) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !frames_.empty(); });
+    if (frames_.empty()) return false;  // closed and drained
+    frame = std::move(frames_.front());
+    frames_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<obs::Json> frames_;
+  bool closed_ = false;
+};
+
+/// Shared state of a duplex pair; each end holds a shared_ptr so either
+/// end may be destroyed first.
+struct DuplexCore {
+  FrameChannel to_server;
+  FrameChannel to_client;
+};
+
+class DuplexEnd final : public Transport {
+ public:
+  DuplexEnd(std::shared_ptr<DuplexCore> core, bool is_client)
+      : core_(std::move(core)), is_client_(is_client) {}
+
+  ~DuplexEnd() override { DuplexEnd::close(); }
+
+  bool read(obs::Json& frame) override { return inbox().pop(frame); }
+
+  void write(const obs::Json& frame) override { outbox().push(frame); }
+
+  void close() override {
+    // Closing an end stops both directions it participates in: the peer
+    // sees EOF after draining, and our own pending reads unblock too
+    // (nothing further can arrive once the peer learns we are gone —
+    // matching how a process sees its pipe after the far end exits).
+    outbox().close();
+    inbox().close();
+  }
+
+ private:
+  FrameChannel& inbox() {
+    return is_client_ ? core_->to_client : core_->to_server;
+  }
+  FrameChannel& outbox() {
+    return is_client_ ? core_->to_server : core_->to_client;
+  }
+
+  std::shared_ptr<DuplexCore> core_;
+  bool is_client_;
+};
+
+}  // namespace
+
+DuplexPair make_duplex() {
+  auto core = std::make_shared<DuplexCore>();
+  DuplexPair pair;
+  pair.client = std::make_unique<DuplexEnd>(core, /*is_client=*/true);
+  pair.server = std::make_unique<DuplexEnd>(core, /*is_client=*/false);
+  return pair;
+}
+
+}  // namespace cwatpg::svc

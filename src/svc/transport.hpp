@@ -1,0 +1,74 @@
+// Frame transports: how cwatpg.rpc/1 frames physically move.
+//
+// The server is written against this interface so the same code path is
+// exercised everywhere: cwatpg_serve binds a StreamTransport to
+// stdin/stdout, the tests and the throughput bench bind the two ends of an
+// in-memory duplex pipe. Nothing above this layer knows which one it has —
+// which is what makes the served-vs-direct determinism tests meaningful
+// (they cover the whole server, not a test-only shortcut).
+//
+// Thread-safe: write() may be called concurrently from any thread (job
+// completions race each other and the control plane; each implementation
+// serializes frame writes internally, so frames never interleave).
+// read() is single-consumer: exactly one thread may be blocked in read()
+// at a time — the server's reader loop on one end, the client's response
+// collector on the other.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.hpp"
+
+namespace cwatpg::svc {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocks for the next inbound frame. Returns false when the peer has
+  /// closed and every buffered frame has been drained. Throws
+  /// ProtocolError on malformed bytes (stream transports).
+  virtual bool read(obs::Json& frame) = 0;
+
+  /// Sends one frame. Thread-safe; frames are written atomically.
+  virtual void write(const obs::Json& frame) = 0;
+
+  /// Signals end-of-stream to the peer: its read() drains buffered frames
+  /// then returns false. Further write() calls on this end are dropped.
+  /// Idempotent; also performed by the destructor.
+  virtual void close() = 0;
+};
+
+/// Frames over a byte stream pair (cwatpg_serve: stdin/stdout). The
+/// streams must outlive the transport. close() only marks this end closed
+/// (an iostream has no portable shutdown); EOF propagation is the owning
+/// process's job — closing stdin of the child is how a driver stops it.
+class StreamTransport final : public Transport {
+ public:
+  StreamTransport(std::istream& in, std::ostream& out) : in_(in), out_(out) {}
+
+  bool read(obs::Json& frame) override;
+  void write(const obs::Json& frame) override;
+  void close() override;
+
+ private:
+  std::istream& in_;
+  std::ostream& out_;
+  std::mutex write_mutex_;
+  bool closed_ = false;  ///< guarded by write_mutex_
+};
+
+/// The two ends of an in-memory duplex pipe. Frames written on one end are
+/// read (in order) on the other; each direction is an independent bounded-
+/// by-memory queue. Destroying or close()-ing an end wakes the peer's
+/// read() with end-of-stream once its buffer drains.
+struct DuplexPair {
+  std::unique_ptr<Transport> client;
+  std::unique_ptr<Transport> server;
+};
+
+DuplexPair make_duplex();
+
+}  // namespace cwatpg::svc

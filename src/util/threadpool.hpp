@@ -98,6 +98,14 @@ class ThreadPool {
   /// concurrency() may legally return 0).
   static std::size_t default_thread_count();
 
+  /// Resolves a user-facing `--threads` knob: 0 means "auto" and maps to
+  /// default_thread_count(); any other value is taken literally. The ONE
+  /// place this policy lives — bench binaries, cwatpg_serve and the
+  /// service all call it instead of keeping private copies.
+  static std::size_t resolve_thread_count(std::size_t requested) {
+    return requested == 0 ? default_thread_count() : requested;
+  }
+
  private:
   struct Worker;
 

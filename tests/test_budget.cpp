@@ -62,6 +62,19 @@ TEST(Budget, CancelIsStickyAndOutranksDeadline) {
   EXPECT_EQ(b.poll(), StopReason::kCancelled);  // sticky
 }
 
+TEST(Budget, CancelIsIdempotent) {
+  // Cancellation is fired from cancel requests, destructors and watchdog
+  // paths alike — a second (or tenth) call must be a harmless no-op, not
+  // UB or a state change.
+  Budget b;
+  b.cancel();
+  b.cancel();
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_EQ(b.poll(), StopReason::kCancelled);
+  b.cancel();  // and again after polling
+  EXPECT_EQ(b.poll(), StopReason::kCancelled);
+}
+
 TEST(Budget, SaturatingMul) {
   EXPECT_EQ(saturating_mul(6, 7), 42u);
   EXPECT_EQ(saturating_mul(0, Budget::kUnlimited), 0u);
@@ -314,6 +327,29 @@ TEST(RunBudget, DeadlineYieldsPartialConsistentResult) {
   EXPECT_TRUE(r.interrupted);
   EXPECT_GT(r.num_undetermined, 0u);
   EXPECT_LT(elapsed, 10.0);  // promptly, not "eventually"
+  expect_counters_match_outcomes(r);
+}
+
+TEST(RunBudget, AlreadyExpiredDeadlineStopsBeforeTheFirstSolve) {
+  // A deadline that has passed before the run starts (the service arms
+  // deadlines at admission, so queue wait can consume all of one) must
+  // stop the engine at its very first budget poll: zero faults processed,
+  // every outcome undetermined, and the stop attributed to the deadline —
+  // not to a conflict cap, and not a hang.
+  const net::Network n = net::decompose(gen::comparator(4));
+  Budget budget;
+  budget.set_deadline(Budget::Clock::now());
+  ASSERT_TRUE(budget.past_deadline());
+  fault::AtpgOptions opts;
+  opts.budget = &budget;
+  opts.random_blocks = 0;
+
+  const fault::AtpgResult r = fault::run_atpg(n, opts);
+  EXPECT_TRUE(r.interrupted);
+  EXPECT_EQ(r.num_undetermined, r.outcomes.size());
+  EXPECT_EQ(r.num_detected, 0u);
+  EXPECT_TRUE(r.tests.empty());
+  EXPECT_EQ(budget.poll(), StopReason::kDeadline);
   expect_counters_match_outcomes(r);
 }
 

@@ -74,6 +74,44 @@ TEST(Json, ParseAcceptsEscapesAndRejectsGarbage) {
   }
 }
 
+TEST(Json, ParseRejectsTrailingGarbageAfterAnyDocumentKind) {
+  // One complete document per parse: anything after the top-level value is
+  // an error, whatever that value was — a second value, a stray bracket,
+  // or a lone identifier.
+  for (const char* bad :
+       {"{} x", "1 2", "[1]]", "true false", "\"done\"oops", "null,"}) {
+    EXPECT_THROW(obs::Json::parse(bad), std::runtime_error) << bad;
+  }
+  // Trailing whitespace is not garbage.
+  EXPECT_NO_THROW(obs::Json::parse("{\"a\":1}  \n\t"));
+}
+
+TEST(Json, ParseEnforcesNestingDepthLimit) {
+  auto nested_array = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  // Exactly at the cap parses; one level beyond fails fast instead of
+  // recursing the parser toward stack exhaustion.
+  EXPECT_NO_THROW(
+      obs::Json::parse(nested_array(obs::Json::kDefaultMaxDepth)));
+  EXPECT_THROW(
+      obs::Json::parse(nested_array(obs::Json::kDefaultMaxDepth + 1)),
+      std::runtime_error);
+
+  // Callers on a network edge can tighten the cap per call.
+  EXPECT_NO_THROW(obs::Json::parse("[[]]", 2));
+  EXPECT_THROW(obs::Json::parse("[[[]]]", 2), std::runtime_error);
+
+  // Objects count toward the same limit as arrays, including when mixed.
+  EXPECT_NO_THROW(obs::Json::parse(R"({"a":[{"b":[]}]})", 4));
+  EXPECT_THROW(obs::Json::parse(R"({"a":[{"b":[]}]})", 3),
+               std::runtime_error);
+
+  // Closing a container releases its level: siblings at the same depth do
+  // not accumulate, so breadth never triggers the depth cap.
+  EXPECT_NO_THROW(obs::Json::parse("[[],[],[],[]]", 2));
+}
+
 TEST(Json, NumericAccessorsCheckRange) {
   EXPECT_THROW(obs::Json(std::int64_t{-1}).as_u64(), std::logic_error);
   EXPECT_THROW(obs::Json(1.5).as_u64(), std::logic_error);

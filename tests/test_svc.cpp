@@ -1,0 +1,770 @@
+// End-to-end and unit coverage for the serving subsystem (src/svc): the
+// cwatpg.rpc/1 frame codec, the content-addressed circuit registry, the
+// bounded job queue, and the Server request lifecycle over an in-memory
+// duplex transport — including the determinism contract (served run_atpg
+// is byte-identical to a direct engine call) and the exactly-one-terminal-
+// response guarantee under concurrent submitters (run under TSan via the
+// `tsan` ctest label).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/fsim.hpp"
+#include "fault/tegus.hpp"
+#include "gen/structured.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/decompose.hpp"
+#include "svc/proto.hpp"
+#include "svc/queue.hpp"
+#include "svc/registry.hpp"
+#include "svc/server.hpp"
+#include "svc/transport.hpp"
+
+namespace cwatpg::svc {
+namespace {
+
+// ---- shared helpers -------------------------------------------------------
+
+std::string bench_text(const net::Network& n) {
+  std::ostringstream out;
+  net::write_bench(out, n);
+  return out.str();
+}
+
+/// The circuit most server tests serve: small enough that a run_atpg job
+/// finishes in milliseconds, large enough to have a real fault list.
+net::Network test_circuit() { return net::decompose(gen::comparator(3)); }
+
+obs::Json request_json(std::uint64_t id, const char* kind,
+                       obs::Json params = obs::Json::object()) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kRpcSchema;
+  j["id"] = id;
+  j["kind"] = kind;
+  j["params"] = std::move(params);
+  return j;
+}
+
+/// Test-side client: sequences ids, sends requests, reads frames.
+struct Client {
+  Transport* t;
+  std::uint64_t next_id = 1;
+
+  std::uint64_t send(const char* kind, obs::Json params = obs::Json::object()) {
+    const std::uint64_t id = next_id++;
+    t->write(request_json(id, kind, std::move(params)));
+    return id;
+  }
+
+  obs::Json recv() {
+    obs::Json frame;
+    EXPECT_TRUE(t->read(frame)) << "transport closed while awaiting a frame";
+    return frame;
+  }
+
+  /// Send + read one frame; only valid for inline (control-plane) kinds.
+  obs::Json call(const char* kind, obs::Json params = obs::Json::object()) {
+    const std::uint64_t id = send(kind, std::move(params));
+    obs::Json resp = recv();
+    EXPECT_EQ(resp.at("id").as_u64(), id);
+    return resp;
+  }
+};
+
+/// A Server bound to a duplex pair with its serve() loop on a thread.
+struct ServedFixture {
+  DuplexPair pair = make_duplex();
+  Server server;
+  std::thread loop;
+  Client client{pair.client.get()};
+
+  explicit ServedFixture(ServerOptions options) : server(options) {
+    loop = std::thread([this] { server.serve(*pair.server); });
+  }
+  ~ServedFixture() {
+    pair.client->close();  // implicit shutdown if the test didn't send one
+    loop.join();
+  }
+
+  /// Loads `n` and returns its registry key.
+  std::string load(const net::Network& n) {
+    obs::Json params = obs::Json::object();
+    params["name"] = n.name();
+    params["text"] = bench_text(n);
+    obs::Json resp = client.call("load_circuit", std::move(params));
+    EXPECT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    return resp.at("result").at("circuit").at("key").as_string();
+  }
+};
+
+// ---- proto: frame codec ---------------------------------------------------
+
+TEST(SvcProto, FrameRoundTrip) {
+  obs::Json msg = request_json(42, "status");
+  std::stringstream stream;
+  write_frame(stream, msg);
+  obs::Json back;
+  ASSERT_TRUE(read_frame(stream, back));
+  EXPECT_EQ(back, msg);
+  // Stream is now at a clean boundary: next read is EOF, not an error.
+  EXPECT_FALSE(read_frame(stream, back));
+}
+
+TEST(SvcProto, BackToBackFramesStayFramed) {
+  std::stringstream stream;
+  for (int i = 0; i < 3; ++i)
+    write_frame(stream, request_json(static_cast<std::uint64_t>(i), "status"));
+  obs::Json frame;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(read_frame(stream, frame));
+    EXPECT_EQ(frame.at("id").as_u64(), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_FALSE(read_frame(stream, frame));
+}
+
+TEST(SvcProto, OversizedFrameRejectedBeforeAllocation) {
+  // Header advertises 1 GiB; the cap must fire on the header alone.
+  std::stringstream stream;
+  stream << (std::size_t(1) << 30) << "\n";
+  obs::Json frame;
+  EXPECT_THROW(read_frame(stream, frame, 1024), ProtocolError);
+}
+
+TEST(SvcProto, TruncatedPayloadIsAnError) {
+  std::stringstream stream;
+  stream << "100\n{\"partial\":true}";
+  obs::Json frame;
+  EXPECT_THROW(read_frame(stream, frame), ProtocolError);
+}
+
+TEST(SvcProto, MalformedHeaderIsAnError) {
+  std::stringstream stream("not-a-length\n{}");
+  obs::Json frame;
+  EXPECT_THROW(read_frame(stream, frame), ProtocolError);
+}
+
+TEST(SvcProto, DeeplyNestedPayloadRejected) {
+  // A hostile "[[[[…" document must fail the svc depth limit, not recurse
+  // the parser into the ground.
+  std::string bomb(kMaxFrameDepth + 1, '[');
+  bomb.append(kMaxFrameDepth + 1, ']');
+  std::stringstream stream;
+  stream << bomb.size() << "\n" << bomb;
+  obs::Json frame;
+  EXPECT_THROW(read_frame(stream, frame), ProtocolError);
+}
+
+TEST(SvcProto, RequestValidation) {
+  EXPECT_NO_THROW(Request::from_json(request_json(1, "run_atpg")));
+
+  obs::Json no_schema = request_json(1, "status");
+  no_schema["schema"] = "cwatpg.rpc/99";
+  EXPECT_THROW(Request::from_json(no_schema), ProtocolError);
+
+  obs::Json bad_kind = request_json(1, "frobnicate");
+  EXPECT_THROW(Request::from_json(bad_kind), ProtocolError);
+
+  obs::Json bad_params = request_json(1, "status");
+  bad_params["params"] = "not an object";
+  EXPECT_THROW(Request::from_json(bad_params), ProtocolError);
+
+  obs::Json no_id = obs::Json::object();
+  no_id["schema"] = kRpcSchema;
+  no_id["kind"] = "status";
+  EXPECT_THROW(Request::from_json(no_id), ProtocolError);
+
+  // params may be omitted entirely; it defaults to an empty object.
+  obs::Json minimal = obs::Json::object();
+  minimal["schema"] = kRpcSchema;
+  minimal["id"] = std::uint64_t(7);
+  minimal["kind"] = "status";
+  const Request req = Request::from_json(minimal);
+  EXPECT_TRUE(req.params.is_object());
+  EXPECT_EQ(req.kind, RequestKind::kStatus);
+}
+
+TEST(SvcProto, KindNamesRoundTrip) {
+  for (RequestKind kind :
+       {RequestKind::kLoadCircuit, RequestKind::kRunAtpg, RequestKind::kFsim,
+        RequestKind::kStatus, RequestKind::kCancel, RequestKind::kShutdown}) {
+    const auto parsed = parse_request_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_request_kind("no_such_kind").has_value());
+}
+
+TEST(SvcProto, BitCodecRoundTrip) {
+  const std::vector<bool> bits = {true, false, false, true, true};
+  EXPECT_EQ(encode_bits(bits), "10011");
+  EXPECT_EQ(decode_bits("10011", 5), bits);
+  EXPECT_THROW(decode_bits("10011", 4), ProtocolError);  // wrong length
+  EXPECT_THROW(decode_bits("10x11", 5), ProtocolError);  // bad character
+}
+
+TEST(SvcProto, ResponseShapes) {
+  const obs::Json ok = make_response(9, obs::Json::object());
+  EXPECT_EQ(ok.at("schema").as_string(), kRpcSchema);
+  EXPECT_TRUE(ok.at("ok").as_bool());
+  EXPECT_EQ(ok.at("id").as_u64(), 9u);
+
+  const obs::Json err = make_error(9, ErrorCode::kOverloaded, "try later");
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(err.at("error").at("message").as_string(), "try later");
+}
+
+// ---- transports -----------------------------------------------------------
+
+TEST(SvcTransport, StreamRoundTrip) {
+  std::stringstream wire;
+  StreamTransport writer(wire, wire);
+  writer.write(request_json(1, "status"));
+  writer.write(request_json(2, "status"));
+  obs::Json frame;
+  ASSERT_TRUE(writer.read(frame));
+  EXPECT_EQ(frame.at("id").as_u64(), 1u);
+  ASSERT_TRUE(writer.read(frame));
+  EXPECT_EQ(frame.at("id").as_u64(), 2u);
+  EXPECT_FALSE(writer.read(frame));
+}
+
+TEST(SvcTransport, DuplexDeliversBothDirectionsInOrder) {
+  DuplexPair pair = make_duplex();
+  pair.client->write(request_json(1, "status"));
+  pair.server->write(make_response(1, obs::Json::object()));
+  obs::Json frame;
+  ASSERT_TRUE(pair.server->read(frame));
+  EXPECT_EQ(frame.at("kind").as_string(), "status");
+  ASSERT_TRUE(pair.client->read(frame));
+  EXPECT_TRUE(frame.at("ok").as_bool());
+}
+
+TEST(SvcTransport, CloseDrainsThenSignalsEof) {
+  DuplexPair pair = make_duplex();
+  pair.client->write(request_json(1, "status"));
+  pair.client->close();
+  obs::Json frame;
+  ASSERT_TRUE(pair.server->read(frame));  // buffered frame survives close
+  EXPECT_FALSE(pair.server->read(frame));
+}
+
+// ---- registry -------------------------------------------------------------
+
+TEST(SvcRegistry, LoadDedupsByContent) {
+  CircuitRegistry reg(std::size_t(64) << 20);
+  const std::string text = bench_text(test_circuit());
+  const auto a = reg.load_bench(text, "first");
+  const auto b = reg.load_bench(text, "second");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // the same cached entry, not a copy
+  const RegistryStats stats = reg.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.loads, 2u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(SvcRegistry, ContentHashIgnoresNames) {
+  auto build = [](const char* in1, const char* in2, const char* out) {
+    net::Network n;
+    const auto a = n.add_input(in1);
+    const auto b = n.add_input(in2);
+    n.add_output(n.add_gate(net::GateType::kAnd, {a, b}), out);
+    return n;
+  };
+  EXPECT_EQ(content_hash(build("a", "b", "o")),
+            content_hash(build("x", "y", "z")));
+
+  net::Network other;
+  const auto a = other.add_input("a");
+  const auto b = other.add_input("b");
+  other.add_output(other.add_gate(net::GateType::kOr, {a, b}), "o");
+  EXPECT_NE(content_hash(build("a", "b", "o")), content_hash(other));
+}
+
+TEST(SvcRegistry, EntryPrecomputesFaultListAndCnf) {
+  CircuitRegistry reg(std::size_t(64) << 20);
+  const net::Network n = test_circuit();
+  const auto entry = reg.load_bench(bench_text(n), "c");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->faults.size(), fault::collapsed_fault_list(n).size());
+  EXPECT_GT(entry->base_cnf.num_clauses(), 0u);
+  EXPECT_GT(entry->approx_bytes, 0u);
+  EXPECT_EQ(entry->key.size(), 16u);
+}
+
+TEST(SvcRegistry, LruEvictionUnderByteBudget) {
+  // A 1-byte budget forces eviction on every insert, but the registry must
+  // always retain the latest entry (a cache that cannot hold what it was
+  // just asked to load is useless).
+  CircuitRegistry reg(1);
+  const auto first = reg.load_bench(bench_text(test_circuit()), "first");
+  const auto second =
+      reg.load_bench(bench_text(net::decompose(gen::comparator(4))), "second");
+  const RegistryStats stats = reg.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  // The evicted entry stays alive through our shared_ptr: eviction can
+  // never yank a circuit out from under an in-flight job.
+  EXPECT_FALSE(first->faults.empty());
+  EXPECT_EQ(reg.find(first->key), nullptr);   // gone from the registry
+  EXPECT_NE(reg.find(second->key), nullptr);  // the newest entry retained
+}
+
+TEST(SvcRegistry, FindMissCountsAndReturnsNull) {
+  CircuitRegistry reg(std::size_t(64) << 20);
+  EXPECT_EQ(reg.find("0000000000000000"), nullptr);
+  EXPECT_EQ(reg.stats().misses, 1u);
+}
+
+// ---- job queue ------------------------------------------------------------
+
+Job make_job(std::uint64_t id, int priority = 0) {
+  Job job;
+  job.request_id = id;
+  job.priority = priority;
+  job.budget = std::make_shared<Budget>();
+  return job;
+}
+
+TEST(SvcQueue, PriorityFirstFifoWithinLevel) {
+  JobQueue q(8);
+  ASSERT_TRUE(q.push(make_job(1, 0)));
+  ASSERT_TRUE(q.push(make_job(2, 5)));
+  ASSERT_TRUE(q.push(make_job(3, 0)));
+  ASSERT_TRUE(q.push(make_job(4, 5)));
+  Job job;
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(job));
+    order.push_back(job.request_id);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 4, 1, 3}));
+}
+
+TEST(SvcQueue, AdmissionControlRejectsWhenFull) {
+  JobQueue q(2);
+  EXPECT_TRUE(q.push(make_job(1)));
+  EXPECT_TRUE(q.push(make_job(2)));
+  EXPECT_FALSE(q.push(make_job(3)));  // full: reject now, not queue forever
+  const QueueStats stats = q.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.depth, 2u);
+  EXPECT_EQ(stats.max_depth, 2u);
+}
+
+TEST(SvcQueue, RemoveTakesQueuedJobExactlyOnce) {
+  JobQueue q(4);
+  ASSERT_TRUE(q.push(make_job(7)));
+  const auto removed = q.remove(7);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->request_id, 7u);
+  EXPECT_FALSE(q.remove(7).has_value());  // second remove: already gone
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.stats().removed, 1u);
+}
+
+TEST(SvcQueue, CloseDrainsRemainingJobsThenStops) {
+  JobQueue q(4);
+  ASSERT_TRUE(q.push(make_job(1)));
+  ASSERT_TRUE(q.push(make_job(2)));
+  q.close();
+  EXPECT_FALSE(q.push(make_job(3)));  // admission closed
+  Job job;
+  EXPECT_TRUE(q.pop(job));  // shutdown path still drains queued jobs
+  EXPECT_TRUE(q.pop(job));
+  EXPECT_FALSE(q.pop(job));  // closed AND drained: consumer terminates
+}
+
+// ---- server over an in-memory duplex --------------------------------------
+
+TEST(SvcServer, LoadCircuitReportsShapeAndDedups) {
+  ServedFixture f({.threads = 1});
+  const net::Network n = test_circuit();
+  obs::Json params = obs::Json::object();
+  params["name"] = "one";
+  params["text"] = bench_text(n);
+  obs::Json resp = f.client.call("load_circuit", std::move(params));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  const obs::Json& circuit = resp.at("result").at("circuit");
+  EXPECT_EQ(circuit.at("key").as_string().size(), 16u);
+  EXPECT_EQ(circuit.at("inputs").as_u64(), n.inputs().size());
+  EXPECT_EQ(circuit.at("outputs").as_u64(), n.outputs().size());
+  EXPECT_GT(circuit.at("faults").as_u64(), 0u);
+  EXPECT_GT(circuit.at("cnf_clauses").as_u64(), 0u);
+
+  const std::string key2 = f.load(n);  // identical content, other name
+  EXPECT_EQ(key2, circuit.at("key").as_string());
+  EXPECT_EQ(f.server.registry_stats().entries, 1u);
+}
+
+TEST(SvcServer, MalformedRequestsGetBadRequestWithCorrelatedId) {
+  ServedFixture f({.threads = 1});
+  // Unknown kind: validation fails but the id is recoverable.
+  f.client.t->write(request_json(77, "frobnicate"));
+  obs::Json resp = f.client.recv();
+  EXPECT_EQ(resp.at("id").as_u64(), 77u);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
+
+  // Job against a circuit that was never loaded.
+  obs::Json params = obs::Json::object();
+  params["circuit"] = "ffffffffffffffff";
+  resp = f.client.call("run_atpg", std::move(params));
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "not_found");
+
+  // Malformed bench text is the client's error, not an internal one.
+  params = obs::Json::object();
+  params["text"] = "this is not a bench netlist";
+  resp = f.client.call("load_circuit", std::move(params));
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
+}
+
+/// The determinism contract, end to end: a served run_atpg must be
+/// byte-identical to calling the engine directly with the same options —
+/// at one thread and at several.
+TEST(SvcServer, ServedRunAtpgMatchesDirectCallByteForByte) {
+  ServedFixture f({.threads = 2});
+  const net::Network n = test_circuit();
+  const std::string key = f.load(n);
+
+  // The server solves the *round-tripped* network; compare against the
+  // same bytes it parsed, not the pre-serialization original.
+  const net::Network round_tripped =
+      net::read_bench_string(bench_text(n), n.name());
+  fault::AtpgOptions direct_opts;
+  direct_opts.seed = 1234;
+  const fault::AtpgResult direct = fault::run_atpg(round_tripped, direct_opts);
+
+  for (std::uint64_t threads : {std::uint64_t(1), std::uint64_t(3)}) {
+    obs::Json params = obs::Json::object();
+    params["circuit"] = key;
+    params["seed"] = std::uint64_t(1234);
+    params["threads"] = threads;
+    obs::Json resp = f.client.call("run_atpg", std::move(params));
+    ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    const obs::Json& result = resp.at("result");
+    EXPECT_EQ(result.at("engine").as_string(),
+              threads > 1 ? "parallel" : "serial");
+    EXPECT_FALSE(result.at("interrupted").as_bool());
+    EXPECT_EQ(result.at("faults").as_u64(), direct.outcomes.size());
+    EXPECT_EQ(result.at("num_detected").as_u64(), direct.num_detected);
+    EXPECT_EQ(result.at("num_untestable").as_u64(), direct.num_untestable);
+    EXPECT_DOUBLE_EQ(result.at("coverage").as_double(),
+                     direct.fault_coverage());
+    const obs::Json& tests = result.at("tests");
+    ASSERT_EQ(tests.size(), direct.tests.size());
+    for (std::size_t i = 0; i < direct.tests.size(); ++i)
+      EXPECT_EQ(tests[i].as_string(), encode_bits(direct.tests[i]))
+          << "pattern " << i << " diverged at threads=" << threads;
+    EXPECT_EQ(result.at("run_report").at("schema").as_string(),
+              "cwatpg.run_report/1");
+  }
+}
+
+TEST(SvcServer, ServedFsimMatchesDirectCall) {
+  ServedFixture f({.threads = 1});
+  const net::Network n = test_circuit();
+  const std::string key = f.load(n);
+  const net::Network round_tripped =
+      net::read_bench_string(bench_text(n), n.name());
+
+  // Use the direct engine's own tests as the pattern set.
+  fault::AtpgOptions opts;
+  const fault::AtpgResult atpg = fault::run_atpg(round_tripped, opts);
+  const auto faults = fault::collapsed_fault_list(round_tripped);
+  const std::vector<bool> direct =
+      fault::fault_simulate(round_tripped, faults, atpg.tests);
+  const auto direct_detected = static_cast<std::uint64_t>(
+      std::count(direct.begin(), direct.end(), true));
+
+  obs::Json patterns = obs::Json::array();
+  for (const fault::Pattern& p : atpg.tests) patterns.push_back(encode_bits(p));
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  params["patterns"] = std::move(patterns);
+  obs::Json resp = f.client.call("fsim", std::move(params));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  const obs::Json& result = resp.at("result");
+  EXPECT_EQ(result.at("patterns").as_u64(), atpg.tests.size());
+  EXPECT_EQ(result.at("faults").as_u64(), faults.size());
+  EXPECT_EQ(result.at("detected").as_u64(), direct_detected);
+}
+
+TEST(SvcServer, FsimRejectsMalformedPatterns) {
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  obs::Json resp = f.client.call("fsim", std::move(params));  // no patterns
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
+
+  obs::Json bad = obs::Json::array();
+  bad.push_back("01");  // wrong width for the circuit
+  params = obs::Json::object();
+  params["circuit"] = key;
+  params["patterns"] = std::move(bad);
+  resp = f.client.call("fsim", std::move(params));
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
+}
+
+TEST(SvcServer, StatusReportsServerAndPerJobState) {
+  ServedFixture f({.threads = 2});
+  obs::Json resp = f.client.call("status");
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  const obs::Json& result = resp.at("result");
+  EXPECT_EQ(result.at("threads").as_u64(), 2u);
+  EXPECT_FALSE(result.at("shutting_down").as_bool());
+  EXPECT_TRUE(result.contains("queue"));
+  EXPECT_TRUE(result.contains("registry"));
+  EXPECT_TRUE(result.contains("metrics"));
+
+  // Per-job status of an id the server has never seen.
+  obs::Json params = obs::Json::object();
+  params["job"] = std::uint64_t(424242);
+  resp = f.client.call("status", std::move(params));
+  EXPECT_EQ(resp.at("result").at("state").as_string(), "unknown");
+}
+
+TEST(SvcServer, ExpiredDeadlineYieldsInterruptedResultNotHang) {
+  // The deadline is armed at admission and already expired when the job
+  // reaches a worker: the engine must stop at its first budget poll and
+  // still produce a consistent (empty-progress) terminal response.
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  params["deadline_seconds"] = 1e-9;
+  obs::Json resp = f.client.call("run_atpg", std::move(params));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  EXPECT_TRUE(resp.at("result").at("interrupted").as_bool());
+  EXPECT_EQ(resp.at("result").at("stop").as_string(), "deadline");
+}
+
+TEST(SvcServer, CancelProducesExactlyOneTerminalResponse) {
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+
+  // Cancelling an unknown id is answered inline and touches nothing.
+  obs::Json params = obs::Json::object();
+  params["job"] = std::uint64_t(999999);
+  obs::Json resp = f.client.call("cancel", std::move(params));
+  EXPECT_EQ(resp.at("result").at("state").as_string(), "unknown");
+
+  // Submit a job and cancel it immediately. Depending on timing the job is
+  // still queued (terminal: `cancelled` error), already running (terminal:
+  // ok with interrupted/finished result), or even done — every interleaving
+  // is legal, but there must be EXACTLY one terminal for the job id.
+  params = obs::Json::object();
+  params["circuit"] = key;
+  const std::uint64_t job_id = f.client.send("run_atpg", std::move(params));
+  params = obs::Json::object();
+  params["job"] = job_id;
+  const std::uint64_t cancel_id = f.client.send("cancel", std::move(params));
+
+  std::map<std::uint64_t, obs::Json> responses;
+  while (responses.size() < 2) {
+    obs::Json frame = f.client.recv();
+    const std::uint64_t id = frame.at("id").as_u64();
+    ASSERT_TRUE(responses.emplace(id, std::move(frame)).second)
+        << "duplicate response for id " << id;
+  }
+  const obs::Json& cancel_resp = responses.at(cancel_id);
+  ASSERT_TRUE(cancel_resp.at("ok").as_bool());
+  const std::string state = cancel_resp.at("result").at("state").as_string();
+  EXPECT_TRUE(state == "cancelled" || state == "cancelling" || state == "done")
+      << state;
+  const obs::Json& terminal = responses.at(job_id);
+  if (!terminal.at("ok").as_bool()) {
+    EXPECT_EQ(terminal.at("error").at("code").as_string(), "cancelled");
+  }
+}
+
+TEST(SvcServer, DuplicateLiveRequestIdRejected) {
+  ServedFixture f({.threads = 1});
+  // Occupy the single worker with a slow job so id 555 is provably still
+  // live (queued behind it) when its duplicate arrives — the tiny test
+  // circuit alone solves faster than the reader can turn two frames
+  // around.
+  const std::string slow_key =
+      f.load(net::decompose(gen::array_multiplier(5)));
+  const std::string key = f.load(test_circuit());
+  obs::Json params = obs::Json::object();
+  params["circuit"] = slow_key;
+  const std::uint64_t slow_id = f.client.send("run_atpg", std::move(params));
+
+  params = obs::Json::object();
+  params["circuit"] = key;
+  obs::Json dup = request_json(555, "run_atpg", params);
+  f.client.t->write(dup);
+  f.client.t->write(dup);
+
+  // Expect the duplicate's bad_request, one terminal for 555 and one for
+  // the slow job, in any order.
+  bool saw_duplicate_error = false, saw_terminal = false, saw_slow = false;
+  for (int i = 0; i < 3; ++i) {
+    obs::Json resp = f.client.recv();
+    const std::uint64_t id = resp.at("id").as_u64();
+    if (id == slow_id) {
+      saw_slow = true;
+      continue;
+    }
+    EXPECT_EQ(id, 555u);
+    if (!resp.at("ok").as_bool() &&
+        resp.at("error").at("code").as_string() == "bad_request") {
+      saw_duplicate_error = true;
+    } else if (resp.at("ok").as_bool()) {
+      saw_terminal = true;
+    }
+  }
+  EXPECT_TRUE(saw_duplicate_error);
+  EXPECT_TRUE(saw_terminal);
+  EXPECT_TRUE(saw_slow);
+}
+
+TEST(SvcServer, OverloadedQueueRejectsNotBlocks) {
+  // One worker, one queue slot: flooding must answer `overloaded` for the
+  // overflow instead of stalling the reader or growing a backlog. Exact
+  // counts depend on scheduling; the invariant is one terminal per job and
+  // at least one rejection under a flood this heavy.
+  ServedFixture f({.threads = 1, .queue_capacity = 1});
+  const std::string key = f.load(test_circuit());
+  constexpr int kJobs = 12;
+  std::set<std::uint64_t> pending;
+  for (int i = 0; i < kJobs; ++i) {
+    obs::Json params = obs::Json::object();
+    params["circuit"] = key;
+    pending.insert(f.client.send("run_atpg", std::move(params)));
+  }
+  std::size_t overloaded = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    obs::Json resp = f.client.recv();
+    ASSERT_EQ(pending.erase(resp.at("id").as_u64()), 1u)
+        << "unexpected or duplicate response " << resp.dump();
+    if (!resp.at("ok").as_bool()) {
+      EXPECT_EQ(resp.at("error").at("code").as_string(), "overloaded");
+      ++overloaded;
+    }
+  }
+  EXPECT_TRUE(pending.empty());
+  EXPECT_GT(overloaded, 0u);
+  EXPECT_EQ(f.server.queue_stats().rejected, overloaded);
+}
+
+TEST(SvcServer, ShutdownDrainsInFlightAndAnswersLast) {
+  ServedFixture f({.threads = 1, .queue_capacity = 16});
+  const std::string key = f.load(test_circuit());
+  constexpr int kJobs = 4;
+  std::set<std::uint64_t> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    obs::Json params = obs::Json::object();
+    params["circuit"] = key;
+    jobs.insert(f.client.send("run_atpg", std::move(params)));
+  }
+  const std::uint64_t shutdown_id = f.client.send("shutdown");
+
+  // The shutdown response is written only after every admitted job has
+  // sent its terminal, so it must be the last frame on the stream.
+  std::vector<obs::Json> frames;
+  for (int i = 0; i < kJobs + 1; ++i) frames.push_back(f.client.recv());
+  const obs::Json& last = frames.back();
+  EXPECT_EQ(last.at("id").as_u64(), shutdown_id);
+  ASSERT_TRUE(last.at("ok").as_bool()) << last.dump();
+  EXPECT_TRUE(last.at("result").at("drained").as_bool());
+  EXPECT_EQ(last.at("result").at("in_flight").as_u64(), 0u);
+  for (int i = 0; i < kJobs; ++i) {
+    ASSERT_EQ(jobs.erase(frames[i].at("id").as_u64()), 1u);
+    // Each job either completed before the drain or was failed with
+    // shutting_down; both are terminal, neither may be dropped.
+    if (!frames[i].at("ok").as_bool()) {
+      EXPECT_EQ(frames[i].at("error").at("code").as_string(),
+                "shutting_down");
+    }
+  }
+  EXPECT_TRUE(jobs.empty());
+  obs::Json extra;
+  EXPECT_FALSE(f.client.t->read(extra));  // stream closes after shutdown
+}
+
+/// The TSan centerpiece: several submitter threads race run_atpg, fsim and
+/// cancel requests against one server while jobs complete out of order.
+/// Every job must get exactly one terminal response, and a clean shutdown
+/// must drain whatever is still in flight.
+TEST(SvcServer, ConcurrentClientsEveryJobGetsExactlyOneTerminal) {
+  ServedFixture f({.threads = 3, .queue_capacity = 64});
+  const net::Network n = test_circuit();
+  const std::string key = f.load(n);
+  obs::Json fsim_patterns = obs::Json::array();
+  fsim_patterns.push_back(std::string(n.inputs().size(), '1'));
+  fsim_patterns.push_back(std::string(n.inputs().size(), '0'));
+
+  constexpr int kThreads = 3;
+  constexpr int kJobsPerThread = 6;
+  std::vector<std::set<std::uint64_t>> job_ids(kThreads);
+  std::vector<std::set<std::uint64_t>> control_ids(kThreads);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      // Ids are partitioned per thread so they never collide.
+      std::uint64_t next = 1000 + static_cast<std::uint64_t>(t) * 1000;
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        const std::uint64_t id = next++;
+        obs::Json params = obs::Json::object();
+        params["circuit"] = key;
+        if (i % 3 == 1) {
+          params["patterns"] = fsim_patterns;
+          f.client.t->write(request_json(id, "fsim", std::move(params)));
+        } else {
+          params["seed"] = id;
+          f.client.t->write(request_json(id, "run_atpg", std::move(params)));
+        }
+        job_ids[t].insert(id);
+        if (i % 3 == 2) {
+          // Race a cancel against the job we just submitted.
+          const std::uint64_t cancel_id = next++;
+          obs::Json cparams = obs::Json::object();
+          cparams["job"] = id;
+          f.client.t->write(
+              request_json(cancel_id, "cancel", std::move(cparams)));
+          control_ids[t].insert(cancel_id);
+        }
+      }
+    });
+  }
+  for (std::thread& s : submitters) s.join();
+
+  std::set<std::uint64_t> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    expected.insert(job_ids[t].begin(), job_ids[t].end());
+    expected.insert(control_ids[t].begin(), control_ids[t].end());
+  }
+  std::size_t want = expected.size();
+  while (want-- > 0) {
+    obs::Json resp = f.client.recv();
+    const std::uint64_t id = resp.at("id").as_u64();
+    ASSERT_EQ(expected.erase(id), 1u)
+        << "duplicate or unknown response id " << id;
+    if (!resp.at("ok").as_bool()) {
+      const std::string code = resp.at("error").at("code").as_string();
+      EXPECT_TRUE(code == "cancelled" || code == "overloaded") << code;
+    }
+  }
+  EXPECT_TRUE(expected.empty());
+
+  const std::uint64_t shutdown_id = f.client.send("shutdown");
+  obs::Json resp = f.client.recv();
+  EXPECT_EQ(resp.at("id").as_u64(), shutdown_id);
+  EXPECT_TRUE(resp.at("result").at("drained").as_bool());
+}
+
+}  // namespace
+}  // namespace cwatpg::svc
