@@ -29,6 +29,12 @@ struct BenchArgs {
   /// resolved to hardware concurrency by parse_args via the shared
   /// ThreadPool::resolve_thread_count helper, so benches never see 0.
   std::size_t threads = 1;
+  /// Solve engine: "per-fault" (the default — fresh miter/CNF per fault,
+  /// TEGUS as the paper analyzes) or "incremental" (one shared
+  /// select-instrumented miter queried under assumptions with learnt-
+  /// clause reuse). Benches that honor the knob map it onto
+  /// fault::AtpgEngine; parse_args rejects anything else.
+  std::string engine = "per-fault";
   std::string csv;   ///< when set, raw datapoints are also written here
   /// When set, the bench writes its canonical JSON report (schema
   /// "cwatpg.bench_report/1" wrapping per-run RunReports) here — see
@@ -39,9 +45,11 @@ struct BenchArgs {
 inline void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--scale=F] [--stride=N] [--seed=S] [--threads=N]"
-         " [--csv=FILE] [--json=FILE]\n"
+         " [--engine=per-fault|incremental] [--csv=FILE] [--json=FILE]\n"
          "  --threads: 1 = serial engine (default), 0 = auto (hardware"
-         " concurrency), N > 1 = parallel engine\n";
+         " concurrency), N > 1 = parallel engine\n"
+         "  --engine: per-fault (default) re-encodes per fault;"
+         " incremental queries one shared miter under assumptions\n";
 }
 
 /// Parses the shared bench flags. Unknown arguments are an error: usage
@@ -63,6 +71,13 @@ inline BenchArgs parse_args(int argc, char** argv,
     } else if (arg.rfind("--threads=", 0) == 0) {
       args.threads = ThreadPool::resolve_thread_count(static_cast<std::size_t>(
           std::max(0L, std::atol(arg.c_str() + 10))));
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      args.engine = arg.substr(9);
+      if (args.engine != "per-fault" && args.engine != "incremental") {
+        std::cerr << "unknown engine: " << args.engine << "\n";
+        print_usage(std::cerr, argv[0]);
+        std::exit(2);
+      }
     } else if (arg.rfind("--csv=", 0) == 0) {
       args.csv = arg.substr(6);
     } else if (arg.rfind("--json=", 0) == 0) {

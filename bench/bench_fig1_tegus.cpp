@@ -41,6 +41,11 @@ int main(int argc, char** argv) {
   // per-instance scatter (sat_vars, statuses) is byte-identical to the
   // serial engine, only the wall clock changes. Per-worker CDCL counters
   // aggregate back into the same per-outcome SolverStats either way.
+  // --engine=incremental swaps in the shared-miter engine: same
+  // classifications, but the scatter's instance "size" becomes the one
+  // shared miter's and solve times reflect learnt-clause reuse — the
+  // reuse-on-vs-off headline comparison.
+  const bool incremental = args.engine == "incremental";
   auto run_suite = [&](const std::vector<net::Network>& suite,
                        const char* name) {
     for (const net::Network& n : suite) {
@@ -49,17 +54,19 @@ int main(int argc, char** argv) {
       // fault.
       opts.random_blocks = 0;
       opts.drop_by_simulation = false;
+      if (incremental) opts.engine = fault::AtpgEngine::kIncremental;
       fault::AtpgResult r;
       fault::ParallelStats pstats;
       obs::ReportOptions ropts;
       ropts.label = name;
       ropts.seed = args.seed;
+      ropts.engine = args.engine == "per-fault" ? "serial" : args.engine;
       if (args.threads > 1) {
         fault::ParallelAtpgOptions popts;
         popts.base = opts;
         popts.num_threads = args.threads;
         r = fault::run_atpg_parallel(n, popts, &pstats);
-        ropts.engine = "parallel";
+        ropts.engine = incremental ? "parallel-incremental" : "parallel";
         ropts.threads = args.threads;
         ropts.parallel = &pstats;
       } else {

@@ -1,34 +1,63 @@
 #include "fault/incremental.hpp"
 
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
+#include "fault/obs_hooks.hpp"
 #include "sat/encode.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
 
 namespace cwatpg::fault {
 
-SharedMiter::SharedMiter(const net::Network& netw,
-                         sat::SolverConfig solver_config)
-    : net_(netw) {
+SharedMiterCnf::SharedMiterCnf(const net::Network& netw) {
   using net::GateType;
   using sat::Lit;
   using sat::Var;
 
+  Timer build_timer;
+
   // Good copy: variable v == NodeId v (encode_constraints' convention).
   sat::Cnf cnf = sat::encode_constraints(netw);
   const std::size_t n = netw.node_count();
-  good_.resize(n);
-  for (net::NodeId v = 0; v < n; ++v) good_[v] = static_cast<Var>(v);
+  node_count_ = n;
+  input_vars_.reserve(netw.inputs().size());
+  for (net::NodeId pi : netw.inputs())
+    input_vars_.push_back(static_cast<Var>(pi));
 
-  // Enumerate fault sites (stems: any non-kOutput node with fanout) and
-  // give each (site, value) a binary fault id.
-  fault_code_.assign(n, kNoCode);
+  // Enumerate fault sites and give each (site, value) a binary fault id.
+  // Stems: any non-kOutput node with fanout. Branches: any input pin whose
+  // driver has fanout > 1 (on a single-fanout net the branch is the stem).
+  // The excitation variable of a site is the good-copy variable of the
+  // net it sits on — the driver itself for a stem, the pin's driver for a
+  // branch.
+  stem_code_.assign(n, kNoCode);
+  branch_code_.assign(n, {});
   std::uint32_t next_code = 0;
   for (net::NodeId v = 0; v < n; ++v) {
     if (netw.type(v) == GateType::kOutput || netw.fanouts(v).empty())
       continue;
-    fault_code_[v] = next_code;
+    stem_code_[v] = next_code;
     next_code += 2;
+    excite_var_.push_back(static_cast<Var>(v));
   }
+  for (net::NodeId v = 0; v < n; ++v) {
+    const auto fanins = netw.fanins(v);
+    if (fanins.empty()) continue;
+    branch_code_[v].assign(fanins.size(), kNoCode);
+    for (std::size_t p = 0; p < fanins.size(); ++p) {
+      if (netw.fanouts(fanins[p]).size() <= 1) continue;
+      branch_code_[v][p] = next_code;
+      next_code += 2;
+      excite_var_.push_back(static_cast<Var>(fanins[p]));
+    }
+  }
+  num_codes_ = next_code;
+
   std::uint32_t bits = 1;
   while ((1u << bits) < std::max(next_code, 2u)) ++bits;
   fid_bits_.clear();
@@ -38,32 +67,74 @@ SharedMiter::SharedMiter(const net::Network& netw,
   auto bit_lit = [&](std::uint32_t code, std::uint32_t b) {
     return Lit(fid_bits_[b], ((code >> b) & 1) == 0);
   };
+  // Defines s ↔ (fid == code): one binary clause per bit plus the back
+  // clause. Unit propagation from the assumed fid bits then switches
+  // exactly one select on and every other select off.
+  auto define_select = [&](Var s, std::uint32_t code) {
+    sat::Clause back{sat::pos(s)};
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      cnf.add_clause({sat::neg(s), bit_lit(code, b)});
+      back.push_back(~bit_lit(code, b));
+    }
+    cnf.add_clause(std::move(back));
+  };
 
   // Faulty copy variables.
   std::vector<Var> faulty(n);
   for (net::NodeId v = 0; v < n; ++v) faulty[v] = cnf.new_var();
 
-  // Selects defined from the fault id: s ↔ (fid == code).
+  // Stem selects: s forces the faulty node to the stuck value.
   std::vector<Var> select0(n, sat::kNullVar), select1(n, sat::kNullVar);
   for (net::NodeId v = 0; v < n; ++v) {
-    if (fault_code_[v] == kNoCode) continue;
+    if (stem_code_[v] == kNoCode) continue;
     for (int value = 0; value < 2; ++value) {
       const Var s = cnf.new_var();
       (value ? select1[v] : select0[v]) = s;
-      const std::uint32_t code = fault_code_[v] + static_cast<std::uint32_t>(value);
-      sat::Clause back{sat::pos(s)};
-      for (std::uint32_t b = 0; b < bits; ++b) {
-        cnf.add_clause({sat::neg(s), bit_lit(code, b)});
-        back.push_back(~bit_lit(code, b));
-      }
-      cnf.add_clause(std::move(back));
-      // Select semantics on the faulty copy.
+      define_select(s, stem_code_[v] + static_cast<std::uint32_t>(value));
       cnf.add_clause({sat::neg(s),
                       value ? sat::pos(faulty[v]) : sat::neg(faulty[v])});
     }
   }
 
-  // Faulty functional clauses, guarded by (s0 ∨ s1) where selects exist.
+  // Branch selects: each coded pin (v, p) gets a private wire variable w
+  // the faulty gate reads in place of the fanin; s forces w to the stuck
+  // value, and with both selects off w equals the faulty fanin.
+  std::vector<std::vector<Var>> pin_wire(n);
+  std::vector<std::vector<Var>> pin_selects(n);  // barrier literals per node
+  for (net::NodeId v = 0; v < n; ++v) {
+    const auto fanins = netw.fanins(v);
+    if (fanins.empty()) continue;
+    pin_wire[v].assign(fanins.size(), sat::kNullVar);
+    for (std::size_t p = 0; p < fanins.size(); ++p) {
+      if (branch_code_[v][p] == kNoCode) continue;
+      const Var w = cnf.new_var();
+      pin_wire[v][p] = w;
+      Var sb[2];
+      for (int value = 0; value < 2; ++value) {
+        sb[value] = cnf.new_var();
+        define_select(sb[value],
+                      branch_code_[v][p] + static_cast<std::uint32_t>(value));
+        cnf.add_clause({sat::neg(sb[value]),
+                        value ? sat::pos(w) : sat::neg(w)});
+        pin_selects[v].push_back(sb[value]);
+      }
+      const Var f = faulty[fanins[p]];
+      cnf.add_clause(
+          {sat::pos(sb[0]), sat::pos(sb[1]), sat::neg(w), sat::pos(f)});
+      cnf.add_clause(
+          {sat::pos(sb[0]), sat::pos(sb[1]), sat::pos(w), sat::neg(f)});
+    }
+  }
+
+  // Faulty pin value of (v, p): the wire when the pin has branch selects,
+  // the faulty fanin directly otherwise.
+  auto pin_var = [&](net::NodeId v, std::size_t p) {
+    const Var w = pin_wire[v].empty() ? sat::kNullVar : pin_wire[v][p];
+    return w != sat::kNullVar ? w : faulty[netw.fanins(v)[p]];
+  };
+
+  // Faulty functional clauses, guarded by (s0 ∨ s1) where stem selects
+  // exist (a selected stem overrides the gate function).
   auto add_guarded = [&](net::NodeId v, const sat::Cnf& gate_clauses) {
     for (const sat::Clause& c : gate_clauses.clauses()) {
       sat::Clause guarded = c;
@@ -80,7 +151,7 @@ SharedMiter::SharedMiter(const net::Network& netw,
     switch (node.type) {
       case GateType::kInput:
         sat::add_gate_clauses(local, GateType::kBuf, faulty[v],
-                              {{good_[v]}});
+                              {{static_cast<Var>(v)}});
         break;
       case GateType::kConst0:
         local.add_clause({sat::neg(faulty[v])});
@@ -90,12 +161,13 @@ SharedMiter::SharedMiter(const net::Network& netw,
         break;
       case GateType::kOutput:
         sat::add_gate_clauses(local, GateType::kBuf, faulty[v],
-                              {{faulty[node.fanins[0]]}});
+                              {{pin_var(v, 0)}});
         break;
       default: {
         std::vector<Var> ins;
         ins.reserve(node.fanins.size());
-        for (net::NodeId fi : node.fanins) ins.push_back(faulty[fi]);
+        for (std::size_t p = 0; p < node.fanins.size(); ++p)
+          ins.push_back(pin_var(v, p));
         sat::add_gate_clauses(local, node.type, faulty[v], ins);
         break;
       }
@@ -104,21 +176,23 @@ SharedMiter::SharedMiter(const net::Network& netw,
   }
 
   // D-chain constraints: diff_v ↔ (good_v ⊕ faulty_v), and a difference
-  // can only exist where the fault is selected or some fanin differs.
-  // Without these, UNSAT queries force the solver to re-derive the
-  // equivalence of the two copies by case splitting (hopeless on XOR-heavy
-  // logic); with them, "all selects off upstream" propagates faulty=good
-  // node by node, and learned clauses stay short.
+  // can only exist where a fault is selected — on the node itself (stem)
+  // or on one of its input pins (branch) — or some fanin differs. Without
+  // these, UNSAT queries force the solver to re-derive the equivalence of
+  // the two copies by case splitting (hopeless on XOR-heavy logic); with
+  // them, "all selects off upstream" propagates faulty=good node by node,
+  // and learned clauses stay short.
   std::vector<Var> diff(n);
   for (net::NodeId v = 0; v < n; ++v) {
     diff[v] = cnf.new_var();
-    const Var ins[] = {good_[v], faulty[v]};
+    const Var ins[] = {static_cast<Var>(v), faulty[v]};
     sat::add_gate_clauses(cnf, GateType::kXor, diff[v], ins);
     sat::Clause barrier{sat::neg(diff[v])};
     if (select0[v] != sat::kNullVar) {
       barrier.push_back(sat::pos(select0[v]));
       barrier.push_back(sat::pos(select1[v]));
     }
+    for (Var s : pin_selects[v]) barrier.push_back(sat::pos(s));
     for (net::NodeId fi : netw.fanins(v))
       barrier.push_back(sat::pos(diff[fi]));
     cnf.add_clause(std::move(barrier));
@@ -130,31 +204,129 @@ SharedMiter::SharedMiter(const net::Network& netw,
     objective.push_back(sat::pos(diff[po]));
   cnf.add_clause(std::move(objective));
 
-  num_vars_ = cnf.num_vars();
-  solver_ = std::make_unique<sat::Solver>(cnf, solver_config);
+  // Cone restriction tables: for every node carrying a select (stem or a
+  // branch pin — both root the observable effect at that node), the
+  // primary inputs OUTSIDE the fanin cone of its fanout cone. Such inputs
+  // cannot influence excitation or any output difference, so a query may
+  // pin them to 0 with extra assumptions; any satisfying assignment can be
+  // rewritten to have them 0 (off-cone diffs are forced false by the
+  // barrier chain regardless), so SAT/UNSAT answers are untouched. The
+  // payoff is that search stays cone-local like a per-fault instance —
+  // without the pins, every decision drags the whole-circuit miter through
+  // propagation and large low-conflict circuits lose to the per-fault flow
+  // on propagation volume alone.
+  pinned_inputs_.assign(n, {});
+  {
+    std::vector<std::uint32_t> mark(n, 0);
+    std::uint32_t epoch = 0;
+    std::vector<net::NodeId> cone;
+    for (net::NodeId v = 0; v < n; ++v) {
+      const bool coded =
+          stem_code_[v] != kNoCode ||
+          std::any_of(branch_code_[v].begin(), branch_code_[v].end(),
+                      [](std::uint32_t c) { return c != kNoCode; });
+      if (!coded) continue;
+      ++epoch;
+      cone.clear();
+      cone.push_back(v);
+      mark[v] = epoch;
+      // Forward closure over fanouts, then fanin closure of the result:
+      // entries appended during the scan are processed too, so `cone`
+      // ends as the full support set.
+      for (std::size_t i = 0; i < cone.size(); ++i)
+        for (net::NodeId fo : netw.fanouts(cone[i]))
+          if (mark[fo] != epoch) {
+            mark[fo] = epoch;
+            cone.push_back(fo);
+          }
+      for (std::size_t i = 0; i < cone.size(); ++i)
+        for (net::NodeId fi : netw.fanins(cone[i]))
+          if (mark[fi] != epoch) {
+            mark[fi] = epoch;
+            cone.push_back(fi);
+          }
+      for (net::NodeId pi : netw.inputs())
+        if (mark[pi] != epoch)
+          pinned_inputs_[v].push_back(static_cast<Var>(pi));
+    }
+  }
+
+  cnf_ = std::move(cnf);
+  build_seconds_ = build_timer.seconds();
 }
 
-sat::SolveStatus SharedMiter::solve_fault(net::NodeId site, bool stuck_value,
-                                          Pattern& test_out) {
-  if (site >= net_.node_count() || fault_code_[site] == kNoCode)
-    throw std::invalid_argument("solve_fault: node has no fault selects");
-  const std::uint32_t code =
-      fault_code_[site] + (stuck_value ? 1u : 0u);
+std::uint32_t SharedMiterCnf::code_of(const StuckAtFault& fault) const {
+  if (fault.node >= node_count_) return kNoCode;
+  if (fault.is_stem()) return stem_code_[fault.node];
+  const auto& pins = branch_code_[fault.node];
+  const auto p = static_cast<std::size_t>(fault.pin);
+  if (fault.pin < 0 || p >= pins.size()) return kNoCode;
+  return pins[p];
+}
+
+bool SharedMiterCnf::covers(const StuckAtFault& fault) const {
+  return code_of(fault) != kNoCode;
+}
+
+std::vector<sat::Lit> SharedMiterCnf::assumptions_for(
+    const StuckAtFault& fault) const {
+  const std::uint32_t base = code_of(fault);
+  if (base == kNoCode)
+    throw std::invalid_argument(
+        "SharedMiterCnf: fault site has no select in the encoding");
+  const std::uint32_t code = base + (fault.stuck_value ? 1u : 0u);
   std::vector<sat::Lit> assumptions;
   assumptions.reserve(fid_bits_.size() + 1);
   for (std::uint32_t b = 0; b < fid_bits_.size(); ++b)
     assumptions.push_back(sat::Lit(fid_bits_[b], ((code >> b) & 1) == 0));
-  // Excitation: the good value of the site must be ~stuck.
-  assumptions.push_back(sat::Lit(good_[site], stuck_value));
+  // Excitation: the good value of the faulted net must be ~stuck.
+  assumptions.push_back(sat::Lit(excite_var_[code / 2], fault.stuck_value));
+  // Cone restriction: pin every primary input outside the fault's support
+  // cone to 0 (see the constructor) so the search is cone-local.
+  for (sat::Var pi : pinned_inputs_[fault.node])
+    assumptions.push_back(sat::Lit(pi, true));
+  return assumptions;
+}
 
-  const sat::SolveStatus status = solver_->solve(assumptions);
+namespace {
+
+const sat::Cnf& checked_cnf(
+    const std::shared_ptr<const SharedMiterCnf>& encoding) {
+  if (encoding == nullptr)
+    throw std::invalid_argument("SharedMiter: null encoding");
+  return encoding->cnf();
+}
+
+}  // namespace
+
+SharedMiter::SharedMiter(const net::Network& netw,
+                         sat::SolverConfig solver_config)
+    : SharedMiter(std::make_shared<const SharedMiterCnf>(netw),
+                  solver_config) {}
+
+SharedMiter::SharedMiter(std::shared_ptr<const SharedMiterCnf> encoding,
+                         sat::SolverConfig solver_config)
+    : encoding_(std::move(encoding)),
+      solver_(checked_cnf(encoding_), solver_config) {}
+
+sat::SolveStatus SharedMiter::solve_fault(const StuckAtFault& fault,
+                                          Pattern& test_out) {
+  const std::vector<sat::Lit> assumptions =
+      encoding_->assumptions_for(fault);
+  const sat::SolveStatus status = solver_.solve(assumptions);
   if (status == sat::SolveStatus::kSat) {
-    const auto& model = solver_->model();
-    test_out.assign(net_.inputs().size(), false);
-    for (std::size_t i = 0; i < net_.inputs().size(); ++i)
-      test_out[i] = model[good_[net_.inputs()[i]]];
+    const auto& model = solver_.model();
+    const auto& pis = encoding_->input_vars();
+    test_out.assign(pis.size(), false);
+    for (std::size_t i = 0; i < pis.size(); ++i) test_out[i] = model[pis[i]];
   }
   return status;
+}
+
+sat::SolveStatus SharedMiter::solve_fault(net::NodeId site, bool stuck_value,
+                                          Pattern& test_out) {
+  return solve_fault(StuckAtFault{site, StuckAtFault::kStem, stuck_value},
+                     test_out);
 }
 
 std::vector<IncrementalOutcome> run_atpg_incremental(
@@ -162,15 +334,363 @@ std::vector<IncrementalOutcome> run_atpg_incremental(
     sat::SolverConfig solver_config) {
   SharedMiter miter(netw, solver_config);
   std::vector<IncrementalOutcome> outcomes(faults.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (!faults[i].is_stem()) {
-      outcomes[i].skipped = true;
-      continue;
-    }
-    outcomes[i].status = miter.solve_fault(
-        faults[i].node, faults[i].stuck_value, outcomes[i].test);
-  }
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    outcomes[i].status = miter.solve_fault(faults[i], outcomes[i].test);
   return outcomes;
 }
+
+namespace detail {
+namespace {
+
+constexpr std::size_t kNoPos = static_cast<std::size_t>(-1);
+
+/// Nodes whose transitive fanout contains a primary output — reverse BFS
+/// from the kOutput markers. A fault whose cone root is outside the mask
+/// can never be observed; the providers classify it kUnreachable without a
+/// query, matching generate_test's structural check.
+std::vector<bool> reaches_output_mask(const net::Network& netw) {
+  std::vector<bool> mask(netw.node_count(), false);
+  std::vector<net::NodeId> stack;
+  for (net::NodeId po : netw.outputs()) {
+    mask[po] = true;
+    stack.push_back(po);
+  }
+  while (!stack.empty()) {
+    const net::NodeId v = stack.back();
+    stack.pop_back();
+    for (net::NodeId fi : netw.fanins(v)) {
+      if (mask[fi]) continue;
+      mask[fi] = true;
+      stack.push_back(fi);
+    }
+  }
+  return mask;
+}
+
+/// Conflict caps for one incremental query: every query runs at base_cap;
+/// a query that hits exactly the conflict cap gets one in-miter retry at
+/// retry_cap (the escalation ladder's first rung, without leaving the
+/// shared encoding) before the pipeline's fresh-CNF rounds take over.
+struct QueryPolicy {
+  std::uint64_t base_cap = Budget::kUnlimited;
+  std::uint64_t retry_cap = Budget::kUnlimited;
+  const Budget* budget = nullptr;
+};
+
+/// The incremental counterpart of generate_test: one fault, one session,
+/// production semantics (unreachable masking, budget fast-fail, in-miter
+/// retry, FaultOutcome attribution). Pure function of the session's query
+/// history plus (fault, reachable, policy) — the determinism unit both
+/// providers are built from.
+FaultOutcome incremental_query(SharedMiter& miter, const StuckAtFault& fault,
+                               bool reachable, const QueryPolicy& policy,
+                               Pattern& test_out) {
+  FaultOutcome outcome;
+  outcome.fault = fault;
+
+  if (!reachable) {
+    outcome.status = FaultStatus::kUnreachable;
+    return outcome;
+  }
+  // Fast-fail when the budget already fired, like generate_test: an
+  // abandoned stream drains in O(1) per position.
+  if (policy.budget != nullptr) {
+    const StopReason r = policy.budget->poll();
+    if (r != StopReason::kNone) {
+      outcome.status = FaultStatus::kAborted;
+      outcome.solver_stats.stop_reason = r;
+      return outcome;
+    }
+  }
+
+  Timer timer;
+  sat::SolveStatus status = miter.solve_fault(fault, test_out);
+  sat::SolverStats stats = miter.last_query_stats();
+  outcome.attempts = 1;
+  if (status == sat::SolveStatus::kUnknown &&
+      stats.stop_reason == StopReason::kConflictLimit &&
+      policy.retry_cap > policy.base_cap) {
+    miter.set_max_conflicts(policy.retry_cap);
+    status = miter.solve_fault(fault, test_out);
+    const sat::SolverStats retry_stats = miter.last_query_stats();
+    miter.set_max_conflicts(policy.base_cap);
+    stats += retry_stats;
+    // operator+= keeps the stale kConflictLimit when the retry ran to
+    // completion; the retry's own reason (kNone on success) is the truth.
+    stats.stop_reason = retry_stats.stop_reason;
+    outcome.attempts = 2;
+  }
+  outcome.solve_seconds = timer.seconds();
+  outcome.solver_stats = stats;
+  outcome.engine = SolveEngine::kIncremental;
+  outcome.sat_vars = miter.num_vars();
+  outcome.sat_clauses = miter.encoding().num_clauses();
+  switch (status) {
+    case sat::SolveStatus::kSat:
+      outcome.status = FaultStatus::kDetected;
+      break;
+    case sat::SolveStatus::kUnsat:
+      outcome.status = FaultStatus::kUntestable;
+      break;
+    case sat::SolveStatus::kUnknown:
+      outcome.status = FaultStatus::kAborted;
+      break;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+IncrementalBase::IncrementalBase(const AtpgOptions& options)
+    : options_(options),
+      session_config_(per_fault_solver_config(options)),
+      base_cap_(session_config_.max_conflicts) {
+  retry_cap_ =
+      (options.escalation_rounds > 0 && base_cap_ != Budget::kUnlimited)
+          ? saturating_mul(base_cap_, options.escalation_growth)
+          : base_cap_;
+}
+
+void IncrementalBase::setup(const net::Network& netw,
+                            std::span<const StuckAtFault> faults,
+                            std::span<const std::size_t> work_list) {
+  if (options_.prebuilt_miter != nullptr) {
+    if (options_.prebuilt_miter->node_count() != netw.node_count())
+      throw std::invalid_argument(
+          "incremental ATPG: prebuilt miter was built from a different "
+          "network");
+    encoding_ = options_.prebuilt_miter;
+  } else {
+    encoding_ = std::make_shared<const SharedMiterCnf>(netw);
+  }
+
+  const std::vector<bool> reachable = reaches_output_mask(netw);
+  pos_of_.assign(faults.size(), kNoPos);
+  fault_of_pos_.clear();
+  fault_of_pos_.reserve(work_list.size());
+  reachable_of_pos_.clear();
+  reachable_of_pos_.reserve(work_list.size());
+  for (std::size_t p = 0; p < work_list.size(); ++p) {
+    const std::size_t fi = work_list[p];
+    pos_of_[fi] = p;
+    fault_of_pos_.push_back(faults[fi]);
+    reachable_of_pos_.push_back(reachable[faults[fi].node]);
+  }
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    c_queries_ = &m.counter("incremental.queries");
+    c_committed_ = &m.counter("incremental.committed");
+    c_retries_ = &m.counter("incremental.retries");
+    c_reused_ = &m.counter("incremental.reused_implications");
+    m.counter(options_.prebuilt_miter != nullptr ? "incremental.prebuilt_hits"
+                                                 : "incremental.builds")
+        .add(1);
+    m.gauge("incremental.miter_vars")
+        .max_in(static_cast<double>(encoding_->num_vars()));
+    m.gauge("incremental.miter_clauses")
+        .max_in(static_cast<double>(encoding_->num_clauses()));
+    m.gauge("incremental.build_ms").max_in(encoding_->build_seconds() * 1e3);
+  }
+}
+
+/// One serial query stream: a private session plus the next work-list
+/// position it owes a query for.
+struct IncrementalProvider::Stream {
+  SharedMiter miter;
+  std::size_t next_pos;
+
+  Stream(std::shared_ptr<const SharedMiterCnf> encoding,
+         const sat::SolverConfig& config, std::size_t first_pos)
+      : miter(std::move(encoding), config), next_pos(first_pos) {}
+};
+
+IncrementalProvider::IncrementalProvider(const AtpgOptions& options)
+    : IncrementalBase(options) {}
+
+IncrementalProvider::~IncrementalProvider() = default;
+
+void IncrementalProvider::begin(const net::Network& netw,
+                                std::span<const StuckAtFault> faults,
+                                std::span<const std::size_t> work_list,
+                                const std::vector<bool>& /*dropped*/) {
+  setup(netw, faults, work_list);
+  const std::size_t num_streams =
+      options_.incremental_streams == 0 ? 1 : options_.incremental_streams;
+  streams_.clear();
+  for (std::size_t s = 0; s < num_streams; ++s)
+    streams_.push_back(std::make_unique<Stream>(encoding_, session_config_, s));
+}
+
+FaultOutcome IncrementalProvider::solve(std::size_t fault_index,
+                                        Pattern& test_out) {
+  const std::size_t pos = pos_of_[fault_index];
+  Stream& stream = *streams_[pos % streams_.size()];
+  const QueryPolicy policy{base_cap_, retry_cap_, session_config_.budget};
+
+  // Catch the stream up through its earlier positions — including ones the
+  // pipeline dropped and will never ask for. Querying them anyway keeps
+  // the session's query history (and so its learnt clauses, models and
+  // stats) a pure function of the stream assignment, which is what makes a
+  // serial run byte-identical to a parallel one with the same stream
+  // count: parallel streams run ahead of the dropped bitmap and cannot
+  // skip.
+  for (std::size_t p = stream.next_pos; p < pos; p += streams_.size()) {
+    Pattern scratch;
+    const FaultOutcome skipped = incremental_query(
+        stream.miter, fault_of_pos_[p], reachable_of_pos_[p], policy, scratch);
+    if (c_queries_ != nullptr) c_queries_->add(skipped.attempts);
+    if (c_retries_ != nullptr && skipped.attempts >= 2) c_retries_->add(1);
+    if (c_reused_ != nullptr)
+      c_reused_->add(skipped.solver_stats.reused_implications);
+  }
+  stream.next_pos = pos + streams_.size();
+
+  const FaultOutcome outcome = incremental_query(
+      stream.miter, fault_of_pos_[pos], reachable_of_pos_[pos], policy,
+      test_out);
+  if (c_queries_ != nullptr) c_queries_->add(outcome.attempts);
+  if (c_retries_ != nullptr && outcome.attempts >= 2) c_retries_->add(1);
+  if (c_reused_ != nullptr)
+    c_reused_->add(outcome.solver_stats.reused_implications);
+  if (c_committed_ != nullptr) c_committed_->add(1);
+  return outcome;
+}
+
+namespace {
+
+/// One incremental solve published by a stream task. Written by exactly
+/// one worker, read by the pipeline thread after `done` flips under the
+/// mutex (same discipline as the speculative per-fault provider).
+struct IncrementalSlot {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  FaultOutcome outcome;
+  Pattern test;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+/// Everything the stream tasks touch, owned by shared_ptr: if the pipeline
+/// throws and the provider unwinds, in-flight tasks still hold the state
+/// (including private copies of the faults — the pipeline's own vectors
+/// die on unwind) and drain harmlessly.
+struct ParallelIncrementalProvider::State {
+  std::shared_ptr<const SharedMiterCnf> encoding;
+  sat::SolverConfig config;
+  QueryPolicy policy;
+  std::size_t num_streams = 1;
+  std::vector<StuckAtFault> fault_of_pos;
+  std::vector<bool> reachable_of_pos;  // written in begin(), then read-only
+  std::vector<std::unique_ptr<IncrementalSlot>> slots;
+  ParallelStats* stats = nullptr;  // outlives the pool (see run_atpg_parallel)
+  std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> reused{0};
+};
+
+ParallelIncrementalProvider::ParallelIncrementalProvider(
+    ThreadPool& pool, const AtpgOptions& options, ParallelStats& stats)
+    : IncrementalBase(options), pool_(pool), stats_(stats) {}
+
+ParallelIncrementalProvider::~ParallelIncrementalProvider() = default;
+
+void ParallelIncrementalProvider::begin(
+    const net::Network& netw, std::span<const StuckAtFault> faults,
+    std::span<const std::size_t> work_list,
+    const std::vector<bool>& /*dropped*/) {
+  setup(netw, faults, work_list);
+
+  auto state = std::make_shared<State>();
+  state->encoding = encoding_;
+  state->config = session_config_;
+  state->policy = QueryPolicy{base_cap_, retry_cap_, session_config_.budget};
+  state->num_streams = options_.incremental_streams == 0
+                           ? pool_.size()
+                           : options_.incremental_streams;
+  state->fault_of_pos = fault_of_pos_;
+  state->reachable_of_pos = reachable_of_pos_;
+  state->slots.reserve(work_list.size());
+  for (std::size_t p = 0; p < work_list.size(); ++p)
+    state->slots.push_back(std::make_unique<IncrementalSlot>());
+  state->stats = &stats_;
+  state_ = state;
+
+  // One task per stream. A task runs entirely on one pool worker, so the
+  // per-worker stats entry it updates is never shared. Streams query every
+  // assigned position unconditionally — consulting the dropped bitmap from
+  // a worker would be a data race AND make the session's clause history
+  // timing-dependent; dropped positions are simply never waited on and
+  // their slots are discarded as waste.
+  for (std::size_t s = 0; s < state->num_streams; ++s) {
+    pool_.submit([state, s] {
+      SharedMiter miter(state->encoding, state->config);
+      for (std::size_t p = s; p < state->slots.size();
+           p += state->num_streams) {
+        FaultOutcome outcome;
+        Pattern test;
+        std::exception_ptr error;
+        try {
+          outcome = incremental_query(miter, state->fault_of_pos[p],
+                                      state->reachable_of_pos[p],
+                                      state->policy, test);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        state->queries.fetch_add(outcome.attempts,
+                                 std::memory_order_relaxed);
+        if (outcome.attempts >= 2)
+          state->retries.fetch_add(1, std::memory_order_relaxed);
+        state->reused.fetch_add(outcome.solver_stats.reused_implications,
+                                std::memory_order_relaxed);
+        const std::size_t w = ThreadPool::worker_index();
+        if (w != ThreadPool::kNotAWorker &&
+            w < state->stats->workers.size()) {
+          WorkerStats& ws = state->stats->workers[w];
+          ++ws.solved;
+          ws.solve_seconds += outcome.solve_seconds;
+          ws.solver += outcome.solver_stats;
+        }
+        IncrementalSlot& slot = *state->slots[p];
+        std::lock_guard<std::mutex> lock(slot.mutex);
+        slot.outcome = std::move(outcome);
+        slot.test = std::move(test);
+        slot.error = error;
+        slot.done = true;
+        slot.cv.notify_one();
+      }
+    });
+  }
+}
+
+FaultOutcome ParallelIncrementalProvider::solve(std::size_t fault_index,
+                                                Pattern& test_out) {
+  const std::size_t pos = pos_of_[fault_index];
+  IncrementalSlot& slot = *state_->slots[pos];
+  std::unique_lock<std::mutex> lock(slot.mutex);
+  slot.cv.wait(lock, [&] { return slot.done; });
+  ++stats_.committed;
+  if (slot.error) std::rethrow_exception(slot.error);
+  test_out = std::move(slot.test);
+  return slot.outcome;
+}
+
+void ParallelIncrementalProvider::finalize() {
+  if (state_ == nullptr) return;
+  stats_.dispatched = state_->slots.size();
+  stats_.wasted = stats_.dispatched - stats_.committed;
+  stats_.max_in_flight = std::min(state_->num_streams, state_->slots.size());
+  if (c_queries_ != nullptr)
+    c_queries_->add(state_->queries.load(std::memory_order_relaxed));
+  if (c_retries_ != nullptr)
+    c_retries_->add(state_->retries.load(std::memory_order_relaxed));
+  if (c_reused_ != nullptr)
+    c_reused_->add(state_->reused.load(std::memory_order_relaxed));
+  if (c_committed_ != nullptr) c_committed_->add(stats_.committed);
+}
+
+}  // namespace detail
 
 }  // namespace cwatpg::fault

@@ -8,73 +8,278 @@
 // fault is selected") transfer to every later fault.
 //
 // Construction: a good copy of the circuit plus a faulty copy where every
-// fault site v carries two selects s_v0 / s_v1:
+// fault site carries two selects s_0 / s_1. A stem site is a node v:
 //     s_v0 -> fv = 0,   s_v1 -> fv = 1,
-//     ~s_v0 & ~s_v1 -> fv = gate(faulty fanins),
-// pairwise XORs on the outputs, and the usual "some XOR is 1" objective.
-// The selects are not assumed individually — that would put thousands of
-// assumption decision levels under every conflict and produce gigantic
-// learned clauses. Instead every (site, value) pair gets a binary *fault
-// id*, each select is defined as the conjunction of its id bits
-// (s ↔ AND of fid literals), and a query assumes just the ~log2(2n) id
-// bits: unit propagation then switches exactly one select on and all
-// others off, and learned clauses stay small and reusable.
+//     ~s_v0 & ~s_v1 -> fv = gate(faulty fanins);
+// a branch site is an input pin (v, p) whose driver has fanout > 1: the
+// pin gets its own wire variable w,
+//     s_vp0 -> w = 0,   s_vp1 -> w = 1,
+//     ~s_vp0 & ~s_vp1 -> w = faulty[fanin],
+// and v's faulty gate clauses read w in place of the fanin — so the whole
+// collapsed fault list (stems AND branches) is served by one encoding.
+// Pairwise XORs on the outputs and the usual "some XOR is 1" objective
+// complete the miter. The selects are not assumed individually — that
+// would put thousands of assumption decision levels under every conflict
+// and produce gigantic learned clauses. Instead every (site, value) pair
+// gets a binary *fault id*, each select is defined as the conjunction of
+// its id bits (s ↔ AND of fid literals), and a query assumes just the
+// ~log2(2n) id bits: unit propagation then switches exactly one select on
+// and all others off, and learned clauses stay small and reusable.
 //
-// Covers stem faults (the collapsed representatives of fanout-free
-// branches); branch faults on true fanout stems fall back to the
-// per-fault engine in the comparison bench.
+// A query additionally pins every primary input outside the fault's
+// support cone (the fanin cone of its fanout cone) to 0. Off-cone inputs
+// cannot affect excitation or any output difference, so the answer is
+// unchanged — but the search becomes cone-local, matching the per-fault
+// flow's key advantage (the paper's small-cut instances) instead of
+// paying whole-circuit propagation on every decision.
+//
+// The encoding (SharedMiterCnf) is split from the solving session
+// (SharedMiter) so one build can seed any number of independent solvers:
+// the parallel engine gives each query stream its own clone, and the
+// service registry pins one prebuilt encoding per circuit. The
+// SolveProviders at the bottom plug the whole thing into the shared
+// run_atpg_pipeline as SolveEngine::kIncremental.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "fault/fsim.hpp"
+#include "fault/parallel_atpg.hpp"
+#include "fault/tegus.hpp"
 #include "sat/solver.hpp"
+
+namespace cwatpg {
+class ThreadPool;
+}  // namespace cwatpg
+
+namespace cwatpg::obs {
+class Counter;
+}  // namespace cwatpg::obs
 
 namespace cwatpg::fault {
 
+/// The shared select-instrumented miter CNF plus the fault-id tables
+/// needed to query it. Immutable after construction and self-contained
+/// (no reference back into the Network), so a shared_ptr<const
+/// SharedMiterCnf> may outlive the network it was built from and seed
+/// solvers on any number of threads concurrently.
+class SharedMiterCnf {
+ public:
+  /// Builds the encoding covering every fault site of `net`: stems (any
+  /// non-kOutput node with fanout) and branches (any input pin whose
+  /// driver has fanout > 1) — a superset of collapsed_fault_list(net).
+  explicit SharedMiterCnf(const net::Network& net);
+
+  const sat::Cnf& cnf() const { return cnf_; }
+  std::size_t num_vars() const { return cnf_.num_vars(); }
+  std::size_t num_clauses() const { return cnf_.num_clauses(); }
+  /// node_count() of the network this was built from — the cheap sanity
+  /// check the providers run before adopting a prebuilt encoding.
+  std::size_t node_count() const { return node_count_; }
+  /// Encoded fault sites; each contributes two (site, value) fault ids.
+  std::size_t num_sites() const { return num_codes_ / 2; }
+  /// Wall-clock spent building (encode + instrument) — the amortized-
+  /// build-cost numerator the observability layer reports.
+  double build_seconds() const { return build_seconds_; }
+
+  /// True iff `fault` has a select in the encoding. True for every entry
+  /// of all_faults(net)/collapsed_fault_list(net).
+  bool covers(const StuckAtFault& fault) const;
+
+  /// Assumption literals selecting `fault`: the fault-id bits, the
+  /// excitation literal (good value of the faulted net must be the stuck
+  /// value's complement), and one pin-to-0 literal per primary input
+  /// outside the fault's support cone — the cone restriction that keeps
+  /// each query's search cone-local even though the CNF spans the whole
+  /// circuit. Throws std::invalid_argument when !covers().
+  std::vector<sat::Lit> assumptions_for(const StuckAtFault& fault) const;
+
+  /// Primary inputs (good-copy variables) pinned to 0 by any query rooted
+  /// at `node`: those outside the fanin cone of `node`'s fanout cone.
+  /// Empty for nodes without a select. Exposed for tests and diagnostics.
+  const std::vector<sat::Var>& pinned_inputs_of(net::NodeId node) const {
+    return pinned_inputs_[node];
+  }
+
+  /// Good-copy variable per primary input, in Network::inputs() order —
+  /// what test-pattern extraction reads from a satisfying model.
+  const std::vector<sat::Var>& input_vars() const { return input_vars_; }
+
+ private:
+  static constexpr std::uint32_t kNoCode = static_cast<std::uint32_t>(-1);
+
+  /// Fault id of (site, value=0); kNoCode when the site is not encoded.
+  std::uint32_t code_of(const StuckAtFault& fault) const;
+
+  sat::Cnf cnf_;
+  std::size_t node_count_ = 0;
+  std::uint32_t num_codes_ = 0;
+  double build_seconds_ = 0.0;
+  std::vector<std::uint32_t> stem_code_;  ///< per node
+  std::vector<std::vector<std::uint32_t>> branch_code_;  ///< per node, pin
+  /// Good-copy variable of the faulted net, indexed by code / 2 — the
+  /// excitation assumption's variable.
+  std::vector<sat::Var> excite_var_;
+  std::vector<sat::Var> fid_bits_;
+  std::vector<sat::Var> input_vars_;
+  /// Per node: the off-cone primary inputs a query rooted there pins to 0.
+  std::vector<std::vector<sat::Var>> pinned_inputs_;
+};
+
+/// One incremental solving session: a CDCL solver seeded from a (possibly
+/// shared) SharedMiterCnf, accumulating learnt clauses across queries.
+/// Thread-safe like sat::Solver: distinct sessions may run concurrently
+/// (even over one shared encoding); a single session may not.
 class SharedMiter {
  public:
-  /// Builds the select-instrumented miter for all stem fault sites of
-  /// `net` (every non-kOutput node with fanout). `net` must outlive this.
+  /// Builds a private encoding for `net` and a session over it.
   explicit SharedMiter(const net::Network& net,
                        sat::SolverConfig solver_config = {});
 
-  /// Number of CNF variables in the shared encoding.
-  std::size_t num_vars() const { return num_vars_; }
+  /// Seeds a session from a prebuilt encoding — how the parallel engine
+  /// clones one miter per query stream and how the service reuses the
+  /// registry-pinned encoding.
+  explicit SharedMiter(std::shared_ptr<const SharedMiterCnf> encoding,
+                       sat::SolverConfig solver_config = {});
 
-  /// Solves stem fault (site, stuck_value) incrementally.
+  const SharedMiterCnf& encoding() const { return *encoding_; }
+
+  /// Number of CNF variables in the shared encoding.
+  std::size_t num_vars() const { return encoding_->num_vars(); }
+
+  /// Solves `fault` incrementally (stem or branch).
   /// kSat => testable, `test_out` receives a full-width input pattern;
-  /// kUnsat => untestable; kUnknown => conflict budget exhausted.
+  /// kUnsat => untestable; kUnknown => a budget/conflict cap fired (see
+  /// last_query_stats().stop_reason). Throws std::invalid_argument when
+  /// the encoding does not cover `fault`.
+  sat::SolveStatus solve_fault(const StuckAtFault& fault, Pattern& test_out);
+
+  /// Stem-fault shorthand: solve_fault({site, kStem, stuck_value}).
   sat::SolveStatus solve_fault(net::NodeId site, bool stuck_value,
                                Pattern& test_out);
 
+  /// Stats of the most recent query alone — what the pipeline attributes
+  /// to each fault.
+  sat::SolverStats last_query_stats() const { return solver_.query_stats(); }
+
   /// Cumulative solver statistics across all queries.
-  const sat::SolverStats& stats() const { return solver_->stats(); }
+  const sat::SolverStats& stats() const { return solver_.stats(); }
+
+  /// Per-query conflict cap for subsequent queries (the in-miter
+  /// escalation rung grows it for one retry, then restores it).
+  void set_max_conflicts(std::uint64_t cap) {
+    solver_.set_max_conflicts(cap);
+  }
 
  private:
-  const net::Network& net_;
-  std::unique_ptr<sat::Solver> solver_;
-  std::size_t num_vars_ = 0;
-  std::vector<sat::Var> good_;  // per node
-  /// Fault id of (site, value): fault_code_[site] + value; kNoCode when
-  /// the node is not a fault site.
-  std::vector<std::uint32_t> fault_code_;
-  static constexpr std::uint32_t kNoCode = static_cast<std::uint32_t>(-1);
-  std::vector<sat::Var> fid_bits_;
+  std::shared_ptr<const SharedMiterCnf> encoding_;  // before solver_
+  sat::Solver solver_;
 };
 
-/// Convenience: runs every stem fault of the collapsed list through one
-/// SharedMiter; returns per-fault status aligned with `faults` (non-stem
-/// entries get kUnknown and `skipped` true).
+/// Convenience: runs every fault of `faults` through one SharedMiter
+/// session, in order; returns per-fault status aligned with `faults`.
+/// Low-level (no unreachability masking: a fault whose cone reaches no
+/// output simply comes back kUnsat) — the pipeline providers below add
+/// the production semantics.
 struct IncrementalOutcome {
   sat::SolveStatus status = sat::SolveStatus::kUnknown;
-  bool skipped = false;
   Pattern test;
 };
 std::vector<IncrementalOutcome> run_atpg_incremental(
     const net::Network& net, std::span<const StuckAtFault> faults,
     sat::SolverConfig solver_config = {});
+
+namespace detail {
+
+/// Shared plumbing of the incremental SolveProviders (both engines):
+/// adopt-or-build the encoding, precompute which faults reach an output,
+/// and run per-fault queries with the in-miter conflict-cap retry rung.
+///
+/// Determinism contract: work-list position i is assigned to stream
+/// (i mod S); each stream owns one session and queries its assigned
+/// positions UNCONDITIONALLY in order — never consulting the (timing-
+/// sensitive, in the parallel engine) dropped bitmap — so each stream's
+/// query history, and therefore every model and stat it produces, is a
+/// pure function of (net, options, S). The pipeline commits in work-list
+/// order and discards outcomes of entries dropped in the meantime; serial
+/// and parallel runs with the same S are byte-identical.
+class IncrementalBase {
+ public:
+  explicit IncrementalBase(const AtpgOptions& options);
+
+ protected:
+  /// Adopts options.prebuilt_miter (validated against `net`) or builds a
+  /// fresh encoding; fills the reachability mask and position tables;
+  /// hoists the obs instrument handles.
+  void setup(const net::Network& net, std::span<const StuckAtFault> faults,
+             std::span<const std::size_t> work_list);
+
+  const AtpgOptions& options_;
+  sat::SolverConfig session_config_;
+  std::uint64_t base_cap_ = 0;
+  std::uint64_t retry_cap_ = 0;  ///< == base_cap_: retry rung disabled
+  std::shared_ptr<const SharedMiterCnf> encoding_;
+  std::vector<StuckAtFault> fault_of_pos_;   ///< work-list position → fault
+  std::vector<bool> reachable_of_pos_;       ///< … → cone reaches a PO
+  std::vector<std::size_t> pos_of_;          ///< fault index → position
+  // Hoisted instrument handles (null when metrics are disabled).
+  obs::Counter* c_queries_ = nullptr;
+  obs::Counter* c_committed_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_reused_ = nullptr;
+};
+
+/// Serial incremental strategy: one session per stream, advanced lazily on
+/// the pipeline thread. run_atpg plugs this in for AtpgEngine::kIncremental
+/// (streams default to 1; pin AtpgOptions::incremental_streams to match a
+/// parallel run byte for byte).
+class IncrementalProvider final : public SolveProvider, IncrementalBase {
+ public:
+  explicit IncrementalProvider(const AtpgOptions& options);
+  ~IncrementalProvider() override;
+
+  void begin(const net::Network& net, std::span<const StuckAtFault> faults,
+             std::span<const std::size_t> work_list,
+             const std::vector<bool>& dropped) override;
+  FaultOutcome solve(std::size_t fault_index, Pattern& test_out) override;
+
+ private:
+  struct Stream;
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+/// Parallel incremental strategy: one pool task per stream, each walking
+/// its assigned work-list positions with a private session seeded from the
+/// one shared prebuilt encoding, publishing outcomes into per-position
+/// slots the pipeline thread waits on. run_atpg_parallel plugs this in for
+/// AtpgEngine::kIncremental (streams default to the pool size).
+class ParallelIncrementalProvider final : public SolveProvider,
+                                          IncrementalBase {
+ public:
+  ParallelIncrementalProvider(ThreadPool& pool, const AtpgOptions& options,
+                              ParallelStats& stats);
+  ~ParallelIncrementalProvider() override;
+
+  void begin(const net::Network& net, std::span<const StuckAtFault> faults,
+             std::span<const std::size_t> work_list,
+             const std::vector<bool>& dropped) override;
+  FaultOutcome solve(std::size_t fault_index, Pattern& test_out) override;
+
+  /// Called by run_atpg_parallel after pool.wait_idle(): folds the stream
+  /// counters into ParallelStats (dispatched = queries run, wasted =
+  /// queries whose outcome was never committed).
+  void finalize();
+
+ private:
+  struct State;  ///< shared with the stream tasks; outlives the provider
+  ThreadPool& pool_;
+  ParallelStats& stats_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace detail
 
 }  // namespace cwatpg::fault

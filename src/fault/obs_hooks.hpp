@@ -59,6 +59,7 @@ inline void record_solver_stats(obs::MetricsRegistry& metrics,
   metrics.counter("sat.restarts").add(s.restarts);
   metrics.counter("sat.learnt_clauses").add(s.learnt_clauses);
   metrics.counter("sat.learnt_literals").add(s.learnt_literals);
+  metrics.counter("sat.reused_implications").add(s.reused_implications);
 }
 
 }  // namespace cwatpg::fault::detail

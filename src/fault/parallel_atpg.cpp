@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 
+#include "fault/incremental.hpp"
 #include "fault/obs_hooks.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
@@ -152,16 +153,6 @@ AtpgResult run_atpg_parallel(const net::Network& netw,
   ThreadPool pool(options.num_threads, split_seed(options.base.seed, 1));
   stats.workers.resize(pool.size());
 
-  // per_fault_solver_config threads the run budget into every worker's
-  // solver: when the deadline fires or the caller cancels, all in-flight
-  // speculative solves observe it at their next budget poll and return
-  // kUnknown; queued-but-unstarted ones fast-fail before building a miter.
-  // That is how cancellation propagates — the pool itself is never torn
-  // down mid-task, so the committed prefix stays deterministic.
-  SpeculativeProvider provider(pool,
-                               detail::per_fault_solver_config(options.base),
-                               options.lookahead * pool.size(), stats);
-
   // Fault simulation hook: shard multi-pattern simulations (the random
   // phase) across the pool; leave single-pattern drop simulations on the
   // pipeline thread, where they are cheaper than a round-trip dispatch.
@@ -199,9 +190,28 @@ AtpgResult run_atpg_parallel(const net::Network& netw,
     return detected;
   };
 
-  AtpgResult result =
-      detail::run_atpg_pipeline(netw, options.base, provider, simulate);
-  pool.wait_idle();  // drain discarded speculative solves before reporting
+  AtpgResult result;
+  if (options.base.engine == AtpgEngine::kIncremental) {
+    // One shared prebuilt encoding, one miter clone per query stream
+    // (defaulting to one per worker). Streams run ahead unconditionally;
+    // the pipeline commits in order, exactly like the speculative path.
+    detail::ParallelIncrementalProvider provider(pool, options.base, stats);
+    result = detail::run_atpg_pipeline(netw, options.base, provider, simulate);
+    pool.wait_idle();  // drain the stream tasks before folding their counters
+    provider.finalize();
+  } else {
+    // per_fault_solver_config threads the run budget into every worker's
+    // solver: when the deadline fires or the caller cancels, all in-flight
+    // speculative solves observe it at their next budget poll and return
+    // kUnknown; queued-but-unstarted ones fast-fail before building a miter.
+    // That is how cancellation propagates — the pool itself is never torn
+    // down mid-task, so the committed prefix stays deterministic.
+    SpeculativeProvider provider(pool,
+                                 detail::per_fault_solver_config(options.base),
+                                 options.lookahead * pool.size(), stats);
+    result = detail::run_atpg_pipeline(netw, options.base, provider, simulate);
+    pool.wait_idle();  // drain discarded speculative solves before reporting
+  }
 
   // Steal counts come from the pool's own telemetry: exact now that every
   // worker is idle.

@@ -3,6 +3,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "fault/incremental.hpp"
 #include "fault/obs_hooks.hpp"
 #include "fault/podem.hpp"
 #include "obs/trace.hpp"
@@ -43,8 +44,20 @@ const char* to_string(SolveEngine engine) {
       return "sat-retry";
     case SolveEngine::kPodem:
       return "podem";
+    case SolveEngine::kIncremental:
+      return "incremental";
   }
   return "none";
+}
+
+const char* to_string(AtpgEngine engine) {
+  switch (engine) {
+    case AtpgEngine::kPerFault:
+      return "per-fault";
+    case AtpgEngine::kIncremental:
+      return "incremental";
+  }
+  return "per-fault";
 }
 
 double AtpgResult::fault_efficiency() const {
@@ -484,19 +497,22 @@ class SerialProvider final : public detail::SolveProvider {
 }  // namespace
 
 AtpgResult run_atpg(const net::Network& netw, const AtpgOptions& options) {
-  SerialProvider provider(detail::per_fault_solver_config(options));
   const detail::FsimMetrics fsim_metrics(options.metrics);
-  return detail::run_atpg_pipeline(
-      netw, options, provider,
-      [&netw, &fsim_metrics](std::span<const StuckAtFault> faults,
-                             std::span<const Pattern> patterns) {
-        FsimStats stats;
-        std::vector<bool> detected = fault_simulate(
-            netw, faults, patterns,
-            fsim_metrics.enabled() ? &stats : nullptr);
-        fsim_metrics.record(stats);
-        return detected;
-      });
+  const auto simulate = [&netw, &fsim_metrics](
+                            std::span<const StuckAtFault> faults,
+                            std::span<const Pattern> patterns) {
+    FsimStats stats;
+    std::vector<bool> detected = fault_simulate(
+        netw, faults, patterns, fsim_metrics.enabled() ? &stats : nullptr);
+    fsim_metrics.record(stats);
+    return detected;
+  };
+  if (options.engine == AtpgEngine::kIncremental) {
+    detail::IncrementalProvider provider(options);
+    return detail::run_atpg_pipeline(netw, options, provider, simulate);
+  }
+  SerialProvider provider(detail::per_fault_solver_config(options));
+  return detail::run_atpg_pipeline(netw, options, provider, simulate);
 }
 
 }  // namespace cwatpg::fault

@@ -15,6 +15,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -28,6 +29,8 @@ class EventSink;
 }  // namespace cwatpg::obs
 
 namespace cwatpg::fault {
+
+class SharedMiterCnf;  // fault/incremental.hpp
 
 enum class FaultStatus : std::uint8_t {
   kDetected,       ///< SAT instance satisfiable; test extracted & verified
@@ -43,18 +46,33 @@ enum class FaultStatus : std::uint8_t {
 /// "the first SAT pass got it" from "the escalation ladder had to re-attack
 /// with a bigger conflict budget" from "structural PODEM rescued it".
 enum class SolveEngine : std::uint8_t {
-  kNone,      ///< no per-fault engine ran (random/sim drop, unprocessed)
-  kSat,       ///< first-pass CDCL solve
-  kSatRetry,  ///< escalation ladder: CDCL with a grown conflict cap
-  kPodem,     ///< structural PODEM fallback (last resort)
+  kNone,         ///< no per-fault engine ran (random/sim drop, unprocessed)
+  kSat,          ///< first-pass CDCL solve
+  kSatRetry,     ///< escalation ladder: CDCL with a grown conflict cap
+  kPodem,        ///< structural PODEM fallback (last resort)
+  kIncremental,  ///< incremental query against the shared miter
 };
 
 /// "detected" / "untestable" / "dropped-sim" / "dropped-random" /
 /// "aborted" / "unreachable" / "undetermined" — stable names used by
 /// RunReport JSON keys; renaming one is a report schema change.
 const char* to_string(FaultStatus status);
-/// "none" / "sat" / "sat-retry" / "podem" — same stability contract.
+/// "none" / "sat" / "sat-retry" / "podem" / "incremental" — same
+/// stability contract.
 const char* to_string(SolveEngine engine);
+
+/// Which phase-2 solve strategy run_atpg / run_atpg_parallel plug into the
+/// pipeline. Classification is engine-independent (same Detected /
+/// Untestable sets); what changes is how the work is done — one fresh CNF
+/// per fault vs. incremental queries against one shared miter — and
+/// therefore the per-fault stats, test patterns and wall-clock.
+enum class AtpgEngine : std::uint8_t {
+  kPerFault,     ///< fresh miter + CNF + solver per fault (TEGUS proper)
+  kIncremental,  ///< shared select-instrumented miter, assumption queries
+};
+
+/// "per-fault" / "incremental" — the --engine knob's stable spellings.
+const char* to_string(AtpgEngine engine);
 
 struct FaultOutcome {
   StuckAtFault fault;
@@ -132,6 +150,26 @@ struct AtpgOptions {
   bool podem_fallback = true;
   /// Backtrack cap for the PODEM fallback.
   std::uint64_t podem_max_backtracks = 20'000;
+
+  /// Phase-2 solve engine. kPerFault is the default (and the paper's
+  /// Figure-1 instrument: one SAT instance per fault). kIncremental routes
+  /// phase 2 through the shared select-instrumented miter
+  /// (fault/incremental.hpp): same classification, learnt clauses reused
+  /// across faults. The escalation ladder is engine-independent — an
+  /// incremental abort gets one in-miter retry with a grown cap, then
+  /// falls back to the fresh-CNF rounds and PODEM like any other abort.
+  AtpgEngine engine = AtpgEngine::kPerFault;
+  /// Number of independent incremental query streams (kIncremental only).
+  /// 0 = auto: 1 in run_atpg, the pool size in run_atpg_parallel. Streams
+  /// determine which faults share a solver session, so serial and parallel
+  /// runs are byte-identical exactly when their stream counts match — pin
+  /// this to compare them.
+  std::size_t incremental_streams = 0;
+  /// Optional prebuilt shared-miter encoding (kIncremental only) — how the
+  /// service reuses the registry-pinned miter instead of re-encoding per
+  /// job. Must have been built from a structurally identical network
+  /// (std::invalid_argument otherwise). Null = build one for the run.
+  std::shared_ptr<const SharedMiterCnf> prebuilt_miter;
 
   /// Optional observability hooks (src/obs). Not owned; must outlive the
   /// run. When `metrics` is set the engine records counters and histograms

@@ -22,6 +22,7 @@ constexpr fault::SolveEngine kAllEngines[] = {
     fault::SolveEngine::kSat,
     fault::SolveEngine::kSatRetry,
     fault::SolveEngine::kPodem,
+    fault::SolveEngine::kIncremental,
 };
 constexpr StopReason kAllStopReasons[] = {
     StopReason::kNone,     StopReason::kConflictLimit,
@@ -144,6 +145,7 @@ Json RunReport::to_json() const {
   s["learnt_clauses"] = solver.learnt_clauses;
   s["learnt_literals"] = solver.learnt_literals;
   s["restarts"] = solver.restarts;
+  s["reused_implications"] = solver.reused_implications;
 
   j["stop_reasons"] = map_to_json(stop_reasons);
   j["attempts"] = attempts;
@@ -216,6 +218,10 @@ RunReport RunReport::from_json(const Json& j) {
   r.solver.learnt_clauses = s.at("learnt_clauses").as_u64();
   r.solver.learnt_literals = s.at("learnt_literals").as_u64();
   r.solver.restarts = s.at("restarts").as_u64();
+  // Tolerant read: reports written before the incremental engine existed
+  // have no reuse counter.
+  if (const Json* reused = s.find("reused_implications"))
+    r.solver.reused_implications = reused->as_u64();
 
   r.stop_reasons = map_from_json(j.at("stop_reasons"));
   r.attempts = j.at("attempts").as_u64();

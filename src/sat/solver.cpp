@@ -98,6 +98,8 @@ Solver::Solver(const Cnf& cnf, SolverConfig config) : config_(config) {
     }
     add_internal_clause(std::move(reduced));
   }
+  num_problem_clauses_ = clauses_.size();
+  query_begin_clauses_ = clauses_.size();
 }
 
 std::uint32_t Solver::add_internal_clause(Clause c) {
@@ -116,6 +118,12 @@ void Solver::attach(std::uint32_t clause_index) {
 bool Solver::enqueue(Lit l, std::uint32_t reason) {
   const std::uint8_t v = value(l);
   if (v != kUndef) return v == kTrue;
+  // An implication driven by a clause learnt on an EARLIER solve() call
+  // is reused knowledge — the incremental engine's payoff signal. The
+  // range is empty for a one-shot solver, so this never fires there.
+  if (reason != kNoReason && reason >= num_problem_clauses_ &&
+      reason < query_begin_clauses_)
+    ++stats_.reused_implications;
   assign_[l.var()] = l.negated() ? kFalse : kTrue;
   level_[l.var()] = static_cast<std::uint32_t>(trail_limits_.size());
   reason_[l.var()] = reason;
@@ -286,6 +294,9 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 
 SolveStatus Solver::solve(std::span<const Lit> assumptions) {
   stats_.stop_reason = StopReason::kNone;
+  // Per-call baselines: effort caps and query_stats() measure from here.
+  query_base_ = stats_;
+  query_begin_clauses_ = clauses_.size();
   if (root_conflict_) return SolveStatus::kUnsat;
   for (Lit a : assumptions)
     if (a.var() >= assign_.size())
@@ -330,7 +341,8 @@ SolveStatus Solver::solve(std::span<const Lit> assumptions) {
                               iterations >= next_poll_iteration)) {
       next_poll = stats_.propagations + config_.budget_poll_interval;
       next_poll_iteration = iterations + config_.budget_poll_interval;
-      if (stats_.propagations >= budget->max_propagations) {
+      if (stats_.propagations - query_base_.propagations >=
+          budget->max_propagations) {
         stats_.stop_reason = StopReason::kPropagationLimit;
         return SolveStatus::kUnknown;
       }
@@ -347,7 +359,7 @@ SolveStatus Solver::solve(std::span<const Lit> assumptions) {
         root_conflict_ = true;
         return SolveStatus::kUnsat;
       }
-      if (stats_.conflicts >= conflict_cap) {
+      if (stats_.conflicts - query_base_.conflicts >= conflict_cap) {
         stats_.stop_reason = StopReason::kConflictLimit;
         return SolveStatus::kUnknown;
       }

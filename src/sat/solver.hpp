@@ -31,6 +31,11 @@ struct SolverStats {
   std::uint64_t learnt_clauses = 0;
   std::uint64_t learnt_literals = 0;
   std::uint64_t restarts = 0;
+  /// Implications whose reason clause was learnt by an EARLIER solve()
+  /// call on the same Solver — the incremental engine's clause-reuse
+  /// signal. Always 0 for a one-shot solver (there is no earlier call),
+  /// so per-fault stats are unaffected by the field's existence.
+  std::uint64_t reused_implications = 0;
   /// Why the last solve() returned kUnknown (kNone after kSat/kUnsat):
   /// conflict cap vs. propagation cap vs. deadline vs. cancellation.
   /// "Gave up" and "proven" are different results; this says which one
@@ -49,6 +54,7 @@ struct SolverStats {
     learnt_clauses += other.learnt_clauses;
     learnt_literals += other.learnt_literals;
     restarts += other.restarts;
+    reused_implications += other.reused_implications;
     if (other.stop_reason != StopReason::kNone)
       stop_reason = other.stop_reason;
     return *this;
@@ -58,7 +64,10 @@ struct SolverStats {
 };
 
 struct SolverConfig {
-  /// Abort with kUnknown after this many conflicts.
+  /// Abort with kUnknown after this many conflicts in one solve() call.
+  /// The cap is per-call: an incremental solver that has already spent
+  /// conflicts on earlier queries still gets the full cap on the next one
+  /// (identical to the old cumulative reading for one-shot solvers).
   std::uint64_t max_conflicts = std::uint64_t(-1);
   /// VSIDS decay applied per conflict.
   double activity_decay = 0.95;
@@ -102,7 +111,10 @@ class Solver {
   /// globally UNSAT, a later call with different assumptions may be kSat.
   /// Learnt clauses are consequences of the clause database alone, so
   /// they persist soundly across calls; this is what makes repeated
-  /// queries against one encoding cheap (incremental SAT).
+  /// queries against one encoding cheap (incremental SAT). Conflict and
+  /// propagation caps apply per call, and query_stats() reports the
+  /// call's own effort — for a fresh solver's single call both reduce to
+  /// the cumulative behavior, bit for bit.
   SolveStatus solve(std::span<const Lit> assumptions);
 
   /// Model after a kSat result: value per variable. Variables that were
@@ -110,6 +122,29 @@ class Solver {
   const std::vector<bool>& model() const { return model_; }
 
   const SolverStats& stats() const { return stats_; }
+
+  /// Stats of the most recent solve() call alone (cumulative deltas since
+  /// its entry, stop_reason included). What the incremental engine
+  /// attributes to each fault; for a fresh solver's first call it equals
+  /// stats().
+  SolverStats query_stats() const {
+    SolverStats d;
+    d.decisions = stats_.decisions - query_base_.decisions;
+    d.propagations = stats_.propagations - query_base_.propagations;
+    d.conflicts = stats_.conflicts - query_base_.conflicts;
+    d.learnt_clauses = stats_.learnt_clauses - query_base_.learnt_clauses;
+    d.learnt_literals = stats_.learnt_literals - query_base_.learnt_literals;
+    d.restarts = stats_.restarts - query_base_.restarts;
+    d.reused_implications =
+        stats_.reused_implications - query_base_.reused_implications;
+    d.stop_reason = stats_.stop_reason;
+    return d;
+  }
+
+  /// Adjusts the conflict cap for subsequent solve() calls. The cap is
+  /// per-call (see solve()), so an incremental caller can retry one hard
+  /// query with a grown cap without rebuilding the solver.
+  void set_max_conflicts(std::uint64_t cap) { config_.max_conflicts = cap; }
 
   /// The Luby restart sequence, 0-indexed: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8…
   /// Public because it is a pure function worth pinning in tests: the
@@ -169,6 +204,16 @@ class Solver {
 
   std::vector<bool> model_;
   SolverStats stats_;
+  /// Snapshot of stats_ at the current solve()'s entry: query_stats()
+  /// subtracts it, and the conflict/propagation caps compare against the
+  /// delta so every call gets a full budget of its own.
+  SolverStats query_base_;
+  /// clauses_.size() after construction / at the current solve()'s entry.
+  /// A propagation whose reason index lies in [num_problem_clauses_,
+  /// query_begin_clauses_) was driven by a clause learnt on an earlier
+  /// call — that is the reused_implications counting rule.
+  std::size_t num_problem_clauses_ = 0;
+  std::size_t query_begin_clauses_ = 0;
   bool root_conflict_ = false;
 };
 

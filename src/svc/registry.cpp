@@ -44,6 +44,9 @@ std::size_t estimate_bytes(const CircuitEntry& entry) {
   bytes += entry.faults.size() * sizeof(fault::StuckAtFault);
   bytes += entry.base_cnf.num_clauses() * sizeof(sat::Clause) +
            entry.base_cnf.num_literals() * sizeof(sat::Lit);
+  if (entry.miter != nullptr)
+    bytes += entry.miter->cnf().num_clauses() * sizeof(sat::Clause) +
+             entry.miter->cnf().num_literals() * sizeof(sat::Lit);
   return bytes;
 }
 
@@ -74,6 +77,10 @@ obs::Json CircuitEntry::to_json() const {
   j["faults"] = static_cast<std::uint64_t>(faults.size());
   j["cnf_vars"] = static_cast<std::uint64_t>(base_cnf.num_vars());
   j["cnf_clauses"] = static_cast<std::uint64_t>(base_cnf.num_clauses());
+  j["miter_vars"] =
+      static_cast<std::uint64_t>(miter != nullptr ? miter->num_vars() : 0);
+  j["miter_clauses"] =
+      static_cast<std::uint64_t>(miter != nullptr ? miter->num_clauses() : 0);
   j["bytes"] = static_cast<std::uint64_t>(approx_bytes);
   return j;
 }
@@ -118,6 +125,7 @@ std::shared_ptr<const CircuitEntry> CircuitRegistry::insert(net::Network net) {
   entry->net = std::move(net);
   entry->faults = fault::collapsed_fault_list(entry->net);
   entry->base_cnf = sat::encode_constraints(entry->net);
+  entry->miter = std::make_shared<const fault::SharedMiterCnf>(entry->net);
   entry->approx_bytes = estimate_bytes(*entry);
 
   std::lock_guard<std::mutex> lock(mutex_);

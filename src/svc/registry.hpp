@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "fault/incremental.hpp"
 #include "netlist/network.hpp"
 #include "obs/json.hpp"
 #include "sat/cnf.hpp"
@@ -49,10 +50,17 @@ struct CircuitEntry {
   /// instance, reported to clients as a capacity signal. Per-fault miters
   /// stay cone-local and are built inside the engines.
   sat::Cnf base_cnf;
+  /// Prebuilt shared select-instrumented miter for the incremental engine:
+  /// built once at load time, handed to every `engine=incremental` job via
+  /// AtpgOptions::prebuilt_miter so repeat jobs skip the encoding pass
+  /// entirely. Pinned for the entry's lifetime, keyed (like everything
+  /// here) by the structural content hash.
+  std::shared_ptr<const fault::SharedMiterCnf> miter;
   std::size_t approx_bytes = 0;  ///< memory estimate used for the budget
 
   /// Summary the server embeds in load_circuit/status responses:
-  /// {key,name,gates,inputs,outputs,faults,cnf_vars,cnf_clauses,bytes}.
+  /// {key,name,gates,inputs,outputs,faults,cnf_vars,cnf_clauses,
+  ///  miter_vars,miter_clauses,bytes}.
   obs::Json to_json() const;
 };
 

@@ -409,6 +409,21 @@ obs::Json Server::run_atpg_job(const Job& job) {
       get_u64(job.params, "escalation_rounds", opts.escalation_rounds));
   const std::size_t threads =
       static_cast<std::size_t>(get_u64(job.params, "threads", 1));
+  if (const obs::Json* engine = job.params.find("engine")) {
+    if (!engine->is_string())
+      throw ProtocolError("param \"engine\" must be a string");
+    const std::string name = engine->as_string();
+    if (name == "incremental") {
+      opts.engine = fault::AtpgEngine::kIncremental;
+      // The registry prebuilt the shared miter at load_circuit time;
+      // handing it to the job is the whole amortization story.
+      opts.prebuilt_miter = circuit.miter;
+      metrics_.counter("svc.jobs.incremental").add(1);
+    } else if (name != "per-fault") {
+      throw ProtocolError("param \"engine\" must be \"per-fault\" or "
+                          "\"incremental\"");
+    }
+  }
 
   Timer timer;
   fault::AtpgResult result;
@@ -425,7 +440,10 @@ obs::Json Server::run_atpg_job(const Job& job) {
 
   obs::ReportOptions ropts;
   ropts.label = "svc/" + circuit.key;
-  ropts.engine = parallel ? "parallel" : "serial";
+  const bool incremental = opts.engine == fault::AtpgEngine::kIncremental;
+  ropts.engine = incremental ? (parallel ? "parallel-incremental"
+                                         : "incremental")
+                             : (parallel ? "parallel" : "serial");
   ropts.threads = parallel ? threads : 1;
   ropts.seed = opts.seed;
   if (parallel) ropts.parallel = &pstats;

@@ -298,6 +298,11 @@ TEST(SvcRegistry, EntryPrecomputesFaultListAndCnf) {
   EXPECT_GT(entry->base_cnf.num_clauses(), 0u);
   EXPECT_GT(entry->approx_bytes, 0u);
   EXPECT_EQ(entry->key.size(), 16u);
+  // The pinned shared miter covers the entry's whole collapsed fault list.
+  ASSERT_NE(entry->miter, nullptr);
+  EXPECT_GT(entry->miter->num_clauses(), entry->base_cnf.num_clauses());
+  for (const fault::StuckAtFault& f : entry->faults)
+    EXPECT_TRUE(entry->miter->covers(f));
 }
 
 TEST(SvcRegistry, LruEvictionUnderByteBudget) {
@@ -468,6 +473,75 @@ TEST(SvcServer, ServedRunAtpgMatchesDirectCallByteForByte) {
     EXPECT_EQ(result.at("run_report").at("schema").as_string(),
               "cwatpg.run_report/1");
   }
+}
+
+/// Same contract for the incremental engine: a served `engine=incremental`
+/// job — which runs against the registry's prebuilt pinned miter — must be
+/// byte-identical to a direct engine call that builds its own encoding,
+/// serial and parallel alike.
+TEST(SvcServer, ServedIncrementalMatchesDirectCallByteForByte) {
+  ServedFixture f({.threads = 3});
+  const net::Network n = test_circuit();
+  const std::string key = f.load(n);
+  const net::Network round_tripped =
+      net::read_bench_string(bench_text(n), n.name());
+
+  fault::AtpgOptions direct_opts;
+  direct_opts.seed = 77;
+  direct_opts.engine = fault::AtpgEngine::kIncremental;
+
+  for (std::uint64_t threads : {std::uint64_t(1), std::uint64_t(3)}) {
+    fault::AtpgResult direct;
+    if (threads > 1) {
+      fault::ParallelAtpgOptions popts;
+      popts.base = direct_opts;
+      popts.num_threads = threads;
+      direct = fault::run_atpg_parallel(round_tripped, popts);
+    } else {
+      direct = fault::run_atpg(round_tripped, direct_opts);
+    }
+
+    obs::Json params = obs::Json::object();
+    params["circuit"] = key;
+    params["seed"] = std::uint64_t(77);
+    params["threads"] = threads;
+    params["engine"] = "incremental";
+    obs::Json resp = f.client.call("run_atpg", std::move(params));
+    ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    const obs::Json& result = resp.at("result");
+    EXPECT_EQ(result.at("engine").as_string(),
+              threads > 1 ? "parallel-incremental" : "incremental");
+    EXPECT_EQ(result.at("faults").as_u64(), direct.outcomes.size());
+    EXPECT_EQ(result.at("num_detected").as_u64(), direct.num_detected);
+    EXPECT_EQ(result.at("num_untestable").as_u64(), direct.num_untestable);
+    const obs::Json& tests = result.at("tests");
+    ASSERT_EQ(tests.size(), direct.tests.size());
+    for (std::size_t i = 0; i < direct.tests.size(); ++i)
+      EXPECT_EQ(tests[i].as_string(), encode_bits(direct.tests[i]))
+          << "pattern " << i << " diverged at threads=" << threads;
+    // kIncremental attribution survives into the report, matching the
+    // direct run's count exactly (0 is fine when the random phase already
+    // dropped everything — what matters is that the columns agree).
+    std::uint64_t direct_incremental = 0;
+    for (const fault::FaultOutcome& o : direct.outcomes)
+      if (o.engine == fault::SolveEngine::kIncremental) ++direct_incremental;
+    EXPECT_EQ(result.at("run_report")
+                  .at("faults")
+                  .at("solve_engine")
+                  .at("incremental")
+                  .as_u64(),
+              direct_incremental);
+  }
+}
+
+TEST(SvcServer, RunAtpgRejectsUnknownEngine) {
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  params["engine"] = "quantum";
+  obs::Json resp = f.client.call("run_atpg", std::move(params));
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "bad_request");
 }
 
 TEST(SvcServer, ServedFsimMatchesDirectCall) {
