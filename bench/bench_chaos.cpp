@@ -1,0 +1,431 @@
+// bench_chaos — replayable failure-injection campaigns against the
+// in-process service stack.
+//
+//   $ ./bench_chaos [--schedules=N|ci] [--seed=S] [--jobs=N]
+//                   [--replay=K] [--json=FILE]
+//
+// Each "schedule" is one seeded experiment: a failpoint schedule string is
+// drawn from a site catalog (queue admission, registry eviction and
+// allocation, solver allocation, spurious budget expiry, worker throws and
+// stalls, short reads/writes, torn frames), armed process-wide, and a
+// client/server session is run over the byte-level in-memory duplex — the
+// retrying svc::Client on one side, a full Server on the other. The
+// invariant asserted for every schedule is the service's headline
+// guarantee: ZERO LOST RESPONSES — every submitted job reaches exactly one
+// terminal outcome unless the schedule tore the session itself (framing
+// corruption), in which case the tear must be observed cleanly (no hang,
+// no crash) and unresolved jobs are tallied, never silently dropped.
+//
+// A second pass replays the first K timing-free schedules twice each with
+// a fully serial workload and asserts bit-identical outcomes, client
+// stats, and per-(domain,site) failpoint counters — the determinism
+// contract that makes any chaos failure a one-line repro
+// (`--schedules=...` + the printed seed). Timing-dependent sites (worker
+// stalls under the watchdog) are excluded from the replay set because
+// their outcome legitimately depends on wall-clock racing; they still run
+// in the main campaign under the lossless invariant.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/structured.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/decompose.hpp"
+#include "obs/json.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "svc/transport.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cwatpg;
+
+struct ChaosArgs {
+  std::size_t schedules = 200;
+  std::size_t replay = 8;  ///< schedules to run twice for determinism
+  std::size_t jobs = 6;    ///< jobs per session
+  std::uint64_t seed = 2026;
+  std::string json;
+};
+
+void print_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--schedules=N|ci] [--seed=S] [--jobs=N]"
+               " [--replay=K] [--json=FILE]\n"
+               "  --schedules=ci  curated CI-sized campaign (48 schedules)\n",
+               argv0);
+}
+
+ChaosArgs parse_chaos_args(int argc, char** argv) {
+  ChaosArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schedules=ci") {
+      args.schedules = 48;
+      args.replay = 6;
+      args.jobs = 4;
+    } else if (arg.rfind("--schedules=", 0) == 0) {
+      args.schedules = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.c_str() + 12)));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      args.jobs = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.c_str() + 7)));
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      args.replay = static_cast<std::size_t>(
+          std::max(0L, std::atol(arg.c_str() + 9)));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      print_usage(argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+// ---- schedule generation --------------------------------------------------
+
+/// Draws one failpoint item. `timing_ok` gates the wall-clock-dependent
+/// stall/watchdog sites; `tear_ok` gates the session-tearing framing
+/// sites (excluded from the serial determinism replay so every replayed
+/// session runs to completion); `byte_io_ok` gates the short-read/write
+/// sites, whose HIT counts depend on byte-level cross-thread
+/// interleaving (how much of a frame the peer has written when a refill
+/// lands) — they stay in the lossless campaign but out of the
+/// counter-exact replay.
+std::string draw_item(Rng& rng, bool timing_ok, bool tear_ok,
+                      bool byte_io_ok, bool* wants_watchdog) {
+  const auto num = [&rng](std::uint64_t lo, std::uint64_t hi) {
+    return std::to_string(lo + rng.below(hi - lo + 1));
+  };
+  std::vector<std::string> pool = {
+      "svc.queue.full=once",
+      "svc.queue.full=nth:" + num(1, 4),
+      "svc.queue.full=every:" + num(2, 4),
+      "svc.queue.full=prob:0.25:" + num(1, 1u << 20),
+      "svc.registry.evict=once",
+      "svc.registry.evict=nth:" + num(1, 3),
+      "svc.registry.alloc=once",
+      "sat.solver.alloc=nth:" + num(1, 8),
+      "sat.solver.alloc=prob:0.05:" + num(1, 1u << 20),
+      "sat.solver.spurious_budget=prob:0.5:" + num(1, 1u << 20),
+      "sat.solver.spurious_budget=always",
+      "svc.server.execute.throw=once",
+      "svc.server.execute.throw=nth:" + num(1, 4),
+  };
+  if (byte_io_ok) {
+    pool.push_back("svc.proto.read.short=always@" + num(1, 7));
+    pool.push_back("svc.proto.write.short=always@" + num(1, 7));
+  }
+  if (timing_ok) {
+    pool.push_back("svc.server.execute.stall=once@30");
+    pool.push_back("svc.server.execute.stall=nth:" + num(1, 3) + "@30");
+  }
+  if (tear_ok) {
+    pool.push_back("svc.proto.read.corrupt_len=nth:" + num(4, 12));
+    pool.push_back("svc.proto.read.eof=nth:" + num(4, 12));
+  }
+  const std::string item = pool[rng.below(pool.size())];
+  if (item.rfind("svc.server.execute.stall", 0) == 0) *wants_watchdog = true;
+  return item;
+}
+
+std::string make_schedule(Rng& rng, bool timing_ok, bool tear_ok,
+                          bool byte_io_ok, bool* wants_watchdog) {
+  const std::size_t items = 1 + rng.below(3);
+  std::map<std::string, std::string> by_site;  // dedupe: one spec per site
+  for (std::size_t i = 0; i < items; ++i) {
+    const std::string item = draw_item(rng, timing_ok, tear_ok, byte_io_ok,
+                                       wants_watchdog);
+    const std::string site = item.substr(0, item.find('='));
+    by_site.emplace(site, item);
+  }
+  std::string schedule;
+  for (const auto& [site, item] : by_site) {
+    (void)site;
+    if (!schedule.empty()) schedule += ';';
+    schedule += item;
+  }
+  return schedule;
+}
+
+// ---- one chaos session ----------------------------------------------------
+
+struct Workload {
+  std::string bench_text;
+  std::size_t num_inputs = 0;
+  std::size_t jobs = 6;
+  bool serial = false;  ///< await each job before submitting the next
+  bool watchdog = false;
+};
+
+struct SessionResult {
+  /// request id -> "ok" / "error:<code>" / "unresolved" (torn only).
+  std::map<std::uint64_t, std::string> outcomes;
+  svc::ClientStats stats;
+  bool torn = false;
+  std::string counts_dump;  ///< per-(domain,site) hit/fire counters
+  std::string violation;    ///< empty = all invariants held
+};
+
+std::string outcome_of(const obs::Json& resp) {
+  const obs::Json* ok = resp.find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->as_bool()) return "ok";
+  const obs::Json* error = resp.find("error");
+  if (error != nullptr && error->is_object()) {
+    if (const obs::Json* code = error->find("code");
+        code != nullptr && code->is_string())
+      return "error:" + code->as_string();
+  }
+  return "error:unknown";
+}
+
+SessionResult run_session(const std::string& schedule, const Workload& w) {
+  SessionResult out;
+  fp::Registry::instance().reset();
+  {
+    fp::ScheduleScope fps(schedule);
+
+    svc::ServerOptions sopts;
+    sopts.threads = 1;  // one worker: per-domain hit order is replayable
+    sopts.queue_capacity = 8;
+    if (w.watchdog) {
+      sopts.watchdog_stall_seconds = 0.03;
+      sopts.watchdog_detach_seconds = 0.05;
+      sopts.watchdog_poll_seconds = 0.005;
+    }
+    svc::Server server(sopts);
+    svc::DuplexPair pair = svc::make_byte_duplex();
+    std::thread loop([&] { server.serve(*pair.server); });
+
+    {
+      svc::ClientOptions copts;
+      copts.max_attempts = 4;
+      copts.sleep_fn = [](double) {};  // chaos wants retries, not waits
+      svc::Client client(*pair.client, copts);
+
+      std::string key = "never-loaded";
+      try {
+        obs::Json params = obs::Json::object();
+        params["name"] = "chaos";
+        params["text"] = w.bench_text;
+        const obs::Json resp = client.call("load_circuit", params);
+        if (const obs::Json* ok = resp.find("ok");
+            ok != nullptr && ok->is_bool() && ok->as_bool())
+          key = resp.at("result").at("circuit").at("key").as_string();
+      } catch (const std::exception&) {
+        out.torn = true;
+      }
+
+      std::vector<std::uint64_t> ids;
+      const auto await_into = [&](std::uint64_t id) {
+        if (out.torn) {
+          out.outcomes[id] = "unresolved";
+          return;
+        }
+        const std::optional<obs::Json> resp = client.await(id);
+        if (!resp.has_value()) {
+          out.torn = true;
+          out.outcomes[id] = "unresolved";
+        } else {
+          out.outcomes[id] = outcome_of(*resp);
+        }
+      };
+      for (std::size_t j = 0; j < w.jobs && !out.torn; ++j) {
+        obs::Json params = obs::Json::object();
+        params["circuit"] = key;
+        std::uint64_t id = 0;
+        if (j % 3 == 2) {
+          obs::Json patterns = obs::Json::array();
+          patterns.push_back(std::string(w.num_inputs, j % 2 ? '1' : '0'));
+          params["patterns"] = std::move(patterns);
+          id = client.submit("fsim", std::move(params));
+        } else {
+          params["seed"] = static_cast<std::uint64_t>(j) * 7919 + 13;
+          // Alternate the random-pattern phase off so half the ATPG jobs
+          // are forced through the SAT path, where the solver failpoints
+          // live.
+          params["random_blocks"] =
+              static_cast<std::uint64_t>(j % 2 == 0 ? 0 : 2);
+          id = client.submit("run_atpg", std::move(params));
+        }
+        ids.push_back(id);
+        if (w.serial) await_into(id);
+      }
+      if (!w.serial)
+        for (const std::uint64_t id : ids) await_into(id);
+
+      if (!out.torn) {
+        try {
+          client.call("shutdown");
+        } catch (const std::exception&) {
+          out.torn = true;
+        }
+      }
+      out.stats = client.stats();
+    }
+    pair.client->close();
+    loop.join();
+
+    for (const auto& [site, c] : fp::Registry::instance().counts())
+      out.counts_dump += site + "=" + std::to_string(c.hits) + "/" +
+                         std::to_string(c.fires) + ";";
+  }  // ScheduleScope resets the registry for the next session
+
+  // Invariants: a clean (untorn) session resolves every job; any session
+  // only ever reports known outcome codes.
+  static const std::set<std::string> kKnown = {
+      "ok",           "error:overloaded", "error:cancelled",
+      "error:internal", "error:bad_request", "error:not_found",
+      "error:shutting_down", "unresolved"};
+  for (const auto& [id, outcome] : out.outcomes) {
+    if (!kKnown.count(outcome))
+      out.violation = "job " + std::to_string(id) +
+                      " has unknown outcome '" + outcome + "'";
+    if (outcome == "unresolved" && !out.torn)
+      out.violation =
+          "job " + std::to_string(id) + " LOST in an untorn session";
+  }
+  return out;
+}
+
+std::string summary_of(const SessionResult& r) {
+  std::string s;
+  for (const auto& [id, outcome] : r.outcomes)
+    s += std::to_string(id) + ":" + outcome + ";";
+  s += "|sent=" + std::to_string(r.stats.requests_sent);
+  s += ",resp=" + std::to_string(r.stats.responses);
+  s += ",over=" + std::to_string(r.stats.overloaded);
+  s += ",retry=" + std::to_string(r.stats.retries);
+  s += ",dup=" + std::to_string(r.stats.duplicate_rejects);
+  s += ",serr=" + std::to_string(r.stats.session_errors);
+  s += ",torn=" + std::to_string(r.torn ? 1 : 0);
+  s += "|" + r.counts_dump;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ChaosArgs args = parse_chaos_args(argc, argv);
+  if (!fp::kEnabled) {
+    std::printf("bench_chaos: built with CWATPG_FAILPOINTS=OFF — nothing "
+                "to inject, reporting success\n");
+    return 0;
+  }
+
+  Workload base;
+  {
+    const net::Network n = net::decompose(gen::comparator(3));
+    std::ostringstream text;
+    net::write_bench(text, n);
+    base.bench_text = text.str();
+    base.num_inputs = n.inputs().size();
+  }
+  base.jobs = args.jobs;
+
+  std::printf("=== bench_chaos: %zu schedules, seed %llu, %zu jobs/session "
+              "===\n",
+              args.schedules, static_cast<unsigned long long>(args.seed),
+              args.jobs);
+
+  std::size_t failures = 0, torn_sessions = 0, unresolved_jobs = 0;
+  std::map<std::string, std::size_t> outcome_histogram;
+
+  for (std::size_t s = 0; s < args.schedules; ++s) {
+    Rng rng(split_seed(args.seed, s));
+    Workload w = base;
+    w.watchdog = false;
+    const bool timing_ok = s % 4 == 1;
+    const bool tear_ok = s % 5 == 3;
+    const std::string schedule = make_schedule(
+        rng, timing_ok, tear_ok, /*byte_io_ok=*/true, &w.watchdog);
+    const SessionResult r = run_session(schedule, w);
+    torn_sessions += r.torn ? 1 : 0;
+    for (const auto& [id, outcome] : r.outcomes) {
+      (void)id;
+      ++outcome_histogram[outcome];
+      unresolved_jobs += outcome == "unresolved" ? 1 : 0;
+    }
+    if (!r.violation.empty()) {
+      ++failures;
+      std::printf("FAIL schedule %zu [%s]: %s\n", s, schedule.c_str(),
+                  r.violation.c_str());
+    }
+  }
+
+  // Determinism replay: same schedule + serial workload, twice, compared
+  // byte for byte.
+  std::size_t replay_mismatches = 0;
+  for (std::size_t k = 0; k < args.replay; ++k) {
+    Rng rng_a(split_seed(args.seed ^ 0x9e3779b9, k));
+    Rng rng_b = rng_a;
+    Workload w = base;
+    w.serial = true;
+    bool unused = false;
+    const std::string schedule_a =
+        make_schedule(rng_a, /*timing_ok=*/false, /*tear_ok=*/false,
+                      /*byte_io_ok=*/false, &unused);
+    const std::string schedule_b =
+        make_schedule(rng_b, false, false, false, &unused);
+    const std::string a = summary_of(run_session(schedule_a, w));
+    const std::string b = summary_of(run_session(schedule_b, w));
+    if (schedule_a != schedule_b || a != b) {
+      ++replay_mismatches;
+      std::printf("REPLAY MISMATCH %zu [%s]\n  a: %s\n  b: %s\n", k,
+                  schedule_a.c_str(), a.c_str(), b.c_str());
+    }
+  }
+
+  std::printf("\nsessions: %zu  torn: %zu  unresolved(torn-only): %zu\n",
+              args.schedules, torn_sessions, unresolved_jobs);
+  for (const auto& [outcome, count] : outcome_histogram)
+    std::printf("  %-22s %zu\n", outcome.c_str(), count);
+  std::printf("determinism replays: %zu  mismatches: %zu\n", args.replay,
+              replay_mismatches);
+
+  if (!args.json.empty()) {
+    obs::Json j = obs::Json::object();
+    j["schema"] = "cwatpg.chaos_report/1";
+    j["schedules"] = static_cast<std::uint64_t>(args.schedules);
+    j["seed"] = args.seed;
+    j["torn_sessions"] = static_cast<std::uint64_t>(torn_sessions);
+    j["unresolved_jobs"] = static_cast<std::uint64_t>(unresolved_jobs);
+    j["replays"] = static_cast<std::uint64_t>(args.replay);
+    j["replay_mismatches"] =
+        static_cast<std::uint64_t>(replay_mismatches);
+    j["invariant_failures"] = static_cast<std::uint64_t>(failures);
+    obs::Json hist = obs::Json::object();
+    for (const auto& [outcome, count] : outcome_histogram)
+      hist[outcome] = static_cast<std::uint64_t>(count);
+    j["outcomes"] = std::move(hist);
+    std::ofstream out(args.json);
+    out << j.dump(2) << "\n";
+  }
+
+  if (failures > 0 || replay_mismatches > 0) {
+    std::printf("bench_chaos: FAILED (%zu invariant failures, %zu replay "
+                "mismatches)\n",
+                failures, replay_mismatches);
+    return 1;
+  }
+  std::printf("bench_chaos: all invariants held — zero lost responses\n");
+  return 0;
+}

@@ -150,8 +150,16 @@ Network read_bench(std::istream& in, std::string name) {
     while (!stack.empty()) {
       auto& [sig, next] = stack.back();
       const auto it = defs.find(sig);
-      if (it == defs.end())
-        throw ParseError(0, "signal '" + sig + "' is used but never driven");
+      if (it == defs.end()) {
+        // Attribute the error to the gate whose argument list names the
+        // missing signal — that's the line the user has to fix.
+        std::size_t at = 0;
+        if (stack.size() >= 2) {
+          const auto parent = defs.find(stack[stack.size() - 2].first);
+          if (parent != defs.end()) at = parent->second.line;
+        }
+        throw ParseError(at, "signal '" + sig + "' is used but never driven");
+      }
       const GateDef& def = it->second;
       if (next == 0) {
         Mark& m = mark[sig];

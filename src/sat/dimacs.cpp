@@ -2,8 +2,20 @@
 
 #include <istream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace cwatpg::sat {
+
+namespace {
+
+/// Plausibility cap on `p cnf <vars> <clauses>`: a header demanding more
+/// variables than any real instance carries is hostile or corrupt input,
+/// and honoring it would turn a parse into a giant allocation. Also keeps
+/// the count safely inside Var's 32-bit range.
+constexpr long kMaxDeclaredVars = 100'000'000;
+
+}  // namespace
 
 Cnf read_dimacs(std::istream& in) {
   std::string line;
@@ -27,6 +39,11 @@ Cnf read_dimacs(std::istream& in) {
       if (!ss || fmt != "cnf" || declared_vars < 0 || declared_clauses < 0)
         throw DimacsError(lineno, "malformed header '" + line +
                                       "' (expected 'p cnf <vars> <clauses>')");
+      if (declared_vars > kMaxDeclaredVars)
+        throw DimacsError(lineno,
+                          "header declares " + std::to_string(declared_vars) +
+                              " variables, above the supported cap (" +
+                              std::to_string(kMaxDeclaredVars) + ")");
       have_header = true;
       cnf = Cnf(static_cast<Var>(declared_vars));
       continue;
@@ -37,8 +54,22 @@ Cnf read_dimacs(std::istream& in) {
       throw DimacsError(lineno, "token '" + first +
                                     "' before the 'p cnf' header");
     }
-    long literal;
-    while (ss >> literal) {
+    // Tokenize and convert by hand: istream's `>> long` consumes an
+    // overflowing numeral and poisons the stream, which can let a
+    // garbage tail slip through silently. stol reports overflow as a
+    // line-numbered error instead.
+    std::string token;
+    while (ss >> token) {
+      long literal = 0;
+      try {
+        std::size_t used = 0;
+        literal = std::stol(token, &used);
+        if (used != token.size())
+          throw std::invalid_argument("trailing characters");
+      } catch (const std::exception&) {
+        throw DimacsError(lineno, "unexpected token '" + token +
+                                      "' (expected a literal or 0)");
+      }
       if (literal == 0) {
         if (current.empty())
           throw DimacsError(lineno, "empty clause (a bare '0')");
@@ -56,29 +87,23 @@ Cnf read_dimacs(std::istream& in) {
       current.push_back(
           Lit(static_cast<Var>(magnitude - 1), literal < 0));
     }
-    if (!ss.eof() && ss.fail()) {
-      // Non-numeric garbage on a clause line.
-      std::string word;
-      ss.clear();
-      ss >> word;
-      if (!word.empty())
-        throw DimacsError(lineno, "unexpected token '" + word +
-                                      "' (expected a literal or 0)");
-    }
   }
-  if (!have_header) throw DimacsError(lineno, "missing 'p cnf' header");
+  // End-of-input diagnostics: an empty file has read zero lines, but the
+  // error contract is 1-based line numbers.
+  const std::size_t eof_line = lineno == 0 ? 1 : lineno;
+  if (!have_header) throw DimacsError(eof_line, "missing 'p cnf' header");
   if (!current.empty())
-    throw DimacsError(lineno,
+    throw DimacsError(eof_line,
                       "unterminated clause (missing 0 after literal " +
                           std::to_string(current.back().negated()
                                              ? -long(current.back().var()) - 1
                                              : long(current.back().var()) + 1) +
                           ")");
   if (clauses_read != static_cast<std::size_t>(declared_clauses))
-    throw DimacsError(lineno, "clause count mismatch: header says " +
-                                  std::to_string(declared_clauses) +
-                                  ", file has " +
-                                  std::to_string(clauses_read));
+    throw DimacsError(eof_line, "clause count mismatch: header says " +
+                                    std::to_string(declared_clauses) +
+                                    ", file has " +
+                                    std::to_string(clauses_read));
   return cnf;
 }
 

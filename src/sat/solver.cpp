@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <stdexcept>
+
+#include "util/failpoint.hpp"
 
 namespace cwatpg::sat {
 
@@ -293,6 +296,11 @@ std::uint64_t Solver::luby(std::uint64_t i) {
 }
 
 SolveStatus Solver::solve(std::span<const Lit> assumptions) {
+  // Failpoint: a solve that cannot allocate its working state. Thrown
+  // here, before any search mutates clause or trail state, so the solver
+  // object stays reusable and callers see a clean bad_alloc — the engines
+  // (and the service's `internal` error path) must absorb it.
+  if (CWATPG_FAILPOINT("sat.solver.alloc")) throw std::bad_alloc();
   stats_.stop_reason = StopReason::kNone;
   // Per-call baselines: effort caps and query_stats() measure from here.
   query_base_ = stats_;
@@ -349,6 +357,13 @@ SolveStatus Solver::solve(std::span<const Lit> assumptions) {
       const StopReason r = budget->poll();
       if (r != StopReason::kNone) {
         stats_.stop_reason = r;
+        return SolveStatus::kUnknown;
+      }
+      // Failpoint: spurious budget expiry — the solve gives up as if its
+      // deadline passed even though it did not. Exercises every caller's
+      // undetermined/escalation handling without waiting on a clock.
+      if (CWATPG_FAILPOINT("sat.solver.spurious_budget")) {
+        stats_.stop_reason = StopReason::kDeadline;
         return SolveStatus::kUnknown;
       }
     }

@@ -1,0 +1,221 @@
+#include "svc/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "util/failpoint.hpp"
+
+namespace cwatpg::svc {
+
+namespace {
+
+/// Bitwise CRC-32 with the reflected polynomial, table-built once. Speed
+/// is irrelevant here (two short lines per job); the property that matters
+/// is that a torn or bit-flipped line cannot validate.
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  static const char digits[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 0; i < 8; ++i)
+    out[i] = digits[(crc >> (28 - 4 * i)) & 0xf];
+  return out;
+}
+
+/// write(2) the whole buffer, restarting on EINTR and short writes — the
+/// journal's own partial-I/O discipline (and the reason a journal line is
+/// either fully on disk or detectably torn, never silently half-written
+/// by us).
+void write_all_fd(int fd, const char* data, std::size_t length) {
+  std::size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::write(fd, data + done, length - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("journal write failed: ") +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  const std::uint32_t* table = crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+Journal::Journal(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  if (fd_ < 0)
+    throw std::runtime_error("cannot open journal \"" + path +
+                             "\": " + std::strerror(errno));
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::append(obs::Json record) {
+  const std::string payload = record.dump();
+  const std::string line = crc_hex(crc32(payload)) + " " + payload + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Failpoint: the disk said no. Surfaced as an exception so the server's
+  // journal-degraded accounting path is exercised.
+  if (CWATPG_FAILPOINT("svc.journal.io_error"))
+    throw std::runtime_error("journal write failed (injected: "
+                             "svc.journal.io_error)");
+  // Failpoint: a torn append — only half the line reaches the file and no
+  // fsync happens, exactly what a crash mid-write leaves behind. Recovery
+  // must count the line corrupt, not trust it.
+  if (CWATPG_FAILPOINT("svc.journal.torn")) {
+    write_all_fd(fd_, line.data(), line.size() / 2);
+    return;
+  }
+  write_all_fd(fd_, line.data(), line.size());
+  if (::fsync(fd_) != 0)
+    throw std::runtime_error(std::string("journal fsync failed: ") +
+                             std::strerror(errno));
+}
+
+void Journal::record_accepted(std::uint64_t job, std::string_view kind,
+                              std::string_view circuit) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kJournalSchema;
+  j["seq"] = next_seq_++;
+  j["event"] = "accepted";
+  j["job"] = job;
+  j["kind"] = kind;
+  j["circuit"] = circuit;
+  append(std::move(j));
+}
+
+void Journal::record_terminal(std::uint64_t job, std::string_view outcome) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kJournalSchema;
+  j["seq"] = next_seq_++;
+  j["event"] = "terminal";
+  j["job"] = job;
+  j["outcome"] = outcome;
+  append(std::move(j));
+}
+
+void Journal::record_interrupted(std::uint64_t job) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kJournalSchema;
+  j["seq"] = next_seq_++;
+  j["event"] = "interrupted";
+  j["job"] = job;
+  append(std::move(j));
+}
+
+Journal::Recovery Journal::recover(const std::string& path) {
+  Recovery out;
+  std::ifstream in(path);
+  if (!in) return out;  // no journal yet: clean first boot
+
+  /// job id -> most recent accepted record still awaiting a terminal.
+  std::unordered_map<std::uint64_t, JournalRecord> open_jobs;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // "<8-hex-crc> <json>" — anything else (torn tail, merged lines from
+    // a tear followed by more appends, editor damage) fails the checksum
+    // or the shape check and is counted, never trusted.
+    if (line.size() < 10 || line[8] != ' ') {
+      ++out.corrupt;
+      continue;
+    }
+    std::uint32_t stored = 0;
+    bool hex_ok = true;
+    for (int i = 0; i < 8; ++i) {
+      const char ch = line[static_cast<std::size_t>(i)];
+      stored <<= 4;
+      if (ch >= '0' && ch <= '9') {
+        stored |= static_cast<std::uint32_t>(ch - '0');
+      } else if (ch >= 'a' && ch <= 'f') {
+        stored |= static_cast<std::uint32_t>(ch - 'a' + 10);
+      } else {
+        hex_ok = false;
+        break;
+      }
+    }
+    const std::string_view payload(line.data() + 9, line.size() - 9);
+    if (!hex_ok || crc32(payload) != stored) {
+      ++out.corrupt;
+      continue;
+    }
+    JournalRecord rec;
+    try {
+      const obs::Json j = obs::Json::parse(std::string(payload), 8);
+      const obs::Json* schema = j.find("schema");
+      const obs::Json* event = j.find("event");
+      const obs::Json* job = j.find("job");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->as_string() != kJournalSchema || event == nullptr ||
+          !event->is_string() || job == nullptr) {
+        ++out.corrupt;
+        continue;
+      }
+      rec.event = event->as_string();
+      rec.job = job->as_u64();
+      if (const obs::Json* seq = j.find("seq")) rec.seq = seq->as_u64();
+      if (const obs::Json* kind = j.find("kind");
+          kind != nullptr && kind->is_string())
+        rec.kind = kind->as_string();
+      if (const obs::Json* circuit = j.find("circuit");
+          circuit != nullptr && circuit->is_string())
+        rec.circuit = circuit->as_string();
+      if (const obs::Json* outcome = j.find("outcome");
+          outcome != nullptr && outcome->is_string())
+        rec.outcome = outcome->as_string();
+    } catch (const std::exception&) {
+      ++out.corrupt;
+      continue;
+    }
+    ++out.records;
+    if (rec.event == "accepted") {
+      open_jobs[rec.job] = rec;  // id reuse: the latest acceptance counts
+    } else if (rec.event == "terminal" || rec.event == "interrupted") {
+      open_jobs.erase(rec.job);
+    }
+    // A checksum-valid record with an unknown event is skipped: a newer
+    // schema revision must not make an older reader declare corruption.
+  }
+
+  out.interrupted.reserve(open_jobs.size());
+  for (auto& [job, rec] : open_jobs) out.interrupted.push_back(std::move(rec));
+  std::sort(out.interrupted.begin(), out.interrupted.end(),
+            [](const JournalRecord& a, const JournalRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace cwatpg::svc

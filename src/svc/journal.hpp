@@ -1,0 +1,105 @@
+// Crash-recovery journal: append-only JSONL of job lifecycle records.
+//
+// The daemon's durability story is deliberately tiny: two fsync'd
+// appends per job — one when it is ACCEPTED (journaled before the queue
+// may run it, so a crash can never have run a job the journal does not
+// know about), one when its single TERMINAL response is sent. A restarted
+// daemon replays the file: every accepted record without a matching
+// terminal is a job the previous process died holding, and the new
+// process reports it as `interrupted` — never silently forgets it.
+//
+// Wire format ("cwatpg.journal/1"): one record per line,
+//
+//   <crc32-8-hex> <compact JSON>\n
+//
+// where the CRC is over the JSON bytes exactly as written. The prefix —
+// not an embedded field — keeps verification independent of JSON key
+// order and makes torn tails (the crash happened mid-append) detectable
+// without parsing: a line whose CRC does not match its payload is
+// corrupt, and recovery skips it while counting it. Record shapes:
+//
+//   {"schema":"cwatpg.journal/1","seq":N,"event":"accepted",
+//    "job":ID,"kind":"run_atpg","circuit":"<content-hash>"}
+//   {"schema":"cwatpg.journal/1","seq":N,"event":"terminal",
+//    "job":ID,"outcome":"ok" | "error:<code>"}
+//   {"schema":"cwatpg.journal/1","seq":N,"event":"interrupted","job":ID}
+//
+// `interrupted` is written by RECOVERY, as the terminal record of a job
+// the previous process abandoned — so a second restart does not
+// re-report it.
+//
+// Thread-safe: append operations serialize on one mutex (the server calls
+// them from the reader, worker, and watchdog threads). recover() is a
+// static read-only scan, done before the serving process appends.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace cwatpg::svc {
+
+inline constexpr const char* kJournalSchema = "cwatpg.journal/1";
+
+/// CRC-32 (IEEE 802.3, reflected) of `data` — the line checksum.
+std::uint32_t crc32(std::string_view data);
+
+/// One parsed, checksum-valid journal record.
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  std::string event;    ///< "accepted" / "terminal" / "interrupted"
+  std::uint64_t job = 0;
+  std::string kind;     ///< accepted only: "run_atpg" / "fsim"
+  std::string circuit;  ///< accepted only: content-hash key
+  std::string outcome;  ///< terminal only: "ok" / "error:<code>"
+};
+
+class Journal {
+ public:
+  /// Opens `path` for appending (creating it if absent). Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit Journal(const std::string& path);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Journal the named lifecycle edge; each append is CRC-stamped,
+  /// written whole, and fsync'd before returning. Throws
+  /// std::runtime_error on I/O failure (callers decide whether that is
+  /// fatal — the server counts it and keeps serving).
+  void record_accepted(std::uint64_t job, std::string_view kind,
+                       std::string_view circuit);
+  void record_terminal(std::uint64_t job, std::string_view outcome);
+  void record_interrupted(std::uint64_t job);
+
+  const std::string& path() const { return path_; }
+
+  struct Recovery {
+    /// Accepted records with no terminal/interrupted match — the jobs the
+    /// crashed process died holding.
+    std::vector<JournalRecord> interrupted;
+    std::size_t records = 0;  ///< checksum-valid records scanned
+    std::size_t corrupt = 0;  ///< torn/garbled lines skipped
+  };
+
+  /// Scans `path` (missing file => empty recovery). Never throws on
+  /// content: a torn tail or a corrupted line is counted, not fatal —
+  /// recovery after a crash is exactly when the file is allowed to be
+  /// imperfect.
+  static Recovery recover(const std::string& path);
+
+ private:
+  void append(obs::Json record);
+
+  std::string path_;
+  int fd_ = -1;
+  std::mutex mutex_;
+  std::uint64_t next_seq_ = 1;  ///< guarded by mutex_
+};
+
+}  // namespace cwatpg::svc

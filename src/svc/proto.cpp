@@ -1,15 +1,70 @@
 #include "svc/proto.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <istream>
 #include <ostream>
 #include <string>
 
+#include "util/failpoint.hpp"
+
 namespace cwatpg::svc {
+
+namespace {
+
+/// Reads exactly `length` bytes, looping over short reads instead of
+/// treating the first one as end-of-stream. A streambuf is allowed to
+/// deliver fewer bytes than asked (an interrupted or trickling source —
+/// the in-memory byte duplex does it by design, a pipe under EINTR does it
+/// in production); only zero bytes AT end-of-file, or a stream error with
+/// no progress, terminates the loop. Returns the byte count delivered.
+std::size_t read_exact(std::istream& in, char* dst, std::size_t length) {
+  std::size_t got = 0;
+  while (got < length) {
+    std::size_t want = length - got;
+    // Failpoint: cap this pass at @K bytes so the short-read recovery
+    // loop is exercised even over streambufs that never split reads.
+    if (const int k = CWATPG_FAILPOINT_ARG("svc.proto.read.short"); k >= 0)
+      want = std::min<std::size_t>(want, static_cast<std::size_t>(
+                                             std::max(1, k)));
+    in.read(dst + got, static_cast<std::streamsize>(want));
+    const std::size_t n = static_cast<std::size_t>(in.gcount());
+    got += n;
+    if (got == length) break;
+    if (n == 0) break;  // end of stream, or a hard error with no progress
+    // Partial delivery: istream::read sets failbit|eofbit whenever
+    // gcount < count, even though the source merely paused. Progress was
+    // made, so clear and keep reading — a true EOF re-reports itself as a
+    // zero-byte pass next iteration.
+    if (!in.good()) in.clear();
+  }
+  return got;
+}
+
+/// Writes all of `data`, looping over short writes. Ostream inserters
+/// normally buffer internally, but the loop (and its failpoint, which
+/// forces @K-byte chunks with a flush between) keeps the invariant
+/// explicit: a frame is either fully written or the stream has failed.
+void write_all(std::ostream& out, const char* data, std::size_t length) {
+  std::size_t chunk = length;
+  if (const int k = CWATPG_FAILPOINT_ARG("svc.proto.write.short"); k >= 0)
+    chunk = static_cast<std::size_t>(std::max(1, k));
+  std::size_t done = 0;
+  while (done < length && out.good()) {
+    const std::size_t n = std::min(chunk, length - done);
+    out.write(data + done, static_cast<std::streamsize>(n));
+    done += n;
+    if (chunk < length) out.flush();
+  }
+}
+
+}  // namespace
 
 void write_frame(std::ostream& out, const obs::Json& frame) {
   const std::string payload = frame.dump();
-  out << payload.size() << '\n' << payload;
+  const std::string header = std::to_string(payload.size()) + '\n';
+  write_all(out, header.data(), header.size());
+  write_all(out, payload.data(), payload.size());
   out.flush();
 }
 
@@ -18,6 +73,9 @@ bool read_frame(std::istream& in, obs::Json& frame, std::size_t max_bytes) {
   // is a clean end of stream; EOF anywhere later is a truncated frame.
   int c = in.get();
   if (c == std::istream::traits_type::eof()) return false;
+  if (CWATPG_FAILPOINT("svc.proto.read.corrupt_len"))
+    throw ProtocolError("non-digit in frame length header (injected: "
+                        "svc.proto.read.corrupt_len)");
   std::size_t length = 0;
   std::size_t digits = 0;
   while (c != '\n') {
@@ -34,12 +92,15 @@ bool read_frame(std::istream& in, obs::Json& frame, std::size_t max_bytes) {
     throw ProtocolError("frame of " + std::to_string(length) +
                         " bytes exceeds the " + std::to_string(max_bytes) +
                         "-byte limit");
+  if (CWATPG_FAILPOINT("svc.proto.read.eof"))
+    throw ProtocolError("truncated frame payload (injected: "
+                        "svc.proto.read.eof)");
   std::string payload(length, '\0');
-  in.read(payload.data(), static_cast<std::streamsize>(length));
-  if (static_cast<std::size_t>(in.gcount()) != length)
+  const std::size_t got = read_exact(in, payload.data(), length);
+  if (got != length)
     throw ProtocolError("truncated frame payload (expected " +
                         std::to_string(length) + " bytes, got " +
-                        std::to_string(in.gcount()) + ")");
+                        std::to_string(got) + ")");
   try {
     frame = obs::Json::parse(payload, kMaxFrameDepth);
   } catch (const std::exception& e) {

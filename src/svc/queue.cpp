@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 namespace cwatpg::svc {
 
 obs::Json QueueStats::to_json() const {
@@ -22,7 +24,10 @@ JobQueue::JobQueue(std::size_t capacity)
 bool JobQueue::push(Job job) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_ || entries_.size() >= capacity_) {
+    // Failpoint: refuse admission as if the queue were full — the
+    // `overloaded` path clients must absorb with retry/backoff.
+    if (closed_ || entries_.size() >= capacity_ ||
+        CWATPG_FAILPOINT("svc.queue.full")) {
       ++counters_.rejected;
       return false;
     }

@@ -1,10 +1,12 @@
 #include "svc/registry.hpp"
 
+#include <new>
 #include <sstream>
 #include <utility>
 
 #include "netlist/bench_io.hpp"
 #include "sat/encode.hpp"
+#include "util/failpoint.hpp"
 
 namespace cwatpg::svc {
 
@@ -117,6 +119,10 @@ std::shared_ptr<const CircuitEntry> CircuitRegistry::insert(net::Network net) {
       return it->second.entry;
     }
   }
+  // Failpoint: a registry that cannot allocate the precomputed state must
+  // surface bad_alloc to the caller (the server maps it to `internal`),
+  // never a half-built entry.
+  if (CWATPG_FAILPOINT("svc.registry.alloc")) throw std::bad_alloc();
   // Precompute outside the lock: collapsing and encoding a big circuit
   // must not stall concurrent lookups. Two racing loaders of the same new
   // circuit both compute; the second insert dedups below.
@@ -151,7 +157,18 @@ std::shared_ptr<const CircuitEntry> CircuitRegistry::find(
   }
   ++counters_.hits;
   touch_locked(it->first);
-  return it->second.entry;
+  std::shared_ptr<const CircuitEntry> entry = it->second.entry;
+  // Failpoint: evict EVERYTHING right after the lookup — the
+  // eviction-under-pinning drill. The caller's shared_ptr (and any
+  // in-flight job's) must keep the entry alive and usable; only the
+  // registry's retention is gone.
+  if (CWATPG_FAILPOINT("svc.registry.evict")) {
+    counters_.evictions += entries_.size();
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+  }
+  return entry;
 }
 
 RegistryStats CircuitRegistry::stats() const {

@@ -25,7 +25,8 @@ namespace {
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--threads=N] [--queue-capacity=N] [--registry-mb=N]"
-         " [--default-deadline=SECONDS]\n"
+         " [--default-deadline=SECONDS] [--journal=PATH]"
+         " [--watchdog-stall=S] [--watchdog-detach=S] [--watchdog-poll=S]\n"
          "  --threads=N           job workers; 0 = auto (hardware"
          " concurrency). default 0\n"
          "  --queue-capacity=N    admission limit; full queue answers"
@@ -33,7 +34,16 @@ void print_usage(std::ostream& out, const char* argv0) {
          "  --registry-mb=N       circuit cache byte budget (LRU above"
          " it). default 256\n"
          "  --default-deadline=S  deadline for jobs that carry none;"
-         " 0 = unlimited. default 0\n";
+         " 0 = unlimited. default 0\n"
+         "  --journal=PATH        crash-recovery journal (cwatpg.journal/1);"
+         " replayed on start, prior in-flight jobs reported as interrupted."
+         " default off\n"
+         "  --watchdog-stall=S    cancel a running job after S seconds"
+         " without Budget progress; 0 = watchdog off. default 0\n"
+         "  --watchdog-detach=S   after a watchdog cancel, detach (terminal"
+         " `internal` error) after S more stalled seconds; 0 = never."
+         " default 0\n"
+         "  --watchdog-poll=S     watchdog sampling cadence. default 0.02\n";
 }
 
 }  // namespace
@@ -56,6 +66,14 @@ int main(int argc, char** argv) {
           << 20;
     } else if (arg.rfind("--default-deadline=", 0) == 0) {
       options.default_deadline_seconds = std::atof(arg.c_str() + 19);
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      options.journal_path = arg.substr(10);
+    } else if (arg.rfind("--watchdog-stall=", 0) == 0) {
+      options.watchdog_stall_seconds = std::atof(arg.c_str() + 17);
+    } else if (arg.rfind("--watchdog-detach=", 0) == 0) {
+      options.watchdog_detach_seconds = std::atof(arg.c_str() + 18);
+    } else if (arg.rfind("--watchdog-poll=", 0) == 0) {
+      options.watchdog_poll_seconds = std::atof(arg.c_str() + 16);
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout, argv[0]);
       return 0;
@@ -66,14 +84,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  svc::Server server(options);
-  std::cerr << "cwatpg_serve: " << server.threads()
-            << " job workers, queue capacity " << options.queue_capacity
-            << ", registry budget " << (options.registry_bytes >> 20)
-            << " MiB — serving cwatpg.rpc/1 on stdin/stdout\n";
+  try {
+    svc::Server server(options);
+    std::cerr << "cwatpg_serve: " << server.threads()
+              << " job workers, queue capacity " << options.queue_capacity
+              << ", registry budget " << (options.registry_bytes >> 20)
+              << " MiB";
+    if (!options.journal_path.empty())
+      std::cerr << ", journal " << options.journal_path;
+    if (options.watchdog_stall_seconds > 0)
+      std::cerr << ", watchdog stall " << options.watchdog_stall_seconds
+                << "s";
+    std::cerr << " — serving cwatpg.rpc/1 on stdin/stdout\n";
 
-  svc::StreamTransport transport(std::cin, std::cout);
-  server.serve(transport);
+    svc::StreamTransport transport(std::cin, std::cout);
+    server.serve(transport);
+  } catch (const std::exception& e) {
+    // e.g. the journal path cannot be opened: refusing to run without the
+    // durability the operator asked for beats running without it.
+    std::cerr << "cwatpg_serve: fatal: " << e.what() << "\n";
+    return 1;
+  }
   std::cerr << "cwatpg_serve: drained, exiting\n";
   return 0;
 }

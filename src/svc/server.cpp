@@ -1,8 +1,11 @@
 #include "svc/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <new>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -11,6 +14,7 @@
 #include "fault/tegus.hpp"
 #include "netlist/bench_io.hpp"
 #include "obs/report.hpp"
+#include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace cwatpg::svc {
@@ -79,12 +83,36 @@ Server::Server(const ServerOptions& options)
     : options_(options),
       pool_(ThreadPool::resolve_thread_count(options.threads), options.seed),
       registry_(options.registry_bytes),
-      queue_(options.queue_capacity) {}
+      queue_(options.queue_capacity) {
+  if (!options_.journal_path.empty()) {
+    // Replay first, then open for appending: every accepted record the
+    // crashed process left without a terminal is closed out as
+    // `interrupted` NOW, so the loss is reported exactly once and a
+    // second restart stays quiet about it.
+    recovered_ = Journal::recover(options_.journal_path);
+    journal_ = std::make_unique<Journal>(options_.journal_path);
+    for (const JournalRecord& rec : recovered_.interrupted) {
+      try {
+        journal_->record_interrupted(rec.job);
+      } catch (const std::exception&) {
+        metrics_.counter("svc.journal.failures").add(1);
+      }
+    }
+  }
+}
 
 Server::~Server() {
   if (dispatcher_.joinable()) {
     queue_.close();
     dispatcher_.join();
+  }
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
   }
 }
 
@@ -93,7 +121,13 @@ void Server::serve(Transport& transport) {
     throw std::logic_error("svc::Server::serve is single-use");
   transport_ = &transport;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  if (options_.watchdog_stall_seconds > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 
+  // Failpoint domain label: the reader thread's hits on shared sites
+  // (svc.proto.*) count separately from the client's, so a seeded
+  // schedule replays the same way regardless of peer interleaving.
+  fp::DomainScope reader_domain("svc.reader");
   bool got_shutdown = false;
   std::uint64_t shutdown_id = 0;
   obs::Json frame;
@@ -163,6 +197,16 @@ void Server::drain_and_join() {
     jobs_cv_.wait(lock, [&] { return in_flight_ == 0; });
   }
   pool_.wait_idle();
+  // Last: the watchdog may still need to detach a wedged in-flight job
+  // above, so it outlives the drain wait.
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
 }
 
 // ---- control plane --------------------------------------------------------
@@ -184,6 +228,12 @@ void Server::handle_load_circuit(const Request& req) {
                                                    : std::string("circuit"));
   } catch (const ProtocolError& e) {
     transport_->write(make_error(req.id, ErrorCode::kBadRequest, e.what()));
+    return;
+  } catch (const std::bad_alloc&) {
+    // Resource exhaustion is OUR failure, not a malformed request —
+    // report it as such so clients don't "fix" a valid netlist.
+    transport_->write(make_error(req.id, ErrorCode::kInternal,
+                                 "out of memory while loading circuit"));
     return;
   } catch (const std::exception& e) {
     // read_bench rejects malformed netlists with ParseError — the
@@ -284,6 +334,27 @@ obs::Json Server::server_status_json() {
   }
   j["queue"] = queue_.stats().to_json();
   j["registry"] = registry_.stats().to_json();
+  if (journal_ != nullptr) {
+    obs::Json journal = obs::Json::object();
+    journal["path"] = journal_->path();
+    journal["recovered_records"] =
+        static_cast<std::uint64_t>(recovered_.records);
+    journal["recovered_corrupt"] =
+        static_cast<std::uint64_t>(recovered_.corrupt);
+    j["journal"] = std::move(journal);
+    // The previous process's abandoned jobs, surfaced until this process
+    // exits: the whole point of the journal is that these are REPORTED,
+    // not silently forgotten.
+    obs::Json interrupted = obs::Json::array();
+    for (const JournalRecord& rec : recovered_.interrupted) {
+      obs::Json r = obs::Json::object();
+      r["job"] = rec.job;
+      if (!rec.kind.empty()) r["kind"] = rec.kind;
+      if (!rec.circuit.empty()) r["circuit"] = rec.circuit;
+      interrupted.push_back(std::move(r));
+    }
+    j["interrupted_jobs"] = std::move(interrupted);
+  }
   j["metrics"] = metrics_.snapshot().to_json();
   return j;
 }
@@ -324,18 +395,30 @@ void Server::admit_job(const Request& req) {
         it != jobs_.end() && it->second.state != JobState::kDone)
       throw ProtocolError("request id " + std::to_string(req.id) +
                           " already names a live job");
-    jobs_[req.id] = JobRecord{JobState::kQueued, job.budget};
+    JobRecord rec;
+    rec.state = JobState::kQueued;
+    rec.budget = job.budget;
+    // Only run_atpg engines poll their Budget; an fsim job has no
+    // progress heartbeat for the watchdog to read, so it is exempt.
+    rec.watchdog_eligible = req.kind == RequestKind::kRunAtpg;
+    jobs_[req.id] = std::move(rec);
   }
+  // Journal BEFORE the queue may run it: a crash from here on knows about
+  // the job. (The reverse order could run — and lose — a job the journal
+  // never heard of.)
+  journal_accepted(req.id, to_string(req.kind), key);
   if (!queue_.push(std::move(job))) {
     {
       std::lock_guard<std::mutex> lock(jobs_mutex_);
       jobs_.erase(req.id);
     }
     metrics_.counter("svc.jobs.rejected").add(1);
-    transport_->write(make_error(
+    obs::Json rejection = make_error(
         req.id, ErrorCode::kOverloaded,
         "job queue is full (capacity " +
-            std::to_string(queue_.stats().capacity) + "); retry later"));
+            std::to_string(queue_.stats().capacity) + "); retry later");
+    journal_terminal(req.id, rejection);
+    transport_->write(rejection);
     return;
   }
   metrics_.counter("svc.jobs.admitted").add(1);
@@ -345,6 +428,7 @@ void Server::admit_job(const Request& req) {
 // ---- dispatch & execution -------------------------------------------------
 
 void Server::dispatcher_loop() {
+  fp::DomainScope domain("svc.dispatcher");
   Job job;
   while (queue_.pop(job)) {
     if (shutting_down_.load()) {
@@ -361,9 +445,14 @@ void Server::dispatcher_loop() {
       if (it == jobs_.end() || it->second.state != JobState::kQueued)
         continue;  // cancelled while queued; terminal already sent
       it->second.state = JobState::kRunning;
+      // Watchdog baseline: a job that NEVER polls is indistinguishable
+      // from one wedged on its first instruction, which is the point.
+      it->second.last_progress = it->second.budget->progress();
+      it->second.last_change = Clock::now();
       ++in_flight_;
     }
     pool_.submit([this, job = std::move(job)] {
+      fp::DomainScope worker_domain("svc.worker");
       execute_job(job);
       {
         std::lock_guard<std::mutex> lock(jobs_mutex_);
@@ -378,6 +467,24 @@ void Server::execute_job(const Job& job) {
   Timer timer;
   obs::Json response;
   try {
+    if (CWATPG_FAILPOINT("svc.server.execute.throw"))
+      throw std::runtime_error(
+          "injected worker failure (svc.server.execute.throw)");
+    // Simulated wedge: wall-clock time passes with ZERO Budget progress
+    // polls — exactly the signature the watchdog hunts. Bounded by the
+    // @ms payload so drains always complete; honors cancellation unless
+    // the escalation drill arms svc.server.stall.ignore_cancel, which
+    // forces the watchdog past cancel all the way to detach.
+    if (const int stall_ms = CWATPG_FAILPOINT_ARG("svc.server.execute.stall");
+        stall_ms >= 0) {
+      const bool ignore_cancel =
+          CWATPG_FAILPOINT("svc.server.stall.ignore_cancel");
+      const auto until = Clock::now() + std::chrono::milliseconds(stall_ms);
+      while (Clock::now() < until) {
+        if (!ignore_cancel && job.budget->cancelled()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     obs::Json result =
         job.kind == RequestKind::kRunAtpg ? run_atpg_job(job) : fsim_job(job);
     response = make_response(job.request_id, std::move(result));
@@ -535,7 +642,110 @@ void Server::finish_job(std::uint64_t request_id, const obs::Json& response) {
         jobs_.erase(vit);
     }
   }
+  // Durable before visible: the terminal record reaches the journal
+  // before the response can reach the peer, so no client ever holds a
+  // response the journal would later deny. (The inverse crash window —
+  // journaled but unsent — resolves as a loud `interrupted` report, the
+  // safe direction.)
+  journal_terminal(request_id, response);
   transport_->write(response);
+}
+
+// ---- resilience -----------------------------------------------------------
+
+void Server::journal_accepted(std::uint64_t job, const char* kind,
+                              const std::string& circuit) {
+  if (journal_ == nullptr) return;
+  try {
+    journal_->record_accepted(job, kind, circuit);
+  } catch (const std::exception&) {
+    // Degraded, not dead: durability is lost but serving continues, and
+    // the counter is how an operator finds out.
+    metrics_.counter("svc.journal.failures").add(1);
+  }
+}
+
+void Server::journal_terminal(std::uint64_t job, const obs::Json& response) {
+  if (journal_ == nullptr) return;
+  std::string outcome = "ok";
+  const obs::Json* ok = response.find("ok");
+  if (ok != nullptr && ok->is_bool() && !ok->as_bool()) {
+    outcome = "error:unknown";
+    const obs::Json* error = response.find("error");
+    if (error != nullptr && error->is_object()) {
+      if (const obs::Json* code = error->find("code");
+          code != nullptr && code->is_string())
+        outcome = "error:" + code->as_string();
+    }
+  }
+  try {
+    journal_->record_terminal(job, outcome);
+  } catch (const std::exception&) {
+    metrics_.counter("svc.journal.failures").add(1);
+  }
+}
+
+void Server::watchdog_loop() {
+  fp::DomainScope domain("svc.watchdog");
+  const std::chrono::duration<double> poll(
+      options_.watchdog_poll_seconds > 0 ? options_.watchdog_poll_seconds
+                                         : 0.02);
+  const std::chrono::duration<double> stall(options_.watchdog_stall_seconds);
+  const std::chrono::duration<double> detach(
+      options_.watchdog_detach_seconds);
+
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  for (;;) {
+    watchdog_cv_.wait_for(lock, poll, [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+
+    // Decide under jobs_mutex_, act after releasing it: cancel() and
+    // finish_job() both synchronize on their own, and finish_job retakes
+    // jobs_mutex_ itself.
+    std::vector<std::shared_ptr<Budget>> to_cancel;
+    std::vector<std::uint64_t> to_detach;
+    const Clock::time_point now = Clock::now();
+    {
+      std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+      for (auto& [id, rec] : jobs_) {
+        if (rec.state != JobState::kRunning || !rec.watchdog_eligible ||
+            rec.detached || rec.budget == nullptr)
+          continue;
+        const std::uint64_t progress = rec.budget->progress();
+        if (progress != rec.last_progress) {
+          // Alive — even a cancelled job resuming its unwind counts, so
+          // escalation stops the moment polls flow again.
+          rec.last_progress = progress;
+          rec.last_change = now;
+          continue;
+        }
+        if (!rec.watchdog_cancelled) {
+          if (now - rec.last_change >= stall) {
+            rec.watchdog_cancelled = true;
+            rec.cancelled_at = now;
+            to_cancel.push_back(rec.budget);
+          }
+        } else if (options_.watchdog_detach_seconds > 0 &&
+                   now - rec.cancelled_at >= detach) {
+          rec.detached = true;
+          to_detach.push_back(id);
+        }
+      }
+    }
+    for (const std::shared_ptr<Budget>& budget : to_cancel) {
+      metrics_.counter("svc.watchdog.cancelled").add(1);
+      budget->cancel();
+    }
+    for (const std::uint64_t id : to_detach) {
+      // The terminal response the client gets; whatever the wedged worker
+      // eventually produces loses the finish_job CAS and is dropped.
+      metrics_.counter("svc.watchdog.detached").add(1);
+      finish_job(id,
+                 make_error(id, ErrorCode::kInternal,
+                            "job made no progress within the watchdog "
+                            "deadline and ignored cancellation; detached"));
+    }
+  }
 }
 
 }  // namespace cwatpg::svc

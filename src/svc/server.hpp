@@ -24,7 +24,8 @@
 // Guarantees:
 //   * every admitted job produces exactly ONE terminal response — a
 //     result, a `cancelled` error (cancelled while queued), a
-//     `shutting_down` error (drained at shutdown), or an `internal` error;
+//     `shutting_down` error (drained at shutdown), or an `internal` error
+//     (including a watchdog detach — see below);
 //   * a served run_atpg classification is byte-identical to calling
 //     run_atpg directly with the same options (the server adds transport
 //     and scheduling, never semantics);
@@ -38,15 +39,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "svc/journal.hpp"
 #include "svc/proto.hpp"
 #include "svc/queue.hpp"
 #include "svc/registry.hpp"
@@ -67,6 +71,23 @@ struct ServerOptions {
   double default_deadline_seconds = 0.0;
   /// Seed for the pool's steal-victim RNG streams (never affects results).
   std::uint64_t seed = 0x5eedca11;
+
+  /// Crash-recovery journal path ("" = no journal). On startup the file
+  /// is replayed: accepted-but-not-terminal jobs from a previous process
+  /// are reported as interrupted (status `interrupted_jobs`) and closed
+  /// out in the journal, so a crash never silently forgets work.
+  std::string journal_path;
+
+  /// Job watchdog (0 = disabled): a RUNNING run_atpg job whose Budget
+  /// shows no progress polls for `watchdog_stall_seconds` is presumed
+  /// stuck and cancelled; if it STILL makes no progress for
+  /// `watchdog_detach_seconds` more, it is detached — its terminal
+  /// `internal` error is sent immediately and whatever the wedged worker
+  /// eventually produces is dropped by the exactly-once CAS. The sampling
+  /// cadence is `watchdog_poll_seconds`.
+  double watchdog_stall_seconds = 0.0;
+  double watchdog_detach_seconds = 0.0;
+  double watchdog_poll_seconds = 0.02;
 };
 
 class Server {
@@ -92,10 +113,18 @@ class Server {
 
  private:
   enum class JobState : std::uint8_t { kQueued, kRunning, kDone };
+  using Clock = std::chrono::steady_clock;
 
   struct JobRecord {
     JobState state = JobState::kQueued;
     std::shared_ptr<Budget> budget;
+    bool watchdog_eligible = false;  ///< run_atpg polls its Budget; fsim not
+    // -- watchdog bookkeeping (guarded by jobs_mutex_) --
+    std::uint64_t last_progress = 0;    ///< Budget::progress() last sample
+    Clock::time_point last_change{};    ///< when last_progress last moved
+    bool watchdog_cancelled = false;    ///< stall escalation step 1 fired
+    Clock::time_point cancelled_at{};   ///< when step 1 fired
+    bool detached = false;              ///< step 2 fired (terminal sent)
   };
 
   // -- reader-side handlers (all write their own response) --
@@ -118,6 +147,14 @@ class Server {
   obs::Json server_status_json();
   void drain_and_join();
 
+  // -- resilience --
+  void watchdog_loop();
+  /// Journal append that never kills the server: an I/O failure is
+  /// counted (svc.journal.failures) and serving continues degraded.
+  void journal_accepted(std::uint64_t job, const char* kind,
+                        const std::string& circuit);
+  void journal_terminal(std::uint64_t job, const obs::Json& response);
+
   ServerOptions options_;
   ThreadPool pool_;
   CircuitRegistry registry_;
@@ -127,6 +164,14 @@ class Server {
   Transport* transport_ = nullptr;  ///< valid during serve()
   std::thread dispatcher_;
   std::atomic<bool> shutting_down_{false};
+
+  std::unique_ptr<Journal> journal_;  ///< null when journaling is off
+  Journal::Recovery recovered_;       ///< prior process's abandoned jobs
+
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  ///< guarded by watchdog_mutex_
 
   mutable std::mutex jobs_mutex_;
   std::condition_variable jobs_cv_;  ///< in-flight slot free / all idle

@@ -1,7 +1,12 @@
 #include "svc/transport.hpp"
 
+#include <algorithm>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
+#include <istream>
+#include <ostream>
+#include <streambuf>
 #include <utility>
 
 #include "svc/proto.hpp"
@@ -105,6 +110,139 @@ class DuplexEnd final : public Transport {
   bool is_client_;
 };
 
+// ---- in-memory byte duplex ------------------------------------------------
+
+/// One direction of the byte pipe: a blocking byte queue with close
+/// semantics. read_some returns at least one byte when any are buffered —
+/// and never waits for a full request — so readers above it see exactly
+/// the short-read behavior of a real pipe.
+class ByteChannel {
+ public:
+  void write(const char* data, std::size_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;  // writes after close are dropped, like a pipe
+      bytes_.insert(bytes_.end(), data, data + n);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until at least one byte is available or the channel is closed
+  /// and drained (returns 0 — end of stream).
+  std::size_t read_some(char* dst, std::size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !bytes_.empty(); });
+    const std::size_t n = std::min(max, bytes_.size());
+    std::copy_n(bytes_.begin(), n, dst);
+    bytes_.erase(bytes_.begin(), bytes_.begin() + static_cast<long>(n));
+    return n;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<char> bytes_;
+  bool closed_ = false;
+};
+
+/// Input streambuf over a ByteChannel. xsgetn is deliberately overridden
+/// to deliver at most one refill per call: istream::read over this buf
+/// returns short counts exactly like read(2) on a pipe, which is the
+/// behavior proto.cpp's read_exact loop must absorb.
+class ChannelInBuf final : public std::streambuf {
+ public:
+  explicit ChannelInBuf(ByteChannel& channel) : channel_(channel) {}
+
+ protected:
+  int_type underflow() override {
+    const std::size_t n = channel_.read_some(buf_, sizeof buf_);
+    if (n == 0) return traits_type::eof();
+    setg(buf_, buf_, buf_ + n);
+    return traits_type::to_int_type(buf_[0]);
+  }
+
+  std::streamsize xsgetn(char* s, std::streamsize n) override {
+    if (gptr() == egptr() &&
+        underflow() == traits_type::eof())
+      return 0;
+    const std::streamsize take = std::min(n, egptr() - gptr());
+    std::memcpy(s, gptr(), static_cast<std::size_t>(take));
+    gbump(static_cast<int>(take));
+    return take;
+  }
+
+ private:
+  ByteChannel& channel_;
+  char buf_[256];
+};
+
+/// Output streambuf over a ByteChannel: unbuffered, every byte goes
+/// straight to the channel (frame atomicity is the transport's job, via
+/// StreamTransport's write mutex).
+class ChannelOutBuf final : public std::streambuf {
+ public:
+  explicit ChannelOutBuf(ByteChannel& channel) : channel_(channel) {}
+
+ protected:
+  int_type overflow(int_type c) override {
+    if (c == traits_type::eof()) return traits_type::not_eof(c);
+    const char byte = traits_type::to_char_type(c);
+    channel_.write(&byte, 1);
+    return c;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    channel_.write(s, static_cast<std::size_t>(n));
+    return n;
+  }
+
+ private:
+  ByteChannel& channel_;
+};
+
+/// One end of the byte duplex: a StreamTransport over channel-backed
+/// streams, plus close() that also releases a blocked peer reader.
+class ByteDuplexEnd final : public Transport {
+ public:
+  ByteDuplexEnd(std::shared_ptr<ByteChannel> in,
+                std::shared_ptr<ByteChannel> out)
+      : in_channel_(std::move(in)),
+        out_channel_(std::move(out)),
+        inbuf_(*in_channel_),
+        outbuf_(*out_channel_),
+        istream_(&inbuf_),
+        ostream_(&outbuf_),
+        stream_(istream_, ostream_) {}
+
+  ~ByteDuplexEnd() override { ByteDuplexEnd::close(); }
+
+  bool read(obs::Json& frame) override { return stream_.read(frame); }
+  void write(const obs::Json& frame) override { stream_.write(frame); }
+
+  void close() override {
+    stream_.close();
+    out_channel_->close();
+    in_channel_->close();
+  }
+
+ private:
+  std::shared_ptr<ByteChannel> in_channel_;
+  std::shared_ptr<ByteChannel> out_channel_;
+  ChannelInBuf inbuf_;
+  ChannelOutBuf outbuf_;
+  std::istream istream_;
+  std::ostream ostream_;
+  StreamTransport stream_;
+};
+
 }  // namespace
 
 DuplexPair make_duplex() {
@@ -112,6 +250,15 @@ DuplexPair make_duplex() {
   DuplexPair pair;
   pair.client = std::make_unique<DuplexEnd>(core, /*is_client=*/true);
   pair.server = std::make_unique<DuplexEnd>(core, /*is_client=*/false);
+  return pair;
+}
+
+DuplexPair make_byte_duplex() {
+  auto to_server = std::make_shared<ByteChannel>();
+  auto to_client = std::make_shared<ByteChannel>();
+  DuplexPair pair;
+  pair.client = std::make_unique<ByteDuplexEnd>(to_client, to_server);
+  pair.server = std::make_unique<ByteDuplexEnd>(to_server, to_client);
   return pair;
 }
 

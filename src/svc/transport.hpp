@@ -71,4 +71,13 @@ struct DuplexPair {
 
 DuplexPair make_duplex();
 
+/// Like make_duplex(), but each end is a real StreamTransport over
+/// in-memory byte channels whose streambufs deliver SHORT reads by design
+/// (at most one buffered chunk per read call). Frames therefore pass
+/// through the full cwatpg.rpc/1 codec — length prefixes, the
+/// short-read/short-write recovery loops, and every `svc.proto.*`
+/// failpoint — instead of the frame-queue shortcut. This is what
+/// bench_chaos and the transport-resilience tests drive.
+DuplexPair make_byte_duplex();
+
 }  // namespace cwatpg::svc

@@ -82,12 +82,22 @@ class Budget {
   /// Polls the asynchronous stop conditions — cancellation first (it is
   /// cheaper and the stronger signal), then the deadline. The effort caps
   /// are NOT reported here: they compare against counters only the
-  /// consumer owns (see sat::Solver).
+  /// consumer owns (see sat::Solver). Every poll also bumps the progress
+  /// counter: a consumer that keeps polling is by definition alive, which
+  /// is the liveness signal the service's job watchdog samples.
   StopReason poll() const {
+    progress_.fetch_add(1, std::memory_order_relaxed);
     if (cancelled()) return StopReason::kCancelled;
     if (has_deadline_ && Clock::now() >= deadline_)
       return StopReason::kDeadline;
     return StopReason::kNone;
+  }
+
+  /// Monotone count of poll() calls on this budget, from any thread. A
+  /// watchdog that samples it twice and sees no change knows the consumer
+  /// stopped polling — stuck, not slow (see svc::Server's watchdog).
+  std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
   }
 
   /// True iff poll() would report a stop condition.
@@ -95,6 +105,7 @@ class Budget {
 
  private:
   std::atomic<bool> cancelled_{false};
+  mutable std::atomic<std::uint64_t> progress_{0};
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
 };

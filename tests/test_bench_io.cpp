@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "gen/structured.hpp"
 #include "gen/trees.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/decompose.hpp"
+#include "util/rng.hpp"
 
 namespace cwatpg::net {
 namespace {
@@ -186,6 +188,73 @@ TEST(BenchIo, WriterRejectsConstants) {
 TEST(BenchIo, MissingFileThrows) {
   EXPECT_THROW(read_bench_file("/nonexistent/path.bench"),
                std::runtime_error);
+}
+
+// ---- fuzz hardening -------------------------------------------------------
+// The parser's contract under hostile input: parse or throw ParseError
+// with a 1-based line number — never crash, never leak another exception
+// type, never report "line 0".
+
+/// Runs one input through the parser, asserting the contract.
+void expect_parses_or_parse_errors(const std::string& text,
+                                   const char* what) {
+  try {
+    (void)read_bench_string(text, "fuzz");
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 1u) << what << ": error lost its line number: "
+                            << e.what();
+  }
+  // Any other exception type escapes and fails the test by crashing it.
+}
+
+TEST(BenchIoFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(0xbe9c410f);
+  // Bias toward structural characters so the fuzzer reaches deeper than
+  // the first "malformed declaration" check.
+  const std::string alphabet =
+      "abgINPUTOUTAND()=,# \t0123456789\n\nxyz.\xff\x01";
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t len = rng.below(400);
+    std::string text;
+    text.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+      text += alphabet[rng.below(alphabet.size())];
+    expect_parses_or_parse_errors(text, "garbage");
+  }
+}
+
+TEST(BenchIoFuzz, TruncationsOfAValidNetlistNeverCrash) {
+  std::ostringstream out;
+  write_bench(out, decompose(gen::comparator(3)));
+  const std::string valid = out.str();
+  for (std::size_t cut = 0; cut <= valid.size(); cut += 3)
+    expect_parses_or_parse_errors(valid.substr(0, cut), "truncation");
+}
+
+TEST(BenchIoFuzz, BitFlipsOfAValidNetlistNeverCrash) {
+  std::ostringstream out;
+  write_bench(out, decompose(gen::comparator(3)));
+  const std::string valid = out.str();
+  Rng rng(0x5eedf00d);
+  for (int round = 0; round < 300; ++round) {
+    std::string text = valid;
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f)
+      text[rng.below(text.size())] ^=
+          static_cast<char>(1u << rng.below(7));
+    expect_parses_or_parse_errors(text, "bit flip");
+  }
+}
+
+TEST(BenchIoFuzz, UndrivenSignalErrorNamesTheReferencingLine) {
+  try {
+    (void)read_bench_string(
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "undriven");
+    FAIL() << "undriven signal must be rejected";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u) << "the AND(...) line references 'ghost'";
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+  }
 }
 
 }  // namespace

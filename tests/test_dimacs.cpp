@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "fault/atpg_circuit.hpp"
 #include "gen/trees.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/encode.hpp"
 #include "sat/solver.hpp"
+#include "util/rng.hpp"
 
 namespace cwatpg::sat {
 namespace {
@@ -134,6 +137,70 @@ TEST(Dimacs, RoundTripLiteralExact) {
     ASSERT_EQ(g.clause(c).size(), f.clause(c).size());
     for (std::size_t i = 0; i < g.clause(c).size(); ++i)
       EXPECT_EQ(g.clause(c)[i], f.clause(c)[i]);
+  }
+}
+
+// ---- fuzz hardening -------------------------------------------------------
+// Contract under hostile input: parse or throw DimacsError with a 1-based
+// line number — never crash, never allocate a giant Cnf from a lying
+// header, never let a poisoned stream swallow garbage silently.
+
+void expect_parses_or_dimacs_errors(const std::string& text,
+                                    const char* what) {
+  try {
+    (void)read_dimacs_string(text);
+  } catch (const DimacsError& e) {
+    EXPECT_GE(e.line(), 1u) << what << ": error lost its line number: "
+                            << e.what();
+  }
+}
+
+TEST(DimacsFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(0xd1aca5e);
+  const std::string alphabet = "pcnf 0123456789-\n\t%c \xfe";
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t len = rng.below(300);
+    std::string text;
+    text.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+      text += alphabet[rng.below(alphabet.size())];
+    expect_parses_or_dimacs_errors(text, "garbage");
+  }
+}
+
+TEST(DimacsFuzz, TruncationsAndBitFlipsOfAValidFileNeverCrash) {
+  const std::string valid = "c fuzz base\np cnf 4 3\n1 -2 0\n2 3 -4 0\n4 0\n";
+  for (std::size_t cut = 0; cut <= valid.size(); ++cut)
+    expect_parses_or_dimacs_errors(valid.substr(0, cut), "truncation");
+  Rng rng(0xf11b5);
+  for (int round = 0; round < 300; ++round) {
+    std::string text = valid;
+    text[rng.below(text.size())] ^= static_cast<char>(1u << rng.below(7));
+    expect_parses_or_dimacs_errors(text, "bit flip");
+  }
+}
+
+TEST(DimacsFuzz, ImplausibleHeaderIsRejectedNotAllocated) {
+  // A hostile header asking for 2^40 variables must be an error, not an
+  // attempted terabyte allocation.
+  try {
+    (void)read_dimacs_string("p cnf 1099511627776 1\n1 0\n");
+    FAIL() << "huge var count must be rejected";
+  } catch (const DimacsError& e) {
+    EXPECT_EQ(e.line(), 1u);
+  }
+  expect_parses_or_dimacs_errors("p cnf 999999999999999999999 1\n1 0\n",
+                                 "overflowing header");
+}
+
+TEST(DimacsFuzz, OverflowingLiteralIsALineError) {
+  // Pre-hardening, istream's failed `>> long` consumed the numeral and
+  // could let the tail of the file vanish silently.
+  try {
+    (void)read_dimacs_string("p cnf 1 1\n1 0\n99999999999999999999\n");
+    FAIL() << "overflowing literal must be rejected";
+  } catch (const DimacsError& e) {
+    EXPECT_EQ(e.line(), 3u);
   }
 }
 

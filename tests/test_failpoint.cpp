@@ -1,0 +1,280 @@
+// Unit coverage for the deterministic failpoint registry (src/util/
+// failpoint.*): schedule grammar, firing modes, per-domain hit counters,
+// probabilistic replay determinism, and the RAII scopes the rest of the
+// suite builds chaos tests on. Everything here runs single-threaded; the
+// cross-thread determinism story is exercised end-to-end by test_svc and
+// bench_chaos.
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cwatpg::fp {
+namespace {
+
+/// Whole-suite gate: with CWATPG_FAILPOINTS=OFF the macros fold to
+/// constants and there is nothing to test.
+#define SKIP_WHEN_COMPILED_OUT() \
+  if (!kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF"
+
+/// Fresh-registry guard: every test starts and ends unarmed with zeroed
+/// counters, so ordering between tests can't matter.
+struct CleanRegistry {
+  CleanRegistry() { Registry::instance().reset(); }
+  ~CleanRegistry() { Registry::instance().reset(); }
+};
+
+// ---- spec grammar ---------------------------------------------------------
+
+TEST(FailpointSpec, ParsesEveryMode) {
+  EXPECT_EQ(parse_spec("off").mode, Mode::kOff);
+  EXPECT_EQ(parse_spec("always").mode, Mode::kAlways);
+  EXPECT_EQ(parse_spec("once").mode, Mode::kOnce);
+
+  const Spec nth = parse_spec("nth:7");
+  EXPECT_EQ(nth.mode, Mode::kNth);
+  EXPECT_EQ(nth.n, 7u);
+
+  const Spec every = parse_spec("every:3");
+  EXPECT_EQ(every.mode, Mode::kEveryNth);
+  EXPECT_EQ(every.n, 3u);
+
+  const Spec prob = parse_spec("prob:0.25:42");
+  EXPECT_EQ(prob.mode, Mode::kProb);
+  EXPECT_DOUBLE_EQ(prob.p, 0.25);
+  EXPECT_EQ(prob.seed, 42u);
+}
+
+TEST(FailpointSpec, PayloadSuffix) {
+  const Spec s = parse_spec("always@12");
+  EXPECT_EQ(s.mode, Mode::kAlways);
+  EXPECT_EQ(s.arg, 12);
+  EXPECT_EQ(parse_spec("nth:2@5").arg, 5);
+  // Default payload is 0, so a fired CWATPG_FAILPOINT_ARG is still >= 0.
+  EXPECT_EQ(parse_spec("always").arg, 0);
+}
+
+TEST(FailpointSpec, RoundTripsThroughToString) {
+  for (const char* text :
+       {"off", "always", "once", "nth:7", "every:3", "always@12"}) {
+    const Spec s = parse_spec(text);
+    EXPECT_EQ(parse_spec(s.to_string()).to_string(), s.to_string()) << text;
+  }
+}
+
+TEST(FailpointSpec, RejectsGarbage) {
+  EXPECT_THROW(parse_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_spec("sometimes"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("nth"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("nth:0"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("nth:x"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("every:0"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("prob:1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("prob:-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("always@"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("always@x"), std::invalid_argument);
+}
+
+TEST(FailpointSchedule, RejectsMalformedItems) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry& r = Registry::instance();
+  EXPECT_THROW(r.arm_schedule("noequals"), std::invalid_argument);
+  EXPECT_THROW(r.arm_schedule("a=nth:1;=always"), std::invalid_argument);
+  EXPECT_THROW(r.arm_schedule("bad/name=always"), std::invalid_argument);
+}
+
+// ---- firing modes ---------------------------------------------------------
+
+TEST(Failpoint, UnarmedSiteNeverFires) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(CWATPG_FAILPOINT("test.unarmed"));
+}
+
+TEST(Failpoint, OffCountsButNeverFires) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry::instance().arm_schedule("test.site=off");
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(CWATPG_FAILPOINT("test.site"));
+  const auto counts = Registry::instance().counts();
+  const auto it = counts.find("test.site");
+  ASSERT_NE(it, counts.end());
+  EXPECT_EQ(it->second.hits, 5u);
+  EXPECT_EQ(it->second.fires, 0u);
+}
+
+TEST(Failpoint, AlwaysOnceNthEvery) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry& r = Registry::instance();
+  r.arm_schedule("t.always=always;t.once=once;t.nth=nth:3;t.every=every:2");
+
+  std::vector<bool> always, once, nth, every;
+  for (int i = 0; i < 6; ++i) {
+    always.push_back(CWATPG_FAILPOINT("t.always"));
+    once.push_back(CWATPG_FAILPOINT("t.once"));
+    nth.push_back(CWATPG_FAILPOINT("t.nth"));
+    every.push_back(CWATPG_FAILPOINT("t.every"));
+  }
+  EXPECT_EQ(always, std::vector<bool>({1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(once, std::vector<bool>({1, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(nth, std::vector<bool>({0, 0, 1, 0, 0, 0}));
+  EXPECT_EQ(every, std::vector<bool>({0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Failpoint, ArgPayloadReturnedOnlyWhenFiring) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry::instance().arm_schedule("t.arg=nth:2@17");
+  EXPECT_EQ(CWATPG_FAILPOINT_ARG("t.arg"), -1);  // hit 1: no fire
+  EXPECT_EQ(CWATPG_FAILPOINT_ARG("t.arg"), 17);  // hit 2: fires, payload
+  EXPECT_EQ(CWATPG_FAILPOINT_ARG("t.arg"), -1);  // hit 3: done
+}
+
+TEST(Failpoint, ProbZeroAndOneAreDegenerate) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry::instance().arm_schedule("t.p0=prob:0;t.p1=prob:1");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(CWATPG_FAILPOINT("t.p0"));
+    EXPECT_TRUE(CWATPG_FAILPOINT("t.p1"));
+  }
+}
+
+TEST(Failpoint, ProbReplaysExactlyFromSeed) {
+  SKIP_WHEN_COMPILED_OUT();
+  auto draw_sequence = [](std::uint64_t seed) {
+    CleanRegistry clean;
+    Registry::instance().arm(
+        "t.prob", parse_spec("prob:0.5:" + std::to_string(seed)));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i)
+      fired.push_back(CWATPG_FAILPOINT("t.prob"));
+    return fired;
+  };
+  const auto a = draw_sequence(7);
+  EXPECT_EQ(a, draw_sequence(7)) << "same seed must replay bit-identically";
+  EXPECT_NE(a, draw_sequence(8)) << "different seed must diverge";
+  // Sanity: p=0.5 over 64 draws is neither all-false nor all-true.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST(Failpoint, ProbStreamsDifferBySiteName) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry& r = Registry::instance();
+  r.arm_schedule("t.prob.a=prob:0.5:9;t.prob.b=prob:0.5:9");
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(CWATPG_FAILPOINT("t.prob.a"));
+    b.push_back(CWATPG_FAILPOINT("t.prob.b"));
+  }
+  EXPECT_NE(a, b) << "site name must decorrelate same-seed streams";
+}
+
+// ---- domains --------------------------------------------------------------
+
+TEST(FailpointDomain, CountersArePerDomain) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry::instance().arm_schedule("t.shared=nth:2");
+
+  bool fired_in_a = false;
+  {
+    DomainScope a("a");
+    EXPECT_FALSE(CWATPG_FAILPOINT("t.shared"));  // a: hit 1
+  }
+  {
+    DomainScope b("b");
+    EXPECT_FALSE(CWATPG_FAILPOINT("t.shared"));  // b: hit 1 — NOT hit 2
+  }
+  {
+    DomainScope a("a");
+    fired_in_a = CWATPG_FAILPOINT("t.shared");  // a: hit 2 — fires
+  }
+  EXPECT_TRUE(fired_in_a);
+
+  const auto counts = Registry::instance().counts();
+  ASSERT_TRUE(counts.count("a/t.shared"));
+  ASSERT_TRUE(counts.count("b/t.shared"));
+  EXPECT_EQ(counts.at("a/t.shared").hits, 2u);
+  EXPECT_EQ(counts.at("a/t.shared").fires, 1u);
+  EXPECT_EQ(counts.at("b/t.shared").hits, 1u);
+  EXPECT_EQ(counts.at("b/t.shared").fires, 0u);
+}
+
+TEST(FailpointDomain, ScopeRestoresAndIsThreadLocal) {
+  SKIP_WHEN_COMPILED_OUT();
+  set_thread_domain("");
+  {
+    DomainScope outer("outer");
+    EXPECT_EQ(thread_domain(), "outer");
+    {
+      DomainScope inner("inner");
+      EXPECT_EQ(thread_domain(), "inner");
+    }
+    EXPECT_EQ(thread_domain(), "outer");
+    std::thread([] { EXPECT_EQ(thread_domain(), ""); }).join();
+  }
+  EXPECT_EQ(thread_domain(), "");
+}
+
+// ---- scopes & lifecycle ---------------------------------------------------
+
+TEST(FailpointScope, ScheduleScopeArmsAndFullyResets) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  {
+    ScheduleScope fps("t.scoped=always");
+    EXPECT_TRUE(Registry::instance().anything_armed());
+    EXPECT_TRUE(CWATPG_FAILPOINT("t.scoped"));
+  }
+  EXPECT_FALSE(Registry::instance().anything_armed());
+  EXPECT_FALSE(CWATPG_FAILPOINT("t.scoped"));
+  EXPECT_TRUE(Registry::instance().counts().empty())
+      << "ScheduleScope teardown must also clear counters";
+}
+
+TEST(FailpointScope, DisarmAllKeepsCountersForAudit) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry& r = Registry::instance();
+  r.arm_schedule("t.audit=always");
+  EXPECT_TRUE(CWATPG_FAILPOINT("t.audit"));
+  r.disarm_all();
+  EXPECT_FALSE(r.anything_armed());
+  const auto counts = r.counts();
+  ASSERT_TRUE(counts.count("t.audit"));
+  EXPECT_EQ(counts.at("t.audit").fires, 1u);
+}
+
+TEST(FailpointScope, ArmedListsSortedSpecs) {
+  SKIP_WHEN_COMPILED_OUT();
+  CleanRegistry clean;
+  Registry& r = Registry::instance();
+  r.arm_schedule("t.b=once;t.a=nth:4");
+  const auto armed = r.armed();
+  ASSERT_EQ(armed.size(), 2u);
+  EXPECT_EQ(armed[0].first, "t.a");
+  EXPECT_EQ(armed[0].second.to_string(), "nth:4");
+  EXPECT_EQ(armed[1].first, "t.b");
+}
+
+TEST(Failpoint, CompiledOutMacroIsFalse) {
+  // Valid in BOTH build flavors: an unarmed (or compiled-out) site is
+  // false / -1, so production control flow never changes by default.
+  CleanRegistry clean;
+  EXPECT_FALSE(CWATPG_FAILPOINT("t.default"));
+  EXPECT_EQ(CWATPG_FAILPOINT_ARG("t.default"), -1);
+}
+
+}  // namespace
+}  // namespace cwatpg::fp

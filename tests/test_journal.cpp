@@ -1,0 +1,202 @@
+// Unit coverage for the crash-recovery journal (src/svc/journal.*): the
+// cwatpg.journal/1 line format, CRC validation, torn-tail and bit-flip
+// corruption handling, and the accepted-without-terminal recovery rule
+// the restarted daemon builds its `interrupted` report on.
+#include "svc/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "util/failpoint.hpp"
+
+namespace cwatpg::svc {
+namespace {
+
+#define SKIP_WITHOUT_FAILPOINTS() \
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF"
+
+/// Self-deleting journal path under gtest's temp dir.
+struct TempJournal {
+  std::string path;
+  explicit TempJournal(const char* name) : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~TempJournal() { std::remove(path.c_str()); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TEST(JournalCrc, MatchesTheCanonicalCheckValue) {
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);  // CRC-32/ISO-HDLC "check"
+}
+
+TEST(Journal, MissingFileIsACleanFirstBoot) {
+  const Journal::Recovery rec =
+      Journal::recover(::testing::TempDir() + "never_written.jsonl");
+  EXPECT_EQ(rec.records, 0u);
+  EXPECT_EQ(rec.corrupt, 0u);
+  EXPECT_TRUE(rec.interrupted.empty());
+}
+
+TEST(Journal, CleanLifecycleLeavesNothingOpen) {
+  TempJournal f("journal_clean.jsonl");
+  {
+    Journal j(f.path);
+    j.record_accepted(7, "run_atpg", "deadbeef");
+    j.record_terminal(7, "ok");
+    j.record_accepted(8, "fsim", "deadbeef");
+    j.record_terminal(8, "error:cancelled");
+  }
+  const Journal::Recovery rec = Journal::recover(f.path);
+  EXPECT_EQ(rec.records, 4u);
+  EXPECT_EQ(rec.corrupt, 0u);
+  EXPECT_TRUE(rec.interrupted.empty());
+}
+
+TEST(Journal, AcceptedWithoutTerminalIsInterrupted) {
+  TempJournal f("journal_open.jsonl");
+  {
+    Journal j(f.path);
+    j.record_accepted(3, "run_atpg", "c3");
+    j.record_accepted(4, "fsim", "c4");
+    j.record_terminal(3, "ok");  // job 4 is the one the "crash" abandoned
+  }
+  const Journal::Recovery rec = Journal::recover(f.path);
+  ASSERT_EQ(rec.interrupted.size(), 1u);
+  EXPECT_EQ(rec.interrupted[0].job, 4u);
+  EXPECT_EQ(rec.interrupted[0].kind, "fsim");
+  EXPECT_EQ(rec.interrupted[0].circuit, "c4");
+}
+
+TEST(Journal, InterruptedRecordClosesTheJobForGood) {
+  TempJournal f("journal_interrupted.jsonl");
+  {
+    Journal j(f.path);
+    j.record_accepted(9, "run_atpg", "c9");
+    // What a recovering daemon writes for an orphan it found: a second
+    // restart must NOT re-report job 9.
+    j.record_interrupted(9);
+  }
+  const Journal::Recovery rec = Journal::recover(f.path);
+  EXPECT_EQ(rec.records, 2u);
+  EXPECT_TRUE(rec.interrupted.empty());
+}
+
+TEST(Journal, TornTailIsCountedCorruptNotTrusted) {
+  SKIP_WITHOUT_FAILPOINTS();
+  TempJournal f("journal_torn.jsonl");
+  {
+    Journal j(f.path);
+    j.record_accepted(1, "run_atpg", "c1");
+    // The terminal append is torn mid-line — the on-disk state a crash
+    // during write leaves behind.
+    fp::ScheduleScope fps("svc.journal.torn=always");
+    j.record_terminal(1, "ok");
+  }
+  const Journal::Recovery rec = Journal::recover(f.path);
+  EXPECT_EQ(rec.records, 1u);
+  EXPECT_EQ(rec.corrupt, 1u);
+  // The torn terminal must not count: job 1 is still open => interrupted.
+  ASSERT_EQ(rec.interrupted.size(), 1u);
+  EXPECT_EQ(rec.interrupted[0].job, 1u);
+}
+
+TEST(Journal, BitFlipFailsTheChecksum) {
+  TempJournal f("journal_bitflip.jsonl");
+  {
+    Journal j(f.path);
+    j.record_accepted(5, "run_atpg", "c5");
+    j.record_terminal(5, "ok");
+  }
+  std::string content = slurp(f.path);
+  const std::size_t pos = content.find("\"terminal\"");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos + 1] ^= 0x20;  // 't' -> 'T' inside the checksummed payload
+  std::ofstream(f.path, std::ios::trunc) << content;
+
+  const Journal::Recovery rec = Journal::recover(f.path);
+  EXPECT_EQ(rec.records, 1u);
+  EXPECT_EQ(rec.corrupt, 1u);
+  ASSERT_EQ(rec.interrupted.size(), 1u)
+      << "a corrupted terminal leaves the job open";
+  EXPECT_EQ(rec.interrupted[0].job, 5u);
+}
+
+TEST(Journal, GarbageLinesAreSkippedNotFatal) {
+  TempJournal f("journal_garbage.jsonl");
+  {
+    Journal j(f.path);
+    j.record_accepted(2, "fsim", "c2");
+  }
+  {
+    std::ofstream out(f.path, std::ios::app);
+    out << "not a journal line\n";
+    out << "00000000 {\"valid-looking\":\"but wrong crc\"}\n";
+    out << "zzzzzzzz {}\n";
+    out << "\n";  // blank lines are ignored, not corrupt
+  }
+  const Journal::Recovery rec = Journal::recover(f.path);
+  EXPECT_EQ(rec.records, 1u);
+  EXPECT_EQ(rec.corrupt, 3u);
+  ASSERT_EQ(rec.interrupted.size(), 1u);
+  EXPECT_EQ(rec.interrupted[0].job, 2u);
+}
+
+TEST(Journal, UnknownEventIsForwardCompatibleNotCorrupt) {
+  TempJournal f("journal_future.jsonl");
+  {
+    Journal j(f.path);
+    j.record_accepted(6, "run_atpg", "c6");
+    j.record_terminal(6, "ok");
+  }
+  {
+    // A checksum-VALID record from a future schema revision: an older
+    // reader must skip it without declaring the file damaged.
+    const std::string payload =
+        "{\"schema\":\"cwatpg.journal/1\",\"seq\":99,"
+        "\"event\":\"compacted\",\"job\":0}";
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "%08x", crc32(payload));
+    std::ofstream(f.path, std::ios::app) << hex << " " << payload << "\n";
+  }
+  const Journal::Recovery rec = Journal::recover(f.path);
+  EXPECT_EQ(rec.records, 3u);
+  EXPECT_EQ(rec.corrupt, 0u);
+  EXPECT_TRUE(rec.interrupted.empty());
+}
+
+TEST(Journal, IoErrorFailpointSurfacesAsException) {
+  SKIP_WITHOUT_FAILPOINTS();
+  TempJournal f("journal_io_error.jsonl");
+  Journal j(f.path);
+  fp::ScheduleScope fps("svc.journal.io_error=always");
+  EXPECT_THROW(j.record_accepted(1, "run_atpg", "c1"), std::runtime_error);
+}
+
+TEST(Journal, UnopenablePathThrowsUpFront) {
+  EXPECT_THROW(Journal("/nonexistent-dir/cwatpg.jsonl"), std::runtime_error);
+}
+
+TEST(Journal, IdReuseTracksTheLatestAcceptance) {
+  TempJournal f("journal_reuse.jsonl");
+  {
+    Journal j(f.path);
+    j.record_accepted(1, "run_atpg", "first");
+    j.record_terminal(1, "ok");
+    j.record_accepted(1, "run_atpg", "second");  // same id, new job — open
+  }
+  const Journal::Recovery rec = Journal::recover(f.path);
+  ASSERT_EQ(rec.interrupted.size(), 1u);
+  EXPECT_EQ(rec.interrupted[0].circuit, "second");
+}
+
+}  // namespace
+}  // namespace cwatpg::svc

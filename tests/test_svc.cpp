@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -21,11 +24,14 @@
 #include "gen/structured.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/decompose.hpp"
+#include "svc/client.hpp"
+#include "svc/journal.hpp"
 #include "svc/proto.hpp"
 #include "svc/queue.hpp"
 #include "svc/registry.hpp"
 #include "svc/server.hpp"
 #include "svc/transport.hpp"
+#include "util/failpoint.hpp"
 
 namespace cwatpg::svc {
 namespace {
@@ -52,8 +58,10 @@ obs::Json request_json(std::uint64_t id, const char* kind,
   return j;
 }
 
-/// Test-side client: sequences ids, sends requests, reads frames.
-struct Client {
+/// Test-side client: sequences ids, sends requests, reads frames. (Named
+/// TestClient because svc::Client — the retrying production client — is
+/// also visible in this namespace.)
+struct TestClient {
   Transport* t;
   std::uint64_t next_id = 1;
 
@@ -83,7 +91,7 @@ struct ServedFixture {
   DuplexPair pair = make_duplex();
   Server server;
   std::thread loop;
-  Client client{pair.client.get()};
+  TestClient client{pair.client.get()};
 
   explicit ServedFixture(ServerOptions options) : server(options) {
     loop = std::thread([this] { server.serve(*pair.server); });
@@ -838,6 +846,356 @@ TEST(SvcServer, ConcurrentClientsEveryJobGetsExactlyOneTerminal) {
   obs::Json resp = f.client.recv();
   EXPECT_EQ(resp.at("id").as_u64(), shutdown_id);
   EXPECT_TRUE(resp.at("result").at("drained").as_bool());
+}
+
+// ---- resilience -----------------------------------------------------------
+
+#define SKIP_WITHOUT_FAILPOINTS() \
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF"
+
+/// Satellite regression for StreamTransport partial I/O: the byte-level
+/// duplex delivers at most one 256-byte refill per read call, so any
+/// frame larger than that arrives through genuine short reads that
+/// read_exact must loop over (the bug class where istream::read sets
+/// failbit on a merely-paused source).
+TEST(SvcTransport, ByteDuplexDeliversLargeFramesThroughShortReads) {
+  DuplexPair pair = make_byte_duplex();
+  obs::Json params = obs::Json::object();
+  params["blob"] = std::string(10000, 'x');  // ~40 refills per frame
+  const obs::Json msg = request_json(1, "load_circuit", std::move(params));
+
+  pair.client->write(msg);
+  pair.client->write(msg);  // back-to-back: framing must not drift
+  obs::Json got;
+  ASSERT_TRUE(pair.server->read(got));
+  EXPECT_EQ(got, msg);
+  ASSERT_TRUE(pair.server->read(got));
+  EXPECT_EQ(got, msg);
+
+  pair.server->write(msg);  // and the other direction
+  ASSERT_TRUE(pair.client->read(got));
+  EXPECT_EQ(got, msg);
+
+  pair.client->close();
+  EXPECT_FALSE(pair.server->read(got)) << "close must surface as EOF";
+}
+
+TEST(SvcProto, ShortReadAndShortWriteFailpointsRoundTrip) {
+  SKIP_WITHOUT_FAILPOINTS();
+  obs::Json params = obs::Json::object();
+  params["blob"] = std::string(997, 'y');
+  const obs::Json msg = request_json(9, "status", std::move(params));
+
+  std::stringstream stream;
+  {
+    // Writer dribbles 5 bytes per write pass; reader gets at most 3 per
+    // read pass. The codec must still deliver the frame intact.
+    fp::ScheduleScope fps(
+        "svc.proto.write.short=always@5;svc.proto.read.short=always@3");
+    write_frame(stream, msg);
+    obs::Json got;
+    ASSERT_TRUE(read_frame(stream, got));
+    EXPECT_EQ(got, msg);
+  }
+}
+
+TEST(SvcProto, CorruptLengthAndMidFrameEofFailpointsThrow) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const obs::Json msg = request_json(3, "status");
+  obs::Json got;
+  {
+    std::stringstream stream;
+    write_frame(stream, msg);
+    fp::ScheduleScope fps("svc.proto.read.corrupt_len=once");
+    EXPECT_THROW(read_frame(stream, got), ProtocolError);
+  }
+  {
+    std::stringstream stream;
+    write_frame(stream, msg);
+    fp::ScheduleScope fps("svc.proto.read.eof=once");
+    EXPECT_THROW(read_frame(stream, got), ProtocolError);
+  }
+}
+
+TEST(SvcClient, RetriesOverloadedWithBackoffUnderSameId) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+
+  std::vector<double> sleeps;
+  ClientOptions copts;
+  copts.sleep_fn = [&sleeps](double s) { sleeps.push_back(s); };
+  Client retry(*f.pair.client, copts);
+
+  fp::ScheduleScope fps("svc.queue.full=once");
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  const std::uint64_t id = retry.submit("run_atpg", std::move(params));
+  const std::optional<obs::Json> resp = retry.await(id);
+  ASSERT_TRUE(resp.has_value()) << "session tore during a retried submit";
+  EXPECT_TRUE(resp->at("ok").as_bool()) << resp->dump();
+  EXPECT_EQ(resp->at("id").as_u64(), id) << "resubmission must reuse the id";
+
+  EXPECT_EQ(retry.stats().overloaded, 1u);
+  EXPECT_EQ(retry.stats().retries, 1u);
+  ASSERT_EQ(sleeps.size(), 1u);
+  // First-attempt backoff: base scaled by jitter in [0.5, 1.0).
+  EXPECT_GE(sleeps[0], copts.backoff_base_seconds * 0.5);
+  EXPECT_LT(sleeps[0], copts.backoff_base_seconds);
+}
+
+TEST(SvcClient, ExhaustedRetriesSurfaceTheRejection) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+
+  ClientOptions copts;
+  copts.max_attempts = 3;
+  copts.sleep_fn = [](double) {};
+  Client retry(*f.pair.client, copts);
+
+  fp::ScheduleScope fps("svc.queue.full=always");
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  const std::uint64_t id = retry.submit("run_atpg", std::move(params));
+  const std::optional<obs::Json> resp = retry.await(id);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->at("error").at("code").as_string(), "overloaded");
+  EXPECT_EQ(retry.stats().retries, 2u) << "3 attempts = 2 resubmissions";
+}
+
+TEST(SvcServer, WatchdogCancelsJobWithNoProgress) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ServedFixture f({.threads = 1,
+                   .watchdog_stall_seconds = 0.05,
+                   .watchdog_poll_seconds = 0.01});
+  const std::string key = f.load(test_circuit());
+
+  // The worker wedges for up to 2s making zero Budget polls; the watchdog
+  // must cancel it long before that, after which the stall loop yields
+  // and the engine runs to a cancelled (interrupted) — but terminal — end.
+  fp::ScheduleScope fps("svc.server.execute.stall=always@2000");
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Json resp = f.client.call("run_atpg", std::move(params));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  EXPECT_TRUE(resp.at("result").at("interrupted").as_bool());
+  EXPECT_LT(elapsed, 1.5) << "watchdog should cancel at ~50ms, not wait "
+                             "out the full stall";
+}
+
+TEST(SvcServer, WatchdogDetachesJobThatIgnoresCancel) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ServedFixture f({.threads = 1,
+                   .watchdog_stall_seconds = 0.05,
+                   .watchdog_detach_seconds = 0.05,
+                   .watchdog_poll_seconds = 0.01});
+  const std::string key = f.load(test_circuit());
+
+  // This worker also ignores cancellation (a true wedge, bounded at 700ms
+  // so the drain below terminates). Escalation must reach detach: the
+  // client gets its one `internal` terminal while the worker is still
+  // stuck, and the worker's own eventual finish loses the CAS silently.
+  fp::ScheduleScope fps(
+      "svc.server.execute.stall=always@700;"
+      "svc.server.stall.ignore_cancel=always");
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  obs::Json resp = f.client.call("run_atpg", std::move(params));
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "internal");
+  EXPECT_NE(resp.at("error").at("message").as_string().find("detached"),
+            std::string::npos);
+
+  // Exactly-one-terminal: the next frame is the shutdown response, not a
+  // second answer from the detached worker.
+  obs::Json shut = f.client.call("shutdown");
+  EXPECT_TRUE(shut.at("result").at("drained").as_bool());
+}
+
+TEST(SvcServer, WorkerThrowFailpointYieldsInternalTerminal) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+  fp::ScheduleScope fps("svc.server.execute.throw=once");
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  obs::Json resp = f.client.call("run_atpg", std::move(params));
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "internal");
+}
+
+TEST(SvcServer, RegistryEvictionUnderPinningStillServesTheJob) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+
+  // find() pins the entry via shared_ptr, then the failpoint evicts the
+  // whole registry out from under it. The in-flight job must keep its
+  // pinned circuit and complete; only the NEXT lookup misses.
+  fp::ScheduleScope fps("svc.registry.evict=once");
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  obs::Json resp = f.client.call("run_atpg", params);
+  EXPECT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+
+  obs::Json resp2 = f.client.call("run_atpg", std::move(params));
+  EXPECT_EQ(resp2.at("error").at("code").as_string(), "not_found");
+}
+
+TEST(SvcServer, RegistryAllocFailureIsInternalNotBadRequest) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ServedFixture f({.threads = 1});
+  fp::ScheduleScope fps("svc.registry.alloc=once");
+  obs::Json params = obs::Json::object();
+  params["name"] = "c";
+  params["text"] = bench_text(test_circuit());
+  obs::Json resp = f.client.call("load_circuit", std::move(params));
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "internal")
+      << "OOM is the server's failure; bad_request would tell the client "
+         "to fix a valid netlist";
+}
+
+TEST(SvcServer, SolverAllocFailureIsInternalTerminal) {
+  SKIP_WITHOUT_FAILPOINTS();
+  ServedFixture f({.threads = 1});
+  const std::string key = f.load(test_circuit());
+  fp::ScheduleScope fps("sat.solver.alloc=once");
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  // No random phase: every fault goes to SAT, so the first solve hits the
+  // armed allocation failure.
+  params["random_blocks"] = 0;
+  obs::Json resp = f.client.call("run_atpg", std::move(params));
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "internal");
+}
+
+/// Shutdown-vs-cancel race: cancels for queued/running jobs arrive
+/// back-to-back with the shutdown. Whatever interleaving results, every
+/// job and every control request gets exactly one response and the
+/// shutdown response comes last. Run at 1 worker (everything queued) and
+/// N workers (cancels race live executions) — the latter matters under
+/// TSan (`ctest -L tsan`).
+void shutdown_cancel_race(std::size_t threads) {
+  ServedFixture f({.threads = threads});
+  const std::string key = f.load(test_circuit());
+
+  constexpr int kJobs = 6;
+  std::vector<std::uint64_t> job_ids;
+  for (int i = 0; i < kJobs; ++i) {
+    obs::Json params = obs::Json::object();
+    params["circuit"] = key;
+    params["seed"] = static_cast<std::uint64_t>(i);
+    job_ids.push_back(f.client.send("run_atpg", std::move(params)));
+  }
+  std::vector<std::uint64_t> control_ids;
+  for (int i = 0; i < kJobs; i += 2) {
+    obs::Json params = obs::Json::object();
+    params["job"] = job_ids[static_cast<std::size_t>(i)];
+    control_ids.push_back(f.client.send("cancel", std::move(params)));
+  }
+  const std::uint64_t shutdown_id = f.client.send("shutdown");
+
+  std::map<std::uint64_t, int> seen;
+  std::uint64_t last_id = 0;
+  obs::Json frame;
+  while (f.pair.client->read(frame)) {
+    last_id = frame.at("id").as_u64();
+    ++seen[last_id];
+  }
+  EXPECT_EQ(last_id, shutdown_id) << "shutdown must answer last";
+  for (const std::uint64_t id : job_ids)
+    EXPECT_EQ(seen[id], 1) << "job " << id;
+  for (const std::uint64_t id : control_ids)
+    EXPECT_EQ(seen[id], 1) << "cancel " << id;
+  EXPECT_EQ(seen[shutdown_id], 1);
+}
+
+TEST(SvcServer, ShutdownVsCancelRaceSingleWorker) {
+  shutdown_cancel_race(1);
+}
+
+TEST(SvcServer, ShutdownVsCancelRaceManyWorkers) {
+  shutdown_cancel_race(4);
+}
+
+TEST(SvcServer, JournalRecordsLifecycleAndReportsInterrupted) {
+  const std::string path =
+      ::testing::TempDir() + "cwatpg_svc_journal_test.jsonl";
+  std::remove(path.c_str());
+
+  {
+    ServedFixture f({.threads = 1, .journal_path = path});
+    const std::string key = f.load(test_circuit());
+    obs::Json params = obs::Json::object();
+    params["circuit"] = key;
+    obs::Json resp = f.client.call("run_atpg", std::move(params));
+    EXPECT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    f.client.call("shutdown");
+  }
+  {
+    const Journal::Recovery rec = Journal::recover(path);
+    EXPECT_EQ(rec.records, 2u) << "one accepted + one terminal";
+    EXPECT_EQ(rec.corrupt, 0u);
+    EXPECT_TRUE(rec.interrupted.empty()) << "clean run leaves nothing open";
+  }
+
+  // Simulate a crash: an accepted record the dead process never closed.
+  {
+    Journal j(path);
+    j.record_accepted(777, "run_atpg", "ghost-circuit");
+  }
+  {
+    ServedFixture f({.threads = 1, .journal_path = path});
+    obs::Json resp = f.client.call("status");
+    const obs::Json& interrupted =
+        resp.at("result").at("interrupted_jobs");
+    ASSERT_EQ(interrupted.size(), 1u) << resp.dump();
+    for (const obs::Json& rec : interrupted.items()) {
+      EXPECT_EQ(rec.at("job").as_u64(), 777u);
+      EXPECT_EQ(rec.at("kind").as_string(), "run_atpg");
+    }
+    f.client.call("shutdown");
+  }
+  // The restart journaled `interrupted` for job 777, so a SECOND restart
+  // reports nothing: the loss is surfaced exactly once.
+  {
+    ServedFixture f({.threads = 1, .journal_path = path});
+    obs::Json resp = f.client.call("status");
+    EXPECT_EQ(resp.at("result").at("interrupted_jobs").size(), 0u)
+        << resp.dump();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SvcServer, JournalIoFailureDegradesButKeepsServing) {
+  SKIP_WITHOUT_FAILPOINTS();
+  const std::string path =
+      ::testing::TempDir() + "cwatpg_svc_journal_degraded.jsonl";
+  std::remove(path.c_str());
+  ServedFixture f({.threads = 1, .journal_path = path});
+  const std::string key = f.load(test_circuit());
+
+  fp::ScheduleScope fps("svc.journal.io_error=always");
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  obs::Json resp = f.client.call("run_atpg", std::move(params));
+  EXPECT_TRUE(resp.at("ok").as_bool())
+      << "a dead disk degrades durability, not availability: "
+      << resp.dump();
+
+  obs::Json status = f.client.call("status");
+  EXPECT_GE(status.at("result")
+                .at("metrics")
+                .at("counters")
+                .at("svc.journal.failures")
+                .as_u64(),
+            2u)
+      << status.dump();
+  std::remove(path.c_str());
 }
 
 }  // namespace
