@@ -69,7 +69,8 @@ std::uint32_t crc32(std::string_view data) {
   return crc ^ 0xffffffffu;
 }
 
-Journal::Journal(const std::string& path) : path_(path) {
+Journal::Journal(const std::string& path, std::uint64_t first_seq)
+    : path_(path), next_seq_(first_seq == 0 ? 1 : first_seq) {
   fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
                0644);
   if (fd_ < 0)
@@ -82,9 +83,14 @@ Journal::~Journal() {
 }
 
 void Journal::append(obs::Json record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The seq is stamped under the same lock that serializes the write, so
+  // concurrent callers (reader, workers, watchdog) get unique values that
+  // match file order. The builders reserved the key; this overwrite keeps
+  // the documented field order.
+  record["seq"] = next_seq_++;
   const std::string payload = record.dump();
   const std::string line = crc_hex(crc32(payload)) + " " + payload + "\n";
-  std::lock_guard<std::mutex> lock(mutex_);
   // Failpoint: the disk said no. Surfaced as an exception so the server's
   // journal-degraded accounting path is exercised.
   if (CWATPG_FAILPOINT("svc.journal.io_error"))
@@ -107,7 +113,7 @@ void Journal::record_accepted(std::uint64_t job, std::string_view kind,
                               std::string_view circuit) {
   obs::Json j = obs::Json::object();
   j["schema"] = kJournalSchema;
-  j["seq"] = next_seq_++;
+  j["seq"] = std::uint64_t{0};  // reserved; stamped in append() under mutex_
   j["event"] = "accepted";
   j["job"] = job;
   j["kind"] = kind;
@@ -118,7 +124,7 @@ void Journal::record_accepted(std::uint64_t job, std::string_view kind,
 void Journal::record_terminal(std::uint64_t job, std::string_view outcome) {
   obs::Json j = obs::Json::object();
   j["schema"] = kJournalSchema;
-  j["seq"] = next_seq_++;
+  j["seq"] = std::uint64_t{0};  // reserved; stamped in append() under mutex_
   j["event"] = "terminal";
   j["job"] = job;
   j["outcome"] = outcome;
@@ -128,7 +134,7 @@ void Journal::record_terminal(std::uint64_t job, std::string_view outcome) {
 void Journal::record_interrupted(std::uint64_t job) {
   obs::Json j = obs::Json::object();
   j["schema"] = kJournalSchema;
-  j["seq"] = next_seq_++;
+  j["seq"] = std::uint64_t{0};  // reserved; stamped in append() under mutex_
   j["event"] = "interrupted";
   j["job"] = job;
   append(std::move(j));
@@ -200,6 +206,7 @@ Journal::Recovery Journal::recover(const std::string& path) {
       continue;
     }
     ++out.records;
+    out.max_seq = std::max(out.max_seq, rec.seq);
     if (rec.event == "accepted") {
       open_jobs[rec.job] = rec;  // id reuse: the latest acceptance counts
     } else if (rec.event == "terminal" || rec.event == "interrupted") {

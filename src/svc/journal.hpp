@@ -60,9 +60,13 @@ struct JournalRecord {
 
 class Journal {
  public:
-  /// Opens `path` for appending (creating it if absent). Throws
-  /// std::runtime_error when the file cannot be opened.
-  explicit Journal(const std::string& path);
+  /// Opens `path` for appending (creating it if absent). `first_seq` is
+  /// the seq the first append gets (0 is treated as 1) — a reopening
+  /// server passes `Recovery::max_seq + 1` so seqs stay monotonic across
+  /// process generations and recovery's seq-ordered interrupted report
+  /// never interleaves generations. Throws std::runtime_error when the
+  /// file cannot be opened.
+  explicit Journal(const std::string& path, std::uint64_t first_seq = 1);
   ~Journal();
 
   Journal(const Journal&) = delete;
@@ -85,6 +89,9 @@ class Journal {
     std::vector<JournalRecord> interrupted;
     std::size_t records = 0;  ///< checksum-valid records scanned
     std::size_t corrupt = 0;  ///< torn/garbled lines skipped
+    /// Highest seq among valid records — feed `max_seq + 1` to the
+    /// Journal constructor so a restart continues the sequence.
+    std::uint64_t max_seq = 0;
   };
 
   /// Scans `path` (missing file => empty recovery). Never throws on
@@ -99,7 +106,9 @@ class Journal {
   std::string path_;
   int fd_ = -1;
   std::mutex mutex_;
-  std::uint64_t next_seq_ = 1;  ///< guarded by mutex_
+  /// Guarded by mutex_: stamped into each record inside append(), never
+  /// touched by the (concurrently called) record_* builders.
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace cwatpg::svc

@@ -90,7 +90,11 @@ Server::Server(const ServerOptions& options)
     // `interrupted` NOW, so the loss is reported exactly once and a
     // second restart stays quiet about it.
     recovered_ = Journal::recover(options_.journal_path);
-    journal_ = std::make_unique<Journal>(options_.journal_path);
+    // Seed the seq past everything recovered: seqs stay monotonic across
+    // process generations, so recovery's seq-ordered interrupted report
+    // is meaningful even for a journal spanning several crashes.
+    journal_ = std::make_unique<Journal>(options_.journal_path,
+                                         recovered_.max_seq + 1);
     for (const JournalRecord& rec : recovered_.interrupted) {
       try {
         journal_->record_interrupted(rec.job);

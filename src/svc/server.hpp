@@ -85,6 +85,14 @@ struct ServerOptions {
   /// `internal` error is sent immediately and whatever the wedged worker
   /// eventually produces is dropped by the exactly-once CAS. The sampling
   /// cadence is `watchdog_poll_seconds`.
+  ///
+  /// Limitation: detach frees the CLIENT, not shutdown. The wedged
+  /// worker still occupies its pool thread and still counts as in-flight
+  /// until it returns, so a graceful drain blocks on a job that ignores
+  /// cancellation forever — there is no safe way to kill a thread from
+  /// outside. If a drain must be bounded even against such jobs, bound
+  /// the process instead (the journal turns the kill into an
+  /// `interrupted` report on the next boot).
   double watchdog_stall_seconds = 0.0;
   double watchdog_detach_seconds = 0.0;
   double watchdog_poll_seconds = 0.02;

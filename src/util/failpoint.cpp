@@ -72,6 +72,10 @@ Spec parse_spec(std::string_view text) {
       std::size_t used = 0;
       spec.arg = std::stoi(arg_text, &used);
       if (used != arg_text.size()) bad_spec(text, "trailing bytes after @arg");
+      // evaluate() signals "fired" by returning arg, and the macros test
+      // >= 0 — a negative payload would arm a site that never appears to
+      // fire, which is exactly the silent no-op a schedule must not be.
+      if (spec.arg < 0) bad_spec(text, "@arg must be >= 0");
     } catch (const std::invalid_argument&) {
       bad_spec(text, "@arg must be an integer");
     } catch (const std::out_of_range&) {

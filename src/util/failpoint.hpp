@@ -35,6 +35,7 @@
 //   prob:P[:SEED]  fires each hit with probability P, from an RNG seeded
 //                  by SEED (default 0) and the site name — replayable
 //   @K             optional integer payload CWATPG_FAILPOINT_ARG returns
+//                  (K >= 0: -1 is the macros' "did not fire" sentinel)
 //
 // Determinism and domains: hit counters (and prob RNG streams) are kept
 // per (domain, site), where the domain is a thread-local label the owning

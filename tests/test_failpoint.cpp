@@ -78,6 +78,10 @@ TEST(FailpointSpec, RejectsGarbage) {
   EXPECT_THROW(parse_spec("prob:-0.1"), std::invalid_argument);
   EXPECT_THROW(parse_spec("always@"), std::invalid_argument);
   EXPECT_THROW(parse_spec("always@x"), std::invalid_argument);
+  // A negative payload would collide with evaluate()'s -1 "did not fire"
+  // sentinel: the site would be armed yet never appear to fire.
+  EXPECT_THROW(parse_spec("always@-1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("nth:2@-7"), std::invalid_argument);
 }
 
 TEST(FailpointSchedule, RejectsMalformedItems) {

@@ -10,6 +10,8 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "util/failpoint.hpp"
 
@@ -31,6 +33,19 @@ struct TempJournal {
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
   return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+/// The `"seq":N` value of every line of the journal file, in file order.
+std::vector<std::uint64_t> seqs_in_file(const std::string& path) {
+  std::vector<std::uint64_t> out;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t pos = line.find("\"seq\":");
+    if (pos == std::string::npos) continue;
+    out.push_back(std::stoull(line.substr(pos + 6)));
+  }
+  return out;
 }
 
 TEST(JournalCrc, MatchesTheCanonicalCheckValue) {
@@ -183,6 +198,61 @@ TEST(Journal, IoErrorFailpointSurfacesAsException) {
 
 TEST(Journal, UnopenablePathThrowsUpFront) {
   EXPECT_THROW(Journal("/nonexistent-dir/cwatpg.jsonl"), std::runtime_error);
+}
+
+TEST(Journal, ConcurrentAppendsGetUniqueFileOrderedSeqs) {
+  // The server appends from three different threads (reader accepts,
+  // workers finish, watchdog detaches). The seq must be stamped under the
+  // append lock: every record a unique value, and file order == seq order.
+  TempJournal f("journal_threads.jsonl");
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 16;
+  {
+    Journal j(f.path);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&j, t] {
+        for (int i = 0; i < kJobsPerThread; ++i) {
+          const std::uint64_t job =
+              static_cast<std::uint64_t>(t * kJobsPerThread + i);
+          j.record_accepted(job, "run_atpg", "c");
+          j.record_terminal(job, "ok");
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const std::vector<std::uint64_t> seqs = seqs_in_file(f.path);
+  ASSERT_EQ(seqs.size(),
+            static_cast<std::size_t>(2 * kThreads * kJobsPerThread));
+  for (std::size_t i = 0; i < seqs.size(); ++i)
+    EXPECT_EQ(seqs[i], i + 1) << "seq gap or duplicate at line " << i;
+}
+
+TEST(Journal, SeqsContinueAcrossProcessGenerations) {
+  TempJournal f("journal_generations.jsonl");
+  {
+    Journal gen1(f.path);
+    gen1.record_accepted(1, "run_atpg", "old");  // dies open: seq 1
+  }
+  // Restart, the server way: recover first, seed the new journal past
+  // everything on disk, close out the orphan, accept new work.
+  const Journal::Recovery rec1 = Journal::recover(f.path);
+  EXPECT_EQ(rec1.max_seq, 1u);
+  {
+    Journal gen2(f.path, rec1.max_seq + 1);
+    gen2.record_interrupted(1);                  // seq 2
+    gen2.record_accepted(2, "fsim", "new");      // dies open: seq 3
+  }
+  const std::vector<std::uint64_t> seqs = seqs_in_file(f.path);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3}));
+  // A second recovery over the multi-generation file sees one open job
+  // (the gen-2 one) and the full monotonic seq history.
+  const Journal::Recovery rec2 = Journal::recover(f.path);
+  EXPECT_EQ(rec2.max_seq, 3u);
+  ASSERT_EQ(rec2.interrupted.size(), 1u);
+  EXPECT_EQ(rec2.interrupted[0].job, 2u);
+  EXPECT_EQ(rec2.interrupted[0].seq, 3u);
 }
 
 TEST(Journal, IdReuseTracksTheLatestAcceptance) {
