@@ -42,6 +42,7 @@
 #include "netlist/decompose.hpp"
 #include "obs/json.hpp"
 #include "svc/client.hpp"
+#include "svc/cluster.hpp"
 #include "svc/server.hpp"
 #include "svc/transport.hpp"
 #include "util/failpoint.hpp"
@@ -197,6 +198,23 @@ std::string outcome_of(const obs::Json& resp) {
   return "error:unknown";
 }
 
+/// The shared invariant audit: a clean (untorn) session resolves every
+/// job, and any session only reports known outcome codes.
+void check_invariants(SessionResult& out) {
+  static const std::set<std::string> kKnown = {
+      "ok",           "error:overloaded", "error:cancelled",
+      "error:internal", "error:bad_request", "error:not_found",
+      "error:shutting_down", "unresolved"};
+  for (const auto& [id, outcome] : out.outcomes) {
+    if (!kKnown.count(outcome))
+      out.violation = "job " + std::to_string(id) +
+                      " has unknown outcome '" + outcome + "'";
+    if (outcome == "unresolved" && !out.torn)
+      out.violation =
+          "job " + std::to_string(id) + " LOST in an untorn session";
+  }
+}
+
 SessionResult run_session(const std::string& schedule, const Workload& w) {
   SessionResult out;
   fp::Registry::instance().reset();
@@ -289,20 +307,155 @@ SessionResult run_session(const std::string& schedule, const Workload& w) {
                          std::to_string(c.fires) + ";";
   }  // ScheduleScope resets the registry for the next session
 
-  // Invariants: a clean (untorn) session resolves every job; any session
-  // only ever reports known outcome codes.
-  static const std::set<std::string> kKnown = {
-      "ok",           "error:overloaded", "error:cancelled",
-      "error:internal", "error:bad_request", "error:not_found",
-      "error:shutting_down", "unresolved"};
-  for (const auto& [id, outcome] : out.outcomes) {
-    if (!kKnown.count(outcome))
-      out.violation = "job " + std::to_string(id) +
-                      " has unknown outcome '" + outcome + "'";
-    if (outcome == "unresolved" && !out.torn)
-      out.violation =
-          "job " + std::to_string(id) + " LOST in an untorn session";
+  check_invariants(out);
+  return out;
+}
+
+// ---- one cluster chaos session --------------------------------------------
+
+/// Draws a failpoint schedule for the sharded coordinator: always at
+/// least one cluster.* site (dropped dispatches, worker deaths eating
+/// un-acked replies, truncated shard ingests), optionally mixed with
+/// worker-side solver/admission faults. Every site is count-driven, so
+/// cluster schedules are wall-clock-free by construction.
+std::string make_cluster_schedule(Rng& rng) {
+  const auto num = [&rng](std::uint64_t lo, std::uint64_t hi) {
+    return std::to_string(lo + rng.below(hi - lo + 1));
+  };
+  const std::vector<std::string> cluster_pool = {
+      "cluster.dispatch.drop=once",
+      "cluster.dispatch.drop=nth:" + num(1, 4),
+      "cluster.dispatch.drop=prob:0.2:" + num(1, 1u << 20),
+      "cluster.worker.eof=once",
+      "cluster.worker.eof=nth:" + num(1, 3),
+      "cluster.merge.partial=once",
+      "cluster.merge.partial=nth:" + num(1, 3),
+      "cluster.merge.partial=prob:0.2:" + num(1, 1u << 20),
+  };
+  const std::vector<std::string> worker_pool = {
+      "sat.solver.alloc=nth:" + num(1, 8),
+      "sat.solver.spurious_budget=prob:0.5:" + num(1, 1u << 20),
+      "svc.queue.full=once",
+      "svc.server.execute.throw=once",
+  };
+  std::map<std::string, std::string> by_site;
+  const std::string first = cluster_pool[rng.below(cluster_pool.size())];
+  by_site.emplace(first.substr(0, first.find('=')), first);
+  const std::size_t extras = rng.below(3);
+  for (std::size_t i = 0; i < extras; ++i) {
+    const std::string item =
+        rng.below(2) == 0 ? cluster_pool[rng.below(cluster_pool.size())]
+                          : worker_pool[rng.below(worker_pool.size())];
+    by_site.emplace(item.substr(0, item.find('=')), item);
   }
+  std::string schedule;
+  for (const auto& [site, item] : by_site) {
+    (void)site;
+    if (!schedule.empty()) schedule += ';';
+    schedule += item;
+  }
+  return schedule;
+}
+
+/// One chaos session against a 2-worker sharded cluster: same workload
+/// and same zero-lost-jobs invariant as the single-server sessions —
+/// every submitted job must reach exactly one terminal response no matter
+/// which shards were dropped, truncated, or died with their worker.
+SessionResult run_cluster_session(const std::string& schedule,
+                                  const Workload& w) {
+  SessionResult out;
+  fp::Registry::instance().reset();
+  {
+    fp::ScheduleScope fps(schedule);
+
+    std::vector<std::unique_ptr<svc::Server>> servers;
+    std::vector<std::unique_ptr<svc::Transport>> server_sides;
+    std::vector<std::thread> server_loops;
+    std::vector<svc::Cluster::WorkerEndpoint> endpoints;
+    for (std::size_t i = 0; i < 2; ++i) {
+      svc::DuplexPair pair = svc::make_duplex();
+      svc::ServerOptions sopts;
+      sopts.threads = 1;
+      sopts.queue_capacity = 8;
+      servers.push_back(std::make_unique<svc::Server>(sopts));
+      svc::Server* server = servers.back().get();
+      svc::Transport* side = pair.server.get();
+      server_sides.push_back(std::move(pair.server));
+      server_loops.emplace_back([server, side] { server->serve(*side); });
+      svc::Cluster::WorkerEndpoint e;
+      e.transport = std::move(pair.client);
+      e.name = "w" + std::to_string(i);
+      endpoints.push_back(std::move(e));
+    }
+
+    svc::ClusterOptions copts;
+    copts.shard_size = 3;  // several shards per job: real fan-out
+    copts.client.max_attempts = 4;
+    copts.client.sleep_fn = [](double) {};
+    svc::Cluster cluster(std::move(endpoints), copts);
+    svc::DuplexPair front = svc::make_duplex();
+    std::thread cluster_loop([&] { cluster.serve(*front.server); });
+
+    {
+      svc::Client client(*front.client, copts.client);
+      std::string key = "never-loaded";
+      try {
+        obs::Json params = obs::Json::object();
+        params["name"] = "chaos";
+        params["text"] = w.bench_text;
+        const obs::Json resp = client.call("load_circuit", params);
+        if (const obs::Json* ok = resp.find("ok");
+            ok != nullptr && ok->is_bool() && ok->as_bool())
+          key = resp.at("result").at("circuit").at("key").as_string();
+      } catch (const std::exception&) {
+        out.torn = true;
+      }
+
+      std::vector<std::uint64_t> ids;
+      for (std::size_t j = 0; j < w.jobs && !out.torn; ++j) {
+        obs::Json params = obs::Json::object();
+        params["circuit"] = key;
+        params["seed"] = static_cast<std::uint64_t>(j) * 7919 + 13;
+        params["random_blocks"] =
+            static_cast<std::uint64_t>(j % 2 == 0 ? 0 : 2);
+        try {
+          ids.push_back(client.submit("run_atpg", std::move(params)));
+        } catch (const std::exception&) {
+          out.torn = true;
+        }
+      }
+      for (const std::uint64_t id : ids) {
+        if (out.torn) {
+          out.outcomes[id] = "unresolved";
+          continue;
+        }
+        const std::optional<obs::Json> resp = client.await(id);
+        if (!resp.has_value()) {
+          out.torn = true;
+          out.outcomes[id] = "unresolved";
+        } else {
+          out.outcomes[id] = outcome_of(*resp);
+        }
+      }
+      if (!out.torn) {
+        try {
+          client.call("shutdown");
+        } catch (const std::exception&) {
+          out.torn = true;
+        }
+      }
+      out.stats = client.stats();
+    }
+    front.client->close();
+    cluster_loop.join();
+    for (std::thread& t : server_loops) t.join();
+
+    for (const auto& [site, c] : fp::Registry::instance().counts())
+      out.counts_dump += site + "=" + std::to_string(c.hits) + "/" +
+                         std::to_string(c.fires) + ";";
+  }
+
+  check_invariants(out);
   return out;
 }
 
@@ -371,6 +524,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Cluster campaign: the same lossless invariant with the sharded
+  // coordinator in the middle — dropped dispatches, workers dying with
+  // un-acked shards, truncated shard replies. A lost or double-counted
+  // shard would surface here as an unresolved job or an unknown outcome.
+  const std::size_t cluster_schedules =
+      std::max<std::size_t>(8, args.schedules / 4);
+  std::size_t cluster_torn = 0, cluster_unresolved = 0;
+  for (std::size_t s = 0; s < cluster_schedules; ++s) {
+    Rng rng(split_seed(args.seed ^ 0xc105'7e12u, s));
+    Workload w = base;
+    const std::string schedule = make_cluster_schedule(rng);
+    const SessionResult r = run_cluster_session(schedule, w);
+    cluster_torn += r.torn ? 1 : 0;
+    for (const auto& [id, outcome] : r.outcomes) {
+      (void)id;
+      ++outcome_histogram[outcome];
+      cluster_unresolved += outcome == "unresolved" ? 1 : 0;
+    }
+    if (!r.violation.empty()) {
+      ++failures;
+      std::printf("FAIL cluster schedule %zu [%s]: %s\n", s,
+                  schedule.c_str(), r.violation.c_str());
+    }
+  }
+
   // Determinism replay: same schedule + serial workload, twice, compared
   // byte for byte.
   std::size_t replay_mismatches = 0;
@@ -396,6 +574,9 @@ int main(int argc, char** argv) {
 
   std::printf("\nsessions: %zu  torn: %zu  unresolved(torn-only): %zu\n",
               args.schedules, torn_sessions, unresolved_jobs);
+  std::printf("cluster sessions: %zu  torn: %zu  unresolved(torn-only): "
+              "%zu\n",
+              cluster_schedules, cluster_torn, cluster_unresolved);
   for (const auto& [outcome, count] : outcome_histogram)
     std::printf("  %-22s %zu\n", outcome.c_str(), count);
   std::printf("determinism replays: %zu  mismatches: %zu\n", args.replay,
@@ -408,6 +589,10 @@ int main(int argc, char** argv) {
     j["seed"] = args.seed;
     j["torn_sessions"] = static_cast<std::uint64_t>(torn_sessions);
     j["unresolved_jobs"] = static_cast<std::uint64_t>(unresolved_jobs);
+    j["cluster_sessions"] = static_cast<std::uint64_t>(cluster_schedules);
+    j["cluster_torn_sessions"] = static_cast<std::uint64_t>(cluster_torn);
+    j["cluster_unresolved_jobs"] =
+        static_cast<std::uint64_t>(cluster_unresolved);
     j["replays"] = static_cast<std::uint64_t>(args.replay);
     j["replay_mismatches"] =
         static_cast<std::uint64_t>(replay_mismatches);

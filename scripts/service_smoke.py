@@ -13,14 +13,23 @@ submit a job, SIGKILL the daemon mid-job, restart it on the same journal,
 and assert the orphaned job is reported as `interrupted` (and that a third
 boot is quiet again). This is the "kill -9 is survivable" guarantee.
 
+With --cluster the binary must be cwatpg_cluster: boot a coordinator with
+two spawned worker daemons, SIGKILL one worker mid-job (its pid read from
+the cluster `status`), and assert the job still completes with totals and
+tests identical to an undisturbed run, and that `status` reports the
+death. This is the worker-failover guarantee.
+
 usage: service_smoke.py /path/to/cwatpg_serve [--chaos-kill]
+       service_smoke.py /path/to/cwatpg_cluster --cluster
 """
 
 import json
 import os
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 
 RPC_SCHEMA = "cwatpg.rpc/1"
 
@@ -44,12 +53,13 @@ carry = AND(c1, en)
 
 
 class Client:
-    def __init__(self, binary, extra_args=(), env=None):
+    def __init__(self, binary, extra_args=(), env=None,
+                 base_args=("--threads=2", "--queue-capacity=8")):
         full_env = dict(os.environ)
         if env:
             full_env.update(env)
         self.proc = subprocess.Popen(
-            [binary, "--threads=2", "--queue-capacity=8", *extra_args],
+            [binary, *base_args, *extra_args],
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             env=full_env,
@@ -158,11 +168,85 @@ def chaos_kill(binary):
     print("\nchaos-kill smoke: all checks passed")
 
 
+def cluster_smoke(binary):
+    """kill -9 one of two workers mid-job; the job must still finish right."""
+    # Every shard execution inside a worker stalls 200ms (the failpoint env
+    # is inherited by the spawned cwatpg_serve children), so with 1-fault
+    # shards both workers are reliably mid-shard when the kill lands.
+    c = Client(binary,
+               base_args=("--workers=2", "--shard-size=1"),
+               env={"CWATPG_FAILPOINTS":
+                    "svc.server.execute.stall=always@200"})
+    r = c.call("load_circuit", {"name": "smoke", "text": BENCH_TEXT})
+    check(r["ok"], "cluster: load_circuit succeeds")
+    key = r["result"]["circuit"]["key"]
+    faults = r["result"]["circuit"]["faults"]
+    check(faults >= 6, f"cluster: enough faults to shard ({faults})")
+
+    r = c.call("status")
+    st = r["result"]
+    check(st.get("cluster") is True, "cluster: status identifies a cluster")
+    check(st["workers"] == 2 and st["workers_alive"] == 2,
+          "cluster: both workers alive at boot")
+    pids = [w["pid"] for w in st["worker_pool"] if w["alive"]]
+    check(len(pids) == 2 and all(p > 0 for p in pids),
+          f"cluster: worker pids visible in status ({pids})")
+
+    # Reference: an undisturbed run fixes the expected classification.
+    def signature(res):
+        return (res["num_detected"], res["num_untestable"],
+                res["num_aborted"], res["num_undetermined"], res["tests"])
+
+    r = c.call("run_atpg", {"circuit": key, "seed": 5})
+    check(r["ok"] and not r["result"]["interrupted"],
+          "cluster: reference run completes")
+    ref = signature(r["result"])
+
+    # The drill: submit, wait until the shards are spread over both
+    # workers, then SIGKILL one of them.
+    job_id = c.send("run_atpg", {"circuit": key, "seed": 5})
+    time.sleep(0.35)
+    os.kill(pids[0], signal.SIGKILL)
+    print(f"ok: killed worker pid {pids[0]} mid-job")
+    term = c.recv()
+    check(term["id"] == job_id and term["ok"],
+          "cluster: job survived the worker kill")
+    check(signature(term["result"]) == ref,
+          "cluster: post-kill totals and tests identical to reference")
+    check(term["result"]["cluster"]["workers_alive"] == 1,
+          "cluster: job result records the shrunken pool")
+    check(term["result"]["cluster"]["redispatched"] >= 1,
+          "cluster: the forfeited shard was redispatched")
+
+    r = c.call("status")
+    st = r["result"]
+    check(st["workers_alive"] == 1, "cluster: status reports one survivor")
+    check(st["worker_deaths"] == 1, "cluster: status counts the death")
+    dead = [w for w in st["worker_pool"] if not w["alive"]]
+    check(len(dead) == 1 and dead[0]["pid"] == pids[0],
+          "cluster: the killed pid is the one reported dead")
+
+    # The survivor still serves, and the classification is unchanged.
+    r = c.call("run_atpg", {"circuit": key, "seed": 5})
+    check(r["ok"] and signature(r["result"]) == ref,
+          "cluster: surviving worker reproduces the classification")
+
+    r = c.call("shutdown")
+    check(r["ok"] and r["result"]["drained"], "cluster: shutdown drains")
+    c.proc.stdin.close()
+    check(c.proc.wait(timeout=30) == 0, "cluster: coordinator exited 0")
+    print("\ncluster smoke: all checks passed")
+
+
 def main():
-    args = [a for a in sys.argv[1:] if a != "--chaos-kill"]
-    if len(args) != 1:
+    flags = {a for a in sys.argv[1:] if a.startswith("--")}
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    if len(args) != 1 or flags - {"--chaos-kill", "--cluster"}:
         raise SystemExit(__doc__)
-    if "--chaos-kill" in sys.argv[1:]:
+    if "--cluster" in flags:
+        cluster_smoke(args[0])
+        return
+    if "--chaos-kill" in flags:
         chaos_kill(args[0])
         return
     c = Client(args[0])

@@ -153,6 +153,7 @@ namespace {
 /// both engines, so serial and parallel results stay byte-identical.
 void escalate_aborted(const net::Network& netw, const AtpgOptions& options,
                       std::span<const StuckAtFault> faults,
+                      detail::SolveProvider& provider,
                       const detail::SimulateFn& simulate,
                       AtpgResult& result) {
   // Growing an unlimited conflict cap is meaningless: the first pass
@@ -191,8 +192,18 @@ void escalate_aborted(const net::Network& netw, const AtpgOptions& options,
 
     Pattern test;
     bool resolved = false;
+    bool provider_final = false;
 
-    if (sat_rounds) {
+    // A provider may supply the fault's final escalated outcome wholesale
+    // (the cluster merge replays recorded worker escalations this way);
+    // the built-in ladder is the nullopt fall-through.
+    if (std::optional<FaultOutcome> recorded = provider.escalate(fi, test)) {
+      outcome = *recorded;
+      resolved = outcome.status != FaultStatus::kAborted;
+      provider_final = true;
+    }
+
+    if (!provider_final && sat_rounds) {
       std::uint64_t cap = options.solver.max_conflicts;
       for (std::size_t round = 0;
            round < options.escalation_rounds && !resolved; ++round) {
@@ -212,7 +223,7 @@ void escalate_aborted(const net::Network& netw, const AtpgOptions& options,
       }
     }
 
-    if (!resolved && options.podem_fallback &&
+    if (!provider_final && !resolved && options.podem_fallback &&
         !(budget != nullptr && budget->exhausted())) {
       PodemOptions podem_options;
       podem_options.max_backtracks = options.podem_max_backtracks;
@@ -310,6 +321,25 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
     result.outcomes.push_back(o);
   }
 
+  // Optional shard window (AtpgOptions::fault_subset): restrict the run to
+  // a strictly increasing subset of fault indices. Out-of-window faults
+  // are never simulated or solved and stay kUndetermined; the empty-subset
+  // path below is byte-identical to the pre-window pipeline.
+  std::vector<std::size_t> scope_index;  ///< in-window indices, ascending
+  const bool windowed = !options.fault_subset.empty();
+  if (windowed) {
+    scope_index.reserve(options.fault_subset.size());
+    for (const std::size_t fi : options.fault_subset) {
+      if (fi >= faults.size())
+        throw std::invalid_argument(
+            "run_atpg: fault_subset index out of range");
+      if (!scope_index.empty() && fi <= scope_index.back())
+        throw std::invalid_argument(
+            "run_atpg: fault_subset must be strictly increasing");
+      scope_index.push_back(fi);
+    }
+  }
+
   // Phase 1: random patterns knock out the easy bulk of the fault list.
   // Skipped when the budget fired before the run even started, so a
   // cancelled run returns without simulating a single pattern.
@@ -325,12 +355,23 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
       for (std::size_t i = 0; i < p.size(); ++i) p[i] = rng.chance(0.5);
       random_patterns.push_back(std::move(p));
     }
-    const std::vector<bool> detected = simulate(faults, random_patterns);
+    // A windowed run simulates only its own faults: per-fault detection is
+    // independent, so each in-window decision equals the full run's.
+    std::vector<StuckAtFault> scoped_faults;
+    std::span<const StuckAtFault> sim_faults(faults);
+    if (windowed) {
+      scoped_faults.reserve(scope_index.size());
+      for (const std::size_t fi : scope_index)
+        scoped_faults.push_back(faults[fi]);
+      sim_faults = scoped_faults;
+    }
+    const std::vector<bool> detected = simulate(sim_faults, random_patterns);
     // Keep only the patterns that contributed; simplest faithful policy:
     // keep all (the paper's experiment is about the SAT instances, not
     // pattern-set compaction).
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (detected[i]) {
+    for (std::size_t k = 0; k < sim_faults.size(); ++k) {
+      const std::size_t i = windowed ? scope_index[k] : k;
+      if (detected[k]) {
         result.outcomes[i].status = FaultStatus::kDroppedRandom;
         ++result.num_detected;
       } else {
@@ -344,6 +385,8 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
     random_span.note({"dropped", static_cast<std::uint64_t>(
                                      result.num_detected)});
     for (Pattern& p : random_patterns) result.tests.push_back(std::move(p));
+  } else if (windowed) {
+    undetected = scope_index;
   } else {
     for (std::size_t i = 0; i < faults.size(); ++i) undetected.push_back(i);
   }
@@ -449,7 +492,7 @@ AtpgResult run_atpg_pipeline(const net::Network& netw,
   // structural PODEM fallback) while budget remains.
   if (!result.interrupted) {
     obs::Span escalate_span(trace, "atpg.phase.escalate");
-    escalate_aborted(netw, options, faults, simulate, result);
+    escalate_aborted(netw, options, faults, provider, simulate, result);
   }
 
   for (const FaultOutcome& o : result.outcomes)

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -151,6 +152,18 @@ struct AtpgOptions {
   /// Backtrack cap for the PODEM fallback.
   std::uint64_t podem_max_backtracks = 20'000;
 
+  /// Optional shard window: indices into the (collapsed) fault list this
+  /// run is responsible for, strictly increasing. Empty = all faults (the
+  /// default, and byte-identical to the pre-window behavior). Faults
+  /// outside the window are never simulated, solved or escalated and stay
+  /// kUndetermined; in-window faults classify exactly as they would in a
+  /// full run with drop_by_simulation matching (random-phase drops and
+  /// per-fault solves are window-independent — this is what lets the
+  /// cluster coordinator shard a job by fault position and still merge a
+  /// single-node-identical result). An out-of-range or non-increasing
+  /// index throws std::invalid_argument.
+  std::vector<std::size_t> fault_subset;
+
   /// Phase-2 solve engine. kPerFault is the default (and the paper's
   /// Figure-1 instrument: one SAT instance per fault). kIncremental routes
   /// phase 2 through the shared select-instrumented miter
@@ -262,6 +275,22 @@ class SolveProvider {
     (void)dropped;
   }
   virtual FaultOutcome solve(std::size_t fault_index, Pattern& test_out) = 0;
+
+  /// Phase-3 hook: consulted once per still-kAborted fault, in fault
+  /// order, BEFORE the built-in escalation ladder. Returning an outcome
+  /// supplies that fault's final escalated classification wholesale (plus
+  /// the test through `test_out` when detected) and suppresses the ladder
+  /// for it; returning nullopt (the default) runs the built-in ladder.
+  /// The pipeline still does all the bookkeeping — verification, test
+  /// commitment, drop-by-simulation against the remaining aborted tail —
+  /// so a provider that replays recorded per-fault escalations (the
+  /// cluster's merge) reproduces the serial engine's result exactly.
+  virtual std::optional<FaultOutcome> escalate(std::size_t fault_index,
+                                               Pattern& test_out) {
+    (void)fault_index;
+    (void)test_out;
+    return std::nullopt;
+  }
 };
 
 /// The per-fault solver configuration an engine hands to generate_test:

@@ -1,0 +1,197 @@
+// The sharded ATPG cluster coordinator: one cwatpg.rpc/1 front end over a
+// pool of worker daemons, with deterministic merge and worker failover.
+//
+// A Cluster speaks exactly the protocol a single svc::Server does — same
+// request kinds, same response shapes — so a client cannot tell (except by
+// `status`) whether it is talking to one daemon or a fleet. What changes
+// is the execution plan for a per-fault `run_atpg` job:
+//
+//   admit ─▶ shard the collapsed fault-id space into contiguous
+//            [k·S, (k+1)·S) windows ─▶ dispatch windows to workers
+//            (`fault_range` + `raw_outcomes`, drop_by_simulation off so
+//            every window solves independently) ─▶ ingest per-fault
+//            records ─▶ REPLAY the single-node pipeline over the records
+//            ─▶ one terminal response.
+//
+// Determinism argument (see ARCHITECTURE.md): per-fault classification is
+// a pure function of (circuit, fault, solver options) and random-phase
+// drops are per-fault independent, so workers can solve any window
+// speculatively. The coordinator then re-runs the exact serial TEGUS
+// pipeline — same seed, same work-list order, same drop-by-simulation and
+// escalation bookkeeping — with a SolveProvider that returns recorded
+// outcomes instead of invoking a solver. Which worker solved what, and in
+// which order replies arrived, cannot leak into the result: the merged
+// classification, test set and test attribution are identical to a
+// single-node run by construction.
+//
+// Failover: a worker that dies or wedges forfeits its un-acked shard; the
+// shard is re-dispatched to a survivor exactly once (a second failure
+// fails the job with `internal` — something is wrong with the work, not
+// the worker). First-ingest-wins per fault index makes redispatch safe
+// against the original reply racing in late: no fault is lost, none is
+// double-counted. Health and redispatch counts surface through `status`
+// and the cluster.* metrics.
+//
+// Jobs whose per-fault outcomes are NOT independent of solver-call history
+// (engine "incremental") and `fsim` jobs are forwarded whole to one
+// worker rather than sharded.
+//
+// Thread-safe: serve() is the single-owner entry point; one worker thread
+// per endpoint plus the reader synchronize on one coordinator mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/client.hpp"
+#include "svc/proto.hpp"
+#include "svc/registry.hpp"
+#include "svc/transport.hpp"
+#include "util/budget.hpp"
+#include "util/timer.hpp"
+
+namespace cwatpg::svc {
+
+struct ClusterOptions {
+  /// Collapsed-fault ids per shard. Small shards spread load and shrink
+  /// the redispatch unit; large shards amortize per-request overhead.
+  std::size_t shard_size = 512;
+  /// Per-shard worker deadline (seconds; 0 = none). A wedged worker then
+  /// self-reports `interrupted` instead of holding its shard forever.
+  double shard_deadline_seconds = 0.0;
+  /// Job deadline applied when the request carries none (0 = unlimited);
+  /// mirrors ServerOptions::default_deadline_seconds.
+  double default_deadline_seconds = 0.0;
+  /// Coordinator-side circuit registry budget (it keeps its own parsed
+  /// copy of every circuit: the collapsed fault list is the shard space).
+  std::size_t registry_bytes = std::size_t(256) << 20;
+  /// Retry/backoff policy for the per-worker clients (reused from the
+  /// single-daemon resilience layer).
+  ClientOptions client;
+};
+
+struct ClusterStats {
+  std::size_t workers = 0;         ///< configured worker endpoints
+  std::size_t alive = 0;           ///< endpoints still serving
+  std::uint64_t shards_dispatched = 0;
+  std::uint64_t redispatched = 0;  ///< shards re-dispatched after a failure
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+};
+
+class Cluster {
+ public:
+  /// One worker endpoint the cluster owns. `pid` is informational
+  /// (surfaced through `status` so an operator — or the kill-drill smoke
+  /// test — can target a worker process); 0 for in-process workers.
+  struct WorkerEndpoint {
+    std::unique_ptr<Transport> transport;
+    std::string name;
+    std::int64_t pid = 0;
+  };
+
+  Cluster(std::vector<WorkerEndpoint> workers, ClusterOptions options = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Serves `transport` until a `shutdown` request completes its drain or
+  /// the peer closes the stream. Same contract as Server::serve.
+  void serve(Transport& transport);
+
+  ClusterStats stats() const;
+
+ private:
+  struct JobContext;
+
+  /// One contiguous fault-id window of one job, queued for dispatch.
+  /// A forwarded (non-sharded) job travels as a single whole-job shard.
+  struct Shard {
+    std::shared_ptr<JobContext> job;
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    int attempt = 0;  ///< 0 = first dispatch, 1 = the one redispatch
+  };
+
+  struct WorkerState {
+    WorkerEndpoint endpoint;
+    std::thread thread;
+    bool alive = true;               ///< guarded by mutex_
+    std::uint64_t shards_completed = 0;
+    std::uint64_t redispatches_caused = 0;
+    std::uint64_t inflight_worker_id = 0;  ///< worker-side request id, 0=idle
+    std::uint64_t inflight_job = 0;        ///< coordinator job id, 0=idle
+    std::unordered_set<std::string> loaded;  ///< circuit keys replicated
+  };
+
+  // -- reader side --
+  void handle_load_circuit(const Request& req);
+  void handle_status(const Request& req);
+  void handle_cancel(const Request& req);
+  void admit_job(const Request& req);
+
+  // -- worker side --
+  void worker_loop(WorkerState& w);
+  /// Runs one shard on `w`. Returns false when the worker is dead (the
+  /// caller's thread must exit after on_worker_death).
+  bool run_shard(WorkerState& w, Client& client, Shard& shard);
+  /// Re-queues `shard` (or fails its job when the redispatch budget is
+  /// spent). `cause` names the failure in the job's error message.
+  void redispatch(WorkerState& w, Shard& shard, const std::string& cause);
+  void on_worker_death(WorkerState& w, Shard& shard);
+  /// Ingests one shard reply's records; returns false when the reply is
+  /// incomplete (caller redispatches).
+  bool ingest_reply(Shard& shard, const obs::Json& result, bool partial_ok);
+
+  // -- job lifecycle --
+  bool pop_shard(Shard& out);
+  void finish_sharded_job(const std::shared_ptr<JobContext>& job);
+  void fail_job(const std::shared_ptr<JobContext>& job, ErrorCode code,
+                const std::string& message);
+  /// Sends the terminal exactly once; returns false if one was already
+  /// sent. Also drops the job's still-queued shards.
+  bool claim_terminal(const std::shared_ptr<JobContext>& job);
+  void send_terminal(const std::shared_ptr<JobContext>& job,
+                     obs::Json response);
+  obs::Json merge_records(JobContext& job);
+  obs::Json cluster_status_json();
+  /// Writes an out-of-band (id 0) cancel for whatever worker-side job is
+  /// in flight for coordinator job `job_id` on any worker.
+  void fan_out_cancel_locked(std::uint64_t job_id);
+
+  ClusterOptions options_;
+  CircuitRegistry registry_;
+  /// Bench text by content-hash key, for replication to workers. Kept
+  /// independently of the registry's LRU: a worker may need the text for
+  /// as long as any job references the circuit.
+  std::unordered_map<std::string, std::string> bench_texts_;
+  obs::MetricsRegistry metrics_;
+
+  Transport* transport_ = nullptr;  ///< valid during serve()
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;  ///< dispatch queue not-empty / closed
+  std::condition_variable drain_cv_;  ///< a job reached its terminal
+  std::deque<Shard> queue_;           ///< guarded by mutex_
+  bool queue_closed_ = false;
+  bool shutting_down_ = false;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::size_t alive_ = 0;
+  std::unordered_map<std::uint64_t, std::shared_ptr<JobContext>> jobs_;
+  std::size_t active_jobs_ = 0;
+  ClusterStats stats_;
+};
+
+}  // namespace cwatpg::svc

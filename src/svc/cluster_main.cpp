@@ -1,0 +1,142 @@
+// cwatpg_cluster — the sharded ATPG coordinator over stdin/stdout.
+//
+//   $ ./cwatpg_cluster [--workers=N] [--worker-cmd="CMD ARGS..."]
+//                      [--shard-size=N] [--shard-deadline=S]
+//                      [--default-deadline=S] [--registry-mb=N]
+//
+// Speaks cwatpg.rpc/1 frames on stdin/stdout, exactly like cwatpg_serve —
+// a drop-in front end — but fans per-fault `run_atpg` jobs out across N
+// spawned worker daemons (child processes over stdio pipes) and merges
+// their shard replies into one response that is classification-identical
+// to a single-node run. A worker killed mid-job forfeits its un-acked
+// shard to a survivor; `status` reports per-worker pids, liveness and
+// redispatch counts, which is what scripts/service_smoke.py --cluster
+// uses for its kill drill. Worker stderr is inherited, so the whole
+// fleet's diagnostics land on the coordinator's stderr.
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/cluster.hpp"
+#include "svc/spawn.hpp"
+#include "svc/transport.hpp"
+
+#include <unistd.h>
+
+namespace {
+
+void print_usage(std::ostream& out, const char* argv0) {
+  out << "usage: " << argv0
+      << " [--workers=N] [--worker-cmd=\"CMD ARGS...\"] [--shard-size=N]"
+         " [--shard-deadline=S] [--default-deadline=S] [--registry-mb=N]\n"
+         "  --workers=N           worker daemons to spawn. default 2\n"
+         "  --worker-cmd=CMD      worker command line (whitespace-split);"
+         " default: cwatpg_serve --threads=2 next to this binary\n"
+         "  --shard-size=N        collapsed fault ids per shard. default"
+         " 512\n"
+         "  --shard-deadline=S    per-shard worker deadline; a wedged"
+         " worker self-reports instead of holding its shard. 0 = none."
+         " default 0\n"
+         "  --default-deadline=S  job deadline when the request carries"
+         " none; 0 = unlimited. default 0\n"
+         "  --registry-mb=N       coordinator circuit cache budget."
+         " default 256\n";
+}
+
+/// Default worker command: the cwatpg_serve that shipped alongside this
+/// binary, falling back to PATH lookup when /proc introspection fails.
+std::string default_worker_cmd() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    std::string self(buf, static_cast<std::size_t>(n));
+    const std::size_t slash = self.rfind('/');
+    if (slash != std::string::npos)
+      return self.substr(0, slash + 1) + "cwatpg_serve --threads=2";
+  }
+  return "cwatpg_serve --threads=2";
+}
+
+std::vector<std::string> split_command(const std::string& cmd) {
+  std::vector<std::string> argv;
+  std::istringstream in(cmd);
+  std::string tok;
+  while (in >> tok) argv.push_back(tok);
+  return argv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cwatpg;
+
+  std::size_t workers = 2;
+  std::string worker_cmd;
+  svc::ClusterOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      workers = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.c_str() + 10)));
+    } else if (arg.rfind("--worker-cmd=", 0) == 0) {
+      worker_cmd = arg.substr(13);
+    } else if (arg.rfind("--shard-size=", 0) == 0) {
+      options.shard_size = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.c_str() + 13)));
+    } else if (arg.rfind("--shard-deadline=", 0) == 0) {
+      options.shard_deadline_seconds = std::atof(arg.c_str() + 17);
+    } else if (arg.rfind("--default-deadline=", 0) == 0) {
+      options.default_deadline_seconds = std::atof(arg.c_str() + 19);
+    } else if (arg.rfind("--registry-mb=", 0) == 0) {
+      options.registry_bytes =
+          static_cast<std::size_t>(std::max(1L, std::atol(arg.c_str() + 14)))
+          << 20;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      print_usage(std::cerr, argv[0]);
+      return 2;
+    }
+  }
+  if (worker_cmd.empty()) worker_cmd = default_worker_cmd();
+  const std::vector<std::string> worker_argv = split_command(worker_cmd);
+  if (worker_argv.empty()) {
+    std::cerr << "cwatpg_cluster: --worker-cmd is empty\n";
+    return 2;
+  }
+
+  std::vector<std::int64_t> pids;
+  int exit_code = 0;
+  try {
+    std::vector<svc::Cluster::WorkerEndpoint> endpoints;
+    endpoints.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i) {
+      svc::ChildProcess child = svc::spawn_child(worker_argv);
+      pids.push_back(child.pid);
+      svc::Cluster::WorkerEndpoint e;
+      e.transport = std::move(child.transport);
+      e.name = "w" + std::to_string(i);
+      e.pid = child.pid;
+      endpoints.push_back(std::move(e));
+    }
+    std::cerr << "cwatpg_cluster: " << workers << " workers (`" << worker_cmd
+              << "`), shard size " << options.shard_size
+              << " — serving cwatpg.rpc/1 on stdin/stdout\n";
+
+    svc::Cluster cluster(std::move(endpoints), options);
+    svc::StreamTransport transport(std::cin, std::cout);
+    cluster.serve(transport);
+    std::cerr << "cwatpg_cluster: drained, exiting\n";
+  } catch (const std::exception& e) {
+    std::cerr << "cwatpg_cluster: fatal: " << e.what() << "\n";
+    exit_code = 1;
+  }
+  // serve() already closed (or never opened) the worker pipes; a clean
+  // drain lets each child exit on its own, a fatal error force-kills.
+  for (const std::int64_t pid : pids) svc::reap_child(pid, exit_code != 0);
+  return exit_code;
+}

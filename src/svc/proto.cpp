@@ -240,4 +240,126 @@ std::vector<bool> decode_bits(std::string_view text,
   return bits;
 }
 
+// ---- shard outcome codec --------------------------------------------------
+
+namespace {
+
+fault::FaultStatus parse_fault_status(const std::string& name) {
+  using fault::FaultStatus;
+  for (const FaultStatus s :
+       {FaultStatus::kDetected, FaultStatus::kUntestable,
+        FaultStatus::kDroppedBySim, FaultStatus::kDroppedRandom,
+        FaultStatus::kAborted, FaultStatus::kUnreachable,
+        FaultStatus::kUndetermined})
+    if (name == to_string(s)) return s;
+  throw ProtocolError("unknown fault status \"" + name + "\"");
+}
+
+fault::SolveEngine parse_solve_engine(const std::string& name) {
+  using fault::SolveEngine;
+  for (const SolveEngine e :
+       {SolveEngine::kNone, SolveEngine::kSat, SolveEngine::kSatRetry,
+        SolveEngine::kPodem, SolveEngine::kIncremental})
+    if (name == to_string(e)) return e;
+  throw ProtocolError("unknown solve engine \"" + name + "\"");
+}
+
+StopReason parse_stop_reason(const std::string& name) {
+  for (const StopReason r :
+       {StopReason::kNone, StopReason::kConflictLimit,
+        StopReason::kPropagationLimit, StopReason::kDeadline,
+        StopReason::kCancelled})
+    if (name == to_string(r)) return r;
+  throw ProtocolError("unknown stop reason \"" + name + "\"");
+}
+
+std::uint64_t record_u64(const obs::Json& j, const char* key) {
+  const obs::Json* v = j.find(key);
+  if (v == nullptr) return 0;
+  try {
+    return v->as_u64();
+  } catch (const std::exception&) {
+    throw ProtocolError(std::string("fault record field \"") + key +
+                        "\" must be a non-negative integer");
+  }
+}
+
+std::string record_string(const obs::Json& j, const char* key,
+                          const char* fallback) {
+  const obs::Json* v = j.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_string())
+    throw ProtocolError(std::string("fault record field \"") + key +
+                        "\" must be a string");
+  return v->as_string();
+}
+
+}  // namespace
+
+obs::Json encode_fault_outcome(std::size_t index,
+                               const fault::FaultOutcome& outcome,
+                               const fault::Pattern* test) {
+  obs::Json j = obs::Json::object();
+  j["i"] = static_cast<std::uint64_t>(index);
+  j["st"] = to_string(outcome.status);
+  if (outcome.engine != fault::SolveEngine::kNone)
+    j["en"] = to_string(outcome.engine);
+  if (outcome.attempts != 0)
+    j["at"] = static_cast<std::uint64_t>(outcome.attempts);
+  if (outcome.sat_vars != 0)
+    j["sv"] = static_cast<std::uint64_t>(outcome.sat_vars);
+  if (outcome.sat_clauses != 0)
+    j["sc"] = static_cast<std::uint64_t>(outcome.sat_clauses);
+  if (outcome.solve_seconds != 0.0) j["ss"] = outcome.solve_seconds;
+  const sat::SolverStats& s = outcome.solver_stats;
+  if (s.decisions != 0) j["d"] = s.decisions;
+  if (s.propagations != 0) j["p"] = s.propagations;
+  if (s.conflicts != 0) j["c"] = s.conflicts;
+  if (s.learnt_clauses != 0) j["lc"] = s.learnt_clauses;
+  if (s.learnt_literals != 0) j["ll"] = s.learnt_literals;
+  if (s.restarts != 0) j["rs"] = s.restarts;
+  if (s.reused_implications != 0) j["ri"] = s.reused_implications;
+  if (s.stop_reason != StopReason::kNone) j["sr"] = to_string(s.stop_reason);
+  if (test != nullptr) j["t"] = encode_bits(*test);
+  return j;
+}
+
+WireFaultOutcome decode_fault_outcome(const obs::Json& j,
+                                      std::size_t num_inputs) {
+  if (!j.is_object()) throw ProtocolError("fault record is not an object");
+  WireFaultOutcome rec;
+  if (j.find("i") == nullptr)
+    throw ProtocolError("fault record is missing its index");
+  rec.index = static_cast<std::size_t>(record_u64(j, "i"));
+  rec.outcome.status = parse_fault_status(record_string(j, "st", ""));
+  rec.outcome.engine = parse_solve_engine(record_string(j, "en", "none"));
+  rec.outcome.attempts = static_cast<std::uint32_t>(record_u64(j, "at"));
+  rec.outcome.sat_vars = static_cast<std::size_t>(record_u64(j, "sv"));
+  rec.outcome.sat_clauses = static_cast<std::size_t>(record_u64(j, "sc"));
+  if (const obs::Json* ss = j.find("ss")) {
+    if (!ss->is_number())
+      throw ProtocolError("fault record field \"ss\" must be a number");
+    rec.outcome.solve_seconds = ss->as_double();
+  }
+  sat::SolverStats& s = rec.outcome.solver_stats;
+  s.decisions = record_u64(j, "d");
+  s.propagations = record_u64(j, "p");
+  s.conflicts = record_u64(j, "c");
+  s.learnt_clauses = record_u64(j, "lc");
+  s.learnt_literals = record_u64(j, "ll");
+  s.restarts = record_u64(j, "rs");
+  s.reused_implications = record_u64(j, "ri");
+  s.stop_reason = parse_stop_reason(record_string(j, "sr", "none"));
+  const bool detected = rec.outcome.status == fault::FaultStatus::kDetected;
+  if (const obs::Json* t = j.find("t")) {
+    if (!t->is_string() || !detected)
+      throw ProtocolError("fault record test must be a \"0101…\" string on "
+                          "a detected fault");
+    rec.test = decode_bits(t->as_string(), num_inputs);
+  } else if (detected) {
+    throw ProtocolError("detected fault record is missing its test");
+  }
+  return rec;
+}
+
 }  // namespace cwatpg::svc

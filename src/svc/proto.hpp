@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/tegus.hpp"
 #include "obs/json.hpp"
 
 namespace cwatpg::svc {
@@ -135,5 +136,34 @@ std::string encode_bits(const std::vector<bool>& bits);
 /// character other than '0'/'1' or its length differs from `expected_size`.
 std::vector<bool> decode_bits(std::string_view text,
                               std::size_t expected_size);
+
+// ---- shard outcome codec --------------------------------------------------
+//
+// Per-fault records a `run_atpg` job returns when its request sets
+// `raw_outcomes` — the cluster coordinator's merge input. `index` is the
+// fault's position in the registry entry's collapsed fault list (the
+// sharding key); the record carries the fault's FINAL outcome fields plus,
+// for kDetected, the attributed test pattern. The fault itself never
+// travels: both ends derive the same collapsed list from the same
+// content-hashed circuit, so the index is a complete name.
+
+struct WireFaultOutcome {
+  std::size_t index = 0;
+  /// Recorded outcome. `test_index` is not transported (always -1 after
+  /// decode); the cluster's replay pipeline re-derives attribution.
+  fault::FaultOutcome outcome;
+  fault::Pattern test;  ///< non-empty iff outcome.status == kDetected
+};
+
+/// Encodes one per-fault record. `test` must be non-null exactly when the
+/// outcome is kDetected.
+obs::Json encode_fault_outcome(std::size_t index,
+                               const fault::FaultOutcome& outcome,
+                               const fault::Pattern* test);
+
+/// Inverse of encode_fault_outcome. `num_inputs` sizes the test pattern
+/// check. Throws ProtocolError on a malformed record.
+WireFaultOutcome decode_fault_outcome(const obs::Json& j,
+                                      std::size_t num_inputs);
 
 }  // namespace cwatpg::svc

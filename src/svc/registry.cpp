@@ -103,12 +103,14 @@ CircuitRegistry::CircuitRegistry(std::size_t byte_budget)
     : byte_budget_(byte_budget) {}
 
 std::shared_ptr<const CircuitEntry> CircuitRegistry::load_bench(
-    std::string_view text, std::string name) {
+    std::string_view text, std::string name, bool* already_loaded) {
   std::istringstream in{std::string(text)};
-  return insert(net::read_bench(in, std::move(name)));
+  return insert(net::read_bench(in, std::move(name)), already_loaded);
 }
 
-std::shared_ptr<const CircuitEntry> CircuitRegistry::insert(net::Network net) {
+std::shared_ptr<const CircuitEntry> CircuitRegistry::insert(
+    net::Network net, bool* already_loaded) {
+  if (already_loaded != nullptr) *already_loaded = false;
   const std::string key = content_hash(net);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -116,6 +118,7 @@ std::shared_ptr<const CircuitEntry> CircuitRegistry::insert(net::Network net) {
     if (const auto it = entries_.find(key); it != entries_.end()) {
       ++counters_.hits;
       touch_locked(key);
+      if (already_loaded != nullptr) *already_loaded = true;
       return it->second.entry;
     }
   }
@@ -138,6 +141,7 @@ std::shared_ptr<const CircuitEntry> CircuitRegistry::insert(net::Network net) {
   if (const auto it = entries_.find(key); it != entries_.end()) {
     ++counters_.hits;
     touch_locked(key);
+    if (already_loaded != nullptr) *already_loaded = true;
     return it->second.entry;
   }
   lru_.push_front(key);

@@ -86,13 +86,19 @@ class CircuitRegistry {
   /// Parses `.bench` text, then behaves like insert(). Propagates
   /// net::ParseError / std::runtime_error on malformed text.
   std::shared_ptr<const CircuitEntry> load_bench(std::string_view text,
-                                                 std::string name);
+                                                 std::string name,
+                                                 bool* already_loaded = nullptr);
 
   /// Registers a network: hashes its structure, dedups against cached
   /// entries (a hit refreshes recency and returns the existing entry —
   /// the first-loaded name wins), otherwise precomputes the fault list and
   /// base CNF, inserts, and evicts least-recently-used entries as needed.
-  std::shared_ptr<const CircuitEntry> insert(net::Network net);
+  /// Loading is therefore idempotent by content hash; `already_loaded`
+  /// (when non-null) reports whether this call was satisfied by a cached
+  /// entry — the ack that lets a coordinator or retrying client replicate
+  /// loads blindly.
+  std::shared_ptr<const CircuitEntry> insert(net::Network net,
+                                             bool* already_loaded = nullptr);
 
   /// Looks up by content-hash key; refreshes recency on hit, returns
   /// nullptr on miss.

@@ -14,55 +14,13 @@
 #include "fault/tegus.hpp"
 #include "netlist/bench_io.hpp"
 #include "obs/report.hpp"
+#include "svc/params.hpp"
 #include "util/failpoint.hpp"
 #include "util/timer.hpp"
 
 namespace cwatpg::svc {
 
 namespace {
-
-// Typed parameter getters: a wrong type is the client's error, so every
-// violation is a ProtocolError the caller maps to `bad_request`.
-
-std::uint64_t get_u64(const obs::Json& params, const char* key,
-                      std::uint64_t fallback) {
-  const obs::Json* v = params.find(key);
-  if (v == nullptr) return fallback;
-  try {
-    return v->as_u64();
-  } catch (const std::exception&) {
-    throw ProtocolError(std::string("param \"") + key +
-                        "\" must be a non-negative integer");
-  }
-}
-
-double get_double(const obs::Json& params, const char* key, double fallback) {
-  const obs::Json* v = params.find(key);
-  if (v == nullptr) return fallback;
-  if (!v->is_number())
-    throw ProtocolError(std::string("param \"") + key + "\" must be a number");
-  return v->as_double();
-}
-
-std::int64_t get_i64(const obs::Json& params, const char* key,
-                     std::int64_t fallback) {
-  const obs::Json* v = params.find(key);
-  if (v == nullptr) return fallback;
-  try {
-    return v->as_i64();
-  } catch (const std::exception&) {
-    throw ProtocolError(std::string("param \"") + key +
-                        "\" must be an integer");
-  }
-}
-
-std::string require_string(const obs::Json& params, const char* key) {
-  const obs::Json* v = params.find(key);
-  if (v == nullptr || !v->is_string())
-    throw ProtocolError(std::string("param \"") + key +
-                        "\" (string) is required");
-  return v->as_string();
-}
 
 /// Best-effort id recovery from a frame that failed request validation, so
 /// the error response still correlates when the id itself was well-formed.
@@ -217,6 +175,7 @@ void Server::drain_and_join() {
 
 void Server::handle_load_circuit(const Request& req) {
   std::shared_ptr<const CircuitEntry> entry;
+  bool already_loaded = false;
   try {
     const std::string format = [&] {
       const obs::Json* f = req.params.find("format");
@@ -225,11 +184,13 @@ void Server::handle_load_circuit(const Request& req) {
     }();
     if (format != "bench")
       throw ProtocolError("unsupported circuit format \"" + format + "\"");
-    const std::string text = require_string(req.params, "text");
+    const std::string text = param_string_required(req.params, "text");
     const obs::Json* name = req.params.find("name");
     entry = registry_.load_bench(
-        text, name != nullptr && name->is_string() ? name->as_string()
-                                                   : std::string("circuit"));
+        text,
+        name != nullptr && name->is_string() ? name->as_string()
+                                             : std::string("circuit"),
+        &already_loaded);
   } catch (const ProtocolError& e) {
     transport_->write(make_error(req.id, ErrorCode::kBadRequest, e.what()));
     return;
@@ -247,13 +208,17 @@ void Server::handle_load_circuit(const Request& req) {
   }
   obs::Json result = obs::Json::object();
   result["circuit"] = entry->to_json();
+  // Idempotency ack: true when the registry already held this structural
+  // content hash, so replicated loads (the cluster coordinator sends one
+  // per worker, possibly repeatedly after failover) are observably no-ops.
+  result["already_loaded"] = already_loaded;
   result["registry"] = registry_.stats().to_json();
   transport_->write(make_response(req.id, std::move(result)));
 }
 
 void Server::handle_status(const Request& req) {
   if (const obs::Json* job = req.params.find("job"); job != nullptr) {
-    const std::uint64_t id = get_u64(req.params, "job", 0);
+    const std::uint64_t id = param_u64(req.params, "job", 0);
     const char* state = "unknown";
     {
       std::lock_guard<std::mutex> lock(jobs_mutex_);
@@ -281,7 +246,7 @@ void Server::handle_status(const Request& req) {
 }
 
 void Server::handle_cancel(const Request& req) {
-  const std::uint64_t id = get_u64(req.params, "job", 0);
+  const std::uint64_t id = param_u64(req.params, "job", 0);
   if (req.params.find("job") == nullptr)
     throw ProtocolError("param \"job\" (request id) is required");
 
@@ -371,7 +336,7 @@ void Server::admit_job(const Request& req) {
                                  "server is draining"));
     return;
   }
-  const std::string key = require_string(req.params, "circuit");
+  const std::string key = param_string_required(req.params, "circuit");
   std::shared_ptr<const CircuitEntry> circuit = registry_.find(key);
   if (circuit == nullptr) {
     transport_->write(make_error(req.id, ErrorCode::kNotFound,
@@ -384,11 +349,11 @@ void Server::admit_job(const Request& req) {
   job.request_id = req.id;
   job.kind = req.kind;
   job.priority = static_cast<int>(std::clamp<std::int64_t>(
-      get_i64(req.params, "priority", 0), -1000, 1000));
+      param_i64(req.params, "priority", 0), -1000, 1000));
   job.circuit = std::move(circuit);
   job.params = req.params;
   job.budget = std::make_shared<Budget>();
-  const double deadline = get_double(req.params, "deadline_seconds",
+  const double deadline = param_double(req.params, "deadline_seconds",
                                      options_.default_deadline_seconds);
   // Armed at admission: queue wait burns deadline, as a latency bound must.
   if (deadline > 0.0) job.budget->set_deadline_after(deadline);
@@ -509,32 +474,17 @@ void Server::execute_job(const Job& job) {
 
 obs::Json Server::run_atpg_job(const Job& job) {
   const CircuitEntry& circuit = *job.circuit;
-  fault::AtpgOptions opts;
+  // One shared params → options mapping (svc/params.hpp) for the server
+  // and the cluster coordinator; diverging here would silently break the
+  // cluster == single-daemon determinism contract.
+  fault::AtpgOptions opts = atpg_options_from_params(job.params, circuit);
   opts.budget = job.budget.get();
-  opts.seed = get_u64(job.params, "seed", opts.seed);
-  opts.random_blocks = static_cast<std::size_t>(
-      get_u64(job.params, "random_blocks", opts.random_blocks));
-  opts.solver.max_conflicts =
-      get_u64(job.params, "max_conflicts", opts.solver.max_conflicts);
-  opts.escalation_rounds = static_cast<std::size_t>(
-      get_u64(job.params, "escalation_rounds", opts.escalation_rounds));
+  if (opts.engine == fault::AtpgEngine::kIncremental)
+    metrics_.counter("svc.jobs.incremental").add(1);
   const std::size_t threads =
-      static_cast<std::size_t>(get_u64(job.params, "threads", 1));
-  if (const obs::Json* engine = job.params.find("engine")) {
-    if (!engine->is_string())
-      throw ProtocolError("param \"engine\" must be a string");
-    const std::string name = engine->as_string();
-    if (name == "incremental") {
-      opts.engine = fault::AtpgEngine::kIncremental;
-      // The registry prebuilt the shared miter at load_circuit time;
-      // handing it to the job is the whole amortization story.
-      opts.prebuilt_miter = circuit.miter;
-      metrics_.counter("svc.jobs.incremental").add(1);
-    } else if (name != "per-fault") {
-      throw ProtocolError("param \"engine\" must be \"per-fault\" or "
-                          "\"incremental\"");
-    }
-  }
+      static_cast<std::size_t>(param_u64(job.params, "threads", 1));
+  const bool raw_outcomes = param_bool(job.params, "raw_outcomes", false);
+  const bool windowed = !opts.fault_subset.empty();
 
   Timer timer;
   fault::AtpgResult result;
@@ -549,6 +499,31 @@ obs::Json Server::run_atpg_job(const Job& job) {
     result = fault::run_atpg(circuit.net, opts);
   }
 
+  // A windowed (sharded) run reports over its window, not the full fault
+  // list: out-of-window faults were never this shard's responsibility, so
+  // counting them as undetermined would poison coverage/efficiency and
+  // make per-shard run_reports non-mergeable.
+  fault::AtpgResult pruned;
+  const fault::AtpgResult* view = &result;
+  if (windowed) {
+    pruned.outcomes.reserve(opts.fault_subset.size());
+    for (const std::size_t fi : opts.fault_subset)
+      pruned.outcomes.push_back(result.outcomes[fi]);
+    pruned.tests = result.tests;
+    pruned.num_detected = result.num_detected;
+    pruned.num_untestable = result.num_untestable;
+    pruned.num_aborted = result.num_aborted;
+    pruned.num_unreachable = result.num_unreachable;
+    pruned.num_escalated = result.num_escalated;
+    pruned.num_undetermined = 0;
+    for (const fault::FaultOutcome& o : pruned.outcomes)
+      if (o.status == fault::FaultStatus::kUndetermined)
+        ++pruned.num_undetermined;
+    pruned.interrupted = result.interrupted;
+    pruned.wall_seconds = result.wall_seconds;
+    view = &pruned;
+  }
+
   obs::ReportOptions ropts;
   ropts.label = "svc/" + circuit.key;
   const bool incremental = opts.engine == fault::AtpgEngine::kIncremental;
@@ -559,27 +534,49 @@ obs::Json Server::run_atpg_job(const Job& job) {
   ropts.seed = opts.seed;
   if (parallel) ropts.parallel = &pstats;
   const obs::RunReport report =
-      obs::build_run_report(circuit.net, result, ropts);
+      obs::build_run_report(circuit.net, *view, ropts);
 
   obs::Json j = obs::Json::object();
   j["job"] = job.request_id;
   j["circuit"] = circuit.key;
   j["engine"] = ropts.engine;
   j["threads"] = static_cast<std::uint64_t>(ropts.threads);
-  j["interrupted"] = result.interrupted;
+  j["interrupted"] = view->interrupted;
   j["stop"] = to_string(job.budget->poll());
-  j["faults"] = static_cast<std::uint64_t>(result.outcomes.size());
-  j["num_detected"] = static_cast<std::uint64_t>(result.num_detected);
-  j["num_untestable"] = static_cast<std::uint64_t>(result.num_untestable);
-  j["num_aborted"] = static_cast<std::uint64_t>(result.num_aborted);
+  j["faults"] = static_cast<std::uint64_t>(view->outcomes.size());
+  j["num_detected"] = static_cast<std::uint64_t>(view->num_detected);
+  j["num_untestable"] = static_cast<std::uint64_t>(view->num_untestable);
+  j["num_aborted"] = static_cast<std::uint64_t>(view->num_aborted);
   j["num_undetermined"] =
-      static_cast<std::uint64_t>(result.num_undetermined);
-  j["coverage"] = result.fault_coverage();
-  j["efficiency"] = result.fault_efficiency();
+      static_cast<std::uint64_t>(view->num_undetermined);
+  j["coverage"] = view->fault_coverage();
+  j["efficiency"] = view->fault_efficiency();
   obs::Json tests = obs::Json::array();
   for (const fault::Pattern& test : result.tests)
     tests.push_back(encode_bits(test));
   j["tests"] = std::move(tests);
+  if (raw_outcomes) {
+    // Per-fault records keyed by collapsed-fault index — the cluster
+    // coordinator's merge input. Every in-scope index is present (drops
+    // and undetermined included) so the receiver can tell "complete
+    // reply" from "truncated reply" by counting.
+    obs::Json raw = obs::Json::array();
+    auto encode_one = [&](std::size_t fi) {
+      const fault::FaultOutcome& o = result.outcomes[fi];
+      const fault::Pattern* test =
+          o.status == fault::FaultStatus::kDetected && o.has_test()
+              ? &result.tests[o.test()]
+              : nullptr;
+      raw.push_back(encode_fault_outcome(fi, o, test));
+    };
+    if (windowed) {
+      for (const std::size_t fi : opts.fault_subset) encode_one(fi);
+    } else {
+      for (std::size_t fi = 0; fi < result.outcomes.size(); ++fi)
+        encode_one(fi);
+    }
+    j["raw"] = std::move(raw);
+  }
   j["run_report"] = report.to_json();
   j["wall_seconds"] = timer.seconds();
   j["queue"] = queue_.stats().to_json();

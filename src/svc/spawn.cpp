@@ -1,0 +1,171 @@
+#include "svc/spawn.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "svc/proto.hpp"
+
+namespace cwatpg::svc {
+
+namespace {
+
+/// read(2) exactly `n` bytes. Returns false on EOF at offset 0; throws
+/// ProtocolError on EOF mid-object or a hard error. EINTR is retried.
+bool read_exact(int fd, char* buf, std::size_t n, bool at_boundary) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0 && at_boundary) return false;
+      throw ProtocolError("unexpected end of stream inside a frame");
+    }
+    if (errno == EINTR) continue;
+    throw ProtocolError(std::string("read failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+void write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t w = ::write(fd, buf + put, n - put);
+    if (w >= 0) {
+      put += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    // EPIPE: the worker died. The caller's NEXT read() observes the
+    // end-of-stream; reporting it here as well would double the signal.
+    if (errno == EPIPE) return;
+    throw ProtocolError(std::string("write failed: ") + std::strerror(errno));
+  }
+}
+
+}  // namespace
+
+FdTransport::FdTransport(int read_fd, int write_fd)
+    : read_fd_(read_fd), write_fd_(write_fd) {
+  // A dying peer must surface as EPIPE/EOF on OUR descriptors, not as a
+  // process-killing SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+FdTransport::~FdTransport() {
+  close();
+  if (read_fd_ >= 0) ::close(read_fd_);
+}
+
+bool FdTransport::read(obs::Json& frame) {
+  if (read_fd_ < 0) return false;
+  // Header: decimal byte count, '\n'. Read byte-at-a-time — the header is
+  // a dozen bytes and this is the only way to stop exactly at the '\n'
+  // without buffering into the payload.
+  std::string header;
+  char c = 0;
+  while (true) {
+    if (!read_exact(read_fd_, &c, 1, header.empty())) return false;
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || header.size() > 20)
+      throw ProtocolError("malformed frame header");
+    header.push_back(c);
+  }
+  if (header.empty()) throw ProtocolError("empty frame header");
+  const unsigned long long len = std::stoull(header);
+  if (len > kMaxFrameBytes)
+    throw ProtocolError("frame of " + header + " bytes exceeds the " +
+                        std::to_string(kMaxFrameBytes) + " byte cap");
+  std::string payload(static_cast<std::size_t>(len), '\0');
+  if (len > 0) read_exact(read_fd_, payload.data(), payload.size(), false);
+  try {
+    frame = obs::Json::parse(payload, kMaxFrameDepth);
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("frame payload is not valid JSON: ") +
+                        e.what());
+  }
+  return true;
+}
+
+void FdTransport::write(const obs::Json& frame) {
+  const std::string payload = frame.dump();
+  const std::string header = std::to_string(payload.size()) + "\n";
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (write_fd_ < 0) return;  // closed: drop, like the other transports
+  write_all(write_fd_, header.data(), header.size());
+  write_all(write_fd_, payload.data(), payload.size());
+}
+
+void FdTransport::close() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (write_fd_ >= 0) {
+    ::close(write_fd_);
+    write_fd_ = -1;
+  }
+}
+
+ChildProcess spawn_child(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw std::runtime_error("spawn_child: empty argv");
+  int to_child[2];    // parent writes → child stdin
+  int from_child[2];  // child stdout → parent reads
+  if (::pipe(to_child) != 0)
+    throw std::runtime_error(std::string("pipe failed: ") +
+                             std::strerror(errno));
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw std::runtime_error(std::string("pipe failed: ") +
+                             std::strerror(errno));
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]})
+      ::close(fd);
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+
+  if (pid == 0) {
+    // Child: stdin/stdout onto the pipes, stderr inherited.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]})
+      ::close(fd);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execvp(args[0], args.data());
+    ::_exit(127);
+  }
+
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  ChildProcess child;
+  child.pid = pid;
+  child.transport =
+      std::make_unique<FdTransport>(from_child[0], to_child[1]);
+  return child;
+}
+
+void reap_child(std::int64_t pid, bool kill_first) {
+  if (pid <= 0) return;
+  if (kill_first) ::kill(static_cast<pid_t>(pid), SIGKILL);
+  int status = 0;
+  while (::waitpid(static_cast<pid_t>(pid), &status, 0) < 0 &&
+         errno == EINTR) {
+  }
+}
+
+}  // namespace cwatpg::svc

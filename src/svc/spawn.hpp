@@ -1,0 +1,65 @@
+// Worker process plumbing for the cluster coordinator: cwatpg.rpc/1
+// frames over raw POSIX file descriptors, plus fork/exec of child daemons
+// with their stdin/stdout wired to a transport.
+//
+// StreamTransport needs iostreams; a spawned child hands us two pipe fds.
+// Rather than wrap them in nonstandard fd-streambufs, FdTransport speaks
+// the frame codec (`<decimal length>\n<payload>`) directly over read(2)/
+// write(2), with the same untrusted-input limits proto.cpp enforces
+// (frame byte cap before any allocation, JSON nesting-depth cap). A
+// worker crash — the failover drill's whole subject — surfaces here as a
+// clean end-of-stream or EPIPE, never as a hang.
+//
+// Thread-safe: write() from any thread (one mutex, one full-frame write
+// per lock hold); read() single-consumer, like every Transport.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/transport.hpp"
+
+namespace cwatpg::svc {
+
+class FdTransport final : public Transport {
+ public:
+  /// Takes ownership of both descriptors (closed on destruction). Either
+  /// may be -1 for a half-open transport.
+  FdTransport(int read_fd, int write_fd);
+  ~FdTransport() override;
+
+  bool read(obs::Json& frame) override;
+  void write(const obs::Json& frame) override;
+  /// Closes the WRITE side only (the peer's stdin sees EOF — how a
+  /// coordinator stops a worker); read() keeps draining buffered frames.
+  void close() override;
+
+ private:
+  int read_fd_;
+  int write_fd_;  ///< guarded by write_mutex_ (-1 once closed)
+  std::mutex write_mutex_;
+};
+
+/// A spawned worker daemon: its pid plus the coordinator-side transport
+/// whose write end feeds the child's stdin and whose read end drains the
+/// child's stdout (stderr is inherited, so worker diagnostics land in the
+/// coordinator's stderr stream).
+struct ChildProcess {
+  std::int64_t pid = -1;
+  std::unique_ptr<Transport> transport;
+};
+
+/// fork/exec `argv` (argv[0] resolved via PATH) with stdin/stdout piped.
+/// Throws std::runtime_error when the pipes or the fork fail; an exec
+/// failure makes the child _exit(127), which the caller observes as
+/// immediate end-of-stream.
+ChildProcess spawn_child(const std::vector<std::string>& argv);
+
+/// Best-effort, non-throwing child reaping: SIGKILL (when `kill_first`)
+/// then a blocking waitpid. Safe to call for an already-dead child.
+void reap_child(std::int64_t pid, bool kill_first);
+
+}  // namespace cwatpg::svc

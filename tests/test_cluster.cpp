@@ -1,0 +1,458 @@
+// The sharded cluster coordinator's contract (src/svc/cluster.*): a
+// cwatpg.rpc/1 front end whose merged run_atpg responses are
+// classification-identical to a single svc::Server — per-fault statuses,
+// engines and solver stats, totals, and the test set itself — at any
+// worker count, and stay identical when workers die mid-job (un-acked
+// shards re-dispatched to survivors exactly once, nothing lost, nothing
+// double-counted). Runs under TSan via the `tsan` ctest label: the
+// reader thread, N worker threads and the drain handshake all cross here.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/structured.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/decompose.hpp"
+#include "svc/cluster.hpp"
+#include "svc/proto.hpp"
+#include "svc/server.hpp"
+#include "svc/transport.hpp"
+#include "util/failpoint.hpp"
+
+namespace cwatpg::svc {
+namespace {
+
+std::string bench_text(const net::Network& n) {
+  std::ostringstream out;
+  net::write_bench(out, n);
+  return out.str();
+}
+
+/// Small enough to merge in milliseconds; hard enough (with a tiny
+/// max_conflicts) that some faults abort and take the escalation ladder,
+/// so the replay-merge must reproduce phase 3, not just phase 2.
+net::Network test_circuit() {
+  return net::decompose(gen::array_multiplier(3));
+}
+
+obs::Json request_json(std::uint64_t id, const char* kind,
+                       obs::Json params = obs::Json::object()) {
+  obs::Json j = obs::Json::object();
+  j["schema"] = kRpcSchema;
+  j["id"] = id;
+  j["kind"] = kind;
+  j["params"] = std::move(params);
+  return j;
+}
+
+/// run_atpg params that force the full pipeline: a random phase, SAT
+/// aborts (max_conflicts 6), and a two-rung escalation ladder.
+obs::Json atpg_params(const std::string& key) {
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  params["seed"] = std::uint64_t(7);
+  params["random_blocks"] = std::uint64_t(1);
+  params["max_conflicts"] = std::uint64_t(6);
+  params["escalation_rounds"] = std::uint64_t(2);
+  params["raw_outcomes"] = true;
+  return params;
+}
+
+/// Test-side client (same shape as test_svc's): sequences ids, writes
+/// request frames, reads response frames.
+struct TestClient {
+  Transport* t;
+  std::uint64_t next_id = 1;
+
+  std::uint64_t send(const char* kind, obs::Json params = obs::Json::object()) {
+    const std::uint64_t id = next_id++;
+    t->write(request_json(id, kind, std::move(params)));
+    return id;
+  }
+
+  obs::Json recv() {
+    obs::Json frame;
+    EXPECT_TRUE(t->read(frame)) << "transport closed while awaiting a frame";
+    return frame;
+  }
+
+  obs::Json call(const char* kind, obs::Json params = obs::Json::object()) {
+    const std::uint64_t id = send(kind, std::move(params));
+    obs::Json resp = recv();
+    EXPECT_EQ(resp.at("id").as_u64(), id);
+    return resp;
+  }
+};
+
+/// A Cluster over `workers` in-process Server daemons, each on its own
+/// duplex pair and serve() thread — the spawned-process topology minus
+/// the processes, so TSan sees every thread.
+struct ClusterFixture {
+  std::vector<std::unique_ptr<Server>> servers;
+  std::vector<std::unique_ptr<Transport>> server_sides;
+  std::vector<std::thread> server_loops;
+  DuplexPair front = make_duplex();
+  std::unique_ptr<Cluster> cluster;
+  std::thread cluster_loop;
+  TestClient client{front.client.get()};
+
+  explicit ClusterFixture(std::size_t workers, ClusterOptions options = {}) {
+    std::vector<Cluster::WorkerEndpoint> endpoints;
+    for (std::size_t i = 0; i < workers; ++i) {
+      DuplexPair pair = make_duplex();
+      ServerOptions sopts;
+      sopts.threads = 1;
+      servers.push_back(std::make_unique<Server>(sopts));
+      Server* server = servers.back().get();
+      Transport* side = pair.server.get();
+      server_sides.push_back(std::move(pair.server));
+      server_loops.emplace_back([server, side] { server->serve(*side); });
+      Cluster::WorkerEndpoint e;
+      e.transport = std::move(pair.client);
+      e.name = "w" + std::to_string(i);
+      endpoints.push_back(std::move(e));
+    }
+    cluster = std::make_unique<Cluster>(std::move(endpoints), options);
+    cluster_loop = std::thread([this] { cluster->serve(*front.server); });
+  }
+
+  ~ClusterFixture() {
+    front.client->close();  // implicit shutdown if the test didn't send one
+    cluster_loop.join();
+    for (std::thread& t : server_loops) t.join();
+  }
+
+  std::string load(const net::Network& n) {
+    obs::Json params = obs::Json::object();
+    params["name"] = n.name();
+    params["text"] = bench_text(n);
+    obs::Json resp = client.call("load_circuit", std::move(params));
+    EXPECT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    return resp.at("result").at("circuit").at("key").as_string();
+  }
+};
+
+/// The single-node reference: the same job on one plain Server.
+obs::Json single_node_result(const net::Network& n, obs::Json params) {
+  DuplexPair pair = make_duplex();
+  ServerOptions sopts;
+  sopts.threads = 1;
+  Server server(sopts);
+  std::thread loop([&] { server.serve(*pair.server); });
+  TestClient client{pair.client.get()};
+
+  obs::Json load = obs::Json::object();
+  load["name"] = n.name();
+  load["text"] = bench_text(n);
+  obs::Json loaded = client.call("load_circuit", std::move(load));
+  EXPECT_TRUE(loaded.at("ok").as_bool()) << loaded.dump();
+  params["circuit"] =
+      loaded.at("result").at("circuit").at("key").as_string();
+  obs::Json resp = client.call("run_atpg", std::move(params));
+  EXPECT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  pair.client->close();
+  loop.join();
+  return resp.at("result");
+}
+
+/// The determinism contract, field by field: identical classification
+/// totals, identical per-fault records (status, engine, attempts, solver
+/// stats, test attribution), identical test set.
+void expect_same_classification(const obs::Json& single,
+                                const obs::Json& cluster) {
+  EXPECT_EQ(single.at("faults").as_u64(), cluster.at("faults").as_u64());
+  EXPECT_EQ(single.at("num_detected").as_u64(),
+            cluster.at("num_detected").as_u64());
+  EXPECT_EQ(single.at("num_untestable").as_u64(),
+            cluster.at("num_untestable").as_u64());
+  EXPECT_EQ(single.at("num_aborted").as_u64(),
+            cluster.at("num_aborted").as_u64());
+  EXPECT_EQ(single.at("num_undetermined").as_u64(),
+            cluster.at("num_undetermined").as_u64());
+  EXPECT_EQ(single.at("tests").dump(), cluster.at("tests").dump());
+  ASSERT_EQ(single.at("raw").size(), cluster.at("raw").size());
+  // `ss` (per-solve wall seconds) is the one legitimately nondeterministic
+  // field — it differs between two identical single-node runs too.
+  const auto normalized = [](obs::Json record) {
+    record["ss"] = 0.0;
+    return record.dump();
+  };
+  for (std::size_t i = 0; i < single.at("raw").size(); ++i) {
+    EXPECT_EQ(normalized(single.at("raw")[i]), normalized(cluster.at("raw")[i]))
+        << "per-fault record " << i << " diverged";
+  }
+}
+
+// ---- determinism: cluster == single node ----------------------------------
+
+TEST(Cluster, MatchesSingleNodeAcrossWorkerCounts) {
+  const net::Network n = test_circuit();
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  for (const std::size_t workers : {std::size_t(1), std::size_t(2),
+                                    std::size_t(4)}) {
+    ClusterOptions options;
+    options.shard_size = 7;  // deliberately unaligned with the fault count
+    ClusterFixture fx(workers, options);
+    const std::string key = fx.load(n);
+    obs::Json resp = fx.client.call("run_atpg", atpg_params(key));
+    ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    const obs::Json& result = resp.at("result");
+    EXPECT_EQ(result.at("engine").as_string(), "cluster");
+    EXPECT_FALSE(result.at("interrupted").as_bool());
+    EXPECT_GE(result.at("cluster").at("shards").as_u64(), workers);
+    expect_same_classification(single, result);
+  }
+}
+
+TEST(Cluster, ShardSizeDoesNotChangeTheResult) {
+  const net::Network n = net::decompose(gen::comparator(3));
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  for (const std::size_t shard_size : {std::size_t(1), std::size_t(3),
+                                       std::size_t(1000)}) {
+    ClusterOptions options;
+    options.shard_size = shard_size;
+    ClusterFixture fx(2, options);
+    obs::Json resp = fx.client.call("run_atpg", atpg_params(fx.load(n)));
+    ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    expect_same_classification(single, resp.at("result"));
+  }
+}
+
+// ---- failover -------------------------------------------------------------
+
+TEST(Cluster, WorkerDeathMidJobRedispatchesAndStaysIdentical) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  const net::Network n = test_circuit();
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  // One worker "dies" right after its first shard reply: the reply is
+  // lost with it, the shard must be re-dispatched to the survivor.
+  fp::ScheduleScope fps("cluster.worker.eof=once");
+  ClusterOptions options;
+  options.shard_size = 7;
+  ClusterFixture fx(2, options);
+  const std::string key = fx.load(n);
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(key));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  expect_same_classification(single, resp.at("result"));
+  EXPECT_GE(resp.at("result").at("cluster").at("redispatched").as_u64(), 1u);
+
+  const ClusterStats stats = fx.cluster->stats();
+  EXPECT_EQ(stats.worker_deaths, 1u);
+  EXPECT_EQ(stats.alive, 1u);
+  EXPECT_GE(stats.redispatched, 1u);
+
+  obs::Json status = fx.client.call("status");
+  EXPECT_EQ(status.at("result").at("workers_alive").as_u64(), 1u);
+  EXPECT_EQ(status.at("result").at("worker_deaths").as_u64(), 1u);
+}
+
+TEST(Cluster, DroppedDispatchIsRetriedWithoutKillingTheWorker) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  const net::Network n = net::decompose(gen::comparator(3));
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  fp::ScheduleScope fps("cluster.dispatch.drop=once");
+  ClusterOptions options;
+  options.shard_size = 5;
+  ClusterFixture fx(2, options);
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(fx.load(n)));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  expect_same_classification(single, resp.at("result"));
+  const ClusterStats stats = fx.cluster->stats();
+  EXPECT_EQ(stats.worker_deaths, 0u);
+  EXPECT_EQ(stats.redispatched, 1u);
+  EXPECT_EQ(stats.alive, 2u);
+}
+
+TEST(Cluster, TruncatedShardReplyIsCaughtAndRedispatched) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  const net::Network n = net::decompose(gen::comparator(3));
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  // The merge sees half a shard's records once: the completeness check
+  // must refuse the silent partial merge and route through redispatch.
+  fp::ScheduleScope fps("cluster.merge.partial=once");
+  ClusterOptions options;
+  options.shard_size = 5;
+  ClusterFixture fx(2, options);
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(fx.load(n)));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  expect_same_classification(single, resp.at("result"));
+  EXPECT_EQ(fx.cluster->stats().redispatched, 1u);
+  EXPECT_EQ(fx.cluster->stats().worker_deaths, 0u);
+}
+
+TEST(Cluster, SecondShardFailureFailsTheJobNotTheCluster) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  const net::Network n = net::decompose(gen::comparator(3));
+  // Every dispatch of one unlucky shard is dropped: first the original,
+  // then the one permitted redispatch — the job must fail `internal`,
+  // and the cluster must stay serviceable.
+  fp::ScheduleScope fps("cluster.dispatch.drop=always");
+  ClusterOptions options;
+  options.shard_size = 1000;  // one shard: its failure IS the job's
+  ClusterFixture fx(2, options);
+  const std::string key = fx.load(n);
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(key));
+  ASSERT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "internal");
+  fp::Registry::instance().disarm("cluster.dispatch.drop");
+  // The same job id is reusable after its terminal, and succeeds now.
+  obs::Json retry = fx.client.call("run_atpg", atpg_params(key));
+  EXPECT_TRUE(retry.at("ok").as_bool()) << retry.dump();
+}
+
+// ---- protocol parity ------------------------------------------------------
+
+TEST(Cluster, LoadCircuitIsIdempotentByContentHash) {
+  ClusterFixture fx(1);
+  const net::Network n = net::decompose(gen::comparator(3));
+  obs::Json params = obs::Json::object();
+  params["name"] = n.name();
+  params["text"] = bench_text(n);
+  obs::Json first = fx.client.call("load_circuit", params);
+  ASSERT_TRUE(first.at("ok").as_bool());
+  EXPECT_FALSE(first.at("result").at("already_loaded").as_bool());
+  // Same structure under a different name: same key, acked as already
+  // loaded.
+  params["name"] = "a_different_name";
+  obs::Json second = fx.client.call("load_circuit", params);
+  ASSERT_TRUE(second.at("ok").as_bool());
+  EXPECT_TRUE(second.at("result").at("already_loaded").as_bool());
+  EXPECT_EQ(first.at("result").at("circuit").at("key").as_string(),
+            second.at("result").at("circuit").at("key").as_string());
+}
+
+TEST(Cluster, UnknownCircuitIsNotFound) {
+  ClusterFixture fx(1);
+  obs::Json params = obs::Json::object();
+  params["circuit"] = "deadbeefdeadbeef";
+  obs::Json resp = fx.client.call("run_atpg", std::move(params));
+  ASSERT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_string(), "not_found");
+}
+
+TEST(Cluster, FsimIsForwardedWhole) {
+  const net::Network n = net::decompose(gen::comparator(3));
+  ClusterFixture fx(2);
+  const std::string key = fx.load(n);
+  obs::Json patterns = obs::Json::array();
+  patterns.push_back(std::string(n.inputs().size(), '1'));
+  patterns.push_back(std::string(n.inputs().size(), '0'));
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  params["patterns"] = std::move(patterns);
+  obs::Json resp = fx.client.call("fsim", std::move(params));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  // The forwarded reply is re-addressed to the coordinator's job id.
+  EXPECT_EQ(resp.at("result").at("job").as_u64(), resp.at("id").as_u64());
+  EXPECT_GT(resp.at("result").at("detected").as_u64(), 0u);
+}
+
+TEST(Cluster, ClientFaultRangeIsForwardedWhole) {
+  // A request that carries its own window is not re-sharded; the cluster
+  // honors it via a single worker and returns the windowed counts.
+  const net::Network n = net::decompose(gen::comparator(3));
+  ClusterFixture fx(2);
+  const std::string key = fx.load(n);
+  obs::Json params = atpg_params(key);
+  obs::Json range = obs::Json::array();
+  range.push_back(std::uint64_t(0));
+  range.push_back(std::uint64_t(5));
+  params["fault_range"] = std::move(range);
+  obs::Json resp = fx.client.call("run_atpg", std::move(params));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  EXPECT_EQ(resp.at("result").at("faults").as_u64(), 5u);
+  EXPECT_EQ(resp.at("result").at("raw").size(), 5u);
+}
+
+TEST(Cluster, StatusTracksJobsAndCancelIsSafeAtAnyPhase) {
+  const net::Network n = test_circuit();
+  ClusterOptions options;
+  options.shard_size = 4;
+  ClusterFixture fx(2, options);
+  const std::string key = fx.load(n);
+
+  obs::Json unknown_params = obs::Json::object();
+  unknown_params["job"] = std::uint64_t(999);
+  obs::Json unknown = fx.client.call("cancel", unknown_params);
+  EXPECT_EQ(unknown.at("result").at("state").as_string(), "unknown");
+
+  // Submit, cancel immediately, then read frames until the job terminal:
+  // whichever way the race lands, there is exactly one terminal, and an
+  // interrupted partial merge reports stop == "cancelled".
+  const std::uint64_t job = fx.client.send("run_atpg", atpg_params(key));
+  obs::Json cancel_params = obs::Json::object();
+  cancel_params["job"] = job;
+  const std::uint64_t cancel_id = fx.client.send("cancel", cancel_params);
+  obs::Json terminal;
+  bool saw_cancel_ack = false;
+  for (int i = 0; i < 2; ++i) {
+    obs::Json frame = fx.client.recv();
+    if (frame.at("id").as_u64() == cancel_id) {
+      const std::string state =
+          frame.at("result").at("state").as_string();
+      EXPECT_TRUE(state == "cancelling" || state == "done") << state;
+      saw_cancel_ack = true;
+    } else {
+      ASSERT_EQ(frame.at("id").as_u64(), job);
+      terminal = std::move(frame);
+    }
+  }
+  EXPECT_TRUE(saw_cancel_ack);
+  ASSERT_TRUE(terminal.is_object()) << "no terminal for the cancelled job";
+  if (terminal.at("ok").as_bool()) {
+    const obs::Json& result = terminal.at("result");
+    if (result.at("interrupted").as_bool()) {
+      EXPECT_EQ(result.at("stop").as_string(), "cancelled");
+    }
+  } else {
+    EXPECT_EQ(terminal.at("error").at("code").as_string(), "cancelled");
+  }
+
+  obs::Json done_params = obs::Json::object();
+  done_params["job"] = job;
+  obs::Json done = fx.client.call("status", done_params);
+  EXPECT_EQ(done.at("result").at("state").as_string(), "done");
+}
+
+TEST(Cluster, ShutdownDrainsActiveJobsBeforeResponding) {
+  const net::Network n = net::decompose(gen::comparator(3));
+  ClusterOptions options;
+  options.shard_size = 4;
+  ClusterFixture fx(2, options);
+  const std::string key = fx.load(n);
+  // Job then shutdown, back to back: the job's terminal must arrive
+  // FIRST — the shutdown response is the last frame the cluster writes.
+  const std::uint64_t job = fx.client.send("run_atpg", atpg_params(key));
+  const std::uint64_t shutdown = fx.client.send("shutdown");
+  obs::Json first = fx.client.recv();
+  EXPECT_EQ(first.at("id").as_u64(), job);
+  EXPECT_TRUE(first.at("ok").as_bool()) << first.dump();
+  obs::Json second = fx.client.recv();
+  EXPECT_EQ(second.at("id").as_u64(), shutdown);
+  EXPECT_TRUE(second.at("result").at("drained").as_bool());
+  EXPECT_GE(second.at("result").at("jobs_completed").as_u64(), 1u);
+}
+
+TEST(Cluster, ShuttingDownRejectsNewJobs) {
+  ClusterFixture fx(1);
+  const std::string key = fx.load(net::decompose(gen::comparator(3)));
+  // After the shutdown frame is READ the reader stops, so a later job
+  // never gets a response; instead verify the admission-time rejection
+  // by racing nothing: drain an empty cluster, then the transport closes
+  // and recv on a fresh request would block forever. The cheap, reliable
+  // probe: shutdown an idle cluster and check the response is terminal.
+  obs::Json resp = fx.client.call("shutdown");
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  EXPECT_TRUE(resp.at("result").at("drained").as_bool());
+  obs::Json frame;
+  EXPECT_FALSE(fx.client.t->read(frame))
+      << "cluster kept the stream open after shutdown";
+  (void)key;
+}
+
+}  // namespace
+}  // namespace cwatpg::svc

@@ -445,6 +445,111 @@ TEST(RunReport, MergeRunsAddsCountsAndRecomputesRatios) {
   EXPECT_EQ(obs::merge_runs({}).faults, 0u);
 }
 
+namespace {
+
+/// A synthetic report with distinct histogram shape per `salt`. All
+/// doubles are dyadic (exactly representable sums), so merge order cannot
+/// introduce floating-point drift and associativity can be EXPECT_EQ'd.
+obs::RunReport synthetic_report(std::uint64_t salt) {
+  obs::RunReport r;
+  r.label = "shard";
+  // One shared name: the "<N circuits>" placeholder a cross-circuit merge
+  // writes is a lossy summary and deliberately NOT associative.
+  r.circuit = "mix";
+  r.gates = 10 * salt;
+  r.inputs = salt;
+  r.outputs = 1;
+  r.threads = salt;
+  r.faults = 8 * salt;
+  r.status_counts["detected"] = 5 * salt;
+  r.status_counts["untestable"] = salt;
+  r.status_counts["aborted"] = salt;
+  r.status_counts["undetermined"] = salt;
+  // The ratio recompute reads these through operator[], materializing
+  // zero entries; pre-populate so identity comparisons see equal maps.
+  r.status_counts["dropped-sim"] = 0;
+  r.status_counts["dropped-random"] = 0;
+  r.status_counts["unreachable"] = 0;
+  r.engine_counts["sat"] = 6 * salt;
+  r.engine_counts["podem"] = salt;
+  r.stop_reasons["none"] = 7 * salt;
+  r.stop_reasons["conflict-limit"] = salt;
+  r.num_tests = 4 * salt;
+  r.num_escalated = salt;
+  r.interrupted = salt == 2;
+  r.solver.conflicts = 100 * salt;
+  r.solver.decisions = 200 * salt;
+  r.solver.propagations = 300 * salt;
+  r.solver.reused_implications = 40 * salt;
+  r.attempts = 9 * salt;
+  r.sat_instances = 6 * salt;
+  r.max_sat_vars = 50 + salt;
+  r.max_sat_clauses = 500 + salt;
+  r.solve_seconds = 0.25 * static_cast<double>(salt);
+  r.wall_seconds = 0.5 * static_cast<double>(salt);
+  return r;
+}
+
+}  // namespace
+
+TEST(RunReport, MergeRunsEmptyAndSingleIdentities) {
+  // Empty input: the default (all-zero) report, nothing invented.
+  const obs::RunReport empty = obs::merge_runs({});
+  EXPECT_EQ(empty, obs::RunReport{});
+
+  // Single input: every additive field passes through unchanged; the
+  // ratios are recomputed from the (unchanged) histograms, so they agree
+  // with the input's own.
+  obs::RunReport one = synthetic_report(3);
+  one.fault_coverage = 5.0 / 8.0;       // 5·salt detected of 8·salt faults
+  one.fault_efficiency = 6.0 / 8.0;     // + salt untestable
+  const std::vector<obs::RunReport> single = {one};
+  const obs::RunReport merged = obs::merge_runs(single);
+  EXPECT_EQ(merged.status_counts, one.status_counts);
+  EXPECT_EQ(merged.engine_counts, one.engine_counts);
+  EXPECT_EQ(merged.stop_reasons, one.stop_reasons);
+  EXPECT_EQ(merged.solver.reused_implications,
+            one.solver.reused_implications);
+  EXPECT_EQ(merged.faults, one.faults);
+  EXPECT_EQ(merged.num_tests, one.num_tests);
+  EXPECT_DOUBLE_EQ(merged.fault_coverage, one.fault_coverage);
+  EXPECT_DOUBLE_EQ(merged.fault_efficiency, one.fault_efficiency);
+}
+
+TEST(RunReport, MergeRunsIsAssociative) {
+  // Shard-merge order must not matter: ((a·b)·c), (a·(b·c)) and (a·b·c)
+  // have to agree on every field — histograms, solver stats (including
+  // reused_implications), histogram-derived ratios, interrupted OR,
+  // max-reduced fields — or a cluster's merged report would depend on
+  // reply arrival order.
+  const obs::RunReport a = synthetic_report(1);
+  const obs::RunReport b = synthetic_report(2);
+  const obs::RunReport c = synthetic_report(3);
+
+  const std::vector<obs::RunReport> ab = {a, b};
+  const std::vector<obs::RunReport> bc = {b, c};
+  const std::vector<obs::RunReport> left_args = {obs::merge_runs(ab), c};
+  const std::vector<obs::RunReport> right_args = {a, obs::merge_runs(bc)};
+  const std::vector<obs::RunReport> flat_args = {a, b, c};
+  const obs::RunReport left = obs::merge_runs(left_args);
+  const obs::RunReport right = obs::merge_runs(right_args);
+  const obs::RunReport flat = obs::merge_runs(flat_args);
+
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, flat);
+
+  // Spot-check the merged content is the three-way sum, not just
+  // self-consistent.
+  EXPECT_EQ(flat.status_counts.at("detected"), 5u * (1 + 2 + 3));
+  EXPECT_EQ(flat.engine_counts.at("podem"), 1u + 2 + 3);
+  EXPECT_EQ(flat.stop_reasons.at("conflict-limit"), 1u + 2 + 3);
+  EXPECT_EQ(flat.solver.reused_implications, 40u * (1 + 2 + 3));
+  EXPECT_TRUE(flat.interrupted);  // b was interrupted: OR carries it
+  EXPECT_EQ(flat.threads, 3u);    // max, not sum
+  EXPECT_DOUBLE_EQ(flat.fault_coverage,
+                   static_cast<double>(5 * 6) / (8 * 6));
+}
+
 TEST(RunReport, ConflictCapStopReasonsAttributeExactly) {
   // Deterministic budget scenario: a conflict cap of 1 with the ladder off
   // makes every hard fault abort with kConflictLimit — the report's

@@ -413,9 +413,20 @@ TEST(SvcServer, LoadCircuitReportsShapeAndDedups) {
   EXPECT_EQ(circuit.at("outputs").as_u64(), n.outputs().size());
   EXPECT_GT(circuit.at("faults").as_u64(), 0u);
   EXPECT_GT(circuit.at("cnf_clauses").as_u64(), 0u);
+  // Idempotency ack: a first load of new content says so...
+  EXPECT_FALSE(resp.at("result").at("already_loaded").as_bool());
 
-  const std::string key2 = f.load(n);  // identical content, other name
-  EXPECT_EQ(key2, circuit.at("key").as_string());
+  // ...and a re-load of identical content (under another name) acks as a
+  // dedup hit, so a retrying client — or a cluster coordinator replaying
+  // replication after a failover — can tell the no-op apart.
+  obs::Json params2 = obs::Json::object();
+  params2["name"] = "two";
+  params2["text"] = bench_text(n);
+  obs::Json resp2 = f.client.call("load_circuit", std::move(params2));
+  ASSERT_TRUE(resp2.at("ok").as_bool()) << resp2.dump();
+  EXPECT_TRUE(resp2.at("result").at("already_loaded").as_bool());
+  EXPECT_EQ(resp2.at("result").at("circuit").at("key").as_string(),
+            circuit.at("key").as_string());
   EXPECT_EQ(f.server.registry_stats().entries, 1u);
 }
 
