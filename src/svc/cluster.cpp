@@ -17,6 +17,10 @@ namespace cwatpg::svc {
 
 namespace {
 
+/// Terminated job ids remembered for status/cancel after the JobContext
+/// itself is released; bounds coordinator memory at high job counts.
+constexpr std::size_t kDoneJobHistory = 1024;
+
 std::uint64_t extract_id(const obs::Json& frame) {
   if (!frame.is_object()) return 0;
   const obs::Json* id = frame.find("id");
@@ -284,6 +288,16 @@ void Cluster::handle_load_circuit(const Request& req) {
   // structural content hash the registry dedups on: re-loading an
   // identical circuit (under any name) is a no-op end to end.
   bench_texts_[entry->key] = std::move(text);
+  // This load may have pushed older entries past the registry's LRU
+  // budget; drop their replication texts too, or the text cache grows
+  // without bound with distinct circuits. (An evicted key cannot be
+  // admitted anyway, and already-admitted jobs carry their own copy.)
+  for (auto it = bench_texts_.begin(); it != bench_texts_.end();) {
+    if (it->first != entry->key && !registry_.retains(it->first))
+      it = bench_texts_.erase(it);
+    else
+      ++it;
+  }
   obs::Json result = obs::Json::object();
   result["circuit"] = entry->to_json();
   result["already_loaded"] = already_loaded;
@@ -300,6 +314,8 @@ void Cluster::handle_status(const Request& req) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (const auto it = jobs_.find(id); it != jobs_.end())
         state = it->second->terminal_sent ? "done" : "running";
+      else if (done_jobs_.count(id) != 0)
+        state = "done";
     }
     obs::Json result = obs::Json::object();
     result["job"] = id;
@@ -349,6 +365,7 @@ void Cluster::handle_cancel(const Request& req) {
 
   const char* state = "unknown";
   std::shared_ptr<JobContext> job;
+  bool forwarded_queued = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (const auto it = jobs_.find(id); it != jobs_.end()) {
@@ -365,6 +382,7 @@ void Cluster::handle_cancel(const Request& req) {
         for (auto it2 = queue_.begin(); it2 != queue_.end();) {
           if (it2->job == job) {
             ++job->shards_accounted;
+            if (!job->sharded) forwarded_queued = true;
             it2 = queue_.erase(it2);
           } else {
             ++it2;
@@ -372,6 +390,8 @@ void Cluster::handle_cancel(const Request& req) {
         }
         fan_out_cancel_locked(id);
       }
+    } else if (done_jobs_.count(id) != 0) {
+      state = "done";
     }
   }
   obs::Json result = obs::Json::object();
@@ -379,15 +399,23 @@ void Cluster::handle_cancel(const Request& req) {
   result["state"] = state;
   transport_->write(make_response(req.id, std::move(result)));
 
-  if (job != nullptr && job->sharded) {
-    bool complete = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      complete =
-          !job->terminal_sent && job->shards_accounted >= job->shards_total;
-    }
-    if (complete) finish_sharded_job(job);
+  if (job == nullptr) return;
+  if (!job->sharded) {
+    // A forwarded job swept out of the queue above will never reach a
+    // worker, and pop_shard's cancelled-while-queued path cannot fire for
+    // a shard that is no longer queued — its terminal must come from
+    // here, or the client hangs and the shutdown drain deadlocks.
+    if (forwarded_queued)
+      fail_job(job, ErrorCode::kCancelled, "cancelled while queued");
+    return;
   }
+  bool complete = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    complete =
+        !job->terminal_sent && job->shards_accounted >= job->shards_total;
+  }
+  if (complete) finish_sharded_job(job);
 }
 
 void Cluster::fan_out_cancel_locked(std::uint64_t job_id) {
@@ -871,12 +899,29 @@ bool Cluster::claim_terminal(const std::shared_ptr<JobContext>& job) {
   return true;
 }
 
-void Cluster::send_terminal(const std::shared_ptr<JobContext>&,
+void Cluster::send_terminal(const std::shared_ptr<JobContext>& job,
                             obs::Json response) {
   transport_->write(response);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (active_jobs_ > 0) --active_jobs_;
+    // The terminal is out: release the job's heavy state (the per-fault
+    // records map, and the jobs_ entry pinning the whole context) so a
+    // long-lived coordinator does not grow with job count. status/cancel
+    // keep answering "done" out of a bounded id history. The entry is
+    // erased only if it still maps to THIS job — a reused request id may
+    // already name a successor admitted during the merge window.
+    job->records.clear();
+    if (const auto it = jobs_.find(job->id);
+        it != jobs_.end() && it->second == job)
+      jobs_.erase(it);
+    if (done_jobs_.insert(job->id).second) {
+      done_order_.push_back(job->id);
+      if (done_order_.size() > kDoneJobHistory) {
+        done_jobs_.erase(done_order_.front());
+        done_order_.pop_front();
+      }
+    }
   }
   drain_cv_.notify_all();
 }

@@ -189,7 +189,12 @@ class Cluster {
   bool shutting_down_ = false;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::size_t alive_ = 0;
+  /// Live jobs only: the entry is released with the terminal response.
   std::unordered_map<std::uint64_t, std::shared_ptr<JobContext>> jobs_;
+  /// Recently-terminated job ids (bounded FIFO history) so status/cancel
+  /// still answer "done" after the JobContext is gone.
+  std::unordered_set<std::uint64_t> done_jobs_;
+  std::deque<std::uint64_t> done_order_;
   std::size_t active_jobs_ = 0;
   ClusterStats stats_;
 };

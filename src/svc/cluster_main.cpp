@@ -13,6 +13,7 @@
 // redispatch counts, which is what scripts/service_smoke.py --cluster
 // uses for its kill drill. Worker stderr is inherited, so the whole
 // fleet's diagnostics land on the coordinator's stderr.
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -71,6 +72,10 @@ std::vector<std::string> split_command(const std::string& cmd) {
 
 int main(int argc, char** argv) {
   using namespace cwatpg;
+
+  // A worker dying mid-write must surface as EPIPE on our pipe fds — the
+  // failover signal — not as a process-killing SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
 
   std::size_t workers = 2;
   std::string worker_cmd;

@@ -175,6 +175,11 @@ std::shared_ptr<const CircuitEntry> CircuitRegistry::find(
   return entry;
 }
 
+bool CircuitRegistry::retains(std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(std::string(key)) != entries_.end();
+}
+
 RegistryStats CircuitRegistry::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   RegistryStats s = counters_;

@@ -104,6 +104,12 @@ class CircuitRegistry {
   /// nullptr on miss.
   std::shared_ptr<const CircuitEntry> find(std::string_view key);
 
+  /// True when `key` is currently retained. A pure probe — no recency
+  /// refresh, no hit/miss accounting — for caches keyed alongside the
+  /// registry (e.g. the cluster's bench-text replication map) to evict in
+  /// step with the LRU.
+  bool retains(std::string_view key) const;
+
   RegistryStats stats() const;
 
  private:

@@ -12,6 +12,7 @@
 //
 // --threads=0 (the default) means "auto": one job slot per hardware
 // thread, via the shared ThreadPool::resolve_thread_count helper.
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -50,6 +51,10 @@ void print_usage(std::ostream& out, const char* argv0) {
 
 int main(int argc, char** argv) {
   using namespace cwatpg;
+
+  // A peer vanishing mid-response (a coordinator killed over our pipe)
+  // must surface as a failed write, not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
 
   svc::ServerOptions options;
   for (int i = 1; i < argc; ++i) {

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include <fcntl.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -54,11 +55,7 @@ void write_all(int fd, const char* buf, std::size_t n) {
 }  // namespace
 
 FdTransport::FdTransport(int read_fd, int write_fd)
-    : read_fd_(read_fd), write_fd_(write_fd) {
-  // A dying peer must surface as EPIPE/EOF on OUR descriptors, not as a
-  // process-killing SIGPIPE.
-  ::signal(SIGPIPE, SIG_IGN);
-}
+    : read_fd_(read_fd), write_fd_(write_fd) {}
 
 FdTransport::~FdTransport() {
   close();
@@ -75,7 +72,11 @@ bool FdTransport::read(obs::Json& frame) {
   while (true) {
     if (!read_exact(read_fd_, &c, 1, header.empty())) return false;
     if (c == '\n') break;
-    if (c < '0' || c > '9' || header.size() > 20)
+    // 12 digits max (mirroring proto.cpp's read_frame): far above the
+    // frame byte cap, and small enough that stoull below can never throw
+    // out_of_range — which would escape as a std::logic_error instead of
+    // the ProtocolError the worker-failure paths expect.
+    if (c < '0' || c > '9' || header.size() >= 12)
       throw ProtocolError("malformed frame header");
     header.push_back(c);
   }
@@ -125,6 +126,14 @@ ChildProcess spawn_child(const std::vector<std::string>& argv) {
     throw std::runtime_error(std::string("pipe failed: ") +
                              std::strerror(errno));
   }
+  // Close-on-exec on every pipe fd: a later-spawned sibling must not
+  // inherit the parent-side write end of an earlier worker's stdin, or
+  // that worker never sees EOF on close() while the sibling lives. The
+  // child's own ends survive as stdin/stdout because dup2 clears the
+  // flag on the duplicate.
+  for (const int fd : {to_child[0], to_child[1], from_child[0],
+                       from_child[1]})
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
 
   const pid_t pid = ::fork();
   if (pid < 0) {

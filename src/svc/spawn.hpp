@@ -8,7 +8,10 @@
 // write(2), with the same untrusted-input limits proto.cpp enforces
 // (frame byte cap before any allocation, JSON nesting-depth cap). A
 // worker crash — the failover drill's whole subject — surfaces here as a
-// clean end-of-stream or EPIPE, never as a hang.
+// clean end-of-stream or EPIPE, never as a hang. The embedding process
+// must ignore SIGPIPE for the EPIPE path to be reachable (cwatpg_cluster
+// installs SIG_IGN at startup); FdTransport itself never touches global
+// signal state.
 //
 // Thread-safe: write() from any thread (one mutex, one full-frame write
 // per lock hold); read() single-consumer, like every Transport.

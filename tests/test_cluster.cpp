@@ -418,6 +418,58 @@ TEST(Cluster, StatusTracksJobsAndCancelIsSafeAtAnyPhase) {
   EXPECT_EQ(done.at("result").at("state").as_string(), "done");
 }
 
+TEST(Cluster, CancelOfQueuedForwardedJobStillGetsATerminal) {
+  // One worker, kept busy by a one-shard atpg job: a forwarded (fsim) job
+  // queued behind it is cancelled while still queued. The cancel sweep
+  // removes its whole-job shard from the queue, so its terminal must come
+  // from the cancel path itself — a leak here means no terminal for the
+  // fsim job and a drain deadlock in the fixture's implicit shutdown.
+  const net::Network n = test_circuit();
+  ClusterOptions options;
+  options.shard_size = 100000;  // the atpg job is a single long shard
+  ClusterFixture fx(1, options);
+  const std::string key = fx.load(n);
+
+  const std::uint64_t atpg_job = fx.client.send("run_atpg", atpg_params(key));
+  obs::Json fsim_params = obs::Json::object();
+  fsim_params["circuit"] = key;
+  obs::Json patterns = obs::Json::array();
+  patterns.push_back(std::string(n.inputs().size(), '1'));
+  fsim_params["patterns"] = std::move(patterns);
+  const std::uint64_t fsim_job = fx.client.send("fsim", std::move(fsim_params));
+  obs::Json cancel_params = obs::Json::object();
+  cancel_params["job"] = fsim_job;
+  const std::uint64_t cancel_id = fx.client.send("cancel", cancel_params);
+
+  bool saw_atpg = false, saw_fsim = false, saw_cancel_ack = false;
+  for (int i = 0; i < 3; ++i) {
+    obs::Json frame = fx.client.recv();
+    const std::uint64_t id = frame.at("id").as_u64();
+    if (id == atpg_job) {
+      saw_atpg = true;
+      EXPECT_TRUE(frame.at("ok").as_bool()) << frame.dump();
+    } else if (id == fsim_job) {
+      // Usually the coordinator's "cancelled while queued" error; if the
+      // race landed after dispatch, the worker's terminal. Either way,
+      // there IS a terminal — that is the contract under test.
+      saw_fsim = true;
+      if (!frame.at("ok").as_bool())
+        EXPECT_EQ(frame.at("error").at("code").as_string(), "cancelled");
+    } else {
+      ASSERT_EQ(id, cancel_id) << frame.dump();
+      saw_cancel_ack = true;
+    }
+  }
+  EXPECT_TRUE(saw_atpg);
+  EXPECT_TRUE(saw_fsim);
+  EXPECT_TRUE(saw_cancel_ack);
+
+  obs::Json done_params = obs::Json::object();
+  done_params["job"] = fsim_job;
+  obs::Json done = fx.client.call("status", done_params);
+  EXPECT_EQ(done.at("result").at("state").as_string(), "done");
+}
+
 TEST(Cluster, ShutdownDrainsActiveJobsBeforeResponding) {
   const net::Network n = net::decompose(gen::comparator(3));
   ClusterOptions options;
