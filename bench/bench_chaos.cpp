@@ -30,6 +30,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -38,6 +39,8 @@
 #include <vector>
 
 #include "gen/structured.hpp"
+#include "net/net_server.hpp"
+#include "net/socket.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/decompose.hpp"
 #include "obs/json.hpp"
@@ -215,6 +218,74 @@ void check_invariants(SessionResult& out) {
   }
 }
 
+/// Drives the shared single-session workload — load, mixed run_atpg/fsim
+/// jobs, awaits, shutdown — through an already-connected client,
+/// recording per-job outcomes and the torn flag. Used by both the duplex
+/// and the TCP campaigns, so their invariants are checked over the same
+/// traffic shape.
+void drive_session(svc::Client& client, const Workload& w,
+                   SessionResult& out) {
+  std::string key = "never-loaded";
+  try {
+    obs::Json params = obs::Json::object();
+    params["name"] = "chaos";
+    params["text"] = w.bench_text;
+    const obs::Json resp = client.call("load_circuit", params);
+    if (const obs::Json* ok = resp.find("ok");
+        ok != nullptr && ok->is_bool() && ok->as_bool())
+      key = resp.at("result").at("circuit").at("key").as_string();
+  } catch (const std::exception&) {
+    out.torn = true;
+  }
+
+  std::vector<std::uint64_t> ids;
+  const auto await_into = [&](std::uint64_t id) {
+    if (out.torn) {
+      out.outcomes[id] = "unresolved";
+      return;
+    }
+    const std::optional<obs::Json> resp = client.await(id);
+    if (!resp.has_value()) {
+      out.torn = true;
+      out.outcomes[id] = "unresolved";
+    } else {
+      out.outcomes[id] = outcome_of(*resp);
+    }
+  };
+  for (std::size_t j = 0; j < w.jobs && !out.torn; ++j) {
+    obs::Json params = obs::Json::object();
+    params["circuit"] = key;
+    std::uint64_t id = 0;
+    if (j % 3 == 2) {
+      obs::Json patterns = obs::Json::array();
+      patterns.push_back(std::string(w.num_inputs, j % 2 ? '1' : '0'));
+      params["patterns"] = std::move(patterns);
+      id = client.submit("fsim", std::move(params));
+    } else {
+      params["seed"] = static_cast<std::uint64_t>(j) * 7919 + 13;
+      // Alternate the random-pattern phase off so half the ATPG jobs
+      // are forced through the SAT path, where the solver failpoints
+      // live.
+      params["random_blocks"] =
+          static_cast<std::uint64_t>(j % 2 == 0 ? 0 : 2);
+      id = client.submit("run_atpg", std::move(params));
+    }
+    ids.push_back(id);
+    if (w.serial) await_into(id);
+  }
+  if (!w.serial)
+    for (const std::uint64_t id : ids) await_into(id);
+
+  if (!out.torn) {
+    try {
+      client.call("shutdown");
+    } catch (const std::exception&) {
+      out.torn = true;
+    }
+  }
+  out.stats = client.stats();
+}
+
 SessionResult run_session(const std::string& schedule, const Workload& w) {
   SessionResult out;
   fp::Registry::instance().reset();
@@ -238,66 +309,7 @@ SessionResult run_session(const std::string& schedule, const Workload& w) {
       copts.max_attempts = 4;
       copts.sleep_fn = [](double) {};  // chaos wants retries, not waits
       svc::Client client(*pair.client, copts);
-
-      std::string key = "never-loaded";
-      try {
-        obs::Json params = obs::Json::object();
-        params["name"] = "chaos";
-        params["text"] = w.bench_text;
-        const obs::Json resp = client.call("load_circuit", params);
-        if (const obs::Json* ok = resp.find("ok");
-            ok != nullptr && ok->is_bool() && ok->as_bool())
-          key = resp.at("result").at("circuit").at("key").as_string();
-      } catch (const std::exception&) {
-        out.torn = true;
-      }
-
-      std::vector<std::uint64_t> ids;
-      const auto await_into = [&](std::uint64_t id) {
-        if (out.torn) {
-          out.outcomes[id] = "unresolved";
-          return;
-        }
-        const std::optional<obs::Json> resp = client.await(id);
-        if (!resp.has_value()) {
-          out.torn = true;
-          out.outcomes[id] = "unresolved";
-        } else {
-          out.outcomes[id] = outcome_of(*resp);
-        }
-      };
-      for (std::size_t j = 0; j < w.jobs && !out.torn; ++j) {
-        obs::Json params = obs::Json::object();
-        params["circuit"] = key;
-        std::uint64_t id = 0;
-        if (j % 3 == 2) {
-          obs::Json patterns = obs::Json::array();
-          patterns.push_back(std::string(w.num_inputs, j % 2 ? '1' : '0'));
-          params["patterns"] = std::move(patterns);
-          id = client.submit("fsim", std::move(params));
-        } else {
-          params["seed"] = static_cast<std::uint64_t>(j) * 7919 + 13;
-          // Alternate the random-pattern phase off so half the ATPG jobs
-          // are forced through the SAT path, where the solver failpoints
-          // live.
-          params["random_blocks"] =
-              static_cast<std::uint64_t>(j % 2 == 0 ? 0 : 2);
-          id = client.submit("run_atpg", std::move(params));
-        }
-        ids.push_back(id);
-        if (w.serial) await_into(id);
-      }
-      if (!w.serial)
-        for (const std::uint64_t id : ids) await_into(id);
-
-      if (!out.torn) {
-        try {
-          client.call("shutdown");
-        } catch (const std::exception&) {
-          out.torn = true;
-        }
-      }
-      out.stats = client.stats();
+      drive_session(client, w, out);
     }
     pair.client->close();
     loop.join();
@@ -306,6 +318,97 @@ SessionResult run_session(const std::string& schedule, const Workload& w) {
       out.counts_dump += site + "=" + std::to_string(c.hits) + "/" +
                          std::to_string(c.fires) + ";";
   }  // ScheduleScope resets the registry for the next session
+
+  check_invariants(out);
+  return out;
+}
+
+// ---- one TCP chaos session ------------------------------------------------
+
+/// Draws a schedule over the TCP layer's injection sites. Short reads and
+/// stalled writes are lossless (they slow bytes down, never drop them);
+/// injected resets and accept failures tear the session, which the
+/// invariant tolerates — it still demands the tear is CLEAN: the client
+/// observes end-of-stream, every unresolved job is tallied, nothing hangs.
+std::string make_net_schedule(Rng& rng) {
+  const auto num = [&rng](std::uint64_t lo, std::uint64_t hi) {
+    return std::to_string(lo + rng.below(hi - lo + 1));
+  };
+  const std::vector<std::string> net_pool = {
+      "net.read.short=always@" + num(1, 7),
+      "net.read.short=every:" + num(2, 4) + "@" + num(1, 64),
+      "net.write.stall=every:" + num(2, 5),
+      "net.write.stall=nth:" + num(1, 6),
+      "net.conn.reset=once",
+      "net.conn.reset=nth:" + num(2, 40),
+      "net.accept.fail=once",
+  };
+  const std::vector<std::string> worker_pool = {
+      "sat.solver.alloc=nth:" + num(1, 8),
+      "svc.queue.full=once",
+      "svc.server.execute.throw=once",
+  };
+  std::map<std::string, std::string> by_site;
+  const std::string first = net_pool[rng.below(net_pool.size())];
+  by_site.emplace(first.substr(0, first.find('=')), first);
+  const std::size_t extras = rng.below(3);
+  for (std::size_t i = 0; i < extras; ++i) {
+    const std::string item =
+        rng.below(2) == 0 ? net_pool[rng.below(net_pool.size())]
+                          : worker_pool[rng.below(worker_pool.size())];
+    by_site.emplace(item.substr(0, item.find('=')), item);
+  }
+  std::string schedule;
+  for (const auto& [site, item] : by_site) {
+    (void)site;
+    if (!schedule.empty()) schedule += ';';
+    schedule += item;
+  }
+  return schedule;
+}
+
+/// The same workload and invariant as run_session, but over a real
+/// loopback TCP connection through the netio::NetServer event loop — the
+/// full cwatpg_serve --listen stack, injected at the socket layer.
+SessionResult run_tcp_session(const std::string& schedule,
+                              const Workload& w) {
+  SessionResult out;
+  fp::Registry::instance().reset();
+  {
+    fp::ScheduleScope fps(schedule);
+
+    svc::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.queue_capacity = 8;
+    svc::Server server(sopts);
+    netio::NetServer net_server(server);
+    std::thread loop([&] { net_server.run(); });
+
+    {
+      std::unique_ptr<netio::SocketTransport> transport;
+      try {
+        transport = std::make_unique<netio::SocketTransport>(
+            netio::tcp_connect("127.0.0.1", net_server.port(), 5.0));
+      } catch (const std::exception&) {
+        out.torn = true;  // accept-side injection can kill the dial itself
+      }
+      if (transport) {
+        // A wedged session must become a torn session, never a hung bench.
+        transport->set_read_timeout(10.0);
+        svc::ClientOptions copts;
+        copts.max_attempts = 4;
+        copts.sleep_fn = [](double) {};
+        svc::Client client(*transport, copts);
+        drive_session(client, w, out);
+      }
+    }
+    net_server.stop();  // no-op when a clean shutdown already ended run()
+    loop.join();
+
+    for (const auto& [site, c] : fp::Registry::instance().counts())
+      out.counts_dump += site + "=" + std::to_string(c.hits) + "/" +
+                         std::to_string(c.fires) + ";";
+  }
 
   check_invariants(out);
   return out;
@@ -549,6 +652,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  // TCP campaign: the same lossless-or-cleanly-torn invariant with the
+  // netio::NetServer event loop and a real loopback socket in the middle —
+  // short reads, stalled flushes, injected resets and accept failures at
+  // the net.* sites. A response lost in the outbox/flush path, or a tear
+  // that hangs instead of surfacing as end-of-stream, fails here.
+  const std::size_t tcp_schedules =
+      std::max<std::size_t>(8, args.schedules / 4);
+  std::size_t tcp_torn = 0, tcp_unresolved = 0;
+  for (std::size_t s = 0; s < tcp_schedules; ++s) {
+    Rng rng(split_seed(args.seed ^ 0x7c9a11e7u, s));
+    Workload w = base;
+    const std::string schedule = make_net_schedule(rng);
+    const SessionResult r = run_tcp_session(schedule, w);
+    tcp_torn += r.torn ? 1 : 0;
+    for (const auto& [id, outcome] : r.outcomes) {
+      (void)id;
+      ++outcome_histogram[outcome];
+      tcp_unresolved += outcome == "unresolved" ? 1 : 0;
+    }
+    if (!r.violation.empty()) {
+      ++failures;
+      std::printf("FAIL net schedule %zu [%s]: %s\n", s, schedule.c_str(),
+                  r.violation.c_str());
+    }
+  }
+
   // Determinism replay: same schedule + serial workload, twice, compared
   // byte for byte.
   std::size_t replay_mismatches = 0;
@@ -577,6 +706,8 @@ int main(int argc, char** argv) {
   std::printf("cluster sessions: %zu  torn: %zu  unresolved(torn-only): "
               "%zu\n",
               cluster_schedules, cluster_torn, cluster_unresolved);
+  std::printf("tcp sessions: %zu  torn: %zu  unresolved(torn-only): %zu\n",
+              tcp_schedules, tcp_torn, tcp_unresolved);
   for (const auto& [outcome, count] : outcome_histogram)
     std::printf("  %-22s %zu\n", outcome.c_str(), count);
   std::printf("determinism replays: %zu  mismatches: %zu\n", args.replay,
@@ -593,6 +724,9 @@ int main(int argc, char** argv) {
     j["cluster_torn_sessions"] = static_cast<std::uint64_t>(cluster_torn);
     j["cluster_unresolved_jobs"] =
         static_cast<std::uint64_t>(cluster_unresolved);
+    j["tcp_sessions"] = static_cast<std::uint64_t>(tcp_schedules);
+    j["tcp_torn_sessions"] = static_cast<std::uint64_t>(tcp_torn);
+    j["tcp_unresolved_jobs"] = static_cast<std::uint64_t>(tcp_unresolved);
     j["replays"] = static_cast<std::uint64_t>(args.replay);
     j["replay_mismatches"] =
         static_cast<std::uint64_t>(replay_mismatches);

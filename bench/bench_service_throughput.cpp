@@ -1,22 +1,36 @@
 // Service throughput: the cwatpg.rpc/1 daemon under a mixed request load.
 //
-// Drives an in-process svc::Server over an in-memory duplex transport —
-// the same Server + Transport path cwatpg_serve binds to stdin/stdout, so
-// the numbers measure the real admission/dispatch/response pipeline, not a
-// test shortcut. The workload replays a deterministic trace of run_atpg
-// and fsim jobs (mixed priorities and seeds) against a handful of
-// registered circuits, with periodic cancels racing live jobs, and reports
-// sustained requests/second plus the server's own queue/registry counters.
+// Drives a svc::Server through either transport the real daemons use:
 //
-//   --scale=F     trace length multiplier (default workload ~ a few
-//                 hundred requests)
-//   --threads=N   server job workers: 1 = default, 0 = auto, N > 1 = pool
-//   --seed=S      varies the per-job ATPG seeds (never the trace shape)
-//   --json=FILE   canonical bench report; `runs` holds the RunReport every
-//                 served run_atpg response carried, so served work is
-//                 diffable against direct-engine bench artifacts
+//   --transport=duplex  in-memory duplex pair — the Server + Transport
+//                       path cwatpg_serve binds to stdin/stdout
+//   --transport=tcp     a netio::NetServer event loop on loopback, with
+//                       --clients=N concurrent TCP connections replaying
+//                       independent slices of the trace
+//
+// The workload replays a deterministic trace of run_atpg and fsim jobs
+// (mixed priorities and seeds) against a handful of registered circuits,
+// with periodic cancels racing live jobs, and reports sustained
+// requests/second plus the server's own queue/registry/net counters. The
+// bench FAILS (nonzero exit) if any client loses a response — the
+// zero-lost invariant the chaos suite asserts, here under plain load and,
+// with --chaos, under lossless net.* failpoint schedules.
+//
+//   --scale=F       trace length multiplier (default workload ~ a few
+//                   hundred requests)
+//   --threads=N     server job workers: 1 = default, 0 = auto, N > 1 = pool
+//   --seed=S        varies the per-job ATPG seeds (never the trace shape)
+//   --clients=N     concurrent TCP clients (tcp only; default 4)
+//   --chaos[=SPEC]  arm a failpoint schedule for the whole run; bare
+//                   --chaos arms the default lossless net.* schedule
+//                   (short reads + stalled writes)
+//   --json=FILE     canonical bench report; `runs` holds the RunReport
+//                   every served run_atpg response carried, so served work
+//                   is diffable against direct-engine bench artifacts
 #include <algorithm>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -25,6 +39,8 @@
 #include "bench_common.hpp"
 #include "bench_report.hpp"
 #include "gen/structured.hpp"
+#include "net/net_server.hpp"
+#include "net/socket.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/decompose.hpp"
 #include "obs/json.hpp"
@@ -32,12 +48,21 @@
 #include "svc/proto.hpp"
 #include "svc/server.hpp"
 #include "svc/transport.hpp"
+#include "util/failpoint.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
 using namespace cwatpg;
+
+/// Lossless by construction: short reads and periodically stalled writes
+/// slow every byte down but can never drop one, so the zero-lost check
+/// stays a hard assertion under it. Tearing sites (net.conn.reset,
+/// net.accept.fail) belong to bench_chaos, whose invariant tolerates a
+/// torn session.
+constexpr const char* kDefaultNetChaos =
+    "net.read.short=every:3@512;net.write.stall=every:4";
 
 obs::Json request_json(std::uint64_t id, const char* kind, obs::Json params) {
   obs::Json j = obs::Json::object();
@@ -48,31 +73,37 @@ obs::Json request_json(std::uint64_t id, const char* kind, obs::Json params) {
   return j;
 }
 
-}  // namespace
+struct TraceTally {
+  std::size_t sent_jobs = 0, sent_cancels = 0;
+  std::size_t ok_atpg = 0, ok_fsim = 0, overloaded = 0, cancelled = 0,
+              other_errors = 0, cancel_acks = 0;
+  std::size_t lost = 0;  ///< expected responses the transport never produced
+  std::vector<obs::RunReport> reports;
 
-int main(int argc, char** argv) {
-  bench::BenchArgs defaults;
-  defaults.scale = 0.35;
-  const bench::BenchArgs args = bench::parse_args(argc, argv, defaults);
-  bench::banner("service throughput — ATPG-as-a-service under mixed load",
-                "serving-layer companion to the paper's \"ATPG is easy in "
-                "practice\" claim: easy per-instance cost must survive "
-                "scheduling, admission and transport");
+  void merge(const TraceTally& o) {
+    sent_jobs += o.sent_jobs;
+    sent_cancels += o.sent_cancels;
+    ok_atpg += o.ok_atpg;
+    ok_fsim += o.ok_fsim;
+    overloaded += o.overloaded;
+    cancelled += o.cancelled;
+    other_errors += o.other_errors;
+    cancel_acks += o.cancel_acks;
+    lost += o.lost;
+    reports.insert(reports.end(), o.reports.begin(), o.reports.end());
+  }
+};
 
-  svc::ServerOptions sopts;
-  sopts.threads = args.threads;
-  sopts.queue_capacity = 64;
-  svc::Server server(sopts);
-  svc::DuplexPair pair = svc::make_duplex();
-  std::thread serve_loop([&] { server.serve(*pair.server); });
-  svc::Transport& client = *pair.client;
-
-  // ---- register the circuit mix ------------------------------------------
-  const std::vector<net::Network> circuits = {
-      net::decompose(gen::comparator(3)),
-      net::decompose(gen::comparator(4)),
-      net::decompose(gen::array_multiplier(4)),
-  };
+/// Replays one client's trace slice: registers the circuit mix (the
+/// registry is content-addressed, so N clients loading the same circuits
+/// share one entry), pumps `total_jobs` mixed jobs with racing cancels,
+/// and accounts for every response. Ids are session-scoped, so every
+/// client runs the same id sequence — which is exactly the collision the
+/// per-connection routing must keep apart.
+TraceTally run_trace(svc::Transport& client,
+                     const std::vector<net::Network>& circuits,
+                     std::size_t total_jobs, std::uint64_t seed) {
+  TraceTally tally;
   std::uint64_t next_id = 1;
   std::vector<std::string> keys;
   for (const net::Network& n : circuits) {
@@ -84,22 +115,13 @@ int main(int argc, char** argv) {
     client.write(request_json(next_id++, "load_circuit", std::move(params)));
     obs::Json resp;
     if (!client.read(resp) || !resp.at("ok").as_bool()) {
-      std::cerr << "load_circuit failed\n";
-      return 1;
+      ++tally.lost;
+      return tally;
     }
     keys.push_back(resp.at("result").at("circuit").at("key").as_string());
-    std::cout << "registered " << n.name() << " as " << keys.back() << "\n";
   }
 
-  // ---- replay the trace ---------------------------------------------------
-  const std::size_t total_jobs = std::max<std::size_t>(
-      16, static_cast<std::size_t>(600 * args.scale));
-  std::cout << "\nreplaying " << total_jobs << " jobs on "
-            << server.threads() << " worker(s)...\n";
-
-  std::size_t sent_jobs = 0, sent_cancels = 0;
   std::vector<std::uint64_t> outstanding;
-  Timer wall;
   for (std::size_t i = 0; i < total_jobs; ++i) {
     const std::string& key = keys[i % keys.size()];
     obs::Json params = obs::Json::object();
@@ -113,72 +135,180 @@ int main(int argc, char** argv) {
       params["patterns"] = std::move(patterns);
       client.write(request_json(id, "fsim", std::move(params)));
     } else {
-      params["seed"] = args.seed + static_cast<std::uint64_t>(i);
+      params["seed"] = seed + static_cast<std::uint64_t>(i);
       params["priority"] = static_cast<std::int64_t>(i % 3) - 1;
       client.write(request_json(id, "run_atpg", std::move(params)));
     }
     outstanding.push_back(id);
-    ++sent_jobs;
+    ++tally.sent_jobs;
     if (i % 16 == 15) {
       // Race a cancel against a job submitted a moment ago.
       obs::Json cparams = obs::Json::object();
       cparams["job"] = outstanding[outstanding.size() / 2];
       client.write(request_json(next_id++, "cancel", std::move(cparams)));
-      ++sent_cancels;
+      ++tally.sent_cancels;
     }
   }
 
-  // ---- collect every response --------------------------------------------
-  std::size_t ok_atpg = 0, ok_fsim = 0, overloaded = 0, cancelled = 0,
-              other_errors = 0, cancel_acks = 0;
-  std::vector<obs::RunReport> reports;
-  const std::size_t expected = sent_jobs + sent_cancels;
+  const std::size_t expected = tally.sent_jobs + tally.sent_cancels;
   for (std::size_t i = 0; i < expected; ++i) {
     obs::Json resp;
     if (!client.read(resp)) {
-      std::cerr << "transport closed with responses outstanding\n";
-      return 1;
+      tally.lost += expected - i;
+      return tally;
     }
     if (!resp.at("ok").as_bool()) {
       const std::string code = resp.at("error").at("code").as_string();
       if (code == "overloaded")
-        ++overloaded;
+        ++tally.overloaded;
       else if (code == "cancelled")
-        ++cancelled;
+        ++tally.cancelled;
       else
-        ++other_errors;
+        ++tally.other_errors;
       continue;
     }
     const obs::Json& result = resp.at("result");
     if (result.contains("run_report")) {
-      ++ok_atpg;
-      reports.push_back(obs::RunReport::from_json(result.at("run_report")));
+      ++tally.ok_atpg;
+      tally.reports.push_back(
+          obs::RunReport::from_json(result.at("run_report")));
     } else if (result.contains("fsim")) {
-      ++ok_fsim;
+      ++tally.ok_fsim;
     } else {
-      ++cancel_acks;  // inline cancel responses carry only job/state
+      ++tally.cancel_acks;  // inline cancel responses carry only job/state
     }
   }
-  const double seconds = wall.seconds();
+  return tally;
+}
 
-  client.write(request_json(next_id++, "shutdown", obs::Json::object()));
-  obs::Json shutdown_resp;
-  const bool drained = client.read(shutdown_resp) &&
-                       shutdown_resp.at("ok").as_bool() &&
-                       shutdown_resp.at("result").at("drained").as_bool();
-  serve_loop.join();
+struct ExtraArgs {
+  std::string transport = "duplex";
+  std::size_t clients = 4;
+  std::string chaos;
+};
 
-  // ---- report -------------------------------------------------------------
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off this bench's own flags; everything else goes to the shared
+  // parser (which rejects unknowns).
+  ExtraArgs extra_args;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--transport=", 0) == 0) {
+      extra_args.transport = arg.substr(12);
+      if (extra_args.transport != "duplex" && extra_args.transport != "tcp") {
+        std::cerr << "unknown transport: " << extra_args.transport
+                  << " (expected duplex|tcp)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      extra_args.clients = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.c_str() + 10)));
+    } else if (arg == "--chaos") {
+      extra_args.chaos = kDefaultNetChaos;
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      extra_args.chaos = arg.substr(8);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::BenchArgs defaults;
+  defaults.scale = 0.35;
+  const bench::BenchArgs args = bench::parse_args(
+      static_cast<int>(passthrough.size()), passthrough.data(), defaults);
+  bench::banner("service throughput — ATPG-as-a-service under mixed load",
+                "serving-layer companion to the paper's \"ATPG is easy in "
+                "practice\" claim: easy per-instance cost must survive "
+                "scheduling, admission and transport");
+
+  const bool tcp = extra_args.transport == "tcp";
+  const std::size_t clients = tcp ? extra_args.clients : 1;
+  if (!extra_args.chaos.empty() && !fp::kEnabled)
+    std::cout << "(built with CWATPG_FAILPOINTS=OFF — --chaos ignored)\n";
+  std::unique_ptr<fp::ScheduleScope> chaos;
+  if (!extra_args.chaos.empty() && fp::kEnabled) {
+    chaos = std::make_unique<fp::ScheduleScope>(extra_args.chaos);
+    std::cout << "chaos schedule: " << extra_args.chaos << "\n";
+  }
+
+  svc::ServerOptions sopts;
+  sopts.threads = args.threads;
+  sopts.queue_capacity = 64;
+  svc::Server server(sopts);
+
+  const std::vector<net::Network> circuits = {
+      net::decompose(gen::comparator(3)),
+      net::decompose(gen::comparator(4)),
+      net::decompose(gen::array_multiplier(4)),
+  };
+  const std::size_t total_jobs = std::max<std::size_t>(
+      16, static_cast<std::size_t>(600 * args.scale));
+  const std::size_t jobs_per_client =
+      std::max<std::size_t>(4, total_jobs / clients);
+  std::cout << "replaying " << jobs_per_client << " jobs x " << clients
+            << " client(s) over " << extra_args.transport << " on "
+            << server.threads() << " worker(s)...\n";
+
+  TraceTally tally;
+  bool drained = false;
+  Timer wall;
+  double seconds = 0;
+
+  if (tcp) {
+    netio::NetServerOptions nopts;
+    nopts.max_connections = clients + 1;  // trace clients + shutdown conn
+    netio::NetServer net_server(server, nopts);
+    std::thread loop([&] { net_server.run(); });
+    const std::uint16_t port = net_server.port();
+
+    std::mutex merge_mutex;
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        netio::SocketTransport transport(netio::tcp_connect("127.0.0.1", port));
+        TraceTally t = run_trace(transport, circuits, jobs_per_client,
+                                 args.seed + 1000 * c);
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        tally.merge(t);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    seconds = wall.seconds();
+
+    // One last connection asks the daemon to drain and watches it go.
+    netio::SocketTransport transport(netio::tcp_connect("127.0.0.1", port));
+    transport.write(request_json(1, "shutdown", obs::Json::object()));
+    obs::Json resp;
+    drained = transport.read(resp) && resp.at("ok").as_bool() &&
+              resp.at("result").at("drained").as_bool();
+    loop.join();
+  } else {
+    svc::DuplexPair pair = svc::make_duplex();
+    std::thread serve_loop([&] { server.serve(*pair.server); });
+    tally = run_trace(*pair.client, circuits, jobs_per_client, args.seed);
+    seconds = wall.seconds();
+    pair.client->write(request_json(100000, "shutdown", obs::Json::object()));
+    obs::Json resp;
+    drained = pair.client->read(resp) && resp.at("ok").as_bool() &&
+              resp.at("result").at("drained").as_bool();
+    serve_loop.join();
+  }
+
+  const std::size_t expected = tally.sent_jobs + tally.sent_cancels;
   Table table({"metric", "value"});
   table.add_row({"requests", cell(expected)});
-  table.add_row({"run_atpg ok", cell(ok_atpg)});
-  table.add_row({"fsim ok", cell(ok_fsim)});
-  table.add_row({"overloaded", cell(overloaded)});
-  table.add_row({"cancelled", cell(cancelled)});
-  table.add_row({"cancel acks", cell(cancel_acks)});
-  table.add_row({"other errors", cell(other_errors)});
+  table.add_row({"run_atpg ok", cell(tally.ok_atpg)});
+  table.add_row({"fsim ok", cell(tally.ok_fsim)});
+  table.add_row({"overloaded", cell(tally.overloaded)});
+  table.add_row({"cancelled", cell(tally.cancelled)});
+  table.add_row({"cancel acks", cell(tally.cancel_acks)});
+  table.add_row({"other errors", cell(tally.other_errors)});
+  table.add_row({"lost", cell(tally.lost)});
   table.add_row({"wall seconds", cell(seconds, 3)});
-  table.add_row({"jobs / second", cell(sent_jobs / std::max(seconds, 1e-9), 1)});
+  table.add_row(
+      {"jobs / second", cell(tally.sent_jobs / std::max(seconds, 1e-9), 1)});
   table.print(std::cout);
 
   const svc::QueueStats qstats = server.queue_stats();
@@ -187,25 +317,42 @@ int main(int argc, char** argv) {
             << qstats.rejected << ", removed " << qstats.removed
             << ", max depth " << qstats.max_depth << "\n"
             << "registry: " << rstats.entries << " entries, " << rstats.hits
-            << " hits, " << rstats.evictions << " evictions\n"
-            << "shutdown drained: " << (drained ? "yes" : "NO") << "\n";
+            << " hits, " << rstats.evictions << " evictions\n";
+  if (tcp) {
+    const auto counters = server.metrics().snapshot().counters;
+    const auto count = [&](const char* name) {
+      const auto it = counters.find(name);
+      return it == counters.end() ? std::uint64_t(0) : it->second;
+    };
+    std::cout << "net: " << count("net.conns.accepted") << " conns, "
+              << count("net.bytes.in") << " bytes in, "
+              << count("net.bytes.out") << " bytes out\n";
+  }
+  std::cout << "shutdown drained: " << (drained ? "yes" : "NO") << "\n";
 
-  if (!drained || other_errors > 0) {
-    std::cerr << "service misbehaved under load\n";
+  if (!drained || tally.other_errors > 0 || tally.lost > 0) {
+    std::cerr << "service misbehaved under load (" << tally.lost
+              << " lost, " << tally.other_errors << " unexpected errors, "
+              << "drained=" << drained << ")\n";
     return 1;
   }
 
   obs::Json extra = obs::Json::object();
+  extra["transport"] = extra_args.transport;
+  extra["clients"] = static_cast<std::uint64_t>(clients);
+  extra["chaos"] = extra_args.chaos;
   extra["requests"] = static_cast<std::uint64_t>(expected);
-  extra["jobs"] = static_cast<std::uint64_t>(sent_jobs);
-  extra["run_atpg_ok"] = static_cast<std::uint64_t>(ok_atpg);
-  extra["fsim_ok"] = static_cast<std::uint64_t>(ok_fsim);
-  extra["overloaded"] = static_cast<std::uint64_t>(overloaded);
-  extra["cancelled"] = static_cast<std::uint64_t>(cancelled);
+  extra["jobs"] = static_cast<std::uint64_t>(tally.sent_jobs);
+  extra["run_atpg_ok"] = static_cast<std::uint64_t>(tally.ok_atpg);
+  extra["fsim_ok"] = static_cast<std::uint64_t>(tally.ok_fsim);
+  extra["overloaded"] = static_cast<std::uint64_t>(tally.overloaded);
+  extra["cancelled"] = static_cast<std::uint64_t>(tally.cancelled);
+  extra["lost"] = static_cast<std::uint64_t>(tally.lost);
   extra["wall_seconds"] = seconds;
-  extra["jobs_per_second"] = sent_jobs / std::max(seconds, 1e-9);
+  extra["jobs_per_second"] = tally.sent_jobs / std::max(seconds, 1e-9);
   extra["queue"] = qstats.to_json();
   extra["registry"] = rstats.to_json();
+  std::vector<obs::RunReport> reports = std::move(tally.reports);
   if (!bench::emit_report("bench_service_throughput", args, reports,
                           std::move(extra)))
     return 1;

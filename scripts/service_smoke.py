@@ -19,16 +19,33 @@ the cluster `status`), and assert the job still completes with totals and
 tests identical to an undisturbed run, and that `status` reports the
 death. This is the worker-failover guarantee.
 
-usage: service_smoke.py /path/to/cwatpg_serve [--chaos-kill]
+With --tcp the daemon is booted with --listen on an ephemeral loopback
+port (parsed from its stderr banner) and driven over real sockets: two
+concurrent clients with deliberately colliding request ids, per-connection
+response routing, an over-the-cap connection answered `overloaded`, an
+abrupt client disconnect that must cancel only that client's jobs, and a
+TCP shutdown drain.
+
+With --tcp-cluster (two binaries: cwatpg_cluster then cwatpg_serve) the
+workers are REMOTE: two `cwatpg_serve --listen` daemons on loopback, a
+coordinator attached via --connect, then kill -9 of one worker process
+mid-job. The job must finish with classification identical to the
+undisturbed reference — the cross-machine worker-failover guarantee.
+
+usage: service_smoke.py /path/to/cwatpg_serve [--chaos-kill | --tcp]
        service_smoke.py /path/to/cwatpg_cluster --cluster
+       service_smoke.py /path/to/cwatpg_cluster /path/to/cwatpg_serve --tcp-cluster
 """
 
 import json
 import os
+import re
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 
 RPC_SCHEMA = "cwatpg.rpc/1"
@@ -52,18 +69,12 @@ carry = AND(c1, en)
 """
 
 
-class Client:
-    def __init__(self, binary, extra_args=(), env=None,
-                 base_args=("--threads=2", "--queue-capacity=8")):
-        full_env = dict(os.environ)
-        if env:
-            full_env.update(env)
-        self.proc = subprocess.Popen(
-            [binary, *base_args, *extra_args],
-            stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
-            env=full_env,
-        )
+class Wire:
+    """cwatpg.rpc/1 framing + envelope checks over a binary stream pair."""
+
+    def __init__(self, win, rout):
+        self.win = win
+        self.rout = rout
         self.next_id = 1
 
     def send(self, kind, params=None, req_id=None):
@@ -73,18 +84,18 @@ class Client:
         frame = {"schema": RPC_SCHEMA, "id": req_id, "kind": kind,
                  "params": params or {}}
         payload = json.dumps(frame).encode()
-        self.proc.stdin.write(b"%d\n%s" % (len(payload), payload))
-        self.proc.stdin.flush()
+        self.win.write(b"%d\n%s" % (len(payload), payload))
+        self.win.flush()
         return req_id
 
     def recv(self):
         header = b""
         while not header.endswith(b"\n"):
-            byte = self.proc.stdout.read(1)
+            byte = self.rout.read(1)
             if not byte:
                 raise SystemExit("FAIL: server closed stream mid-conversation")
             header += byte
-        payload = self.proc.stdout.read(int(header))
+        payload = self.rout.read(int(header))
         response = json.loads(payload)
         check(response.get("schema") == RPC_SCHEMA,
               f"response schema: {response}")
@@ -103,6 +114,77 @@ class Client:
         check(response["id"] == req_id,
               f"response id {response['id']} matches request id {req_id}")
         return response
+
+
+class Client(Wire):
+    """A daemon spawned over stdio pipes, spoken to through its stdin/stdout."""
+
+    def __init__(self, binary, extra_args=(), env=None,
+                 base_args=("--threads=2", "--queue-capacity=8")):
+        full_env = dict(os.environ)
+        if env:
+            full_env.update(env)
+        self.proc = subprocess.Popen(
+            [binary, *base_args, *extra_args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=full_env,
+        )
+        super().__init__(self.proc.stdin, self.proc.stdout)
+
+
+class TcpClient(Wire):
+    """One TCP connection to a --listen daemon."""
+
+    def __init__(self, port, host="127.0.0.1"):
+        self.sock = socket.create_connection((host, port), timeout=60)
+        f = self.sock.makefile("rwb")
+        super().__init__(f, f)
+
+    def close(self):
+        """Abrupt disconnect — exactly what a crashed client looks like.
+
+        The makefile() object holds an io-ref on the socket, so
+        sock.close() alone never releases the fd; shutdown() tears the
+        connection down immediately regardless."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.win.close()
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def wait_for_listen(proc):
+    """Parses `... listening on HOST:PORT ...` from the daemon's stderr
+    banner (the stable contract for ephemeral --listen=...:0 ports), then
+    keeps draining stderr on a thread so later diagnostics can't block the
+    daemon."""
+    pattern = re.compile(rb"listening on [0-9.]+:([0-9]+)")
+    line = b""
+    while True:
+        byte = proc.stderr.read(1)
+        if not byte:
+            raise SystemExit("FAIL: daemon exited before announcing its port")
+        line += byte
+        if byte != b"\n":
+            continue
+        m = pattern.search(line)
+        if m:
+            port = int(m.group(1))
+            threading.Thread(target=_forward_stderr, args=(proc.stderr,),
+                             daemon=True).start()
+            return port
+        line = b""
+
+
+def _forward_stderr(stream):
+    for chunk in iter(lambda: stream.read(4096), b""):
+        sys.stderr.buffer.write(chunk)
+        sys.stderr.buffer.flush()
 
 
 def check(cond, what):
@@ -238,11 +320,165 @@ def cluster_smoke(binary):
     print("\ncluster smoke: all checks passed")
 
 
+def tcp_smoke(binary):
+    """Two concurrent TCP clients on one daemon: colliding ids routed per
+    connection, over-the-cap admission answered `overloaded`, an abrupt
+    disconnect cancelling only that client's jobs, TCP shutdown drain."""
+    # One worker + a stall failpoint: jobs genuinely queue, so client A's
+    # disconnect lands while it still owns queued work. (Without failpoints
+    # compiled in the drill still passes — it is just less adversarial.)
+    # stdin/stdout are unused in listen mode; detach them so the daemon
+    # cannot inherit (and hold open) whatever pipe this script runs under.
+    proc = subprocess.Popen(
+        [binary, "--threads=1", "--queue-capacity=8",
+         "--listen=127.0.0.1:0", "--max-connections=2"],
+        stdin=subprocess.DEVNULL, stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        env={**os.environ,
+             "CWATPG_FAILPOINTS": "svc.server.execute.stall=always@150"})
+    port = wait_for_listen(proc)
+    print(f"ok: daemon listening on 127.0.0.1:{port}")
+
+    a = TcpClient(port)
+    r = a.call("load_circuit", {"name": "smoke", "text": BENCH_TEXT})
+    check(r["ok"], "tcp: load_circuit over the socket")
+    key = r["result"]["circuit"]["key"]
+    r = a.call("status")
+    check(r["result"]["sessions"] == 1, "tcp: status counts one session")
+
+    b = TcpClient(port)
+    r = b.call("load_circuit", {"name": "smoke-b", "text": BENCH_TEXT})
+    check(r["result"]["circuit"]["key"] == key,
+          "tcp: registry shared across connections")
+
+    # Admission: a third connection is over --max-connections=2.
+    probe = TcpClient(port)
+    resp = probe.recv()
+    check(resp["id"] == 0 and not resp["ok"]
+          and resp["error"]["code"] == "overloaded",
+          "tcp: connection over the cap answered `overloaded`")
+    check(probe.rout.read(1) == b"", "tcp: rejected connection then closed")
+    probe.close()
+
+    # Colliding ids across sessions: the daemon must key jobs by
+    # (connection, id), so B's job 77 is untouched by A's jobs 77/78 — or
+    # by A's death.
+    a.send("run_atpg", {"circuit": key, "seed": 3}, req_id=77)
+    a.send("run_atpg", {"circuit": key, "seed": 4}, req_id=78)
+    b_job = b.send("run_atpg", {"circuit": key, "seed": 3}, req_id=77)
+    a.close()
+    print("ok: client A vanished with jobs 77/78 in flight")
+    term = b.recv()
+    check(term["id"] == b_job and term["ok"],
+          "tcp: B's job survived A's disconnect untouched")
+
+    # A's teardown races its FIN; poll until the session count drops.
+    sessions = -1
+    for _ in range(100):
+        sessions = b.call("status")["result"]["sessions"]
+        if sessions == 1:
+            break
+        time.sleep(0.02)
+    check(sessions == 1, "tcp: A's session reaped after the disconnect")
+
+    r = b.call("shutdown")
+    check(r["ok"] and r["result"]["drained"], "tcp: shutdown drains")
+    check(b.rout.read(1) == b"", "tcp: stream closed after shutdown")
+    b.close()
+    check(proc.wait(timeout=30) == 0, "tcp: daemon exited 0")
+    print("\ntcp smoke: all checks passed")
+
+
+def tcp_cluster_smoke(cluster_binary, serve_binary):
+    """kill -9 a REMOTE (TCP-attached) worker process mid-job; the
+    coordinator must fail the shards over and reproduce the reference
+    classification exactly."""
+    env = {**os.environ,
+           "CWATPG_FAILPOINTS": "svc.server.execute.stall=always@200"}
+    workers, ports = [], []
+    for _ in range(2):
+        p = subprocess.Popen(
+            [serve_binary, "--threads=1", "--listen=127.0.0.1:0"],
+            stdin=subprocess.DEVNULL, stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, env=env)
+        workers.append(p)
+        ports.append(wait_for_listen(p))
+    print(f"ok: two remote workers listening on ports {ports}")
+
+    c = Client(cluster_binary,
+               base_args=("--shard-size=1",
+                          f"--connect=127.0.0.1:{ports[0]}",
+                          f"--connect=127.0.0.1:{ports[1]}"))
+    r = c.call("load_circuit", {"name": "smoke", "text": BENCH_TEXT})
+    check(r["ok"], "tcp-cluster: load through the coordinator")
+    key = r["result"]["circuit"]["key"]
+
+    st = c.call("status")["result"]
+    check(st["workers"] == 2 and st["workers_alive"] == 2,
+          "tcp-cluster: both remote workers alive at boot")
+    names = [w["name"] for w in st["worker_pool"]]
+    check(all(n.startswith("tcp:") for n in names),
+          f"tcp-cluster: endpoints are remote ({names})")
+
+    def signature(res):
+        return (res["num_detected"], res["num_untestable"],
+                res["num_aborted"], res["num_undetermined"], res["tests"])
+
+    r = c.call("run_atpg", {"circuit": key, "seed": 5})
+    check(r["ok"] and not r["result"]["interrupted"],
+          "tcp-cluster: reference run completes")
+    ref = signature(r["result"])
+
+    job_id = c.send("run_atpg", {"circuit": key, "seed": 5})
+    time.sleep(0.35)
+    workers[0].kill()  # SIGKILL the remote worker PROCESS: EOF on the socket
+    print("ok: killed remote worker process mid-job")
+    term = c.recv()
+    check(term["id"] == job_id and term["ok"],
+          "tcp-cluster: job survived the remote worker kill")
+    check(signature(term["result"]) == ref,
+          "tcp-cluster: post-kill classification identical to reference")
+    check(term["result"]["cluster"]["redispatched"] >= 1,
+          "tcp-cluster: the forfeited shard was redispatched")
+
+    st = c.call("status")["result"]
+    check(st["workers_alive"] == 1 and st["worker_deaths"] == 1,
+          "tcp-cluster: status reports the remote death")
+
+    r = c.call("run_atpg", {"circuit": key, "seed": 5})
+    check(r["ok"] and signature(r["result"]) == ref,
+          "tcp-cluster: survivor reproduces the classification")
+
+    r = c.call("shutdown")
+    check(r["ok"] and r["result"]["drained"], "tcp-cluster: coordinator drains")
+    c.proc.stdin.close()
+    check(c.proc.wait(timeout=30) == 0, "tcp-cluster: coordinator exited 0")
+
+    workers[0].wait(timeout=30)
+    # The survivor keeps listening after the coordinator detaches; SIGTERM
+    # takes the daemon's signal path to a clean drain.
+    workers[1].send_signal(signal.SIGTERM)
+    check(workers[1].wait(timeout=30) == 0,
+          "tcp-cluster: surviving worker exited 0 on SIGTERM")
+    print("\ntcp-cluster smoke: all checks passed")
+
+
 def main():
     flags = {a for a in sys.argv[1:] if a.startswith("--")}
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
-    if len(args) != 1 or flags - {"--chaos-kill", "--cluster"}:
+    known = {"--chaos-kill", "--cluster", "--tcp", "--tcp-cluster"}
+    if flags - known or len(flags) > 1:
         raise SystemExit(__doc__)
+    if "--tcp-cluster" in flags:
+        if len(args) != 2:
+            raise SystemExit(__doc__)
+        tcp_cluster_smoke(args[0], args[1])
+        return
+    if len(args) != 1:
+        raise SystemExit(__doc__)
+    if "--tcp" in flags:
+        tcp_smoke(args[0])
+        return
     if "--cluster" in flags:
         cluster_smoke(args[0])
         return

@@ -1,0 +1,105 @@
+#include "net/listener.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cwatpg::netio {
+
+Listener::Listener(const std::string& host, std::uint16_t port,
+                   int backlog) {
+  ::addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  ::addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                                   &res);
+      rc != 0)
+    throw std::runtime_error("cannot resolve " + host + ": " +
+                             ::gai_strerror(rc));
+
+  std::string last_error = "no addresses";
+  for (::addrinfo* ai = res; ai != nullptr && fd_ < 0; ai = ai->ai_next) {
+    const int s = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (s < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(s, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(s, ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(s, backlog) != 0) {
+      last_error = std::string("bind/listen: ") + std::strerror(errno);
+      ::close(s);
+      continue;
+    }
+    fd_ = s;
+  }
+  ::freeaddrinfo(res);
+  if (fd_ < 0)
+    throw std::runtime_error("cannot listen on " + host + ":" + port_str +
+                             " (" + last_error + ")");
+
+  // Nonblocking listen fd: the event loop polls it alongside connections;
+  // a spurious wakeup (peer reset between poll and accept) must not wedge
+  // the whole loop in accept(2).
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  ::fcntl(fd_, F_SETFD, FD_CLOEXEC);
+
+  // Report the port the kernel actually bound (meaningful for port 0).
+  ::sockaddr_storage addr{};
+  ::socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<::sockaddr*>(&addr), &len) == 0) {
+    if (addr.ss_family == AF_INET)
+      port_ = ntohs(reinterpret_cast<::sockaddr_in*>(&addr)->sin_port);
+    else if (addr.ss_family == AF_INET6)
+      port_ = ntohs(reinterpret_cast<::sockaddr_in6*>(&addr)->sin6_port);
+  }
+  if (port_ == 0) port_ = port;
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int Listener::accept_connection() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      // Accepted fds are blocking on purpose: SocketTransport (the
+      // single-client paths) wants blocking semantics, and NetServer
+      // flips its own connections to nonblocking itself.
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
+      return -1;
+    throw std::runtime_error(std::string("accept failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+int Listener::accept_one_blocking() {
+  for (;;) {
+    const int fd = accept_connection();
+    if (fd >= 0) return fd;
+    ::pollfd pfd{fd_, POLLIN, 0};
+    while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+    }
+  }
+}
+
+}  // namespace cwatpg::netio

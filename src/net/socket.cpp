@@ -1,0 +1,249 @@
+#include "net/socket.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "svc/proto.hpp"
+#include "util/failpoint.hpp"
+
+namespace cwatpg::netio {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+}  // namespace
+
+void parse_host_port(const std::string& spec, std::string* host,
+                     std::uint16_t* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos)
+    throw std::runtime_error("expected host:port, got \"" + spec + "\"");
+  const std::string host_part = spec.substr(0, colon);
+  const std::string port_part = spec.substr(colon + 1);
+  if (port_part.empty() ||
+      port_part.find_first_not_of("0123456789") != std::string::npos)
+    throw std::runtime_error("bad port in \"" + spec + "\"");
+  const unsigned long p = std::stoul(port_part);
+  if (p > 65535)
+    throw std::runtime_error("port " + port_part + " out of range");
+  *host = host_part.empty() ? std::string("0.0.0.0") : host_part;
+  *port = static_cast<std::uint16_t>(p);
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port,
+                double timeout_seconds) {
+  ::addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  ::addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                                   &res);
+      rc != 0)
+    throw std::runtime_error("cannot resolve " + host + ": " +
+                             ::gai_strerror(rc));
+
+  std::string last_error = "no addresses";
+  int fd = -1;
+  for (::addrinfo* ai = res; ai != nullptr && fd < 0; ai = ai->ai_next) {
+    const int s = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (s < 0) {
+      last_error = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    // Nonblocking connect + poll: the only portable way to bound the
+    // three-way handshake (a blocking connect can hang for minutes on a
+    // black-holed route, which is exactly what a coordinator dialing a
+    // dead worker must not do).
+    bool ok = false;
+    try {
+      if (timeout_seconds > 0) set_nonblocking(s, true);
+      if (::connect(s, ai->ai_addr, ai->ai_addrlen) == 0) {
+        ok = true;
+      } else if (timeout_seconds > 0 && errno == EINPROGRESS) {
+        ::pollfd pfd{s, POLLOUT, 0};
+        const int timeout_ms =
+            static_cast<int>(std::max(1.0, timeout_seconds * 1000.0));
+        const int pr = ::poll(&pfd, 1, timeout_ms);
+        if (pr > 0) {
+          int soerr = 0;
+          ::socklen_t len = sizeof(soerr);
+          ::getsockopt(s, SOL_SOCKET, SO_ERROR, &soerr, &len);
+          if (soerr == 0) {
+            ok = true;
+          } else {
+            last_error = std::string("connect: ") + std::strerror(soerr);
+          }
+        } else {
+          last_error = pr == 0 ? "connect timed out"
+                               : std::string("poll: ") + std::strerror(errno);
+        }
+      } else {
+        last_error = std::string("connect: ") + std::strerror(errno);
+      }
+      if (ok && timeout_seconds > 0) set_nonblocking(s, false);
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      ok = false;
+    }
+    if (ok) {
+      fd = s;
+    } else {
+      ::close(s);
+    }
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0)
+    throw std::runtime_error("tcp_connect " + host + ":" + port_str +
+                             " failed (" + last_error + ")");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+SocketTransport::SocketTransport(int fd) : fd_(fd) {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+SocketTransport::~SocketTransport() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SocketTransport::set_read_timeout(double seconds) {
+  read_timeout_seconds_ = seconds > 0 ? seconds : 0.0;
+  return true;
+}
+
+std::size_t SocketTransport::recv_some(char* dst, std::size_t max) {
+  // Failpoint: cap one pass at @K bytes so every reassembly path (header
+  // split across packets, payload trickling in) is exercised on demand.
+  if (const int k = CWATPG_FAILPOINT_ARG("net.read.short"); k >= 0)
+    max = std::min<std::size_t>(max,
+                                static_cast<std::size_t>(std::max(1, k)));
+  if (CWATPG_FAILPOINT("net.conn.reset"))
+    throw svc::ProtocolError("connection reset by peer (injected: "
+                             "net.conn.reset)");
+  for (;;) {
+    if (read_timeout_seconds_ > 0) {
+      ::pollfd pfd{fd_, POLLIN, 0};
+      const int timeout_ms = static_cast<int>(
+          std::max(1.0, read_timeout_seconds_ * 1000.0));
+      const int pr = ::poll(&pfd, 1, timeout_ms);
+      if (pr == 0)
+        throw svc::ProtocolError(
+            "read timed out after " + std::to_string(read_timeout_seconds_) +
+            "s");
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        throw svc::ProtocolError(std::string("poll failed: ") +
+                                 std::strerror(errno));
+      }
+    }
+    const ssize_t n = ::recv(fd_, dst, max, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // orderly FIN
+    if (errno == EINTR) continue;
+    throw svc::ProtocolError(std::string("recv failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+bool SocketTransport::read(obs::Json& frame) {
+  if (fd_ < 0) return false;
+  // One fixed-size refill buffer feeds the incremental header parser and
+  // the payload in turn; leftover bytes (the next frame's prefix) stay in
+  // inbuf_ between calls. read() is single-consumer, so no lock.
+  svc::FrameLengthParser header;
+  std::string payload;
+  std::size_t payload_filled = 0;
+  bool in_payload = false;
+  for (;;) {
+    while (inbuf_pos_ < inbuf_.size()) {
+      if (!in_payload) {
+        if (header.feed(inbuf_[inbuf_pos_++])) {
+          in_payload = true;
+          payload.resize(header.length());
+          if (payload.empty()) break;
+        }
+      } else {
+        const std::size_t take = std::min(payload.size() - payload_filled,
+                                          inbuf_.size() - inbuf_pos_);
+        std::memcpy(payload.data() + payload_filled,
+                    inbuf_.data() + inbuf_pos_, take);
+        payload_filled += take;
+        inbuf_pos_ += take;
+        if (payload_filled == payload.size()) break;
+      }
+    }
+    if (in_payload && payload_filled == payload.size()) break;
+    // Buffer exhausted mid-frame (or before one): refill.
+    inbuf_.resize(64 * 1024);
+    inbuf_pos_ = 0;
+    const std::size_t n = recv_some(inbuf_.data(), inbuf_.size());
+    if (n == 0) {
+      inbuf_.clear();
+      if (!in_payload && header.digits() == 0)
+        return false;  // clean EOF at a frame boundary
+      throw svc::ProtocolError("peer closed mid-frame");
+    }
+    inbuf_.resize(n);
+  }
+  frame = svc::parse_frame_payload(payload);
+  return true;
+}
+
+void SocketTransport::write(const obs::Json& frame) {
+  const std::string payload = frame.dump();
+  const std::string header = std::to_string(payload.size()) + "\n";
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (write_closed_ || fd_ < 0) return;  // closed: drop, per the contract
+  for (const std::string* part : {&header, &payload}) {
+    std::size_t put = 0;
+    while (put < part->size()) {
+      const ssize_t w = ::send(fd_, part->data() + put, part->size() - put,
+                               MSG_NOSIGNAL);
+      if (w >= 0) {
+        put += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      // Peer gone (EPIPE/ECONNRESET): our next read() reports it; a write
+      // error here would double the signal, so drop the rest quietly.
+      return;
+    }
+  }
+}
+
+void SocketTransport::close() {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  if (write_closed_ || fd_ < 0) return;
+  write_closed_ = true;
+  // Half-close: FIN the write side only. The peer drains buffered frames
+  // and sees EOF; our own read() keeps working until the peer closes too.
+  ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace cwatpg::netio

@@ -42,6 +42,8 @@ Client::Client(Transport& transport, ClientOptions options)
       std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
     };
   }
+  if (options_.read_timeout_seconds > 0)
+    transport_.set_read_timeout(options_.read_timeout_seconds);
 }
 
 obs::Json Client::request_json(std::uint64_t id, const std::string& kind,
@@ -115,14 +117,31 @@ bool Client::pump() {
     fp::DomainScope domain("svc.client");
     try {
       have = transport_.read(frame);
-    } catch (const ProtocolError&) {
-      // Client-side framing loss: nothing later on the stream can be
-      // trusted; treat as end-of-stream so awaits report torn-session.
+    } catch (const ProtocolError& e) {
+      // Client-side framing loss, connection reset, or read timeout:
+      // nothing later on the stream can be trusted; treat as
+      // end-of-stream so awaits report torn-session. transport_errors
+      // (vs `overloaded`) is how callers tell "peer gone" from "peer
+      // pushing back".
       ++stats_.session_errors;
+      ++stats_.transport_errors;
+      stats_.last_transport_error = e.what();
       return false;
     }
   }
-  if (!have) return false;
+  if (!have) {
+    // Clean EOF while jobs are pending is still a transport failure from
+    // the caller's point of view: the peer vanished owing terminals.
+    // Recorded once (awaits for several lost jobs re-enter here).
+    if (!pending_.empty() && !eof_with_pending_recorded_) {
+      eof_with_pending_recorded_ = true;
+      ++stats_.transport_errors;
+      stats_.last_transport_error =
+          "end-of-stream with " + std::to_string(pending_.size()) +
+          " job(s) pending";
+    }
+    return false;
+  }
   route(std::move(frame));
   return true;
 }

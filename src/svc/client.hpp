@@ -47,6 +47,12 @@ struct ClientOptions {
   std::uint64_t jitter_seed = 0x7e577e57;
   /// Injectable sleep (tests pass a recorder; default really sleeps).
   std::function<void(double)> sleep_fn;
+  /// Bound each blocking read on the transport (0 = wait forever). Only
+  /// transports that support timeouts honor it (SocketTransport does; the
+  /// pipe/stream transports ignore it — see Transport::set_read_timeout).
+  /// A timeout surfaces exactly like a torn session: the await returns
+  /// nullopt and `transport_errors` records why.
+  double read_timeout_seconds = 0.0;
 };
 
 struct ClientStats {
@@ -56,6 +62,13 @@ struct ClientStats {
   std::uint64_t retries = 0;         ///< resubmissions performed
   std::uint64_t duplicate_rejects = 0;  ///< "already live" acks absorbed
   std::uint64_t session_errors = 0;  ///< id-0 / unroutable error frames
+  /// Reads that failed at the TRANSPORT (framing loss, connection reset,
+  /// read timeout) — "the peer is gone or lying", as opposed to
+  /// `overloaded` ("the peer is healthy and pushing back"). The
+  /// distinction is what lets a coordinator retry overload forever but
+  /// fail over a dead worker immediately.
+  std::uint64_t transport_errors = 0;
+  std::string last_transport_error;  ///< what() of the newest one
   double backoff_seconds = 0.0;      ///< total backoff slept
 };
 
@@ -110,6 +123,7 @@ class Client {
   Transport& transport_;
   ClientOptions options_;
   Rng jitter_;
+  bool eof_with_pending_recorded_ = false;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, PendingJob> pending_;
   std::map<std::uint64_t, obs::Json> ready_;

@@ -1,8 +1,9 @@
-// cwatpg_cluster — the sharded ATPG coordinator over stdin/stdout.
+// cwatpg_cluster — the sharded ATPG coordinator over stdin/stdout or TCP.
 //
 //   $ ./cwatpg_cluster [--workers=N] [--worker-cmd="CMD ARGS..."]
 //                      [--shard-size=N] [--shard-deadline=S]
 //                      [--default-deadline=S] [--registry-mb=N]
+//                      [--connect=HOST:PORT ...] [--listen=HOST:PORT]
 //
 // Speaks cwatpg.rpc/1 frames on stdin/stdout, exactly like cwatpg_serve —
 // a drop-in front end — but fans per-fault `run_atpg` jobs out across N
@@ -13,13 +14,25 @@
 // redispatch counts, which is what scripts/service_smoke.py --cluster
 // uses for its kill drill. Worker stderr is inherited, so the whole
 // fleet's diagnostics land on the coordinator's stderr.
+//
+// --connect=HOST:PORT (repeatable) attaches REMOTE workers over TCP —
+// each address is a `cwatpg_serve --listen` daemon, possibly on another
+// machine. Remote workers mix freely with locally spawned ones; when any
+// --connect is given and --workers is not, no local workers are spawned.
+// A remote worker that dies (kill -9 included) surfaces as socket EOF and
+// takes the same shard-failover path as a dead child process.
+// --listen=HOST:PORT serves the coordinator's OWN front end over TCP to
+// one client at a time instead of stdio.
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "net/listener.hpp"
+#include "net/socket.hpp"
 #include "svc/cluster.hpp"
 #include "svc/spawn.hpp"
 #include "svc/transport.hpp"
@@ -31,8 +44,10 @@ namespace {
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--workers=N] [--worker-cmd=\"CMD ARGS...\"] [--shard-size=N]"
-         " [--shard-deadline=S] [--default-deadline=S] [--registry-mb=N]\n"
-         "  --workers=N           worker daemons to spawn. default 2\n"
+         " [--shard-deadline=S] [--default-deadline=S] [--registry-mb=N]"
+         " [--connect=HOST:PORT ...] [--listen=HOST:PORT]\n"
+         "  --workers=N           worker daemons to spawn. default 2"
+         " (0 when --connect is used)\n"
          "  --worker-cmd=CMD      worker command line (whitespace-split);"
          " default: cwatpg_serve --threads=2 next to this binary\n"
          "  --shard-size=N        collapsed fault ids per shard. default"
@@ -43,7 +58,11 @@ void print_usage(std::ostream& out, const char* argv0) {
          "  --default-deadline=S  job deadline when the request carries"
          " none; 0 = unlimited. default 0\n"
          "  --registry-mb=N       coordinator circuit cache budget."
-         " default 256\n";
+         " default 256\n"
+         "  --connect=HOST:PORT   attach a remote TCP worker (repeatable;"
+         " a `cwatpg_serve --listen` daemon)\n"
+         "  --listen=HOST:PORT    serve the front end over TCP (one client"
+         " at a time; PORT 0 = ephemeral, bound port on stderr)\n";
 }
 
 /// Default worker command: the cwatpg_serve that shipped alongside this
@@ -78,13 +97,21 @@ int main(int argc, char** argv) {
   ::signal(SIGPIPE, SIG_IGN);
 
   std::size_t workers = 2;
+  bool workers_set = false;
   std::string worker_cmd;
+  std::vector<std::string> connect_specs;
+  std::string listen_spec;
   svc::ClusterOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
       workers = static_cast<std::size_t>(
-          std::max(1L, std::atol(arg.c_str() + 10)));
+          std::max(0L, std::atol(arg.c_str() + 10)));
+      workers_set = true;
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_specs.push_back(arg.substr(10));
+    } else if (arg.rfind("--listen=", 0) == 0) {
+      listen_spec = arg.substr(9);
     } else if (arg.rfind("--worker-cmd=", 0) == 0) {
       worker_cmd = arg.substr(13);
     } else if (arg.rfind("--shard-size=", 0) == 0) {
@@ -113,12 +140,21 @@ int main(int argc, char** argv) {
     std::cerr << "cwatpg_cluster: --worker-cmd is empty\n";
     return 2;
   }
+  // Remote workers displace the local default: `--connect` alone means
+  // "this coordinator owns no processes"; mixing needs an explicit
+  // --workers=N.
+  if (!connect_specs.empty() && !workers_set) workers = 0;
+  if (workers + connect_specs.size() == 0) {
+    std::cerr << "cwatpg_cluster: no workers (--workers=0 and no"
+                 " --connect)\n";
+    return 2;
+  }
 
   std::vector<std::int64_t> pids;
   int exit_code = 0;
   try {
     std::vector<svc::Cluster::WorkerEndpoint> endpoints;
-    endpoints.reserve(workers);
+    endpoints.reserve(workers + connect_specs.size());
     for (std::size_t i = 0; i < workers; ++i) {
       svc::ChildProcess child = svc::spawn_child(worker_argv);
       pids.push_back(child.pid);
@@ -128,13 +164,43 @@ int main(int argc, char** argv) {
       e.pid = child.pid;
       endpoints.push_back(std::move(e));
     }
-    std::cerr << "cwatpg_cluster: " << workers << " workers (`" << worker_cmd
-              << "`), shard size " << options.shard_size
-              << " — serving cwatpg.rpc/1 on stdin/stdout\n";
+    for (const std::string& spec : connect_specs) {
+      std::string host;
+      std::uint16_t port = 0;
+      netio::parse_host_port(spec, &host, &port);
+      // A remote worker is just a Transport; pid 0 tells status/failover
+      // "no process to signal or reap here". kill -9 on the far side
+      // reaches us as socket EOF — the same worker-death signal a dead
+      // child's pipe gives, so shard failover is untouched.
+      svc::Cluster::WorkerEndpoint e;
+      e.transport = std::make_unique<netio::SocketTransport>(
+          netio::tcp_connect(host, port, 10.0));
+      e.name = "tcp:" + host + ":" + std::to_string(port);
+      e.pid = 0;
+      endpoints.push_back(std::move(e));
+    }
+    std::cerr << "cwatpg_cluster: " << workers << " local workers";
+    if (workers > 0) std::cerr << " (`" << worker_cmd << "`)";
+    if (!connect_specs.empty())
+      std::cerr << " + " << connect_specs.size() << " remote";
+    std::cerr << ", shard size " << options.shard_size;
 
     svc::Cluster cluster(std::move(endpoints), options);
-    svc::StreamTransport transport(std::cin, std::cout);
-    cluster.serve(transport);
+    if (!listen_spec.empty()) {
+      std::string host;
+      std::uint16_t port = 0;
+      netio::parse_host_port(listen_spec, &host, &port);
+      netio::Listener listener(host, port);
+      // Same parseable banner shape as cwatpg_serve --listen.
+      std::cerr << " — listening on " << host << ":" << listener.port()
+                << "\n";
+      netio::SocketTransport transport(listener.accept_one_blocking());
+      cluster.serve(transport);
+    } else {
+      std::cerr << " — serving cwatpg.rpc/1 on stdin/stdout\n";
+      svc::StreamTransport transport(std::cin, std::cout);
+      cluster.serve(transport);
+    }
     std::cerr << "cwatpg_cluster: drained, exiting\n";
   } catch (const std::exception& e) {
     std::cerr << "cwatpg_cluster: fatal: " << e.what() << "\n";

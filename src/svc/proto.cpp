@@ -60,6 +60,31 @@ void write_all(std::ostream& out, const char* data, std::size_t length) {
 
 }  // namespace
 
+bool FrameLengthParser::feed(char c, std::size_t max_bytes) {
+  if (c == '\n') {
+    if (digits_ == 0) throw ProtocolError("empty frame length header");
+    if (length_ > max_bytes)
+      throw ProtocolError("frame of " + std::to_string(length_) +
+                          " bytes exceeds the " + std::to_string(max_bytes) +
+                          "-byte limit");
+    return true;
+  }
+  if (c < '0' || c > '9')
+    throw ProtocolError("non-digit in frame length header");
+  if (++digits_ > kMaxFrameHeaderDigits)
+    throw ProtocolError("frame length header too long");
+  length_ = length_ * 10 + static_cast<std::size_t>(c - '0');
+  return false;
+}
+
+obs::Json parse_frame_payload(const std::string& payload) {
+  try {
+    return obs::Json::parse(payload, kMaxFrameDepth);
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("bad frame payload: ") + e.what());
+  }
+}
+
 void write_frame(std::ostream& out, const obs::Json& frame) {
   const std::string payload = frame.dump();
   const std::string header = std::to_string(payload.size()) + '\n';
@@ -76,22 +101,13 @@ bool read_frame(std::istream& in, obs::Json& frame, std::size_t max_bytes) {
   if (CWATPG_FAILPOINT("svc.proto.read.corrupt_len"))
     throw ProtocolError("non-digit in frame length header (injected: "
                         "svc.proto.read.corrupt_len)");
-  std::size_t length = 0;
-  std::size_t digits = 0;
-  while (c != '\n') {
+  FrameLengthParser header;
+  while (!header.feed(static_cast<char>(c), max_bytes)) {
+    c = in.get();
     if (c == std::istream::traits_type::eof())
       throw ProtocolError("truncated frame header");
-    if (!std::isdigit(static_cast<unsigned char>(c)))
-      throw ProtocolError("non-digit in frame length header");
-    if (++digits > 12) throw ProtocolError("frame length header too long");
-    length = length * 10 + static_cast<std::size_t>(c - '0');
-    c = in.get();
   }
-  if (digits == 0) throw ProtocolError("empty frame length header");
-  if (length > max_bytes)
-    throw ProtocolError("frame of " + std::to_string(length) +
-                        " bytes exceeds the " + std::to_string(max_bytes) +
-                        "-byte limit");
+  const std::size_t length = header.length();
   if (CWATPG_FAILPOINT("svc.proto.read.eof"))
     throw ProtocolError("truncated frame payload (injected: "
                         "svc.proto.read.eof)");
@@ -101,11 +117,7 @@ bool read_frame(std::istream& in, obs::Json& frame, std::size_t max_bytes) {
     throw ProtocolError("truncated frame payload (expected " +
                         std::to_string(length) + " bytes, got " +
                         std::to_string(got) + ")");
-  try {
-    frame = obs::Json::parse(payload, kMaxFrameDepth);
-  } catch (const std::exception& e) {
-    throw ProtocolError(std::string("bad frame payload: ") + e.what());
-  }
+  frame = parse_frame_payload(payload);
   return true;
 }
 

@@ -61,6 +61,44 @@ class ProtocolError : public std::runtime_error {
 
 // ---- frame codec ----------------------------------------------------------
 
+/// Digit cap on the decimal length header. Far above what kMaxFrameBytes
+/// ever needs, and small enough that the accumulated value cannot overflow
+/// a std::size_t — the cap is what lets every framing layer parse the
+/// header without a range-checked string-to-integer conversion.
+inline constexpr std::size_t kMaxFrameHeaderDigits = 12;
+
+/// Incremental parser for the `<decimal byte count>\n` frame-length
+/// header — THE one definition of header syntax, shared by the stdio
+/// codec (read_frame), the raw-fd worker transport (FdTransport) and the
+/// socket layer's nonblocking reader, so the framing rules cannot drift
+/// between transports.
+///
+/// Feed one byte at a time; feed() returns true when the terminating
+/// '\n' was consumed and length() is the validated payload size. Throws
+/// ProtocolError on a non-digit, a header longer than
+/// kMaxFrameHeaderDigits, an empty header, or a length above `max_bytes`
+/// — checked AT the header, before any payload buffer is sized.
+class FrameLengthParser {
+ public:
+  bool feed(char c, std::size_t max_bytes = kMaxFrameBytes);
+  std::size_t length() const { return length_; }
+  /// Bytes fed so far (0 after reset); >0 means "mid-header", which is
+  /// how transports tell clean EOF from a truncated frame.
+  std::size_t digits() const { return digits_; }
+  void reset() {
+    length_ = 0;
+    digits_ = 0;
+  }
+
+ private:
+  std::size_t length_ = 0;
+  std::size_t digits_ = 0;
+};
+
+/// Parses a frame payload into JSON under the svc depth limit, mapping
+/// parse failures to ProtocolError — shared by every framing layer.
+obs::Json parse_frame_payload(const std::string& payload);
+
 /// Writes one frame: decimal payload length, '\n', compact JSON payload.
 void write_frame(std::ostream& out, const obs::Json& frame);
 

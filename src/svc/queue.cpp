@@ -54,10 +54,12 @@ bool JobQueue::pop(Job& out) {
   return true;
 }
 
-std::optional<Job> JobQueue::remove(std::uint64_t request_id) {
+std::optional<Job> JobQueue::remove(std::uint64_t session,
+                                    std::uint64_t request_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->job.request_id != request_id) continue;
+    if (it->job.session != session || it->job.request_id != request_id)
+      continue;
     Job job = std::move(it->job);
     entries_.erase(it);
     ++counters_.removed;

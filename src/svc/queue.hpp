@@ -41,6 +41,10 @@ namespace cwatpg::svc {
 /// cancel handle with no extra round trip.
 struct Job {
   std::uint64_t request_id = 0;  ///< client's correlation id == job handle
+  /// Owning session (connection). Ids are client-chosen, so two sessions
+  /// may legitimately use the same id; (session, request_id) is the true
+  /// job key everywhere the server tracks work.
+  std::uint64_t session = 0;
   RequestKind kind = RequestKind::kRunAtpg;
   int priority = 0;  ///< higher runs first; same level is FIFO
   /// Owns the job's deadline and cancellation token. Never null for an
@@ -76,10 +80,10 @@ class JobQueue {
   /// closed AND drained — the dispatcher's termination condition.
   bool pop(Job& out);
 
-  /// Removes a still-queued job (cancellation path). Returns the job when
-  /// it was found; nullopt means it already left the queue (running or
-  /// done) or never existed.
-  std::optional<Job> remove(std::uint64_t request_id);
+  /// Removes a still-queued job (cancellation path), matched by its full
+  /// (session, request id) key. Returns the job when it was found; nullopt
+  /// means it already left the queue (running or done) or never existed.
+  std::optional<Job> remove(std::uint64_t session, std::uint64_t request_id);
 
   /// Closes admission and wakes the consumer. Queued jobs remain poppable
   /// — the shutdown path pops them to send their terminal responses.

@@ -1,7 +1,8 @@
-// cwatpg_serve — the ATPG daemon over stdin/stdout.
+// cwatpg_serve — the ATPG daemon over stdin/stdout or TCP.
 //
 //   $ ./cwatpg_serve [--threads=N] [--queue-capacity=N] [--registry-mb=N]
 //                    [--default-deadline=SECONDS]
+//                    [--listen=HOST:PORT | --connect=HOST:PORT]
 //
 // Speaks cwatpg.rpc/1 frames (`<len>\n<json>`) on stdin/stdout: the same
 // Server the in-memory tests drive, bound to a StreamTransport. Run it
@@ -10,24 +11,42 @@
 // five-line Python client. Diagnostics go to stderr; stdout carries only
 // frames.
 //
+// --listen=HOST:PORT serves N concurrent TCP clients through the
+// netio::NetServer event loop instead (PORT 0 picks an ephemeral port; the
+// stderr banner reports the bound one). --connect=HOST:PORT dials OUT and
+// serves that single connection — how a remote worker attaches itself to
+// a listening coordinator across machines.
+//
 // --threads=0 (the default) means "auto": one job slot per hardware
 // thread, via the shared ThreadPool::resolve_thread_count helper.
+#include <atomic>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "net/net_server.hpp"
+#include "net/socket.hpp"
 #include "svc/server.hpp"
 #include "svc/transport.hpp"
 #include "util/threadpool.hpp"
 
 namespace {
 
+std::atomic<cwatpg::netio::NetServer*> g_net_server{nullptr};
+
+void handle_stop_signal(int) {
+  if (auto* srv = g_net_server.load()) srv->stop();
+}
+
 void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--threads=N] [--queue-capacity=N] [--registry-mb=N]"
          " [--default-deadline=SECONDS] [--journal=PATH]"
-         " [--watchdog-stall=S] [--watchdog-detach=S] [--watchdog-poll=S]\n"
+         " [--watchdog-stall=S] [--watchdog-detach=S] [--watchdog-poll=S]"
+         " [--listen=HOST:PORT [--max-connections=N] [--idle-timeout=S]]"
+         " [--connect=HOST:PORT]\n"
          "  --threads=N           job workers; 0 = auto (hardware"
          " concurrency). default 0\n"
          "  --queue-capacity=N    admission limit; full queue answers"
@@ -44,7 +63,15 @@ void print_usage(std::ostream& out, const char* argv0) {
          "  --watchdog-detach=S   after a watchdog cancel, detach (terminal"
          " `internal` error) after S more stalled seconds; 0 = never."
          " default 0\n"
-         "  --watchdog-poll=S     watchdog sampling cadence. default 0.02\n";
+         "  --watchdog-poll=S     watchdog sampling cadence. default 0.02\n"
+         "  --listen=HOST:PORT    serve concurrent TCP clients instead of"
+         " stdio; PORT 0 = ephemeral (bound port on stderr)\n"
+         "  --max-connections=N   TCP admission cap; excess connections are"
+         " answered `overloaded` and closed. default 64\n"
+         "  --idle-timeout=S      reset a TCP connection silent for S"
+         " seconds; 0 = never. default 0\n"
+         "  --connect=HOST:PORT   dial a listening coordinator and serve"
+         " that one connection (remote-worker mode)\n";
 }
 
 }  // namespace
@@ -57,9 +84,21 @@ int main(int argc, char** argv) {
   ::signal(SIGPIPE, SIG_IGN);
 
   svc::ServerOptions options;
+  std::string listen_spec;
+  std::string connect_spec;
+  netio::NetServerOptions net_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
+    if (arg.rfind("--listen=", 0) == 0) {
+      listen_spec = arg.substr(9);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_spec = arg.substr(10);
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      net_options.max_connections = static_cast<std::size_t>(
+          std::max(1L, std::atol(arg.c_str() + 18)));
+    } else if (arg.rfind("--idle-timeout=", 0) == 0) {
+      net_options.idle_timeout_seconds = std::atof(arg.c_str() + 15);
+    } else if (arg.rfind("--threads=", 0) == 0) {
       options.threads = static_cast<std::size_t>(
           std::max(0L, std::atol(arg.c_str() + 10)));
     } else if (arg.rfind("--queue-capacity=", 0) == 0) {
@@ -89,6 +128,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!listen_spec.empty() && !connect_spec.empty()) {
+    std::cerr << "cwatpg_serve: --listen and --connect are exclusive\n";
+    return 2;
+  }
+
   try {
     svc::Server server(options);
     std::cerr << "cwatpg_serve: " << server.threads()
@@ -100,10 +144,33 @@ int main(int argc, char** argv) {
     if (options.watchdog_stall_seconds > 0)
       std::cerr << ", watchdog stall " << options.watchdog_stall_seconds
                 << "s";
-    std::cerr << " — serving cwatpg.rpc/1 on stdin/stdout\n";
 
-    svc::StreamTransport transport(std::cin, std::cout);
-    server.serve(transport);
+    if (!listen_spec.empty()) {
+      netio::parse_host_port(listen_spec, &net_options.host,
+                           &net_options.port);
+      netio::NetServer net_server(server, net_options);
+      // The banner's HOST:PORT line is the contract smoke scripts parse to
+      // discover an ephemeral port; keep its shape stable.
+      std::cerr << " — listening on " << net_options.host << ":"
+                << net_server.port() << " (max " << net_options.max_connections
+                << " connections)\n";
+      g_net_server.store(&net_server);
+      ::signal(SIGINT, handle_stop_signal);
+      ::signal(SIGTERM, handle_stop_signal);
+      net_server.run();
+      g_net_server.store(nullptr);
+    } else if (!connect_spec.empty()) {
+      std::string host;
+      std::uint16_t port = 0;
+      netio::parse_host_port(connect_spec, &host, &port);
+      std::cerr << " — dialing " << host << ":" << port << "\n";
+      netio::SocketTransport transport(netio::tcp_connect(host, port, 10.0));
+      server.serve(transport);
+    } else {
+      std::cerr << " — serving cwatpg.rpc/1 on stdin/stdout\n";
+      svc::StreamTransport transport(std::cin, std::cout);
+      server.serve(transport);
+    }
   } catch (const std::exception& e) {
     // e.g. the journal path cannot be opened: refusing to run without the
     // durability the operator asked for beats running without it.

@@ -78,13 +78,98 @@ Server::~Server() {
   }
 }
 
-void Server::serve(Transport& transport) {
-  if (transport_ != nullptr || shutting_down_.load())
-    throw std::logic_error("svc::Server::serve is single-use");
-  transport_ = &transport;
+void Server::start() {
+  if (started_.exchange(true)) return;
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
   if (options_.watchdog_stall_seconds > 0)
     watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+Server::SessionId Server::open_session(std::shared_ptr<Transport> transport) {
+  start();
+  std::lock_guard<std::mutex> lock(jobs_mutex_);
+  const SessionId session = next_session_++;
+  sessions_[session] = std::move(transport);
+  metrics_.counter("svc.sessions.opened").add(1);
+  return session;
+}
+
+std::optional<std::uint64_t> Server::handle_session_frame(
+    SessionId session, const obs::Json& frame) {
+  try {
+    const Request req = Request::from_json(frame);
+    metrics_.counter(std::string("svc.requests.") + to_string(req.kind))
+        .add(1);
+    switch (req.kind) {
+      case RequestKind::kLoadCircuit:
+        handle_load_circuit(session, req);
+        break;
+      case RequestKind::kRunAtpg:
+      case RequestKind::kFsim:
+        admit_job(session, req);
+        break;
+      case RequestKind::kStatus:
+        handle_status(session, req);
+        break;
+      case RequestKind::kCancel:
+        handle_cancel(session, req);
+        break;
+      case RequestKind::kShutdown:
+        return req.id;
+    }
+  } catch (const ProtocolError& e) {
+    write_to_session(
+        session, make_error(extract_id(frame), ErrorCode::kBadRequest,
+                            e.what()));
+  }
+  return std::nullopt;
+}
+
+void Server::close_session(SessionId session) {
+  std::vector<JobKey> queued;
+  std::vector<std::shared_ptr<Budget>> running;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    if (sessions_.erase(session) == 0) return;  // already closed
+    for (const auto& [key, rec] : jobs_) {
+      if (key.session != session) continue;
+      if (rec.state == JobState::kQueued)
+        queued.push_back(key);
+      else if (rec.state == JobState::kRunning && rec.budget != nullptr)
+        running.push_back(rec.budget);
+    }
+  }
+  metrics_.counter("svc.sessions.closed").add(1);
+  for (const JobKey& key : queued) {
+    if (queue_.remove(session, key.id).has_value()) {
+      metrics_.counter("svc.jobs.cancelled_queued").add(1);
+      // The terminal is journaled for exactly-once accounting; the write
+      // is a no-op because the session is gone.
+      finish_job(key, make_error(key.id, ErrorCode::kCancelled,
+                                 "client disconnected while the job was "
+                                 "queued"));
+    } else {
+      // The dispatcher popped it between our snapshot and the remove: it
+      // WILL run — fire the budget so it stops at its first poll.
+      std::shared_ptr<Budget> budget;
+      {
+        std::lock_guard<std::mutex> lock(jobs_mutex_);
+        if (const auto it = jobs_.find(key); it != jobs_.end())
+          budget = it->second.budget;
+      }
+      if (budget) budget->cancel();
+    }
+  }
+  for (const std::shared_ptr<Budget>& budget : running) budget->cancel();
+}
+
+void Server::serve(Transport& transport) {
+  if (serving_.exchange(true) || shutting_down_.load())
+    throw std::logic_error("svc::Server::serve is single-use");
+  // Non-owning handle: serve()'s caller guarantees the transport outlives
+  // the call, and the session closes before serve() returns.
+  const SessionId session =
+      open_session(std::shared_ptr<Transport>(&transport, [](Transport*) {}));
 
   // Failpoint domain label: the reader thread's hits on shared sites
   // (svc.proto.*) count separately from the client's, so a seeded
@@ -104,56 +189,37 @@ void Server::serve(Transport& transport) {
       break;
     }
     if (!have_frame) break;  // peer closed: implicit shutdown, no response
-    try {
-      const Request req = Request::from_json(frame);
-      metrics_.counter(std::string("svc.requests.") + to_string(req.kind))
-          .add(1);
-      switch (req.kind) {
-        case RequestKind::kLoadCircuit:
-          handle_load_circuit(req);
-          break;
-        case RequestKind::kRunAtpg:
-        case RequestKind::kFsim:
-          admit_job(req);
-          break;
-        case RequestKind::kStatus:
-          handle_status(req);
-          break;
-        case RequestKind::kCancel:
-          handle_cancel(req);
-          break;
-        case RequestKind::kShutdown:
-          got_shutdown = true;
-          shutdown_id = req.id;
-          break;
-      }
-    } catch (const ProtocolError& e) {
-      transport.write(
-          make_error(extract_id(frame), ErrorCode::kBadRequest, e.what()));
+    if (const std::optional<std::uint64_t> id =
+            handle_session_frame(session, frame);
+        id.has_value()) {
+      got_shutdown = true;
+      shutdown_id = *id;
     }
   }
 
-  drain_and_join();
-  if (got_shutdown) {
-    obs::Json result = server_status_json();
-    result["drained"] = true;
-    transport.write(make_response(shutdown_id, std::move(result)));
-  }
+  drain();
+  if (got_shutdown) transport.write(shutdown_response(shutdown_id));
+  close_session(session);
   // Session over: close our end so the peer's reads drain buffered frames
   // and then see end-of-stream (a duplex client would otherwise block
   // forever waiting for frames that can no longer come).
   transport.close();
-  transport_ = nullptr;
 }
 
-void Server::drain_and_join() {
+obs::Json Server::shutdown_response(std::uint64_t id) {
+  obs::Json result = server_status_json();
+  result["drained"] = true;
+  return make_response(id, std::move(result));
+}
+
+void Server::drain() {
   // Order matters: flag first so the dispatcher fails every job it pops
   // from here on, close second so it wakes and eventually sees an empty
   // queue, then wait until the last in-flight job has sent its terminal
   // response before the shutdown response may be written.
   shutting_down_.store(true);
   queue_.close();
-  dispatcher_.join();
+  if (dispatcher_.joinable()) dispatcher_.join();
   {
     std::unique_lock<std::mutex> lock(jobs_mutex_);
     jobs_cv_.wait(lock, [&] { return in_flight_ == 0; });
@@ -173,7 +239,20 @@ void Server::drain_and_join() {
 
 // ---- control plane --------------------------------------------------------
 
-void Server::handle_load_circuit(const Request& req) {
+void Server::write_to_session(SessionId session, const obs::Json& frame) {
+  std::shared_ptr<Transport> transport;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    if (const auto it = sessions_.find(session); it != sessions_.end())
+      transport = it->second;
+  }
+  // A closed session simply drops the frame — the same contract as
+  // writing to a closed Transport, and the reason a dead connection's
+  // terminals never touch a reused fd.
+  if (transport) transport->write(frame);
+}
+
+void Server::handle_load_circuit(SessionId session, const Request& req) {
   std::shared_ptr<const CircuitEntry> entry;
   bool already_loaded = false;
   try {
@@ -192,18 +271,18 @@ void Server::handle_load_circuit(const Request& req) {
                                              : std::string("circuit"),
         &already_loaded);
   } catch (const ProtocolError& e) {
-    transport_->write(make_error(req.id, ErrorCode::kBadRequest, e.what()));
+    write_to_session(session, make_error(req.id, ErrorCode::kBadRequest, e.what()));
     return;
   } catch (const std::bad_alloc&) {
     // Resource exhaustion is OUR failure, not a malformed request —
     // report it as such so clients don't "fix" a valid netlist.
-    transport_->write(make_error(req.id, ErrorCode::kInternal,
+    write_to_session(session, make_error(req.id, ErrorCode::kInternal,
                                  "out of memory while loading circuit"));
     return;
   } catch (const std::exception& e) {
     // read_bench rejects malformed netlists with ParseError — the
     // client's input, not our bug.
-    transport_->write(make_error(req.id, ErrorCode::kBadRequest, e.what()));
+    write_to_session(session, make_error(req.id, ErrorCode::kBadRequest, e.what()));
     return;
   }
   obs::Json result = obs::Json::object();
@@ -213,16 +292,19 @@ void Server::handle_load_circuit(const Request& req) {
   // per worker, possibly repeatedly after failover) are observably no-ops.
   result["already_loaded"] = already_loaded;
   result["registry"] = registry_.stats().to_json();
-  transport_->write(make_response(req.id, std::move(result)));
+  write_to_session(session, make_response(req.id, std::move(result)));
 }
 
-void Server::handle_status(const Request& req) {
+void Server::handle_status(SessionId session, const Request& req) {
   if (const obs::Json* job = req.params.find("job"); job != nullptr) {
     const std::uint64_t id = param_u64(req.params, "job", 0);
     const char* state = "unknown";
     {
       std::lock_guard<std::mutex> lock(jobs_mutex_);
-      if (const auto it = jobs_.find(id); it != jobs_.end()) {
+      // Scoped to the asking session: job ids are per-connection names,
+      // so one client can never observe (or probe for) another's jobs.
+      if (const auto it = jobs_.find(JobKey{session, id});
+          it != jobs_.end()) {
         switch (it->second.state) {
           case JobState::kQueued:
             state = "queued";
@@ -239,16 +321,17 @@ void Server::handle_status(const Request& req) {
     obs::Json result = obs::Json::object();
     result["job"] = id;
     result["state"] = state;
-    transport_->write(make_response(req.id, std::move(result)));
+    write_to_session(session, make_response(req.id, std::move(result)));
     return;
   }
-  transport_->write(make_response(req.id, server_status_json()));
+  write_to_session(session, make_response(req.id, server_status_json()));
 }
 
-void Server::handle_cancel(const Request& req) {
+void Server::handle_cancel(SessionId session, const Request& req) {
   const std::uint64_t id = param_u64(req.params, "job", 0);
   if (req.params.find("job") == nullptr)
     throw ProtocolError("param \"job\" (request id) is required");
+  const JobKey key{session, id};
 
   const char* state = "unknown";
   bool fire_budget = false;
@@ -256,10 +339,10 @@ void Server::handle_cancel(const Request& req) {
   std::shared_ptr<Budget> budget;
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
-    if (const auto it = jobs_.find(id); it != jobs_.end()) {
+    if (const auto it = jobs_.find(key); it != jobs_.end()) {
       switch (it->second.state) {
         case JobState::kQueued:
-          if (queue_.remove(id)) {
+          if (queue_.remove(session, id)) {
             removed_from_queue = true;
             state = "cancelled";
           } else {
@@ -283,13 +366,13 @@ void Server::handle_cancel(const Request& req) {
   if (fire_budget && budget) budget->cancel();
   if (removed_from_queue) {
     metrics_.counter("svc.jobs.cancelled_queued").add(1);
-    finish_job(id, make_error(id, ErrorCode::kCancelled,
-                              "cancelled while queued"));
+    finish_job(key, make_error(id, ErrorCode::kCancelled,
+                               "cancelled while queued"));
   }
   obs::Json result = obs::Json::object();
   result["job"] = id;
   result["state"] = state;
-  transport_->write(make_response(req.id, std::move(result)));
+  write_to_session(session, make_response(req.id, std::move(result)));
 }
 
 obs::Json Server::server_status_json() {
@@ -300,6 +383,7 @@ obs::Json Server::server_status_json() {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
     j["in_flight"] = static_cast<std::uint64_t>(in_flight_);
     j["jobs_tracked"] = static_cast<std::uint64_t>(jobs_.size());
+    j["sessions"] = static_cast<std::uint64_t>(sessions_.size());
   }
   j["queue"] = queue_.stats().to_json();
   j["registry"] = registry_.stats().to_json();
@@ -330,16 +414,16 @@ obs::Json Server::server_status_json() {
 
 // ---- admission ------------------------------------------------------------
 
-void Server::admit_job(const Request& req) {
+void Server::admit_job(SessionId session, const Request& req) {
   if (shutting_down_.load()) {
-    transport_->write(make_error(req.id, ErrorCode::kShuttingDown,
+    write_to_session(session, make_error(req.id, ErrorCode::kShuttingDown,
                                  "server is draining"));
     return;
   }
   const std::string key = param_string_required(req.params, "circuit");
   std::shared_ptr<const CircuitEntry> circuit = registry_.find(key);
   if (circuit == nullptr) {
-    transport_->write(make_error(req.id, ErrorCode::kNotFound,
+    write_to_session(session, make_error(req.id, ErrorCode::kNotFound,
                                  "unknown circuit \"" + key +
                                      "\" (load_circuit it first)"));
     return;
@@ -347,6 +431,7 @@ void Server::admit_job(const Request& req) {
 
   Job job;
   job.request_id = req.id;
+  job.session = session;
   job.kind = req.kind;
   job.priority = static_cast<int>(std::clamp<std::int64_t>(
       param_i64(req.params, "priority", 0), -1000, 1000));
@@ -358,9 +443,12 @@ void Server::admit_job(const Request& req) {
   // Armed at admission: queue wait burns deadline, as a latency bound must.
   if (deadline > 0.0) job.budget->set_deadline_after(deadline);
 
+  const JobKey job_key{session, req.id};
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
-    if (const auto it = jobs_.find(req.id);
+    // Duplicate-live-id detection is per session: ids are client-chosen,
+    // so two connections reusing the same id are two distinct jobs.
+    if (const auto it = jobs_.find(job_key);
         it != jobs_.end() && it->second.state != JobState::kDone)
       throw ProtocolError("request id " + std::to_string(req.id) +
                           " already names a live job");
@@ -370,7 +458,7 @@ void Server::admit_job(const Request& req) {
     // Only run_atpg engines poll their Budget; an fsim job has no
     // progress heartbeat for the watchdog to read, so it is exempt.
     rec.watchdog_eligible = req.kind == RequestKind::kRunAtpg;
-    jobs_[req.id] = std::move(rec);
+    jobs_[job_key] = std::move(rec);
   }
   // Journal BEFORE the queue may run it: a crash from here on knows about
   // the job. (The reverse order could run — and lose — a job the journal
@@ -379,7 +467,7 @@ void Server::admit_job(const Request& req) {
   if (!queue_.push(std::move(job))) {
     {
       std::lock_guard<std::mutex> lock(jobs_mutex_);
-      jobs_.erase(req.id);
+      jobs_.erase(job_key);
     }
     metrics_.counter("svc.jobs.rejected").add(1);
     obs::Json rejection = make_error(
@@ -387,7 +475,7 @@ void Server::admit_job(const Request& req) {
         "job queue is full (capacity " +
             std::to_string(queue_.stats().capacity) + "); retry later");
     journal_terminal(req.id, rejection);
-    transport_->write(rejection);
+    write_to_session(session, rejection);
     return;
   }
   metrics_.counter("svc.jobs.admitted").add(1);
@@ -402,7 +490,7 @@ void Server::dispatcher_loop() {
   while (queue_.pop(job)) {
     if (shutting_down_.load()) {
       metrics_.counter("svc.jobs.drained").add(1);
-      finish_job(job.request_id,
+      finish_job(JobKey{job.session, job.request_id},
                  make_error(job.request_id, ErrorCode::kShuttingDown,
                             "server shut down before the job started"));
       continue;
@@ -410,7 +498,7 @@ void Server::dispatcher_loop() {
     {
       std::unique_lock<std::mutex> lock(jobs_mutex_);
       jobs_cv_.wait(lock, [&] { return in_flight_ < pool_.size(); });
-      const auto it = jobs_.find(job.request_id);
+      const auto it = jobs_.find(JobKey{job.session, job.request_id});
       if (it == jobs_.end() || it->second.state != JobState::kQueued)
         continue;  // cancelled while queued; terminal already sent
       it->second.state = JobState::kRunning;
@@ -469,7 +557,7 @@ void Server::execute_job(const Job& job) {
       .histogram("svc.job_seconds",
                  std::vector<double>{0.001, 0.01, 0.1, 1.0, 10.0, 100.0})
       .observe(timer.seconds());
-  finish_job(job.request_id, response);
+  finish_job(JobKey{job.session, job.request_id}, response);
 }
 
 obs::Json Server::run_atpg_job(const Job& job) {
@@ -626,17 +714,17 @@ obs::Json Server::fsim_job(const Job& job) {
   return j;
 }
 
-void Server::finish_job(std::uint64_t request_id, const obs::Json& response) {
+void Server::finish_job(const JobKey& key, const obs::Json& response) {
   {
     std::lock_guard<std::mutex> lock(jobs_mutex_);
-    const auto it = jobs_.find(request_id);
+    const auto it = jobs_.find(key);
     if (it == jobs_.end() || it->second.state == JobState::kDone)
       return;  // a terminal response was already sent — never send two
     it->second.state = JobState::kDone;
     it->second.budget.reset();
-    done_order_.push_back(request_id);
+    done_order_.push_back(key);
     while (done_order_.size() > kMaxDoneRecords) {
-      const std::uint64_t victim = done_order_.front();
+      const JobKey victim = done_order_.front();
       done_order_.pop_front();
       if (const auto vit = jobs_.find(victim);
           vit != jobs_.end() && vit->second.state == JobState::kDone)
@@ -648,8 +736,10 @@ void Server::finish_job(std::uint64_t request_id, const obs::Json& response) {
   // response the journal would later deny. (The inverse crash window —
   // journaled but unsent — resolves as a loud `interrupted` report, the
   // safe direction.)
-  journal_terminal(request_id, response);
-  transport_->write(response);
+  journal_terminal(key.id, response);
+  // Skipped silently when the owning session is gone: a dead connection's
+  // terminal must never land on a reused fd.
+  write_to_session(key.session, response);
 }
 
 // ---- resilience -----------------------------------------------------------
@@ -704,11 +794,11 @@ void Server::watchdog_loop() {
     // finish_job() both synchronize on their own, and finish_job retakes
     // jobs_mutex_ itself.
     std::vector<std::shared_ptr<Budget>> to_cancel;
-    std::vector<std::uint64_t> to_detach;
+    std::vector<JobKey> to_detach;
     const Clock::time_point now = Clock::now();
     {
       std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
-      for (auto& [id, rec] : jobs_) {
+      for (auto& [key, rec] : jobs_) {
         if (rec.state != JobState::kRunning || !rec.watchdog_eligible ||
             rec.detached || rec.budget == nullptr)
           continue;
@@ -729,7 +819,7 @@ void Server::watchdog_loop() {
         } else if (options_.watchdog_detach_seconds > 0 &&
                    now - rec.cancelled_at >= detach) {
           rec.detached = true;
-          to_detach.push_back(id);
+          to_detach.push_back(key);
         }
       }
     }
@@ -737,12 +827,12 @@ void Server::watchdog_loop() {
       metrics_.counter("svc.watchdog.cancelled").add(1);
       budget->cancel();
     }
-    for (const std::uint64_t id : to_detach) {
+    for (const JobKey& key : to_detach) {
       // The terminal response the client gets; whatever the wedged worker
       // eventually produces loses the finish_job CAS and is dropped.
       metrics_.counter("svc.watchdog.detached").add(1);
-      finish_job(id,
-                 make_error(id, ErrorCode::kInternal,
+      finish_job(key,
+                 make_error(key.id, ErrorCode::kInternal,
                             "job made no progress within the watchdog "
                             "deadline and ignored cancellation; detached"));
     }

@@ -33,9 +33,22 @@
 //     `shutting_down`, lets in-flight jobs finish, then answers the
 //     shutdown request last.
 //
-// Thread-safe: serve() is the single-owner entry point (one transport, one
-// reader). Internals synchronize themselves; responses may be written from
-// any worker (Transport::write is thread-safe).
+// Sessions: the server multiplexes any number of concurrent client
+// sessions (connections) onto the one scheduler above. Each session owns a
+// Transport; jobs are keyed by (session, request id) because ids are
+// client-chosen and two clients may reuse the same id. A session's frames
+// enter through handle_session_frame(); closing a session cancels its
+// queued and running jobs and suppresses their terminal writes (a dead
+// connection gets no bytes). serve() is the classic single-session
+// convenience wrapper cwatpg_serve's stdio mode and the in-memory tests
+// use; src/net's NetServer drives the session API directly with one
+// session per TCP connection.
+//
+// Thread-safe: serve() is a single-owner entry point (one transport, one
+// reader); handle_session_frame() for ONE session must come from one
+// thread at a time (sessions are independent). Internals synchronize
+// themselves; responses may be written from any worker (Transport::write
+// is thread-safe).
 #pragma once
 
 #include <atomic>
@@ -45,6 +58,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -100,6 +114,8 @@ struct ServerOptions {
 
 class Server {
  public:
+  using SessionId = std::uint64_t;
+
   explicit Server(const ServerOptions& options = {});
   ~Server();
 
@@ -113,6 +129,48 @@ class Server {
   /// session.
   void serve(Transport& transport);
 
+  // ---- multi-session API (what src/net's event loop drives) ----
+
+  /// Starts the scheduler threads (dispatcher, watchdog). Idempotent;
+  /// serve() and the first open_session caller both go through here.
+  void start();
+
+  /// Registers a session. The server writes this session's responses
+  /// through `transport` (which must be thread-safe per the Transport
+  /// contract) until close_session(). The shared_ptr keeps the transport
+  /// alive for any in-flight terminal writes.
+  SessionId open_session(std::shared_ptr<Transport> transport);
+
+  /// Feeds one inbound frame from `session` through the request pipeline:
+  /// control kinds are answered inline on the session's transport, job
+  /// kinds are admitted (or rejected) — exactly serve()'s reader body.
+  /// Malformed requests are answered with `bad_request`, never thrown.
+  /// Returns the request id when the frame was a `shutdown` request (the
+  /// caller owns the drain and the final response — see drain() /
+  /// shutdown_response()); nullopt otherwise.
+  std::optional<std::uint64_t> handle_session_frame(SessionId session,
+                                                    const obs::Json& frame);
+
+  /// Ends a session: forgets its transport (late terminals are dropped,
+  /// not written to a dead peer), cancels its still-queued jobs (terminal
+  /// journaled as `cancelled`), and fires the budgets of its running jobs
+  /// so they stop at the next poll. Idempotent.
+  void close_session(SessionId session);
+
+  /// Stops admission, fails still-queued jobs with `shutting_down`, waits
+  /// for every in-flight job's terminal, then joins the scheduler threads.
+  /// After drain() the server is done — it cannot serve again.
+  void drain();
+
+  /// The final frame a `shutdown` requester receives after drain():
+  /// server status with "drained": true, under the request's id.
+  obs::Json shutdown_response(std::uint64_t id);
+
+  /// The server-wide metrics registry. The net layer records its
+  /// connection/byte counters here so one `status` frame reports the
+  /// whole serving stack.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
   /// Resolved worker count (the in-flight job cap).
   std::size_t threads() const { return pool_.size(); }
 
@@ -122,6 +180,25 @@ class Server {
  private:
   enum class JobState : std::uint8_t { kQueued, kRunning, kDone };
   using Clock = std::chrono::steady_clock;
+
+  /// (session, client request id) — the composite key all job tracking
+  /// uses; ids alone are only unique within a session.
+  struct JobKey {
+    std::uint64_t session = 0;
+    std::uint64_t id = 0;
+    bool operator==(const JobKey&) const = default;
+  };
+  struct JobKeyHash {
+    std::size_t operator()(const JobKey& k) const {
+      // splitmix-style mix of the two words; either alone is adversarial
+      // (client-chosen ids), together they spread fine.
+      std::uint64_t x = k.session * 0x9e3779b97f4a7c15ull + k.id;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
 
   struct JobRecord {
     JobState state = JobState::kQueued;
@@ -136,11 +213,10 @@ class Server {
   };
 
   // -- reader-side handlers (all write their own response) --
-  void handle_frame(const obs::Json& frame);
-  void handle_load_circuit(const Request& req);
-  void handle_status(const Request& req);
-  void handle_cancel(const Request& req);
-  void admit_job(const Request& req);
+  void handle_load_circuit(SessionId session, const Request& req);
+  void handle_status(SessionId session, const Request& req);
+  void handle_cancel(SessionId session, const Request& req);
+  void admit_job(SessionId session, const Request& req);
 
   // -- dispatcher / execution --
   void dispatcher_loop();
@@ -150,10 +226,15 @@ class Server {
 
   /// Sends a job's single terminal response and flips its record to kDone.
   /// The compare-and-set under jobs_mutex_ is the exactly-once guarantee.
-  void finish_job(std::uint64_t request_id, const obs::Json& response);
+  /// The write is skipped when the owning session is gone.
+  void finish_job(const JobKey& key, const obs::Json& response);
+
+  /// Writes `frame` to the session's transport, or drops it when the
+  /// session has been closed (the documented fate of writes to a dead
+  /// connection).
+  void write_to_session(SessionId session, const obs::Json& frame);
 
   obs::Json server_status_json();
-  void drain_and_join();
 
   // -- resilience --
   void watchdog_loop();
@@ -169,7 +250,8 @@ class Server {
   JobQueue queue_;
   obs::MetricsRegistry metrics_;
 
-  Transport* transport_ = nullptr;  ///< valid during serve()
+  std::atomic<bool> started_{false};  ///< scheduler threads launched
+  std::atomic<bool> serving_{false};  ///< serve() entered (single-use)
   std::thread dispatcher_;
   std::atomic<bool> shutting_down_{false};
 
@@ -184,10 +266,14 @@ class Server {
   mutable std::mutex jobs_mutex_;
   std::condition_variable jobs_cv_;  ///< in-flight slot free / all idle
   std::size_t in_flight_ = 0;        ///< guarded by jobs_mutex_
-  std::unordered_map<std::uint64_t, JobRecord> jobs_;  ///< by request id
+  /// Live sessions' transports, by session id; absence means the session
+  /// is closed and its writes are dropped. Guarded by jobs_mutex_.
+  std::unordered_map<SessionId, std::shared_ptr<Transport>> sessions_;
+  SessionId next_session_ = 1;  ///< guarded by jobs_mutex_
+  std::unordered_map<JobKey, JobRecord, JobKeyHash> jobs_;
   /// Terminal records retained for `status` queries, pruned FIFO so a
   /// long-lived server's table stays bounded.
-  std::deque<std::uint64_t> done_order_;
+  std::deque<JobKey> done_order_;
   static constexpr std::size_t kMaxDoneRecords = 1024;
 };
 

@@ -66,33 +66,19 @@ bool FdTransport::read(obs::Json& frame) {
   if (read_fd_ < 0) return false;
   // Header: decimal byte count, '\n'. Read byte-at-a-time — the header is
   // a dozen bytes and this is the only way to stop exactly at the '\n'
-  // without buffering into the payload.
-  std::string header;
+  // without buffering into the payload. Syntax and caps live in the
+  // shared FrameLengthParser, so this transport cannot drift from the
+  // stdio codec.
+  FrameLengthParser header;
   char c = 0;
   while (true) {
-    if (!read_exact(read_fd_, &c, 1, header.empty())) return false;
-    if (c == '\n') break;
-    // 12 digits max (mirroring proto.cpp's read_frame): far above the
-    // frame byte cap, and small enough that stoull below can never throw
-    // out_of_range — which would escape as a std::logic_error instead of
-    // the ProtocolError the worker-failure paths expect.
-    if (c < '0' || c > '9' || header.size() >= 12)
-      throw ProtocolError("malformed frame header");
-    header.push_back(c);
+    if (!read_exact(read_fd_, &c, 1, header.digits() == 0)) return false;
+    if (header.feed(c)) break;
   }
-  if (header.empty()) throw ProtocolError("empty frame header");
-  const unsigned long long len = std::stoull(header);
-  if (len > kMaxFrameBytes)
-    throw ProtocolError("frame of " + header + " bytes exceeds the " +
-                        std::to_string(kMaxFrameBytes) + " byte cap");
-  std::string payload(static_cast<std::size_t>(len), '\0');
-  if (len > 0) read_exact(read_fd_, payload.data(), payload.size(), false);
-  try {
-    frame = obs::Json::parse(payload, kMaxFrameDepth);
-  } catch (const std::exception& e) {
-    throw ProtocolError(std::string("frame payload is not valid JSON: ") +
-                        e.what());
-  }
+  std::string payload(header.length(), '\0');
+  if (!payload.empty())
+    read_exact(read_fd_, payload.data(), payload.size(), false);
+  frame = parse_frame_payload(payload);
   return true;
 }
 

@@ -39,6 +39,16 @@ class Transport {
   /// then returns false. Further write() calls on this end are dropped.
   /// Idempotent; also performed by the destructor.
   virtual void close() = 0;
+
+  /// Asks the transport to bound each read() at `seconds` (0 = unbounded),
+  /// after which read() throws ProtocolError. Returns whether the
+  /// transport supports timeouts; the default implementation ignores the
+  /// request — in-memory and pipe transports have no portable way to
+  /// interrupt a blocked read, and their peers live in the same process.
+  virtual bool set_read_timeout(double seconds) {
+    (void)seconds;
+    return false;
+  }
 };
 
 /// Frames over a byte stream pair (cwatpg_serve: stdin/stdout). The

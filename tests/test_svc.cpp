@@ -377,10 +377,11 @@ TEST(SvcQueue, AdmissionControlRejectsWhenFull) {
 TEST(SvcQueue, RemoveTakesQueuedJobExactlyOnce) {
   JobQueue q(4);
   ASSERT_TRUE(q.push(make_job(7)));
-  const auto removed = q.remove(7);
+  EXPECT_FALSE(q.remove(9, 7).has_value());  // wrong session: not yours
+  const auto removed = q.remove(0, 7);
   ASSERT_TRUE(removed.has_value());
   EXPECT_EQ(removed->request_id, 7u);
-  EXPECT_FALSE(q.remove(7).has_value());  // second remove: already gone
+  EXPECT_FALSE(q.remove(0, 7).has_value());  // second remove: already gone
   EXPECT_EQ(q.depth(), 0u);
   EXPECT_EQ(q.stats().removed, 1u);
 }
