@@ -24,13 +24,25 @@
 // stalls under the watchdog) are excluded from the replay set because
 // their outcome legitimately depends on wall-clock racing; they still run
 // in the main campaign under the lossless invariant.
+//
+// Two cluster-shaped campaigns ride along: an UNSUPERVISED one (worker
+// deaths permanently shrink the pool) and a SUPERVISED one where the
+// coordinator respawns killed workers, heartbeat-probes wedged ones, and
+// bisects poison shards down to in-process fallback — same zero-lost
+// invariant throughout. A final deterministic KILL DRILL arms
+// cluster.worker.eof=always (every worker dies after every reply, so no
+// window can ever complete on a worker) and asserts the job still
+// completes byte-identical to an undisturbed single-node run with every
+// slot respawned at least once.
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -562,6 +574,315 @@ SessionResult run_cluster_session(const std::string& schedule,
   return out;
 }
 
+// ---- supervised-cluster campaign -------------------------------------------
+
+/// The respawn pool for supervised sessions: in-process Servers created on
+/// demand by the cluster's respawn factories, which run on the cluster's
+/// worker threads — hence the mutex.
+struct WorkerFarm {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<svc::Server>> servers;
+  std::vector<std::unique_ptr<svc::Transport>> sides;
+  std::vector<std::thread> loops;
+
+  std::unique_ptr<svc::Transport> boot() {
+    svc::DuplexPair pair = svc::make_duplex();
+    svc::ServerOptions sopts;
+    sopts.threads = 1;
+    sopts.queue_capacity = 8;
+    std::lock_guard<std::mutex> lock(mutex);
+    servers.push_back(std::make_unique<svc::Server>(sopts));
+    svc::Server* server = servers.back().get();
+    svc::Transport* side = pair.server.get();
+    sides.push_back(std::move(pair.server));
+    loops.emplace_back([server, side] { server->serve(*side); });
+    return std::move(pair.client);
+  }
+
+  /// Safe once the cluster's serve() returned: its worker threads (the
+  /// only factory callers) are joined by then.
+  void join_all() {
+    for (std::thread& t : loops) t.join();
+  }
+};
+
+/// Cluster options for a supervised session: near-instant respawns and a
+/// window that tolerates deliberate kill storms, plus fast heartbeats so
+/// the wedged-worker site is reachable within a bench-sized session.
+svc::ClusterOptions supervised_cluster_options() {
+  svc::ClusterOptions copts;
+  copts.shard_size = 3;
+  copts.client.max_attempts = 4;
+  copts.client.sleep_fn = [](double) {};
+  copts.supervisor.backoff.base_seconds = 0.0005;
+  copts.supervisor.backoff.max_seconds = 0.002;
+  copts.supervisor.max_respawns = 200;
+  copts.supervisor.respawn_window_seconds = 60.0;
+  copts.supervisor.heartbeat_seconds = 0.005;
+  copts.supervisor.heartbeat_timeout_seconds = 0.5;
+  return copts;
+}
+
+/// Draws a schedule over the supervision sites — worker deaths (including
+/// storms), wedged heartbeats, failing respawns, poison faults — mixed
+/// with worker-side faults. respawn.fail stays bounded (once/nth) so the
+/// pool keeps capacity; poison targets may fall past the fault count, in
+/// which case the site simply never fires.
+std::string make_supervised_schedule(Rng& rng) {
+  const auto num = [&rng](std::uint64_t lo, std::uint64_t hi) {
+    return std::to_string(lo + rng.below(hi - lo + 1));
+  };
+  const std::vector<std::string> supervised_pool = {
+      "cluster.worker.eof=once",
+      "cluster.worker.eof=nth:" + num(1, 5),
+      "cluster.worker.eof=every:" + num(2, 4),
+      "cluster.worker.eof=prob:0.15:" + num(1, 1u << 20),
+      "cluster.heartbeat.stall=once",
+      "cluster.heartbeat.stall=nth:" + num(1, 8),
+      "cluster.respawn.fail=once",
+      "cluster.respawn.fail=nth:" + num(1, 3),
+      "cluster.shard.poison=always@" + num(0, 17),
+      "cluster.dispatch.drop=once",
+      "cluster.merge.partial=nth:" + num(1, 3),
+  };
+  const std::vector<std::string> worker_pool = {
+      "sat.solver.alloc=nth:" + num(1, 8),
+      "svc.queue.full=once",
+      "svc.server.execute.throw=once",
+  };
+  std::map<std::string, std::string> by_site;
+  const std::string first =
+      supervised_pool[rng.below(supervised_pool.size())];
+  by_site.emplace(first.substr(0, first.find('=')), first);
+  const std::size_t extras = rng.below(3);
+  for (std::size_t i = 0; i < extras; ++i) {
+    const std::string item =
+        rng.below(2) == 0
+            ? supervised_pool[rng.below(supervised_pool.size())]
+            : worker_pool[rng.below(worker_pool.size())];
+    by_site.emplace(item.substr(0, item.find('=')), item);
+  }
+  std::string schedule;
+  for (const auto& [site, item] : by_site) {
+    (void)site;
+    if (!schedule.empty()) schedule += ';';
+    schedule += item;
+  }
+  return schedule;
+}
+
+/// One chaos session against a SUPERVISED 2-worker cluster: every death
+/// is respawned under backoff, wedged workers are heartbeat-detected, and
+/// poison windows fall back to in-process execution. Invariant unchanged:
+/// zero lost responses, every job one terminal.
+SessionResult run_supervised_session(const std::string& schedule,
+                                     const Workload& w,
+                                     std::uint64_t* respawns,
+                                     std::uint64_t* deaths) {
+  SessionResult out;
+  fp::Registry::instance().reset();
+  {
+    fp::ScheduleScope fps(schedule);
+
+    WorkerFarm farm;
+    std::vector<svc::Cluster::WorkerEndpoint> endpoints;
+    for (std::size_t i = 0; i < 2; ++i) {
+      svc::Cluster::WorkerEndpoint e;
+      e.transport = farm.boot();
+      e.name = "w" + std::to_string(i);
+      e.respawn = [&farm]() {
+        svc::Cluster::WorkerEndpoint::Respawned r;
+        r.transport = farm.boot();
+        return r;
+      };
+      endpoints.push_back(std::move(e));
+    }
+
+    const svc::ClusterOptions copts = supervised_cluster_options();
+    svc::Cluster cluster(std::move(endpoints), copts);
+    svc::DuplexPair front = svc::make_duplex();
+    std::thread cluster_loop([&] { cluster.serve(*front.server); });
+
+    {
+      svc::Client client(*front.client, copts.client);
+      drive_session(client, w, out);
+    }
+    front.client->close();
+    cluster_loop.join();
+    const svc::ClusterStats stats = cluster.stats();
+    *respawns += stats.respawns;
+    *deaths += stats.worker_deaths;
+    farm.join_all();
+
+    for (const auto& [site, c] : fp::Registry::instance().counts())
+      out.counts_dump += site + "=" + std::to_string(c.hits) + "/" +
+                         std::to_string(c.fires) + ";";
+  }
+
+  check_invariants(out);
+  return out;
+}
+
+// ---- the deterministic kill drill ------------------------------------------
+
+/// Per-fault records with the one legitimately nondeterministic field
+/// (per-solve wall seconds) zeroed, dumpable for byte comparison.
+std::string normalized_raw_dump(const obs::Json& result) {
+  obs::Json raw = obs::Json::array();
+  for (const obs::Json& record : result.at("raw").items()) {
+    obs::Json r = record;
+    r["ss"] = 0.0;
+    raw.push_back(std::move(r));
+  }
+  return raw.dump();
+}
+
+/// run_atpg params pinned to the full pipeline (random phase + SAT aborts
+/// + escalation), matching the unit suite's hardest merge case.
+obs::Json drill_params(const std::string& key) {
+  obs::Json params = obs::Json::object();
+  params["circuit"] = key;
+  params["seed"] = std::uint64_t(7);
+  params["random_blocks"] = std::uint64_t(1);
+  params["max_conflicts"] = std::uint64_t(6);
+  params["escalation_rounds"] = std::uint64_t(2);
+  params["raw_outcomes"] = true;
+  return params;
+}
+
+struct KillDrill {
+  std::uint64_t faults = 0;
+  std::uint64_t inprocess_faults = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t min_restarts = 0;
+  bool identical = false;
+  std::string violation;  ///< empty = the drill held
+};
+
+/// Every worker is killed after every shard reply — no window can EVER
+/// complete on a worker — while the job must still complete with zero
+/// lost faults, byte-identical to an undisturbed single-node run, and
+/// every slot must have been killed and respawned at least once.
+KillDrill run_kill_drill(const Workload& w) {
+  KillDrill drill;
+
+  // The undisturbed single-node reference.
+  std::string reference;
+  {
+    fp::Registry::instance().reset();
+    svc::ServerOptions sopts;
+    sopts.threads = 1;
+    svc::Server server(sopts);
+    svc::DuplexPair pair = svc::make_byte_duplex();
+    std::thread loop([&] { server.serve(*pair.server); });
+    {
+      svc::Client client(*pair.client, {});
+      obs::Json load = obs::Json::object();
+      load["name"] = "drill";
+      load["text"] = w.bench_text;
+      const obs::Json loaded = client.call("load_circuit", std::move(load));
+      const std::string key =
+          loaded.at("result").at("circuit").at("key").as_string();
+      const obs::Json resp = client.call("run_atpg", drill_params(key));
+      if (resp.at("ok").as_bool()) {
+        drill.faults = resp.at("result").at("faults").as_u64();
+        reference = normalized_raw_dump(resp.at("result"));
+      } else {
+        drill.violation = "reference run failed: " + resp.dump();
+      }
+      client.call("shutdown");
+    }
+    pair.client->close();
+    loop.join();
+  }
+  if (!drill.violation.empty()) return drill;
+
+  fp::Registry::instance().reset();
+  {
+    fp::ScheduleScope fps("cluster.worker.eof=always");
+
+    WorkerFarm farm;
+    std::vector<svc::Cluster::WorkerEndpoint> endpoints;
+    for (std::size_t i = 0; i < 2; ++i) {
+      svc::Cluster::WorkerEndpoint e;
+      e.transport = farm.boot();
+      e.name = "w" + std::to_string(i);
+      e.respawn = [&farm]() {
+        svc::Cluster::WorkerEndpoint::Respawned r;
+        r.transport = farm.boot();
+        return r;
+      };
+      endpoints.push_back(std::move(e));
+    }
+    svc::ClusterOptions copts = supervised_cluster_options();
+    copts.shard_size = 2;  // many windows: many kills, every slot dies
+    copts.supervisor.heartbeat_seconds = 0.0;  // deaths only via the kills
+    svc::Cluster cluster(std::move(endpoints), copts);
+    svc::DuplexPair front = svc::make_duplex();
+    std::thread cluster_loop([&] { cluster.serve(*front.server); });
+
+    {
+      svc::Client client(*front.client, copts.client);
+      try {
+        obs::Json load = obs::Json::object();
+        load["name"] = "drill";
+        load["text"] = w.bench_text;
+        const obs::Json loaded =
+            client.call("load_circuit", std::move(load));
+        const std::string key =
+            loaded.at("result").at("circuit").at("key").as_string();
+        const obs::Json resp = client.call("run_atpg", drill_params(key));
+        if (!resp.at("ok").as_bool()) {
+          drill.violation = "drill job failed: " + resp.dump();
+        } else {
+          const obs::Json& result = resp.at("result");
+          drill.identical = normalized_raw_dump(result) == reference &&
+                            result.at("faults").as_u64() == drill.faults;
+          drill.inprocess_faults =
+              result.at("cluster").at("inprocess_faults").as_u64();
+          // Respawns complete asynchronously after the terminal: poll
+          // status until every slot reports a restart.
+          for (int i = 0; i < 500; ++i) {
+            const obs::Json status =
+                client.call("status").at("result");
+            drill.min_restarts = ~std::uint64_t(0);
+            for (const obs::Json& ws :
+                 status.at("worker_pool").items())
+              drill.min_restarts = std::min(
+                  drill.min_restarts, ws.at("restarts").as_u64());
+            if (drill.min_restarts >= 1) break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+        }
+        client.call("shutdown");
+      } catch (const std::exception& e) {
+        drill.violation = std::string("drill session torn: ") + e.what();
+      }
+    }
+    front.client->close();
+    cluster_loop.join();
+    const svc::ClusterStats stats = cluster.stats();
+    drill.worker_deaths = stats.worker_deaths;
+    drill.respawns = stats.respawns;
+    farm.join_all();
+  }
+
+  if (drill.violation.empty()) {
+    if (!drill.identical)
+      drill.violation = "drill result diverged from the single-node run";
+    else if (drill.inprocess_faults != drill.faults)
+      drill.violation = "expected every fault in-process, got " +
+                        std::to_string(drill.inprocess_faults) + "/" +
+                        std::to_string(drill.faults);
+    else if (drill.worker_deaths < 2)
+      drill.violation = "expected every worker killed at least once";
+    else if (drill.min_restarts < 1)
+      drill.violation = "a slot was never respawned";
+  }
+  return drill;
+}
+
 std::string summary_of(const SessionResult& r) {
   std::string s;
   for (const auto& [id, outcome] : r.outcomes)
@@ -678,6 +999,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Supervised campaign: the same zero-lost invariant while the
+  // supervisor is respawning killed workers, heartbeat-probing wedged
+  // ones, and quarantining poison shards into in-process fallback. A
+  // respawn that loses a queued window, a heartbeat that misfires on a
+  // healthy worker, or a poison window that double-counts faults would
+  // surface here as an unresolved job or an unknown outcome.
+  const std::size_t supervised_schedules =
+      std::max<std::size_t>(8, args.schedules / 4);
+  std::size_t supervised_torn = 0, supervised_unresolved = 0;
+  std::uint64_t supervised_respawns = 0, supervised_deaths = 0;
+  for (std::size_t s = 0; s < supervised_schedules; ++s) {
+    Rng rng(split_seed(args.seed ^ 0x5afe'ba5eu, s));
+    Workload w = base;
+    const std::string schedule = make_supervised_schedule(rng);
+    const SessionResult r = run_supervised_session(
+        schedule, w, &supervised_respawns, &supervised_deaths);
+    supervised_torn += r.torn ? 1 : 0;
+    for (const auto& [id, outcome] : r.outcomes) {
+      (void)id;
+      ++outcome_histogram[outcome];
+      supervised_unresolved += outcome == "unresolved" ? 1 : 0;
+    }
+    if (!r.violation.empty()) {
+      ++failures;
+      std::printf("FAIL supervised schedule %zu [%s]: %s\n", s,
+                  schedule.c_str(), r.violation.c_str());
+    }
+  }
+
+  // The kill drill: every worker dies after every reply, the job must
+  // still come back byte-identical to an undisturbed single-node run.
+  const KillDrill drill = run_kill_drill(base);
+  if (!drill.violation.empty()) {
+    ++failures;
+    std::printf("FAIL kill drill: %s\n", drill.violation.c_str());
+  }
+
   // Determinism replay: same schedule + serial workload, twice, compared
   // byte for byte.
   std::size_t replay_mismatches = 0;
@@ -708,6 +1066,18 @@ int main(int argc, char** argv) {
               cluster_schedules, cluster_torn, cluster_unresolved);
   std::printf("tcp sessions: %zu  torn: %zu  unresolved(torn-only): %zu\n",
               tcp_schedules, tcp_torn, tcp_unresolved);
+  std::printf("supervised sessions: %zu  torn: %zu  unresolved(torn-only): "
+              "%zu  respawns: %llu  deaths: %llu\n",
+              supervised_schedules, supervised_torn, supervised_unresolved,
+              static_cast<unsigned long long>(supervised_respawns),
+              static_cast<unsigned long long>(supervised_deaths));
+  std::printf("kill drill: identical=%s  deaths=%llu  respawns=%llu  "
+              "in-process=%llu/%llu\n",
+              drill.identical ? "yes" : "NO",
+              static_cast<unsigned long long>(drill.worker_deaths),
+              static_cast<unsigned long long>(drill.respawns),
+              static_cast<unsigned long long>(drill.inprocess_faults),
+              static_cast<unsigned long long>(drill.faults));
   for (const auto& [outcome, count] : outcome_histogram)
     std::printf("  %-22s %zu\n", outcome.c_str(), count);
   std::printf("determinism replays: %zu  mismatches: %zu\n", args.replay,
@@ -727,6 +1097,23 @@ int main(int argc, char** argv) {
     j["tcp_sessions"] = static_cast<std::uint64_t>(tcp_schedules);
     j["tcp_torn_sessions"] = static_cast<std::uint64_t>(tcp_torn);
     j["tcp_unresolved_jobs"] = static_cast<std::uint64_t>(tcp_unresolved);
+    j["supervised_sessions"] =
+        static_cast<std::uint64_t>(supervised_schedules);
+    j["supervised_torn_sessions"] =
+        static_cast<std::uint64_t>(supervised_torn);
+    j["supervised_unresolved_jobs"] =
+        static_cast<std::uint64_t>(supervised_unresolved);
+    j["supervised_respawns"] = supervised_respawns;
+    j["supervised_worker_deaths"] = supervised_deaths;
+    obs::Json dj = obs::Json::object();
+    dj["identical"] = drill.identical;
+    dj["faults"] = drill.faults;
+    dj["inprocess_faults"] = drill.inprocess_faults;
+    dj["worker_deaths"] = drill.worker_deaths;
+    dj["respawns"] = drill.respawns;
+    dj["min_restarts"] = drill.min_restarts;
+    dj["lost_jobs"] = std::uint64_t(drill.violation.empty() ? 0 : 1);
+    j["kill_drill"] = std::move(dj);
     j["replays"] = static_cast<std::uint64_t>(args.replay);
     j["replay_mismatches"] =
         static_cast<std::uint64_t>(replay_mismatches);

@@ -13,11 +13,13 @@ submit a job, SIGKILL the daemon mid-job, restart it on the same journal,
 and assert the orphaned job is reported as `interrupted` (and that a third
 boot is quiet again). This is the "kill -9 is survivable" guarantee.
 
-With --cluster the binary must be cwatpg_cluster: boot a coordinator with
-two spawned worker daemons, SIGKILL one worker mid-job (its pid read from
-the cluster `status`), and assert the job still completes with totals and
-tests identical to an undisturbed run, and that `status` reports the
-death. This is the worker-failover guarantee.
+With --cluster the binary must be cwatpg_cluster: boot a SUPERVISED
+coordinator with two spawned worker daemons, then kill -9 every worker
+once mid-job (current pids read from the cluster `status`). Each job must
+still complete with totals and tests identical to an undisturbed run,
+each dead slot must come back as generation 2 with `last_exit` "signal 9"
+and no zombie left behind, and the totals in `status` must accumulate
+across generations. This is the self-healing worker-failover guarantee.
 
 With --tcp the daemon is booted with --listen on an ephemeral loopback
 port (parsed from its stderr banner) and driven over real sockets: two
@@ -250,13 +252,31 @@ def chaos_kill(binary):
     print("\nchaos-kill smoke: all checks passed")
 
 
+def no_zombie(coordinator_pid, pid):
+    """True once `pid` is either fully gone or reused by an unrelated
+    process — i.e. NOT a zombie child of the coordinator."""
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as f:
+            stat = f.read()
+    except OSError:
+        return True  # reaped and recycled: no /proc entry at all
+    # Fields after the parenthesised comm: state is field 3, ppid field 4.
+    tail = stat.rsplit(b")", 1)[1].split()
+    state, ppid = tail[0], int(tail[1])
+    return not (state == b"Z" and ppid == coordinator_pid)
+
+
 def cluster_smoke(binary):
-    """kill -9 one of two workers mid-job; the job must still finish right."""
+    """The supervised drill: kill -9 EVERY worker once mid-job. Each job
+    must still finish with totals/tests identical to an undisturbed run,
+    every dead slot must be respawned as a new generation (reaped, never a
+    zombie), and the pool must be back to full strength at the end."""
     # Every shard execution inside a worker stalls 200ms (the failpoint env
     # is inherited by the spawned cwatpg_serve children), so with 1-fault
-    # shards both workers are reliably mid-shard when the kill lands.
+    # shards both workers are reliably mid-shard when a kill lands.
     c = Client(binary,
-               base_args=("--workers=2", "--shard-size=1"),
+               base_args=("--workers=2", "--shard-size=1",
+                          "--respawn-backoff=0.02", "--max-respawns=10"),
                env={"CWATPG_FAILPOINTS":
                     "svc.server.execute.stall=always@200"})
     r = c.call("load_circuit", {"name": "smoke", "text": BENCH_TEXT})
@@ -265,11 +285,25 @@ def cluster_smoke(binary):
     faults = r["result"]["circuit"]["faults"]
     check(faults >= 6, f"cluster: enough faults to shard ({faults})")
 
-    r = c.call("status")
-    st = r["result"]
+    def status():
+        return c.call("status")["result"]
+
+    def await_status(pred, what):
+        for _ in range(250):
+            st = status()
+            if pred(st):
+                check(True, what)
+                return st
+            time.sleep(0.02)
+        raise SystemExit(f"FAIL (timeout): {what}\nlast status: {st}")
+
+    st = status()
     check(st.get("cluster") is True, "cluster: status identifies a cluster")
     check(st["workers"] == 2 and st["workers_alive"] == 2,
           "cluster: both workers alive at boot")
+    check(all(w["generation"] == 1 and w["restarts"] == 0
+              for w in st["worker_pool"]),
+          "cluster: every slot boots at generation 1")
     pids = [w["pid"] for w in st["worker_pool"] if w["alive"]]
     check(len(pids) == 2 and all(p > 0 for p in pids),
           f"cluster: worker pids visible in status ({pids})")
@@ -283,41 +317,57 @@ def cluster_smoke(binary):
     check(r["ok"] and not r["result"]["interrupted"],
           "cluster: reference run completes")
     ref = signature(r["result"])
+    shards_before = [w["shards_completed"] for w in status()["worker_pool"]]
 
-    # The drill: submit, wait until the shards are spread over both
-    # workers, then SIGKILL one of them.
-    job_id = c.send("run_atpg", {"circuit": key, "seed": 5})
-    time.sleep(0.35)
-    os.kill(pids[0], signal.SIGKILL)
-    print(f"ok: killed worker pid {pids[0]} mid-job")
-    term = c.recv()
-    check(term["id"] == job_id and term["ok"],
-          "cluster: job survived the worker kill")
-    check(signature(term["result"]) == ref,
-          "cluster: post-kill totals and tests identical to reference")
-    check(term["result"]["cluster"]["workers_alive"] == 1,
-          "cluster: job result records the shrunken pool")
-    check(term["result"]["cluster"]["redispatched"] >= 1,
-          "cluster: the forfeited shard was redispatched")
+    # Kill every slot once: submit a job, wait until the shards are spread
+    # over both workers, SIGKILL the slot's CURRENT pid (generations move
+    # the pid between drills), and require an identical result each time.
+    for drill in range(2):
+        victim = status()["worker_pool"][drill]["pid"]
+        job_id = c.send("run_atpg", {"circuit": key, "seed": 5})
+        time.sleep(0.35)
+        os.kill(victim, signal.SIGKILL)
+        print(f"ok: drill {drill}: killed worker pid {victim} mid-job")
+        term = c.recv()
+        check(term["id"] == job_id and term["ok"],
+              f"cluster: drill {drill}: job survived the kill")
+        check(signature(term["result"]) == ref,
+              f"cluster: drill {drill}: totals/tests identical to reference")
+        st = await_status(
+            lambda st: st["workers_alive"] == 2
+            and st["worker_pool"][drill]["restarts"] >= 1,
+            f"cluster: drill {drill}: dead slot respawned, pool full again")
+        slot = st["worker_pool"][drill]
+        check(slot["generation"] == 2 and slot["last_exit"] == "signal 9",
+              f"cluster: drill {drill}: generation 2 after signal 9")
+        check(slot["pid"] != victim and slot["pid"] > 0,
+              f"cluster: drill {drill}: respawned slot has a fresh pid")
+        for _ in range(250):
+            if no_zombie(c.proc.pid, victim):
+                break
+            time.sleep(0.02)
+        check(no_zombie(c.proc.pid, victim),
+              f"cluster: drill {drill}: killed pid {victim} is no zombie")
 
-    r = c.call("status")
-    st = r["result"]
-    check(st["workers_alive"] == 1, "cluster: status reports one survivor")
-    check(st["worker_deaths"] == 1, "cluster: status counts the death")
-    dead = [w for w in st["worker_pool"] if not w["alive"]]
-    check(len(dead) == 1 and dead[0]["pid"] == pids[0],
-          "cluster: the killed pid is the one reported dead")
+    st = status()
+    check(st["worker_deaths"] == 2 and st["respawns"] == 2,
+          "cluster: status counts both deaths and both respawns")
+    check(st["workers_quarantined"] == 0,
+          "cluster: isolated kills never quarantine a slot")
+    check(all(w["shards_completed"] >= b
+              for w, b in zip(st["worker_pool"], shards_before)),
+          "cluster: shard totals are cumulative across generations")
 
-    # The survivor still serves, and the classification is unchanged.
+    # The rebuilt pool still serves, and the classification is unchanged.
     r = c.call("run_atpg", {"circuit": key, "seed": 5})
     check(r["ok"] and signature(r["result"]) == ref,
-          "cluster: surviving worker reproduces the classification")
+          "cluster: respawned pool reproduces the classification")
 
     r = c.call("shutdown")
     check(r["ok"] and r["result"]["drained"], "cluster: shutdown drains")
     c.proc.stdin.close()
     check(c.proc.wait(timeout=30) == 0, "cluster: coordinator exited 0")
-    print("\ncluster smoke: all checks passed")
+    print("\ncluster smoke: all checks passed (supervised drill)")
 
 
 def tcp_smoke(binary):

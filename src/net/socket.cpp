@@ -122,6 +122,28 @@ int tcp_connect(const std::string& host, std::uint16_t port,
   return fd;
 }
 
+int tcp_connect_retry(const std::string& host, std::uint16_t port,
+                      double timeout_seconds,
+                      const svc::RetryOptions& retry) {
+  int fd = -1;
+  std::string last_error = "no attempts made";
+  const bool ok = svc::retry_with_backoff(retry, [&](std::size_t) {
+    try {
+      fd = tcp_connect(host, port, timeout_seconds);
+      return true;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      return false;
+    }
+  });
+  if (!ok)
+    throw std::runtime_error(
+        "tcp_connect " + host + ":" + std::to_string(port) + ": all " +
+        std::to_string(std::max<std::size_t>(1, retry.max_attempts)) +
+        " attempts failed; last: " + last_error);
+  return fd;
+}
+
 SocketTransport::SocketTransport(int fd) : fd_(fd) {
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

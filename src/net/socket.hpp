@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 
+#include "svc/supervisor.hpp"
 #include "svc/transport.hpp"
 
 namespace cwatpg::netio {
@@ -32,6 +33,17 @@ void parse_host_port(const std::string& spec, std::string* host,
 /// is set: frames are latency-bound request/response units, not bulk.
 int tcp_connect(const std::string& host, std::uint16_t port,
                 double timeout_seconds = 0.0);
+
+/// tcp_connect under the service layer's bounded retry-with-backoff: how
+/// `--connect` tolerates a worker daemon that has not finished booting
+/// (or is restarting) when the coordinator dials it. Each attempt gets
+/// `timeout_seconds`; between attempts the svc::RetryOptions backoff
+/// schedule sleeps (seeded jitter, so the schedule is replayable in
+/// tests). Throws std::runtime_error carrying the LAST attempt's error
+/// once all attempts fail.
+int tcp_connect_retry(const std::string& host, std::uint16_t port,
+                      double timeout_seconds,
+                      const svc::RetryOptions& retry);
 
 /// svc::Transport over a connected socket fd (takes ownership).
 ///

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "svc/proto.hpp"
+#include "svc/supervisor.hpp"
 #include "util/failpoint.hpp"
 
 namespace cwatpg::svc {
@@ -194,15 +195,11 @@ void Client::route(obs::Json frame) {
 }
 
 void Client::backoff(std::size_t attempt) {
-  double delay = options_.backoff_base_seconds;
-  for (std::size_t i = 1; i < attempt; ++i)
-    delay *= options_.backoff_multiplier;
-  delay = std::min(delay, options_.backoff_max_seconds);
-  // Jitter in [0.5, 1.0): decorrelates a fleet without ever collapsing
-  // the delay to zero; seeded, so a chaos schedule replays exactly.
-  const double u =
-      static_cast<double>(jitter_() >> 11) * 0x1.0p-53;
-  delay *= 0.5 + 0.5 * u;
+  BackoffPolicy policy;
+  policy.base_seconds = options_.backoff_base_seconds;
+  policy.max_seconds = options_.backoff_max_seconds;
+  policy.multiplier = options_.backoff_multiplier;
+  const double delay = backoff_delay(policy, jitter_, attempt);
   stats_.backoff_seconds += delay;
   options_.sleep_fn(delay);
 }

@@ -1,6 +1,7 @@
 #include "svc/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <new>
 #include <optional>
@@ -11,6 +12,7 @@
 #include "fault/tegus.hpp"
 #include "obs/report.hpp"
 #include "svc/params.hpp"
+#include "svc/spawn.hpp"
 #include "util/failpoint.hpp"
 
 namespace cwatpg::svc {
@@ -136,6 +138,11 @@ struct Cluster::JobContext {
   std::size_t shards_total = 0;
   std::size_t shards_accounted = 0;
   std::uint64_t redispatches = 0;
+  /// Poison windows this job had executed in-process, named in the
+  /// response so an operator can see exactly which fault range kept
+  /// killing workers.
+  std::vector<std::pair<std::size_t, std::size_t>> poison_windows;
+  std::uint64_t inprocess_faults = 0;
   bool cancelled = false;
   bool terminal_sent = false;
 };
@@ -151,6 +158,7 @@ Cluster::Cluster(std::vector<WorkerEndpoint> workers, ClusterOptions options)
     w->endpoint = std::move(e);
     if (w->endpoint.name.empty())
       w->endpoint.name = "w" + std::to_string(workers_.size());
+    w->supervisor = SlotSupervisor(options_.supervisor, workers_.size());
     workers_.push_back(std::move(w));
   }
   alive_ = workers_.size();
@@ -175,6 +183,10 @@ ClusterStats Cluster::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   ClusterStats s = stats_;
   s.alive = alive_;
+  s.respawning = respawning_;
+  s.quarantined = 0;
+  for (const std::unique_ptr<WorkerState>& w : workers_)
+    if (w->supervisor.quarantined()) ++s.quarantined;
   return s;
 }
 
@@ -335,18 +347,32 @@ obs::Json Cluster::cluster_status_json() {
     j["shutting_down"] = shutting_down_;
     j["workers"] = static_cast<std::uint64_t>(workers_.size());
     j["workers_alive"] = static_cast<std::uint64_t>(alive_);
+    j["workers_respawning"] = static_cast<std::uint64_t>(respawning_);
+    std::uint64_t quarantined = 0;
     for (const std::unique_ptr<WorkerState>& w : workers_) {
       obs::Json wj = obs::Json::object();
       wj["name"] = w->endpoint.name;
       wj["pid"] = static_cast<std::int64_t>(w->endpoint.pid);
       wj["alive"] = w->alive;
+      wj["respawning"] = w->respawning;
+      wj["quarantined"] = w->supervisor.quarantined();
+      if (w->supervisor.quarantined()) ++quarantined;
+      wj["generation"] = w->supervisor.generation();
+      wj["restarts"] = w->supervisor.restarts();
+      wj["last_exit"] = w->supervisor.last_exit();
+      // Cumulative across generations: a respawn never erases history.
       wj["shards_completed"] = w->shards_completed;
       wj["redispatches_caused"] = w->redispatches_caused;
       workers.push_back(std::move(wj));
     }
+    j["workers_quarantined"] = quarantined;
     j["shards_dispatched"] = stats_.shards_dispatched;
     j["redispatched"] = stats_.redispatched;
     j["worker_deaths"] = stats_.worker_deaths;
+    j["respawns"] = stats_.respawns;
+    j["heartbeat_failures"] = stats_.heartbeat_failures;
+    j["poison_windows"] = stats_.poison_windows;
+    j["inprocess_faults"] = stats_.inprocess_faults;
     j["jobs_completed"] = stats_.jobs_completed;
     j["jobs_failed"] = stats_.jobs_failed;
     j["active_jobs"] = static_cast<std::uint64_t>(active_jobs_);
@@ -446,9 +472,9 @@ void Cluster::admit_job(const Request& req) {
                                    "cluster is draining"));
       return;
     }
-    if (alive_ == 0) {
-      // No worker thread is left to pop the queue: admitting would strand
-      // the job without a terminal.
+    if (alive_ + respawning_ == 0) {
+      // No worker thread is left to pop the queue (and none is between
+      // generations): admitting would strand the job without a terminal.
       transport_->write(make_error(req.id, ErrorCode::kInternal,
                                    "all cluster workers died"));
       return;
@@ -496,7 +522,7 @@ void Cluster::admit_job(const Request& req) {
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (alive_ == 0) {
+    if (alive_ + respawning_ == 0) {
       // Re-checked under the registration lock: the last worker may have
       // died since the admission-time probe, and its all-dead sweep only
       // fails jobs that were registered when it ran.
@@ -538,11 +564,19 @@ void Cluster::admit_job(const Request& req) {
 
 // ---- shard dispatch -------------------------------------------------------
 
-bool Cluster::pop_shard(Shard& out) {
+Cluster::Pop Cluster::pop_shard(Shard& out, double idle_timeout_seconds) {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
-    queue_cv_.wait(lock, [&] { return queue_closed_ || !queue_.empty(); });
-    if (queue_.empty()) return false;  // closed and drained
+    const auto ready = [&] { return queue_closed_ || !queue_.empty(); };
+    if (idle_timeout_seconds > 0.0) {
+      if (!queue_cv_.wait_for(
+              lock, std::chrono::duration<double>(idle_timeout_seconds),
+              ready))
+        return Pop::kIdle;  // the caller's heartbeat tick
+    } else {
+      queue_cv_.wait(lock, ready);
+    }
+    if (queue_.empty()) return Pop::kClosed;  // closed and drained
     out = std::move(queue_.front());
     queue_.pop_front();
     const std::shared_ptr<JobContext> job = out.job;
@@ -568,7 +602,7 @@ bool Cluster::pop_shard(Shard& out) {
       out = Shard{};
       continue;
     }
-    return true;
+    return Pop::kShard;
   }
 }
 
@@ -577,25 +611,166 @@ void Cluster::worker_loop(WorkerState& w) {
   // schedules then fire for exactly one thread cluster-wide, which is what
   // "kill ONE worker mid-job" drills mean.
   fp::DomainScope domain("cluster.worker");
-  Client client(*w.endpoint.transport, options_.client);
-  bool dead = false;
-  Shard shard;
-  while (!dead && pop_shard(shard)) {
-    if (!run_shard(w, client, shard)) {
-      on_worker_death(w, shard);
-      dead = true;
+  while (true) {
+    if (serve_generation(w)) return;  // clean queue close (drain)
+    bool reviving = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      reviving = w.respawning;
     }
-    shard = Shard{};  // release the job reference between shards
+    // No respawn factory (or the drain began): the PR 8 shrink behavior —
+    // this slot is gone for good.
+    if (!reviving) return;
+    if (!await_respawn(w)) return;  // quarantined or queue closed
   }
-  if (!dead) {
-    // Clean queue close (coordinator drain): pass the shutdown downstream
-    // so worker daemons drain and exit instead of waiting on stdin.
-    try {
-      client.call("shutdown");
-    } catch (const std::exception&) {
-      // The worker died just before the drain; nothing left to stop.
+}
+
+bool Cluster::serve_generation(WorkerState& w) {
+  // The Client is per-generation: it holds a reference to the current
+  // transport, which await_respawn replaces.
+  Client client(*w.endpoint.transport, options_.client);
+  const double tick = options_.supervisor.heartbeat_seconds;
+  Shard shard;
+  while (true) {
+    switch (pop_shard(shard, tick)) {
+      case Pop::kClosed:
+        // Clean queue close (coordinator drain): pass the shutdown
+        // downstream so worker daemons drain and exit instead of waiting
+        // on stdin, then collect the child.
+        try {
+          client.call("shutdown");
+        } catch (const std::exception&) {
+          // The worker died just before the drain; nothing left to stop.
+        }
+        w.endpoint.transport->close();
+        reap_slot(w, /*kill_first=*/false);
+        return true;
+      case Pop::kIdle:
+        if (heartbeat(w, client)) continue;
+        on_worker_death(w, shard);  // shard is empty: nothing to forfeit
+        return false;
+      case Pop::kShard:
+        if (!run_shard(w, client, shard)) {
+          on_worker_death(w, shard);
+          return false;
+        }
+        shard = Shard{};  // release the job reference between shards
+        continue;
     }
-    w.endpoint.transport->close();
+  }
+}
+
+bool Cluster::heartbeat(WorkerState& w, Client& client) {
+  // Failpoint: the worker wedges — alive but never answering. The probe
+  // must convert that into the same EOF-shaped death signal a killed
+  // worker gives.
+  bool ok = !CWATPG_FAILPOINT("cluster.heartbeat.stall");
+  if (ok) {
+    if (!w.endpoint.transport->set_read_timeout(
+            options_.supervisor.heartbeat_timeout_seconds))
+      return true;  // unbounded transport: a probe could hang us — skip
+    try {
+      client.call("status");
+    } catch (const std::exception&) {
+      ok = false;  // timeout or torn session
+    }
+    w.endpoint.transport->set_read_timeout(0.0);
+    metrics_.counter("cluster.supervisor.heartbeats").add(1);
+  }
+  if (!ok) {
+    metrics_.counter("cluster.supervisor.heartbeat_failures").add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.heartbeat_failures;
+  }
+  return ok;
+}
+
+std::string Cluster::reap_slot(WorkerState& w, bool kill_first) {
+  std::int64_t pid = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pid = w.endpoint.pid;
+  }
+  if (pid <= 0) return "eof";  // in-process or remote: nothing to reap
+  return reap_child_exit(pid, kill_first).describe();
+}
+
+bool Cluster::await_respawn(WorkerState& w) {
+  while (true) {
+    double delay = 0.0;
+    bool exhausted = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_closed_) {
+        w.respawning = false;
+        --respawning_;
+        return false;
+      }
+      exhausted = w.supervisor.exhausted();
+      if (!exhausted) delay = w.supervisor.next_delay();
+    }
+    if (exhausted) {
+      // Crash loop: quarantine the slot loudly instead of spinning.
+      bool all_dead = false;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        w.supervisor.quarantine();
+        w.respawning = false;
+        --respawning_;
+        all_dead = alive_ == 0 && respawning_ == 0;
+      }
+      metrics_.counter("cluster.supervisor.quarantined").add(1);
+      if (all_dead) fail_all_jobs("all cluster workers died");
+      return false;
+    }
+    {
+      // Interruptible backoff: a drain must not wait out the schedule.
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait_for(lock, std::chrono::duration<double>(delay),
+                         [&] { return queue_closed_; });
+      if (queue_closed_) {
+        w.respawning = false;
+        --respawning_;
+        return false;
+      }
+    }
+    WorkerEndpoint::Respawned next;
+    // Failpoint: the respawn itself fails (fork/exec or re-dial error);
+    // counts toward the crash-loop window and backs off harder.
+    bool ok = !CWATPG_FAILPOINT("cluster.respawn.fail");
+    if (ok) {
+      try {
+        next = w.endpoint.respawn();
+      } catch (const std::exception&) {
+        ok = false;
+      }
+      ok = ok && next.transport != nullptr;
+    }
+    if (!ok) {
+      metrics_.counter("cluster.supervisor.respawn_failures").add(1);
+      std::lock_guard<std::mutex> lock(mutex_);
+      w.supervisor.note_respawn_failure();
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // The transport swap is safe here: this slot's Client died with
+      // serve_generation, and every other-thread writer (cancel fan-out)
+      // checks w.alive under this mutex first.
+      w.endpoint.transport = std::move(next.transport);
+      w.endpoint.pid = next.pid;
+      // New generation, empty replication state: circuits re-replicate
+      // lazily by content hash exactly like a first load.
+      w.loaded.clear();
+      w.supervisor.note_respawned();
+      w.alive = true;
+      ++alive_;
+      w.respawning = false;
+      --respawning_;
+      ++stats_.respawns;
+    }
+    metrics_.counter("cluster.supervisor.respawns").add(1);
+    return true;
   }
 }
 
@@ -607,6 +782,17 @@ bool Cluster::run_shard(WorkerState& w, Client& client, Shard& shard) {
   if (CWATPG_FAILPOINT("cluster.dispatch.drop")) {
     redispatch(w, shard, "dispatch dropped (cluster.dispatch.drop)");
     return true;
+  }
+  // Failpoint: fault K is poison — every dispatch of a window containing
+  // it kills the worker (`cluster.shard.poison=always@K`). Returning
+  // false is exactly the signal a real crash gives, so this drives the
+  // full quarantine ladder: death → redispatch → second death → bisect →
+  // … → width-1 window executed in-process.
+  if (job->sharded) {
+    const int poison = CWATPG_FAILPOINT_ARG("cluster.shard.poison");
+    if (poison >= 0 && static_cast<std::size_t>(poison) >= shard.lo &&
+        static_cast<std::size_t>(poison) < shard.hi)
+      return false;
   }
   try {
     // Lazy replication, idempotent by content hash: the first shard of a
@@ -864,24 +1050,199 @@ void Cluster::on_worker_death(WorkerState& w, Shard& shard) {
     }
     w.inflight_worker_id = 0;
     w.inflight_job = 0;
-    all_dead = alive_ == 0;
+    // Decide respawn intent INSIDE the death transition: a slot between
+    // generations still counts as capacity, so a sibling's concurrent
+    // death cannot fire the all-dead sweep while this one is reviving.
+    const bool will_respawn = static_cast<bool>(w.endpoint.respawn) &&
+                              !w.supervisor.quarantined() && !queue_closed_;
+    if (will_respawn && !w.respawning) {
+      w.respawning = true;
+      ++respawning_;
+    }
+    all_dead = alive_ == 0 && respawning_ == 0;
   }
   metrics_.counter("cluster.worker_deaths").add(1);
   w.endpoint.transport->close();
-  // The un-acked shard is the worker's forfeit: hand it to a survivor
-  // (exactly once — a second forfeit fails the job, not the cluster).
-  if (shard.job != nullptr)
-    redispatch(w, shard, "worker \"" + w.endpoint.name + "\" died");
-  if (all_dead) {
-    std::vector<std::shared_ptr<JobContext>> victims;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      for (const auto& [id, job] : jobs_)
-        if (!job->terminal_sent) victims.push_back(job);
-    }
-    for (const std::shared_ptr<JobContext>& job : victims)
-      fail_job(job, ErrorCode::kInternal, "all cluster workers died");
+  // Reap the child NOW — not at coordinator exit — so a kill -9'd worker
+  // never lingers as a zombie, and `status` can report how it died.
+  const std::string last_exit = reap_slot(w, /*kill_first=*/true);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    w.supervisor.note_death(last_exit);
   }
+  // The un-acked shard is the worker's forfeit: hand it to a survivor,
+  // or — when this window has now killed two generations — route it
+  // through poison-shard quarantine. Runs BEFORE the all-dead sweep so a
+  // poison window's in-process fallback can still complete its job even
+  // when this was the last worker.
+  if (shard.job != nullptr) forfeit_shard(w, shard);
+  if (all_dead) fail_all_jobs("all cluster workers died");
+}
+
+void Cluster::fail_all_jobs(const std::string& why) {
+  std::vector<std::shared_ptr<JobContext>> victims;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, job] : jobs_)
+      if (!job->terminal_sent) victims.push_back(job);
+  }
+  for (const std::shared_ptr<JobContext>& job : victims)
+    fail_job(job, ErrorCode::kInternal, why);
+}
+
+void Cluster::forfeit_shard(WorkerState& w, Shard& shard) {
+  const std::shared_ptr<JobContext> job = shard.job;
+  if (!job->sharded) {
+    // A forwarded whole job keeps the one-redispatch budget: there is no
+    // window to bisect and no raw-record merge path to complete it
+    // in-process.
+    redispatch(w, shard, "worker \"" + w.endpoint.name + "\" died");
+    return;
+  }
+  ++shard.deaths;
+  if (shard.deaths >= 2) {
+    quarantine_shard(w, shard);
+    return;
+  }
+  bool finish_partial = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->terminal_sent) return;
+    if (job->cancelled || job->budget.exhausted()) {
+      // Re-running a dead job's shard is wasted work: account it empty.
+      ++job->shards_accounted;
+      finish_partial = job->shards_accounted >= job->shards_total;
+    } else {
+      ++stats_.redispatched;
+      ++job->redispatches;
+      ++w.redispatches_caused;
+      queue_.push_front(shard);
+    }
+  }
+  if (finish_partial) {
+    finish_sharded_job(job);
+    return;
+  }
+  metrics_.counter("cluster.redispatched").add(1);
+  queue_cv_.notify_all();
+}
+
+void Cluster::quarantine_shard(WorkerState& w, Shard& shard) {
+  (void)w;
+  const std::shared_ptr<JobContext> job = shard.job;
+  if (shard.hi - shard.lo <= 1) {
+    // The residual minimal window IS the poison: run it on the
+    // coordinator, whose process we trust with it (and whose death would
+    // end the job anyway).
+    run_window_inprocess(job, shard.lo, shard.hi);
+    return;
+  }
+  // Bisect to isolate the offending fault range. Each half starts with
+  // one inherited death so a half that kills again quarantines (or
+  // bisects further) immediately; the innocent half completes normally on
+  // the next worker. Convergence is O(log window) extra deaths.
+  bool queued = false;
+  bool finish_partial = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->terminal_sent) return;
+    if (job->cancelled || job->budget.exhausted()) {
+      ++job->shards_accounted;
+      finish_partial = job->shards_accounted >= job->shards_total;
+    } else {
+      const std::size_t mid = shard.lo + (shard.hi - shard.lo) / 2;
+      Shard left;
+      left.job = job;
+      left.lo = shard.lo;
+      left.hi = mid;
+      left.deaths = 1;
+      Shard right;
+      right.job = job;
+      right.lo = mid;
+      right.hi = shard.hi;
+      right.deaths = 1;
+      ++job->shards_total;  // one window became two
+      queue_.push_front(std::move(right));
+      queue_.push_front(std::move(left));
+      queued = true;
+    }
+  }
+  if (finish_partial) {
+    finish_sharded_job(job);
+    return;
+  }
+  if (queued) {
+    metrics_.counter("cluster.supervisor.bisections").add(1);
+    queue_cv_.notify_all();
+  }
+}
+
+void Cluster::run_window_inprocess(const std::shared_ptr<JobContext>& job,
+                                   std::size_t lo, std::size_t hi) {
+  metrics_.counter("cluster.supervisor.inprocess_windows").add(1);
+  std::vector<WireFaultOutcome> decoded;
+  bool interrupted = false;
+  try {
+    // Exactly the request a worker would have received for this window
+    // (run_shard's dispatch params), through the same shared
+    // params→options mapping. Per-fault classification is a pure function
+    // of (circuit, fault, options), so WHERE the window runs cannot leak
+    // into the records.
+    obs::Json params = job->params;
+    obs::Json range = obs::Json::array();
+    range.push_back(static_cast<std::uint64_t>(lo));
+    range.push_back(static_cast<std::uint64_t>(hi));
+    params["fault_range"] = std::move(range);
+    params["raw_outcomes"] = true;
+    params["drop_by_simulation"] = false;
+    params["threads"] = std::uint64_t(1);
+    fault::AtpgOptions opts = atpg_options_from_params(params, *job->circuit);
+    // The job's own budget: cancellation and the deadline propagate into
+    // the fallback exactly as they would into a worker-side run.
+    opts.budget = &job->budget;
+    const fault::AtpgResult result =
+        fault::run_atpg(job->circuit->net, opts);
+    interrupted = result.interrupted;
+    const std::size_t num_inputs = job->circuit->net.inputs().size();
+    decoded.reserve(opts.fault_subset.size());
+    for (const std::size_t fi : opts.fault_subset) {
+      const fault::FaultOutcome& o = result.outcomes[fi];
+      const fault::Pattern* test =
+          o.status == fault::FaultStatus::kDetected && o.has_test()
+              ? &result.tests[o.test()]
+              : nullptr;
+      // Round-trip through the wire codec so the record is field-for-field
+      // what ingesting the same worker reply would have stored.
+      decoded.push_back(
+          decode_fault_outcome(encode_fault_outcome(fi, o, test), num_inputs));
+    }
+  } catch (const std::exception& e) {
+    fail_job(job, ErrorCode::kInternal,
+             "in-process fallback for poison shard [" + std::to_string(lo) +
+                 ", " + std::to_string(hi) + ") failed: " + e.what());
+    return;
+  }
+  bool complete = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->terminal_sent) return;
+    const bool partial_ok =
+        job->cancelled || interrupted || job->budget.exhausted();
+    for (WireFaultOutcome& rec : decoded) {
+      if (partial_ok &&
+          rec.outcome.status == fault::FaultStatus::kUndetermined)
+        continue;  // an interrupted run's unreached fault says nothing
+      job->records.emplace(rec.index, std::move(rec));  // first ingest wins
+    }
+    ++job->shards_accounted;
+    job->poison_windows.emplace_back(lo, hi);
+    job->inprocess_faults += hi - lo;
+    ++stats_.poison_windows;
+    stats_.inprocess_faults += hi - lo;
+    complete = job->shards_accounted >= job->shards_total;
+  }
+  metrics_.counter("cluster.supervisor.inprocess_faults").add(hi - lo);
+  if (complete) finish_sharded_job(job);
 }
 
 // ---- job termination ------------------------------------------------------
@@ -1026,6 +1387,18 @@ obs::Json Cluster::merge_records(JobContext& job) {
     cluster["shards"] = static_cast<std::uint64_t>(job.shards_total);
     cluster["redispatched"] = job.redispatches;
     cluster["workers_alive"] = static_cast<std::uint64_t>(alive_);
+    // Name any poison windows: the job completed DESPITE them (their
+    // faults ran in-process), and the operator deserves to know which
+    // fault range kept killing workers.
+    obs::Json poison = obs::Json::array();
+    for (const auto& [lo, hi] : job.poison_windows) {
+      obs::Json window = obs::Json::array();
+      window.push_back(static_cast<std::uint64_t>(lo));
+      window.push_back(static_cast<std::uint64_t>(hi));
+      poison.push_back(std::move(window));
+    }
+    cluster["poison_windows"] = std::move(poison);
+    cluster["inprocess_faults"] = job.inprocess_faults;
     j["cluster"] = std::move(cluster);
   }
   j["registry"] = registry_.stats().to_json();

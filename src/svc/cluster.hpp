@@ -24,13 +24,28 @@
 // classification, test set and test attribution are identical to a
 // single-node run by construction.
 //
-// Failover: a worker that dies or wedges forfeits its un-acked shard; the
-// shard is re-dispatched to a survivor exactly once (a second failure
-// fails the job with `internal` — something is wrong with the work, not
-// the worker). First-ingest-wins per fault index makes redispatch safe
-// against the original reply racing in late: no fault is lost, none is
-// double-counted. Health and redispatch counts surface through `status`
-// and the cluster.* metrics.
+// Failover and supervision: a worker that dies or wedges (heartbeats — a
+// bounded `status` probe on idle workers — turn a wedge into the same
+// EOF-shaped signal) forfeits its un-acked shard to a survivor, and the
+// SLOT is respawned under exponential backoff with a generation counter:
+// its endpoint's respawn factory re-forks the child or re-dials the
+// remote daemon, and the new generation lazily re-replicates circuits by
+// content hash exactly like a first load. A crash-looping slot (≥ N
+// respawn events in a sliding window) is quarantined loudly instead of
+// spinning. A shard window that killed two worker generations is POISON:
+// it is never dispatched a third time whole — it is bisected to isolate
+// the offending fault range, and the residual window is executed
+// in-process by the coordinator through the identical params→options
+// mapping and wire codec, so its records — and therefore the
+// ReplayProvider merge — are byte-identical to what a worker would have
+// produced, and the job completes with the poison window named in the
+// response instead of failing. First-ingest-wins per fault index makes
+// redispatch safe against the original reply racing in late: no fault is
+// lost, none is double-counted. Health, generations and redispatch
+// counts surface through `status` and the cluster.* / cluster.supervisor.*
+// metrics; benign shard failures (dropped dispatch, truncated reply)
+// still fail the job after one redispatch — something is wrong with the
+// work, not the worker.
 //
 // Jobs whose per-fault outcomes are NOT independent of solver-call history
 // (engine "incremental") and `fsim` jobs are forwarded whole to one
@@ -43,6 +58,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,6 +72,7 @@
 #include "svc/client.hpp"
 #include "svc/proto.hpp"
 #include "svc/registry.hpp"
+#include "svc/supervisor.hpp"
 #include "svc/transport.hpp"
 #include "util/budget.hpp"
 #include "util/timer.hpp"
@@ -78,27 +95,53 @@ struct ClusterOptions {
   /// Retry/backoff policy for the per-worker clients (reused from the
   /// single-daemon resilience layer).
   ClientOptions client;
+  /// Worker respawn/heartbeat/quarantine policy (the self-healing layer;
+  /// only endpoints carrying a respawn factory are ever respawned).
+  SupervisorOptions supervisor;
 };
 
 struct ClusterStats {
   std::size_t workers = 0;         ///< configured worker endpoints
-  std::size_t alive = 0;           ///< endpoints still serving
+  std::size_t alive = 0;           ///< endpoints currently serving
+  std::size_t respawning = 0;      ///< slots between generations
+  std::size_t quarantined = 0;     ///< slots retired as crash loops
   std::uint64_t shards_dispatched = 0;
   std::uint64_t redispatched = 0;  ///< shards re-dispatched after a failure
   std::uint64_t worker_deaths = 0;
+  std::uint64_t respawns = 0;      ///< successful worker respawns
+  std::uint64_t heartbeat_failures = 0;
+  std::uint64_t poison_windows = 0;   ///< windows executed in-process
+  std::uint64_t inprocess_faults = 0; ///< faults solved by the coordinator
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
 };
 
 class Cluster {
  public:
-  /// One worker endpoint the cluster owns. `pid` is informational
-  /// (surfaced through `status` so an operator — or the kill-drill smoke
-  /// test — can target a worker process); 0 for in-process workers.
+  /// One worker endpoint the cluster owns. `pid` is the current
+  /// generation's process (surfaced through `status` so an operator — or
+  /// the kill-drill smoke test — can target a worker process, and reaped
+  /// by the supervisor at death detection); 0 for in-process and remote
+  /// workers.
   struct WorkerEndpoint {
+    /// What a respawn factory hands back: the next generation's
+    /// connection (a re-forked child's pipes, a re-dialed socket).
+    struct Respawned {
+      std::unique_ptr<Transport> transport;
+      std::int64_t pid = 0;
+    };
+
     std::unique_ptr<Transport> transport;
     std::string name;
     std::int64_t pid = 0;
+    /// Re-creates the endpoint's connection after a death. Called from
+    /// the slot's own worker thread, outside the coordinator lock; may
+    /// throw (counts as a failed respawn attempt, retried under backoff).
+    /// Unset ⇒ the slot is not self-healing: a death shrinks the pool
+    /// permanently (the pre-supervision behavior). The embedder injects
+    /// this because the svc layer cannot dial TCP itself (net links svc,
+    /// never the reverse).
+    std::function<Respawned()> respawn;
   };
 
   Cluster(std::vector<WorkerEndpoint> workers, ClusterOptions options = {});
@@ -122,19 +165,28 @@ class Cluster {
     std::shared_ptr<JobContext> job;
     std::size_t lo = 0;
     std::size_t hi = 0;
-    int attempt = 0;  ///< 0 = first dispatch, 1 = the one redispatch
+    int attempt = 0;  ///< benign failures: 0 = first dispatch, 1 = retry
+    /// Worker generations this exact window killed. Two deaths make the
+    /// window poison: bisect, or execute the residual in-process.
+    int deaths = 0;
   };
 
   struct WorkerState {
     WorkerEndpoint endpoint;
     std::thread thread;
-    bool alive = true;               ///< guarded by mutex_
+    bool alive = true;        ///< guarded by mutex_
+    bool respawning = false;  ///< dead, but its supervisor is reviving it
+    SlotSupervisor supervisor;  ///< guarded by mutex_
+    /// Cumulative across generations: a slot's history survives every
+    /// respawn (`status` reports per-slot totals plus the generation).
     std::uint64_t shards_completed = 0;
     std::uint64_t redispatches_caused = 0;
     std::uint64_t inflight_worker_id = 0;  ///< worker-side request id, 0=idle
     std::uint64_t inflight_job = 0;        ///< coordinator job id, 0=idle
     std::unordered_set<std::string> loaded;  ///< circuit keys replicated
   };
+
+  enum class Pop { kShard, kIdle, kClosed };
 
   // -- reader side --
   void handle_load_circuit(const Request& req);
@@ -144,19 +196,51 @@ class Cluster {
 
   // -- worker side --
   void worker_loop(WorkerState& w);
+  /// Serves one connection generation of `w` until death or queue close.
+  /// Returns true on a clean queue close (drain), false on worker death
+  /// (on_worker_death already ran; the caller decides respawn).
+  bool serve_generation(WorkerState& w);
+  /// Backoff-sleeps and calls the slot's respawn factory until a new
+  /// generation is live (true) or the slot quarantines / the queue closes
+  /// (false — the caller's thread exits).
+  bool await_respawn(WorkerState& w);
+  /// Idle-tick health probe: a bounded `status` call. False ⇒ the worker
+  /// is wedged and must take the death path.
+  bool heartbeat(WorkerState& w, Client& client);
+  /// Reaps the slot's current child process, if any (prompt zombie
+  /// collection at death detection). Returns the exit description for
+  /// `status` `last_exit` ("signal 9", "exit 127", "eof" when there is no
+  /// process to reap).
+  std::string reap_slot(WorkerState& w, bool kill_first);
   /// Runs one shard on `w`. Returns false when the worker is dead (the
-  /// caller's thread must exit after on_worker_death).
+  /// caller runs on_worker_death).
   bool run_shard(WorkerState& w, Client& client, Shard& shard);
-  /// Re-queues `shard` (or fails its job when the redispatch budget is
-  /// spent). `cause` names the failure in the job's error message.
+  /// Re-queues `shard` after a BENIGN failure (or fails its job when the
+  /// one-redispatch budget is spent). `cause` names the failure.
   void redispatch(WorkerState& w, Shard& shard, const std::string& cause);
   void on_worker_death(WorkerState& w, Shard& shard);
+  /// A worker died holding `shard`: re-queue it, or — after a second
+  /// death — route it through poison-shard quarantine.
+  void forfeit_shard(WorkerState& w, Shard& shard);
+  /// Poison window: bisect to isolate the offending fault range, or (at
+  /// width 1 / the residual window) execute it in-process.
+  void quarantine_shard(WorkerState& w, Shard& shard);
+  /// Executes [lo, hi) on the coordinator itself, through the same
+  /// params→options mapping and wire codec a worker applies, and accounts
+  /// the records into the job.
+  void run_window_inprocess(const std::shared_ptr<JobContext>& job,
+                            std::size_t lo, std::size_t hi);
+  /// Fails every non-terminal job; fired when the last live-or-reviving
+  /// worker is gone.
+  void fail_all_jobs(const std::string& why);
   /// Ingests one shard reply's records; returns false when the reply is
   /// incomplete (caller redispatches).
   bool ingest_reply(Shard& shard, const obs::Json& result, bool partial_ok);
 
   // -- job lifecycle --
-  bool pop_shard(Shard& out);
+  /// Blocks for the next dispatchable shard. `idle_timeout_seconds` > 0
+  /// bounds the wait (kIdle on expiry — the heartbeat tick).
+  Pop pop_shard(Shard& out, double idle_timeout_seconds);
   void finish_sharded_job(const std::shared_ptr<JobContext>& job);
   void fail_job(const std::shared_ptr<JobContext>& job, ErrorCode code,
                 const std::string& message);
@@ -189,6 +273,10 @@ class Cluster {
   bool shutting_down_ = false;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::size_t alive_ = 0;
+  /// Slots whose supervisor is between generations (dead but reviving).
+  /// They count as capacity: admission and the all-dead sweep treat
+  /// alive_ + respawning_ == 0 as "the cluster is gone".
+  std::size_t respawning_ = 0;
   /// Live jobs only: the entry is released with the terminal response.
   std::unordered_map<std::uint64_t, std::shared_ptr<JobContext>> jobs_;
   /// Recently-terminated job ids (bounded FIFO history) so status/cancel

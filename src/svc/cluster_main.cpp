@@ -10,10 +10,14 @@
 // spawned worker daemons (child processes over stdio pipes) and merges
 // their shard replies into one response that is classification-identical
 // to a single-node run. A worker killed mid-job forfeits its un-acked
-// shard to a survivor; `status` reports per-worker pids, liveness and
-// redispatch counts, which is what scripts/service_smoke.py --cluster
-// uses for its kill drill. Worker stderr is inherited, so the whole
-// fleet's diagnostics land on the coordinator's stderr.
+// shard to a survivor AND is respawned under backoff (a fresh child for
+// spawned workers, a re-dial for remote ones) unless it crash-loops past
+// --max-respawns inside the supervision window, in which case the slot is
+// quarantined. `status` reports per-worker pids, liveness, generation,
+// restarts and the reaped exit of the previous generation, which is what
+// scripts/service_smoke.py --cluster uses for its supervised kill drill.
+// Worker stderr is inherited, so the whole fleet's diagnostics land on
+// the coordinator's stderr.
 //
 // --connect=HOST:PORT (repeatable) attaches REMOTE workers over TCP —
 // each address is a `cwatpg_serve --listen` daemon, possibly on another
@@ -45,6 +49,7 @@ void print_usage(std::ostream& out, const char* argv0) {
   out << "usage: " << argv0
       << " [--workers=N] [--worker-cmd=\"CMD ARGS...\"] [--shard-size=N]"
          " [--shard-deadline=S] [--default-deadline=S] [--registry-mb=N]"
+         " [--respawn-backoff=S] [--max-respawns=N] [--heartbeat=S]"
          " [--connect=HOST:PORT ...] [--listen=HOST:PORT]\n"
          "  --workers=N           worker daemons to spawn. default 2"
          " (0 when --connect is used)\n"
@@ -59,8 +64,18 @@ void print_usage(std::ostream& out, const char* argv0) {
          " none; 0 = unlimited. default 0\n"
          "  --registry-mb=N       coordinator circuit cache budget."
          " default 256\n"
+         "  --respawn-backoff=S   base delay before respawning a dead"
+         " worker (doubles per consecutive failure, capped). default"
+         " 0.05\n"
+         "  --max-respawns=N      respawn events tolerated per slot inside"
+         " a 30 s window before the slot is quarantined as a crash loop;"
+         " 0 = never respawn. default 5\n"
+         "  --heartbeat=S         probe idle workers with a bounded"
+         " `status` every S seconds; a non-answer is treated as death."
+         " 0 = off. default 0\n"
          "  --connect=HOST:PORT   attach a remote TCP worker (repeatable;"
-         " a `cwatpg_serve --listen` daemon)\n"
+         " a `cwatpg_serve --listen` daemon; dialed with bounded retries"
+         " so a still-booting worker is tolerated)\n"
          "  --listen=HOST:PORT    serve the front end over TCP (one client"
          " at a time; PORT 0 = ephemeral, bound port on stderr)\n";
 }
@@ -125,6 +140,15 @@ int main(int argc, char** argv) {
       options.registry_bytes =
           static_cast<std::size_t>(std::max(1L, std::atol(arg.c_str() + 14)))
           << 20;
+    } else if (arg.rfind("--respawn-backoff=", 0) == 0) {
+      options.supervisor.backoff.base_seconds =
+          std::max(0.0, std::atof(arg.c_str() + 18));
+    } else if (arg.rfind("--max-respawns=", 0) == 0) {
+      options.supervisor.max_respawns = static_cast<std::size_t>(
+          std::max(0L, std::atol(arg.c_str() + 15)));
+    } else if (arg.rfind("--heartbeat=", 0) == 0) {
+      options.supervisor.heartbeat_seconds =
+          std::max(0.0, std::atof(arg.c_str() + 12));
     } else if (arg == "--help" || arg == "-h") {
       print_usage(std::cout, argv[0]);
       return 0;
@@ -162,8 +186,26 @@ int main(int argc, char** argv) {
       e.transport = std::move(child.transport);
       e.name = "w" + std::to_string(i);
       e.pid = child.pid;
+      // The respawn factory the supervisor calls (from the slot's own
+      // worker thread, outside the coordinator lock) after this child
+      // dies: a fresh fork/exec of the same command line. Throws =
+      // failed attempt, retried under the supervisor's backoff.
+      e.respawn = [worker_argv]() {
+        svc::ChildProcess next = svc::spawn_child(worker_argv);
+        svc::Cluster::WorkerEndpoint::Respawned r;
+        r.transport = std::move(next.transport);
+        r.pid = next.pid;
+        return r;
+      };
       endpoints.push_back(std::move(e));
     }
+    // Boot dialing tolerates a worker daemon that is still starting up:
+    // bounded retry with the shared backoff schedule rather than one
+    // all-or-nothing connect.
+    svc::RetryOptions dial_retry;
+    dial_retry.max_attempts = 10;
+    dial_retry.backoff.base_seconds = 0.05;
+    dial_retry.backoff.max_seconds = 1.0;
     for (const std::string& spec : connect_specs) {
       std::string host;
       std::uint16_t port = 0;
@@ -174,9 +216,19 @@ int main(int argc, char** argv) {
       // child's pipe gives, so shard failover is untouched.
       svc::Cluster::WorkerEndpoint e;
       e.transport = std::make_unique<netio::SocketTransport>(
-          netio::tcp_connect(host, port, 10.0));
+          netio::tcp_connect_retry(host, port, 10.0, dial_retry));
       e.name = "tcp:" + host + ":" + std::to_string(port);
       e.pid = 0;
+      // Respawn for a remote slot is a re-dial of the same address; one
+      // connect per attempt — the supervisor's backoff loop provides the
+      // retries, so a daemon that stays down converges to quarantine.
+      e.respawn = [host, port]() {
+        svc::Cluster::WorkerEndpoint::Respawned r;
+        r.transport = std::make_unique<netio::SocketTransport>(
+            netio::tcp_connect(host, port, 10.0));
+        r.pid = 0;
+        return r;
+      };
       endpoints.push_back(std::move(e));
     }
     std::cerr << "cwatpg_cluster: " << workers << " local workers";
@@ -186,6 +238,12 @@ int main(int argc, char** argv) {
     std::cerr << ", shard size " << options.shard_size;
 
     svc::Cluster cluster(std::move(endpoints), options);
+    // From here the cluster owns worker lifecycles: it reaps a child the
+    // moment its pipe EOFs (so kill -9 never leaves a zombie), respawns
+    // replacements with pids of its own, and reaps the final generation
+    // at drain. Reaping the startup pids again here would race pid
+    // reuse, so the list only backstops a failure *before* this point.
+    pids.clear();
     if (!listen_spec.empty()) {
       std::string host;
       std::uint16_t port = 0;
@@ -206,8 +264,9 @@ int main(int argc, char** argv) {
     std::cerr << "cwatpg_cluster: fatal: " << e.what() << "\n";
     exit_code = 1;
   }
-  // serve() already closed (or never opened) the worker pipes; a clean
-  // drain lets each child exit on its own, a fatal error force-kills.
-  for (const std::int64_t pid : pids) svc::reap_child(pid, exit_code != 0);
+  // Non-empty only when startup failed before the Cluster took ownership
+  // (e.g. a --connect dial that never succeeded after local children were
+  // already spawned): force-kill and reap those orphans.
+  for (const std::int64_t pid : pids) svc::reap_child(pid, true);
   return exit_code;
 }

@@ -164,7 +164,14 @@ int main(int argc, char** argv) {
       std::uint16_t port = 0;
       netio::parse_host_port(connect_spec, &host, &port);
       std::cerr << " — dialing " << host << ":" << port << "\n";
-      netio::SocketTransport transport(netio::tcp_connect(host, port, 10.0));
+      // Bounded retry with backoff: tolerates a coordinator that is still
+      // binding its listener when this worker boots.
+      svc::RetryOptions dial_retry;
+      dial_retry.max_attempts = 10;
+      dial_retry.backoff.base_seconds = 0.05;
+      dial_retry.backoff.max_seconds = 1.0;
+      netio::SocketTransport transport(
+          netio::tcp_connect_retry(host, port, 10.0, dial_retry));
       server.serve(transport);
     } else {
       std::cerr << " — serving cwatpg.rpc/1 on stdin/stdout\n";

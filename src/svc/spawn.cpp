@@ -1,11 +1,13 @@
 #include "svc/spawn.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <stdexcept>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -18,9 +20,31 @@ namespace {
 
 /// read(2) exactly `n` bytes. Returns false on EOF at offset 0; throws
 /// ProtocolError on EOF mid-object or a hard error. EINTR is retried.
-bool read_exact(int fd, char* buf, std::size_t n, bool at_boundary) {
+/// `timeout_seconds` > 0 bounds each read with poll(2); expiry throws
+/// ProtocolError, the same torn-session signal a dead peer gives.
+bool read_exact(int fd, char* buf, std::size_t n, bool at_boundary,
+                double timeout_seconds = 0.0) {
   std::size_t got = 0;
   while (got < n) {
+    if (timeout_seconds > 0.0) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int timeout_ms = std::max(
+          1, static_cast<int>(timeout_seconds * 1000.0));
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready == 0)
+        throw ProtocolError("read timed out after " +
+                            std::to_string(timeout_seconds) + "s");
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw ProtocolError(std::string("poll failed: ") +
+                            std::strerror(errno));
+      }
+      // POLLHUP/POLLERR fall through to read(2), which reports the EOF
+      // or error precisely.
+    }
     const ssize_t r = ::read(fd, buf + got, n - got);
     if (r > 0) {
       got += static_cast<std::size_t>(r);
@@ -72,13 +96,21 @@ bool FdTransport::read(obs::Json& frame) {
   FrameLengthParser header;
   char c = 0;
   while (true) {
-    if (!read_exact(read_fd_, &c, 1, header.digits() == 0)) return false;
+    if (!read_exact(read_fd_, &c, 1, header.digits() == 0,
+                    read_timeout_seconds_))
+      return false;
     if (header.feed(c)) break;
   }
   std::string payload(header.length(), '\0');
   if (!payload.empty())
-    read_exact(read_fd_, payload.data(), payload.size(), false);
+    read_exact(read_fd_, payload.data(), payload.size(), false,
+               read_timeout_seconds_);
   frame = parse_frame_payload(payload);
+  return true;
+}
+
+bool FdTransport::set_read_timeout(double seconds) {
+  read_timeout_seconds_ = seconds > 0.0 ? seconds : 0.0;
   return true;
 }
 
@@ -154,13 +186,35 @@ ChildProcess spawn_child(const std::vector<std::string>& argv) {
   return child;
 }
 
+std::string ChildExit::describe() const {
+  if (!reaped) return "unknown";
+  return (signaled ? "signal " : "exit ") + std::to_string(code);
+}
+
 void reap_child(std::int64_t pid, bool kill_first) {
-  if (pid <= 0) return;
+  (void)reap_child_exit(pid, kill_first);
+}
+
+ChildExit reap_child_exit(std::int64_t pid, bool kill_first) {
+  ChildExit exit;
+  if (pid <= 0) return exit;
+  // kill(2) on an already-exited (zombie) child is a harmless no-op, so
+  // waitpid below still reports the child's true termination.
   if (kill_first) ::kill(static_cast<pid_t>(pid), SIGKILL);
   int status = 0;
-  while (::waitpid(static_cast<pid_t>(pid), &status, 0) < 0 &&
+  pid_t reaped = -1;
+  while ((reaped = ::waitpid(static_cast<pid_t>(pid), &status, 0)) < 0 &&
          errno == EINTR) {
   }
+  if (reaped != static_cast<pid_t>(pid)) return exit;  // ECHILD: not ours
+  exit.reaped = true;
+  if (WIFEXITED(status)) {
+    exit.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    exit.signaled = true;
+    exit.code = WTERMSIG(status);
+  }
+  return exit;
 }
 
 }  // namespace cwatpg::svc

@@ -39,11 +39,15 @@ class FdTransport final : public Transport {
   /// Closes the WRITE side only (the peer's stdin sees EOF — how a
   /// coordinator stops a worker); read() keeps draining buffered frames.
   void close() override;
+  /// Supported (poll(2) before each read): how the coordinator bounds a
+  /// heartbeat probe so a wedged-but-alive worker cannot hang it.
+  bool set_read_timeout(double seconds) override;
 
  private:
   int read_fd_;
   int write_fd_;  ///< guarded by write_mutex_ (-1 once closed)
   std::mutex write_mutex_;
+  double read_timeout_seconds_ = 0.0;  ///< single-consumer, like read()
 };
 
 /// A spawned worker daemon: its pid plus the coordinator-side transport
@@ -61,8 +65,25 @@ struct ChildProcess {
 /// immediate end-of-stream.
 ChildProcess spawn_child(const std::vector<std::string>& argv);
 
+/// How a reaped child ended, for `status` `last_exit` reporting. A
+/// SIGKILLed-then-waited zombie still reports its TRUE termination
+/// (kill(2) on a zombie is a no-op), so "signal 9" in status means the
+/// child really died of SIGKILL, not that the reaper fired one.
+struct ChildExit {
+  bool reaped = false;    ///< waitpid actually collected the child
+  bool signaled = false;  ///< terminated by signal (code = signal number)
+  int code = 0;           ///< exit code, or signal number when signaled
+  /// "exit N" / "signal N" / "unknown" (not reaped).
+  std::string describe() const;
+};
+
 /// Best-effort, non-throwing child reaping: SIGKILL (when `kill_first`)
 /// then a blocking waitpid. Safe to call for an already-dead child.
 void reap_child(std::int64_t pid, bool kill_first);
+
+/// Like reap_child, but reports how the child terminated. The cluster
+/// supervisor calls this at EOF detection — not coordinator exit — so a
+/// kill -9'd worker never lingers as a zombie while the fleet serves on.
+ChildExit reap_child_exit(std::int64_t pid, bool kill_first);
 
 }  // namespace cwatpg::svc

@@ -1,0 +1,85 @@
+#include "svc/supervisor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace cwatpg::svc {
+
+double backoff_delay(const BackoffPolicy& policy, Rng& jitter,
+                     std::size_t attempt) {
+  double delay = policy.base_seconds;
+  for (std::size_t i = 1; i < attempt; ++i) delay *= policy.multiplier;
+  delay = std::min(delay, policy.max_seconds);
+  // Jitter in [0.5, 1.0): decorrelates a fleet without ever collapsing
+  // the delay to zero; seeded, so a chaos schedule replays exactly.
+  const double u = static_cast<double>(jitter() >> 11) * 0x1.0p-53;
+  return delay * (0.5 + 0.5 * u);
+}
+
+bool retry_with_backoff(const RetryOptions& options,
+                        const std::function<bool(std::size_t)>& try_once) {
+  const std::size_t attempts = std::max<std::size_t>(1, options.max_attempts);
+  Rng jitter(options.jitter_seed);
+  const std::function<void(double)>& sleep_fn = options.sleep_fn;
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    if (try_once(attempt)) return true;
+    if (attempt == attempts) break;
+    const double delay = backoff_delay(options.backoff, jitter, attempt);
+    if (sleep_fn) {
+      sleep_fn(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+  return false;
+}
+
+SlotSupervisor::SlotSupervisor(const SupervisorOptions& options,
+                               std::uint64_t slot_index,
+                               std::function<double()> now_fn)
+    : options_(options),
+      jitter_(split_seed(options.jitter_seed, slot_index)),
+      now_fn_(std::move(now_fn)) {
+  if (!now_fn_) {
+    now_fn_ = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
+}
+
+void SlotSupervisor::note_event() {
+  const double now = now_fn_();
+  events_.push_back(now);
+  // Prune events older than the window so a long-lived slot that dies
+  // rarely never accumulates toward quarantine.
+  while (!events_.empty() &&
+         now - events_.front() > options_.respawn_window_seconds)
+    events_.pop_front();
+}
+
+void SlotSupervisor::note_death(std::string last_exit) {
+  last_exit_ = std::move(last_exit);
+  note_event();
+}
+
+void SlotSupervisor::note_respawn_failure() { note_event(); }
+
+void SlotSupervisor::note_respawned() {
+  ++generation_;
+  ++restarts_;
+}
+
+bool SlotSupervisor::exhausted() const {
+  return quarantined_ || events_.size() > options_.max_respawns;
+}
+
+double SlotSupervisor::next_delay() {
+  return backoff_delay(options_.backoff, jitter_,
+                       std::max<std::size_t>(1, events_.size()));
+}
+
+}  // namespace cwatpg::svc

@@ -1,0 +1,139 @@
+// Supervision primitives for the self-healing cluster: the shared
+// exponential-backoff policy (one schedule for client resubmission, boot
+// dialing and worker respawn), a bounded retry helper, and the per-slot
+// respawn state machine the coordinator consults when a worker dies.
+//
+// Why re-execution-based recovery is the right shape here: the paper's
+// observation is that individual fault queries are almost always cheap,
+// so recomputing a lost shard — on a respawned worker, or in-process on
+// the coordinator — costs near-nothing. The supervisor therefore never
+// gives capacity away permanently: a dead worker is respawned under
+// backoff with a generation counter, and only a crash LOOP (≥ N respawn
+// events inside a sliding window) quarantines the slot, loudly, so an
+// operator can tell "this worker binary is broken" from "a worker died
+// once".
+//
+// SlotSupervisor is plain bookkeeping with no locking of its own: the
+// cluster guards it with its coordinator mutex; unit tests drive it
+// standalone with an injected clock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace cwatpg::svc {
+
+/// Exponential backoff with seeded jitter — extracted from the PR 6
+/// resilient client so every retry loop in the service layer (overloaded
+/// resubmission, `--connect` boot dialing, worker respawn) follows the
+/// one policy: delay = base · multiplier^(attempt−1), capped at max,
+/// scaled by a jitter factor in [0.5, 1.0).
+struct BackoffPolicy {
+  double base_seconds = 0.005;
+  double max_seconds = 0.5;
+  double multiplier = 2.0;
+};
+
+/// The delay before 1-based retry `attempt`. Draws exactly one value from
+/// `jitter`, so a fixed-seed Rng replays the schedule byte-identically —
+/// which is what lets tests pin the schedule and a worker fleet
+/// decorrelate without ever collapsing a delay to zero.
+double backoff_delay(const BackoffPolicy& policy, Rng& jitter,
+                     std::size_t attempt);
+
+/// Bounded retry: how `--connect` tolerates a not-yet-listening worker.
+struct RetryOptions {
+  /// Total tries (first attempt + retries). 0 behaves like 1.
+  std::size_t max_attempts = 6;
+  BackoffPolicy backoff;
+  std::uint64_t jitter_seed = 0x7e577e57;
+  /// Injectable sleep (tests pass a recorder; default really sleeps).
+  std::function<void(double)> sleep_fn;
+};
+
+/// Calls `try_once(attempt)` with attempt = 1..max_attempts, sleeping the
+/// backoff schedule between tries, until it returns true. Returns whether
+/// any attempt succeeded. `try_once` must not throw; wrap and report.
+bool retry_with_backoff(const RetryOptions& options,
+                        const std::function<bool(std::size_t)>& try_once);
+
+/// Knobs for the cluster's worker supervision (cluster_main flags
+/// --respawn-backoff / --max-respawns / --heartbeat map here).
+struct SupervisorOptions {
+  /// Respawn backoff. The base is deliberately larger than the client's
+  /// resubmission backoff: a fork/exec or TCP re-dial per tick is heavier
+  /// than a frame resend.
+  BackoffPolicy backoff{0.05, 2.0, 2.0};
+  std::uint64_t jitter_seed = 0x7e577e57;
+  /// Respawn events (deaths + failed respawn attempts) tolerated inside
+  /// `respawn_window_seconds` before the slot is quarantined as a crash
+  /// loop. 0 = never respawn (a death quarantines immediately).
+  std::size_t max_respawns = 5;
+  double respawn_window_seconds = 30.0;
+  /// Idle-worker health-probe interval; 0 disables heartbeats.
+  double heartbeat_seconds = 0.0;
+  /// How long a heartbeat `status` may go unanswered before the worker is
+  /// declared dead (wedged-but-alive becomes the EOF-shaped signal).
+  double heartbeat_timeout_seconds = 2.0;
+};
+
+/// Per-worker-slot respawn state machine. Generations count connections:
+/// generation 1 is the endpoint the cluster was constructed with, each
+/// successful respawn increments it. A sliding window of recent respawn
+/// events (deaths and failed respawn attempts) detects crash loops; the
+/// window count also drives the backoff exponent, so a slot that keeps
+/// dying backs off harder while a slot that died once long ago restarts
+/// near-immediately.
+class SlotSupervisor {
+ public:
+  SlotSupervisor() : SlotSupervisor(SupervisorOptions{}, 0) {}
+  /// `slot_index` salts the jitter seed so sibling slots decorrelate.
+  /// `now_fn` is a monotonic clock in seconds (tests inject; default is
+  /// std::chrono::steady_clock).
+  SlotSupervisor(const SupervisorOptions& options, std::uint64_t slot_index,
+                 std::function<double()> now_fn = {});
+
+  /// Records a death of the current generation. `last_exit` is the reaped
+  /// exit description ("signal 9", "exit 127", "eof" for processless
+  /// endpoints), surfaced verbatim through cluster `status`.
+  void note_death(std::string last_exit);
+  /// Records a failed respawn attempt (factory threw, or the
+  /// cluster.respawn.fail failpoint fired): counts toward the crash-loop
+  /// window exactly like a death.
+  void note_respawn_failure();
+  /// A replacement connection is live: new generation, fresh slate for
+  /// lazy circuit re-replication (the caller clears its loaded-set).
+  void note_respawned();
+
+  /// True when the window holds more than max_respawns events — the slot
+  /// is crash-looping and must be quarantined instead of respawned.
+  bool exhausted() const;
+  /// Backoff before the next respawn attempt; the exponent is the current
+  /// window population, so consecutive failures escalate the delay.
+  double next_delay();
+
+  void quarantine() { quarantined_ = true; }
+  bool quarantined() const { return quarantined_; }
+
+  std::uint64_t generation() const { return generation_; }
+  std::uint64_t restarts() const { return restarts_; }
+  const std::string& last_exit() const { return last_exit_; }
+
+ private:
+  void note_event();
+
+  SupervisorOptions options_;
+  Rng jitter_;
+  std::function<double()> now_fn_;
+  std::deque<double> events_;  ///< times of recent deaths/failures
+  std::uint64_t generation_ = 1;
+  std::uint64_t restarts_ = 0;
+  std::string last_exit_;
+  bool quarantined_ = false;
+};
+
+}  // namespace cwatpg::svc

@@ -1,6 +1,7 @@
 #include "svc/transport.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -47,9 +48,20 @@ class FrameChannel {
     cv_.notify_one();
   }
 
-  bool pop(obs::Json& frame) {
+  /// `timeout_seconds` > 0 bounds the wait; expiry throws ProtocolError —
+  /// the same torn-session shape SocketTransport and FdTransport give, so
+  /// heartbeat code paths are testable over in-memory pairs.
+  bool pop(obs::Json& frame, double timeout_seconds) {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return closed_ || !frames_.empty(); });
+    const auto ready = [&] { return closed_ || !frames_.empty(); };
+    if (timeout_seconds > 0.0) {
+      if (!cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                        ready))
+        throw ProtocolError("read timed out after " +
+                            std::to_string(timeout_seconds) + "s");
+    } else {
+      cv_.wait(lock, ready);
+    }
     if (frames_.empty()) return false;  // closed and drained
     frame = std::move(frames_.front());
     frames_.pop_front();
@@ -85,9 +97,16 @@ class DuplexEnd final : public Transport {
 
   ~DuplexEnd() override { DuplexEnd::close(); }
 
-  bool read(obs::Json& frame) override { return inbox().pop(frame); }
+  bool read(obs::Json& frame) override {
+    return inbox().pop(frame, read_timeout_seconds_);
+  }
 
   void write(const obs::Json& frame) override { outbox().push(frame); }
+
+  bool set_read_timeout(double seconds) override {
+    read_timeout_seconds_ = seconds > 0.0 ? seconds : 0.0;
+    return true;
+  }
 
   void close() override {
     // Closing an end stops both directions it participates in: the peer
@@ -108,6 +127,7 @@ class DuplexEnd final : public Transport {
 
   std::shared_ptr<DuplexCore> core_;
   bool is_client_;
+  double read_timeout_seconds_ = 0.0;  ///< single-consumer, like read()
 };
 
 // ---- in-memory byte duplex ------------------------------------------------

@@ -8,7 +8,9 @@
 // reader thread, N worker threads and the drain handshake all cross here.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -92,6 +94,7 @@ struct TestClient {
 /// duplex pair and serve() thread — the spawned-process topology minus
 /// the processes, so TSan sees every thread.
 struct ClusterFixture {
+  std::mutex pool_mutex;  ///< respawn factories run on cluster threads
   std::vector<std::unique_ptr<Server>> servers;
   std::vector<std::unique_ptr<Transport>> server_sides;
   std::vector<std::thread> server_loops;
@@ -100,20 +103,23 @@ struct ClusterFixture {
   std::thread cluster_loop;
   TestClient client{front.client.get()};
 
-  explicit ClusterFixture(std::size_t workers, ClusterOptions options = {}) {
+  /// `supervised` attaches a respawn factory to every endpoint: a fresh
+  /// in-process Server on a fresh duplex, the fixture-world equivalent of
+  /// fork/exec'ing a replacement daemon.
+  explicit ClusterFixture(std::size_t workers, ClusterOptions options = {},
+                          bool supervised = false) {
     std::vector<Cluster::WorkerEndpoint> endpoints;
     for (std::size_t i = 0; i < workers; ++i) {
-      DuplexPair pair = make_duplex();
-      ServerOptions sopts;
-      sopts.threads = 1;
-      servers.push_back(std::make_unique<Server>(sopts));
-      Server* server = servers.back().get();
-      Transport* side = pair.server.get();
-      server_sides.push_back(std::move(pair.server));
-      server_loops.emplace_back([server, side] { server->serve(*side); });
       Cluster::WorkerEndpoint e;
-      e.transport = std::move(pair.client);
+      e.transport = boot_server();
       e.name = "w" + std::to_string(i);
+      if (supervised) {
+        e.respawn = [this]() {
+          Cluster::WorkerEndpoint::Respawned r;
+          r.transport = boot_server();
+          return r;
+        };
+      }
       endpoints.push_back(std::move(e));
     }
     cluster = std::make_unique<Cluster>(std::move(endpoints), options);
@@ -122,8 +128,36 @@ struct ClusterFixture {
 
   ~ClusterFixture() {
     front.client->close();  // implicit shutdown if the test didn't send one
+    // serve() joins the cluster's worker threads before returning, so no
+    // respawn factory can run past this join and the pool is stable.
     cluster_loop.join();
     for (std::thread& t : server_loops) t.join();
+  }
+
+  std::unique_ptr<Transport> boot_server() {
+    DuplexPair pair = make_duplex();
+    ServerOptions sopts;
+    sopts.threads = 1;
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    servers.push_back(std::make_unique<Server>(sopts));
+    Server* server = servers.back().get();
+    Transport* side = pair.server.get();
+    server_sides.push_back(std::move(pair.server));
+    server_loops.emplace_back([server, side] { server->serve(*side); });
+    return std::move(pair.client);
+  }
+
+  /// Polls coordinator `status` until `done(result)` or ~5 s; returns the
+  /// last status result either way.
+  template <typename Pred>
+  obs::Json await_status(Pred done) {
+    obs::Json result;
+    for (int i = 0; i < 500; ++i) {
+      result = client.call("status").at("result");
+      if (done(result)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return result;
   }
 
   std::string load(const net::Network& n) {
@@ -302,6 +336,222 @@ TEST(Cluster, SecondShardFailureFailsTheJobNotTheCluster) {
   // The same job id is reusable after its terminal, and succeeds now.
   obs::Json retry = fx.client.call("run_atpg", atpg_params(key));
   EXPECT_TRUE(retry.at("ok").as_bool()) << retry.dump();
+}
+
+// ---- supervision ----------------------------------------------------------
+
+/// Supervisor knobs scaled for tests: near-instant respawns, a window
+/// generous enough that deliberate kill storms never quarantine.
+ClusterOptions supervised_options(std::size_t shard_size) {
+  ClusterOptions options;
+  options.shard_size = shard_size;
+  options.supervisor.backoff.base_seconds = 0.0005;
+  options.supervisor.backoff.max_seconds = 0.002;
+  options.supervisor.max_respawns = 200;
+  options.supervisor.respawn_window_seconds = 60.0;
+  return options;
+}
+
+const obs::Json* pool_worker(const obs::Json& status, const std::string& name) {
+  for (const obs::Json& w : status.at("worker_pool").items())
+    if (w.at("name").as_string() == name) return &w;
+  return nullptr;
+}
+
+TEST(Cluster, RespawnedWorkerRejoinsWithANewGenerationAndKeepsItsHistory) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  const net::Network n = test_circuit();
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  ClusterFixture fx(2, supervised_options(7), /*supervised=*/true);
+  const std::string key = fx.load(n);
+
+  // An undisturbed job first, so both slots accumulate history the
+  // respawn must NOT erase.
+  obs::Json warm = fx.client.call("run_atpg", atpg_params(key));
+  ASSERT_TRUE(warm.at("ok").as_bool()) << warm.dump();
+  const obs::Json before = fx.client.call("status").at("result");
+
+  {
+    // One worker dies right after a shard reply; the supervisor respawns
+    // it while the survivor absorbs the forfeited shard.
+    fp::ScheduleScope fps("cluster.worker.eof=once");
+    obs::Json resp = fx.client.call("run_atpg", atpg_params(key));
+    ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+    expect_same_classification(single, resp.at("result"));
+  }
+
+  obs::Json status = fx.await_status([](const obs::Json& r) {
+    return r.at("workers_alive").as_u64() == 2 &&
+           r.at("respawns").as_u64() >= 1;
+  });
+  EXPECT_EQ(status.at("workers_alive").as_u64(), 2u) << status.dump();
+  EXPECT_EQ(status.at("worker_deaths").as_u64(), 1u);
+  EXPECT_EQ(status.at("respawns").as_u64(), 1u);
+  EXPECT_EQ(status.at("workers_quarantined").as_u64(), 0u);
+  std::size_t second_generation = 0;
+  for (const obs::Json& w : status.at("worker_pool").items()) {
+    const obs::Json* was = pool_worker(before, w.at("name").as_string());
+    ASSERT_NE(was, nullptr);
+    // Cumulative across generations: history never shrinks on respawn.
+    EXPECT_GE(w.at("shards_completed").as_u64(),
+              was->at("shards_completed").as_u64());
+    if (w.at("generation").as_u64() == 2) {
+      ++second_generation;
+      EXPECT_EQ(w.at("restarts").as_u64(), 1u);
+      EXPECT_EQ(w.at("last_exit").as_string(), "eof");
+      EXPECT_TRUE(w.at("alive").as_bool());
+    }
+  }
+  EXPECT_EQ(second_generation, 1u);
+
+  // The restored pool serves the same job byte-identically: the fresh
+  // generation re-replicated the circuit lazily by content hash.
+  obs::Json again = fx.client.call("run_atpg", atpg_params(key));
+  ASSERT_TRUE(again.at("ok").as_bool()) << again.dump();
+  expect_same_classification(single, again.at("result"));
+}
+
+TEST(Cluster, EveryWorkerKilledOnEveryReplyStillCompletesIdentically) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  const net::Network n = net::decompose(gen::comparator(3));
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  // The hardest drill: EVERY shard reply kills its worker, so no window
+  // can ever complete on a worker. Each window's two deaths route it
+  // through bisection down to width 1 and the in-process fallback — the
+  // job must still complete with zero lost faults, byte-identical.
+  fp::ScheduleScope fps("cluster.worker.eof=always");
+  ClusterFixture fx(2, supervised_options(20), /*supervised=*/true);
+  const std::string key = fx.load(n);
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(key));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  const obs::Json& result = resp.at("result");
+  expect_same_classification(single, result);
+  // Everything converged to the coordinator's own fallback path.
+  EXPECT_EQ(result.at("cluster").at("inprocess_faults").as_u64(),
+            result.at("faults").as_u64());
+  EXPECT_GT(result.at("cluster").at("poison_windows").size(), 0u);
+
+  // Both slots died at least once (a dead slot's forfeited window is
+  // requeued before it starts its respawn backoff, so the sibling pops
+  // the second dispatch) and were respawned; the last respawn may still
+  // be in flight when the terminal lands, so poll.
+  obs::Json status = fx.await_status([](const obs::Json& r) {
+    for (const obs::Json& w : r.at("worker_pool").items())
+      if (w.at("restarts").as_u64() < 1) return false;
+    return true;
+  });
+  EXPECT_GE(status.at("worker_deaths").as_u64(), 2u);
+  for (const obs::Json& w : status.at("worker_pool").items())
+    EXPECT_GE(w.at("restarts").as_u64(), 1u) << w.dump();
+}
+
+TEST(Cluster, CrashLoopingSlotIsQuarantinedAndTheClusterStaysUp) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  const net::Network n = net::decompose(gen::comparator(3));
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  // One death, then every respawn attempt fails: the slot's event window
+  // (1 death + 2 failed attempts > max_respawns=2) is a crash loop and
+  // must quarantine — loudly, without burning the survivor.
+  fp::ScheduleScope fps(
+      "cluster.worker.eof=once;cluster.respawn.fail=always");
+  ClusterOptions options = supervised_options(5);
+  options.supervisor.max_respawns = 2;
+  ClusterFixture fx(2, options, /*supervised=*/true);
+  const std::string key = fx.load(n);
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(key));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  expect_same_classification(single, resp.at("result"));
+
+  obs::Json status = fx.await_status([](const obs::Json& r) {
+    return r.at("workers_quarantined").as_u64() == 1;
+  });
+  EXPECT_EQ(status.at("workers_quarantined").as_u64(), 1u) << status.dump();
+  EXPECT_EQ(status.at("workers_alive").as_u64(), 1u);
+  EXPECT_EQ(status.at("workers_respawning").as_u64(), 0u);
+  EXPECT_EQ(status.at("respawns").as_u64(), 0u);
+  for (const obs::Json& w : status.at("worker_pool").items()) {
+    if (!w.at("quarantined").as_bool()) continue;
+    EXPECT_FALSE(w.at("alive").as_bool());
+    EXPECT_EQ(w.at("generation").as_u64(), 1u);  // never came back
+  }
+  // The surviving worker keeps the cluster serviceable.
+  obs::Json again = fx.client.call("run_atpg", atpg_params(key));
+  ASSERT_TRUE(again.at("ok").as_bool()) << again.dump();
+  expect_same_classification(single, again.at("result"));
+}
+
+TEST(Cluster, HeartbeatConvertsAWedgedWorkerIntoADeathAndRespawn) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  // A wedged-but-alive worker answers nothing: only the heartbeat can
+  // tell. The stall failpoint wedges exactly one probe; the supervisor
+  // must treat it as a death and bring the slot back.
+  fp::ScheduleScope fps("cluster.heartbeat.stall=once");
+  ClusterOptions options = supervised_options(5);
+  options.supervisor.heartbeat_seconds = 0.005;
+  options.supervisor.heartbeat_timeout_seconds = 0.5;
+  ClusterFixture fx(2, options, /*supervised=*/true);
+
+  obs::Json status = fx.await_status([](const obs::Json& r) {
+    return r.at("respawns").as_u64() >= 1 &&
+           r.at("workers_alive").as_u64() == 2;
+  });
+  EXPECT_EQ(status.at("workers_alive").as_u64(), 2u) << status.dump();
+  EXPECT_GE(status.at("heartbeat_failures").as_u64(), 1u);
+  EXPECT_EQ(status.at("worker_deaths").as_u64(), 1u);
+  EXPECT_EQ(status.at("respawns").as_u64(), 1u);
+
+  // The revived pool still computes: a real job across both workers.
+  const net::Network n = net::decompose(gen::comparator(3));
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(fx.load(n)));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  expect_same_classification(single, resp.at("result"));
+}
+
+TEST(Cluster, PoisonFaultIsBisectedToWidthOneAndRunsInProcess) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  const net::Network n = test_circuit();
+  const obs::Json single = single_node_result(n, atpg_params(""));
+  // Fault 11 is poison: EVERY dispatch of a window containing it kills
+  // the worker, respawned or not. The quarantine ladder must isolate
+  // [11, 12) by bisection and run exactly that window in-process — the
+  // job completes byte-identical, with the poison window named.
+  fp::ScheduleScope fps("cluster.shard.poison=always@11");
+  ClusterFixture fx(2, supervised_options(7), /*supervised=*/true);
+  const std::string key = fx.load(n);
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(key));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  const obs::Json& result = resp.at("result");
+  expect_same_classification(single, result);
+  const obs::Json& poison = result.at("cluster").at("poison_windows");
+  ASSERT_EQ(poison.size(), 1u) << poison.dump();
+  EXPECT_EQ(poison[0][0].as_u64(), 11u);
+  EXPECT_EQ(poison[0][1].as_u64(), 12u);
+  EXPECT_EQ(result.at("cluster").at("inprocess_faults").as_u64(), 1u);
+
+  // Respawns complete asynchronously after the job's terminal: poll.
+  obs::Json status = fx.await_status([](const obs::Json& r) {
+    return r.at("respawns").as_u64() >= 2;
+  });
+  EXPECT_EQ(status.at("poison_windows").as_u64(), 1u);
+  EXPECT_EQ(status.at("inprocess_faults").as_u64(), 1u);
+  EXPECT_GE(status.at("worker_deaths").as_u64(), 2u);
+  EXPECT_GE(status.at("respawns").as_u64(), 2u);
+}
+
+TEST(Cluster, UnsupervisedFixtureKeepsTheShrinkBehavior) {
+  if (!fp::kEnabled) GTEST_SKIP() << "built with CWATPG_FAILPOINTS=OFF";
+  // No respawn factory: a death still permanently shrinks the pool (the
+  // pre-supervision contract some embedders rely on).
+  fp::ScheduleScope fps("cluster.worker.eof=once");
+  const net::Network n = net::decompose(gen::comparator(3));
+  ClusterFixture fx(2, supervised_options(5), /*supervised=*/false);
+  obs::Json resp = fx.client.call("run_atpg", atpg_params(fx.load(n)));
+  ASSERT_TRUE(resp.at("ok").as_bool()) << resp.dump();
+  obs::Json status = fx.client.call("status").at("result");
+  EXPECT_EQ(status.at("workers_alive").as_u64(), 1u);
+  EXPECT_EQ(status.at("respawns").as_u64(), 0u);
+  EXPECT_EQ(status.at("workers_respawning").as_u64(), 0u);
 }
 
 // ---- protocol parity ------------------------------------------------------

@@ -686,5 +686,50 @@ TEST(NetCluster, RemoteWorkerDeathFailsOverToSurvivor) {
   EXPECT_EQ(stats.alive, 1u);
 }
 
+// ---- tcp_connect_retry ----------------------------------------------------
+
+/// An ephemeral port that was just free: bind, read, release.
+std::uint16_t probe_free_port() {
+  netio::Listener probe("127.0.0.1", 0);
+  return probe.port();
+}
+
+TEST(TcpConnectRetry, RefusedConnectionsExhaustOnTheSeededSchedule) {
+  svc::RetryOptions retry;
+  retry.max_attempts = 3;
+  std::vector<double> slept;
+  retry.sleep_fn = [&](double s) { slept.push_back(s); };
+  const std::uint16_t port = probe_free_port();  // nobody listening now
+  EXPECT_THROW(netio::tcp_connect_retry("127.0.0.1", port, 1.0, retry),
+               std::runtime_error);
+  // One backoff sleep between consecutive attempts; the recorded delays
+  // replay the seeded schedule exactly.
+  ASSERT_EQ(slept.size(), 2u);
+  Rng reference(retry.jitter_seed);
+  EXPECT_EQ(slept[0], svc::backoff_delay(retry.backoff, reference, 1));
+  EXPECT_EQ(slept[1], svc::backoff_delay(retry.backoff, reference, 2));
+}
+
+TEST(TcpConnectRetry, ToleratesAListenerThatBindsLate) {
+  // The boot scenario the helper exists for: the coordinator dials while
+  // the worker daemon is still starting; the listener appears mid-retry
+  // and the dial must land without operator intervention.
+  const std::uint16_t port = probe_free_port();
+  std::thread binder([port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    netio::Listener listener("127.0.0.1", port);
+    const int fd = listener.accept_one_blocking();
+    ::close(fd);
+  });
+  svc::RetryOptions retry;
+  retry.max_attempts = 200;
+  retry.backoff.base_seconds = 0.01;
+  retry.backoff.max_seconds = 0.05;
+  const int fd = netio::tcp_connect_retry("127.0.0.1", port, 1.0, retry);
+  EXPECT_GE(fd, 0);
+  ::close(fd);
+  binder.join();
+}
+
 }  // namespace
 }  // namespace cwatpg

@@ -1,0 +1,240 @@
+// Supervision primitives (src/svc/supervisor.*) and the process plumbing
+// they drive (src/svc/spawn.*): the shared backoff schedule must be
+// deterministic under a fixed seed, retry_with_backoff must sleep exactly
+// the schedule between attempts, the SlotSupervisor crash-loop window must
+// quarantine on sustained failure but forgive old deaths, and a kill -9'd
+// child must be reaped at detection time — never left as a zombie. Listed
+// under the `tsan` ctest label alongside the cluster tests that exercise
+// these paths concurrently.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cerrno>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "svc/proto.hpp"
+#include "svc/spawn.hpp"
+#include "svc/supervisor.hpp"
+#include "svc/transport.hpp"
+
+namespace cwatpg::svc {
+namespace {
+
+// ---- backoff_delay --------------------------------------------------------
+
+TEST(Backoff, ScheduleIsDeterministicUnderAFixedSeed) {
+  BackoffPolicy policy;
+  policy.base_seconds = 0.1;
+  policy.max_seconds = 1.0;
+  policy.multiplier = 2.0;
+  Rng a(42), b(42);
+  for (std::size_t attempt = 1; attempt <= 8; ++attempt)
+    EXPECT_EQ(backoff_delay(policy, a, attempt),
+              backoff_delay(policy, b, attempt))
+        << "attempt " << attempt;
+}
+
+TEST(Backoff, GrowsExponentiallyAndCapsWithJitterInHalfOpenRange) {
+  BackoffPolicy policy;
+  policy.base_seconds = 0.1;
+  policy.max_seconds = 0.4;
+  policy.multiplier = 2.0;
+  Rng rng(7);
+  // Un-jittered ladder: 0.1, 0.2, 0.4, 0.4 (capped), ... — jitter scales
+  // each rung into [0.5, 1.0) of its nominal value, never to zero.
+  const double nominal[] = {0.1, 0.2, 0.4, 0.4, 0.4};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double d = backoff_delay(policy, rng, i + 1);
+    EXPECT_GE(d, nominal[i] * 0.5) << "attempt " << i + 1;
+    EXPECT_LT(d, nominal[i]) << "attempt " << i + 1;
+  }
+}
+
+// ---- retry_with_backoff ---------------------------------------------------
+
+TEST(RetryWithBackoff, StopsAtFirstSuccessAndSleepsTheScheduleBetween) {
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.backoff.base_seconds = 0.1;
+  options.backoff.max_seconds = 1.0;
+  std::vector<double> slept;
+  options.sleep_fn = [&](double s) { slept.push_back(s); };
+  std::vector<std::size_t> attempts;
+  const bool ok = retry_with_backoff(options, [&](std::size_t attempt) {
+    attempts.push_back(attempt);
+    return attempt == 3;
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(attempts, (std::vector<std::size_t>{1, 2, 3}));
+  // One sleep between consecutive attempts; the recorded delays are the
+  // seeded schedule, replayable exactly.
+  ASSERT_EQ(slept.size(), 2u);
+  Rng reference(options.jitter_seed);
+  EXPECT_EQ(slept[0], backoff_delay(options.backoff, reference, 1));
+  EXPECT_EQ(slept[1], backoff_delay(options.backoff, reference, 2));
+}
+
+TEST(RetryWithBackoff, ExhaustionReturnsFalseAfterExactlyMaxAttempts) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.sleep_fn = [](double) {};
+  std::size_t calls = 0;
+  EXPECT_FALSE(retry_with_backoff(options, [&](std::size_t) {
+    ++calls;
+    return false;
+  }));
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST(RetryWithBackoff, ZeroMaxAttemptsStillTriesOnce) {
+  RetryOptions options;
+  options.max_attempts = 0;
+  options.sleep_fn = [](double) {};
+  std::size_t calls = 0;
+  EXPECT_TRUE(retry_with_backoff(options, [&](std::size_t) {
+    ++calls;
+    return true;
+  }));
+  EXPECT_EQ(calls, 1u);
+}
+
+// ---- SlotSupervisor -------------------------------------------------------
+
+/// A SlotSupervisor on an injectable clock.
+struct ClockedSlot {
+  double now = 0.0;
+  SlotSupervisor slot;
+
+  explicit ClockedSlot(SupervisorOptions options, std::uint64_t index = 0)
+      : slot(options, index, [this] { return now; }) {}
+};
+
+TEST(SlotSupervisor, CrashLoopInsideTheWindowExhausts) {
+  SupervisorOptions options;
+  options.max_respawns = 2;
+  options.respawn_window_seconds = 10.0;
+  ClockedSlot s(options);
+  EXPECT_FALSE(s.slot.exhausted());
+  s.slot.note_death("signal 9");
+  EXPECT_FALSE(s.slot.exhausted());  // 1 event <= 2
+  s.now = 1.0;
+  s.slot.note_respawn_failure();
+  EXPECT_FALSE(s.slot.exhausted());  // 2 events <= 2
+  s.now = 2.0;
+  s.slot.note_death("signal 9");
+  EXPECT_TRUE(s.slot.exhausted());  // 3 events > 2: crash loop
+  EXPECT_EQ(s.slot.last_exit(), "signal 9");
+}
+
+TEST(SlotSupervisor, OldDeathsAgeOutOfTheWindow) {
+  SupervisorOptions options;
+  options.max_respawns = 1;
+  options.respawn_window_seconds = 10.0;
+  ClockedSlot s(options);
+  s.slot.note_death("exit 1");
+  EXPECT_FALSE(s.slot.exhausted());
+  // The same slot dying again a minute later is a fresh incident, not a
+  // crash loop: the first event has left the window.
+  s.now = 60.0;
+  s.slot.note_death("exit 1");
+  EXPECT_FALSE(s.slot.exhausted());
+  s.now = 61.0;
+  s.slot.note_death("exit 1");
+  EXPECT_TRUE(s.slot.exhausted());  // two inside one window
+}
+
+TEST(SlotSupervisor, ZeroMaxRespawnsQuarantinesOnFirstDeath) {
+  SupervisorOptions options;
+  options.max_respawns = 0;
+  ClockedSlot s(options);
+  s.slot.note_death("signal 9");
+  EXPECT_TRUE(s.slot.exhausted());
+}
+
+TEST(SlotSupervisor, GenerationsCountRespawnsAndSiblingsDecorrelate) {
+  SupervisorOptions options;
+  options.backoff.base_seconds = 0.1;
+  options.backoff.max_seconds = 1.0;
+  ClockedSlot a(options, 0), b(options, 1);
+  EXPECT_EQ(a.slot.generation(), 1u);
+  a.slot.note_death("eof");
+  b.slot.note_death("eof");
+  // Sibling slots draw from split_seed'd jitter streams: their first
+  // delays differ even though the options are identical.
+  EXPECT_NE(a.slot.next_delay(), b.slot.next_delay());
+  a.slot.note_respawned();
+  EXPECT_EQ(a.slot.generation(), 2u);
+  EXPECT_EQ(a.slot.restarts(), 1u);
+  EXPECT_FALSE(a.slot.quarantined());
+  a.slot.quarantine();
+  EXPECT_TRUE(a.slot.quarantined());
+  EXPECT_TRUE(a.slot.exhausted());  // quarantine implies exhausted
+}
+
+TEST(SlotSupervisor, ConsecutiveFailuresEscalateTheDelay) {
+  SupervisorOptions options;
+  options.backoff.base_seconds = 0.1;
+  options.backoff.max_seconds = 100.0;  // no cap in range: growth visible
+  options.max_respawns = 10;
+  ClockedSlot s(options);
+  s.slot.note_death("eof");
+  const double first = s.slot.next_delay();
+  s.slot.note_respawn_failure();
+  s.slot.note_respawn_failure();
+  s.slot.note_respawn_failure();
+  // Four events in the window: nominal delay is 8x the single-event one;
+  // jitter can halve either draw, so 2x is a safe strict bound.
+  EXPECT_GT(s.slot.next_delay(), 2.0 * first);
+}
+
+// ---- child reaping --------------------------------------------------------
+
+TEST(Spawn, Kill9LeavesNoZombieAndReportsTheSignal) {
+  // A worker that blocks forever on stdin, like a wedged daemon.
+  ChildProcess child = spawn_child({"/bin/cat"});
+  ASSERT_GT(child.pid, 0);
+  ASSERT_EQ(::kill(static_cast<pid_t>(child.pid), SIGKILL), 0);
+  // Detection-time reap (what Cluster::on_worker_death does): the TRUE
+  // termination status must come back — kill_first is a no-op on a
+  // process that is already dead.
+  const ChildExit exit = reap_child_exit(child.pid, /*kill_first=*/true);
+  EXPECT_TRUE(exit.reaped);
+  EXPECT_TRUE(exit.signaled);
+  EXPECT_EQ(exit.code, SIGKILL);
+  EXPECT_EQ(exit.describe(), "signal 9");
+  // No zombie: the pid is fully gone — not reapable again, not even
+  // signalable as a defunct process.
+  EXPECT_EQ(::waitpid(static_cast<pid_t>(child.pid), nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+  EXPECT_EQ(::kill(static_cast<pid_t>(child.pid), 0), -1);
+  EXPECT_EQ(errno, ESRCH);
+}
+
+TEST(Spawn, CleanExitIsReportedAsExitCode) {
+  ChildProcess child = spawn_child({"/bin/true"});
+  ASSERT_GT(child.pid, 0);
+  const ChildExit exit = reap_child_exit(child.pid, /*kill_first=*/false);
+  EXPECT_TRUE(exit.reaped);
+  EXPECT_FALSE(exit.signaled);
+  EXPECT_EQ(exit.code, 0);
+  EXPECT_EQ(exit.describe(), "exit 0");
+}
+
+TEST(Spawn, FdTransportReadTimeoutThrowsTornSession) {
+  // The heartbeat building block: a bounded read over a silent child's
+  // pipe must throw the same ProtocolError shape a reset gives, within
+  // the bound rather than hanging.
+  ChildProcess child = spawn_child({"/bin/cat"});
+  ASSERT_GT(child.pid, 0);
+  ASSERT_TRUE(child.transport->set_read_timeout(0.05));
+  obs::Json frame;
+  EXPECT_THROW(child.transport->read(frame), ProtocolError);
+  reap_child_exit(child.pid, /*kill_first=*/true);
+}
+
+}  // namespace
+}  // namespace cwatpg::svc
